@@ -1,0 +1,36 @@
+//! Micro-benchmarks of the detector forward passes.
+//!
+//! One attack evaluation costs `K · T` of these, so the detector forward
+//! dominates the end-to-end attack runtime.
+
+use bea_detect::{
+    Detector, DetrConfig, DetrDetector, Ensemble, ModelZoo, YoloConfig, YoloDetector,
+};
+use bea_scene::SyntheticKitti;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_detectors(c: &mut Criterion) {
+    let img = SyntheticKitti::evaluation_set().image(10);
+
+    let yolo = YoloDetector::new(YoloConfig::with_seed(1));
+    c.bench_function("detect/yolo_192x64", |b| b.iter(|| yolo.detect(black_box(&img))));
+
+    let detr = DetrDetector::new(DetrConfig::with_seed(1)).expect("valid default config");
+    c.bench_function("detect/detr_192x64", |b| b.iter(|| detr.detect(black_box(&img))));
+
+    c.bench_function("detect/yolo_heatmap", |b| b.iter(|| yolo.heatmap(black_box(&img))));
+
+    let zoo = ModelZoo::with_defaults();
+    let ensemble = Ensemble::new(zoo.models(bea_detect::Architecture::Yolo, 1..=4));
+    c.bench_function("detect/ensemble4_yolo", |b| {
+        b.iter(|| ensemble.detect(black_box(&img)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_detectors
+}
+criterion_main!(benches);

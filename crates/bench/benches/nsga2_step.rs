@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the NSGA-II machinery at the paper's population
+//! size (101 individuals, 3 objectives).
+
+use bea_nsga2::crowding::crowding_distances;
+use bea_nsga2::hypervolume::hypervolume;
+use bea_nsga2::prelude::*;
+use bea_nsga2::sorting::fast_non_dominated_sort;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn random_objectives(n: usize, m: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = WeightInit::from_seed(seed);
+    (0..n).map(|_| (0..m).map(|_| rng.uniform(0.0, 1.0) as f64).collect()).collect()
+}
+
+fn bench_nsga2(c: &mut Criterion) {
+    let dirs = vec![Direction::Minimize, Direction::Minimize, Direction::Maximize];
+    let objs = random_objectives(101, 3, 1);
+
+    c.bench_function("nsga2/fast_non_dominated_sort_101x3", |b| {
+        b.iter(|| fast_non_dominated_sort(black_box(&objs), black_box(&dirs)))
+    });
+
+    let front: Vec<usize> = (0..objs.len()).collect();
+    c.bench_function("nsga2/crowding_distance_101x3", |b| {
+        b.iter(|| crowding_distances(black_box(&front), black_box(&objs)))
+    });
+
+    c.bench_function("nsga2/hypervolume_3d_101pts", |b| {
+        b.iter(|| hypervolume(black_box(&objs), &[1.5, 1.5, -0.5], &dirs))
+    });
+
+    // A full generation on a cheap analytic problem isolates driver
+    // overhead from evaluation cost.
+    struct Schaffer;
+    impl Problem for Schaffer {
+        type Genome = f64;
+        fn directions(&self) -> Vec<Direction> {
+            vec![Direction::Minimize, Direction::Minimize]
+        }
+        fn evaluate(&self, x: &f64) -> Vec<f64> {
+            vec![x * x, (x - 2.0) * (x - 2.0)]
+        }
+    }
+    c.bench_function("nsga2/schaffer_pop101_gen10", |b| {
+        b.iter(|| {
+            let config = Nsga2Config {
+                population_size: 101,
+                generations: 10,
+                ..Nsga2Config::default()
+            };
+            Nsga2::new(Schaffer, config).run(
+                &|rng: &mut WeightInit| rng.uniform(-5.0, 5.0) as f64,
+                &|a: &f64, b: &f64, _rng: &mut WeightInit| ((a + b) / 2.0, (a - b) / 2.0),
+                &|x: &mut f64, rng: &mut WeightInit| *x += rng.normal(0.0, 0.3) as f64,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_nsga2
+}
+criterion_main!(benches);

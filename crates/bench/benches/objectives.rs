@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the three attack objectives.
+//!
+//! These cover the per-candidate cost of the attack loop *excluding* the
+//! detector forward pass: Algorithm 1 (prediction overlap), Algorithm 2
+//! (distance-field construction and mask weighting) and the L2 intensity.
+
+use bea_core::objectives::{obj_degrad, obj_intensity, DistanceField};
+use bea_detect::{Detection, Prediction};
+use bea_image::{FilterMask, NoiseKind};
+use bea_scene::{BBox, ObjectClass};
+use bea_tensor::norm::NormKind;
+use bea_tensor::WeightInit;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const W: usize = 192;
+const H: usize = 64;
+
+fn sample_prediction(n: usize) -> Prediction {
+    (0..n)
+        .map(|i| {
+            Detection::new(
+                ObjectClass::ALL[i % ObjectClass::COUNT],
+                BBox::new(20.0 + 40.0 * i as f32, 30.0 + 3.0 * i as f32, 24.0, 14.0),
+                0.9,
+            )
+        })
+        .collect()
+}
+
+fn sample_mask() -> FilterMask {
+    NoiseKind::Gaussian { std_dev: 15.0 }.generate(W, H, &mut WeightInit::from_seed(7))
+}
+
+fn bench_objectives(c: &mut Criterion) {
+    let clean = sample_prediction(4);
+    let perturbed = sample_prediction(3);
+    c.bench_function("obj_degrad/4v3_boxes", |b| {
+        b.iter(|| obj_degrad(black_box(&clean), black_box(&perturbed)))
+    });
+
+    let mask = sample_mask();
+    c.bench_function("obj_intensity/l2_192x64", |b| {
+        b.iter(|| obj_intensity(black_box(&mask), NormKind::L2))
+    });
+
+    c.bench_function("distance_field/build_192x64_4boxes", |b| {
+        b.iter(|| DistanceField::new(W, H, black_box(&clean), 2.0))
+    });
+
+    let field = DistanceField::new(W, H, &clean, 2.0);
+    c.bench_function("obj_dist/weighting_dense_mask", |b| {
+        b.iter(|| field.objective(black_box(&mask)))
+    });
+
+    let mut sparse = FilterMask::zeros(W, H);
+    for i in 0..100 {
+        sparse.set(0, (i * 7) % H, (i * 13) % W, 100);
+    }
+    c.bench_function("obj_dist/weighting_sparse_mask", |b| {
+        b.iter(|| field.objective(black_box(&sparse)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_objectives
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! **E13 — extension**: a third architectural pattern.
+//!
+//! The paper compares single-stage CNNs and transformers and conjectures
+//! that self-attention is the butterfly channel. If that is right, a
+//! *two-stage* CNN (region proposals + per-region classification, both
+//! local) should be at least as robust as YOLO. This harness runs the same
+//! attack budget against all three patterns.
+//!
+//! Run: `cargo run --release -p bea-bench --bin arch_extension [--full]`
+
+use bea_bench::{fmt, Harness};
+use bea_core::attack::ButterflyAttack;
+use bea_core::report::{print_table, SuccessCriteria};
+use bea_core::sweep::AttackSweep;
+use bea_detect::Architecture;
+
+fn pattern_label(arch: Architecture) -> &'static str {
+    match arch {
+        Architecture::Yolo => "single-stage CNN (local + weak global gain)",
+        Architecture::Detr => "transformer (global self-attention)",
+        Architecture::TwoStage => "two-stage CNN (strictly local)",
+    }
+}
+
+fn main() {
+    let harness = Harness::from_args();
+    let mut sweep = AttackSweep::new(ButterflyAttack::new(harness.attack_config()));
+    for arch in Architecture::EXTENDED {
+        for &seed in &harness.model_seeds() {
+            let model = harness.model(arch, seed);
+            for &image_index in &harness.image_indices() {
+                let img = harness.dataset().image(image_index);
+                sweep.run_cell(arch.name(), model.as_ref(), seed, image_index, &img);
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for summary in sweep.summaries(SuccessCriteria::default()) {
+        let arch = Architecture::EXTENDED
+            .into_iter()
+            .find(|a| a.name() == summary.group)
+            .expect("groups are architecture names");
+        rows.push(vec![
+            summary.group.clone(),
+            pattern_label(arch).to_string(),
+            fmt(summary.mean_degrad, 3),
+            fmt(summary.best_degrad, 3),
+            format!("{:.0}%", 100.0 * summary.success_rate),
+        ]);
+    }
+
+    println!("\nArchitecture extension — butterfly susceptibility across three patterns");
+    print_table(
+        &["arch", "coupling pattern", "mean obj_degrad", "best obj_degrad", "success rate"],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: the two local architectures (YOLO, R-CNN) cluster together \
+         near obj_degrad = 1 while the transformer collapses — supporting the paper's \
+         conjecture that the attention mechanism, not some other detail, is the \
+         butterfly channel. The strictly local two-stage model is provably immune to \
+         remote perturbation (unit-tested), so any residual degradation comes from \
+         perturbing right-half objects directly."
+    );
+}

@@ -1,0 +1,185 @@
+//! A small command-line front end for running single attacks.
+//!
+//! ```text
+//! cargo run --release -p bea-bench --bin attack_cli -- \
+//!     --arch detr --seed 1 --image 10 --pop 40 --gens 30 \
+//!     --constraint right-half --out target/experiments/cli
+//! ```
+//!
+//! Prints the Pareto front and writes the champion masks (applied to the
+//! image) plus the raw mask visualisation as PPM files under `--out`.
+
+use bea_core::attack::{AttackConfig, ButterflyAttack};
+use bea_core::report::{champion_rows, print_table};
+use bea_detect::{Architecture, Detector, ModelZoo};
+use bea_image::{io, FilterMask, Image, RegionConstraint};
+use bea_nsga2::Nsga2Config;
+use bea_scene::SyntheticKitti;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    arch: Architecture,
+    seed: u64,
+    image: usize,
+    population: usize,
+    generations: usize,
+    constraint: RegionConstraint,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        arch: Architecture::Detr,
+        seed: 1,
+        image: 10,
+        population: 40,
+        generations: 30,
+        constraint: RegionConstraint::RightHalf,
+        out: PathBuf::from("target/experiments/cli"),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = || -> Result<&str, String> {
+            args.get(i + 1).map(|s| s.as_str()).ok_or(format!("{flag} needs a value"))
+        };
+        match flag {
+            "--arch" => {
+                options.arch = match value()? {
+                    "yolo" | "YOLO" => Architecture::Yolo,
+                    "detr" | "DETR" => Architecture::Detr,
+                    other => return Err(format!("unknown architecture {other:?}")),
+                };
+                i += 2;
+            }
+            "--seed" => {
+                options.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?;
+                i += 2;
+            }
+            "--image" => {
+                options.image = value()?.parse().map_err(|e| format!("--image: {e}"))?;
+                i += 2;
+            }
+            "--pop" => {
+                options.population =
+                    value()?.parse().map_err(|e| format!("--pop: {e}"))?;
+                i += 2;
+            }
+            "--gens" => {
+                options.generations =
+                    value()?.parse().map_err(|e| format!("--gens: {e}"))?;
+                i += 2;
+            }
+            "--constraint" => {
+                options.constraint = match value()? {
+                    "full" => RegionConstraint::Full,
+                    "left-half" => RegionConstraint::LeftHalf,
+                    "right-half" => RegionConstraint::RightHalf,
+                    other => return Err(format!("unknown constraint {other:?}")),
+                };
+                i += 2;
+            }
+            "--out" => {
+                options.out = PathBuf::from(value()?);
+                i += 2;
+            }
+            "--help" | "-h" => {
+                return Err("usage: attack_cli [--arch yolo|detr] [--seed N] [--image N] \
+                            [--pop N] [--gens N] [--constraint full|left-half|right-half] \
+                            [--out DIR]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(options)
+}
+
+/// Renders a mask as a grey-anchored visualisation image (128 + δ/2).
+fn visualize_mask(mask: &FilterMask) -> Image {
+    let mut img = Image::filled(mask.width(), mask.height(), [128.0; 3]);
+    for (c, y, x, v) in mask.iter_nonzero() {
+        img.set(c, y, x, 128.0 + v as f32 / 2.0);
+    }
+    img
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dataset = SyntheticKitti::evaluation_set();
+    if options.image >= dataset.len() {
+        eprintln!("--image must be < {}", dataset.len());
+        return ExitCode::FAILURE;
+    }
+    let img = dataset.image(options.image);
+    let zoo = ModelZoo::with_defaults();
+    let model = zoo.model(options.arch, options.seed);
+    println!(
+        "attacking {} on image {} (pop {}, {} generations, {:?})",
+        model.name(),
+        options.image,
+        options.population,
+        options.generations,
+        options.constraint
+    );
+
+    let config = AttackConfig {
+        nsga2: Nsga2Config {
+            population_size: options.population,
+            generations: options.generations,
+            ..Nsga2Config::default()
+        },
+        constraint: options.constraint,
+        ..AttackConfig::default()
+    };
+    let outcome = ButterflyAttack::new(config).attack(model.as_ref(), &img);
+
+    let rows: Vec<Vec<String>> =
+        champion_rows(&outcome, options.arch.name(), options.seed, options.image)
+            .iter()
+            .map(|r| {
+                vec![
+                    r.role.clone(),
+                    format!("{:.1}", r.point.intensity),
+                    format!("{:.3}", r.point.degrad),
+                    format!("{:.4}", r.point.dist),
+                ]
+            })
+            .collect();
+    print_table(&["champion", "intensity", "degrad", "dist"], &rows);
+
+    if std::fs::create_dir_all(&options.out).is_err() {
+        eprintln!("cannot create {}", options.out.display());
+        return ExitCode::FAILURE;
+    }
+    let champion = outcome.best_degradation().expect("front never empty");
+    let artefacts = [
+        ("clean.ppm", img.clone()),
+        ("perturbed.ppm", champion.genome().apply(&img)),
+        ("mask.ppm", visualize_mask(champion.genome())),
+    ];
+    for (name, artefact) in &artefacts {
+        let path = options.out.join(name);
+        if let Err(e) = io::save_ppm(artefact, &path) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+    // The raw genes, reloadable with bea_image::io::load_mask.
+    let mask_path = options.out.join("champion.mask");
+    if let Err(e) = io::save_mask(champion.genome(), &mask_path) {
+        eprintln!("failed to write {}: {e}", mask_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", mask_path.display());
+    ExitCode::SUCCESS
+}

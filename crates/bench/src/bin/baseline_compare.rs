@@ -1,0 +1,114 @@
+//! **E11 — Section II**: NSGA-II vs GenAttack vs random noise.
+//!
+//! The paper positions itself against GenAttack, a single-objective GA
+//! that "uses a single-objective optimization approach with the sole aim
+//! of changing the prediction class; controlling the amount of
+//! perturbation is set as an adaptive hyper-parameter that is not
+//! optimized explicitly". This harness runs all three methods at an equal
+//! detector-evaluation budget and compares the degradation they reach and
+//! the perturbation they spend.
+//!
+//! Run: `cargo run --release -p bea-bench --bin baseline_compare [--full]`
+
+use bea_bench::{fmt, Harness};
+use bea_core::attack::ButterflyAttack;
+use bea_core::baseline::{random_noise_baseline, GenAttack, GenAttackConfig};
+use bea_core::objectives::{obj_intensity, DistanceField};
+use bea_core::report::print_table;
+use bea_detect::Architecture;
+use bea_image::RegionConstraint;
+use bea_tensor::norm::NormKind;
+
+fn main() {
+    let harness = Harness::from_args();
+    let attack_config = harness.attack_config();
+    let attack = ButterflyAttack::new(attack_config.clone());
+    let img = harness.dataset().image(0);
+
+    let mut rows = Vec::new();
+    for arch in Architecture::ALL {
+        let model = harness.model(arch, 1);
+        let clean = model.detect(&img);
+        let field = DistanceField::new(
+            img.width(),
+            img.height(),
+            &clean,
+            attack_config.epsilon,
+        );
+
+        // NSGA-II (ours): the best-degradation champion plus the knee
+        // point, to show the front covers several operating points.
+        let outcome = attack.attack(model.as_ref(), &img);
+        let budget = outcome.evaluations();
+        let ours = outcome.best_degradation().expect("front never empty");
+        rows.push(vec![
+            arch.name().to_string(),
+            "NSGA-II (paper)".into(),
+            budget.to_string(),
+            fmt(ours.objectives()[1], 3),
+            fmt(ours.objectives()[0], 1),
+            fmt(ours.objectives()[2], 4),
+        ]);
+        if let Some(knee) = bea_nsga2::pareto::knee_point(
+            outcome.result().population(),
+            outcome.directions(),
+        ) {
+            rows.push(vec![
+                arch.name().to_string(),
+                "NSGA-II knee".into(),
+                budget.to_string(),
+                fmt(knee.objectives()[1], 3),
+                fmt(knee.objectives()[0], 1),
+                fmt(knee.objectives()[2], 4),
+            ]);
+        }
+
+        // GenAttack at the same budget: pop * (gens + 1) = budget.
+        let ga_config = GenAttackConfig {
+            population_size: attack_config.nsga2.population_size,
+            generations: attack_config.nsga2.generations,
+            constraint: RegionConstraint::RightHalf,
+            ..GenAttackConfig::default()
+        };
+        let ga = GenAttack::new(ga_config).run(model.as_ref(), &img);
+        rows.push(vec![
+            arch.name().to_string(),
+            "GenAttack-style".into(),
+            ga.evaluations.to_string(),
+            fmt(ga.best_fitness, 3),
+            fmt(obj_intensity(&ga.best_mask, NormKind::L2), 1),
+            fmt(field.objective_normalized(&ga.best_mask), 4),
+        ]);
+
+        // Random noise at the same budget, intensity matched to ours.
+        let noise_budget = ours.objectives()[0].max(500.0) * 2.0;
+        let random = random_noise_baseline(
+            model.as_ref(),
+            &img,
+            noise_budget,
+            budget,
+            RegionConstraint::RightHalf,
+            7,
+        );
+        rows.push(vec![
+            arch.name().to_string(),
+            "random noise".into(),
+            random.evaluations.to_string(),
+            fmt(random.best_degrad, 3),
+            fmt(random.best_intensity, 1),
+            fmt(field.objective_normalized(&random.best_mask), 4),
+        ]);
+    }
+
+    println!("\nBaseline comparison at equal evaluation budget");
+    print_table(
+        &["arch", "method", "evals", "obj_degrad", "obj_intensity", "obj_dist"],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: single-objective methods can match the raw degradation, but \
+         they deliver ONE operating point — NSGA-II's champions come from a front that \
+         simultaneously covers low-intensity and high-obj_dist masks (see the extra \
+         'NSGA-II knee' row), which is what the paper's formulation buys."
+    );
+}

@@ -1,0 +1,72 @@
+//! **E5 — Figure 3**: YOLO's robustness on image no. 10.
+//!
+//! The paper shows that "even when the perturbation intensity on the right
+//! is already human-recognizable, the resulting prediction remains the
+//! same" for YOLO. This harness applies increasingly strong right-half
+//! noise to the YOLO model and reports how little `obj_degrad` moves; the
+//! strongest case is saved as a before/after PPM pair.
+//!
+//! Run: `cargo run --release -p bea-bench --bin fig3_yolo_robust [--full]`
+
+use bea_bench::figures::save_case_study;
+use bea_bench::{fmt, Harness};
+use bea_core::objectives::obj_degrad;
+use bea_core::report::print_table;
+use bea_detect::Architecture;
+use bea_image::{metrics, NoiseKind, RegionConstraint};
+use bea_tensor::WeightInit;
+
+fn main() {
+    let harness = Harness::from_args();
+    let model = harness.model(Architecture::Yolo, 1);
+    let img = harness.dataset().image(10);
+    let clean = model.detect(&img);
+    println!(
+        "Figure 3 — {} on image no. 10 ({} clean detections)",
+        model.name(),
+        clean.len()
+    );
+
+    let mut rows = Vec::new();
+    let mut strongest = None;
+    for std_dev in [10.0f32, 25.0, 50.0, 90.0, 140.0] {
+        // Average obj_degrad over several noise draws per intensity level.
+        let mut degrads = Vec::new();
+        let mut example = None;
+        for seed in 0..5u64 {
+            let mut mask = NoiseKind::Gaussian { std_dev }
+                .generate(img.width(), img.height(), &mut WeightInit::from_seed(seed));
+            RegionConstraint::RightHalf.apply(&mut mask);
+            let perturbed_img = mask.apply(&img);
+            let perturbed = model.detect(&perturbed_img);
+            degrads.push(obj_degrad(&clean, &perturbed));
+            if seed == 0 {
+                example = Some((perturbed_img, perturbed));
+            }
+        }
+        let mean = degrads.iter().sum::<f64>() / degrads.len() as f64;
+        let (perturbed_img, perturbed) = example.expect("seed 0 ran");
+        let psnr = metrics::psnr(&img, &perturbed_img).expect("same size");
+        rows.push(vec![
+            fmt(std_dev as f64, 0),
+            fmt(psnr, 1),
+            fmt(mean, 3),
+            fmt(degrads.iter().cloned().fold(f64::MAX, f64::min), 3),
+        ]);
+        strongest = Some((perturbed_img, perturbed));
+    }
+    print_table(
+        &["noise std (right half)", "PSNR dB", "mean obj_degrad", "min obj_degrad"],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: obj_degrad stays close to 1.0 even at human-visible noise \
+         (PSNR < 20 dB) — the single-stage detector's local receptive fields shield the \
+         untouched left half"
+    );
+
+    if let Some((perturbed_img, perturbed)) = strongest {
+        let (a, b) = save_case_study("fig3", &img, &clean, &perturbed_img, &perturbed);
+        println!("saved {} and {}", a.display(), b.display());
+    }
+}

@@ -1,0 +1,95 @@
+//! **E7 — Figure 5**: ghost objects (TN → FP).
+//!
+//! The paper's Figure 5 shows a "non-existing person object" appearing on
+//! the completely unmodified left side while only the right half is
+//! perturbed. This harness scans attack outcomes for TN→FP transitions
+//! whose ghost sits on the untouched left half and saves the first case.
+//!
+//! Run: `cargo run --release -p bea-bench --bin fig5_ghost [--full]`
+
+use bea_bench::figures::save_case_study;
+use bea_bench::{fmt, Harness};
+use bea_core::attack::ButterflyAttack;
+use bea_core::report::print_table;
+use bea_core::{ErrorTransition, TransitionReport};
+use bea_detect::Architecture;
+
+fn main() {
+    let harness = Harness::from_args();
+    let attack = ButterflyAttack::new(harness.attack_config());
+
+    let mut rows = Vec::new();
+    let mut case = None;
+    'outer: for arch in [Architecture::Detr, Architecture::Yolo] {
+        for &seed in &harness.model_seeds() {
+            let model = harness.model(arch, seed);
+            for &image_index in &harness.image_indices() {
+                let scene = harness.dataset().scene(image_index);
+                let img = scene.render();
+                let half = img.width() as f32 / 2.0;
+                let clean = model.detect(&img);
+                let outcome = attack.attack(model.as_ref(), &img);
+                // Scan the whole front: ghosts often appear on
+                // non-champion members.
+                for member in outcome.result().pareto_front() {
+                    let perturbed_img = member.genome().apply(&img);
+                    let perturbed = model.detect(&perturbed_img);
+                    let report = TransitionReport::analyze(
+                        &scene.ground_truths(),
+                        &clean,
+                        &perturbed,
+                    );
+                    let left_ghosts: Vec<_> = report
+                        .transitions
+                        .iter()
+                        .filter_map(|t| match t {
+                            ErrorTransition::TnToFp { ghost, class }
+                                if ghost.cx < half =>
+                            {
+                                Some((*ghost, *class))
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    if !left_ghosts.is_empty() {
+                        let (ghost, class) = left_ghosts[0];
+                        rows.push(vec![
+                            model.name().to_string(),
+                            image_index.to_string(),
+                            class.to_string(),
+                            format!("({:.0},{:.0})", ghost.cx, ghost.cy),
+                            fmt(member.objectives()[0], 1),
+                            fmt(member.objectives()[1], 3),
+                        ]);
+                        if case.is_none() {
+                            case = Some(save_case_study(
+                                "fig5",
+                                &img,
+                                &clean,
+                                &perturbed_img,
+                                &perturbed,
+                            ));
+                        }
+                        if rows.len() >= 5 {
+                            break 'outer;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    println!("\nFigure 5 — ghost objects on the unmodified left half");
+    if rows.is_empty() {
+        println!("no left-half ghosts found at this scale — rerun with --full");
+        return;
+    }
+    print_table(
+        &["model", "image", "ghost class", "ghost centre", "intensity", "obj_degrad"],
+        &rows,
+    );
+    if let Some((a, b)) = case {
+        println!("\nsaved {} and {}", a.display(), b.display());
+    }
+}

@@ -1,0 +1,68 @@
+//! **E1 — Table I**: experiment parametrisation.
+//!
+//! Prints the realised parametrisation (models per architecture, images
+//! per model, ensemble size) and verifies the paper's standing assumption
+//! that the clean prediction `f(img)` is correct by evaluating every
+//! exercised model on the synthetic evaluation set.
+//!
+//! Run: `cargo run --release -p bea-bench --bin table1_setup [--full]`
+
+use bea_bench::{fmt, Harness};
+use bea_core::report::print_table;
+use bea_detect::metrics::evaluate;
+use bea_detect::Architecture;
+
+fn main() {
+    let harness = Harness::from_args();
+    let scale = harness.scale();
+
+    println!("\nTable I — experiment parametrisation");
+    print_table(
+        &["Configuration", "Paper", "This run"],
+        &[
+            vec![
+                "# models generated".into(),
+                "25 YOLOv5 and 25 DETR".into(),
+                format!("{} YOLO and {} DETR", scale.model_count(), scale.model_count()),
+            ],
+            vec![
+                "# images tested on each model".into(),
+                "16".into(),
+                scale.image_count().to_string(),
+            ],
+            vec![
+                "# models used in ensemble".into(),
+                "16".into(),
+                scale.ensemble_size().to_string(),
+            ],
+        ],
+    );
+
+    println!("\nClean-prediction verification (IoU 0.5 matching against ground truth):");
+    let mut rows = Vec::new();
+    for arch in Architecture::ALL {
+        let mut f1_sum = 0.0;
+        let mut f1_min = f64::MAX;
+        for &seed in &harness.model_seeds() {
+            let model = harness.model(arch, seed);
+            let score = evaluate(model.as_ref(), harness.dataset().scenes(), 0.5);
+            f1_sum += score.f1();
+            f1_min = f1_min.min(score.f1());
+            rows.push(vec![
+                model.name().to_string(),
+                fmt(score.precision(), 3),
+                fmt(score.recall(), 3),
+                fmt(score.f1(), 3),
+                fmt(score.mean_iou(), 3),
+            ]);
+        }
+        rows.push(vec![
+            format!("{arch} (mean over {} seeds)", harness.model_seeds().len()),
+            String::new(),
+            String::new(),
+            fmt(f1_sum / harness.model_seeds().len() as f64, 3),
+            format!("min F1 {}", fmt(f1_min, 3)),
+        ]);
+    }
+    print_table(&["model", "precision", "recall", "F1", "mean IoU"], &rows);
+}

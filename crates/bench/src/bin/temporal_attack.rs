@@ -1,0 +1,78 @@
+//! **E9 — Section IV-B**: one mask effective across an image sequence.
+//!
+//! "For attacking temporally stable predictions, the single mask
+//! implementing δ simply needs to be effective not on multiple predictors
+//! but rather on a sequence of images." This harness builds a moving-object
+//! clip, attacks the whole sequence with one mask, and verifies per-frame
+//! effectiveness against masks optimised for a single frame only.
+//!
+//! Run: `cargo run --release -p bea-bench --bin temporal_attack [--full]`
+
+use bea_bench::{fmt, Harness};
+use bea_core::attack::ButterflyAttack;
+use bea_core::objectives::obj_degrad;
+use bea_core::report::print_table;
+use bea_detect::Architecture;
+use bea_image::Image;
+use bea_scene::FrameSequence;
+
+fn main() {
+    let harness = Harness::from_args();
+    let attack = ButterflyAttack::new(harness.attack_config());
+    let frame_count = 5;
+    let sequence =
+        FrameSequence::generate(harness.dataset().generator(), 0, frame_count);
+    let frames: Vec<Image> = sequence.frames().collect();
+    let model = harness.model(Architecture::Detr, 1);
+
+    // One mask for the whole clip...
+    let temporal_outcome = attack.attack_sequence(model.as_ref(), &frames);
+    let temporal_best = temporal_outcome.best_degradation().expect("front never empty");
+    // ...versus a mask optimised on frame 0 only.
+    let single_outcome = attack.attack(model.as_ref(), &frames[0]);
+    let single_best = single_outcome.best_degradation().expect("front never empty");
+
+    let mut rows = Vec::new();
+    let mut temporal_sum = 0.0;
+    let mut single_sum = 0.0;
+    for (t, frame) in frames.iter().enumerate() {
+        let clean = model.detect(frame);
+        let d_temporal = obj_degrad(
+            &clean,
+            &model.detect(&temporal_best.genome().apply(frame)),
+        );
+        let d_single =
+            obj_degrad(&clean, &model.detect(&single_best.genome().apply(frame)));
+        temporal_sum += d_temporal;
+        single_sum += d_single;
+        rows.push(vec![
+            t.to_string(),
+            clean.len().to_string(),
+            fmt(d_temporal, 3),
+            fmt(d_single, 3),
+        ]);
+    }
+    rows.push(vec![
+        "mean".into(),
+        String::new(),
+        fmt(temporal_sum / frame_count as f64, 3),
+        fmt(single_sum / frame_count as f64, 3),
+    ]);
+
+    println!(
+        "\nTemporal attack — {} over a {}-frame clip (sequence-optimised vs \
+         frame-0-optimised mask)",
+        model.name(),
+        frame_count
+    );
+    print_table(
+        &["frame", "clean detections", "obj_degrad (temporal mask)", "obj_degrad (frame-0 mask)"],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: the temporal mask degrades every frame roughly uniformly; \
+         the frame-0 mask is only tuned to the first frame. At quick budgets the two \
+         are close (the attack mostly exploits the global attention channel, which is \
+         insensitive to small object motion) — rerun with --full to see the gap grow."
+    );
+}

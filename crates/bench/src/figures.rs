@@ -1,0 +1,73 @@
+//! Qualitative-figure rendering: before/after images with box overlays.
+
+use bea_detect::Prediction;
+use bea_image::{draw, io, Image, Region};
+use std::path::PathBuf;
+
+/// Draws a prediction's boxes (class-coloured outlines) onto a copy of the
+/// image.
+pub fn overlay_prediction(img: &Image, prediction: &Prediction) -> Image {
+    let mut out = img.clone();
+    for det in prediction {
+        let b = det.bbox;
+        let region = Region::new(
+            b.x0().max(0.0) as usize,
+            b.y0().max(0.0) as usize,
+            b.x1().max(0.0).ceil() as usize,
+            b.y1().max(0.0).ceil() as usize,
+        );
+        draw::rect_outline(&mut out, region, det.class.overlay_color());
+    }
+    out
+}
+
+/// Saves a clean/perturbed case-study pair (with prediction overlays) as
+/// `<stem>_clean.ppm` / `<stem>_perturbed.ppm` in the experiments
+/// directory, returning the two paths.
+///
+/// # Panics
+///
+/// Panics on I/O failure (experiment binaries want loud failures).
+pub fn save_case_study(
+    stem: &str,
+    clean_img: &Image,
+    clean_pred: &Prediction,
+    perturbed_img: &Image,
+    perturbed_pred: &Prediction,
+) -> (PathBuf, PathBuf) {
+    let dir = crate::output_dir();
+    let clean_path = dir.join(format!("{stem}_clean.ppm"));
+    let pert_path = dir.join(format!("{stem}_perturbed.ppm"));
+    io::save_ppm(&overlay_prediction(clean_img, clean_pred), &clean_path)
+        .expect("write clean figure");
+    io::save_ppm(&overlay_prediction(perturbed_img, perturbed_pred), &pert_path)
+        .expect("write perturbed figure");
+    (clean_path, pert_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bea_detect::Detection;
+    use bea_scene::{BBox, ObjectClass};
+
+    #[test]
+    fn overlay_paints_box_outline() {
+        let img = Image::black(32, 16);
+        let pred = Prediction::from_detections(vec![Detection::new(
+            ObjectClass::Car,
+            BBox::new(16.0, 8.0, 10.0, 6.0),
+            0.9,
+        )]);
+        let out = overlay_prediction(&img, &pred);
+        assert_ne!(out, img);
+        // Top-left corner of the box is painted in the class colour.
+        assert_eq!(out.pixel(11, 5), ObjectClass::Car.overlay_color());
+    }
+
+    #[test]
+    fn empty_prediction_is_noop() {
+        let img = Image::filled(8, 8, [40.0; 3]);
+        assert_eq!(overlay_prediction(&img, &Prediction::new()), img);
+    }
+}

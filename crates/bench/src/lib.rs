@@ -1,0 +1,238 @@
+//! Experiment harness shared by the per-table / per-figure binaries.
+//!
+//! Every binary regenerating one of the paper's tables or figures (see
+//! DESIGN.md's per-experiment index) uses this crate for:
+//!
+//! * [`Scale`] — `Quick` (default; single-core friendly) vs `Full`
+//!   (the paper's Table I/II parametrisation), selected by `--full`,
+//! * [`Harness`] — lazily built model zoo, evaluation dataset and attack
+//!   configurations matched to the scale,
+//! * [`output_dir`] — where binaries drop CSVs and PPM figures
+//!   (`target/experiments/`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+
+use bea_core::attack::AttackConfig;
+use bea_detect::{Architecture, Detector, ModelZoo};
+use bea_nsga2::Nsga2Config;
+use bea_scene::SyntheticKitti;
+use std::path::PathBuf;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Scaled-down defaults that finish in seconds-to-minutes on one core.
+    Quick,
+    /// A middle ground (tens of minutes on one core) with enough runs for
+    /// stable aggregate statistics.
+    Medium,
+    /// The paper's Table I/II parametrisation (hours of CPU time).
+    Full,
+}
+
+impl Scale {
+    /// Parses the scale from process arguments (`--full` selects
+    /// [`Scale::Full`], `--medium` selects [`Scale::Medium`]).
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Full
+        } else if std::env::args().any(|a| a == "--medium") {
+            Scale::Medium
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Number of models per architecture to attack.
+    pub fn model_count(self) -> usize {
+        match self {
+            Scale::Quick => 2,
+            Scale::Medium => 4,
+            Scale::Full => bea_detect::zoo::MODELS_PER_ARCHITECTURE,
+        }
+    }
+
+    /// Number of dataset images to attack per model.
+    pub fn image_count(self) -> usize {
+        match self {
+            Scale::Quick => 2,
+            Scale::Medium => 4,
+            Scale::Full => bea_scene::dataset::DEFAULT_IMAGE_COUNT,
+        }
+    }
+
+    /// Ensemble size (Table I: 16).
+    pub fn ensemble_size(self) -> usize {
+        match self {
+            Scale::Quick => 4,
+            Scale::Medium => 8,
+            Scale::Full => bea_detect::zoo::ENSEMBLE_SIZE,
+        }
+    }
+
+    /// The NSGA-II parameters for this scale (Table II at full scale).
+    pub fn nsga2(self) -> Nsga2Config {
+        match self {
+            Scale::Quick => Nsga2Config {
+                population_size: 24,
+                generations: 20,
+                ..Nsga2Config::default()
+            },
+            Scale::Medium => Nsga2Config {
+                population_size: 40,
+                generations: 40,
+                ..Nsga2Config::default()
+            },
+            Scale::Full => Nsga2Config::default(),
+        }
+    }
+
+    /// The attack configuration for this scale (right-half restriction as
+    /// in the paper's evaluation).
+    pub fn attack_config(self) -> AttackConfig {
+        AttackConfig { nsga2: self.nsga2(), ..AttackConfig::default() }
+    }
+
+    /// Human-readable banner describing the scale.
+    pub fn banner(self) -> String {
+        let name = match self {
+            Scale::Quick => "QUICK",
+            Scale::Medium => "MEDIUM",
+            Scale::Full => "FULL",
+        };
+        let hint = match self {
+            Scale::Quick => " — pass --medium or --full for larger runs",
+            Scale::Medium => " — pass --full for the paper's Table I/II parametrisation",
+            Scale::Full => "",
+        };
+        format!(
+            "scale: {name} ({} models/arch, {} images, pop {}, {} generations){hint}",
+            self.model_count(),
+            self.image_count(),
+            self.nsga2().population_size,
+            self.nsga2().generations
+        )
+    }
+}
+
+/// Lazily built experiment fixtures at one scale.
+pub struct Harness {
+    scale: Scale,
+    zoo: ModelZoo,
+    dataset: SyntheticKitti,
+}
+
+impl Harness {
+    /// Builds the harness for a scale.
+    pub fn new(scale: Scale) -> Self {
+        Self { scale, zoo: ModelZoo::with_defaults(), dataset: SyntheticKitti::evaluation_set() }
+    }
+
+    /// Builds the harness from process arguments and prints the banner.
+    pub fn from_args() -> Self {
+        let scale = Scale::from_args();
+        eprintln!("{}", scale.banner());
+        Self::new(scale)
+    }
+
+    /// The scale.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The model zoo.
+    pub fn zoo(&self) -> &ModelZoo {
+        &self.zoo
+    }
+
+    /// The 16-image evaluation dataset.
+    pub fn dataset(&self) -> &SyntheticKitti {
+        &self.dataset
+    }
+
+    /// The model seeds exercised at this scale (the paper uses 1..=25).
+    pub fn model_seeds(&self) -> Vec<u64> {
+        (1..=self.scale.model_count() as u64).collect()
+    }
+
+    /// The image indices exercised at this scale.
+    pub fn image_indices(&self) -> Vec<usize> {
+        (0..self.scale.image_count()).collect()
+    }
+
+    /// Builds one model.
+    pub fn model(&self, arch: Architecture, seed: u64) -> Box<dyn Detector> {
+        self.zoo.model(arch, seed)
+    }
+
+    /// The attack configuration at this scale.
+    pub fn attack_config(&self) -> AttackConfig {
+        self.scale.attack_config()
+    }
+}
+
+/// The directory experiment binaries write artefacts into
+/// (`target/experiments`), created on demand.
+pub fn output_dir() -> PathBuf {
+    let dir = PathBuf::from("target").join("experiments");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Formats a float column for the text tables.
+pub fn fmt(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_is_small() {
+        let s = Scale::Quick;
+        assert!(s.model_count() < 5);
+        assert!(s.nsga2().generations < Nsga2Config::default().generations);
+    }
+
+    #[test]
+    fn full_scale_matches_tables() {
+        let s = Scale::Full;
+        assert_eq!(s.model_count(), 25);
+        assert_eq!(s.image_count(), 16);
+        assert_eq!(s.ensemble_size(), 16);
+        let n = s.nsga2();
+        assert_eq!(n.population_size, 101);
+        assert_eq!(n.generations, 100);
+        assert_eq!(n.crossover_prob, 0.5);
+        assert_eq!(n.mutation_prob, 0.45);
+    }
+
+    #[test]
+    fn harness_builds_fixtures() {
+        let h = Harness::new(Scale::Quick);
+        assert_eq!(h.model_seeds().len(), 2);
+        assert_eq!(h.image_indices(), vec![0, 1]);
+        assert_eq!(h.dataset().len(), 16);
+        assert_eq!(h.model(Architecture::Yolo, 1).name(), "yolo-s1");
+    }
+
+    #[test]
+    fn banner_mentions_scale() {
+        assert!(Scale::Quick.banner().contains("QUICK"));
+        assert!(Scale::Medium.banner().contains("MEDIUM"));
+        assert!(Scale::Full.banner().contains("FULL"));
+    }
+
+    #[test]
+    fn medium_scale_sits_between() {
+        assert!(Scale::Quick.model_count() < Scale::Medium.model_count());
+        assert!(Scale::Medium.model_count() < Scale::Full.model_count());
+        assert!(
+            Scale::Medium.nsga2().population_size < Scale::Full.nsga2().population_size
+        );
+    }
+}

@@ -1,0 +1,356 @@
+//! The attack driver: NSGA-II over filter masks.
+
+use crate::init::MaskInitializer;
+use crate::objectives::intensity::obj_intensity_normalized;
+use crate::operators::{MaskCrossover, MaskMutation, MutationKind};
+use crate::problem::ButterflyProblem;
+use bea_detect::Detector;
+use bea_image::{FilterMask, Image, RegionConstraint};
+use bea_nsga2::{Direction, GenerationStats, Individual, Nsga2, Nsga2Config, Nsga2Result};
+use bea_tensor::norm::NormKind;
+
+/// Full configuration of a butterfly effect attack.
+///
+/// Defaults reproduce the paper's Tables I/II evaluation setting: NSGA-II
+/// with 100 iterations, population 101, `p_c = 0.5`, `p_m = 0.45`, mutation
+/// window 1 %, and perturbation restricted to the right half of the image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackConfig {
+    /// The genetic-algorithm parameters (Table II).
+    pub nsga2: Nsga2Config,
+    /// Buffer `ε` around boxes in Algorithm 2.
+    pub epsilon: f32,
+    /// Norm of the intensity objective (the paper uses L2).
+    pub norm: NormKind,
+    /// Where the perturbation may live (the paper's evaluation forces the
+    /// right half).
+    pub constraint: RegionConstraint,
+    /// Mutation window `w` as a fraction of the allowed pixels (Table II:
+    /// 1 %).
+    pub window_fraction: f32,
+    /// Standard deviation of the Gaussian population initialisation.
+    pub gaussian_std: f32,
+    /// Enabled mutation operators (all four by default; subsets drive the
+    /// mutation ablation).
+    pub mutation_kinds: Vec<MutationKind>,
+    /// Adds the grey-box feature objective as a fourth dimension.
+    pub feature_objective: bool,
+    /// Ablation A1: keep Algorithm 2's division by the perturbed-pixel
+    /// count (`true` is the paper's design).
+    pub distance_count_division: bool,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        Self {
+            nsga2: Nsga2Config::default(),
+            epsilon: 2.0,
+            norm: NormKind::L2,
+            constraint: RegionConstraint::RightHalf,
+            window_fraction: 0.01,
+            gaussian_std: 12.0,
+            mutation_kinds: MutationKind::ALL.to_vec(),
+            feature_objective: false,
+            distance_count_division: true,
+        }
+    }
+}
+
+impl AttackConfig {
+    /// A scaled-down configuration for fast runs and tests: a small
+    /// population and few generations while keeping the paper's
+    /// probabilities.
+    pub fn scaled(population: usize, generations: usize) -> Self {
+        Self {
+            nsga2: Nsga2Config {
+                population_size: population,
+                generations,
+                ..Nsga2Config::default()
+            },
+            ..Self::default()
+        }
+    }
+}
+
+/// The butterfly effect attack (paper Sections III–IV).
+///
+/// # Examples
+///
+/// ```no_run
+/// use bea_core::attack::{AttackConfig, ButterflyAttack};
+/// use bea_detect::{Architecture, ModelZoo};
+/// use bea_scene::SyntheticKitti;
+///
+/// let zoo = ModelZoo::with_defaults();
+/// let detr = zoo.model(Architecture::Detr, 1);
+/// let outcome = ButterflyAttack::new(AttackConfig::scaled(24, 10))
+///     .attack(detr.as_ref(), &SyntheticKitti::evaluation_set().image(10));
+/// println!("front size: {}", outcome.pareto_points().len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ButterflyAttack {
+    config: AttackConfig,
+}
+
+impl ButterflyAttack {
+    /// Wraps an attack configuration.
+    pub fn new(config: AttackConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AttackConfig {
+        &self.config
+    }
+
+    /// Attacks one detector on one image (the standard setting).
+    pub fn attack(&self, detector: &dyn Detector, img: &Image) -> AttackOutcome {
+        let problem = self.make_problem(vec![detector], vec![img.clone()]);
+        self.run(problem)
+    }
+
+    /// Attacks an ensemble of detectors with one shared mask
+    /// (Section IV-B, Eqs. 1–3).
+    pub fn attack_ensemble(&self, detectors: &[&dyn Detector], img: &Image) -> AttackOutcome {
+        let problem = self.make_problem(detectors.to_vec(), vec![img.clone()]);
+        self.run(problem)
+    }
+
+    /// Attacks one detector across an image sequence with one mask
+    /// (Section IV-B, temporal extension).
+    pub fn attack_sequence(&self, detector: &dyn Detector, frames: &[Image]) -> AttackOutcome {
+        let problem = self.make_problem(vec![detector], frames.to_vec());
+        self.run(problem)
+    }
+
+    /// Runs the attack on an explicit problem (fully general setting).
+    pub fn attack_problem(&self, problem: ButterflyProblem<'_>) -> AttackOutcome {
+        self.run(problem)
+    }
+
+    fn make_problem<'a>(
+        &self,
+        detectors: Vec<&'a dyn Detector>,
+        frames: Vec<Image>,
+    ) -> ButterflyProblem<'a> {
+        let mut problem = ButterflyProblem::build(
+            detectors,
+            frames,
+            self.config.epsilon,
+            self.config.constraint,
+        )
+        .with_norm(self.config.norm);
+        if self.config.feature_objective {
+            problem = problem.with_feature_objective();
+        }
+        if !self.config.distance_count_division {
+            problem = problem.without_distance_count_division();
+        }
+        problem
+    }
+
+    fn run(&self, problem: ButterflyProblem<'_>) -> AttackOutcome {
+        let init = MaskInitializer::new(
+            problem.width(),
+            problem.height(),
+            self.config.constraint,
+        )
+        .with_gaussian_std(self.config.gaussian_std);
+        let crossover = MaskCrossover;
+        let mutation = MaskMutation::with_kinds(
+            self.config.mutation_kinds.clone(),
+            self.config.window_fraction,
+            self.config.constraint,
+        );
+        let driver = Nsga2::new(problem, self.config.nsga2);
+        let result = driver.run(&init, &crossover, &mutation);
+        AttackOutcome { result }
+    }
+}
+
+/// The result of one attack run.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    result: Nsga2Result<FilterMask>,
+}
+
+impl AttackOutcome {
+    /// The underlying NSGA-II result (population, history, directions).
+    pub fn result(&self) -> &Nsga2Result<FilterMask> {
+        &self.result
+    }
+
+    /// Objective vectors of the final Pareto front, each
+    /// `[obj_intensity, obj_degrad, obj_dist, (feature)]`.
+    pub fn pareto_points(&self) -> Vec<Vec<f64>> {
+        self.result.pareto_front().iter().map(|i| i.objectives().to_vec()).collect()
+    }
+
+    /// Pareto points with the intensity axis normalised into `[0, 1]`
+    /// (comparable across image sizes, the scale of Figure 2).
+    pub fn pareto_points_normalized(&self) -> Vec<Vec<f64>> {
+        self.result
+            .pareto_front()
+            .iter()
+            .map(|i| {
+                let mut objs = i.objectives().to_vec();
+                objs[0] = obj_intensity_normalized(i.genome());
+                objs
+            })
+            .collect()
+    }
+
+    /// The front member with minimum intensity (the paper's Figure 2 shows
+    /// the per-objective champions of the front).
+    pub fn best_intensity(&self) -> Option<&Individual<FilterMask>> {
+        self.result.best_for_objective(0)
+    }
+
+    /// The front member with the strongest degradation (lowest
+    /// `obj_degrad`).
+    pub fn best_degradation(&self) -> Option<&Individual<FilterMask>> {
+        self.result.best_for_objective(1)
+    }
+
+    /// The front member with the most "unrelated" perturbation (highest
+    /// `obj_dist`).
+    pub fn best_distance(&self) -> Option<&Individual<FilterMask>> {
+        self.result.best_for_objective(2)
+    }
+
+    /// Per-generation statistics.
+    pub fn history(&self) -> &[GenerationStats] {
+        self.result.history()
+    }
+
+    /// Objective directions of the run.
+    pub fn directions(&self) -> &[Direction] {
+        self.result.directions()
+    }
+
+    /// Number of detector-forward evaluations spent.
+    pub fn evaluations(&self) -> usize {
+        self.result.evaluations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bea_detect::{Detection, Prediction};
+    use bea_scene::{BBox, ObjectClass};
+
+    /// Cheap deterministic detector for driver-level tests: detects a
+    /// "car" whose size depends on the mean of the right half.
+    struct Toy;
+
+    impl Detector for Toy {
+        fn detect(&self, img: &Image) -> Prediction {
+            let mut acc = 0.0;
+            let mut n = 0usize;
+            for y in 0..img.height() {
+                for x in (img.width() / 2)..img.width() {
+                    acc += img.pixel(x, y)[0] + img.pixel(x, y)[1];
+                    n += 1;
+                }
+            }
+            let m = acc / n.max(1) as f32;
+            let size = if m > 30.0 { 4.0 } else { 8.0 };
+            Prediction::from_detections(vec![Detection::new(
+                ObjectClass::Car,
+                BBox::new(8.0, 8.0, size, size),
+                0.9,
+            )])
+        }
+
+        fn name(&self) -> &str {
+            "toy"
+        }
+    }
+
+    fn fast_config() -> AttackConfig {
+        AttackConfig::scaled(16, 8)
+    }
+
+    #[test]
+    fn attack_finds_degrading_masks_on_toy_detector() {
+        let img = Image::black(32, 16);
+        let outcome = ButterflyAttack::new(fast_config()).attack(&Toy, &img);
+        let best = outcome.best_degradation().expect("front is never empty");
+        assert!(
+            best.objectives()[1] < 1.0,
+            "the GA should find a mask that shrinks the toy box, got {:?}",
+            best.objectives()
+        );
+    }
+
+    #[test]
+    fn outcome_is_deterministic_per_seed() {
+        let img = Image::black(24, 12);
+        let a = ButterflyAttack::new(fast_config()).attack(&Toy, &img);
+        let b = ButterflyAttack::new(fast_config()).attack(&Toy, &img);
+        assert_eq!(a.pareto_points(), b.pareto_points());
+    }
+
+    #[test]
+    fn masks_respect_the_region_constraint() {
+        let img = Image::black(24, 12);
+        let outcome = ButterflyAttack::new(fast_config()).attack(&Toy, &img);
+        for individual in outcome.result().population() {
+            assert!(RegionConstraint::RightHalf.is_satisfied(individual.genome()));
+        }
+    }
+
+    #[test]
+    fn zero_mask_sits_in_initial_population() {
+        let img = Image::black(24, 12);
+        let outcome = ButterflyAttack::new(fast_config()).attack(&Toy, &img);
+        // Generation 0's best intensity is exactly 0 (the seeded zero mask).
+        assert_eq!(outcome.history()[0].best[0], 0.0);
+    }
+
+    #[test]
+    fn per_objective_champions_come_from_the_front() {
+        let img = Image::black(24, 12);
+        let outcome = ButterflyAttack::new(fast_config()).attack(&Toy, &img);
+        for champion in [
+            outcome.best_intensity(),
+            outcome.best_degradation(),
+            outcome.best_distance(),
+        ] {
+            assert_eq!(champion.expect("present").rank(), 0);
+        }
+    }
+
+    #[test]
+    fn normalized_points_bound_intensity() {
+        let img = Image::black(24, 12);
+        let outcome = ButterflyAttack::new(fast_config()).attack(&Toy, &img);
+        for p in outcome.pareto_points_normalized() {
+            assert!((0.0..=1.0).contains(&p[0]), "normalised intensity out of range: {p:?}");
+        }
+    }
+
+    #[test]
+    fn ensemble_and_sequence_settings_run() {
+        let img = Image::black(24, 12);
+        let detectors: Vec<&dyn Detector> = vec![&Toy, &Toy];
+        let outcome =
+            ButterflyAttack::new(fast_config()).attack_ensemble(&detectors, &img);
+        assert!(!outcome.pareto_points().is_empty());
+        let frames = vec![Image::black(24, 12), Image::filled(24, 12, [10.0; 3])];
+        let outcome = ButterflyAttack::new(fast_config()).attack_sequence(&Toy, &frames);
+        assert!(!outcome.pareto_points().is_empty());
+    }
+
+    #[test]
+    fn table2_defaults() {
+        let config = AttackConfig::default();
+        assert_eq!(config.nsga2.population_size, 101);
+        assert_eq!(config.nsga2.generations, 100);
+        assert_eq!(config.nsga2.crossover_prob, 0.5);
+        assert_eq!(config.nsga2.mutation_prob, 0.45);
+        assert!((config.window_fraction - 0.01).abs() < 1e-9);
+        assert_eq!(config.constraint, RegionConstraint::RightHalf);
+    }
+}

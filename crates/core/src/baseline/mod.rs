@@ -1,0 +1,15 @@
+//! Baselines the evaluation compares against.
+//!
+//! * [`genattack`] — a GenAttack-style *single-objective* GA (Alzantot et
+//!   al., GECCO 2019), the closest related work the paper discusses in
+//!   Section II: it only minimises prediction overlap and controls
+//!   perturbation size with an adaptive hyper-parameter instead of a
+//!   second objective.
+//! * [`random_noise`] — random masks at a fixed L2 budget; the sanity
+//!   floor every search method must beat.
+
+pub mod genattack;
+pub mod random_noise;
+
+pub use genattack::{GenAttack, GenAttackConfig, GenAttackResult};
+pub use random_noise::{random_noise_baseline, RandomNoiseResult};

@@ -1,0 +1,155 @@
+//! The random-noise baseline.
+//!
+//! Related-work anchor: the paper contrasts optimisation-based attacks
+//! with "adding random noises such as Gaussian or salt-and-pepper noises".
+//! This baseline samples random masks at a fixed L2 budget and keeps the
+//! best; any search method must beat it at equal evaluation budget.
+
+use crate::objectives::degradation::obj_degrad;
+use crate::objectives::intensity::obj_intensity;
+use bea_detect::Detector;
+use bea_image::{FilterMask, Image, NoiseKind, RegionConstraint};
+use bea_tensor::norm::NormKind;
+use bea_tensor::WeightInit;
+
+/// Result of the random-noise baseline.
+#[derive(Debug, Clone)]
+pub struct RandomNoiseResult {
+    /// The best mask found.
+    pub best_mask: FilterMask,
+    /// Its `obj_degrad` (lower = stronger).
+    pub best_degrad: f64,
+    /// Its L2 intensity.
+    pub best_intensity: f64,
+    /// Number of detector evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Samples `trials` random Gaussian masks rescaled to (at most) the given
+/// L2 `budget`, evaluates each against the detector, and returns the
+/// strongest.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero.
+pub fn random_noise_baseline<D: Detector + ?Sized>(
+    detector: &D,
+    img: &Image,
+    budget: f64,
+    trials: usize,
+    constraint: RegionConstraint,
+    seed: u64,
+) -> RandomNoiseResult {
+    assert!(trials > 0, "the baseline needs at least one trial");
+    let clean = detector.detect(img);
+    let mut rng = WeightInit::from_seed(seed);
+    let mut best: Option<RandomNoiseResult> = None;
+    let mut evaluations = 0usize;
+    for _ in 0..trials {
+        let mut mask =
+            NoiseKind::Gaussian { std_dev: 20.0 }.generate(img.width(), img.height(), &mut rng);
+        constraint.apply(&mut mask);
+        rescale_to_budget(&mut mask, budget);
+        evaluations += 1;
+        let degrad = obj_degrad(&clean, &detector.detect(&mask.apply(img)));
+        let intensity = obj_intensity(&mask, NormKind::L2);
+        let better = best.as_ref().is_none_or(|b| degrad < b.best_degrad);
+        if better {
+            best = Some(RandomNoiseResult {
+                best_mask: mask,
+                best_degrad: degrad,
+                best_intensity: intensity,
+                evaluations,
+            });
+        }
+    }
+    let mut result = best.expect("trials > 0 guarantees a result");
+    result.evaluations = evaluations;
+    result
+}
+
+/// Scales the mask's values so its L2 norm does not exceed `budget`.
+fn rescale_to_budget(mask: &mut FilterMask, budget: f64) {
+    let norm = mask.norm(NormKind::L2);
+    if norm <= budget || norm == 0.0 {
+        return;
+    }
+    let factor = budget / norm;
+    for v in mask.as_mut_slice() {
+        *v = ((*v as f64) * factor).round() as i16;
+    }
+    mask.clamp_inplace();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bea_detect::{Detection, Prediction};
+    use bea_scene::{BBox, ObjectClass};
+
+    struct Toy;
+
+    impl Detector for Toy {
+        fn detect(&self, img: &Image) -> Prediction {
+            let bright = img.pixel(img.width() - 1, 0)[0] > 60.0;
+            if bright {
+                Prediction::new()
+            } else {
+                Prediction::from_detections(vec![Detection::new(
+                    ObjectClass::Car,
+                    BBox::new(4.0, 4.0, 4.0, 4.0),
+                    0.9,
+                )])
+            }
+        }
+
+        fn name(&self) -> &str {
+            "toy"
+        }
+    }
+
+    #[test]
+    fn respects_budget() {
+        let img = Image::black(16, 8);
+        let result =
+            random_noise_baseline(&Toy, &img, 300.0, 10, RegionConstraint::Full, 1);
+        assert!(result.best_intensity <= 300.0 * 1.05, "got {}", result.best_intensity);
+        assert_eq!(result.evaluations, 10);
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let img = Image::black(16, 8);
+        let a = random_noise_baseline(&Toy, &img, 500.0, 5, RegionConstraint::Full, 3);
+        let b = random_noise_baseline(&Toy, &img, 500.0, 5, RegionConstraint::Full, 3);
+        assert_eq!(a.best_mask, b.best_mask);
+        assert_eq!(a.best_degrad, b.best_degrad);
+    }
+
+    #[test]
+    fn constraint_is_enforced() {
+        let img = Image::black(16, 8);
+        let result =
+            random_noise_baseline(&Toy, &img, 800.0, 6, RegionConstraint::RightHalf, 2);
+        assert!(RegionConstraint::RightHalf.is_satisfied(&result.best_mask));
+    }
+
+    #[test]
+    fn rescale_shrinks_only_when_needed() {
+        let mut big = FilterMask::from_values(2, 2, vec![200; 12]).unwrap();
+        rescale_to_budget(&mut big, 100.0);
+        assert!(big.norm(NormKind::L2) <= 101.0);
+        let mut small = FilterMask::zeros(2, 2);
+        small.set(0, 0, 0, 10);
+        let before = small.clone();
+        rescale_to_budget(&mut small, 100.0);
+        assert_eq!(small, before, "already within budget: untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let img = Image::black(8, 8);
+        let _ = random_noise_baseline(&Toy, &img, 100.0, 0, RegionConstraint::Full, 1);
+    }
+}

@@ -1,0 +1,381 @@
+//! The qualitative error-transition taxonomy (paper Section V-B).
+//!
+//! The butterfly effect attack degrades predictions in five observed ways:
+//!
+//! 1. the bounding box changes its size (or drifts),
+//! 2. TP → FN — a previously detected object disappears (Figure 1),
+//! 3. TN → FP — a ghost object appears (Figure 5),
+//! 4. FN → TP — a previously missed object becomes detected,
+//! 5. FP → TN — a previous ghost disappears.
+//!
+//! [`TransitionReport::analyze`] classifies the difference between the
+//! clean and the perturbed prediction relative to ground truth.
+
+use bea_detect::{Detection, Prediction};
+use bea_scene::{BBox, ObjectClass};
+use std::fmt;
+
+/// One observed prediction transition caused by the perturbation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorTransition {
+    /// A matched ground-truth object is no longer detected.
+    TpToFn {
+        /// The ground-truth box that lost its detection.
+        ground_truth: BBox,
+        /// Its class.
+        class: ObjectClass,
+    },
+    /// A ghost detection appeared where neither ground truth nor the clean
+    /// prediction had anything.
+    TnToFp {
+        /// The ghost detection's box.
+        ghost: BBox,
+        /// The ghost detection's class.
+        class: ObjectClass,
+    },
+    /// A previously missed ground-truth object became detected.
+    FnToTp {
+        /// The ground-truth box that gained a detection.
+        ground_truth: BBox,
+        /// Its class.
+        class: ObjectClass,
+    },
+    /// A clean-prediction ghost disappeared.
+    FpToTn {
+        /// The vanished ghost's box (from the clean prediction).
+        ghost: BBox,
+        /// The vanished ghost's class.
+        class: ObjectClass,
+    },
+    /// An object detected in both predictions changed its box
+    /// substantially (size and/or position).
+    BoxDeformed {
+        /// The class of the object.
+        class: ObjectClass,
+        /// IoU between the clean and the perturbed box.
+        overlap: f32,
+        /// Perturbed-to-clean area ratio (`< 1` = shrink, Figure 4).
+        area_ratio: f32,
+    },
+}
+
+impl fmt::Display for ErrorTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorTransition::TpToFn { class, .. } => write!(f, "TP->FN ({class})"),
+            ErrorTransition::TnToFp { class, .. } => write!(f, "TN->FP ({class})"),
+            ErrorTransition::FnToTp { class, .. } => write!(f, "FN->TP ({class})"),
+            ErrorTransition::FpToTn { class, .. } => write!(f, "FP->TN ({class})"),
+            ErrorTransition::BoxDeformed { class, overlap, area_ratio } => {
+                write!(f, "box deformed ({class}, IoU {overlap:.2}, area x{area_ratio:.2})")
+            }
+        }
+    }
+}
+
+/// Aggregated transition counts plus the individual events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TransitionReport {
+    /// All classified transitions.
+    pub transitions: Vec<ErrorTransition>,
+    /// Count of TP→FN events.
+    pub tp_to_fn: usize,
+    /// Count of TN→FP events.
+    pub tn_to_fp: usize,
+    /// Count of FN→TP events.
+    pub fn_to_tp: usize,
+    /// Count of FP→TN events.
+    pub fp_to_tn: usize,
+    /// Count of box deformations.
+    pub box_deformed: usize,
+}
+
+/// IoU above which a detection counts as matching a ground-truth object.
+const MATCH_IOU: f32 = 0.5;
+/// IoU below which two matched boxes of one object count as deformed.
+const DEFORM_IOU: f32 = 0.85;
+/// Relative area change above which a box counts as deformed.
+const DEFORM_AREA: f32 = 0.2;
+
+impl TransitionReport {
+    /// Classifies the transitions between the clean and the perturbed
+    /// prediction of one image, relative to ground truth.
+    pub fn analyze(
+        ground_truth: &[(ObjectClass, BBox)],
+        clean: &Prediction,
+        perturbed: &Prediction,
+    ) -> Self {
+        let clean_matches = match_to_ground_truth(ground_truth, clean);
+        let pert_matches = match_to_ground_truth(ground_truth, perturbed);
+        let mut report = TransitionReport::default();
+
+        // Ground-truth-centric transitions.
+        for (gi, &(class, bbox)) in ground_truth.iter().enumerate() {
+            match (clean_matches.by_gt[gi], pert_matches.by_gt[gi]) {
+                (Some(ci), Some(pi)) => {
+                    let before = clean.as_slice()[ci];
+                    let after = perturbed.as_slice()[pi];
+                    let overlap = before.bbox.iou(&after.bbox);
+                    let area_ratio = if before.bbox.area() > 0.0 {
+                        after.bbox.area() / before.bbox.area()
+                    } else {
+                        1.0
+                    };
+                    if overlap < DEFORM_IOU || (area_ratio - 1.0).abs() > DEFORM_AREA {
+                        report.push(ErrorTransition::BoxDeformed {
+                            class,
+                            overlap,
+                            area_ratio,
+                        });
+                    }
+                }
+                (Some(_), None) => report.push(ErrorTransition::TpToFn {
+                    ground_truth: bbox,
+                    class,
+                }),
+                (None, Some(_)) => report.push(ErrorTransition::FnToTp {
+                    ground_truth: bbox,
+                    class,
+                }),
+                (None, None) => {}
+            }
+        }
+
+        // Ghost-centric transitions: clean ghosts that vanished...
+        for (ci, det) in clean.iter().enumerate() {
+            if clean_matches.matched_detections.contains(&ci) {
+                continue; // not a ghost
+            }
+            let survives = perturbed
+                .of_class(det.class)
+                .any(|p| p.bbox.iou(&det.bbox) >= MATCH_IOU);
+            if !survives {
+                report.push(ErrorTransition::FpToTn { ghost: det.bbox, class: det.class });
+            }
+        }
+        // ...and perturbed ghosts that appeared.
+        for (pi, det) in perturbed.iter().enumerate() {
+            if pert_matches.matched_detections.contains(&pi) {
+                continue; // matches ground truth: not a ghost
+            }
+            let existed = clean
+                .of_class(det.class)
+                .any(|c| c.bbox.iou(&det.bbox) >= MATCH_IOU);
+            if !existed {
+                report.push(ErrorTransition::TnToFp { ghost: det.bbox, class: det.class });
+            }
+        }
+        report
+    }
+
+    fn push(&mut self, transition: ErrorTransition) {
+        match transition {
+            ErrorTransition::TpToFn { .. } => self.tp_to_fn += 1,
+            ErrorTransition::TnToFp { .. } => self.tn_to_fp += 1,
+            ErrorTransition::FnToTp { .. } => self.fn_to_tp += 1,
+            ErrorTransition::FpToTn { .. } => self.fp_to_tn += 1,
+            ErrorTransition::BoxDeformed { .. } => self.box_deformed += 1,
+        }
+        self.transitions.push(transition);
+    }
+
+    /// Total number of classified transitions.
+    pub fn total(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// `true` when the perturbation caused no classified change.
+    pub fn is_clean(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Accumulates another report's counts and events into this one.
+    pub fn merge(&mut self, other: &TransitionReport) {
+        self.tp_to_fn += other.tp_to_fn;
+        self.tn_to_fp += other.tn_to_fp;
+        self.fn_to_tp += other.fn_to_tp;
+        self.fp_to_tn += other.fp_to_tn;
+        self.box_deformed += other.box_deformed;
+        self.transitions.extend(other.transitions.iter().copied());
+    }
+}
+
+/// Greedy same-class IoU ≥ 0.5 matching of detections to ground truth.
+struct GtMatch {
+    /// `by_gt[g]` = index of the detection matched to ground-truth `g`.
+    by_gt: Vec<Option<usize>>,
+    /// Detection indices that matched some ground truth.
+    matched_detections: Vec<usize>,
+}
+
+fn match_to_ground_truth(
+    ground_truth: &[(ObjectClass, BBox)],
+    prediction: &Prediction,
+) -> GtMatch {
+    let dets: &[Detection] = prediction.as_slice();
+    let mut pairs: Vec<(usize, usize, f32)> = Vec::new();
+    for (di, det) in dets.iter().enumerate() {
+        for (gi, (class, bbox)) in ground_truth.iter().enumerate() {
+            if det.class == *class {
+                let iou = det.bbox.iou(bbox);
+                if iou >= MATCH_IOU {
+                    pairs.push((di, gi, iou));
+                }
+            }
+        }
+    }
+    pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    let mut by_gt = vec![None; ground_truth.len()];
+    let mut det_used = vec![false; dets.len()];
+    let mut matched_detections = Vec::new();
+    for (di, gi, _) in pairs {
+        if det_used[di] || by_gt[gi].is_some() {
+            continue;
+        }
+        det_used[di] = true;
+        by_gt[gi] = Some(di);
+        matched_detections.push(di);
+    }
+    GtMatch { by_gt, matched_detections }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bea_detect::Detection;
+
+    fn gt() -> Vec<(ObjectClass, BBox)> {
+        vec![
+            (ObjectClass::Car, BBox::new(20.0, 20.0, 10.0, 10.0)),
+            (ObjectClass::Pedestrian, BBox::new(60.0, 20.0, 8.0, 16.0)),
+        ]
+    }
+
+    fn det(class: ObjectClass, cx: f32, cy: f32, len: f32, wid: f32) -> Detection {
+        Detection::new(class, BBox::new(cx, cy, len, wid), 0.9)
+    }
+
+    fn full_clean() -> Prediction {
+        Prediction::from_detections(vec![
+            det(ObjectClass::Car, 20.0, 20.0, 10.0, 10.0),
+            det(ObjectClass::Pedestrian, 60.0, 20.0, 8.0, 16.0),
+        ])
+    }
+
+    #[test]
+    fn unchanged_prediction_is_clean() {
+        let report = TransitionReport::analyze(&gt(), &full_clean(), &full_clean());
+        assert!(report.is_clean(), "got {:?}", report.transitions);
+    }
+
+    #[test]
+    fn vanished_object_is_tp_to_fn() {
+        let perturbed = Prediction::from_detections(vec![det(
+            ObjectClass::Pedestrian,
+            60.0,
+            20.0,
+            8.0,
+            16.0,
+        )]);
+        let report = TransitionReport::analyze(&gt(), &full_clean(), &perturbed);
+        assert_eq!(report.tp_to_fn, 1);
+        assert_eq!(report.total(), 1);
+    }
+
+    #[test]
+    fn ghost_is_tn_to_fp() {
+        let mut perturbed = full_clean();
+        perturbed.push(det(ObjectClass::Pedestrian, 120.0, 20.0, 8.0, 16.0));
+        let report = TransitionReport::analyze(&gt(), &full_clean(), &perturbed);
+        assert_eq!(report.tn_to_fp, 1, "figure 5: non-existing person appears");
+        assert_eq!(report.total(), 1);
+    }
+
+    #[test]
+    fn recovered_object_is_fn_to_tp() {
+        // Clean prediction missed the pedestrian; perturbed finds it.
+        let clean = Prediction::from_detections(vec![det(
+            ObjectClass::Car,
+            20.0,
+            20.0,
+            10.0,
+            10.0,
+        )]);
+        let report = TransitionReport::analyze(&gt(), &clean, &full_clean());
+        assert_eq!(report.fn_to_tp, 1);
+    }
+
+    #[test]
+    fn vanished_ghost_is_fp_to_tn() {
+        let mut clean = full_clean();
+        clean.push(det(ObjectClass::Van, 120.0, 30.0, 12.0, 10.0));
+        let report = TransitionReport::analyze(&gt(), &clean, &full_clean());
+        assert_eq!(report.fp_to_tn, 1);
+    }
+
+    #[test]
+    fn shrunk_box_is_deformation() {
+        let perturbed = Prediction::from_detections(vec![
+            det(ObjectClass::Car, 20.0, 20.0, 8.0, 8.0), // shrunk (figure 4)
+            det(ObjectClass::Pedestrian, 60.0, 20.0, 8.0, 16.0),
+        ]);
+        let report = TransitionReport::analyze(&gt(), &full_clean(), &perturbed);
+        assert_eq!(report.box_deformed, 1);
+        match report.transitions[0] {
+            ErrorTransition::BoxDeformed { area_ratio, .. } => {
+                assert!(area_ratio < 1.0, "shrink means ratio < 1");
+            }
+            ref other => panic!("expected deformation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn small_jitter_is_not_deformation() {
+        let perturbed = Prediction::from_detections(vec![
+            det(ObjectClass::Car, 20.2, 20.0, 10.0, 10.0),
+            det(ObjectClass::Pedestrian, 60.0, 20.1, 8.0, 16.0),
+        ]);
+        let report = TransitionReport::analyze(&gt(), &full_clean(), &perturbed);
+        assert!(report.is_clean(), "sub-pixel drift should not count: {:?}", report.transitions);
+    }
+
+    #[test]
+    fn class_flip_counts_as_loss_and_ghost() {
+        // The car is now predicted as a van: the car became FN and a new
+        // (wrong-class) detection appeared that matches no ground truth.
+        let perturbed = Prediction::from_detections(vec![
+            det(ObjectClass::Van, 20.0, 20.0, 10.0, 10.0),
+            det(ObjectClass::Pedestrian, 60.0, 20.0, 8.0, 16.0),
+        ]);
+        let report = TransitionReport::analyze(&gt(), &full_clean(), &perturbed);
+        assert_eq!(report.tp_to_fn, 1);
+        assert_eq!(report.tn_to_fp, 1);
+    }
+
+    #[test]
+    fn merge_accumulates_counts() {
+        let mut a = TransitionReport::default();
+        a.push(ErrorTransition::TpToFn {
+            ground_truth: BBox::new(0.0, 0.0, 1.0, 1.0),
+            class: ObjectClass::Car,
+        });
+        let mut b = TransitionReport::default();
+        b.push(ErrorTransition::TnToFp {
+            ghost: BBox::new(0.0, 0.0, 1.0, 1.0),
+            class: ObjectClass::Van,
+        });
+        a.merge(&b);
+        assert_eq!(a.tp_to_fn, 1);
+        assert_eq!(a.tn_to_fp, 1);
+        assert_eq!(a.total(), 2);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let t = ErrorTransition::TpToFn {
+            ground_truth: BBox::new(0.0, 0.0, 1.0, 1.0),
+            class: ObjectClass::Cyclist,
+        };
+        assert_eq!(t.to_string(), "TP->FN (Cyclist)");
+    }
+}

@@ -1,0 +1,145 @@
+//! The performance-degradation objective — the paper's **Algorithm 1**.
+//!
+//! For every valid bounding box `B` of the clean prediction `f(img)`, the
+//! algorithm finds the same-class box of the perturbed prediction
+//! `f(img + δ)` with the largest IoU (`AO`), accumulates those maxima into
+//! `A`, and returns `A` divided by the number of valid clean boxes.
+//!
+//! * unchanged prediction → 1.0,
+//! * every object vanished or changed class → 0.0,
+//! * boxes moved / resized → strictly between 0 and 1.
+//!
+//! An effective perturbation *lowers* this objective (direction: minimise).
+
+use bea_detect::Prediction;
+
+/// Computes `obj_degrad` from the clean and the perturbed prediction
+/// (Algorithm 1). The detector itself is not needed here: callers evaluate
+/// `f(img)` once and `f(img + δ)` per candidate, which is what the attack
+/// driver does.
+///
+/// When the clean prediction has no valid boxes the loop of Algorithm 1 is
+/// empty and its quotient `A / 0` is undefined; this implementation returns
+/// `1.0` ("nothing could degrade"), see DESIGN.md.
+///
+/// # Examples
+///
+/// ```
+/// use bea_core::objectives::obj_degrad;
+/// use bea_detect::{Detection, Prediction};
+/// use bea_scene::{BBox, ObjectClass};
+///
+/// let clean = Prediction::from_detections(vec![Detection::new(
+///     ObjectClass::Car,
+///     BBox::new(10.0, 10.0, 8.0, 8.0),
+///     0.9,
+/// )]);
+/// assert_eq!(obj_degrad(&clean, &clean), 1.0); // unchanged
+/// assert_eq!(obj_degrad(&clean, &Prediction::new()), 0.0); // vanished
+/// ```
+pub fn obj_degrad(clean: &Prediction, perturbed: &Prediction) -> f64 {
+    let valid = clean.len();
+    if valid == 0 {
+        return 1.0;
+    }
+    let mut area_sum = 0.0f64;
+    for b in clean {
+        // AO: the largest same-class IoU in the perturbed prediction
+        // (Algorithm 1, lines 3–9).
+        area_sum += perturbed.best_iou(b.class, &b.bbox) as f64;
+    }
+    area_sum / valid as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bea_detect::Detection;
+    use bea_scene::{BBox, ObjectClass};
+
+    fn det(class: ObjectClass, cx: f32, cy: f32, len: f32, wid: f32) -> Detection {
+        Detection::new(class, BBox::new(cx, cy, len, wid), 0.9)
+    }
+
+    fn car(cx: f32) -> Detection {
+        det(ObjectClass::Car, cx, 10.0, 8.0, 8.0)
+    }
+
+    #[test]
+    fn identical_predictions_score_one() {
+        let pred = Prediction::from_detections(vec![car(10.0), car(40.0)]);
+        assert_eq!(obj_degrad(&pred, &pred), 1.0);
+    }
+
+    #[test]
+    fn empty_clean_prediction_scores_one() {
+        let perturbed = Prediction::from_detections(vec![car(10.0)]);
+        assert_eq!(obj_degrad(&Prediction::new(), &perturbed), 1.0);
+    }
+
+    #[test]
+    fn vanished_objects_score_zero() {
+        let clean = Prediction::from_detections(vec![car(10.0)]);
+        assert_eq!(obj_degrad(&clean, &Prediction::new()), 0.0);
+    }
+
+    #[test]
+    fn class_change_scores_zero() {
+        // "If the perturbed input leads to the bounding box changing its
+        // class to either ⊥ or to other class ... the computed objective
+        // equals 0."
+        let clean = Prediction::from_detections(vec![car(10.0)]);
+        let flipped = Prediction::from_detections(vec![det(
+            ObjectClass::Van,
+            10.0,
+            10.0,
+            8.0,
+            8.0,
+        )]);
+        assert_eq!(obj_degrad(&clean, &flipped), 0.0);
+    }
+
+    #[test]
+    fn box_shift_scores_between_zero_and_one() {
+        let clean = Prediction::from_detections(vec![car(10.0)]);
+        let shifted = Prediction::from_detections(vec![car(13.0)]);
+        let v = obj_degrad(&clean, &shifted);
+        assert!(v > 0.0 && v < 1.0, "got {v}");
+    }
+
+    #[test]
+    fn shrunk_box_scores_below_one() {
+        let clean = Prediction::from_detections(vec![car(10.0)]);
+        let shrunk =
+            Prediction::from_detections(vec![det(ObjectClass::Car, 10.0, 10.0, 4.0, 4.0)]);
+        let v = obj_degrad(&clean, &shrunk);
+        assert!((v - 0.25).abs() < 1e-6, "4x4 inside 8x8 has IoU 0.25, got {v}");
+    }
+
+    #[test]
+    fn partial_loss_averages_over_clean_boxes() {
+        let clean = Prediction::from_detections(vec![car(10.0), car(100.0)]);
+        let perturbed = Prediction::from_detections(vec![car(10.0)]); // one survives
+        assert_eq!(obj_degrad(&clean, &perturbed), 0.5);
+    }
+
+    #[test]
+    fn ghost_objects_do_not_raise_the_score() {
+        // Algorithm 1 only iterates over clean boxes, so extra perturbed
+        // detections (ghosts) cannot push the objective above 1. (Ghosts
+        // are still counted by the error taxonomy, Section V-B.)
+        let clean = Prediction::from_detections(vec![car(10.0)]);
+        let with_ghost = Prediction::from_detections(vec![car(10.0), car(100.0)]);
+        assert_eq!(obj_degrad(&clean, &with_ghost), 1.0);
+    }
+
+    #[test]
+    fn best_same_class_match_is_used() {
+        let clean = Prediction::from_detections(vec![car(10.0)]);
+        let perturbed = Prediction::from_detections(vec![car(14.0), car(10.5)]);
+        // The closer box (10.5) determines AO, not the farther one.
+        let v = obj_degrad(&clean, &perturbed);
+        let expected = BBox::new(10.5, 10.0, 8.0, 8.0).iou(&BBox::new(10.0, 10.0, 8.0, 8.0));
+        assert!((v - expected as f64).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,340 @@
+//! The "degree of unrelated perturbation" objective — the paper's
+//! **Algorithm 2**.
+//!
+//! A matrix `D` holds, per pixel, the distance to the nearest valid
+//! bounding-box centre (initialised to the image diagonal). Pixels inside
+//! any box inflated by the buffer `ε` are set to the *negative* average
+//! distance, penalising perturbation on or near objects. Each pixel's `D`
+//! value is then weighted by the largest absolute per-channel perturbation
+//! at that pixel (`δ_abs^max`), and the weighted sum is divided by the
+//! number of perturbed pixels — the division the paper calls "crucial"
+//! because it favours *few distant* perturbed pixels over *many nearby*
+//! ones.
+//!
+//! An effective perturbation *increases* this objective (direction:
+//! maximise).
+//!
+//! Two readings of the pseudocode are resolved here as documented in
+//! DESIGN.md: line 13 assigns the negative average (`neg.avg`, which is
+//! already negative) rather than its negation, and line 23's
+//! "unperturbed.pixel.count" counts pixels with `δ_abs^max ≠ 0`, i.e. the
+//! *perturbed* pixels, exactly as its summation condition says.
+
+use bea_detect::Prediction;
+use bea_image::FilterMask;
+use bea_scene::BBox;
+
+/// Precomputed distance matrix for one clean prediction.
+///
+/// Algorithm 2's lines 1–16 depend only on the image size, the clean
+/// prediction and `ε` — not on the mask — so the attack evaluates
+/// thousands of masks against one cached field.
+///
+/// # Examples
+///
+/// ```
+/// use bea_core::objectives::DistanceField;
+/// use bea_detect::{Detection, Prediction};
+/// use bea_image::FilterMask;
+/// use bea_scene::{BBox, ObjectClass};
+///
+/// let clean = Prediction::from_detections(vec![Detection::new(
+///     ObjectClass::Car,
+///     BBox::new(8.0, 8.0, 6.0, 6.0),
+///     0.9,
+/// )]);
+/// let field = DistanceField::new(32, 16, &clean, 2.0);
+/// let mut far = FilterMask::zeros(32, 16);
+/// far.set(0, 0, 31, 100); // far corner
+/// let mut near = FilterMask::zeros(32, 16);
+/// near.set(0, 8, 8, 100); // on the object
+/// assert!(field.objective(&far) > field.objective(&near));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceField {
+    width: usize,
+    height: usize,
+    /// Per-pixel D values after lines 1–16 of Algorithm 2 (row-major).
+    values: Vec<f64>,
+    /// The image diagonal, used by the normalised variant.
+    diagonal: f64,
+}
+
+impl DistanceField {
+    /// Runs lines 1–16 of Algorithm 2 for an image of `width × height`
+    /// pixels, the valid boxes of `clean`, and buffer `epsilon`.
+    pub fn new(width: usize, height: usize, clean: &Prediction, epsilon: f32) -> Self {
+        let boxes: Vec<BBox> = clean.iter().map(|d| d.bbox).collect();
+        Self::from_boxes(width, height, &boxes, epsilon)
+    }
+
+    /// [`DistanceField::new`] from raw boxes.
+    pub fn from_boxes(width: usize, height: usize, boxes: &[BBox], epsilon: f32) -> Self {
+        let diagonal = ((width * width + height * height) as f64).sqrt();
+        let mut values = vec![diagonal; width * height];
+        // Lines 2–7: minimum distance to any valid box centre.
+        for b in boxes {
+            for y in 0..height {
+                for x in 0..width {
+                    let dx = b.cx as f64 - x as f64;
+                    let dy = b.cy as f64 - y as f64;
+                    let d = (dx * dx + dy * dy).sqrt();
+                    let cell = &mut values[y * width + x];
+                    if d < *cell {
+                        *cell = d;
+                    }
+                }
+            }
+        }
+        // Line 8: neg.avg = -(Σ D) / (L·W).
+        let neg_avg = if values.is_empty() {
+            0.0
+        } else {
+            -values.iter().sum::<f64>() / values.len() as f64
+        };
+        // Lines 9–16: pixels inside any ε-inflated box get the negative
+        // average.
+        for b in boxes {
+            let inflated = b.inflated(epsilon);
+            for y in 0..height {
+                for x in 0..width {
+                    if inflated.contains_point(x as f32, y as f32) {
+                        values[y * width + x] = neg_avg;
+                    }
+                }
+            }
+        }
+        Self { width, height, values, diagonal }
+    }
+
+    /// Image width this field was built for.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height this field was built for.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The per-pixel D value (row-major).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Lines 17–24 of Algorithm 2: weight D by `δ_abs^max` and divide by
+    /// the perturbed-pixel count. A zero mask yields `0.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask dimensions differ from the field's.
+    pub fn objective(&self, mask: &FilterMask) -> f64 {
+        assert_eq!(
+            (mask.width(), mask.height()),
+            (self.width, self.height),
+            "mask and distance field must share dimensions"
+        );
+        let weights = mask.max_abs_per_pixel();
+        let mut sum = 0.0f64;
+        let mut perturbed = 0usize;
+        for (d, &w) in self.values.iter().zip(&weights) {
+            if w != 0 {
+                sum += d * w as f64;
+                perturbed += 1;
+            }
+        }
+        if perturbed == 0 {
+            0.0
+        } else {
+            sum / perturbed as f64
+        }
+    }
+
+    /// The objective rescaled to be size- and amplitude-independent:
+    /// distances are divided by the image diagonal and perturbations by
+    /// 255, so values land in `(-1, 1)` — the scale of the paper's
+    /// Figure 2 (`obj_dist ≈ 0.5` for a distant perturbation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask dimensions differ from the field's.
+    pub fn objective_normalized(&self, mask: &FilterMask) -> f64 {
+        self.objective(mask) / (self.diagonal * 255.0)
+    }
+
+    /// Ablation A1: the same weighting *without* the division by the
+    /// perturbed-pixel count (the design choice the paper calls "crucial").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask dimensions differ from the field's.
+    pub fn objective_without_count_division(&self, mask: &FilterMask) -> f64 {
+        assert_eq!(
+            (mask.width(), mask.height()),
+            (self.width, self.height),
+            "mask and distance field must share dimensions"
+        );
+        let weights = mask.max_abs_per_pixel();
+        self.values
+            .iter()
+            .zip(&weights)
+            .filter(|(_, &w)| w != 0)
+            .map(|(d, &w)| d * w as f64)
+            .sum()
+    }
+}
+
+/// One-shot Algorithm 2: builds the field and evaluates the mask.
+///
+/// Prefer caching a [`DistanceField`] when evaluating many masks against
+/// one clean prediction.
+pub fn obj_dist(
+    width: usize,
+    height: usize,
+    clean: &Prediction,
+    mask: &FilterMask,
+    epsilon: f32,
+) -> f64 {
+    DistanceField::new(width, height, clean, epsilon).objective(mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bea_detect::Detection;
+    use bea_scene::ObjectClass;
+
+    fn clean_with_box(cx: f32, cy: f32, len: f32, wid: f32) -> Prediction {
+        Prediction::from_detections(vec![Detection::new(
+            ObjectClass::Car,
+            BBox::new(cx, cy, len, wid),
+            0.9,
+        )])
+    }
+
+    #[test]
+    fn zero_mask_scores_zero() {
+        let clean = clean_with_box(8.0, 8.0, 4.0, 4.0);
+        let mask = FilterMask::zeros(16, 16);
+        assert_eq!(obj_dist(16, 16, &clean, &mask, 1.0), 0.0);
+    }
+
+    #[test]
+    fn distant_perturbation_beats_near_perturbation() {
+        let clean = clean_with_box(4.0, 8.0, 4.0, 4.0);
+        let field = DistanceField::new(32, 16, &clean, 1.0);
+        let mut far = FilterMask::zeros(32, 16);
+        far.set(0, 8, 30, 80);
+        let mut near = FilterMask::zeros(32, 16);
+        near.set(0, 8, 8, 80); // just outside the box + ε
+        assert!(field.objective(&far) > field.objective(&near));
+    }
+
+    #[test]
+    fn in_box_perturbation_is_negative() {
+        let clean = clean_with_box(8.0, 8.0, 6.0, 6.0);
+        let field = DistanceField::new(16, 16, &clean, 0.0);
+        let mut inside = FilterMask::zeros(16, 16);
+        inside.set(1, 8, 8, 50);
+        assert!(field.objective(&inside) < 0.0, "in-box perturbation must be penalised");
+    }
+
+    #[test]
+    fn epsilon_extends_the_penalty_buffer() {
+        let clean = clean_with_box(8.0, 8.0, 4.0, 4.0);
+        let tight = DistanceField::new(16, 16, &clean, 0.0);
+        let buffered = DistanceField::new(16, 16, &clean, 3.0);
+        let mut fringe = FilterMask::zeros(16, 16);
+        fringe.set(0, 8, 12, 60); // 4 px right of centre: outside box, inside ε=3 buffer
+        assert!(tight.objective(&fringe) > 0.0);
+        assert!(buffered.objective(&fringe) < 0.0);
+    }
+
+    #[test]
+    fn count_division_prefers_few_distant_pixels() {
+        // The paper's motivating comparison: "many tiny perturbations
+        // nearby" vs "a relatively large perturbation on a few distant
+        // pixels" can reach the same weighted sum; the division must favour
+        // the latter.
+        let clean = clean_with_box(4.0, 8.0, 4.0, 4.0);
+        let field = DistanceField::new(32, 16, &clean, 1.0);
+        // Many moderate perturbations at middling distance: their weighted
+        // *sum* exceeds the single distant pixel's contribution.
+        let mut many_near = FilterMask::zeros(32, 16);
+        for x in 8..28 {
+            many_near.set(0, 8, x, 60);
+        }
+        // One strong distant pixel.
+        let mut few_far = FilterMask::zeros(32, 16);
+        few_far.set(0, 8, 31, 100);
+        assert!(
+            field.objective(&few_far) > field.objective(&many_near),
+            "division by perturbed count must favour few distant pixels"
+        );
+        // Ablation: without the division, the many-pixel mask can win.
+        assert!(
+            field.objective_without_count_division(&many_near)
+                > field.objective_without_count_division(&few_far),
+            "the ablated variant should reverse the preference in this setup"
+        );
+    }
+
+    #[test]
+    fn empty_prediction_uses_diagonal_distances() {
+        let field = DistanceField::new(8, 6, &Prediction::new(), 1.0);
+        let diagonal = ((8 * 8 + 6 * 6) as f64).sqrt();
+        assert!(field.values().iter().all(|&v| (v - diagonal).abs() < 1e-12));
+        let mut mask = FilterMask::zeros(8, 6);
+        mask.set(0, 0, 0, 255);
+        assert!((field.objective(&mask) - diagonal * 255.0).abs() < 1e-9);
+        assert!((field.objective_normalized(&mask) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_objective_is_bounded() {
+        let clean = clean_with_box(8.0, 8.0, 4.0, 4.0);
+        let field = DistanceField::new(24, 12, &clean, 1.0);
+        let mut mask = FilterMask::zeros(24, 12);
+        mask.set(0, 0, 23, 255);
+        mask.set(2, 11, 0, -200);
+        let v = field.objective_normalized(&mask);
+        assert!((-1.0..=1.0).contains(&v), "got {v}");
+    }
+
+    #[test]
+    fn field_matches_one_shot_function() {
+        let clean = clean_with_box(5.0, 5.0, 4.0, 4.0);
+        let field = DistanceField::new(12, 12, &clean, 2.0);
+        let mut mask = FilterMask::zeros(12, 12);
+        mask.set(0, 1, 10, 99);
+        mask.set(1, 6, 6, -50);
+        assert_eq!(field.objective(&mask), obj_dist(12, 12, &clean, &mask, 2.0));
+    }
+
+    #[test]
+    fn multiple_boxes_take_minimum_distance() {
+        let clean = Prediction::from_detections(vec![
+            Detection::new(ObjectClass::Car, BBox::new(2.0, 2.0, 2.0, 2.0), 0.9),
+            Detection::new(ObjectClass::Van, BBox::new(14.0, 2.0, 2.0, 2.0), 0.9),
+        ]);
+        let field = DistanceField::from_boxes(
+            16,
+            8,
+            &clean.iter().map(|d| d.bbox).collect::<Vec<_>>(),
+            0.0,
+        );
+        // Pixel (8, 6): equidistant-ish; distance must be the min of the two.
+        let d = field.values()[6 * 16 + 8];
+        let to_a = ((8.0f64 - 2.0).powi(2) + (6.0f64 - 2.0).powi(2)).sqrt();
+        let to_b = ((8.0f64 - 14.0).powi(2) + (6.0f64 - 2.0).powi(2)).sqrt();
+        assert!((d - to_a.min(to_b)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "share dimensions")]
+    fn dimension_mismatch_panics() {
+        let field = DistanceField::new(8, 8, &Prediction::new(), 0.0);
+        let mask = FilterMask::zeros(4, 4);
+        let _ = field.objective(&mask);
+    }
+}

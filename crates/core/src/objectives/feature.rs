@@ -1,0 +1,87 @@
+//! The grey-box feature-distance objective (paper Section II).
+//!
+//! "Due to our encoding into the multi-objective optimization problem, we
+//! also can include feature-level distance as an additional optimization
+//! objective, thereby extending the approach to be a grey-box method." The
+//! objective is the L2 gap between the detector's feature heatmaps on the
+//! clean and the perturbed image; an effective perturbation *increases* it
+//! (direction: maximise).
+
+use bea_detect::heatmap::feature_distance;
+use bea_detect::Detector;
+use bea_image::Image;
+use bea_tensor::FeatureMap;
+
+/// Precomputed clean heatmap for the grey-box objective.
+#[derive(Debug, Clone)]
+pub struct FeatureObjective {
+    clean: FeatureMap,
+}
+
+impl FeatureObjective {
+    /// Captures the detector's heatmap on the clean image.
+    pub fn new<D: Detector + ?Sized>(detector: &D, clean_img: &Image) -> Self {
+        Self { clean: detector.heatmap(clean_img) }
+    }
+
+    /// `true` when the detector exposed no internals (an empty heatmap) —
+    /// the attack then stays purely black-box.
+    pub fn is_blind(&self) -> bool {
+        self.clean.as_slice().is_empty()
+    }
+
+    /// The feature-level distance of a perturbed image's heatmap from the
+    /// cached clean heatmap.
+    pub fn objective<D: Detector + ?Sized>(&self, detector: &D, perturbed: &Image) -> f64 {
+        feature_distance(&self.clean, &detector.heatmap(perturbed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bea_detect::{YoloConfig, YoloDetector};
+    use bea_image::FilterMask;
+    use bea_scene::SyntheticKitti;
+
+    #[test]
+    fn unperturbed_image_has_zero_feature_distance() {
+        let yolo = YoloDetector::new(YoloConfig::with_seed(1));
+        let img = SyntheticKitti::smoke_set().image(0);
+        let objective = FeatureObjective::new(&yolo, &img);
+        assert!(!objective.is_blind());
+        assert_eq!(objective.objective(&yolo, &img), 0.0);
+    }
+
+    #[test]
+    fn perturbation_increases_feature_distance() {
+        let yolo = YoloDetector::new(YoloConfig::with_seed(1));
+        let img = SyntheticKitti::smoke_set().image(0);
+        let objective = FeatureObjective::new(&yolo, &img);
+        let mut mask = FilterMask::zeros(img.width(), img.height());
+        for y in 10..20 {
+            for x in 10..30 {
+                mask.set(0, y, x, 90);
+            }
+        }
+        let perturbed = mask.apply(&img);
+        assert!(objective.objective(&yolo, &perturbed) > 0.0);
+    }
+
+    #[test]
+    fn blind_detector_reports_blind() {
+        struct Blind;
+        impl bea_detect::Detector for Blind {
+            fn detect(&self, _img: &Image) -> bea_detect::Prediction {
+                bea_detect::Prediction::new()
+            }
+            fn name(&self) -> &str {
+                "blind"
+            }
+        }
+        let img = Image::black(8, 8);
+        let objective = FeatureObjective::new(&Blind, &img);
+        assert!(objective.is_blind());
+        assert_eq!(objective.objective(&Blind, &img), 0.0);
+    }
+}

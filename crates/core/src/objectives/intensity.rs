@@ -1,0 +1,81 @@
+//! The perturbation-intensity objective (paper Section III-B(a)).
+//!
+//! `obj_intensity(δ) := ‖δ‖₂` — "generate a perturbation that is small in
+//! its quantity, thereby making it hard for a human to differentiate
+//! between the original image and the perturbed one". The paper applies
+//! the L2 norm; [`bea_tensor::norm::NormKind`] selects L1/L∞ variants the
+//! paper mentions as alternatives.
+
+use bea_image::FilterMask;
+use bea_tensor::norm::NormKind;
+
+/// The intensity objective: the chosen norm of the mask (the paper uses
+/// L2). Lower is better (direction: minimise).
+///
+/// # Examples
+///
+/// ```
+/// use bea_core::objectives::obj_intensity;
+/// use bea_image::FilterMask;
+/// use bea_tensor::norm::NormKind;
+///
+/// let mut mask = FilterMask::zeros(4, 4);
+/// assert_eq!(obj_intensity(&mask, NormKind::L2), 0.0);
+/// mask.set(0, 0, 0, 3);
+/// mask.set(1, 0, 0, 4);
+/// assert_eq!(obj_intensity(&mask, NormKind::L2), 5.0);
+/// ```
+pub fn obj_intensity(mask: &FilterMask, norm: NormKind) -> f64 {
+    mask.norm(norm)
+}
+
+/// The intensity objective rescaled into `[0, 1]`: the L2 norm divided by
+/// the norm of the largest possible mask (all genes at ±255). Useful for
+/// plotting Pareto fronts of differently-sized images on one axis
+/// (Figure 2).
+pub fn obj_intensity_normalized(mask: &FilterMask) -> f64 {
+    let max = 255.0 * (mask.gene_count() as f64).sqrt();
+    if max == 0.0 {
+        return 0.0;
+    }
+    mask.norm(NormKind::L2) / max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_mask_has_zero_intensity() {
+        let mask = FilterMask::zeros(8, 8);
+        assert_eq!(obj_intensity(&mask, NormKind::L2), 0.0);
+        assert_eq!(obj_intensity_normalized(&mask), 0.0);
+    }
+
+    #[test]
+    fn intensity_grows_with_perturbation() {
+        let mut small = FilterMask::zeros(8, 8);
+        small.set(0, 1, 1, 10);
+        let mut large = small.clone();
+        large.set(1, 2, 2, 100);
+        assert!(
+            obj_intensity(&large, NormKind::L2) > obj_intensity(&small, NormKind::L2)
+        );
+    }
+
+    #[test]
+    fn normalized_maximum_is_one() {
+        let mask =
+            FilterMask::from_values(2, 2, vec![255; 12]).expect("length matches");
+        assert!((obj_intensity_normalized(&mask) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_kinds_agree_on_single_gene() {
+        let mut mask = FilterMask::zeros(4, 4);
+        mask.set(2, 3, 3, -7);
+        assert_eq!(obj_intensity(&mask, NormKind::L1), 7.0);
+        assert_eq!(obj_intensity(&mask, NormKind::L2), 7.0);
+        assert_eq!(obj_intensity(&mask, NormKind::LInf), 7.0);
+    }
+}

@@ -1,0 +1,11 @@
+//! The three butterfly-effect objectives (paper Section III-B) and the
+//! grey-box feature extension (Section II).
+
+pub mod degradation;
+pub mod distance;
+pub mod feature;
+pub mod intensity;
+
+pub use degradation::obj_degrad;
+pub use distance::{obj_dist, DistanceField};
+pub use intensity::{obj_intensity, obj_intensity_normalized};

@@ -1,0 +1,471 @@
+//! The paper's variation operators (Section IV-A).
+//!
+//! * **Crossover**: "one-point crossover is applied with a probability p_c
+//!   on the pixel array" — [`MaskCrossover`] cuts the flattened gene buffer
+//!   at a random point and swaps the tails.
+//! * **Mutation**: "pixels \[are\] individual genes of the filter masks";
+//!   four operators are investigated, each touching at most a window of
+//!   `w` (1 %) of the pixels:
+//!   1. [`MutationKind::Complement`] — flip values to their complement in
+//!      `[-255, 255]` (the paper's "similar to a bit flip"),
+//!   2. [`MutationKind::Shuffle`] — permute randomly selected pixels
+//!      ("similar to a swap operation"),
+//!   3. [`MutationKind::RandomAssign`] — assign fresh random values,
+//!   4. [`MutationKind::Invert`] — horizontally and/or vertically mirror a
+//!      window of pixels.
+
+use bea_image::{FilterMask, Region, RegionConstraint};
+use bea_nsga2::operators::{Crossover, Mutation};
+use bea_tensor::WeightInit;
+
+/// One-point crossover on the flattened pixel array.
+///
+/// # Examples
+///
+/// ```
+/// use bea_core::operators::MaskCrossover;
+/// use bea_image::FilterMask;
+/// use bea_nsga2::operators::Crossover;
+/// use bea_tensor::WeightInit;
+///
+/// let a = FilterMask::from_values(2, 2, vec![10; 12]).unwrap();
+/// let b = FilterMask::from_values(2, 2, vec![-10; 12]).unwrap();
+/// let mut rng = WeightInit::from_seed(1);
+/// let (c1, c2) = MaskCrossover.crossover(&a, &b, &mut rng);
+/// // Genes are conserved between the two children.
+/// let sum: i32 = c1.as_slice().iter().chain(c2.as_slice()).map(|&v| v as i32).sum();
+/// assert_eq!(sum, 0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaskCrossover;
+
+impl Crossover<FilterMask> for MaskCrossover {
+    fn crossover(
+        &self,
+        a: &FilterMask,
+        b: &FilterMask,
+        rng: &mut WeightInit,
+    ) -> (FilterMask, FilterMask) {
+        let n = a.gene_count().min(b.gene_count());
+        let mut c1 = a.clone();
+        let mut c2 = b.clone();
+        if n < 2 {
+            return (c1, c2);
+        }
+        let cut = 1 + rng.index(n - 1);
+        let (s1, s2) = (c1.as_mut_slice(), c2.as_mut_slice());
+        for i in cut..n {
+            std::mem::swap(&mut s1[i], &mut s2[i]);
+        }
+        (c1, c2)
+    }
+}
+
+/// The four mutation operators of Section IV-A(d).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutationKind {
+    /// Replace selected pixels with their complement in `[-255, 255]`
+    /// (`v ≥ 0 → 255 − v`, `v < 0 → −255 − v`), the integer analogue of a
+    /// bit flip.
+    Complement,
+    /// Randomly permute the values of selected pixels (swap operation).
+    Shuffle,
+    /// Assign fresh uniform random values in `[-255, 255]` to selected
+    /// pixels.
+    RandomAssign,
+    /// Mirror a random pixel window horizontally and/or vertically.
+    Invert,
+    /// **Extension** (paper Section VI future work: "refine our mutation
+    /// operation such that the initial mutation choices directly create
+    /// human unrecognizable perturbation"): add small-amplitude Gaussian
+    /// noise (σ = 6) to the selected pixels instead of large jumps.
+    GentleNoise,
+}
+
+impl MutationKind {
+    /// The paper's four operators (Section IV-A(d)).
+    pub const ALL: [MutationKind; 4] = [
+        MutationKind::Complement,
+        MutationKind::Shuffle,
+        MutationKind::RandomAssign,
+        MutationKind::Invert,
+    ];
+
+    /// The paper's four operators plus the low-visibility extension.
+    pub const EXTENDED: [MutationKind; 5] = [
+        MutationKind::Complement,
+        MutationKind::Shuffle,
+        MutationKind::RandomAssign,
+        MutationKind::Invert,
+        MutationKind::GentleNoise,
+    ];
+}
+
+/// The complement of a mask value in `[-255, 255]`.
+#[inline]
+fn complement(v: i16) -> i16 {
+    if v >= 0 {
+        255 - v
+    } else {
+        -255 - v
+    }
+}
+
+/// The paper's mutation operator: picks one of the enabled
+/// [`MutationKind`]s uniformly and applies it to at most
+/// `window_fraction` of the *allowed* pixels (Table II: w = 1 %).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaskMutation {
+    kinds: Vec<MutationKind>,
+    window_fraction: f32,
+    constraint: RegionConstraint,
+}
+
+impl MaskMutation {
+    /// Builds the mutation with all four operators enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_fraction` is not within `(0, 1]`.
+    pub fn new(window_fraction: f32, constraint: RegionConstraint) -> Self {
+        Self::with_kinds(MutationKind::ALL.to_vec(), window_fraction, constraint)
+    }
+
+    /// Builds the mutation with a custom operator subset (used by the
+    /// mutation-mix ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kinds` is empty or `window_fraction` is not within
+    /// `(0, 1]`.
+    pub fn with_kinds(
+        kinds: Vec<MutationKind>,
+        window_fraction: f32,
+        constraint: RegionConstraint,
+    ) -> Self {
+        assert!(!kinds.is_empty(), "at least one mutation kind is required");
+        assert!(
+            window_fraction > 0.0 && window_fraction <= 1.0,
+            "window fraction must be in (0, 1], got {window_fraction}"
+        );
+        Self { kinds, window_fraction, constraint }
+    }
+
+    /// The enabled operators.
+    pub fn kinds(&self) -> &[MutationKind] {
+        &self.kinds
+    }
+
+    /// The window size `w` as a fraction of the pixels.
+    pub fn window_fraction(&self) -> f32 {
+        self.window_fraction
+    }
+
+    /// Number of pixels one mutation may touch on a mask of this size.
+    fn budget(&self, mask: &FilterMask) -> usize {
+        let allowed =
+            self.constraint.allowed_region(mask.width(), mask.height()).area();
+        ((allowed as f32 * self.window_fraction).ceil() as usize).max(1).min(allowed.max(1))
+    }
+
+    /// Samples a pixel inside the allowed region.
+    fn sample_pixel(&self, mask: &FilterMask, rng: &mut WeightInit) -> Option<(usize, usize)> {
+        let region = self.constraint.allowed_region(mask.width(), mask.height());
+        if region.is_empty() {
+            return None;
+        }
+        let x = region.x0 + rng.index(region.x1 - region.x0);
+        let y = region.y0 + rng.index(region.y1 - region.y0);
+        Some((x, y))
+    }
+
+    fn apply_complement(&self, mask: &mut FilterMask, rng: &mut WeightInit) {
+        for _ in 0..self.budget(mask) {
+            if let Some((x, y)) = self.sample_pixel(mask, rng) {
+                for c in 0..3 {
+                    mask.set(c, y, x, complement(mask.at(c, y, x)));
+                }
+            }
+        }
+    }
+
+    fn apply_shuffle(&self, mask: &mut FilterMask, rng: &mut WeightInit) {
+        let budget = self.budget(mask);
+        let pixels: Vec<(usize, usize)> =
+            (0..budget).filter_map(|_| self.sample_pixel(mask, rng)).collect();
+        // Fisher–Yates over the sampled pixels' RGB triples.
+        for i in (1..pixels.len()).rev() {
+            let j = rng.index(i + 1);
+            let (xa, ya) = pixels[i];
+            let (xb, yb) = pixels[j];
+            for c in 0..3 {
+                let (va, vb) = (mask.at(c, ya, xa), mask.at(c, yb, xb));
+                mask.set(c, ya, xa, vb);
+                mask.set(c, yb, xb, va);
+            }
+        }
+    }
+
+    fn apply_random_assign(&self, mask: &mut FilterMask, rng: &mut WeightInit) {
+        for _ in 0..self.budget(mask) {
+            if let Some((x, y)) = self.sample_pixel(mask, rng) {
+                for c in 0..3 {
+                    let v = rng.index(511) as i16 - 255;
+                    mask.set(c, y, x, v);
+                }
+            }
+        }
+    }
+
+    fn apply_gentle_noise(&self, mask: &mut FilterMask, rng: &mut WeightInit) {
+        for _ in 0..self.budget(mask) {
+            if let Some((x, y)) = self.sample_pixel(mask, rng) {
+                for c in 0..3 {
+                    let v = mask.at(c, y, x) as f32 + rng.normal(0.0, 6.0);
+                    mask.set(c, y, x, v.round().clamp(-255.0, 255.0) as i16);
+                }
+            }
+        }
+    }
+
+    fn apply_invert(&self, mask: &mut FilterMask, rng: &mut WeightInit) {
+        let region = self.constraint.allowed_region(mask.width(), mask.height());
+        if region.is_empty() {
+            return;
+        }
+        // A window whose area stays within the pixel budget.
+        let budget = self.budget(mask);
+        let side = ((budget as f32).sqrt().floor() as usize).max(1);
+        let w = side.min(region.x1 - region.x0);
+        let h = side.min(region.y1 - region.y0);
+        let x0 = region.x0 + rng.index(region.x1 - region.x0 - w + 1);
+        let y0 = region.y0 + rng.index(region.y1 - region.y0 - h + 1);
+        let window = Region::new(x0, y0, x0 + w, y0 + h);
+        let horizontal = rng.coin(0.5);
+        // "horizontal and/or vertical": if the horizontal coin fails,
+        // vertical is forced so the operator never degenerates to a no-op.
+        let vertical = if horizontal { rng.coin(0.5) } else { true };
+        let mut copy = mask.clone();
+        for y in window.y0..window.y1 {
+            for x in window.x0..window.x1 {
+                let sx = if horizontal { window.x1 - 1 - (x - window.x0) } else { x };
+                let sy = if vertical { window.y1 - 1 - (y - window.y0) } else { y };
+                for c in 0..3 {
+                    copy.set(c, y, x, mask.at(c, sy, sx));
+                }
+            }
+        }
+        *mask = copy;
+    }
+}
+
+impl Mutation<FilterMask> for MaskMutation {
+    fn mutate(&self, mask: &mut FilterMask, rng: &mut WeightInit) {
+        let kind = self.kinds[rng.index(self.kinds.len())];
+        match kind {
+            MutationKind::Complement => self.apply_complement(mask, rng),
+            MutationKind::Shuffle => self.apply_shuffle(mask, rng),
+            MutationKind::RandomAssign => self.apply_random_assign(mask, rng),
+            MutationKind::Invert => self.apply_invert(mask, rng),
+            MutationKind::GentleNoise => self.apply_gentle_noise(mask, rng),
+        }
+        self.constraint.apply(mask);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> WeightInit {
+        WeightInit::from_seed(42)
+    }
+
+    fn random_mask(width: usize, height: usize) -> FilterMask {
+        let mut rng = WeightInit::from_seed(7);
+        let values =
+            (0..3 * width * height).map(|_| rng.index(511) as i16 - 255).collect();
+        FilterMask::from_values(width, height, values).expect("length matches")
+    }
+
+    #[test]
+    fn crossover_conserves_genes() {
+        let a = random_mask(8, 4);
+        let b = random_mask(8, 4);
+        let (c1, c2) = MaskCrossover.crossover(&a, &b, &mut rng());
+        let mut expected: Vec<i16> =
+            a.as_slice().iter().chain(b.as_slice()).copied().collect();
+        let mut actual: Vec<i16> =
+            c1.as_slice().iter().chain(c2.as_slice()).copied().collect();
+        expected.sort_unstable();
+        actual.sort_unstable();
+        assert_eq!(expected, actual);
+    }
+
+    #[test]
+    fn crossover_exchanges_a_tail() {
+        let a = FilterMask::from_values(4, 2, vec![1; 24]).unwrap();
+        let b = FilterMask::from_values(4, 2, vec![-1; 24]).unwrap();
+        let (c1, _) = MaskCrossover.crossover(&a, &b, &mut rng());
+        let flips = c1.as_slice().windows(2).filter(|w| w[0] != w[1]).count();
+        assert_eq!(flips, 1, "one-point crossover has exactly one switch");
+        assert_eq!(c1.as_slice()[0], 1, "the head comes from parent a");
+    }
+
+    #[test]
+    fn complement_function_matches_definition() {
+        assert_eq!(complement(0), 255);
+        assert_eq!(complement(255), 0);
+        assert_eq!(complement(-255), 0);
+        assert_eq!(complement(100), 155);
+        assert_eq!(complement(-100), -155);
+    }
+
+    #[test]
+    fn mutations_respect_the_window_budget() {
+        let mutation = MaskMutation::new(0.01, RegionConstraint::Full);
+        for kind in MutationKind::ALL {
+            let op = MaskMutation::with_kinds(vec![kind], 0.01, RegionConstraint::Full);
+            let mut mask = random_mask(40, 20);
+            let before = mask.clone();
+            op.mutate(&mut mask, &mut rng());
+            let changed = before
+                .as_slice()
+                .iter()
+                .zip(mask.as_slice())
+                .filter(|(a, b)| a != b)
+                .count();
+            // The budget is per *pixel* (3 genes each); shuffle/invert touch
+            // at most 2x the budget through swaps.
+            let budget_pixels = mutation.budget(&before);
+            assert!(
+                changed <= 3 * 2 * budget_pixels.max(1),
+                "{kind:?} changed {changed} genes, budget {budget_pixels} pixels"
+            );
+        }
+    }
+
+    #[test]
+    fn mutations_respect_region_constraint() {
+        for kind in MutationKind::ALL {
+            let op =
+                MaskMutation::with_kinds(vec![kind], 0.05, RegionConstraint::RightHalf);
+            let mut mask = FilterMask::zeros(20, 10);
+            // Seed some content in the right half so shuffle has something to move.
+            for x in 10..20 {
+                mask.set(0, 3, x, 50);
+            }
+            for _ in 0..10 {
+                op.mutate(&mut mask, &mut rng());
+            }
+            assert!(
+                RegionConstraint::RightHalf.is_satisfied(&mask),
+                "{kind:?} leaked outside the allowed region"
+            );
+        }
+    }
+
+    #[test]
+    fn random_assign_changes_zero_mask() {
+        let op = MaskMutation::with_kinds(
+            vec![MutationKind::RandomAssign],
+            0.01,
+            RegionConstraint::Full,
+        );
+        let mut mask = FilterMask::zeros(30, 20);
+        op.mutate(&mut mask, &mut rng());
+        assert!(!mask.is_zero());
+    }
+
+    #[test]
+    fn complement_bootstraps_zero_mask() {
+        // complement(0) = 255: the operator can escape the all-zero genome.
+        let op = MaskMutation::with_kinds(
+            vec![MutationKind::Complement],
+            0.01,
+            RegionConstraint::Full,
+        );
+        let mut mask = FilterMask::zeros(30, 20);
+        op.mutate(&mut mask, &mut rng());
+        assert!(!mask.is_zero());
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset_of_genes() {
+        let op = MaskMutation::with_kinds(
+            vec![MutationKind::Shuffle],
+            0.10,
+            RegionConstraint::Full,
+        );
+        let mut mask = random_mask(16, 8);
+        let mut before: Vec<i16> = mask.as_slice().to_vec();
+        op.mutate(&mut mask, &mut rng());
+        let mut after: Vec<i16> = mask.as_slice().to_vec();
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn invert_mirrors_a_window() {
+        let op = MaskMutation::with_kinds(
+            vec![MutationKind::Invert],
+            0.30,
+            RegionConstraint::Full,
+        );
+        let mut mask = random_mask(12, 12);
+        let before = mask.clone();
+        op.mutate(&mut mask, &mut rng());
+        assert_ne!(mask, before, "inversion of a random window should change the mask");
+        // Gene multiset is preserved (mirroring only moves values).
+        let mut a: Vec<i16> = before.as_slice().to_vec();
+        let mut b: Vec<i16> = mask.as_slice().to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gentle_noise_stays_small() {
+        let op = MaskMutation::with_kinds(
+            vec![MutationKind::GentleNoise],
+            0.05,
+            RegionConstraint::Full,
+        );
+        let mut mask = FilterMask::zeros(30, 20);
+        op.mutate(&mut mask, &mut rng());
+        assert!(!mask.is_zero());
+        let max = mask.as_slice().iter().map(|v| v.abs()).max().unwrap();
+        assert!(max < 40, "gentle noise should stay low-amplitude, got {max}");
+    }
+
+    #[test]
+    fn extended_set_contains_the_paper_set() {
+        for k in MutationKind::ALL {
+            assert!(MutationKind::EXTENDED.contains(&k));
+        }
+        assert_eq!(MutationKind::EXTENDED.len(), 5);
+    }
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let op = MaskMutation::new(0.02, RegionConstraint::Full);
+        let mut a = random_mask(10, 10);
+        let mut b = a.clone();
+        op.mutate(&mut a, &mut WeightInit::from_seed(5));
+        op.mutate(&mut b, &mut WeightInit::from_seed(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "window fraction")]
+    fn zero_window_rejected() {
+        let _ = MaskMutation::new(0.0, RegionConstraint::Full);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one mutation kind")]
+    fn empty_kind_list_rejected() {
+        let _ = MaskMutation::with_kinds(Vec::new(), 0.01, RegionConstraint::Full);
+    }
+}

@@ -1,0 +1,239 @@
+//! Result summarisation and export for the experiment harnesses.
+
+use crate::attack::AttackOutcome;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+
+/// One Pareto-front point of an attack run, in the paper's Figure 2 axes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// `obj_intensity` (raw L2).
+    pub intensity: f64,
+    /// `obj_intensity` normalised into `[0, 1]`.
+    pub intensity_normalized: f64,
+    /// `obj_degrad` (Algorithm 1; lower = stronger attack).
+    pub degrad: f64,
+    /// `obj_dist` (Algorithm 2, normalised; higher = more unrelated).
+    pub dist: f64,
+}
+
+/// One labelled experiment row: a Pareto point attributed to an
+/// architecture / model / image triple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackRow {
+    /// Architecture name (`"YOLO"` / `"DETR"`).
+    pub architecture: String,
+    /// Model seed.
+    pub model_seed: u64,
+    /// Image index in the dataset.
+    pub image_index: usize,
+    /// Which champion this row is (`"best-intensity"` etc. or `"front"`).
+    pub role: String,
+    /// The objectives.
+    pub point: ParetoPoint,
+}
+
+/// Extracts all front points of an outcome as [`ParetoPoint`]s.
+pub fn pareto_points(outcome: &AttackOutcome) -> Vec<ParetoPoint> {
+    let raw = outcome.pareto_points();
+    let normalized = outcome.pareto_points_normalized();
+    raw.iter()
+        .zip(&normalized)
+        .map(|(r, n)| ParetoPoint {
+            intensity: r[0],
+            intensity_normalized: n[0],
+            degrad: r[1],
+            dist: r[2],
+        })
+        .collect()
+}
+
+/// Extracts the three per-objective champions (the paper's Figure 2
+/// read-out) as labelled rows.
+pub fn champion_rows(
+    outcome: &AttackOutcome,
+    architecture: &str,
+    model_seed: u64,
+    image_index: usize,
+) -> Vec<AttackRow> {
+    let champions = [
+        ("best-intensity", outcome.best_intensity()),
+        ("best-degrad", outcome.best_degradation()),
+        ("best-dist", outcome.best_distance()),
+    ];
+    champions
+        .into_iter()
+        .filter_map(|(role, individual)| {
+            let individual = individual?;
+            let objs = individual.objectives();
+            Some(AttackRow {
+                architecture: architecture.to_string(),
+                model_seed,
+                image_index,
+                role: role.to_string(),
+                point: ParetoPoint {
+                    intensity: objs[0],
+                    intensity_normalized:
+                        crate::objectives::intensity::obj_intensity_normalized(
+                            individual.genome(),
+                        ),
+                    degrad: objs[1],
+                    dist: objs[2],
+                },
+            })
+        })
+        .collect()
+}
+
+/// Writes rows as CSV (with header).
+///
+/// # Errors
+///
+/// Propagates I/O failures from the writer.
+pub fn write_csv<W: Write>(rows: &[AttackRow], mut writer: W) -> std::io::Result<()> {
+    writeln!(
+        writer,
+        "architecture,model_seed,image_index,role,intensity,intensity_normalized,degrad,dist"
+    )?;
+    for row in rows {
+        writeln!(
+            writer,
+            "{},{},{},{},{:.4},{:.6},{:.6},{:.6}",
+            row.architecture,
+            row.model_seed,
+            row.image_index,
+            row.role,
+            row.point.intensity,
+            row.point.intensity_normalized,
+            row.point.degrad,
+            row.point.dist
+        )?;
+    }
+    Ok(())
+}
+
+/// Attack-success criteria: a run "succeeds" when some front member
+/// reaches `obj_degrad ≤ max_degrad` while spending at most
+/// `max_intensity` (raw L2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SuccessCriteria {
+    /// Largest admissible `obj_degrad` (e.g. 0.6, the paper's "reasonable
+    /// performance drop").
+    pub max_degrad: f64,
+    /// Largest admissible `obj_intensity` (raw L2 norm of the mask).
+    pub max_intensity: f64,
+}
+
+impl Default for SuccessCriteria {
+    fn default() -> Self {
+        // The paper calls obj_degrad ≈ 0.6 a reasonable drop; the intensity
+        // cap corresponds to a perturbation a casual observer misses on a
+        // 192x64 image (≈ 3% of the maximal mask norm).
+        Self { max_degrad: 0.6, max_intensity: 5000.0 }
+    }
+}
+
+/// `true` when any front member of the outcome satisfies the criteria.
+pub fn attack_succeeded(outcome: &AttackOutcome, criteria: SuccessCriteria) -> bool {
+    outcome
+        .pareto_points()
+        .iter()
+        .any(|p| p[1] <= criteria.max_degrad && p[0] <= criteria.max_intensity)
+}
+
+/// Fraction of outcomes satisfying the criteria (the attack-success rate
+/// over a model × image grid).
+pub fn success_rate(outcomes: &[AttackOutcome], criteria: SuccessCriteria) -> f64 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    let hits = outcomes.iter().filter(|o| attack_succeeded(o, criteria)).count();
+    hits as f64 / outcomes.len() as f64
+}
+
+/// Prints a fixed-width text table (used by every harness for its
+/// stdout summary).
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    println!(
+        "|{}|",
+        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_row() -> AttackRow {
+        AttackRow {
+            architecture: "DETR".into(),
+            model_seed: 3,
+            image_index: 10,
+            role: "best-degrad".into(),
+            point: ParetoPoint {
+                intensity: 123.4,
+                intensity_normalized: 0.05,
+                degrad: 0.6,
+                dist: 0.5,
+            },
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut buf = Vec::new();
+        write_csv(&[sample_row()], &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert!(lines.next().unwrap().starts_with("architecture,"));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("DETR,3,10,best-degrad,"));
+        assert!(row.contains("0.600000"));
+    }
+
+    #[test]
+    fn empty_rows_produce_header_only() {
+        let mut buf = Vec::new();
+        write_csv(&[], &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap().lines().count(), 1);
+    }
+
+    #[test]
+    fn rows_serialize_with_serde() {
+        let row = sample_row();
+        let clone = row.clone();
+        assert_eq!(row, clone);
+    }
+
+    #[test]
+    fn success_criteria_defaults_are_sane() {
+        let c = SuccessCriteria::default();
+        assert!(c.max_degrad > 0.0 && c.max_degrad < 1.0);
+        assert!(c.max_intensity > 0.0);
+    }
+
+    #[test]
+    fn empty_outcome_list_has_zero_success_rate() {
+        assert_eq!(success_rate(&[], SuccessCriteria::default()), 0.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Programmatic attack grids: run one attack per (detector, image) pair
+//! and aggregate the champions.
+//!
+//! The paper's evaluation is a grid — 25 models × 16 images per
+//! architecture (Table I). This module gives library users the same
+//! machinery the `fig2_pareto` harness uses: run the grid, keep the
+//! per-run champions, and summarise per group.
+
+use crate::attack::{AttackOutcome, ButterflyAttack};
+use crate::report::{attack_succeeded, champion_rows, AttackRow, SuccessCriteria};
+use bea_detect::Detector;
+use bea_image::Image;
+
+/// One completed grid cell.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Group label the cell belongs to (e.g. the architecture name).
+    pub group: String,
+    /// Model seed used.
+    pub model_seed: u64,
+    /// Image index used.
+    pub image_index: usize,
+    /// The attack outcome.
+    pub outcome: AttackOutcome,
+}
+
+/// Aggregated statistics of one group of cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSummary {
+    /// Group label.
+    pub group: String,
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Mean `obj_degrad` of the best-degradation champions.
+    pub mean_degrad: f64,
+    /// Best (lowest) champion `obj_degrad` in the group.
+    pub best_degrad: f64,
+    /// Mean `obj_intensity` of those champions.
+    pub mean_intensity: f64,
+    /// Mean `obj_dist` of those champions.
+    pub mean_dist: f64,
+    /// Fraction of runs meeting the success criteria.
+    pub success_rate: f64,
+}
+
+/// Accumulates attack runs over a (detector × image) grid.
+///
+/// # Examples
+///
+/// ```no_run
+/// use bea_core::attack::{AttackConfig, ButterflyAttack};
+/// use bea_core::sweep::AttackSweep;
+/// use bea_detect::{Architecture, ModelZoo};
+/// use bea_scene::SyntheticKitti;
+///
+/// let zoo = ModelZoo::with_defaults();
+/// let data = SyntheticKitti::evaluation_set();
+/// let attack = ButterflyAttack::new(AttackConfig::scaled(24, 20));
+/// let mut sweep = AttackSweep::new(attack);
+/// for seed in 1..=2 {
+///     let model = zoo.model(Architecture::Detr, seed);
+///     for image in 0..2 {
+///         sweep.run_cell("DETR", model.as_ref(), seed, image, &data.image(image));
+///     }
+/// }
+/// for summary in sweep.summaries(Default::default()) {
+///     println!("{}: mean degrad {:.3}", summary.group, summary.mean_degrad);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AttackSweep {
+    attack: ButterflyAttack,
+    cells: Vec<SweepCell>,
+}
+
+impl AttackSweep {
+    /// Creates an empty sweep around an attack configuration.
+    pub fn new(attack: ButterflyAttack) -> Self {
+        Self { attack, cells: Vec::new() }
+    }
+
+    /// Runs one grid cell and records it under `group`. Returns a
+    /// reference to the recorded cell.
+    pub fn run_cell(
+        &mut self,
+        group: &str,
+        detector: &dyn Detector,
+        model_seed: u64,
+        image_index: usize,
+        img: &Image,
+    ) -> &SweepCell {
+        let outcome = self.attack.attack(detector, img);
+        self.cells.push(SweepCell {
+            group: group.to_string(),
+            model_seed,
+            image_index,
+            outcome,
+        });
+        self.cells.last().expect("just pushed")
+    }
+
+    /// All recorded cells.
+    pub fn cells(&self) -> &[SweepCell] {
+        &self.cells
+    }
+
+    /// The per-objective champions of every cell as labelled rows
+    /// (CSV-exportable via [`crate::report::write_csv`]).
+    pub fn champion_rows(&self) -> Vec<AttackRow> {
+        self.cells
+            .iter()
+            .flat_map(|c| {
+                champion_rows(&c.outcome, &c.group, c.model_seed, c.image_index)
+            })
+            .collect()
+    }
+
+    /// Group labels in first-seen order.
+    pub fn groups(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for cell in &self.cells {
+            if !out.contains(&cell.group) {
+                out.push(cell.group.clone());
+            }
+        }
+        out
+    }
+
+    /// Aggregates each group (empty for an empty sweep).
+    pub fn summaries(&self, criteria: SuccessCriteria) -> Vec<SweepSummary> {
+        self.groups()
+            .into_iter()
+            .filter_map(|group| {
+                let members: Vec<&SweepCell> =
+                    self.cells.iter().filter(|c| c.group == group).collect();
+                if members.is_empty() {
+                    return None;
+                }
+                let champs: Vec<&[f64]> = members
+                    .iter()
+                    .filter_map(|c| c.outcome.best_degradation().map(|i| i.objectives()))
+                    .collect();
+                if champs.is_empty() {
+                    return None;
+                }
+                let n = champs.len() as f64;
+                let hits = members
+                    .iter()
+                    .filter(|c| attack_succeeded(&c.outcome, criteria))
+                    .count();
+                Some(SweepSummary {
+                    group,
+                    runs: members.len(),
+                    mean_degrad: champs.iter().map(|o| o[1]).sum::<f64>() / n,
+                    best_degrad: champs
+                        .iter()
+                        .map(|o| o[1])
+                        .fold(f64::INFINITY, f64::min),
+                    mean_intensity: champs.iter().map(|o| o[0]).sum::<f64>() / n,
+                    mean_dist: champs.iter().map(|o| o[2]).sum::<f64>() / n,
+                    success_rate: hits as f64 / members.len() as f64,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::AttackConfig;
+    use bea_detect::{Detection, Prediction};
+    use bea_scene::{BBox, ObjectClass};
+
+    /// Toy detector with a smooth right-half response (as in attack tests).
+    struct Toy;
+
+    impl Detector for Toy {
+        fn detect(&self, img: &Image) -> Prediction {
+            let mut acc = 0.0;
+            let mut n = 0usize;
+            for y in 0..img.height() {
+                for x in (img.width() / 2)..img.width() {
+                    acc += img.pixel(x, y)[0];
+                    n += 1;
+                }
+            }
+            let size = (8.0 - acc / n.max(1) as f32 / 4.0).clamp(3.0, 8.0);
+            Prediction::from_detections(vec![Detection::new(
+                ObjectClass::Car,
+                BBox::new(8.0, 8.0, size, size),
+                0.9,
+            )])
+        }
+
+        fn name(&self) -> &str {
+            "toy"
+        }
+    }
+
+    fn sweep_with_cells() -> AttackSweep {
+        let mut sweep = AttackSweep::new(ButterflyAttack::new(AttackConfig::scaled(10, 4)));
+        let img = Image::black(24, 12);
+        sweep.run_cell("A", &Toy, 1, 0, &img);
+        sweep.run_cell("A", &Toy, 2, 0, &img);
+        sweep.run_cell("B", &Toy, 1, 1, &img);
+        sweep
+    }
+
+    #[test]
+    fn cells_are_recorded_in_groups() {
+        let sweep = sweep_with_cells();
+        assert_eq!(sweep.cells().len(), 3);
+        assert_eq!(sweep.groups(), vec!["A".to_string(), "B".to_string()]);
+    }
+
+    #[test]
+    fn summaries_aggregate_champions() {
+        let sweep = sweep_with_cells();
+        let summaries = sweep.summaries(SuccessCriteria::default());
+        assert_eq!(summaries.len(), 2);
+        let a = &summaries[0];
+        assert_eq!(a.group, "A");
+        assert_eq!(a.runs, 2);
+        assert!(a.best_degrad <= a.mean_degrad);
+        assert!((0.0..=1.0).contains(&a.success_rate));
+    }
+
+    #[test]
+    fn champion_rows_cover_every_cell() {
+        let sweep = sweep_with_cells();
+        // 3 champions per cell.
+        assert_eq!(sweep.champion_rows().len(), 9);
+    }
+
+    #[test]
+    fn empty_sweep_has_no_summaries() {
+        let sweep = AttackSweep::new(ButterflyAttack::new(AttackConfig::scaled(8, 2)));
+        assert!(sweep.summaries(SuccessCriteria::default()).is_empty());
+        assert!(sweep.groups().is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! The object-detector abstraction.
+
+use crate::types::Prediction;
+use bea_image::Image;
+use bea_tensor::FeatureMap;
+
+/// An object detector: the paper's function
+/// `f : R^{L×W×3} → B^n`.
+///
+/// The trait is object-safe so ensembles and the attack driver can hold
+/// heterogeneous detectors behind `Box<dyn Detector>` / `&dyn Detector`.
+///
+/// # Examples
+///
+/// ```
+/// use bea_detect::{Detector, Prediction};
+/// use bea_image::Image;
+///
+/// struct Blind;
+/// impl Detector for Blind {
+///     fn detect(&self, _img: &Image) -> Prediction { Prediction::new() }
+///     fn name(&self) -> &str { "blind" }
+/// }
+///
+/// let d = Blind;
+/// assert!(d.detect(&Image::black(8, 8)).is_empty());
+/// ```
+pub trait Detector: Send + Sync {
+    /// Runs the detector on an image, returning all valid detections.
+    fn detect(&self, img: &Image) -> Prediction;
+
+    /// A short human-readable identifier (e.g. `"yolo-s7"`).
+    fn name(&self) -> &str;
+
+    /// An optional per-class feature heatmap (one channel per class) used
+    /// for grey-box introspection; the paper "interpret\[s\] the results
+    /// obtained with NSGA-II with the feature heatmap of the detection".
+    ///
+    /// The default implementation returns an empty map, meaning the
+    /// detector exposes no internals (pure black-box).
+    fn heatmap(&self, img: &Image) -> FeatureMap {
+        let _ = img;
+        FeatureMap::default()
+    }
+}
+
+impl<T: Detector + ?Sized> Detector for &T {
+    fn detect(&self, img: &Image) -> Prediction {
+        (**self).detect(img)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn heatmap(&self, img: &Image) -> FeatureMap {
+        (**self).heatmap(img)
+    }
+}
+
+impl<T: Detector + ?Sized> Detector for Box<T> {
+    fn detect(&self, img: &Image) -> Prediction {
+        (**self).detect(img)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn heatmap(&self, img: &Image) -> FeatureMap {
+        (**self).heatmap(img)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Detection;
+    use bea_scene::{BBox, ObjectClass};
+
+    struct Fixed;
+
+    impl Detector for Fixed {
+        fn detect(&self, _img: &Image) -> Prediction {
+            Prediction::from_detections(vec![Detection::new(
+                ObjectClass::Car,
+                BBox::new(1.0, 1.0, 2.0, 2.0),
+                1.0,
+            )])
+        }
+
+        fn name(&self) -> &str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let boxed: Box<dyn Detector> = Box::new(Fixed);
+        assert_eq!(boxed.detect(&Image::black(4, 4)).len(), 1);
+        assert_eq!(boxed.name(), "fixed");
+    }
+
+    #[test]
+    fn references_forward() {
+        let d = Fixed;
+        let r: &dyn Detector = &d;
+        assert_eq!(Detector::detect(&r, &Image::black(4, 4)).len(), 1);
+    }
+
+    #[test]
+    fn default_heatmap_is_empty() {
+        let d = Fixed;
+        assert_eq!(d.heatmap(&Image::black(4, 4)).shape(), (0, 0, 0));
+    }
+}

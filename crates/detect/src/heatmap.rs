@@ -1,0 +1,114 @@
+//! Feature-heatmap introspection (the paper's grey-box extension).
+//!
+//! Section II: "due to our encoding into the multi-objective optimization
+//! problem, we also can include feature-level distance as an additional
+//! optimization objective, thereby extending the approach to be a grey-box
+//! method". [`heatmap_distance`] is exactly that feature-level distance:
+//! the L2 gap between a detector's heatmaps on the clean and perturbed
+//! image.
+
+use crate::detector::Detector;
+use bea_image::Image;
+use bea_tensor::FeatureMap;
+
+/// L2 distance between two heatmaps of identical shape; heatmaps of
+/// different shapes (or empty ones) yield `0.0`, meaning "no grey-box
+/// information available".
+pub fn feature_distance(a: &FeatureMap, b: &FeatureMap) -> f64 {
+    if a.shape() != b.shape() || a.as_slice().is_empty() {
+        return 0.0;
+    }
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Feature-level distance between a detector's responses on two images.
+pub fn heatmap_distance<D: Detector + ?Sized>(detector: &D, a: &Image, b: &Image) -> f64 {
+    feature_distance(&detector.heatmap(a), &detector.heatmap(b))
+}
+
+/// Collapses a per-class heatmap to a single salience plane
+/// (max over classes per position) — the visualisation the paper overlays
+/// on its qualitative figures.
+pub fn salience_plane(map: &FeatureMap) -> FeatureMap {
+    if map.channels() == 0 {
+        return FeatureMap::default();
+    }
+    let mut out = FeatureMap::filled(1, map.height(), map.width(), f32::NEG_INFINITY);
+    for c in 0..map.channels() {
+        for y in 0..map.height() {
+            for x in 0..map.width() {
+                let v = map.at(c, y, x).max(out.at(0, y, x));
+                out.set(0, y, x, v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yolo::{YoloConfig, YoloDetector};
+    use bea_scene::SyntheticKitti;
+
+    #[test]
+    fn identical_maps_have_zero_distance() {
+        let a = FeatureMap::filled(2, 3, 4, 1.5);
+        assert_eq!(feature_distance(&a, &a.clone()), 0.0);
+    }
+
+    #[test]
+    fn mismatched_shapes_yield_zero() {
+        let a = FeatureMap::zeros(1, 2, 2);
+        let b = FeatureMap::zeros(2, 2, 2);
+        assert_eq!(feature_distance(&a, &b), 0.0);
+        assert_eq!(feature_distance(&FeatureMap::default(), &FeatureMap::default()), 0.0);
+    }
+
+    #[test]
+    fn distance_matches_manual_l2() {
+        let a = FeatureMap::zeros(1, 1, 2);
+        let mut b = FeatureMap::zeros(1, 1, 2);
+        b.set(0, 0, 0, 3.0);
+        b.set(0, 0, 1, 4.0);
+        assert!((feature_distance(&a, &b) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detector_heatmap_distance_reacts_to_perturbation() {
+        let yolo = YoloDetector::new(YoloConfig::with_seed(1));
+        let img = SyntheticKitti::smoke_set().image(0);
+        let mut noisy = img.clone();
+        for x in 0..noisy.width() {
+            let p = noisy.pixel(x, 20);
+            noisy.put_pixel(x, 20, [p[0] + 60.0, p[1], p[2]]);
+        }
+        assert_eq!(heatmap_distance(&yolo, &img, &img), 0.0);
+        assert!(heatmap_distance(&yolo, &img, &noisy) > 0.0);
+    }
+
+    #[test]
+    fn salience_takes_class_max() {
+        let mut map = FeatureMap::zeros(2, 1, 2);
+        map.set(0, 0, 0, 0.2);
+        map.set(1, 0, 0, 0.7);
+        map.set(0, 0, 1, -0.5);
+        map.set(1, 0, 1, -0.9);
+        let s = salience_plane(&map);
+        assert_eq!(s.at(0, 0, 0), 0.7);
+        assert_eq!(s.at(0, 0, 1), -0.5);
+    }
+
+    #[test]
+    fn salience_of_empty_map_is_empty() {
+        assert_eq!(salience_plane(&FeatureMap::default()).shape(), (0, 0, 0));
+    }
+}

@@ -1,0 +1,66 @@
+//! From-scratch object detectors for the butterfly-effect-attack workspace.
+//!
+//! The paper compares two architectural patterns under its attack:
+//!
+//! * **single-stage convolutional** detectors (YOLOv5) whose decisions are
+//!   made from *local* receptive fields, and
+//! * **transformer** detectors (DETR) whose self-attention encoder lets any
+//!   image region influence any prediction.
+//!
+//! No pretrained weights are available in this reproduction, so both
+//! detectors are built from scratch over a shared matched-filter backbone
+//! ([`response`]): class templates are synthesised by rendering canonical
+//! instances of each [`bea_scene::ObjectClass`], and the backbone computes
+//! cosine-similarity response maps for every class.
+//!
+//! * [`YoloDetector`] decodes those responses **locally** on a grid — the
+//!   only global path is image-level normalisation, so far-away
+//!   perturbations barely reach a detection (the paper's observed YOLO
+//!   robustness).
+//! * [`DetrDetector`] embeds patch features into tokens and runs a
+//!   multi-head self-attention encoder before decoding with anchored object
+//!   queries — *every* token mixes with every other one, which is precisely
+//!   the butterfly channel the paper conjectures for DETR.
+//!
+//! The paper trains 25 models of each architecture (seeds 1..25) and builds
+//! 16-model ensembles (Table I); [`ModelZoo`] and [`Ensemble`] reproduce
+//! that setup with seeded weight jitter.
+//!
+//! # Examples
+//!
+//! ```
+//! use bea_detect::{Detector, ModelZoo, Architecture};
+//! use bea_scene::SyntheticKitti;
+//!
+//! let zoo = ModelZoo::with_defaults();
+//! let yolo = zoo.model(Architecture::Yolo, 1);
+//! let img = SyntheticKitti::evaluation_set().image(0);
+//! let prediction = yolo.detect(&img);
+//! assert!(prediction.len() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detector;
+pub mod detr;
+pub mod ensemble;
+pub mod heatmap;
+pub mod metrics;
+pub mod nms;
+pub mod peaks;
+pub mod response;
+pub mod templates;
+pub mod transformer;
+pub mod two_stage;
+pub mod types;
+pub mod yolo;
+pub mod zoo;
+
+pub use detector::Detector;
+pub use detr::{DetrConfig, DetrDetector};
+pub use ensemble::Ensemble;
+pub use two_stage::{TwoStageConfig, TwoStageDetector};
+pub use types::{Detection, Prediction};
+pub use yolo::{YoloConfig, YoloDetector};
+pub use zoo::{Architecture, ModelZoo};

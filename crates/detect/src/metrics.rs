@@ -1,0 +1,222 @@
+//! Detection quality metrics against ground truth.
+//!
+//! The paper assumes the clean prediction `f(img)` is correct; in this
+//! reproduction that assumption is *checked*: the model zoo's detectors are
+//! evaluated on the synthetic dataset with the standard greedy IoU matching
+//! used below, and the `table1_setup` harness prints the resulting scores.
+
+use crate::detector::Detector;
+use crate::types::Prediction;
+use bea_scene::{BBox, ObjectClass, Scene};
+
+/// Matching and counting result on one or more scenes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DetectionScore {
+    /// Ground-truth objects matched by a same-class detection (IoU ≥ 0.5).
+    pub true_positives: usize,
+    /// Detections not matching any ground truth.
+    pub false_positives: usize,
+    /// Ground-truth objects with no matching detection.
+    pub false_negatives: usize,
+    /// Sum of matched IoU values (for [`DetectionScore::mean_iou`]).
+    pub iou_sum: f64,
+}
+
+impl DetectionScore {
+    /// Precision `TP / (TP + FP)`; `1.0` when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall `TP / (TP + FN)`; `1.0` when there was nothing to find.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Mean IoU over matched pairs; `0.0` when nothing matched.
+    pub fn mean_iou(&self) -> f64 {
+        if self.true_positives == 0 {
+            0.0
+        } else {
+            self.iou_sum / self.true_positives as f64
+        }
+    }
+
+    /// Accumulates another score into this one.
+    pub fn merge(&mut self, other: &DetectionScore) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.false_negatives += other.false_negatives;
+        self.iou_sum += other.iou_sum;
+    }
+}
+
+/// Greedily matches a prediction against ground truth: pairs are formed in
+/// descending IoU order among same-class pairs with IoU ≥ `iou_threshold`,
+/// each detection and each ground truth used at most once.
+pub fn match_prediction(
+    prediction: &Prediction,
+    ground_truth: &[(ObjectClass, BBox)],
+    iou_threshold: f32,
+) -> DetectionScore {
+    let dets = prediction.as_slice();
+    let mut pairs: Vec<(usize, usize, f32)> = Vec::new();
+    for (di, det) in dets.iter().enumerate() {
+        for (gi, (class, bbox)) in ground_truth.iter().enumerate() {
+            if det.class == *class {
+                let iou = det.bbox.iou(bbox);
+                if iou >= iou_threshold {
+                    pairs.push((di, gi, iou));
+                }
+            }
+        }
+    }
+    pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    let mut det_used = vec![false; dets.len()];
+    let mut gt_used = vec![false; ground_truth.len()];
+    let mut score = DetectionScore::default();
+    for (di, gi, iou) in pairs {
+        if det_used[di] || gt_used[gi] {
+            continue;
+        }
+        det_used[di] = true;
+        gt_used[gi] = true;
+        score.true_positives += 1;
+        score.iou_sum += iou as f64;
+    }
+    score.false_positives = det_used.iter().filter(|&&u| !u).count();
+    score.false_negatives = gt_used.iter().filter(|&&u| !u).count();
+    score
+}
+
+/// Evaluates a detector over a set of scenes.
+pub fn evaluate<D, I>(detector: &D, scenes: I, iou_threshold: f32) -> DetectionScore
+where
+    D: Detector + ?Sized,
+    I: IntoIterator<Item = Scene>,
+{
+    let mut total = DetectionScore::default();
+    for scene in scenes {
+        let prediction = detector.detect(&scene.render());
+        let score = match_prediction(&prediction, &scene.ground_truths(), iou_threshold);
+        total.merge(&score);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Detection;
+
+    fn gt() -> Vec<(ObjectClass, BBox)> {
+        vec![
+            (ObjectClass::Car, BBox::new(20.0, 20.0, 10.0, 10.0)),
+            (ObjectClass::Pedestrian, BBox::new(60.0, 20.0, 8.0, 16.0)),
+        ]
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let pred = Prediction::from_detections(vec![
+            Detection::new(ObjectClass::Car, BBox::new(20.0, 20.0, 10.0, 10.0), 0.9),
+            Detection::new(ObjectClass::Pedestrian, BBox::new(60.0, 20.0, 8.0, 16.0), 0.9),
+        ]);
+        let score = match_prediction(&pred, &gt(), 0.5);
+        assert_eq!(score.true_positives, 2);
+        assert_eq!(score.false_positives, 0);
+        assert_eq!(score.false_negatives, 0);
+        assert_eq!(score.precision(), 1.0);
+        assert_eq!(score.recall(), 1.0);
+        assert_eq!(score.f1(), 1.0);
+        assert!((score.mean_iou() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wrong_class_is_both_fp_and_fn() {
+        let pred = Prediction::from_detections(vec![Detection::new(
+            ObjectClass::Van,
+            BBox::new(20.0, 20.0, 10.0, 10.0),
+            0.9,
+        )]);
+        let score = match_prediction(&pred, &gt(), 0.5);
+        assert_eq!(score.true_positives, 0);
+        assert_eq!(score.false_positives, 1);
+        assert_eq!(score.false_negatives, 2);
+    }
+
+    #[test]
+    fn each_gt_matches_once() {
+        // Two detections on the same ground truth: one TP, one FP.
+        let pred = Prediction::from_detections(vec![
+            Detection::new(ObjectClass::Car, BBox::new(20.0, 20.0, 10.0, 10.0), 0.9),
+            Detection::new(ObjectClass::Car, BBox::new(21.0, 20.0, 10.0, 10.0), 0.8),
+        ]);
+        let score = match_prediction(&pred, &gt(), 0.5);
+        assert_eq!(score.true_positives, 1);
+        assert_eq!(score.false_positives, 1);
+        assert_eq!(score.false_negatives, 1);
+    }
+
+    #[test]
+    fn empty_prediction_and_empty_gt() {
+        let score = match_prediction(&Prediction::new(), &[], 0.5);
+        assert_eq!(score.precision(), 1.0);
+        assert_eq!(score.recall(), 1.0);
+        assert_eq!(score.mean_iou(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = DetectionScore {
+            true_positives: 1,
+            false_positives: 2,
+            false_negatives: 3,
+            iou_sum: 0.9,
+        };
+        a.merge(&DetectionScore {
+            true_positives: 4,
+            false_positives: 0,
+            false_negatives: 1,
+            iou_sum: 3.2,
+        });
+        assert_eq!(a.true_positives, 5);
+        assert_eq!(a.false_positives, 2);
+        assert_eq!(a.false_negatives, 4);
+        assert!((a.iou_sum - 4.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_prefers_highest_iou() {
+        let pred = Prediction::from_detections(vec![
+            Detection::new(ObjectClass::Car, BBox::new(22.0, 20.0, 10.0, 10.0), 0.9),
+            Detection::new(ObjectClass::Car, BBox::new(20.0, 20.0, 10.0, 10.0), 0.5),
+        ]);
+        let truth = vec![(ObjectClass::Car, BBox::new(20.0, 20.0, 10.0, 10.0))];
+        let score = match_prediction(&pred, &truth, 0.5);
+        assert_eq!(score.true_positives, 1);
+        // The exact-overlap (lower-score) detection won the match.
+        assert!((score.mean_iou() - 1.0).abs() < 1e-6);
+    }
+}

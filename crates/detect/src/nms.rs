@@ -1,0 +1,120 @@
+//! Greedy non-maximum suppression.
+
+use crate::types::{Detection, Prediction};
+
+/// Greedy class-wise non-maximum suppression.
+///
+/// Detections are visited in order of descending score; a detection is kept
+/// unless a previously kept detection *of the same class* overlaps it with
+/// IoU above `iou_threshold`.
+///
+/// # Examples
+///
+/// ```
+/// use bea_detect::{nms, Detection, Prediction};
+/// use bea_scene::{BBox, ObjectClass};
+///
+/// let pred = Prediction::from_detections(vec![
+///     Detection::new(ObjectClass::Car, BBox::new(10.0, 10.0, 8.0, 8.0), 0.9),
+///     Detection::new(ObjectClass::Car, BBox::new(11.0, 10.0, 8.0, 8.0), 0.6),
+/// ]);
+/// let kept = nms::suppress(pred, 0.5);
+/// assert_eq!(kept.len(), 1);
+/// assert_eq!(kept.as_slice()[0].score, 0.9);
+/// ```
+pub fn suppress(prediction: Prediction, iou_threshold: f32) -> Prediction {
+    let mut sorted = prediction;
+    sorted.sort_by_score();
+    let mut kept: Vec<Detection> = Vec::new();
+    for det in sorted.into_vec() {
+        let overlapped = kept
+            .iter()
+            .any(|k| k.class == det.class && k.bbox.iou(&det.bbox) > iou_threshold);
+        if !overlapped {
+            kept.push(det);
+        }
+    }
+    Prediction::from_detections(kept)
+}
+
+/// Class-agnostic variant: suppression ignores class labels.
+///
+/// Used by the DETR-like decoder where several object queries may lock onto
+/// one object with different class hypotheses.
+pub fn suppress_class_agnostic(prediction: Prediction, iou_threshold: f32) -> Prediction {
+    let mut sorted = prediction;
+    sorted.sort_by_score();
+    let mut kept: Vec<Detection> = Vec::new();
+    for det in sorted.into_vec() {
+        let overlapped = kept.iter().any(|k| k.bbox.iou(&det.bbox) > iou_threshold);
+        if !overlapped {
+            kept.push(det);
+        }
+    }
+    Prediction::from_detections(kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bea_scene::{BBox, ObjectClass};
+
+    fn det(class: ObjectClass, cx: f32, score: f32) -> Detection {
+        Detection::new(class, BBox::new(cx, 10.0, 8.0, 8.0), score)
+    }
+
+    #[test]
+    fn duplicates_are_suppressed() {
+        let pred = Prediction::from_detections(vec![
+            det(ObjectClass::Car, 10.0, 0.5),
+            det(ObjectClass::Car, 10.5, 0.9),
+            det(ObjectClass::Car, 11.0, 0.7),
+        ]);
+        let kept = suppress(pred, 0.5);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept.as_slice()[0].score, 0.9);
+    }
+
+    #[test]
+    fn distant_detections_survive() {
+        let pred = Prediction::from_detections(vec![
+            det(ObjectClass::Car, 10.0, 0.9),
+            det(ObjectClass::Car, 100.0, 0.8),
+        ]);
+        assert_eq!(suppress(pred, 0.5).len(), 2);
+    }
+
+    #[test]
+    fn different_classes_do_not_suppress_each_other() {
+        let pred = Prediction::from_detections(vec![
+            det(ObjectClass::Car, 10.0, 0.9),
+            det(ObjectClass::Van, 10.0, 0.8),
+        ]);
+        assert_eq!(suppress(pred, 0.5).len(), 2);
+        assert_eq!(suppress_class_agnostic(
+            Prediction::from_detections(vec![
+                det(ObjectClass::Car, 10.0, 0.9),
+                det(ObjectClass::Van, 10.0, 0.8),
+            ]),
+            0.5,
+        )
+        .len(), 1);
+    }
+
+    #[test]
+    fn empty_prediction_is_noop() {
+        assert!(suppress(Prediction::new(), 0.5).is_empty());
+    }
+
+    #[test]
+    fn threshold_controls_aggressiveness() {
+        let pred = || {
+            Prediction::from_detections(vec![
+                det(ObjectClass::Car, 10.0, 0.9),
+                det(ObjectClass::Car, 14.0, 0.8), // IoU = 1/3
+            ])
+        };
+        assert_eq!(suppress(pred(), 0.5).len(), 2);
+        assert_eq!(suppress(pred(), 0.2).len(), 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! Peak finding and box-extent measurement on response planes.
+//!
+//! Both detector heads turn a per-class score plane into boxes the same
+//! way: find local maxima above a threshold, then measure the half-peak
+//! span of the response around each maximum to estimate the box extents.
+//! Because extents are *measured from the score field*, a perturbation that
+//! deforms the field changes the predicted box size — the "bounding box
+//! changes its size" degradation mode the paper reports (Section V-B).
+
+/// A local maximum of a score plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// Column of the maximum.
+    pub x: usize,
+    /// Row of the maximum.
+    pub y: usize,
+    /// Score at the maximum.
+    pub value: f32,
+}
+
+/// Finds strict-or-equal local maxima above `threshold` in a row-major
+/// `height × width` plane.
+///
+/// A cell is a peak when it is ≥ all 8 neighbours; plateau cells keep only
+/// the first (top-left) representative to avoid duplicate boxes.
+pub fn find_peaks(plane: &[f32], width: usize, height: usize, threshold: f32) -> Vec<Peak> {
+    debug_assert_eq!(plane.len(), width * height);
+    let mut peaks = Vec::new();
+    for y in 0..height {
+        for x in 0..width {
+            let v = plane[y * width + x];
+            if v < threshold {
+                continue;
+            }
+            let mut is_peak = true;
+            let mut first_of_plateau = true;
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let ny = y as i64 + dy;
+                    let nx = x as i64 + dx;
+                    if ny < 0 || nx < 0 || ny >= height as i64 || nx >= width as i64 {
+                        continue;
+                    }
+                    let nv = plane[ny as usize * width + nx as usize];
+                    if nv > v {
+                        is_peak = false;
+                    }
+                    // Plateau tie-break: an equal-valued neighbour earlier
+                    // in scan order owns the plateau.
+                    if nv == v && (ny < y as i64 || (ny == y as i64 && nx < x as i64)) {
+                        first_of_plateau = false;
+                    }
+                }
+            }
+            if is_peak && first_of_plateau {
+                peaks.push(Peak { x, y, value: v });
+            }
+        }
+    }
+    peaks.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap_or(std::cmp::Ordering::Equal));
+    peaks
+}
+
+/// The measured span of a peak: the half-peak extent along each axis, and
+/// the span midpoint (a sub-cell refinement of the peak position).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeakSpan {
+    /// Span midpoint along x (fractional cells).
+    pub center_x: f32,
+    /// Span midpoint along y (fractional cells).
+    pub center_y: f32,
+    /// Full width at half peak along x, in cells.
+    pub width: f32,
+    /// Full width at half peak along y, in cells.
+    pub height: f32,
+}
+
+/// Measures the half-peak span of `peak` on a score plane.
+///
+/// Walks outwards from the peak along each axis until the score drops below
+/// `frac · peak.value` (or the plane edge), with the walk capped at
+/// `max_reach` cells per direction. The crossing point is linearly
+/// interpolated between the last in-span cell and the first below-cutoff
+/// cell, giving sub-cell extents. The resulting span midpoint shifts when
+/// the field becomes asymmetric — which is how perturbations move predicted
+/// box centres.
+pub fn measure_span(
+    plane: &[f32],
+    width: usize,
+    height: usize,
+    peak: Peak,
+    frac: f32,
+    max_reach: usize,
+) -> PeakSpan {
+    debug_assert_eq!(plane.len(), width * height);
+    let cutoff = peak.value * frac;
+    let at = |x: usize, y: usize| plane[y * width + x];
+
+    // Walks along one axis; `sample(k)` is the value k cells away from the
+    // peak, or None past the plane edge. Returns the fractional reach.
+    let walk = |sample: &dyn Fn(usize) -> Option<f32>| -> f32 {
+        let mut steps = 0usize;
+        let mut last = peak.value;
+        loop {
+            if steps >= max_reach {
+                return steps as f32;
+            }
+            match sample(steps + 1) {
+                None => return steps as f32,
+                Some(v) if v >= cutoff => {
+                    last = v;
+                    steps += 1;
+                }
+                Some(v) => {
+                    // Interpolate the crossing between `last` and `v`.
+                    let t = if last > v { (last - cutoff) / (last - v) } else { 0.0 };
+                    return steps as f32 + t.clamp(0.0, 1.0);
+                }
+            }
+        }
+    };
+
+    let left = walk(&|k| (peak.x >= k).then(|| at(peak.x - k, peak.y)));
+    let right = walk(&|k| (peak.x + k < width).then(|| at(peak.x + k, peak.y)));
+    let up = walk(&|k| (peak.y >= k).then(|| at(peak.x, peak.y - k)));
+    let down = walk(&|k| (peak.y + k < height).then(|| at(peak.x, peak.y + k)));
+
+    PeakSpan {
+        center_x: peak.x as f32 + (right - left) / 2.0,
+        center_y: peak.y as f32 + (down - up) / 2.0,
+        width: left + right + 1.0,
+        height: up + down + 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane_with(width: usize, height: usize, cells: &[(usize, usize, f32)]) -> Vec<f32> {
+        let mut p = vec![0.0; width * height];
+        for &(x, y, v) in cells {
+            p[y * width + x] = v;
+        }
+        p
+    }
+
+    #[test]
+    fn single_peak_is_found() {
+        let plane = plane_with(8, 6, &[(3, 2, 0.9)]);
+        let peaks = find_peaks(&plane, 8, 6, 0.5);
+        assert_eq!(peaks, vec![Peak { x: 3, y: 2, value: 0.9 }]);
+    }
+
+    #[test]
+    fn threshold_filters_weak_peaks() {
+        let plane = plane_with(8, 6, &[(3, 2, 0.4), (6, 4, 0.8)]);
+        let peaks = find_peaks(&plane, 8, 6, 0.5);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].x, 6);
+    }
+
+    #[test]
+    fn peaks_sorted_by_score() {
+        let plane = plane_with(10, 4, &[(1, 1, 0.6), (8, 2, 0.9)]);
+        let peaks = find_peaks(&plane, 10, 4, 0.5);
+        assert_eq!(peaks[0].value, 0.9);
+        assert_eq!(peaks[1].value, 0.6);
+    }
+
+    #[test]
+    fn plateau_yields_one_peak() {
+        let plane = plane_with(8, 4, &[(3, 1, 0.7), (4, 1, 0.7)]);
+        let peaks = find_peaks(&plane, 8, 4, 0.5);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!((peaks[0].x, peaks[0].y), (3, 1));
+    }
+
+    #[test]
+    fn neighbouring_higher_cell_suppresses() {
+        let plane = plane_with(8, 4, &[(3, 1, 0.7), (4, 1, 0.8)]);
+        let peaks = find_peaks(&plane, 8, 4, 0.5);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].x, 4);
+    }
+
+    #[test]
+    fn span_of_symmetric_ridge() {
+        // Ridge of width 5 around x=5 at y=2.
+        let mut plane = vec![0.0; 12 * 5];
+        for x in 3..=7 {
+            plane[2 * 12 + x] = 0.8;
+        }
+        plane[2 * 12 + 5] = 1.0;
+        let span = measure_span(&plane, 12, 5, Peak { x: 5, y: 2, value: 1.0 }, 0.5, 10);
+        // 2 whole cells each side plus an interpolated 0.375 crossing into
+        // the zero neighbours: width = 2*(2 + 0.375) + 1.
+        assert!((span.width - 5.75).abs() < 1e-6, "width {}", span.width);
+        assert_eq!(span.center_x, 5.0);
+        // Vertically the 1.0 peak drops straight to 0: crossing at 0.5.
+        assert!((span.height - 2.0).abs() < 1e-6, "height {}", span.height);
+    }
+
+    #[test]
+    fn span_of_asymmetric_ridge_shifts_center() {
+        let mut plane = vec![0.0; 12 * 5];
+        for x in 5..=8 {
+            plane[2 * 12 + x] = 0.8;
+        }
+        plane[2 * 12 + 5] = 1.0;
+        let span = measure_span(&plane, 12, 5, Peak { x: 5, y: 2, value: 1.0 }, 0.5, 10);
+        assert!(span.center_x > 5.0, "span centre should shift right");
+        assert!(span.width > 3.5 && span.width < 5.5, "width {}", span.width);
+    }
+
+    #[test]
+    fn max_reach_caps_walk() {
+        let plane = vec![1.0; 20 * 3];
+        let span = measure_span(&plane, 20, 3, Peak { x: 10, y: 1, value: 1.0 }, 0.5, 2);
+        assert_eq!(span.width, 5.0);
+        assert_eq!(span.height, 3.0); // capped by plane edge (rows 0..3)
+        assert_eq!(span.center_x, 10.0);
+    }
+
+    #[test]
+    fn edge_peak_is_handled() {
+        let plane = plane_with(8, 4, &[(0, 0, 0.9)]);
+        let peaks = find_peaks(&plane, 8, 4, 0.5);
+        assert_eq!(peaks.len(), 1);
+        let span = measure_span(&plane, 8, 4, peaks[0], 0.5, 5);
+        // Peak 0.9 drops to 0 at the next cell: crossing fraction 4/9 each
+        // reachable side; the left/top sides are plane edges.
+        assert!(span.width > 1.0 && span.width < 2.0, "width {}", span.width);
+    }
+
+    #[test]
+    fn empty_plane_has_no_peaks() {
+        let plane = vec![0.0; 6 * 6];
+        assert!(find_peaks(&plane, 6, 6, 0.1).is_empty());
+    }
+}

@@ -1,0 +1,291 @@
+//! The shared backbone: per-class normalised cross-correlation response
+//! fields.
+//!
+//! Both detector architectures start from the same evidence: for every
+//! class, a map of normalised cross-correlation (NCC) scores between the
+//! zero-mean class template and the image patch at each position. NCC is
+//! invariant to local brightness offset and gain, which is what makes the
+//! matched filters tolerate the scene generator's style jitter — and it is
+//! *local*: an NCC value only depends on pixels under the template support.
+//! Any cross-image coupling therefore has to come from the architecture on
+//! top (global context gain for YOLO, self-attention for DETR), exactly the
+//! comparison the paper sets up.
+
+use crate::templates::{ClassTemplate, TemplateBank, BACKBONE_SCALE};
+use bea_image::Image;
+use bea_scene::ObjectClass;
+use bea_tensor::FeatureMap;
+
+/// Per-class response maps at backbone resolution.
+///
+/// # Examples
+///
+/// ```
+/// use bea_detect::response::ResponseField;
+/// use bea_detect::templates::TemplateBank;
+/// use bea_image::Image;
+///
+/// let bank = TemplateBank::canonical();
+/// let field = ResponseField::compute(&Image::filled(64, 32, [96.0; 3]), &bank);
+/// // A constant image correlates with nothing.
+/// assert!(field.map().max() < 0.3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseField {
+    /// One channel per class, backbone resolution.
+    map: FeatureMap,
+}
+
+impl ResponseField {
+    /// Computes response maps for every class in the bank.
+    pub fn compute(img: &Image, bank: &TemplateBank) -> Self {
+        let half = img.downscale(BACKBONE_SCALE);
+        let (h, w) = (half.height(), half.width());
+        let sat = Sat::build(half.as_feature_map());
+        let mut map = FeatureMap::zeros(ObjectClass::COUNT, h, w);
+        for template in bank.templates() {
+            let plane = ncc_plane(half.as_feature_map(), &sat, template);
+            map.channel_mut(template.class().index()).copy_from_slice(plane.channel(0));
+        }
+        Self { map }
+    }
+
+    /// The stacked response maps (one channel per class index).
+    pub fn map(&self) -> &FeatureMap {
+        &self.map
+    }
+
+    /// The response plane of one class.
+    pub fn class_plane(&self, class: ObjectClass) -> &[f32] {
+        self.map.channel(class.index())
+    }
+
+    /// Backbone-resolution height.
+    pub fn height(&self) -> usize {
+        self.map.height()
+    }
+
+    /// Backbone-resolution width.
+    pub fn width(&self) -> usize {
+        self.map.width()
+    }
+
+    /// Converts a backbone-resolution coordinate to full-resolution pixels.
+    pub fn to_full_res(coord: f32) -> f32 {
+        coord * BACKBONE_SCALE as f32 + (BACKBONE_SCALE as f32 - 1.0) / 2.0
+    }
+
+    /// Converts a full-resolution pixel coordinate to backbone resolution.
+    pub fn to_backbone(coord: f32) -> f32 {
+        (coord - (BACKBONE_SCALE as f32 - 1.0) / 2.0) / BACKBONE_SCALE as f32
+    }
+}
+
+/// Summed-area tables of the per-pixel channel sum and square sum, used to
+/// normalise patches in O(1) per position.
+struct Sat {
+    width: usize,
+    sum: Vec<f64>,
+    sum_sq: Vec<f64>,
+}
+
+impl Sat {
+    fn build(map: &FeatureMap) -> Self {
+        let (h, w) = (map.height(), map.width());
+        // One extra row/column of zeros simplifies rectangle queries.
+        let stride = w + 1;
+        let mut sum = vec![0.0f64; (h + 1) * stride];
+        let mut sum_sq = vec![0.0f64; (h + 1) * stride];
+        for y in 0..h {
+            for x in 0..w {
+                let mut s = 0.0f64;
+                let mut q = 0.0f64;
+                for c in 0..map.channels() {
+                    let v = map.at(c, y, x) as f64;
+                    s += v;
+                    q += v * v;
+                }
+                let idx = (y + 1) * stride + (x + 1);
+                sum[idx] = s + sum[idx - 1] + sum[idx - stride] - sum[idx - stride - 1];
+                sum_sq[idx] =
+                    q + sum_sq[idx - 1] + sum_sq[idx - stride] - sum_sq[idx - stride - 1];
+            }
+        }
+        Self { width: w, sum, sum_sq }
+    }
+
+    /// Rectangle sums over `[y0, y0+th) × [x0, x0+tw)`: `(sum, sum_sq)`.
+    fn rect(&self, y0: usize, x0: usize, th: usize, tw: usize) -> (f64, f64) {
+        let stride = self.width + 1;
+        let a = y0 * stride + x0;
+        let b = y0 * stride + (x0 + tw);
+        let c = (y0 + th) * stride + x0;
+        let d = (y0 + th) * stride + (x0 + tw);
+        (
+            self.sum[d] - self.sum[b] - self.sum[c] + self.sum[a],
+            self.sum_sq[d] - self.sum_sq[b] - self.sum_sq[c] + self.sum_sq[a],
+        )
+    }
+}
+
+/// Computes the NCC plane of one template over the image; the score is
+/// written at the template centre, zero near the borders.
+fn ncc_plane(img: &FeatureMap, sat: &Sat, template: &ClassTemplate) -> FeatureMap {
+    let (h, w) = (img.height(), img.width());
+    let (th, tw) = (template.height(), template.width());
+    let mut out = FeatureMap::zeros(1, h, w);
+    if th > h || tw > w {
+        return out;
+    }
+    let t = template.map();
+    let n = (3 * th * tw) as f64;
+    // Patches whose per-entry standard deviation is below this floor are
+    // treated as flat (sky, road): without a floor, NCC would amplify
+    // numerical dust on constant patches to ±1.
+    const MIN_PATCH_STD: f64 = 4.0;
+    let var_floor = n * MIN_PATCH_STD * MIN_PATCH_STD;
+    for y0 in 0..=(h - th) {
+        for x0 in 0..=(w - tw) {
+            let (s, q) = sat.rect(y0, x0, th, tw);
+            let patch_var = q - s * s / n;
+            if patch_var < var_floor {
+                continue;
+            }
+            // Cross-correlation with the template, compensating the patch
+            // mean: num = Σ t·(p − p̄) = Σ t·p − p̄·Σ t.
+            let mut dot = 0.0f64;
+            for c in 0..3 {
+                for ty in 0..th {
+                    for tx in 0..tw {
+                        dot += (t.at(c, ty, tx) * img.at(c, y0 + ty, x0 + tx)) as f64;
+                    }
+                }
+            }
+            let num = dot - (s / n) * template.weight_sum() as f64;
+            let ncc = num / (patch_var.sqrt() * template.norm() as f64);
+            out.set(0, y0 + th / 2, x0 + tw / 2, ncc.clamp(-1.0, 1.0) as f32);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bea_scene::render::{render_object, Style};
+    use bea_scene::BBox;
+
+    fn scene_with(class: ObjectClass, cx: f32, cy: f32) -> Image {
+        let mut img = Image::filled(128, 64, [96.0; 3]);
+        let (w, h) = class.nominal_size();
+        render_object(
+            &mut img,
+            class,
+            &BBox::new(cx, cy, w as f32, h as f32),
+            &Style::canonical(class),
+        );
+        img
+    }
+
+    #[test]
+    fn response_peaks_at_object_centre() {
+        let img = scene_with(ObjectClass::Car, 60.0, 40.0);
+        let field = ResponseField::compute(&img, &TemplateBank::canonical());
+        let plane = field.class_plane(ObjectClass::Car);
+        let (bw, bh) = (field.width(), field.height());
+        let mut best = (0usize, 0usize, f32::NEG_INFINITY);
+        for y in 0..bh {
+            for x in 0..bw {
+                let v = plane[y * bw + x];
+                if v > best.2 {
+                    best = (x, y, v);
+                }
+            }
+        }
+        assert!(best.2 > 0.8, "peak NCC {} too weak", best.2);
+        let full_x = ResponseField::to_full_res(best.0 as f32);
+        let full_y = ResponseField::to_full_res(best.1 as f32);
+        assert!((full_x - 60.0).abs() <= 3.0, "peak x {full_x} far from 60");
+        assert!((full_y - 40.0).abs() <= 3.0, "peak y {full_y} far from 40");
+    }
+
+    #[test]
+    fn correct_class_scores_highest() {
+        for class in [ObjectClass::Car, ObjectClass::Pedestrian, ObjectClass::Cyclist] {
+            let img = scene_with(class, 64.0, 40.0);
+            let field = ResponseField::compute(&img, &TemplateBank::canonical());
+            let peak_of = |c: ObjectClass| {
+                field.class_plane(c).iter().copied().fold(f32::NEG_INFINITY, f32::max)
+            };
+            let own = peak_of(class);
+            for other in ObjectClass::ALL {
+                if other != class {
+                    assert!(
+                        own > peak_of(other) - 0.05,
+                        "{class}: own peak {own} not above {other} peak {}",
+                        peak_of(other)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn response_is_local() {
+        // Perturbing the right half must not change left-half responses at
+        // all (NCC locality) — the foundation of the YOLO robustness result.
+        let base = scene_with(ObjectClass::Car, 30.0, 40.0);
+        let mut perturbed = base.clone();
+        for y in 0..64 {
+            for x in 90..128 {
+                perturbed.put_pixel(x, y, [255.0, 0.0, 255.0]);
+            }
+        }
+        let bank = TemplateBank::canonical();
+        let fa = ResponseField::compute(&base, &bank);
+        let fb = ResponseField::compute(&perturbed, &bank);
+        let bw = fa.width();
+        // Columns safely left of the perturbation minus max template width.
+        for class in ObjectClass::ALL {
+            let pa = fa.class_plane(class);
+            let pb = fb.class_plane(class);
+            for y in 0..fa.height() {
+                for x in 0..(bw / 2 - 13) {
+                    assert_eq!(
+                        pa[y * bw + x],
+                        pb[y * bw + x],
+                        "{class} response at ({x},{y}) changed remotely"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn brightness_jitter_barely_moves_peak() {
+        let mut bright = Style::canonical(ObjectClass::Car);
+        bright.brightness = 1.15;
+        let mut img = Image::filled(128, 64, [96.0; 3]);
+        render_object(&mut img, ObjectClass::Car, &BBox::new(60.0, 40.0, 26.0, 12.0), &bright);
+        let field = ResponseField::compute(&img, &TemplateBank::canonical());
+        let peak =
+            field.class_plane(ObjectClass::Car).iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        assert!(peak > 0.75, "NCC should tolerate brightness jitter, got {peak}");
+    }
+
+    #[test]
+    fn constant_image_has_no_response() {
+        let field =
+            ResponseField::compute(&Image::filled(96, 48, [50.0; 3]), &TemplateBank::canonical());
+        assert!(field.map().max() < 0.3);
+    }
+
+    #[test]
+    fn coordinate_roundtrip() {
+        for v in [0.0f32, 3.0, 17.5] {
+            let full = ResponseField::to_full_res(v);
+            let back = ResponseField::to_backbone(full);
+            assert!((back - v).abs() < 1e-5);
+        }
+    }
+}

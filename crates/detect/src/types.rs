@@ -1,0 +1,249 @@
+//! Detections and predictions.
+
+use bea_scene::{BBox, ObjectClass};
+use std::fmt;
+
+/// One valid bounding-box prediction `B = (cl, x, y, l, w)` with a
+/// confidence score.
+///
+/// The paper's "no object" class ⊥ is represented by *absence* from a
+/// [`Prediction`]; every `Detection` carries a valid class.
+///
+/// # Examples
+///
+/// ```
+/// use bea_detect::Detection;
+/// use bea_scene::{BBox, ObjectClass};
+///
+/// let det = Detection::new(ObjectClass::Car, BBox::new(40.0, 30.0, 26.0, 12.0), 0.9);
+/// assert_eq!(det.class, ObjectClass::Car);
+/// assert!(det.score > 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Predicted class (`cl` in the paper).
+    pub class: ObjectClass,
+    /// Predicted box (`x, y, l, w` in the paper).
+    pub bbox: BBox,
+    /// Confidence in `[0, 1]`.
+    pub score: f32,
+}
+
+impl Detection {
+    /// Creates a detection, clamping the score into `[0, 1]`.
+    pub fn new(class: ObjectClass, bbox: BBox, score: f32) -> Self {
+        Self { class, bbox, score: score.clamp(0.0, 1.0) }
+    }
+}
+
+impl fmt::Display for Detection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ ({:.1},{:.1}) {:.1}x{:.1} score {:.2}",
+            self.class, self.bbox.cx, self.bbox.cy, self.bbox.len, self.bbox.wid, self.score
+        )
+    }
+}
+
+/// The full output of a detector on one image: a list of valid detections.
+///
+/// # Examples
+///
+/// ```
+/// use bea_detect::{Detection, Prediction};
+/// use bea_scene::{BBox, ObjectClass};
+///
+/// let mut pred = Prediction::new();
+/// pred.push(Detection::new(ObjectClass::Car, BBox::new(10.0, 10.0, 8.0, 6.0), 0.8));
+/// assert_eq!(pred.len(), 1);
+/// assert_eq!(pred.of_class(ObjectClass::Car).count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Prediction {
+    detections: Vec<Detection>,
+}
+
+impl Prediction {
+    /// Creates an empty prediction.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a prediction from a vector of detections.
+    pub fn from_detections(detections: Vec<Detection>) -> Self {
+        Self { detections }
+    }
+
+    /// Appends a detection.
+    pub fn push(&mut self, det: Detection) {
+        self.detections.push(det);
+    }
+
+    /// Number of valid detections.
+    pub fn len(&self) -> usize {
+        self.detections.len()
+    }
+
+    /// `true` when nothing was detected.
+    pub fn is_empty(&self) -> bool {
+        self.detections.is_empty()
+    }
+
+    /// Iterator over the detections.
+    pub fn iter(&self) -> std::slice::Iter<'_, Detection> {
+        self.detections.iter()
+    }
+
+    /// Immutable view of the detections.
+    pub fn as_slice(&self) -> &[Detection] {
+        &self.detections
+    }
+
+    /// Consumes the prediction and returns the detections.
+    pub fn into_vec(self) -> Vec<Detection> {
+        self.detections
+    }
+
+    /// Iterator over the detections of one class.
+    pub fn of_class(&self, class: ObjectClass) -> impl Iterator<Item = &Detection> {
+        self.detections.iter().filter(move |d| d.class == class)
+    }
+
+    /// The detection of `class` with the largest IoU against `bbox`, if any
+    /// detection of that class overlaps it at all.
+    ///
+    /// This is the matching rule inside the paper's Algorithm 1: "finds the
+    /// bounding box in the new prediction of the same type that has the
+    /// largest area overlap".
+    pub fn best_match(&self, class: ObjectClass, bbox: &BBox) -> Option<&Detection> {
+        self.of_class(class)
+            .map(|d| (d, d.bbox.iou(bbox)))
+            .filter(|(_, iou)| *iou > 0.0)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(d, _)| d)
+    }
+
+    /// Largest IoU of any same-class detection against `bbox`
+    /// (the `AO` value of Algorithm 1), `0.0` when none overlaps.
+    pub fn best_iou(&self, class: ObjectClass, bbox: &BBox) -> f32 {
+        self.of_class(class).map(|d| d.bbox.iou(bbox)).fold(0.0, f32::max)
+    }
+
+    /// Sorts detections by descending score.
+    pub fn sort_by_score(&mut self) {
+        self.detections.sort_by(|a, b| {
+            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
+}
+
+impl FromIterator<Detection> for Prediction {
+    fn from_iter<I: IntoIterator<Item = Detection>>(iter: I) -> Self {
+        Self { detections: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Detection> for Prediction {
+    fn extend<I: IntoIterator<Item = Detection>>(&mut self, iter: I) {
+        self.detections.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Prediction {
+    type Item = &'a Detection;
+    type IntoIter = std::slice::Iter<'a, Detection>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.detections.iter()
+    }
+}
+
+impl IntoIterator for Prediction {
+    type Item = Detection;
+    type IntoIter = std::vec::IntoIter<Detection>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.detections.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(class: ObjectClass, cx: f32, score: f32) -> Detection {
+        Detection::new(class, BBox::new(cx, 10.0, 8.0, 8.0), score)
+    }
+
+    #[test]
+    fn score_is_clamped() {
+        assert_eq!(det(ObjectClass::Car, 0.0, 2.0).score, 1.0);
+        assert_eq!(det(ObjectClass::Car, 0.0, -1.0).score, 0.0);
+    }
+
+    #[test]
+    fn of_class_filters() {
+        let pred = Prediction::from_detections(vec![
+            det(ObjectClass::Car, 10.0, 0.9),
+            det(ObjectClass::Pedestrian, 40.0, 0.8),
+            det(ObjectClass::Car, 70.0, 0.7),
+        ]);
+        assert_eq!(pred.of_class(ObjectClass::Car).count(), 2);
+        assert_eq!(pred.of_class(ObjectClass::Tram).count(), 0);
+    }
+
+    #[test]
+    fn best_match_requires_overlap_and_class() {
+        let pred = Prediction::from_detections(vec![
+            det(ObjectClass::Car, 10.0, 0.9),
+            det(ObjectClass::Car, 13.0, 0.5),
+        ]);
+        let target = BBox::new(12.0, 10.0, 8.0, 8.0);
+        // Car at 13 overlaps more than car at 10.
+        let best = pred.best_match(ObjectClass::Car, &target).unwrap();
+        assert_eq!(best.bbox.cx, 13.0);
+        // Wrong class: no match even with overlap.
+        assert!(pred.best_match(ObjectClass::Van, &target).is_none());
+        // No overlap: no match.
+        let far = BBox::new(500.0, 10.0, 8.0, 8.0);
+        assert!(pred.best_match(ObjectClass::Car, &far).is_none());
+        assert_eq!(pred.best_iou(ObjectClass::Car, &far), 0.0);
+    }
+
+    #[test]
+    fn best_iou_is_max_over_same_class() {
+        let pred = Prediction::from_detections(vec![
+            det(ObjectClass::Car, 10.0, 0.9),
+            det(ObjectClass::Car, 12.0, 0.9),
+        ]);
+        let target = BBox::new(10.0, 10.0, 8.0, 8.0);
+        assert_eq!(pred.best_iou(ObjectClass::Car, &target), 1.0);
+    }
+
+    #[test]
+    fn sort_by_score_descending() {
+        let mut pred = Prediction::from_detections(vec![
+            det(ObjectClass::Car, 0.0, 0.2),
+            det(ObjectClass::Car, 0.0, 0.9),
+            det(ObjectClass::Car, 0.0, 0.5),
+        ]);
+        pred.sort_by_score();
+        let scores: Vec<f32> = pred.iter().map(|d| d.score).collect();
+        assert_eq!(scores, vec![0.9, 0.5, 0.2]);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let pred: Prediction =
+            (0..3).map(|i| det(ObjectClass::Car, i as f32, 0.5)).collect();
+        assert_eq!(pred.len(), 3);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = det(ObjectClass::Cyclist, 4.0, 0.75).to_string();
+        assert!(text.contains("Cyclist"));
+        assert!(text.contains("0.75"));
+    }
+}

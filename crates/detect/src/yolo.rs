@@ -1,0 +1,334 @@
+//! The single-stage convolutional (YOLO-like) detector.
+//!
+//! Decisions are made from *local* evidence: the NCC response of a class
+//! template at a position depends only on pixels under the template. The
+//! single global pathway — mirroring YOLOv5's SPPF global pooling and
+//! image-level normalisation — is a per-class context gain computed from
+//! global average pooling of the response maps. It is deliberately weak: a
+//! perturbation far from an object can only reach the object's detection by
+//! shifting this pooled context, which is why the paper observes YOLO to be
+//! much more robust to butterfly perturbations than DETR (Figures 2 and 3)
+//! while not perfectly immune (Figure 1).
+
+use crate::detector::Detector;
+use crate::nms;
+use crate::peaks::{find_peaks, measure_span};
+use crate::response::ResponseField;
+use crate::templates::TemplateBank;
+use crate::types::{Detection, Prediction};
+use bea_image::Image;
+use bea_scene::{BBox, ObjectClass};
+use bea_tensor::{FeatureMap, WeightInit};
+
+/// Configuration of a [`YoloDetector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YoloConfig {
+    /// Model seed; the paper trains seeds 1..25.
+    pub seed: u64,
+    /// Relative template weight jitter between seeds.
+    pub template_jitter: f32,
+    /// Base detection threshold on the modulated NCC score.
+    pub threshold: f32,
+    /// Per-seed threshold jitter half-range.
+    pub threshold_jitter: f32,
+    /// Strength of the global context gain (0 disables the global pathway
+    /// entirely, making the detector mathematically immune to remote
+    /// perturbations).
+    pub context_gain: f32,
+    /// IoU threshold for class-wise NMS.
+    pub nms_iou: f32,
+    /// Half-peak fraction for box-extent measurement.
+    pub span_frac: f32,
+}
+
+impl Default for YoloConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            template_jitter: 0.04,
+            threshold: 0.60,
+            threshold_jitter: 0.03,
+            context_gain: 0.18,
+            nms_iou: 0.4,
+            span_frac: 0.5,
+        }
+    }
+}
+
+impl YoloConfig {
+    /// The default configuration with a different seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+}
+
+/// A single-stage convolutional detector built on matched filters.
+///
+/// # Examples
+///
+/// ```
+/// use bea_detect::{Detector, YoloConfig, YoloDetector};
+/// use bea_scene::SyntheticKitti;
+///
+/// let yolo = YoloDetector::new(YoloConfig::with_seed(1));
+/// let pred = yolo.detect(&SyntheticKitti::evaluation_set().image(0));
+/// assert!(!pred.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct YoloDetector {
+    name: String,
+    config: YoloConfig,
+    bank: TemplateBank,
+    threshold: f32,
+    /// Per-class weights of the global context pathway, `C × C`.
+    ctx_weights: Vec<f32>,
+}
+
+impl YoloDetector {
+    /// Builds a detector from a configuration (deterministic per seed).
+    pub fn new(config: YoloConfig) -> Self {
+        let mut rng = WeightInit::from_seed(config.seed.wrapping_mul(0x517C_C1B7_2722_0A95));
+        let bank = TemplateBank::new(config.template_jitter, &mut rng);
+        let threshold = config.threshold
+            + rng.uniform(-config.threshold_jitter.max(1e-6), config.threshold_jitter.max(1e-6));
+        let c = ObjectClass::COUNT;
+        let mut ctx_weights = vec![0.0; c * c];
+        rng.fill_normal(&mut ctx_weights, 0.0, 1.0);
+        Self { name: format!("yolo-s{}", config.seed), config, bank, threshold, ctx_weights }
+    }
+
+    /// The configuration this detector was built from.
+    pub fn config(&self) -> &YoloConfig {
+        &self.config
+    }
+
+    /// The effective (jittered) detection threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Replaces the detection threshold (used by calibration).
+    pub fn set_threshold(&mut self, threshold: f32) {
+        self.threshold = threshold;
+    }
+
+    /// Computes the context-modulated response field.
+    fn modulated_field(&self, img: &Image) -> FeatureMap {
+        let field = ResponseField::compute(img, &self.bank);
+        let mut map = field.map().clone();
+        let c = ObjectClass::COUNT;
+        // Global context: average positive response per class (the SPPF-like
+        // global pooling pathway).
+        let plane_len = (map.height() * map.width()).max(1) as f32;
+        let context: Vec<f32> = (0..c)
+            .map(|ci| map.channel(ci).iter().map(|v| v.max(0.0)).sum::<f32>() / plane_len)
+            .collect();
+        for ci in 0..c {
+            let drive: f32 = (0..c)
+                .map(|k| self.ctx_weights[ci * c + k] * context[k])
+                .sum();
+            let gain = 1.0 + self.config.context_gain * drive.tanh();
+            for v in map.channel_mut(ci) {
+                *v *= gain;
+            }
+        }
+        map
+    }
+}
+
+impl YoloDetector {
+    /// Decodes detections from a modulated response field with an explicit
+    /// threshold (used by calibration sweeps over cached forward passes).
+    fn decode_at(&self, map: &FeatureMap, threshold: f32) -> Prediction {
+        let (w, h) = (map.width(), map.height());
+        let mut raw = Prediction::new();
+        for class in ObjectClass::ALL {
+            let plane = map.channel(class.index());
+            let template = self.bank.template(class);
+            let reach = (template.width().max(template.height())) * 2;
+            for peak in find_peaks(plane, w, h, threshold) {
+                let span = measure_span(plane, w, h, peak, self.config.span_frac, reach);
+                let (nominal_len, nominal_wid) = template.nominal_box();
+                let (expected_x, expected_y) = template.expected_span();
+                // Box extents self-calibrate against the clean-instance
+                // autocorrelation span of the template.
+                let len = (nominal_len * span.width / expected_x)
+                    .clamp(0.6 * nominal_len, 1.5 * nominal_len);
+                let wid = (nominal_wid * span.height / expected_y)
+                    .clamp(0.6 * nominal_wid, 1.5 * nominal_wid);
+                let cx = ResponseField::to_full_res(span.center_x);
+                let cy = ResponseField::to_full_res(span.center_y);
+                let score = ((peak.value - threshold) / (1.0 - threshold))
+                    .clamp(0.0, 1.0)
+                    * 0.5
+                    + 0.5;
+                raw.push(Detection::new(class, BBox::new(cx, cy, len, wid), score));
+            }
+        }
+        nms::suppress(raw, self.config.nms_iou)
+    }
+
+    /// Calibrates the detection threshold on a validation set (see
+    /// [`DetrDetector::calibrate`](crate::detr::DetrDetector::calibrate)).
+    /// Returns the chosen threshold.
+    pub fn calibrate<I: IntoIterator<Item = bea_scene::Scene>>(&mut self, scenes: I) -> f32 {
+        let cached: Vec<_> = scenes
+            .into_iter()
+            .map(|scene| {
+                let map = self.modulated_field(&scene.render());
+                (scene, map)
+            })
+            .collect();
+        let mut best = (self.threshold, f64::MIN);
+        let mut t = 0.45f32;
+        while t <= 0.80 {
+            let mut total = crate::metrics::DetectionScore::default();
+            for (scene, map) in &cached {
+                let pred = self.decode_at(map, t);
+                total.merge(&crate::metrics::match_prediction(
+                    &pred,
+                    &scene.ground_truths(),
+                    0.5,
+                ));
+            }
+            let f1 = total.f1();
+            if f1 > best.1 {
+                best = (t, f1);
+            }
+            t += 0.02;
+        }
+        self.threshold = best.0;
+        best.0
+    }
+}
+
+impl Detector for YoloDetector {
+    fn detect(&self, img: &Image) -> Prediction {
+        let map = self.modulated_field(img);
+        self.decode_at(&map, self.threshold)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn heatmap(&self, img: &Image) -> FeatureMap {
+        self.modulated_field(img)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bea_scene::SyntheticKitti;
+
+    fn detector() -> YoloDetector {
+        YoloDetector::new(YoloConfig::with_seed(1))
+    }
+
+    #[test]
+    fn detects_objects_on_clean_scenes() {
+        let data = SyntheticKitti::evaluation_set();
+        let yolo = detector();
+        let mut matched = 0usize;
+        let mut total = 0usize;
+        for index in 0..4 {
+            let scene = data.scene(index);
+            let pred = yolo.detect(&scene.render());
+            for (class, bbox) in scene.ground_truths() {
+                total += 1;
+                if pred.best_iou(class, &bbox) > 0.5 {
+                    matched += 1;
+                }
+            }
+        }
+        assert!(
+            matched * 10 >= total * 7,
+            "clean recall too low: {matched}/{total} ground truths matched"
+        );
+    }
+
+    #[test]
+    fn construction_is_deterministic_per_seed() {
+        let a = YoloDetector::new(YoloConfig::with_seed(7));
+        let b = YoloDetector::new(YoloConfig::with_seed(7));
+        let img = SyntheticKitti::smoke_set().image(0);
+        assert_eq!(a.detect(&img), b.detect(&img));
+        assert_eq!(a.threshold(), b.threshold());
+    }
+
+    #[test]
+    fn seeds_produce_different_models() {
+        let a = YoloDetector::new(YoloConfig::with_seed(1));
+        let b = YoloDetector::new(YoloConfig::with_seed(2));
+        assert_ne!(a.threshold(), b.threshold());
+        assert_eq!(a.name(), "yolo-s1");
+        assert_eq!(b.name(), "yolo-s2");
+    }
+
+    #[test]
+    fn empty_scene_detects_nothing() {
+        let yolo = detector();
+        let img = bea_scene::Scene::empty(128, 48).render();
+        let pred = yolo.detect(&img);
+        assert!(
+            pred.len() <= 1,
+            "background-only scene should yield (almost) no detections, got {}",
+            pred.len()
+        );
+    }
+
+    #[test]
+    fn heatmap_has_one_channel_per_class() {
+        let yolo = detector();
+        let img = SyntheticKitti::smoke_set().image(0);
+        let map = yolo.heatmap(&img);
+        assert_eq!(map.channels(), ObjectClass::COUNT);
+    }
+
+    #[test]
+    fn zero_context_gain_is_immune_to_remote_noise() {
+        // With the global pathway disabled, right-half perturbations cannot
+        // change left-half detections at all.
+        let config = YoloConfig { context_gain: 0.0, ..YoloConfig::with_seed(3) };
+        let yolo = YoloDetector::new(config);
+        let data = SyntheticKitti::evaluation_set();
+        let scene = data.scene(0);
+        let base = scene.render();
+        let mut noisy = base.clone();
+        let mut rng = WeightInit::from_seed(5);
+        for y in 0..noisy.height() {
+            for x in (noisy.width() / 2 + 14)..noisy.width() {
+                let p = noisy.pixel(x, y);
+                noisy.put_pixel(
+                    x,
+                    y,
+                    [
+                        p[0] + rng.uniform(-80.0, 80.0),
+                        p[1] + rng.uniform(-80.0, 80.0),
+                        p[2] + rng.uniform(-80.0, 80.0),
+                    ],
+                );
+            }
+        }
+        let pa = yolo.detect(&base);
+        let pb = yolo.detect(&noisy);
+        let half = base.width() as f32 / 2.0;
+        let left = |p: &Prediction| {
+            let mut v: Vec<_> =
+                p.iter().filter(|d| d.bbox.cx < half - 14.0).copied().collect();
+            v.sort_by(|a, b| a.bbox.cx.partial_cmp(&b.bbox.cx).unwrap());
+            v
+        };
+        assert_eq!(left(&pa), left(&pb));
+    }
+
+    #[test]
+    fn scores_are_in_unit_interval() {
+        let yolo = detector();
+        let pred = yolo.detect(&SyntheticKitti::evaluation_set().image(1));
+        for det in &pred {
+            assert!((0.0..=1.0).contains(&det.score));
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! The model zoo: seeded model families per architecture.
+//!
+//! Table I of the paper: 25 YOLOv5 and 25 DETR models are trained with
+//! random seeds `s ∈ [1, 25]` "for repeatability", and 16 of them form an
+//! ensemble. The zoo reproduces that setup: `model(arch, seed)` is a pure
+//! function of the seed.
+
+use crate::detector::Detector;
+use crate::detr::{DetrConfig, DetrDetector};
+use crate::ensemble::Ensemble;
+use crate::two_stage::{TwoStageConfig, TwoStageDetector};
+use crate::yolo::{YoloConfig, YoloDetector};
+use std::ops::RangeInclusive;
+
+/// Number of models per architecture in the paper's Table I.
+pub const MODELS_PER_ARCHITECTURE: usize = 25;
+/// Ensemble size in the paper's Table I.
+pub const ENSEMBLE_SIZE: usize = 16;
+
+/// The architectural patterns available in the zoo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// Single-stage convolutional (YOLOv5-like).
+    Yolo,
+    /// Transformer with self-attention (DETR-like).
+    Detr,
+    /// Two-stage region-proposal CNN (Faster-R-CNN-like) — an extension
+    /// beyond the paper's comparison.
+    TwoStage,
+}
+
+impl Architecture {
+    /// The two architectures the paper compares.
+    pub const ALL: [Architecture; 2] = [Architecture::Yolo, Architecture::Detr];
+
+    /// The paper's two architectures plus the two-stage extension.
+    pub const EXTENDED: [Architecture; 3] =
+        [Architecture::Yolo, Architecture::Detr, Architecture::TwoStage];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Architecture::Yolo => "YOLO",
+            Architecture::Detr => "DETR",
+            Architecture::TwoStage => "R-CNN",
+        }
+    }
+}
+
+impl std::fmt::Display for Architecture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Factory for seeded detector models.
+///
+/// # Examples
+///
+/// ```
+/// use bea_detect::{Architecture, ModelZoo};
+///
+/// let zoo = ModelZoo::with_defaults();
+/// let yolo = zoo.model(Architecture::Yolo, 3);
+/// assert_eq!(yolo.name(), "yolo-s3");
+/// let detr = zoo.model(Architecture::Detr, 3);
+/// assert_eq!(detr.name(), "detr-s3");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModelZoo {
+    yolo_base: YoloConfig,
+    detr_base: DetrConfig,
+    two_stage_base: TwoStageConfig,
+}
+
+impl ModelZoo {
+    /// A zoo with the default base configurations.
+    pub fn with_defaults() -> Self {
+        Self {
+            yolo_base: YoloConfig::default(),
+            detr_base: DetrConfig::default(),
+            two_stage_base: TwoStageConfig::default(),
+        }
+    }
+
+    /// A zoo with custom base configurations (the seed field of each base
+    /// is overridden per model).
+    pub fn new(yolo_base: YoloConfig, detr_base: DetrConfig) -> Self {
+        Self { yolo_base, detr_base, two_stage_base: TwoStageConfig::default() }
+    }
+
+    /// Builds the model of `architecture` with the given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DETR base configuration is invalid (head count not
+    /// dividing the model width); the default configuration is always valid.
+    pub fn model(&self, architecture: Architecture, seed: u64) -> Box<dyn Detector> {
+        match architecture {
+            Architecture::Yolo => {
+                Box::new(YoloDetector::new(YoloConfig { seed, ..self.yolo_base }))
+            }
+            Architecture::Detr => Box::new(
+                DetrDetector::new(DetrConfig { seed, ..self.detr_base })
+                    .expect("base DETR configuration must be valid"),
+            ),
+            Architecture::TwoStage => {
+                Box::new(TwoStageDetector::new(TwoStageConfig { seed, ..self.two_stage_base }))
+            }
+        }
+    }
+
+    /// Builds the models for a seed range.
+    pub fn models(
+        &self,
+        architecture: Architecture,
+        seeds: RangeInclusive<u64>,
+    ) -> Vec<Box<dyn Detector>> {
+        seeds.map(|s| self.model(architecture, s)).collect()
+    }
+
+    /// Builds a model and calibrates its detection threshold on the given
+    /// scenes (see the detectors' `calibrate` methods). This checks the
+    /// paper's standing assumption that the clean prediction `f(img)` is
+    /// correct.
+    pub fn calibrated_model<I: IntoIterator<Item = bea_scene::Scene>>(
+        &self,
+        architecture: Architecture,
+        seed: u64,
+        scenes: I,
+    ) -> Box<dyn Detector> {
+        match architecture {
+            Architecture::Yolo => {
+                let mut m = YoloDetector::new(YoloConfig { seed, ..self.yolo_base });
+                m.calibrate(scenes);
+                Box::new(m)
+            }
+            Architecture::Detr => {
+                let mut m = DetrDetector::new(DetrConfig { seed, ..self.detr_base })
+                    .expect("base DETR configuration must be valid");
+                m.calibrate(scenes);
+                Box::new(m)
+            }
+            // The two-stage model uses its fixed seeded thresholds (its
+            // clean accuracy is already YOLO-like without calibration).
+            Architecture::TwoStage => self.model(architecture, seed),
+        }
+    }
+
+    /// The paper's full 25-model family (seeds 1..=25).
+    pub fn paper_family(&self, architecture: Architecture) -> Vec<Box<dyn Detector>> {
+        self.models(architecture, 1..=MODELS_PER_ARCHITECTURE as u64)
+    }
+
+    /// The paper's 16-model ensemble (seeds 1..=16).
+    pub fn paper_ensemble(&self, architecture: Architecture) -> Ensemble {
+        Ensemble::new(self.models(architecture, 1..=ENSEMBLE_SIZE as u64))
+    }
+}
+
+impl Default for ModelZoo {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bea_scene::SyntheticKitti;
+
+    #[test]
+    fn model_names_follow_seed() {
+        let zoo = ModelZoo::with_defaults();
+        assert_eq!(zoo.model(Architecture::Yolo, 12).name(), "yolo-s12");
+        assert_eq!(zoo.model(Architecture::Detr, 25).name(), "detr-s25");
+    }
+
+    #[test]
+    fn models_range_has_right_length() {
+        let zoo = ModelZoo::with_defaults();
+        assert_eq!(zoo.models(Architecture::Yolo, 1..=4).len(), 4);
+    }
+
+    #[test]
+    fn table1_constants() {
+        assert_eq!(MODELS_PER_ARCHITECTURE, 25);
+        assert_eq!(ENSEMBLE_SIZE, 16);
+    }
+
+    #[test]
+    fn same_seed_same_model() {
+        let zoo = ModelZoo::with_defaults();
+        let img = SyntheticKitti::smoke_set().image(2);
+        let a = zoo.model(Architecture::Yolo, 5).detect(&img);
+        let b = zoo.model(Architecture::Yolo, 5).detect(&img);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn small_ensemble_detects() {
+        let zoo = ModelZoo::with_defaults();
+        let ensemble = Ensemble::new(zoo.models(Architecture::Yolo, 1..=3));
+        let img = SyntheticKitti::evaluation_set().image(0);
+        assert!(!ensemble.detect(&img).is_empty());
+    }
+
+    #[test]
+    fn architecture_display() {
+        assert_eq!(Architecture::Yolo.to_string(), "YOLO");
+        assert_eq!(Architecture::Detr.to_string(), "DETR");
+        assert_eq!(Architecture::TwoStage.to_string(), "R-CNN");
+        assert_eq!(Architecture::ALL.len(), 2, "the paper compares two patterns");
+        assert_eq!(Architecture::EXTENDED.len(), 3);
+    }
+
+    #[test]
+    fn two_stage_models_come_from_the_zoo() {
+        let zoo = ModelZoo::with_defaults();
+        let m = zoo.model(Architecture::TwoStage, 9);
+        assert_eq!(m.name(), "rcnn-s9");
+        let img = SyntheticKitti::evaluation_set().image(0);
+        assert!(!m.detect(&img).is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of detection post-processing.
+
+use bea_detect::metrics::match_prediction;
+use bea_detect::{nms, Detection, Prediction};
+use bea_scene::{BBox, ObjectClass};
+use proptest::prelude::*;
+
+fn arb_detection() -> impl Strategy<Value = Detection> {
+    (0usize..6, 0.0f32..150.0, 0.0f32..60.0, 1.0f32..40.0, 1.0f32..30.0, 0.0f32..1.0)
+        .prop_map(|(c, cx, cy, l, w, s)| {
+            Detection::new(
+                ObjectClass::from_index(c).expect("index < 6"),
+                BBox::new(cx, cy, l, w),
+                s,
+            )
+        })
+}
+
+fn arb_prediction(max: usize) -> impl Strategy<Value = Prediction> {
+    proptest::collection::vec(arb_detection(), 0..max).prop_map(Prediction::from_detections)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nms_output_is_a_subset_with_no_suppressable_pairs(pred in arb_prediction(12)) {
+        let input: Vec<Detection> = pred.as_slice().to_vec();
+        let kept = nms::suppress(pred, 0.5);
+        // Subset.
+        for det in &kept {
+            prop_assert!(input.iter().any(|d| d == det));
+        }
+        // No same-class pair above the threshold survives.
+        let kept_slice = kept.as_slice();
+        for (i, a) in kept_slice.iter().enumerate() {
+            for b in kept_slice.iter().skip(i + 1) {
+                if a.class == b.class {
+                    prop_assert!(a.bbox.iou(&b.bbox) <= 0.5 + 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nms_keeps_the_top_scorer(pred in arb_prediction(10)) {
+        let top = pred
+            .iter()
+            .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
+            .copied();
+        let kept = nms::suppress(pred, 0.5);
+        if let Some(top) = top {
+            prop_assert!(
+                kept.iter().any(|d| d == &top),
+                "the global best-scoring detection can never be suppressed"
+            );
+        } else {
+            prop_assert!(kept.is_empty());
+        }
+    }
+
+    #[test]
+    fn nms_is_idempotent(pred in arb_prediction(12)) {
+        let once = nms::suppress(pred, 0.45);
+        let twice = nms::suppress(once.clone(), 0.45);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn class_agnostic_nms_is_at_most_as_large(pred in arb_prediction(12)) {
+        let class_wise = nms::suppress(pred.clone(), 0.5).len();
+        let agnostic = nms::suppress_class_agnostic(pred, 0.5).len();
+        prop_assert!(agnostic <= class_wise);
+    }
+
+    #[test]
+    fn matching_counts_are_conserved(
+        pred in arb_prediction(8),
+        gt in proptest::collection::vec((0usize..6, 0.0f32..150.0, 0.0f32..60.0), 0..6),
+    ) {
+        let ground_truth: Vec<(ObjectClass, BBox)> = gt
+            .into_iter()
+            .map(|(c, cx, cy)| {
+                (ObjectClass::from_index(c).expect("index < 6"), BBox::new(cx, cy, 20.0, 14.0))
+            })
+            .collect();
+        let n_dets = pred.len();
+        let score = match_prediction(&pred, &ground_truth, 0.5);
+        prop_assert_eq!(score.true_positives + score.false_positives, n_dets);
+        prop_assert_eq!(score.true_positives + score.false_negatives, ground_truth.len());
+        prop_assert!(score.precision() >= 0.0 && score.precision() <= 1.0);
+        prop_assert!(score.recall() >= 0.0 && score.recall() <= 1.0);
+        if score.true_positives > 0 {
+            prop_assert!(score.mean_iou() >= 0.5 - 1e-6, "matches require IoU >= 0.5");
+            prop_assert!(score.mean_iou() <= 1.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn best_iou_agrees_with_exhaustive_search(pred in arb_prediction(10), probe in arb_detection()) {
+        let expected = pred
+            .iter()
+            .filter(|d| d.class == probe.class)
+            .map(|d| d.bbox.iou(&probe.bbox))
+            .fold(0.0f32, f32::max);
+        prop_assert_eq!(pred.best_iou(probe.class, &probe.bbox), expected);
+    }
+}

@@ -1,0 +1,199 @@
+//! Drawing primitives for bounding-box overlays on qualitative figures.
+
+use crate::image::Image;
+use crate::region::Region;
+
+/// Draws a 1-pixel rectangle outline over `region`, clipped to the image.
+///
+/// # Examples
+///
+/// ```
+/// use bea_image::{Image, Region, draw};
+///
+/// let mut img = Image::black(16, 16);
+/// draw::rect_outline(&mut img, Region::new(2, 2, 10, 8), [255.0, 0.0, 0.0]);
+/// assert_eq!(img.pixel(2, 2), [255.0, 0.0, 0.0]);
+/// assert_eq!(img.pixel(5, 5), [0.0, 0.0, 0.0]);
+/// ```
+pub fn rect_outline(img: &mut Image, region: Region, rgb: [f32; 3]) {
+    if region.is_empty() {
+        return;
+    }
+    let (w, h) = (img.width(), img.height());
+    let x1 = region.x1.min(w);
+    let y1 = region.y1.min(h);
+    if region.x0 >= w || region.y0 >= h {
+        return;
+    }
+    for x in region.x0..x1 {
+        img.put_pixel(x, region.y0, rgb);
+        if y1 > 0 && y1 - 1 > region.y0 {
+            img.put_pixel(x, y1 - 1, rgb);
+        }
+    }
+    for y in region.y0..y1 {
+        img.put_pixel(region.x0, y, rgb);
+        if x1 > 0 && x1 - 1 > region.x0 {
+            img.put_pixel(x1 - 1, y, rgb);
+        }
+    }
+}
+
+/// Fills a rectangle with a solid colour, clipped to the image.
+pub fn rect_fill(img: &mut Image, region: Region, rgb: [f32; 3]) {
+    let x1 = region.x1.min(img.width());
+    let y1 = region.y1.min(img.height());
+    for y in region.y0..y1 {
+        for x in region.x0..x1 {
+            img.put_pixel(x, y, rgb);
+        }
+    }
+}
+
+/// Fills a rectangle blended with the existing content
+/// (`alpha = 0` keeps the image, `alpha = 1` paints solid).
+pub fn rect_blend(img: &mut Image, region: Region, rgb: [f32; 3], alpha: f32) {
+    let alpha = alpha.clamp(0.0, 1.0);
+    let x1 = region.x1.min(img.width());
+    let y1 = region.y1.min(img.height());
+    for y in region.y0..y1 {
+        for x in region.x0..x1 {
+            let old = img.pixel(x, y);
+            let new = [
+                old[0] * (1.0 - alpha) + rgb[0] * alpha,
+                old[1] * (1.0 - alpha) + rgb[1] * alpha,
+                old[2] * (1.0 - alpha) + rgb[2] * alpha,
+            ];
+            img.put_pixel(x, y, new);
+        }
+    }
+}
+
+/// Draws a horizontal line at row `y` spanning `[x0, x1)`, clipped.
+pub fn hline(img: &mut Image, y: usize, x0: usize, x1: usize, rgb: [f32; 3]) {
+    if y >= img.height() {
+        return;
+    }
+    for x in x0..x1.min(img.width()) {
+        img.put_pixel(x, y, rgb);
+    }
+}
+
+/// Draws a vertical line at column `x` spanning `[y0, y1)`, clipped.
+pub fn vline(img: &mut Image, x: usize, y0: usize, y1: usize, rgb: [f32; 3]) {
+    if x >= img.width() {
+        return;
+    }
+    for y in y0..y1.min(img.height()) {
+        img.put_pixel(x, y, rgb);
+    }
+}
+
+/// Draws a filled disc centred at `(cx, cy)` with the given radius, clipped.
+pub fn disc(img: &mut Image, cx: i64, cy: i64, radius: i64, rgb: [f32; 3]) {
+    if radius < 0 {
+        return;
+    }
+    let r2 = radius * radius;
+    for dy in -radius..=radius {
+        for dx in -radius..=radius {
+            if dx * dx + dy * dy <= r2 {
+                let x = cx + dx;
+                let y = cy + dy;
+                if x >= 0 && y >= 0 && (x as usize) < img.width() && (y as usize) < img.height() {
+                    img.put_pixel(x as usize, y as usize, rgb);
+                }
+            }
+        }
+    }
+}
+
+/// Draws a circle outline (1-pixel ring) centred at `(cx, cy)`.
+pub fn circle_outline(img: &mut Image, cx: i64, cy: i64, radius: i64, rgb: [f32; 3]) {
+    if radius <= 0 {
+        return;
+    }
+    let outer = radius * radius;
+    let inner = (radius - 1) * (radius - 1);
+    for dy in -radius..=radius {
+        for dx in -radius..=radius {
+            let d2 = dx * dx + dy * dy;
+            if d2 <= outer && d2 > inner {
+                let x = cx + dx;
+                let y = cy + dy;
+                if x >= 0 && y >= 0 && (x as usize) < img.width() && (y as usize) < img.height() {
+                    img.put_pixel(x as usize, y as usize, rgb);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outline_leaves_interior() {
+        let mut img = Image::black(10, 10);
+        rect_outline(&mut img, Region::new(1, 1, 9, 9), [255.0; 3]);
+        assert_eq!(img.pixel(1, 1), [255.0; 3]);
+        assert_eq!(img.pixel(8, 8), [255.0; 3]);
+        assert_eq!(img.pixel(5, 5), [0.0; 3]);
+    }
+
+    #[test]
+    fn fill_covers_interior() {
+        let mut img = Image::black(6, 6);
+        rect_fill(&mut img, Region::new(2, 2, 4, 4), [10.0, 20.0, 30.0]);
+        assert_eq!(img.pixel(3, 3), [10.0, 20.0, 30.0]);
+        assert_eq!(img.pixel(1, 1), [0.0; 3]);
+    }
+
+    #[test]
+    fn drawing_clips_to_bounds() {
+        let mut img = Image::black(4, 4);
+        rect_fill(&mut img, Region::new(2, 2, 100, 100), [50.0; 3]);
+        rect_outline(&mut img, Region::new(0, 0, 100, 100), [60.0; 3]);
+        hline(&mut img, 99, 0, 100, [70.0; 3]);
+        vline(&mut img, 99, 0, 100, [70.0; 3]);
+        // Fill interior survives; the clipped outline repainted the border.
+        assert_eq!(img.pixel(2, 2), [50.0; 3]);
+        assert_eq!(img.pixel(3, 3), [60.0; 3]);
+    }
+
+    #[test]
+    fn blend_mixes_colours() {
+        let mut img = Image::filled(2, 2, [100.0; 3]);
+        rect_blend(&mut img, Region::new(0, 0, 2, 2), [200.0; 3], 0.5);
+        assert_eq!(img.pixel(0, 0), [150.0; 3]);
+    }
+
+    #[test]
+    fn disc_is_symmetric_and_clipped() {
+        let mut img = Image::black(11, 11);
+        disc(&mut img, 5, 5, 3, [255.0; 3]);
+        assert_eq!(img.pixel(5, 5), [255.0; 3]);
+        assert_eq!(img.pixel(5, 2), [255.0; 3]);
+        assert_eq!(img.pixel(5, 8), [255.0; 3]);
+        assert_eq!(img.pixel(0, 0), [0.0; 3]);
+        // Clipped draw near the border must not panic.
+        disc(&mut img, 0, 0, 4, [1.0; 3]);
+        disc(&mut img, -10, -10, 3, [1.0; 3]);
+    }
+
+    #[test]
+    fn circle_outline_is_hollow() {
+        let mut img = Image::black(11, 11);
+        circle_outline(&mut img, 5, 5, 4, [255.0; 3]);
+        assert_eq!(img.pixel(5, 5), [0.0; 3]);
+        assert_eq!(img.pixel(5, 1), [255.0; 3]);
+    }
+
+    #[test]
+    fn empty_region_draws_nothing() {
+        let mut img = Image::black(4, 4);
+        rect_outline(&mut img, Region::new(3, 3, 1, 1), [255.0; 3]);
+        assert_eq!(img, Image::black(4, 4));
+    }
+}

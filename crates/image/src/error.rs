@@ -1,0 +1,88 @@
+//! Error types for image operations.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, ImageError>;
+
+/// Errors raised by image construction, mask application and I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ImageError {
+    /// Two operands (image and mask, or two images) have different sizes.
+    SizeMismatch {
+        /// `(width, height)` of the left operand.
+        lhs: (usize, usize),
+        /// `(width, height)` of the right operand.
+        rhs: (usize, usize),
+    },
+    /// A buffer length does not match the requested dimensions.
+    LengthMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        actual: usize,
+    },
+    /// A PPM/PGM stream could not be parsed.
+    Format {
+        /// Description of the malformed content.
+        what: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::SizeMismatch { lhs, rhs } => {
+                write!(f, "image size mismatch: {}x{} vs {}x{}", lhs.0, lhs.1, rhs.0, rhs.1)
+            }
+            ImageError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer length {actual} does not match expected {expected}")
+            }
+            ImageError::Format { what } => write!(f, "malformed image data: {what}"),
+            ImageError::Io(e) => write!(f, "i/o failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ImageError {
+    fn from(e: std::io::Error) -> Self {
+        ImageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_sizes() {
+        let err = ImageError::SizeMismatch { lhs: (4, 2), rhs: (8, 2) };
+        assert!(err.to_string().contains("4x2"));
+        assert!(err.to_string().contains("8x2"));
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let err = ImageError::from(std::io::Error::other("boom"));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ImageError>();
+    }
+}

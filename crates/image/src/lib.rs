@@ -1,0 +1,47 @@
+//! Image, filter-mask and region substrate.
+//!
+//! The paper's attack operates on RGB images of size `L × W` and encodes a
+//! perturbation δ as an explicit *filter mask*: "a matrix of modifications
+//! for the RGB values of each pixel ... signed integer values in the range
+//! [-255, 255]" (Section IV-A). This crate provides:
+//!
+//! * [`Image`] — RGB images with `f32` values in `[0, 255]`,
+//! * [`FilterMask`] — the signed per-pixel perturbation genome,
+//! * [`Region`] / [`RegionConstraint`] — spatial restrictions such as the
+//!   paper's "only the right half of an image is perturbed",
+//! * [`noise`] — the digital-image-processing noise generators used to build
+//!   the initial population,
+//! * [`io`] — PPM/PGM readers and writers for qualitative figures,
+//! * [`draw`] — bounding-box overlays,
+//! * [`metrics`] — PSNR and Lp distances between images.
+//!
+//! # Examples
+//!
+//! ```
+//! use bea_image::{Image, FilterMask, RegionConstraint};
+//!
+//! let img = Image::filled(32, 16, [128.0, 128.0, 128.0]);
+//! let mut mask = FilterMask::zeros(32, 16);
+//! mask.set(0, 4, 20, 50); // +50 on the red channel, right half
+//! RegionConstraint::RightHalf.apply(&mut mask);
+//! let perturbed = mask.apply(&img);
+//! assert_eq!(perturbed.at(0, 4, 20), 178.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod draw;
+pub mod error;
+pub mod image;
+pub mod io;
+pub mod mask;
+pub mod metrics;
+pub mod noise;
+pub mod region;
+
+pub use error::{ImageError, Result};
+pub use image::Image;
+pub use mask::FilterMask;
+pub use noise::NoiseKind;
+pub use region::{Region, RegionConstraint};

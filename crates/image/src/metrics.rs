@@ -1,0 +1,166 @@
+//! Image-distance metrics used for reporting perturbation visibility.
+
+use crate::error::{ImageError, Result};
+use crate::image::Image;
+
+/// Mean squared error between two images over all channels.
+///
+/// # Errors
+///
+/// Returns [`ImageError::SizeMismatch`] for images of different sizes.
+pub fn mse(a: &Image, b: &Image) -> Result<f64> {
+    check_sizes(a, b)?;
+    let pa = a.as_feature_map().as_slice();
+    let pb = b.as_feature_map().as_slice();
+    if pa.is_empty() {
+        return Ok(0.0);
+    }
+    let sum: f64 = pa
+        .iter()
+        .zip(pb)
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum();
+    Ok(sum / pa.len() as f64)
+}
+
+/// Peak signal-to-noise ratio in decibels (peak = 255).
+///
+/// Identical images yield `f64::INFINITY`.
+///
+/// # Errors
+///
+/// Returns [`ImageError::SizeMismatch`] for images of different sizes.
+pub fn psnr(a: &Image, b: &Image) -> Result<f64> {
+    let mse = mse(a, b)?;
+    if mse == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(10.0 * (255.0f64 * 255.0 / mse).log10())
+}
+
+/// L2 distance between two images over all channel values.
+///
+/// # Errors
+///
+/// Returns [`ImageError::SizeMismatch`] for images of different sizes.
+pub fn l2_distance(a: &Image, b: &Image) -> Result<f64> {
+    check_sizes(a, b)?;
+    let sum: f64 = a
+        .as_feature_map()
+        .as_slice()
+        .iter()
+        .zip(b.as_feature_map().as_slice())
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum();
+    Ok(sum.sqrt())
+}
+
+/// L∞ distance (largest per-channel deviation).
+///
+/// # Errors
+///
+/// Returns [`ImageError::SizeMismatch`] for images of different sizes.
+pub fn linf_distance(a: &Image, b: &Image) -> Result<f64> {
+    check_sizes(a, b)?;
+    Ok(a.as_feature_map()
+        .as_slice()
+        .iter()
+        .zip(b.as_feature_map().as_slice())
+        .map(|(&x, &y)| (x - y).abs() as f64)
+        .fold(0.0, f64::max))
+}
+
+/// Fraction of pixels whose RGB triple differs between the two images.
+///
+/// # Errors
+///
+/// Returns [`ImageError::SizeMismatch`] for images of different sizes.
+pub fn changed_pixel_fraction(a: &Image, b: &Image) -> Result<f64> {
+    check_sizes(a, b)?;
+    if a.pixel_count() == 0 {
+        return Ok(0.0);
+    }
+    let mut changed = 0usize;
+    for y in 0..a.height() {
+        for x in 0..a.width() {
+            if a.pixel(x, y) != b.pixel(x, y) {
+                changed += 1;
+            }
+        }
+    }
+    Ok(changed as f64 / a.pixel_count() as f64)
+}
+
+fn check_sizes(a: &Image, b: &Image) -> Result<()> {
+    if a.width() != b.width() || a.height() != b.height() {
+        return Err(ImageError::SizeMismatch {
+            lhs: (a.width(), a.height()),
+            rhs: (b.width(), b.height()),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_have_zero_mse() {
+        let img = Image::filled(4, 4, [1.0, 2.0, 3.0]);
+        assert_eq!(mse(&img, &img).unwrap(), 0.0);
+        assert_eq!(psnr(&img, &img).unwrap(), f64::INFINITY);
+        assert_eq!(l2_distance(&img, &img).unwrap(), 0.0);
+        assert_eq!(changed_pixel_fraction(&img, &img).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mse_of_constant_offset() {
+        let a = Image::filled(2, 2, [0.0; 3]);
+        let b = Image::filled(2, 2, [10.0; 3]);
+        assert_eq!(mse(&a, &b).unwrap(), 100.0);
+        assert_eq!(linf_distance(&a, &b).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let base = Image::filled(8, 8, [128.0; 3]);
+        let small = Image::filled(8, 8, [129.0; 3]);
+        let big = Image::filled(8, 8, [168.0; 3]);
+        assert!(psnr(&base, &small).unwrap() > psnr(&base, &big).unwrap());
+    }
+
+    #[test]
+    fn changed_fraction_counts_pixels() {
+        let a = Image::black(4, 1);
+        let mut b = a.clone();
+        b.put_pixel(0, 0, [1.0, 0.0, 0.0]);
+        b.put_pixel(3, 0, [0.0, 0.0, 1.0]);
+        assert_eq!(changed_pixel_fraction(&a, &b).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn size_mismatch_is_rejected() {
+        let a = Image::black(2, 2);
+        let b = Image::black(3, 2);
+        assert!(mse(&a, &b).is_err());
+        assert!(psnr(&a, &b).is_err());
+        assert!(l2_distance(&a, &b).is_err());
+        assert!(linf_distance(&a, &b).is_err());
+        assert!(changed_pixel_fraction(&a, &b).is_err());
+    }
+
+    #[test]
+    fn l2_distance_matches_pythagoras() {
+        let a = Image::black(1, 1);
+        let mut b = a.clone();
+        b.put_pixel(0, 0, [3.0, 4.0, 0.0]);
+        assert!((l2_distance(&a, &b).unwrap() - 5.0).abs() < 1e-9);
+    }
+}

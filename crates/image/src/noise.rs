@@ -1,0 +1,199 @@
+//! Digital-image-processing noise generators.
+//!
+//! The paper's initial population consists of "100 ... filter masks
+//! randomly initialized from Gaussian distribution and later upon these
+//! masks various noise types of digital image processing are applied"
+//! (Section IV-A). [`NoiseKind`] enumerates those noise types; each variant
+//! can synthesise a fresh mask or be layered on top of an existing one.
+
+use crate::mask::{FilterMask, MASK_LIMIT};
+use bea_tensor::WeightInit;
+
+/// A classic digital-image-processing noise model.
+///
+/// # Examples
+///
+/// ```
+/// use bea_image::NoiseKind;
+/// use bea_tensor::WeightInit;
+///
+/// let mut rng = WeightInit::from_seed(1);
+/// let mask = NoiseKind::Gaussian { std_dev: 12.0 }.generate(16, 8, &mut rng);
+/// assert_eq!((mask.width(), mask.height()), (16, 8));
+/// assert!(!mask.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseKind {
+    /// Zero-mean Gaussian noise on every gene.
+    Gaussian {
+        /// Standard deviation in intensity levels.
+        std_dev: f32,
+    },
+    /// Salt-and-pepper impulse noise: each pixel is independently set to
+    /// `+amplitude` (salt) or `-amplitude` (pepper) with probability
+    /// `density`, all three channels together.
+    SaltPepper {
+        /// Per-pixel corruption probability in `[0, 1]`.
+        density: f32,
+        /// Impulse magnitude in intensity levels.
+        amplitude: i16,
+    },
+    /// Uniform noise in `[-amplitude, amplitude]` on every gene.
+    Uniform {
+        /// Half-width of the uniform interval in intensity levels.
+        amplitude: i16,
+    },
+    /// Sparse speckle: a fraction `density` of genes get Gaussian noise,
+    /// the rest stay zero.
+    Speckle {
+        /// Fraction of affected genes in `[0, 1]`.
+        density: f32,
+        /// Standard deviation of the affected genes.
+        std_dev: f32,
+    },
+}
+
+impl NoiseKind {
+    /// The palette of noise models used to diversify the initial population.
+    pub fn default_palette() -> Vec<NoiseKind> {
+        vec![
+            NoiseKind::Gaussian { std_dev: 8.0 },
+            NoiseKind::Gaussian { std_dev: 20.0 },
+            NoiseKind::SaltPepper { density: 0.02, amplitude: 200 },
+            NoiseKind::SaltPepper { density: 0.08, amplitude: 120 },
+            NoiseKind::Uniform { amplitude: 16 },
+            NoiseKind::Uniform { amplitude: 48 },
+            NoiseKind::Speckle { density: 0.05, std_dev: 60.0 },
+            NoiseKind::Speckle { density: 0.15, std_dev: 30.0 },
+        ]
+    }
+
+    /// Synthesises a fresh `width × height` mask of this noise.
+    pub fn generate(&self, width: usize, height: usize, rng: &mut WeightInit) -> FilterMask {
+        let mut mask = FilterMask::zeros(width, height);
+        self.overlay(&mut mask, rng);
+        mask
+    }
+
+    /// Layers this noise on top of an existing mask (values clamped into
+    /// `[-255, 255]`).
+    pub fn overlay(&self, mask: &mut FilterMask, rng: &mut WeightInit) {
+        match *self {
+            NoiseKind::Gaussian { std_dev } => {
+                for v in mask.as_mut_slice() {
+                    let n = rng.normal(0.0, std_dev);
+                    *v = (*v as f32 + n).round().clamp(-255.0, 255.0) as i16;
+                }
+            }
+            NoiseKind::SaltPepper { density, amplitude } => {
+                let (w, h) = (mask.width(), mask.height());
+                let amplitude = amplitude.clamp(0, MASK_LIMIT);
+                for y in 0..h {
+                    for x in 0..w {
+                        if rng.coin(density) {
+                            let value = if rng.coin(0.5) { amplitude } else { -amplitude };
+                            for c in 0..3 {
+                                mask.set(c, y, x, value);
+                            }
+                        }
+                    }
+                }
+            }
+            NoiseKind::Uniform { amplitude } => {
+                let a = amplitude.clamp(0, MASK_LIMIT) as f32;
+                if a == 0.0 {
+                    return;
+                }
+                for v in mask.as_mut_slice() {
+                    let n = rng.uniform(-a, a + 1.0);
+                    *v = (*v as f32 + n).round().clamp(-255.0, 255.0) as i16;
+                }
+            }
+            NoiseKind::Speckle { density, std_dev } => {
+                for v in mask.as_mut_slice() {
+                    if rng.coin(density) {
+                        let n = rng.normal(0.0, std_dev);
+                        *v = (*v as f32 + n).round().clamp(-255.0, 255.0) as i16;
+                    }
+                }
+            }
+        }
+        mask.clamp_inplace();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> WeightInit {
+        WeightInit::from_seed(7)
+    }
+
+    #[test]
+    fn gaussian_noise_is_roughly_zero_mean() {
+        let mask = NoiseKind::Gaussian { std_dev: 10.0 }.generate(64, 32, &mut rng());
+        let mean: f64 =
+            mask.as_slice().iter().map(|&v| v as f64).sum::<f64>() / mask.gene_count() as f64;
+        assert!(mean.abs() < 1.0, "mean {mean} should be near zero");
+        assert!(!mask.is_zero());
+    }
+
+    #[test]
+    fn salt_pepper_density_is_respected() {
+        let mask =
+            NoiseKind::SaltPepper { density: 0.1, amplitude: 100 }.generate(100, 100, &mut rng());
+        let frac = mask.perturbed_pixel_count() as f64 / mask.pixel_count() as f64;
+        assert!((frac - 0.1).abs() < 0.03, "impulse fraction {frac} should be near density");
+        // Impulses hit all channels of a pixel with the same magnitude.
+        for (_, y, x, v) in mask.iter_nonzero().take(10) {
+            assert_eq!(v.abs(), 100);
+            assert_eq!(mask.at(0, y, x).abs(), 100);
+        }
+    }
+
+    #[test]
+    fn uniform_respects_amplitude() {
+        let mask = NoiseKind::Uniform { amplitude: 20 }.generate(32, 32, &mut rng());
+        assert!(mask.as_slice().iter().all(|&v| v.abs() <= 21));
+    }
+
+    #[test]
+    fn speckle_is_sparse() {
+        let mask =
+            NoiseKind::Speckle { density: 0.05, std_dev: 50.0 }.generate(64, 64, &mut rng());
+        let nonzero = mask.as_slice().iter().filter(|&&v| v != 0).count();
+        let frac = nonzero as f64 / mask.gene_count() as f64;
+        assert!(frac < 0.10, "speckle should leave most genes zero (got {frac})");
+        assert!(nonzero > 0);
+    }
+
+    #[test]
+    fn overlay_accumulates() {
+        let mut mask = FilterMask::zeros(8, 8);
+        NoiseKind::Uniform { amplitude: 10 }.overlay(&mut mask, &mut rng());
+        let first = mask.clone();
+        NoiseKind::Uniform { amplitude: 10 }.overlay(&mut mask, &mut rng());
+        assert_ne!(mask, first, "second overlay should change the mask");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = NoiseKind::Gaussian { std_dev: 5.0 }.generate(16, 16, &mut WeightInit::from_seed(3));
+        let b = NoiseKind::Gaussian { std_dev: 5.0 }.generate(16, 16, &mut WeightInit::from_seed(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn palette_is_diverse() {
+        let palette = NoiseKind::default_palette();
+        assert!(palette.len() >= 4);
+        let masks: Vec<_> =
+            palette.iter().map(|k| k.generate(16, 16, &mut WeightInit::from_seed(1))).collect();
+        for i in 0..masks.len() {
+            for j in (i + 1)..masks.len() {
+                assert_ne!(masks[i], masks[j], "palette entries {i} and {j} coincide");
+            }
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Spatial regions and perturbation-region constraints.
+//!
+//! The paper's evaluation "adds a restriction where the perturbations are
+//! only applied to the right-hand side of the images ... by forcing filters
+//! to have zeros in the left half" (Section V-A). [`RegionConstraint`]
+//! implements that restriction (and its mirror and rectangular
+//! generalisations) as a projection applied to a [`FilterMask`] after every
+//! variation operator.
+
+use crate::mask::FilterMask;
+
+/// An axis-aligned pixel rectangle `[x0, x1) × [y0, y1)`.
+///
+/// # Examples
+///
+/// ```
+/// use bea_image::Region;
+///
+/// let r = Region::new(2, 0, 6, 4);
+/// assert!(r.contains(2, 0));
+/// assert!(!r.contains(6, 0));
+/// assert_eq!(r.area(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// Inclusive left edge.
+    pub x0: usize,
+    /// Inclusive top edge.
+    pub y0: usize,
+    /// Exclusive right edge.
+    pub x1: usize,
+    /// Exclusive bottom edge.
+    pub y1: usize,
+}
+
+impl Region {
+    /// Creates a region, normalising inverted bounds to an empty region.
+    pub fn new(x0: usize, y0: usize, x1: usize, y1: usize) -> Self {
+        Self { x0, y0, x1: x1.max(x0), y1: y1.max(y0) }
+    }
+
+    /// `true` when the pixel `(x, y)` lies inside the region.
+    pub fn contains(&self, x: usize, y: usize) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+
+    /// Pixel area of the region.
+    pub fn area(&self) -> usize {
+        (self.x1 - self.x0) * (self.y1 - self.y0)
+    }
+
+    /// `true` when the region contains no pixels.
+    pub fn is_empty(&self) -> bool {
+        self.area() == 0
+    }
+
+    /// The right half `[w/2, w) × [0, h)` of a `w × h` image.
+    pub fn right_half(width: usize, height: usize) -> Self {
+        Self::new(width / 2, 0, width, height)
+    }
+
+    /// The left half `[0, w/2) × [0, h)` of a `w × h` image.
+    pub fn left_half(width: usize, height: usize) -> Self {
+        Self::new(0, 0, width / 2, height)
+    }
+}
+
+/// Where a perturbation is allowed to be non-zero.
+///
+/// Applied to a mask, the constraint zeroes every gene outside the allowed
+/// area. [`RegionConstraint::RightHalf`] is the paper's evaluation setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RegionConstraint {
+    /// No restriction: the whole image may be perturbed.
+    #[default]
+    Full,
+    /// Only the left half may be perturbed.
+    LeftHalf,
+    /// Only the right half may be perturbed (the paper's setting).
+    RightHalf,
+    /// Only the given rectangle may be perturbed.
+    Rect(Region),
+}
+
+impl RegionConstraint {
+    /// The allowed region for a `width × height` mask.
+    pub fn allowed_region(&self, width: usize, height: usize) -> Region {
+        match self {
+            RegionConstraint::Full => Region::new(0, 0, width, height),
+            RegionConstraint::LeftHalf => Region::left_half(width, height),
+            RegionConstraint::RightHalf => Region::right_half(width, height),
+            RegionConstraint::Rect(r) => {
+                Region::new(r.x0.min(width), r.y0.min(height), r.x1.min(width), r.y1.min(height))
+            }
+        }
+    }
+
+    /// `true` when pixel `(x, y)` of a `width × height` mask may be
+    /// perturbed.
+    pub fn allows(&self, x: usize, y: usize, width: usize, height: usize) -> bool {
+        self.allowed_region(width, height).contains(x, y)
+    }
+
+    /// Projects a mask onto the constraint by zeroing all genes outside the
+    /// allowed region ("forcing filters to have zeros in the left half").
+    pub fn apply(&self, mask: &mut FilterMask) {
+        if matches!(self, RegionConstraint::Full) {
+            return;
+        }
+        let (w, h) = (mask.width(), mask.height());
+        let allowed = self.allowed_region(w, h);
+        for c in 0..3 {
+            for y in 0..h {
+                for x in 0..w {
+                    if !allowed.contains(x, y) {
+                        mask.set(c, y, x, 0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `true` when `mask` already satisfies the constraint.
+    pub fn is_satisfied(&self, mask: &FilterMask) -> bool {
+        let allowed = self.allowed_region(mask.width(), mask.height());
+        mask.iter_nonzero().all(|(_, y, x, _)| allowed.contains(x, y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halves_partition_even_width() {
+        let left = Region::left_half(10, 4);
+        let right = Region::right_half(10, 4);
+        assert_eq!(left.area() + right.area(), 40);
+        for x in 0..10 {
+            assert_ne!(left.contains(x, 0), right.contains(x, 0));
+        }
+    }
+
+    #[test]
+    fn right_half_constraint_zeroes_left() {
+        let mut mask = FilterMask::zeros(8, 2);
+        mask.set(0, 0, 1, 50); // left half
+        mask.set(0, 0, 6, 70); // right half
+        RegionConstraint::RightHalf.apply(&mut mask);
+        assert_eq!(mask.at(0, 0, 1), 0);
+        assert_eq!(mask.at(0, 0, 6), 70);
+        assert!(RegionConstraint::RightHalf.is_satisfied(&mask));
+    }
+
+    #[test]
+    fn full_constraint_is_noop() {
+        let mut mask = FilterMask::zeros(4, 4);
+        mask.set(2, 3, 0, -20);
+        let before = mask.clone();
+        RegionConstraint::Full.apply(&mut mask);
+        assert_eq!(mask, before);
+    }
+
+    #[test]
+    fn rect_constraint_clips_to_mask_bounds() {
+        let constraint = RegionConstraint::Rect(Region::new(1, 1, 100, 100));
+        let region = constraint.allowed_region(4, 3);
+        assert_eq!(region, Region::new(1, 1, 4, 3));
+    }
+
+    #[test]
+    fn inverted_bounds_are_empty() {
+        let r = Region::new(5, 5, 2, 2);
+        assert!(r.is_empty());
+        assert!(!r.contains(3, 3));
+    }
+
+    #[test]
+    fn is_satisfied_detects_violations() {
+        let mut mask = FilterMask::zeros(8, 2);
+        mask.set(0, 0, 1, 5);
+        assert!(!RegionConstraint::RightHalf.is_satisfied(&mask));
+        assert!(RegionConstraint::LeftHalf.is_satisfied(&mask));
+        assert!(RegionConstraint::Full.is_satisfied(&mask));
+    }
+
+    #[test]
+    fn odd_width_halves() {
+        // width 7: left gets [0,3), right gets [3,7).
+        let left = Region::left_half(7, 1);
+        let right = Region::right_half(7, 1);
+        assert_eq!(left.x1, 3);
+        assert_eq!(right.x0, 3);
+        assert_eq!(left.area() + right.area(), 7);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of images, masks, regions and I/O.
+
+use bea_image::{io, FilterMask, Image, NoiseKind, Region, RegionConstraint};
+use bea_tensor::WeightInit;
+use proptest::prelude::*;
+
+fn arb_image(width: usize, height: usize) -> impl Strategy<Value = Image> {
+    proptest::collection::vec(0u8..=255, width * height * 3).prop_map(move |bytes| {
+        let mut img = Image::black(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                let i = (y * width + x) * 3;
+                img.put_pixel(
+                    x,
+                    y,
+                    [bytes[i] as f32, bytes[i + 1] as f32, bytes[i + 2] as f32],
+                );
+            }
+        }
+        img
+    })
+}
+
+fn arb_mask(width: usize, height: usize) -> impl Strategy<Value = FilterMask> {
+    proptest::collection::vec(-255i16..=255, 3 * width * height)
+        .prop_map(move |v| FilterMask::from_values(width, height, v).expect("length matches"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ppm_roundtrip_preserves_integer_images(img in arb_image(6, 4)) {
+        let mut buf = Vec::new();
+        io::write_ppm(&img, &mut buf).expect("in-memory write");
+        let back = io::read_ppm(&buf[..]).expect("parse back");
+        prop_assert_eq!(back, img);
+    }
+
+    #[test]
+    fn mask_apply_is_clamped_and_reversible_in_range(
+        img in arb_image(5, 5),
+        mask in arb_mask(5, 5),
+    ) {
+        let out = mask.apply(&img);
+        for &v in out.as_feature_map().as_slice() {
+            prop_assert!((0.0..=255.0).contains(&v));
+        }
+        // Where no clamping occurred, subtracting the mask recovers the
+        // original exactly.
+        for y in 0..5 {
+            for x in 0..5 {
+                for c in 0..3 {
+                    let orig = img.at(c, y, x);
+                    let delta = mask.at(c, y, x) as f32;
+                    let sum = orig + delta;
+                    if (0.0..=255.0).contains(&sum) {
+                        prop_assert_eq!(out.at(c, y, x), sum);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_constraint_apply_is_idempotent(mask in arb_mask(10, 6)) {
+        let mut once = mask.clone();
+        RegionConstraint::RightHalf.apply(&mut once);
+        let mut twice = once.clone();
+        RegionConstraint::RightHalf.apply(&mut twice);
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(RegionConstraint::RightHalf.is_satisfied(&once));
+    }
+
+    #[test]
+    fn halves_partition_every_pixel(x in 0usize..50, y in 0usize..20) {
+        let left = RegionConstraint::LeftHalf.allows(x, y, 50, 20);
+        let right = RegionConstraint::RightHalf.allows(x, y, 50, 20);
+        prop_assert!(left != right, "every pixel is in exactly one half");
+        prop_assert!(RegionConstraint::Full.allows(x, y, 50, 20));
+    }
+
+    #[test]
+    fn region_contains_matches_bounds(x0 in 0usize..10, y0 in 0usize..10, w in 0usize..10, h in 0usize..10) {
+        let r = Region::new(x0, y0, x0 + w, y0 + h);
+        prop_assert_eq!(r.area(), w * h);
+        for x in 0..20 {
+            for y in 0..20 {
+                let inside = x >= x0 && x < x0 + w && y >= y0 && y < y0 + h;
+                prop_assert_eq!(r.contains(x, y), inside);
+            }
+        }
+    }
+
+    #[test]
+    fn noise_masks_stay_in_gene_range(seed in 0u64..200, kind_idx in 0usize..4) {
+        let kind = NoiseKind::default_palette()[kind_idx * 2];
+        let mask = kind.generate(16, 12, &mut WeightInit::from_seed(seed));
+        for &v in mask.as_slice() {
+            prop_assert!((-255..=255).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shifted_mask_norm_never_grows(mask in arb_mask(8, 6), dx in -4i32..4, dy in -4i32..4) {
+        use bea_tensor::norm::NormKind;
+        let shifted = mask.shifted(dx, dy);
+        prop_assert!(shifted.norm(NormKind::L2) <= mask.norm(NormKind::L2) + 1e-9);
+        prop_assert!(shifted.perturbed_pixel_count() <= mask.perturbed_pixel_count());
+    }
+
+    #[test]
+    fn psnr_of_noisier_image_is_lower(img in arb_image(6, 6), seed in 0u64..100) {
+        use bea_image::metrics::psnr;
+        let small = NoiseKind::Uniform { amplitude: 5 }
+            .generate(6, 6, &mut WeightInit::from_seed(seed))
+            .apply(&img);
+        let large = NoiseKind::Uniform { amplitude: 120 }
+            .generate(6, 6, &mut WeightInit::from_seed(seed))
+            .apply(&img);
+        let p_small = psnr(&img, &small).unwrap();
+        let p_large = psnr(&img, &large).unwrap();
+        prop_assert!(p_small >= p_large - 1e-9, "psnr {p_small} vs {p_large}");
+    }
+}

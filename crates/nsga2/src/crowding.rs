@@ -1,0 +1,115 @@
+//! Crowding-distance density estimation (Deb et al., 2002, Section III-B).
+
+/// Computes the crowding distance of every member of one front.
+///
+/// `front` holds indices into `objectives`. For each objective the front is
+/// sorted; boundary solutions receive `f64::INFINITY` and interior ones the
+/// normalised gap between their neighbours, summed over objectives —
+/// "the average distance of the two points on either side of this point
+/// along each of the objectives".
+///
+/// Optimisation direction is irrelevant: distance measures spread, not
+/// quality.
+///
+/// # Examples
+///
+/// ```
+/// use bea_nsga2::crowding::crowding_distances;
+///
+/// let objs = vec![vec![0.0, 2.0], vec![1.0, 1.0], vec![2.0, 0.0]];
+/// let d = crowding_distances(&[0, 1, 2], &objs);
+/// assert!(d[0].is_infinite());
+/// assert!(d[2].is_infinite());
+/// assert!(d[1].is_finite());
+/// ```
+pub fn crowding_distances(front: &[usize], objectives: &[Vec<f64>]) -> Vec<f64> {
+    let n = front.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    let m = objectives[front[0]].len();
+    let mut distance = vec![0.0f64; n];
+    // Position of each front member inside the `front`/`distance` arrays.
+    let mut order: Vec<usize> = (0..n).collect();
+    #[allow(clippy::needless_range_loop)] // `obj` indexes a column, not a slice
+    for obj in 0..m {
+        order.sort_by(|&a, &b| {
+            objectives[front[a]][obj]
+                .partial_cmp(&objectives[front[b]][obj])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let lo = objectives[front[order[0]]][obj];
+        let hi = objectives[front[order[n - 1]]][obj];
+        distance[order[0]] = f64::INFINITY;
+        distance[order[n - 1]] = f64::INFINITY;
+        let range = hi - lo;
+        if range <= 0.0 {
+            continue; // all equal along this objective: no contribution
+        }
+        for w in 1..(n - 1) {
+            let prev = objectives[front[order[w - 1]]][obj];
+            let next = objectives[front[order[w + 1]]][obj];
+            distance[order[w]] += (next - prev) / range;
+        }
+    }
+    distance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_front() {
+        assert!(crowding_distances(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn one_or_two_members_are_boundaries() {
+        let objs = vec![vec![1.0], vec![2.0]];
+        assert_eq!(crowding_distances(&[0], &objs), vec![f64::INFINITY]);
+        assert_eq!(crowding_distances(&[0, 1], &objs), vec![f64::INFINITY; 2]);
+    }
+
+    #[test]
+    fn boundaries_are_infinite_interior_finite() {
+        let objs = vec![vec![0.0, 4.0], vec![1.0, 3.0], vec![2.0, 2.0], vec![4.0, 0.0]];
+        let d = crowding_distances(&[0, 1, 2, 3], &objs);
+        assert!(d[0].is_infinite());
+        assert!(d[3].is_infinite());
+        assert!(d[1].is_finite() && d[1] > 0.0);
+        assert!(d[2].is_finite() && d[2] > 0.0);
+    }
+
+    #[test]
+    fn lonely_points_get_larger_distance() {
+        // Points at 0, 1, 2, 10: the point at 2 has a huge gap to 10.
+        let objs: Vec<Vec<f64>> =
+            [0.0, 1.0, 2.0, 10.0].iter().map(|&v| vec![v, -v]).collect();
+        let d = crowding_distances(&[0, 1, 2, 3], &objs);
+        assert!(d[2] > d[1], "the point next to the gap should be less crowded");
+    }
+
+    #[test]
+    fn constant_objective_contributes_nothing() {
+        let objs = vec![vec![0.0, 5.0], vec![1.0, 5.0], vec![2.0, 5.0]];
+        let d = crowding_distances(&[0, 1, 2], &objs);
+        // Along objective 1, all values are equal; only objective 0 counts.
+        assert!((d[1] - 2.0 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_permutation_invariant() {
+        let objs = vec![vec![0.0, 4.0], vec![1.0, 3.0], vec![2.0, 2.0], vec![4.0, 0.0]];
+        let a = crowding_distances(&[0, 1, 2, 3], &objs);
+        let b = crowding_distances(&[3, 1, 0, 2], &objs);
+        // b is in order [3, 1, 0, 2]; map back.
+        assert_eq!(a[3], b[0]);
+        assert_eq!(a[1], b[1]);
+        assert_eq!(a[0], b[2]);
+        assert_eq!(a[2], b[3]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Exact hypervolume indicators for 2-D and 3-D fronts.
+//!
+//! The hypervolume (size of the objective-space region dominated by a front
+//! up to a reference point) is the standard scalar measure of front
+//! quality; the `table2_config` harness uses it to trace the convergence of
+//! the attack's three-objective search.
+
+use crate::objective::Direction;
+
+/// Exact hypervolume of a set of objective vectors.
+///
+/// All vectors are first mapped to minimisation via `directions`; the
+/// reference point `reference` (given in the *original* scale) must be
+/// dominated by (worse than) every point for that point to contribute.
+/// Points not dominating the reference are ignored. Supports 1, 2 and 3
+/// objectives.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree or the dimensionality is unsupported.
+///
+/// # Examples
+///
+/// ```
+/// use bea_nsga2::hypervolume::hypervolume;
+/// use bea_nsga2::Direction;
+///
+/// let dirs = [Direction::Minimize, Direction::Minimize];
+/// let front = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+/// let hv = hypervolume(&front, &[3.0, 3.0], &dirs);
+/// // Union of two 2x1 / 1x2 rectangles with a 1x1 overlap = 3.
+/// assert!((hv - 3.0).abs() < 1e-12);
+/// ```
+pub fn hypervolume(points: &[Vec<f64>], reference: &[f64], directions: &[Direction]) -> f64 {
+    assert_eq!(reference.len(), directions.len(), "reference must cover every objective");
+    let dim = directions.len();
+    // Map everything to minimisation.
+    let reference: Vec<f64> =
+        directions.iter().zip(reference).map(|(d, &r)| d.to_minimization(r)).collect();
+    let mapped: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| {
+            assert_eq!(p.len(), dim, "point dimensionality mismatch");
+            directions.iter().zip(p).map(|(d, &v)| d.to_minimization(v)).collect()
+        })
+        .filter(|p: &Vec<f64>| p.iter().zip(&reference).all(|(v, r)| v < r))
+        .collect();
+    if mapped.is_empty() {
+        return 0.0;
+    }
+    match dim {
+        1 => reference[0] - mapped.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min),
+        2 => hv2(&mapped, &reference),
+        3 => hv3(&mapped, &reference),
+        _ => panic!("hypervolume supports 1-3 objectives, got {dim}"),
+    }
+}
+
+/// 2-D hypervolume by sweeping the staircase of the non-dominated points.
+fn hv2(points: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let mut sorted: Vec<(f64, f64)> = points.iter().map(|p| (p[0], p[1])).collect();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut volume = 0.0;
+    let mut best_y = reference[1];
+    for (x, y) in sorted {
+        if y < best_y {
+            volume += (reference[0] - x) * (best_y - y);
+            best_y = y;
+        }
+    }
+    volume
+}
+
+/// 3-D hypervolume by slicing along the third axis: between consecutive
+/// z-levels, the dominated area is the 2-D hypervolume of the points with
+/// z at or below the slab.
+fn hv3(points: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let mut zs: Vec<f64> = points.iter().map(|p| p[2]).collect();
+    zs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    zs.dedup();
+    zs.push(reference[2]);
+    let mut volume = 0.0;
+    for w in zs.windows(2) {
+        let (z0, z1) = (w[0], w[1]);
+        if z1 <= z0 {
+            continue;
+        }
+        let slab: Vec<Vec<f64>> = points
+            .iter()
+            .filter(|p| p[2] <= z0)
+            .map(|p| vec![p[0], p[1]])
+            .collect();
+        if !slab.is_empty() {
+            volume += hv2(&slab, &reference[..2]) * (z1 - z0);
+        }
+    }
+    volume
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIN2: [Direction; 2] = [Direction::Minimize, Direction::Minimize];
+    const MIN3: [Direction; 3] =
+        [Direction::Minimize, Direction::Minimize, Direction::Minimize];
+
+    #[test]
+    fn single_point_2d() {
+        let hv = hypervolume(&[vec![1.0, 1.0]], &[3.0, 4.0], &MIN2);
+        assert!((hv - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominated_points_add_nothing() {
+        let alone = hypervolume(&[vec![1.0, 1.0]], &[3.0, 3.0], &MIN2);
+        let with_dominated =
+            hypervolume(&[vec![1.0, 1.0], vec![2.0, 2.0]], &[3.0, 3.0], &MIN2);
+        assert!((alone - with_dominated).abs() < 1e-12);
+    }
+
+    #[test]
+    fn points_beyond_reference_are_ignored() {
+        let hv = hypervolume(&[vec![5.0, 5.0]], &[3.0, 3.0], &MIN2);
+        assert_eq!(hv, 0.0);
+        assert_eq!(hypervolume(&[], &[3.0, 3.0], &MIN2), 0.0);
+    }
+
+    #[test]
+    fn staircase_union() {
+        let front = vec![vec![1.0, 3.0], vec![2.0, 2.0], vec![3.0, 1.0]];
+        let hv = hypervolume(&front, &[4.0, 4.0], &MIN2);
+        // Union area: columns x∈[1,2)->height 1, [2,3)->2, [3,4)->3 = 3+2+1=6.
+        assert!((hv - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let hv =
+            hypervolume(&[vec![2.0], vec![5.0]], &[10.0], &[Direction::Minimize]);
+        assert!((hv - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_dimensional_box() {
+        let hv = hypervolume(&[vec![0.0, 0.0, 0.0]], &[2.0, 3.0, 4.0], &MIN3);
+        assert!((hv - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_dimensional_union() {
+        // Two unit-corner boxes: (0,0,1) and (1,1,0) with reference (2,2,2).
+        let hv = hypervolume(&[vec![0.0, 0.0, 1.0], vec![1.0, 1.0, 0.0]], &[2.0, 2.0, 2.0], &MIN3);
+        // Box A: [0,2]x[0,2]x[1,2] = 4; box B: [1,2]x[1,2]x[0,2] = 2;
+        // overlap: [1,2]x[1,2]x[1,2] = 1 -> union 5.
+        assert!((hv - 5.0).abs() < 1e-12, "got {hv}");
+    }
+
+    #[test]
+    fn maximization_directions_are_mapped() {
+        let dirs = [Direction::Maximize, Direction::Minimize];
+        // Point (5, 1) with reference (2, 3): mapped (-5, 1) vs (-2, 3)
+        // -> box 3 x 2 = 6.
+        let hv = hypervolume(&[vec![5.0, 1.0]], &[2.0, 3.0], &dirs);
+        assert!((hv - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_is_monotone_in_front_quality() {
+        let weak = hypervolume(&[vec![2.0, 2.0]], &[4.0, 4.0], &MIN2);
+        let strong = hypervolume(&[vec![1.0, 1.0]], &[4.0, 4.0], &MIN2);
+        assert!(strong > weak);
+        let more_points =
+            hypervolume(&[vec![2.0, 2.0], vec![1.0, 3.0]], &[4.0, 4.0], &MIN2);
+        assert!(more_points > weak);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-3 objectives")]
+    fn four_dimensions_unsupported() {
+        let dirs = [Direction::Minimize; 4];
+        let _ = hypervolume(&[vec![0.0; 4]], &[1.0; 4], &dirs);
+    }
+}

@@ -1,0 +1,72 @@
+//! Evaluated individuals.
+
+/// A genome together with its evaluated objectives and the NSGA-II ranking
+/// metadata attached during selection.
+///
+/// # Examples
+///
+/// ```
+/// use bea_nsga2::Individual;
+///
+/// let ind = Individual::new(42u32, vec![1.0, 2.0]);
+/// assert_eq!(*ind.genome(), 42);
+/// assert_eq!(ind.objectives(), &[1.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Individual<G> {
+    genome: G,
+    objectives: Vec<f64>,
+    /// Pareto rank (0 = non-dominated front), assigned by sorting.
+    pub(crate) rank: usize,
+    /// Crowding distance within the rank, assigned during selection.
+    pub(crate) crowding: f64,
+}
+
+impl<G> Individual<G> {
+    /// Wraps a genome with its objective values.
+    pub fn new(genome: G, objectives: Vec<f64>) -> Self {
+        Self { genome, objectives, rank: usize::MAX, crowding: 0.0 }
+    }
+
+    /// The genome.
+    pub fn genome(&self) -> &G {
+        &self.genome
+    }
+
+    /// Consumes the individual, returning the genome.
+    pub fn into_genome(self) -> G {
+        self.genome
+    }
+
+    /// The evaluated objective values.
+    pub fn objectives(&self) -> &[f64] {
+        &self.objectives
+    }
+
+    /// Pareto rank (0 is the non-dominated front); `usize::MAX` before the
+    /// first sort.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Crowding distance within the individual's front; boundary solutions
+    /// carry `f64::INFINITY`.
+    pub fn crowding(&self) -> f64 {
+        self.crowding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_roundtrip() {
+        let ind = Individual::new("gene", vec![0.5]);
+        assert_eq!(*ind.genome(), "gene");
+        assert_eq!(ind.objectives(), &[0.5]);
+        assert_eq!(ind.rank(), usize::MAX);
+        assert_eq!(ind.crowding(), 0.0);
+        assert_eq!(ind.into_genome(), "gene");
+    }
+}

@@ -1,0 +1,80 @@
+//! A generic NSGA-II multi-objective genetic algorithm.
+//!
+//! Implements the Non-dominated Sorting Genetic Algorithm II of Deb,
+//! Pratap, Agarwal and Meyarivan (2002) — the optimiser the paper uses to
+//! search for butterfly perturbations:
+//!
+//! * [`objective`] — objective vectors with per-objective optimisation
+//!   [`Direction`]s and Pareto dominance,
+//! * [`sorting`] — fast non-dominated sorting into Pareto ranks,
+//! * [`crowding`] — the crowding-distance density estimate,
+//! * [`selection`] — the crowded binary tournament,
+//! * [`operators`] — crossover / mutation / initialiser traits,
+//! * [`algorithm`] — the [`Nsga2`] run driver with per-generation
+//!   observers,
+//! * [`pareto`] — Pareto-front utilities (front extraction,
+//!   best-per-objective, knee point),
+//! * [`hypervolume`] — exact 2-D/3-D hypervolume indicators for
+//!   convergence measurements.
+//!
+//! The crate is problem-agnostic: anything implementing [`Problem`] (a
+//! genome type plus an evaluation function) can be optimised. Randomness
+//! comes from the deterministic [`bea_tensor::WeightInit`] stream, so every run is
+//! exactly repeatable from its seed.
+//!
+//! # Examples
+//!
+//! Minimising the two-objective Schaffer problem:
+//!
+//! ```
+//! use bea_nsga2::prelude::*;
+//!
+//! struct Schaffer;
+//!
+//! impl Problem for Schaffer {
+//!     type Genome = f64;
+//!
+//!     fn directions(&self) -> Vec<Direction> {
+//!         vec![Direction::Minimize, Direction::Minimize]
+//!     }
+//!
+//!     fn evaluate(&self, x: &f64) -> Vec<f64> {
+//!         vec![x * x, (x - 2.0) * (x - 2.0)]
+//!     }
+//! }
+//!
+//! let config = Nsga2Config { population_size: 20, generations: 10, ..Nsga2Config::default() };
+//! let result = Nsga2::new(Schaffer, config).run(
+//!     &|rng: &mut WeightInit| rng.uniform(-5.0, 5.0) as f64,
+//!     &|a: &f64, b: &f64, _rng: &mut WeightInit| ((a + b) / 2.0, (b + a) / 2.0),
+//!     &|x: &mut f64, rng: &mut WeightInit| *x += rng.normal(0.0, 0.3) as f64,
+//! );
+//! assert!(!result.pareto_front().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod crowding;
+pub mod hypervolume;
+pub mod individual;
+pub mod objective;
+pub mod operators;
+pub mod pareto;
+pub mod selection;
+pub mod sorting;
+
+pub use algorithm::{GenerationStats, Nsga2, Nsga2Config, Nsga2Result, Problem};
+pub use individual::Individual;
+pub use objective::{dominates, Direction};
+pub use operators::{Crossover, Initializer, Mutation};
+
+/// Convenience re-exports for implementing and running problems.
+pub mod prelude {
+    pub use crate::algorithm::{GenerationStats, Nsga2, Nsga2Config, Nsga2Result, Problem};
+    pub use crate::individual::Individual;
+    pub use crate::objective::{dominates, Direction};
+    pub use crate::operators::{Crossover, Initializer, Mutation};
+    pub use bea_tensor::WeightInit;
+}

@@ -1,0 +1,124 @@
+//! Objective directions and Pareto dominance.
+
+/// Whether an objective should be minimised or maximised.
+///
+/// The paper's attack minimises `obj_intensity` and `obj_degrad` while
+/// maximising `obj_dist` (Section V-A), so mixed-direction vectors are the
+/// normal case here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Smaller objective values are better.
+    Minimize,
+    /// Larger objective values are better.
+    Maximize,
+}
+
+impl Direction {
+    /// `true` when `a` is strictly better than `b` under this direction.
+    #[inline]
+    pub fn better(self, a: f64, b: f64) -> bool {
+        match self {
+            Direction::Minimize => a < b,
+            Direction::Maximize => a > b,
+        }
+    }
+
+    /// Maps a value onto the minimisation scale (negates maximised values),
+    /// used by algorithms that assume minimisation throughout.
+    #[inline]
+    pub fn to_minimization(self, value: f64) -> f64 {
+        match self {
+            Direction::Minimize => value,
+            Direction::Maximize => -value,
+        }
+    }
+}
+
+/// Pareto dominance: `a` dominates `b` when `a` is at least as good in
+/// every objective and strictly better in at least one.
+///
+/// # Panics
+///
+/// Panics if the three slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use bea_nsga2::{dominates, Direction};
+///
+/// let dirs = [Direction::Minimize, Direction::Maximize];
+/// assert!(dominates(&[1.0, 5.0], &[2.0, 4.0], &dirs));
+/// assert!(!dominates(&[1.0, 4.0], &[2.0, 5.0], &dirs)); // trade-off
+/// ```
+pub fn dominates(a: &[f64], b: &[f64], directions: &[Direction]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective vectors must have equal lengths");
+    assert_eq!(a.len(), directions.len(), "directions must cover every objective");
+    let mut strictly_better = false;
+    for ((&va, &vb), &dir) in a.iter().zip(b).zip(directions) {
+        if dir.better(vb, va) {
+            return false;
+        }
+        if dir.better(va, vb) {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIN2: [Direction; 2] = [Direction::Minimize, Direction::Minimize];
+
+    #[test]
+    fn strict_dominance() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0], &MIN2));
+        assert!(!dominates(&[2.0, 2.0], &[1.0, 1.0], &MIN2));
+    }
+
+    #[test]
+    fn equal_vectors_do_not_dominate() {
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0], &MIN2));
+    }
+
+    #[test]
+    fn weak_dominance_needs_one_strict_improvement() {
+        assert!(dominates(&[1.0, 1.0], &[1.0, 2.0], &MIN2));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 1.0], &MIN2));
+    }
+
+    #[test]
+    fn trade_offs_are_incomparable() {
+        assert!(!dominates(&[1.0, 3.0], &[3.0, 1.0], &MIN2));
+        assert!(!dominates(&[3.0, 1.0], &[1.0, 3.0], &MIN2));
+    }
+
+    #[test]
+    fn mixed_directions() {
+        let dirs = [Direction::Minimize, Direction::Maximize];
+        assert!(dominates(&[0.5, 9.0], &[1.0, 8.0], &dirs));
+        assert!(!dominates(&[0.5, 7.0], &[1.0, 8.0], &dirs));
+    }
+
+    #[test]
+    fn dominance_is_antisymmetric() {
+        let dirs = [Direction::Minimize, Direction::Maximize, Direction::Minimize];
+        let a = [1.0, 5.0, 2.0];
+        let b = [1.5, 4.0, 2.5];
+        assert!(dominates(&a, &b, &dirs));
+        assert!(!dominates(&b, &a, &dirs));
+    }
+
+    #[test]
+    fn to_minimization_flips_maximized() {
+        assert_eq!(Direction::Minimize.to_minimization(3.0), 3.0);
+        assert_eq!(Direction::Maximize.to_minimization(3.0), -3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn length_mismatch_panics() {
+        let _ = dominates(&[1.0], &[1.0, 2.0], &MIN2);
+    }
+}

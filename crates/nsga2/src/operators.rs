@@ -1,0 +1,136 @@
+//! Variation operator abstractions.
+//!
+//! The driver is generic over how genomes are created, recombined and
+//! mutated. Blanket impls for closures keep simple problems terse while
+//! the attack crate implements the traits on named operator types (the
+//! paper's one-point crossover and four mutation operators).
+
+use bea_tensor::WeightInit;
+
+/// Creates one random genome for the initial population.
+pub trait Initializer<G> {
+    /// Samples a fresh genome.
+    fn initialize(&self, rng: &mut WeightInit) -> G;
+}
+
+impl<G, F: Fn(&mut WeightInit) -> G> Initializer<G> for F {
+    fn initialize(&self, rng: &mut WeightInit) -> G {
+        self(rng)
+    }
+}
+
+/// Recombines two parents into two offspring.
+pub trait Crossover<G> {
+    /// Produces two offspring from two parents.
+    fn crossover(&self, a: &G, b: &G, rng: &mut WeightInit) -> (G, G);
+}
+
+impl<G, F: Fn(&G, &G, &mut WeightInit) -> (G, G)> Crossover<G> for F {
+    fn crossover(&self, a: &G, b: &G, rng: &mut WeightInit) -> (G, G) {
+        self(a, b, rng)
+    }
+}
+
+/// Mutates a genome in place.
+pub trait Mutation<G> {
+    /// Applies one mutation.
+    fn mutate(&self, genome: &mut G, rng: &mut WeightInit);
+}
+
+impl<G, F: Fn(&mut G, &mut WeightInit)> Mutation<G> for F {
+    fn mutate(&self, genome: &mut G, rng: &mut WeightInit) {
+        self(genome, rng)
+    }
+}
+
+/// One-point crossover over a `Vec`-shaped genome: children swap the tails
+/// after a random cut point.
+///
+/// # Examples
+///
+/// ```
+/// use bea_nsga2::operators::{Crossover, OnePointCrossover};
+/// use bea_tensor::WeightInit;
+///
+/// let mut rng = WeightInit::from_seed(3);
+/// let (c1, c2) = OnePointCrossover.crossover(&vec![0; 8], &vec![1; 8], &mut rng);
+/// let ones: usize = c1.iter().chain(c2.iter()).map(|&v| v as usize).sum();
+/// assert_eq!(ones, 8, "genes are conserved");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OnePointCrossover;
+
+impl<T: Clone> Crossover<Vec<T>> for OnePointCrossover {
+    fn crossover(&self, a: &Vec<T>, b: &Vec<T>, rng: &mut WeightInit) -> (Vec<T>, Vec<T>) {
+        let n = a.len().min(b.len());
+        if n < 2 {
+            return (a.clone(), b.clone());
+        }
+        let cut = 1 + rng.index(n - 1);
+        let mut c1 = a.clone();
+        let mut c2 = b.clone();
+        for i in cut..n {
+            std::mem::swap(&mut c1[i], &mut c2[i]);
+        }
+        (c1, c2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_implement_the_traits() {
+        let init = |rng: &mut WeightInit| rng.index(10);
+        let cross = |a: &usize, b: &usize, _rng: &mut WeightInit| (*b, *a);
+        let mutate = |g: &mut usize, _rng: &mut WeightInit| *g += 1;
+        let mut rng = WeightInit::from_seed(1);
+        let g = Initializer::initialize(&init, &mut rng);
+        assert!(g < 10);
+        let (x, y) = Crossover::crossover(&cross, &3, &7, &mut rng);
+        assert_eq!((x, y), (7, 3));
+        let mut g = 5usize;
+        Mutation::mutate(&mutate, &mut g, &mut rng);
+        assert_eq!(g, 6);
+    }
+
+    #[test]
+    fn one_point_crossover_preserves_prefix_and_swaps_tail() {
+        let a: Vec<u8> = vec![0; 10];
+        let b: Vec<u8> = vec![1; 10];
+        let mut rng = WeightInit::from_seed(7);
+        let (c1, c2) = OnePointCrossover.crossover(&a, &b, &mut rng);
+        // There is exactly one switch point in each child.
+        let switches =
+            |v: &[u8]| v.windows(2).filter(|w| w[0] != w[1]).count();
+        assert_eq!(switches(&c1), 1);
+        assert_eq!(switches(&c2), 1);
+        assert_eq!(c1[0], 0);
+        assert_eq!(c2[0], 1);
+        assert_eq!(*c1.last().unwrap(), 1);
+        assert_eq!(*c2.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn short_genomes_pass_through() {
+        let mut rng = WeightInit::from_seed(1);
+        let (c1, c2) = OnePointCrossover.crossover(&vec![5u8], &vec![9u8], &mut rng);
+        assert_eq!(c1, vec![5]);
+        assert_eq!(c2, vec![9]);
+    }
+
+    #[test]
+    fn cut_points_vary_with_rng() {
+        let a: Vec<u8> = (0..16).collect();
+        let b: Vec<u8> = (16..32).collect();
+        let mut rng = WeightInit::from_seed(2);
+        let mut cuts = std::collections::HashSet::new();
+        for _ in 0..40 {
+            let (c1, _) = OnePointCrossover.crossover(&a, &b, &mut rng);
+            let cut = c1.iter().position(|&v| v >= 16).unwrap_or(16);
+            cuts.insert(cut);
+        }
+        assert!(cuts.len() > 5, "expected varied cut points, got {cuts:?}");
+    }
+}

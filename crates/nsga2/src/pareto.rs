@@ -1,0 +1,161 @@
+//! Pareto-front utilities.
+
+use crate::individual::Individual;
+use crate::objective::Direction;
+use crate::sorting::fast_non_dominated_sort;
+
+/// Extracts the indices of the non-dominated members of a population.
+pub fn front_indices<G>(
+    population: &[Individual<G>],
+    directions: &[Direction],
+) -> Vec<usize> {
+    let objectives: Vec<Vec<f64>> =
+        population.iter().map(|i| i.objectives().to_vec()).collect();
+    let fronts = fast_non_dominated_sort(&objectives, directions);
+    fronts.into_iter().next().unwrap_or_default()
+}
+
+/// The non-dominated member with the best value of objective `index`
+/// (respecting its direction). Returns `None` for an empty population or
+/// an out-of-range index.
+///
+/// This realises the paper's Figure 2 read-out: "we only show the resulting
+/// 3 perturbations reflecting the best of three objectives with each being
+/// the best for one objective".
+pub fn best_for_objective<'a, G>(
+    population: &'a [Individual<G>],
+    directions: &[Direction],
+    index: usize,
+) -> Option<&'a Individual<G>> {
+    if index >= directions.len() {
+        return None;
+    }
+    let dir = directions[index];
+    front_indices(population, directions)
+        .into_iter()
+        .map(|i| &population[i])
+        .max_by(|a, b| {
+            let (va, vb) = (a.objectives()[index], b.objectives()[index]);
+            if dir.better(va, vb) {
+                std::cmp::Ordering::Greater
+            } else if dir.better(vb, va) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        })
+}
+
+/// The knee point of the front: the member closest (in normalised objective
+/// space, everything mapped to minimisation) to the ideal point. A common
+/// single-solution summary of a Pareto front.
+pub fn knee_point<'a, G>(
+    population: &'a [Individual<G>],
+    directions: &[Direction],
+) -> Option<&'a Individual<G>> {
+    let front = front_indices(population, directions);
+    if front.is_empty() {
+        return None;
+    }
+    let m = directions.len();
+    // Normalised minimisation coordinates of the front.
+    let coords: Vec<Vec<f64>> = front
+        .iter()
+        .map(|&i| {
+            directions
+                .iter()
+                .enumerate()
+                .map(|(k, d)| d.to_minimization(population[i].objectives()[k]))
+                .collect()
+        })
+        .collect();
+    let mut lo = vec![f64::INFINITY; m];
+    let mut hi = vec![f64::NEG_INFINITY; m];
+    for c in &coords {
+        for k in 0..m {
+            lo[k] = lo[k].min(c[k]);
+            hi[k] = hi[k].max(c[k]);
+        }
+    }
+    let best = coords
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            let da: f64 = (0..m)
+                .map(|k| {
+                    let range = (hi[k] - lo[k]).max(1e-12);
+                    let v = (a[k] - lo[k]) / range;
+                    v * v
+                })
+                .sum();
+            let db: f64 = (0..m)
+                .map(|k| {
+                    let range = (hi[k] - lo[k]).max(1e-12);
+                    let v = (b[k] - lo[k]) / range;
+                    v * v
+                })
+                .sum();
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)?;
+    Some(&population[front[best]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn population() -> Vec<Individual<&'static str>> {
+        vec![
+            Individual::new("a", vec![0.0, 4.0]),
+            Individual::new("b", vec![1.0, 1.0]),
+            Individual::new("c", vec![4.0, 0.0]),
+            Individual::new("dominated", vec![5.0, 5.0]),
+        ]
+    }
+
+    const MIN2: [Direction; 2] = [Direction::Minimize, Direction::Minimize];
+
+    #[test]
+    fn front_excludes_dominated() {
+        assert_eq!(front_indices(&population(), &MIN2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn best_per_objective() {
+        let pop = population();
+        assert_eq!(*best_for_objective(&pop, &MIN2, 0).unwrap().genome(), "a");
+        assert_eq!(*best_for_objective(&pop, &MIN2, 1).unwrap().genome(), "c");
+        assert!(best_for_objective(&pop, &MIN2, 2).is_none());
+    }
+
+    #[test]
+    fn best_respects_maximization() {
+        let dirs = [Direction::Maximize, Direction::Minimize];
+        let pop = vec![
+            Individual::new("low", vec![1.0, 0.0]),
+            Individual::new("high", vec![9.0, 5.0]),
+        ];
+        assert_eq!(*best_for_objective(&pop, &dirs, 0).unwrap().genome(), "high");
+    }
+
+    #[test]
+    fn knee_prefers_balanced_solutions() {
+        let pop = population();
+        let knee = knee_point(&pop, &MIN2).unwrap();
+        assert_eq!(*knee.genome(), "b", "the balanced (1,1) solution is the knee");
+    }
+
+    #[test]
+    fn knee_of_empty_population_is_none() {
+        let empty: Vec<Individual<u8>> = Vec::new();
+        assert!(knee_point(&empty, &MIN2).is_none());
+    }
+
+    #[test]
+    fn singleton_front() {
+        let pop = vec![Individual::new("only", vec![1.0, 2.0])];
+        assert_eq!(front_indices(&pop, &MIN2), vec![0]);
+        assert_eq!(*knee_point(&pop, &MIN2).unwrap().genome(), "only");
+    }
+}

@@ -1,0 +1,91 @@
+//! The crowded binary tournament ("Pareto sorting" selection).
+
+use bea_tensor::WeightInit;
+
+/// The crowded-comparison operator: prefers the lower Pareto rank, and
+/// among equals the larger crowding distance ("the one located in a
+/// less-crowded region will be preferred").
+///
+/// Returns `true` when `(rank_a, crowd_a)` beats `(rank_b, crowd_b)`.
+#[inline]
+pub fn crowded_less(rank_a: usize, crowd_a: f64, rank_b: usize, crowd_b: f64) -> bool {
+    rank_a < rank_b || (rank_a == rank_b && crowd_a > crowd_b)
+}
+
+/// Binary tournament with the crowded comparison: draws two random indices
+/// and returns the winner (ties resolve to the first draw).
+///
+/// # Panics
+///
+/// Panics if `ranks` is empty or the slices disagree in length.
+pub fn binary_tournament(ranks: &[usize], crowding: &[f64], rng: &mut WeightInit) -> usize {
+    assert!(!ranks.is_empty(), "tournament needs a non-empty population");
+    assert_eq!(ranks.len(), crowding.len(), "ranks and crowding must align");
+    let a = rng.index(ranks.len());
+    let b = rng.index(ranks.len());
+    if crowded_less(ranks[b], crowding[b], ranks[a], crowding[a]) {
+        b
+    } else {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_rank_wins() {
+        assert!(crowded_less(0, 0.0, 1, f64::INFINITY));
+        assert!(!crowded_less(1, f64::INFINITY, 0, 0.0));
+    }
+
+    #[test]
+    fn equal_rank_prefers_less_crowded() {
+        assert!(crowded_less(2, 5.0, 2, 1.0));
+        assert!(!crowded_less(2, 1.0, 2, 5.0));
+    }
+
+    #[test]
+    fn equal_rank_and_crowding_is_a_tie() {
+        assert!(!crowded_less(1, 2.0, 1, 2.0));
+    }
+
+    #[test]
+    fn tournament_prefers_the_best_statistically() {
+        // Population: index 0 is rank 0, everyone else rank 5.
+        let ranks = [0usize, 5, 5, 5, 5, 5, 5, 5];
+        let crowding = [1.0f64; 8];
+        let mut rng = WeightInit::from_seed(1);
+        let wins_of_zero = (0..2000)
+            .filter(|_| binary_tournament(&ranks, &crowding, &mut rng) == 0)
+            .count();
+        // P(select 0) = 1 - (7/8)^2 ≈ 0.234.
+        assert!(
+            (300..650).contains(&wins_of_zero),
+            "rank-0 selected {wins_of_zero}/2000 times, expected ≈ 470"
+        );
+    }
+
+    #[test]
+    fn tournament_is_deterministic_per_seed() {
+        let ranks = [1usize, 0, 2];
+        let crowding = [0.5, 1.0, f64::INFINITY];
+        let a: Vec<usize> = {
+            let mut rng = WeightInit::from_seed(9);
+            (0..20).map(|_| binary_tournament(&ranks, &crowding, &mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = WeightInit::from_seed(9);
+            (0..20).map(|_| binary_tournament(&ranks, &crowding, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_population_panics() {
+        let mut rng = WeightInit::from_seed(1);
+        let _ = binary_tournament(&[], &[], &mut rng);
+    }
+}

@@ -1,0 +1,179 @@
+//! Fast non-dominated sorting (Deb et al., 2002, Section III-A).
+
+use crate::objective::{dominates, Direction};
+
+/// Sorts objective vectors into Pareto fronts.
+///
+/// Returns the fronts in rank order: `fronts[0]` holds the indices of the
+/// non-dominated solutions, `fronts[1]` the solutions dominated only by
+/// front 0, and so on ("to find the solutions of rank i ≥ 2, the solutions
+/// of rank i−1 are removed and the remaining Pareto solutions from this
+/// subset are of rank i").
+///
+/// Complexity is O(M·N²) as in the original algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use bea_nsga2::sorting::fast_non_dominated_sort;
+/// use bea_nsga2::Direction;
+///
+/// let objs = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![0.5, 3.0]];
+/// let fronts = fast_non_dominated_sort(&objs, &[Direction::Minimize, Direction::Minimize]);
+/// assert_eq!(fronts[0], vec![0, 2]); // (1,1) and (0.5,3) are incomparable
+/// assert_eq!(fronts[1], vec![1]);
+/// ```
+pub fn fast_non_dominated_sort(
+    objectives: &[Vec<f64>],
+    directions: &[Direction],
+) -> Vec<Vec<usize>> {
+    let n = objectives.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // dominated_by[p]: solutions p dominates; domination_count[p]: how many
+    // solutions dominate p.
+    let mut dominated: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut domination_count = vec![0usize; n];
+    for p in 0..n {
+        for q in (p + 1)..n {
+            if dominates(&objectives[p], &objectives[q], directions) {
+                dominated[p].push(q);
+                domination_count[q] += 1;
+            } else if dominates(&objectives[q], &objectives[p], directions) {
+                dominated[q].push(p);
+                domination_count[p] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> =
+        (0..n).filter(|&p| domination_count[p] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &p in &current {
+            for &q in &dominated[p] {
+                domination_count[q] -= 1;
+                if domination_count[q] == 0 {
+                    next.push(q);
+                }
+            }
+        }
+        fronts.push(std::mem::take(&mut current));
+        current = next;
+    }
+    fronts
+}
+
+/// Assigns each solution its Pareto rank (front index).
+pub fn ranks(objectives: &[Vec<f64>], directions: &[Direction]) -> Vec<usize> {
+    let fronts = fast_non_dominated_sort(objectives, directions);
+    let mut out = vec![0usize; objectives.len()];
+    for (rank, front) in fronts.iter().enumerate() {
+        for &i in front {
+            out[i] = rank;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIN2: [Direction; 2] = [Direction::Minimize, Direction::Minimize];
+
+    #[test]
+    fn empty_input() {
+        assert!(fast_non_dominated_sort(&[], &MIN2).is_empty());
+    }
+
+    #[test]
+    fn single_solution_is_front_zero() {
+        let fronts = fast_non_dominated_sort(&[vec![1.0, 2.0]], &MIN2);
+        assert_eq!(fronts, vec![vec![0]]);
+    }
+
+    #[test]
+    fn chain_of_dominated_solutions() {
+        let objs: Vec<Vec<f64>> =
+            (0..5).map(|i| vec![i as f64, i as f64]).collect();
+        let fronts = fast_non_dominated_sort(&objs, &MIN2);
+        assert_eq!(fronts.len(), 5, "each solution is its own front");
+        for (rank, front) in fronts.iter().enumerate() {
+            assert_eq!(front, &vec![rank]);
+        }
+    }
+
+    #[test]
+    fn incomparable_solutions_share_a_front() {
+        let objs = vec![vec![0.0, 3.0], vec![1.0, 2.0], vec![2.0, 1.0], vec![3.0, 0.0]];
+        let fronts = fast_non_dominated_sort(&objs, &MIN2);
+        assert_eq!(fronts.len(), 1);
+        assert_eq!(fronts[0].len(), 4);
+    }
+
+    #[test]
+    fn fronts_partition_the_population() {
+        let objs = vec![
+            vec![1.0, 5.0],
+            vec![2.0, 4.0],
+            vec![3.0, 3.0],
+            vec![2.0, 6.0],
+            vec![4.0, 4.0],
+            vec![5.0, 5.0],
+        ];
+        let fronts = fast_non_dominated_sort(&objs, &MIN2);
+        let mut seen: Vec<usize> = fronts.concat();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..objs.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_front_is_internally_nondominated() {
+        let objs = vec![
+            vec![1.0, 5.0],
+            vec![2.0, 4.0],
+            vec![3.0, 3.0],
+            vec![2.0, 6.0],
+            vec![4.0, 4.0],
+            vec![5.0, 5.0],
+            vec![1.5, 4.5],
+        ];
+        let fronts = fast_non_dominated_sort(&objs, &MIN2);
+        for front in &fronts {
+            for &a in front {
+                for &b in front {
+                    assert!(
+                        !dominates(&objs[a], &objs[b], &MIN2),
+                        "{a} dominates {b} within one front"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn later_fronts_are_dominated_by_earlier_ones() {
+        let objs = vec![vec![1.0, 1.0], vec![1.0, 2.0], vec![2.0, 1.0], vec![2.0, 2.0]];
+        let r = ranks(&objs, &MIN2);
+        assert_eq!(r[0], 0);
+        assert!(r[3] > r[0]);
+    }
+
+    #[test]
+    fn maximization_flips_order() {
+        let dirs = [Direction::Maximize, Direction::Maximize];
+        let objs = vec![vec![1.0, 1.0], vec![2.0, 2.0]];
+        let fronts = fast_non_dominated_sort(&objs, &dirs);
+        assert_eq!(fronts[0], vec![1]);
+        assert_eq!(fronts[1], vec![0]);
+    }
+
+    #[test]
+    fn duplicate_vectors_share_front() {
+        let objs = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![2.0, 2.0]];
+        let fronts = fast_non_dominated_sort(&objs, &MIN2);
+        assert_eq!(fronts[0], vec![0, 1]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the NSGA-II machinery.
+
+use bea_nsga2::crowding::crowding_distances;
+use bea_nsga2::hypervolume::hypervolume;
+use bea_nsga2::sorting::{fast_non_dominated_sort, ranks};
+use bea_nsga2::{dominates, Direction};
+use proptest::prelude::*;
+
+fn arb_objectives(n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 2), 1..n)
+}
+
+const MIN2: [Direction; 2] = [Direction::Minimize, Direction::Minimize];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric(objs in arb_objectives(12)) {
+        for a in &objs {
+            prop_assert!(!dominates(a, a, &MIN2));
+        }
+        for a in &objs {
+            for b in &objs {
+                prop_assert!(!(dominates(a, b, &MIN2) && dominates(b, a, &MIN2)));
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_is_transitive(a in proptest::collection::vec(0.0f64..1.0, 2),
+                               eps1 in 0.001f64..0.3, eps2 in 0.001f64..0.3) {
+        // Construct a > b > c explicitly; transitivity must close the chain.
+        let b = vec![a[0] + eps1, a[1] + eps1];
+        let c = vec![b[0] + eps2, b[1] + eps2];
+        prop_assert!(dominates(&a, &b, &MIN2));
+        prop_assert!(dominates(&b, &c, &MIN2));
+        prop_assert!(dominates(&a, &c, &MIN2));
+    }
+
+    #[test]
+    fn rank_zero_iff_nondominated(objs in arb_objectives(16)) {
+        let r = ranks(&objs, &MIN2);
+        for (i, obj) in objs.iter().enumerate() {
+            let dominated = objs.iter().any(|other| dominates(other, obj, &MIN2));
+            prop_assert_eq!(r[i] == 0, !dominated);
+        }
+    }
+
+    #[test]
+    fn fronts_are_ordered_by_rank(objs in arb_objectives(16)) {
+        let fronts = fast_non_dominated_sort(&objs, &MIN2);
+        let r = ranks(&objs, &MIN2);
+        for (k, front) in fronts.iter().enumerate() {
+            for &i in front {
+                prop_assert_eq!(r[i], k);
+            }
+        }
+    }
+
+    #[test]
+    fn crowding_boundaries_are_infinite(objs in arb_objectives(12)) {
+        let front: Vec<usize> = (0..objs.len()).collect();
+        let d = crowding_distances(&front, &objs);
+        prop_assert_eq!(d.len(), objs.len());
+        // The extremes of objective 0 always carry infinity.
+        let min_idx = (0..objs.len())
+            .min_by(|&a, &b| objs[a][0].partial_cmp(&objs[b][0]).unwrap())
+            .unwrap();
+        let max_idx = (0..objs.len())
+            .max_by(|&a, &b| objs[a][0].partial_cmp(&objs[b][0]).unwrap())
+            .unwrap();
+        prop_assert!(d[min_idx].is_infinite());
+        prop_assert!(d[max_idx].is_infinite());
+        prop_assert!(d.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn hypervolume_is_monotone_under_point_addition(
+        objs in arb_objectives(10),
+        extra in proptest::collection::vec(0.0f64..1.0, 2),
+    ) {
+        let reference = [1.5, 1.5];
+        let base = hypervolume(&objs, &reference, &MIN2);
+        let mut bigger = objs.clone();
+        bigger.push(extra);
+        let grown = hypervolume(&bigger, &reference, &MIN2);
+        prop_assert!(grown >= base - 1e-12, "adding a point cannot shrink HV");
+    }
+
+    #[test]
+    fn hypervolume_is_translation_consistent(objs in arb_objectives(8), shift in 0.0f64..2.0) {
+        let reference = [2.0, 2.0];
+        let base = hypervolume(&objs, &reference, &MIN2);
+        let moved: Vec<Vec<f64>> =
+            objs.iter().map(|p| vec![p[0] + shift, p[1] + shift]).collect();
+        let moved_hv =
+            hypervolume(&moved, &[2.0 + shift, 2.0 + shift], &MIN2);
+        prop_assert!((base - moved_hv).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hypervolume_never_exceeds_reference_box(objs in arb_objectives(12)) {
+        let reference = [1.0, 1.0];
+        let hv = hypervolume(&objs, &reference, &MIN2);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&hv));
+    }
+}

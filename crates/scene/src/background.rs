@@ -1,0 +1,159 @@
+//! Road-scene backgrounds (sky, road, lane markings, roadside posts).
+
+use bea_image::Image;
+use bea_tensor::WeightInit;
+
+/// Seeded parameters for a scene background.
+///
+/// The background mimics the stable statistics of a KITTI frame: bright sky
+/// over the top, asphalt over the bottom, a horizon line, dashed lane
+/// markings and a few roadside posts. Gentle per-seed variation keeps scenes
+/// from being pixel-identical (matched filters must tolerate background
+/// variety, like a real detector).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Background {
+    /// Fraction of the image height taken by the sky in `[0.3, 0.6]`.
+    pub horizon: f32,
+    /// Sky brightness offset in intensity levels.
+    pub sky_tint: f32,
+    /// Road brightness offset in intensity levels.
+    pub road_tint: f32,
+    /// Horizontal phase of the dashed lane markings in pixels.
+    pub lane_phase: usize,
+    /// Number of roadside posts.
+    pub post_count: usize,
+    /// Seed used for post placement.
+    pub detail_seed: u64,
+}
+
+impl Background {
+    /// Samples background parameters from a seeded RNG.
+    pub fn sample(rng: &mut WeightInit) -> Self {
+        Self {
+            horizon: rng.uniform(0.35, 0.55),
+            sky_tint: rng.uniform(-15.0, 15.0),
+            road_tint: rng.uniform(-10.0, 10.0),
+            lane_phase: rng.index(16),
+            post_count: rng.index(4),
+            detail_seed: rng.index(1 << 16) as u64,
+        }
+    }
+
+    /// Paints the background onto a fresh image of the given size.
+    pub fn render(&self, width: usize, height: usize) -> Image {
+        let mut img = Image::black(width, height);
+        let horizon_row = ((height as f32) * self.horizon) as usize;
+        for y in 0..height {
+            if y < horizon_row {
+                // Sky: vertical gradient, lighter at the top.
+                let t = y as f32 / horizon_row.max(1) as f32;
+                let base = 205.0 - 35.0 * t + self.sky_tint;
+                for x in 0..width {
+                    img.put_pixel(x, y, [base - 10.0, base, base + 12.0]);
+                }
+            } else {
+                // Road: darker asphalt with slight depth shading.
+                let t = (y - horizon_row) as f32 / (height - horizon_row).max(1) as f32;
+                let base = 70.0 + 25.0 * t + self.road_tint;
+                for x in 0..width {
+                    img.put_pixel(x, y, [base, base, base + 4.0]);
+                }
+            }
+        }
+        self.draw_lane_markings(&mut img, horizon_row);
+        self.draw_posts(&mut img, horizon_row);
+        img
+    }
+
+    fn draw_lane_markings(&self, img: &mut Image, horizon_row: usize) {
+        let lane_y = horizon_row + (img.height() - horizon_row) * 2 / 3;
+        if lane_y >= img.height() {
+            return;
+        }
+        let mut x = self.lane_phase;
+        while x + 6 <= img.width() {
+            for dx in 0..6 {
+                img.put_pixel(x + dx, lane_y, [210.0, 210.0, 190.0]);
+                if lane_y + 1 < img.height() {
+                    img.put_pixel(x + dx, lane_y + 1, [210.0, 210.0, 190.0]);
+                }
+            }
+            x += 16;
+        }
+    }
+
+    fn draw_posts(&self, img: &mut Image, horizon_row: usize) {
+        let mut rng = WeightInit::from_seed(self.detail_seed);
+        for _ in 0..self.post_count {
+            let x = rng.index(img.width().max(1));
+            let top = horizon_row.saturating_sub(6);
+            for y in top..(horizon_row + 4).min(img.height()) {
+                img.put_pixel(x, y, [50.0, 45.0, 40.0]);
+            }
+        }
+    }
+}
+
+impl Default for Background {
+    fn default() -> Self {
+        Self {
+            horizon: 0.45,
+            sky_tint: 0.0,
+            road_tint: 0.0,
+            lane_phase: 0,
+            post_count: 0,
+            detail_seed: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sky_is_brighter_than_road() {
+        let bg = Background::default().render(64, 32);
+        let sky = bg.pixel(32, 2);
+        let road = bg.pixel(32, 30);
+        assert!(sky[1] > road[1] + 50.0, "sky {sky:?} should be brighter than road {road:?}");
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let bg = Background { detail_seed: 5, post_count: 3, ..Background::default() };
+        assert_eq!(bg.render(48, 24), bg.render(48, 24));
+    }
+
+    #[test]
+    fn sampled_backgrounds_vary_with_seed() {
+        let a = Background::sample(&mut WeightInit::from_seed(1));
+        let b = Background::sample(&mut WeightInit::from_seed(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sampled_horizon_in_range() {
+        for seed in 0..20 {
+            let bg = Background::sample(&mut WeightInit::from_seed(seed));
+            assert!((0.35..0.55).contains(&bg.horizon));
+        }
+    }
+
+    #[test]
+    fn lane_markings_are_visible() {
+        let bg = Background::default();
+        let img = bg.render(64, 32);
+        let horizon_row = (32.0 * bg.horizon) as usize;
+        let lane_y = horizon_row + (32 - horizon_row) * 2 / 3;
+        let has_marking = (0..64).any(|x| img.pixel(x, lane_y)[0] > 180.0);
+        assert!(has_marking, "expected dashed lane marking at row {lane_y}");
+    }
+
+    #[test]
+    fn tiny_canvas_does_not_panic() {
+        let bg = Background { post_count: 2, ..Background::default() };
+        let img = bg.render(3, 2);
+        assert_eq!((img.width(), img.height()), (3, 2));
+    }
+}

@@ -1,0 +1,204 @@
+//! Centre-based bounding boxes and intersection-over-union.
+
+/// An axis-aligned bounding box in the image plane.
+///
+/// Following the paper's prediction tuple `B = (cl, x, y, l, w)`, boxes are
+/// stored centre-based: `(cx, cy)` is the centre, `len` the horizontal
+/// extent (the paper's `l` along the wide `L` axis) and `wid` the vertical
+/// extent (the paper's `w`). All quantities are in (fractional) pixels.
+///
+/// # Examples
+///
+/// ```
+/// use bea_scene::BBox;
+///
+/// let a = BBox::new(10.0, 10.0, 8.0, 8.0);
+/// let b = BBox::new(10.0, 10.0, 8.0, 8.0);
+/// assert_eq!(a.iou(&b), 1.0);
+/// let far = BBox::new(100.0, 10.0, 8.0, 8.0);
+/// assert_eq!(a.iou(&far), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox {
+    /// Horizontal centre coordinate (the paper's `x`).
+    pub cx: f32,
+    /// Vertical centre coordinate (the paper's `y`).
+    pub cy: f32,
+    /// Horizontal extent (the paper's `l`).
+    pub len: f32,
+    /// Vertical extent (the paper's `w`).
+    pub wid: f32,
+}
+
+impl BBox {
+    /// Creates a box from centre and extents; negative extents are clamped
+    /// to zero.
+    pub fn new(cx: f32, cy: f32, len: f32, wid: f32) -> Self {
+        Self { cx, cy, len: len.max(0.0), wid: wid.max(0.0) }
+    }
+
+    /// Creates a box from corner coordinates `(x0, y0)`–`(x1, y1)`.
+    pub fn from_corners(x0: f32, y0: f32, x1: f32, y1: f32) -> Self {
+        let (x0, x1) = if x0 <= x1 { (x0, x1) } else { (x1, x0) };
+        let (y0, y1) = if y0 <= y1 { (y0, y1) } else { (y1, y0) };
+        Self::new((x0 + x1) / 2.0, (y0 + y1) / 2.0, x1 - x0, y1 - y0)
+    }
+
+    /// Left edge.
+    pub fn x0(&self) -> f32 {
+        self.cx - self.len / 2.0
+    }
+
+    /// Right edge.
+    pub fn x1(&self) -> f32 {
+        self.cx + self.len / 2.0
+    }
+
+    /// Top edge.
+    pub fn y0(&self) -> f32 {
+        self.cy - self.wid / 2.0
+    }
+
+    /// Bottom edge.
+    pub fn y1(&self) -> f32 {
+        self.cy + self.wid / 2.0
+    }
+
+    /// Box area.
+    pub fn area(&self) -> f32 {
+        self.len * self.wid
+    }
+
+    /// `true` when the point lies inside the box (edges inclusive).
+    pub fn contains_point(&self, x: f32, y: f32) -> bool {
+        x >= self.x0() && x <= self.x1() && y >= self.y0() && y <= self.y1()
+    }
+
+    /// Intersection area with another box.
+    pub fn intersection_area(&self, other: &BBox) -> f32 {
+        let ix = (self.x1().min(other.x1()) - self.x0().max(other.x0())).max(0.0);
+        let iy = (self.y1().min(other.y1()) - self.y0().max(other.y0())).max(0.0);
+        ix * iy
+    }
+
+    /// Intersection-over-union (Jaccard index), always in `[0, 1]`.
+    ///
+    /// Two degenerate (zero-area) boxes have IoU 0.
+    pub fn iou(&self, other: &BBox) -> f32 {
+        let inter = self.intersection_area(other);
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            return 0.0;
+        }
+        (inter / union).clamp(0.0, 1.0)
+    }
+
+    /// Euclidean distance between box centres.
+    pub fn center_distance(&self, other: &BBox) -> f32 {
+        let dx = self.cx - other.cx;
+        let dy = self.cy - other.cy;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Returns a copy grown by `margin` pixels on every side (the paper's
+    /// `ε` buffer in Algorithm 2).
+    pub fn inflated(&self, margin: f32) -> BBox {
+        BBox::new(self.cx, self.cy, self.len + 2.0 * margin, self.wid + 2.0 * margin)
+    }
+
+    /// Returns a copy translated by `(dx, dy)`.
+    pub fn translated(&self, dx: f32, dy: f32) -> BBox {
+        BBox::new(self.cx + dx, self.cy + dy, self.len, self.wid)
+    }
+
+    /// Returns a copy with extents multiplied by `factor`.
+    pub fn scaled(&self, factor: f32) -> BBox {
+        BBox::new(self.cx, self.cy, self.len * factor, self.wid * factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_boxes_have_unit_iou() {
+        let b = BBox::new(5.0, 5.0, 4.0, 2.0);
+        assert_eq!(b.iou(&b), 1.0);
+    }
+
+    #[test]
+    fn disjoint_boxes_have_zero_iou() {
+        let a = BBox::new(0.0, 0.0, 2.0, 2.0);
+        let b = BBox::new(10.0, 0.0, 2.0, 2.0);
+        assert_eq!(a.iou(&b), 0.0);
+        assert_eq!(a.intersection_area(&b), 0.0);
+    }
+
+    #[test]
+    fn half_overlap_iou() {
+        // Box B covers the right half of A and extends as far again.
+        let a = BBox::from_corners(0.0, 0.0, 4.0, 4.0);
+        let b = BBox::from_corners(2.0, 0.0, 6.0, 4.0);
+        // inter = 8, union = 16 + 16 - 8 = 24 -> 1/3.
+        assert!((a.iou(&b) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iou_is_symmetric() {
+        let a = BBox::new(3.0, 4.0, 5.0, 2.0);
+        let b = BBox::new(4.0, 4.5, 3.0, 3.0);
+        assert_eq!(a.iou(&b), b.iou(&a));
+    }
+
+    #[test]
+    fn from_corners_normalises_order() {
+        let b = BBox::from_corners(6.0, 4.0, 2.0, 0.0);
+        assert_eq!(b.x0(), 2.0);
+        assert_eq!(b.y0(), 0.0);
+        assert_eq!(b.len, 4.0);
+        assert_eq!(b.wid, 4.0);
+    }
+
+    #[test]
+    fn degenerate_boxes() {
+        let point = BBox::new(1.0, 1.0, 0.0, 0.0);
+        assert_eq!(point.area(), 0.0);
+        assert_eq!(point.iou(&point), 0.0);
+        let neg = BBox::new(0.0, 0.0, -5.0, -5.0);
+        assert_eq!(neg.area(), 0.0);
+    }
+
+    #[test]
+    fn inflated_adds_margin_on_each_side() {
+        let b = BBox::new(10.0, 10.0, 4.0, 2.0).inflated(3.0);
+        assert_eq!(b.len, 10.0);
+        assert_eq!(b.wid, 8.0);
+        assert!(b.contains_point(5.5, 10.0));
+    }
+
+    #[test]
+    fn contains_point_edges_inclusive() {
+        let b = BBox::from_corners(0.0, 0.0, 2.0, 2.0);
+        assert!(b.contains_point(0.0, 0.0));
+        assert!(b.contains_point(2.0, 2.0));
+        assert!(!b.contains_point(2.01, 2.0));
+    }
+
+    #[test]
+    fn translate_and_scale() {
+        let b = BBox::new(1.0, 2.0, 4.0, 6.0);
+        let t = b.translated(2.0, -1.0);
+        assert_eq!((t.cx, t.cy), (3.0, 1.0));
+        let s = b.scaled(0.5);
+        assert_eq!((s.len, s.wid), (2.0, 3.0));
+        assert_eq!((s.cx, s.cy), (1.0, 2.0));
+    }
+
+    #[test]
+    fn center_distance_is_euclidean() {
+        let a = BBox::new(0.0, 0.0, 1.0, 1.0);
+        let b = BBox::new(3.0, 4.0, 1.0, 1.0);
+        assert_eq!(a.center_distance(&b), 5.0);
+    }
+}

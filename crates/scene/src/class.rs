@@ -1,0 +1,149 @@
+//! The KITTI object class vocabulary.
+
+use std::fmt;
+
+/// Object classes following the KITTI annotation vocabulary.
+///
+/// The paper's abstract detector maps each prediction to a class
+/// `cl ∈ {1, …, C} ∪ {⊥}`; the "no object" class ⊥ is represented in this
+/// codebase by `Option<ObjectClass>::None` at prediction boundaries, so the
+/// enum itself only holds valid classes.
+///
+/// # Examples
+///
+/// ```
+/// use bea_scene::ObjectClass;
+///
+/// assert_eq!(ObjectClass::Car.name(), "Car");
+/// assert_eq!(ObjectClass::ALL.len(), 6);
+/// assert_eq!(ObjectClass::from_index(0), Some(ObjectClass::Car));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ObjectClass {
+    /// A passenger car.
+    Car,
+    /// A van (taller than a car).
+    Van,
+    /// A truck (long and tall).
+    Truck,
+    /// A pedestrian (person on foot).
+    Pedestrian,
+    /// A cyclist (person on a bicycle).
+    Cyclist,
+    /// A tram (very long road-rail vehicle).
+    Tram,
+}
+
+impl ObjectClass {
+    /// All classes in index order.
+    pub const ALL: [ObjectClass; 6] = [
+        ObjectClass::Car,
+        ObjectClass::Van,
+        ObjectClass::Truck,
+        ObjectClass::Pedestrian,
+        ObjectClass::Cyclist,
+        ObjectClass::Tram,
+    ];
+
+    /// Number of classes (`C` in the paper).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable index of the class in `0..COUNT`.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&c| c == self).expect("ALL contains every variant")
+    }
+
+    /// Inverse of [`ObjectClass::index`].
+    pub fn from_index(index: usize) -> Option<ObjectClass> {
+        Self::ALL.get(index).copied()
+    }
+
+    /// KITTI annotation name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObjectClass::Car => "Car",
+            ObjectClass::Van => "Van",
+            ObjectClass::Truck => "Truck",
+            ObjectClass::Pedestrian => "Pedestrian",
+            ObjectClass::Cyclist => "Cyclist",
+            ObjectClass::Tram => "Tram",
+        }
+    }
+
+    /// A display colour used when drawing box overlays on figures.
+    pub fn overlay_color(self) -> [f32; 3] {
+        match self {
+            ObjectClass::Car => [255.0, 64.0, 64.0],
+            ObjectClass::Van => [255.0, 160.0, 32.0],
+            ObjectClass::Truck => [255.0, 255.0, 64.0],
+            ObjectClass::Pedestrian => [64.0, 255.0, 64.0],
+            ObjectClass::Cyclist => [64.0, 160.0, 255.0],
+            ObjectClass::Tram => [224.0, 64.0, 255.0],
+        }
+    }
+
+    /// Nominal rendered size `(width_px, height_px)` of the class at unit
+    /// scale. Classes are deliberately given distinctive aspect ratios so
+    /// shape alone separates them.
+    pub fn nominal_size(self) -> (usize, usize) {
+        match self {
+            ObjectClass::Car => (26, 12),
+            ObjectClass::Van => (22, 16),
+            ObjectClass::Truck => (34, 18),
+            ObjectClass::Pedestrian => (8, 20),
+            ObjectClass::Cyclist => (16, 16),
+            ObjectClass::Tram => (46, 16),
+        }
+    }
+}
+
+impl fmt::Display for ObjectClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for class in ObjectClass::ALL {
+            assert_eq!(ObjectClass::from_index(class.index()), Some(class));
+        }
+        assert_eq!(ObjectClass::from_index(ObjectClass::COUNT), None);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = ObjectClass::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ObjectClass::COUNT);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(ObjectClass::Cyclist.to_string(), "Cyclist");
+    }
+
+    #[test]
+    fn nominal_sizes_have_distinctive_aspect() {
+        let (pw, ph) = ObjectClass::Pedestrian.nominal_size();
+        assert!(ph > 2 * pw, "pedestrians are tall and thin");
+        let (cw, ch) = ObjectClass::Car.nominal_size();
+        assert!(cw > ch, "cars are wide");
+        let (bw, bh) = ObjectClass::Cyclist.nominal_size();
+        assert_eq!(bw, bh, "cyclists are square-ish");
+    }
+
+    #[test]
+    fn overlay_colors_are_distinct() {
+        let mut colors: Vec<_> =
+            ObjectClass::ALL.iter().map(|c| c.overlay_color().map(|v| v as i32)).collect();
+        colors.sort_unstable();
+        colors.dedup();
+        assert_eq!(colors.len(), ObjectClass::COUNT);
+    }
+}

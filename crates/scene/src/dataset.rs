@@ -1,0 +1,129 @@
+//! The indexed synthetic evaluation set.
+
+use crate::generator::SceneGenerator;
+use crate::scene::Scene;
+use bea_image::Image;
+
+/// Default image width: KITTI's 1242×375 scaled by ≈1/6.5, keeping the wide
+/// aspect ratio that makes left/right-half experiments meaningful.
+pub const DEFAULT_WIDTH: usize = 192;
+/// Default image height (see [`DEFAULT_WIDTH`]).
+pub const DEFAULT_HEIGHT: usize = 64;
+/// Number of evaluation images per model (Table I).
+pub const DEFAULT_IMAGE_COUNT: usize = 16;
+
+/// An indexed, deterministic synthetic dataset standing in for KITTI.
+///
+/// # Examples
+///
+/// ```
+/// use bea_scene::SyntheticKitti;
+///
+/// let data = SyntheticKitti::evaluation_set();
+/// assert_eq!(data.len(), 16);
+/// let img = data.image(10); // "image no. 10" of the figures
+/// assert_eq!(img.width(), 192);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticKitti {
+    generator: SceneGenerator,
+    count: usize,
+}
+
+impl SyntheticKitti {
+    /// Creates a dataset of `count` scenes from a generator.
+    pub fn new(generator: SceneGenerator, count: usize) -> Self {
+        Self { generator, count }
+    }
+
+    /// The 16-image evaluation set at the default scaled-KITTI resolution
+    /// (Table I: "# images tested on each model: 16").
+    pub fn evaluation_set() -> Self {
+        Self::new(
+            SceneGenerator::new(DEFAULT_WIDTH, DEFAULT_HEIGHT, 0xBEA7),
+            DEFAULT_IMAGE_COUNT,
+        )
+    }
+
+    /// A small 4-image set for fast tests.
+    pub fn smoke_set() -> Self {
+        Self::new(SceneGenerator::new(128, 48, 0xBEA7), 4)
+    }
+
+    /// Number of images in the dataset.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// `true` when the dataset holds no images.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The underlying generator.
+    pub fn generator(&self) -> &SceneGenerator {
+        &self.generator
+    }
+
+    /// The scene at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn scene(&self, index: usize) -> Scene {
+        assert!(index < self.count, "index {index} out of bounds for {} scenes", self.count);
+        self.generator.scene(index)
+    }
+
+    /// The rendered image at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn image(&self, index: usize) -> Image {
+        self.scene(index).render()
+    }
+
+    /// Iterator over all scenes.
+    pub fn scenes(&self) -> impl Iterator<Item = Scene> + '_ {
+        (0..self.count).map(|i| self.scene(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_set_matches_table1() {
+        let data = SyntheticKitti::evaluation_set();
+        assert_eq!(data.len(), DEFAULT_IMAGE_COUNT);
+        assert!(!data.is_empty());
+    }
+
+    #[test]
+    fn images_are_stable_across_instances() {
+        let a = SyntheticKitti::evaluation_set().image(10);
+        let b = SyntheticKitti::evaluation_set().image(10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_index_panics() {
+        let _ = SyntheticKitti::smoke_set().scene(99);
+    }
+
+    #[test]
+    fn scenes_iterator_covers_all() {
+        let data = SyntheticKitti::smoke_set();
+        assert_eq!(data.scenes().count(), data.len());
+    }
+
+    #[test]
+    fn every_eval_scene_has_objects() {
+        for scene in SyntheticKitti::evaluation_set().scenes() {
+            assert!(!scene.ground_truths().is_empty());
+        }
+    }
+}

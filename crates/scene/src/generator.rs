@@ -1,0 +1,235 @@
+//! Seeded scene sampling.
+
+use crate::background::Background;
+use crate::bbox::BBox;
+use crate::class::ObjectClass;
+use crate::object::SceneObject;
+use crate::render::Style;
+use crate::scene::Scene;
+use bea_tensor::WeightInit;
+
+/// Deterministic generator of synthetic road scenes.
+///
+/// `scene(index)` is a pure function of `(seed, index, width, height)`, so
+/// "image no. 10" is the same image in every run — mirroring the paper's
+/// fixed-seed repeatability setup.
+///
+/// Placement rules keep scenes useful for butterfly experiments:
+///
+/// * every scene has at least one object in the **left half** (the paper
+///   perturbs the right half and observes the left),
+/// * objects sit on the road area below the horizon,
+/// * object boxes overlap pairwise by IoU < 0.1 so ground truth is
+///   unambiguous.
+///
+/// # Examples
+///
+/// ```
+/// use bea_scene::SceneGenerator;
+///
+/// let generator = SceneGenerator::new(192, 64, 7);
+/// let a = generator.scene(3);
+/// let b = generator.scene(3);
+/// assert_eq!(a.render(), b.render());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SceneGenerator {
+    width: usize,
+    height: usize,
+    seed: u64,
+    min_objects: usize,
+    max_objects: usize,
+}
+
+impl SceneGenerator {
+    /// Creates a generator for `width × height` scenes with the given seed.
+    pub fn new(width: usize, height: usize, seed: u64) -> Self {
+        Self { width, height, seed, min_objects: 2, max_objects: 4 }
+    }
+
+    /// Returns a copy with a custom object-count range (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn with_object_range(mut self, min: usize, max: usize) -> Self {
+        assert!(min <= max, "object range must be non-empty");
+        self.min_objects = min;
+        self.max_objects = max;
+        self
+    }
+
+    /// Scene width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Scene height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The generator seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Generates the scene at `index`.
+    pub fn scene(&self, index: usize) -> Scene {
+        // One independent RNG stream per (seed, index).
+        let stream = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(index as u64);
+        let mut rng = WeightInit::from_seed(stream);
+        let background = Background::sample(&mut rng);
+        let mut scene = Scene::with_background(self.width, self.height, background);
+        let n = if self.min_objects == self.max_objects {
+            self.min_objects
+        } else {
+            self.min_objects + rng.index(self.max_objects - self.min_objects + 1)
+        };
+        let mut placed: Vec<BBox> = Vec::new();
+        for slot in 0..n {
+            // The first object is forced onto the left half so every scene
+            // supports the "perturb right, observe left" experiment.
+            let force_left = slot == 0;
+            if let Some(object) = self.place_object(&mut rng, &placed, force_left) {
+                placed.push(object.bbox());
+                scene.push(object);
+            }
+        }
+        scene
+    }
+
+    fn place_object(
+        &self,
+        rng: &mut WeightInit,
+        placed: &[BBox],
+        force_left: bool,
+    ) -> Option<SceneObject> {
+        // Common street classes dominate, like the KITTI label distribution.
+        const PALETTE: [ObjectClass; 8] = [
+            ObjectClass::Car,
+            ObjectClass::Car,
+            ObjectClass::Car,
+            ObjectClass::Pedestrian,
+            ObjectClass::Pedestrian,
+            ObjectClass::Cyclist,
+            ObjectClass::Van,
+            ObjectClass::Truck,
+        ];
+        for _attempt in 0..32 {
+            let class = PALETTE[rng.index(PALETTE.len())];
+            let (nw, nh) = class.nominal_size();
+            let scale = rng.uniform(0.9, 1.1);
+            let len = nw as f32 * scale;
+            let wid = nh as f32 * scale;
+            let road_top = (self.height as f32 * 0.35).max(wid / 2.0 + 1.0);
+            let y_lo = road_top + wid * 0.1;
+            let y_hi = self.height as f32 - wid / 2.0 - 1.0;
+            if y_hi <= y_lo {
+                return None;
+            }
+            let x_hi = if force_left {
+                (self.width as f32 / 2.0 - len / 2.0 - 1.0).max(len / 2.0 + 2.0)
+            } else {
+                self.width as f32 - len / 2.0 - 1.0
+            };
+            let x_lo = len / 2.0 + 1.0;
+            if x_hi <= x_lo {
+                return None;
+            }
+            let cx = rng.uniform(x_lo, x_hi);
+            let cy = rng.uniform(y_lo, y_hi);
+            let bbox = BBox::new(cx, cy, len, wid);
+            if placed.iter().any(|b| b.iou(&bbox) > 0.1) {
+                continue;
+            }
+            let mut style = Style::canonical(class);
+            style.brightness = rng.uniform(0.85, 1.15);
+            return Some(SceneObject::with_style(class, bbox, style));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator() -> SceneGenerator {
+        SceneGenerator::new(192, 64, 1)
+    }
+
+    #[test]
+    fn scenes_are_deterministic() {
+        let g = generator();
+        assert_eq!(g.scene(0).render(), g.scene(0).render());
+        assert_eq!(g.scene(10).ground_truths(), g.scene(10).ground_truths());
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let g = generator();
+        assert_ne!(g.scene(0).render(), g.scene(1).render());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SceneGenerator::new(192, 64, 1).scene(0);
+        let b = SceneGenerator::new(192, 64, 2).scene(0);
+        assert_ne!(a.render(), b.render());
+    }
+
+    #[test]
+    fn every_scene_has_a_left_half_object() {
+        let g = generator();
+        for index in 0..16 {
+            let scene = g.scene(index);
+            let has_left =
+                scene.ground_truths().iter().any(|(_, b)| b.cx < g.width() as f32 / 2.0);
+            assert!(has_left, "scene {index} lacks a left-half object");
+        }
+    }
+
+    #[test]
+    fn object_count_respects_range() {
+        let g = generator().with_object_range(3, 3);
+        for index in 0..8 {
+            let n = g.scene(index).objects().len();
+            assert!(n <= 3, "scene {index} has {n} objects");
+            assert!(n >= 1, "scene {index} placed no objects at all");
+        }
+    }
+
+    #[test]
+    fn objects_do_not_overlap_much() {
+        let g = generator();
+        for index in 0..16 {
+            let gts = g.scene(index).ground_truths();
+            for i in 0..gts.len() {
+                for j in (i + 1)..gts.len() {
+                    assert!(
+                        gts[i].1.iou(&gts[j].1) <= 0.1,
+                        "scene {index}: objects {i} and {j} overlap"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn objects_stay_inside_canvas() {
+        let g = generator();
+        for index in 0..16 {
+            for (_, b) in g.scene(index).ground_truths() {
+                assert!(b.x0() >= 0.0 && b.x1() <= 192.0, "scene {index} box leaves canvas");
+                assert!(b.y0() >= 0.0 && b.y1() <= 64.0, "scene {index} box leaves canvas");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_object_range_panics() {
+        let _ = generator().with_object_range(4, 2);
+    }
+}

@@ -1,0 +1,53 @@
+//! Synthetic KITTI-like road-scene generator.
+//!
+//! The paper evaluates on the KITTI vision benchmark. KITTI itself is not
+//! redistributable here, so this crate generates *deterministic synthetic
+//! road scenes* with KITTI's class vocabulary and wide aspect ratio. Scenes
+//! contain parametrically rendered cars, vans, trucks, pedestrians and
+//! cyclists over a sky/road background, and every scene carries exact
+//! ground-truth boxes. Because the butterfly attack is black-box (it only
+//! consumes images and the detector's own clean prediction), the synthetic
+//! substitution preserves everything the attack depends on while making
+//! experiments exactly repeatable.
+//!
+//! * [`ObjectClass`] — the KITTI class vocabulary,
+//! * [`BBox`] — centre-based boxes with intersection-over-union,
+//! * [`SceneObject`] / [`Scene`] — a renderable scene with ground truth,
+//! * [`SceneGenerator`] — seeded scene sampling,
+//! * [`dataset::SyntheticKitti`] — the indexed 16-image evaluation set
+//!   (Table I: "# images tested on each model = 16"),
+//! * [`sequence::FrameSequence`] — moving-object image sequences for the
+//!   temporal attack of Section IV-B.
+//!
+//! # Examples
+//!
+//! ```
+//! use bea_scene::SceneGenerator;
+//!
+//! let generator = SceneGenerator::new(192, 64, 1);
+//! let scene = generator.scene(10); // "image no. 10"
+//! let img = scene.render();
+//! assert_eq!((img.width(), img.height()), (192, 64));
+//! assert!(!scene.ground_truths().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod background;
+pub mod bbox;
+pub mod class;
+pub mod dataset;
+pub mod generator;
+pub mod object;
+pub mod render;
+pub mod scene;
+pub mod sequence;
+
+pub use bbox::BBox;
+pub use class::ObjectClass;
+pub use dataset::SyntheticKitti;
+pub use generator::SceneGenerator;
+pub use object::SceneObject;
+pub use scene::Scene;
+pub use sequence::FrameSequence;

@@ -1,0 +1,110 @@
+//! Scene objects: a class instance placed at a bounding box.
+
+use crate::bbox::BBox;
+use crate::class::ObjectClass;
+use crate::render::{render_object, Style};
+use bea_image::Image;
+
+/// One ground-truth object in a scene.
+///
+/// # Examples
+///
+/// ```
+/// use bea_scene::{SceneObject, ObjectClass, BBox};
+///
+/// let car = SceneObject::new(ObjectClass::Car, BBox::new(40.0, 30.0, 26.0, 12.0));
+/// assert_eq!(car.class(), ObjectClass::Car);
+/// assert!(car.bbox().area() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SceneObject {
+    class: ObjectClass,
+    bbox: BBox,
+    style: Style,
+    /// Horizontal velocity in pixels per frame (for sequences).
+    velocity_x: f32,
+    /// Vertical velocity in pixels per frame (for sequences).
+    velocity_y: f32,
+}
+
+impl SceneObject {
+    /// Creates an object with the canonical style and zero velocity.
+    pub fn new(class: ObjectClass, bbox: BBox) -> Self {
+        Self { class, bbox, style: Style::canonical(class), velocity_x: 0.0, velocity_y: 0.0 }
+    }
+
+    /// Creates an object with an explicit style.
+    pub fn with_style(class: ObjectClass, bbox: BBox, style: Style) -> Self {
+        Self { class, bbox, style, velocity_x: 0.0, velocity_y: 0.0 }
+    }
+
+    /// Returns a copy with the given per-frame velocity.
+    pub fn with_velocity(mut self, vx: f32, vy: f32) -> Self {
+        self.velocity_x = vx;
+        self.velocity_y = vy;
+        self
+    }
+
+    /// The object class.
+    pub fn class(&self) -> ObjectClass {
+        self.class
+    }
+
+    /// The ground-truth bounding box.
+    pub fn bbox(&self) -> BBox {
+        self.bbox
+    }
+
+    /// The render style.
+    pub fn style(&self) -> Style {
+        self.style
+    }
+
+    /// Per-frame velocity `(vx, vy)`.
+    pub fn velocity(&self) -> (f32, f32) {
+        (self.velocity_x, self.velocity_y)
+    }
+
+    /// Draws the object into `img`.
+    pub fn render_into(&self, img: &mut Image) {
+        render_object(img, self.class, &self.bbox, &self.style);
+    }
+
+    /// Returns the object advanced by `frames` time steps of its velocity.
+    pub fn stepped(&self, frames: f32) -> SceneObject {
+        let mut out = *self;
+        out.bbox = self.bbox.translated(self.velocity_x * frames, self.velocity_y * frames);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_into_paints_object() {
+        let mut img = Image::filled(64, 32, [96.0; 3]);
+        let obj = SceneObject::new(ObjectClass::Pedestrian, BBox::new(20.0, 16.0, 8.0, 20.0));
+        obj.render_into(&mut img);
+        assert_ne!(img, Image::filled(64, 32, [96.0; 3]));
+    }
+
+    #[test]
+    fn stepped_moves_with_velocity() {
+        let obj = SceneObject::new(ObjectClass::Car, BBox::new(10.0, 10.0, 26.0, 12.0))
+            .with_velocity(2.0, -1.0);
+        let moved = obj.stepped(3.0);
+        assert_eq!(moved.bbox().cx, 16.0);
+        assert_eq!(moved.bbox().cy, 7.0);
+        assert_eq!(moved.class(), ObjectClass::Car);
+        // Original is unchanged (value semantics).
+        assert_eq!(obj.bbox().cx, 10.0);
+    }
+
+    #[test]
+    fn zero_velocity_step_is_identity() {
+        let obj = SceneObject::new(ObjectClass::Cyclist, BBox::new(5.0, 5.0, 16.0, 16.0));
+        assert_eq!(obj.stepped(10.0), obj);
+    }
+}

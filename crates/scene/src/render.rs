@@ -1,0 +1,282 @@
+//! Parametric renderers for each object class.
+//!
+//! Renderers draw a class instance into an image inside a given bounding
+//! box. The same functions are used by the scene generator *and* by the
+//! detector crate to synthesise canonical class templates for its matched
+//! filters — the detector "learns" the dataset's appearance exactly the way
+//! a trained network memorises its training distribution.
+
+use crate::bbox::BBox;
+use crate::class::ObjectClass;
+use bea_image::{draw, Image, Region};
+
+/// Visual style parameters for a rendered object.
+///
+/// Styles vary per scene (seeded) so that objects of one class are similar
+/// but not pixel-identical — matched filters must generalise slightly, like
+/// a real detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Style {
+    /// Base body colour.
+    pub body: [f32; 3],
+    /// Secondary (cabin / clothing) colour.
+    pub accent: [f32; 3],
+    /// Brightness multiplier in `[0.6, 1.4]` applied to both colours.
+    pub brightness: f32,
+}
+
+impl Style {
+    /// The canonical style used for detector template synthesis.
+    pub fn canonical(class: ObjectClass) -> Style {
+        let (body, accent) = match class {
+            ObjectClass::Car => ([180.0, 40.0, 40.0], [60.0, 60.0, 80.0]),
+            ObjectClass::Van => ([200.0, 140.0, 60.0], [70.0, 70.0, 90.0]),
+            ObjectClass::Truck => ([190.0, 190.0, 70.0], [60.0, 60.0, 60.0]),
+            ObjectClass::Pedestrian => ([60.0, 120.0, 60.0], [220.0, 190.0, 160.0]),
+            ObjectClass::Cyclist => ([60.0, 100.0, 200.0], [220.0, 190.0, 160.0]),
+            ObjectClass::Tram => ([170.0, 60.0, 190.0], [230.0, 230.0, 240.0]),
+        };
+        Style { body, accent, brightness: 1.0 }
+    }
+
+    fn scaled(&self, rgb: [f32; 3]) -> [f32; 3] {
+        rgb.map(|v| (v * self.brightness).clamp(0.0, 255.0))
+    }
+}
+
+impl Default for Style {
+    fn default() -> Self {
+        Style { body: [128.0; 3], accent: [64.0; 3], brightness: 1.0 }
+    }
+}
+
+/// Renders one object of `class` into `img` inside `bbox` using `style`.
+///
+/// Drawing is clipped to the image; a degenerate box renders nothing.
+pub fn render_object(img: &mut Image, class: ObjectClass, bbox: &BBox, style: &Style) {
+    let x0 = bbox.x0().round().max(0.0) as usize;
+    let y0 = bbox.y0().round().max(0.0) as usize;
+    let x1 = (bbox.x1().round() as i64).clamp(0, img.width() as i64) as usize;
+    let y1 = (bbox.y1().round() as i64).clamp(0, img.height() as i64) as usize;
+    if x1 <= x0 + 1 || y1 <= y0 + 1 {
+        return;
+    }
+    let frame = Frame { x0, y0, x1, y1 };
+    match class {
+        ObjectClass::Car => render_car(img, frame, style),
+        ObjectClass::Van => render_van(img, frame, style),
+        ObjectClass::Truck => render_truck(img, frame, style),
+        ObjectClass::Pedestrian => render_pedestrian(img, frame, style),
+        ObjectClass::Cyclist => render_cyclist(img, frame, style),
+        ObjectClass::Tram => render_tram(img, frame, style),
+    }
+}
+
+/// Pixel-space frame an object is drawn into.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    x0: usize,
+    y0: usize,
+    x1: usize,
+    y1: usize,
+}
+
+impl Frame {
+    fn w(&self) -> usize {
+        self.x1 - self.x0
+    }
+
+    fn h(&self) -> usize {
+        self.y1 - self.y0
+    }
+
+    /// Sub-rectangle by fractional coordinates of the frame.
+    fn sub(&self, fx0: f32, fy0: f32, fx1: f32, fy1: f32) -> Region {
+        let w = self.w() as f32;
+        let h = self.h() as f32;
+        Region::new(
+            self.x0 + (fx0 * w) as usize,
+            self.y0 + (fy0 * h) as usize,
+            self.x0 + (fx1 * w).ceil() as usize,
+            self.y0 + (fy1 * h).ceil() as usize,
+        )
+    }
+
+    fn px(&self, fx: f32) -> i64 {
+        self.x0 as i64 + (fx * self.w() as f32) as i64
+    }
+
+    fn py(&self, fy: f32) -> i64 {
+        self.y0 as i64 + (fy * self.h() as f32) as i64
+    }
+}
+
+const WHEEL: [f32; 3] = [15.0, 15.0, 15.0];
+const WINDOW: [f32; 3] = [140.0, 180.0, 210.0];
+
+fn render_car(img: &mut Image, f: Frame, s: &Style) {
+    // Body over the lower 60 %, cabin on top centre, two wheels.
+    draw::rect_fill(img, f.sub(0.0, 0.4, 1.0, 0.85), s.scaled(s.body));
+    draw::rect_fill(img, f.sub(0.2, 0.05, 0.8, 0.45), s.scaled(s.accent));
+    draw::rect_fill(img, f.sub(0.28, 0.12, 0.72, 0.38), s.scaled(WINDOW));
+    let r = (f.h() as f32 * 0.16).max(1.0) as i64;
+    draw::disc(img, f.px(0.22), f.py(0.88), r, WHEEL);
+    draw::disc(img, f.px(0.78), f.py(0.88), r, WHEEL);
+}
+
+fn render_van(img: &mut Image, f: Frame, s: &Style) {
+    // Tall single-volume body with a high windshield band.
+    draw::rect_fill(img, f.sub(0.0, 0.1, 1.0, 0.85), s.scaled(s.body));
+    draw::rect_fill(img, f.sub(0.55, 0.15, 0.95, 0.4), s.scaled(WINDOW));
+    let r = (f.h() as f32 * 0.12).max(1.0) as i64;
+    draw::disc(img, f.px(0.2), f.py(0.9), r, WHEEL);
+    draw::disc(img, f.px(0.8), f.py(0.9), r, WHEEL);
+}
+
+fn render_truck(img: &mut Image, f: Frame, s: &Style) {
+    // Cargo box on the left 70 %, cab on the right.
+    draw::rect_fill(img, f.sub(0.0, 0.1, 0.68, 0.85), s.scaled(s.body));
+    draw::rect_fill(img, f.sub(0.7, 0.3, 1.0, 0.85), s.scaled(s.accent));
+    draw::rect_fill(img, f.sub(0.74, 0.35, 0.96, 0.55), s.scaled(WINDOW));
+    let r = (f.h() as f32 * 0.12).max(1.0) as i64;
+    draw::disc(img, f.px(0.15), f.py(0.9), r, WHEEL);
+    draw::disc(img, f.px(0.5), f.py(0.9), r, WHEEL);
+    draw::disc(img, f.px(0.85), f.py(0.9), r, WHEEL);
+}
+
+fn render_pedestrian(img: &mut Image, f: Frame, s: &Style) {
+    // Head disc, torso block, two legs.
+    let r = (f.w() as f32 * 0.3).max(1.0) as i64;
+    draw::disc(img, f.px(0.5), f.py(0.12), r, s.scaled(s.accent));
+    draw::rect_fill(img, f.sub(0.2, 0.25, 0.8, 0.62), s.scaled(s.body));
+    draw::rect_fill(img, f.sub(0.25, 0.62, 0.45, 1.0), s.scaled([40.0, 40.0, 60.0]));
+    draw::rect_fill(img, f.sub(0.55, 0.62, 0.75, 1.0), s.scaled([40.0, 40.0, 60.0]));
+}
+
+fn render_cyclist(img: &mut Image, f: Frame, s: &Style) {
+    // Two solid wheels, a frame bar, and a rider (torso + head).
+    let r = (f.h() as f32 * 0.22).max(2.0) as i64;
+    draw::disc(img, f.px(0.25), f.py(0.78), r, WHEEL);
+    draw::disc(img, f.px(0.75), f.py(0.78), r, WHEEL);
+    draw::rect_fill(img, f.sub(0.2, 0.58, 0.8, 0.68), s.scaled(s.body));
+    draw::rect_fill(img, f.sub(0.38, 0.2, 0.72, 0.62), s.scaled(s.body));
+    let hr = (f.w() as f32 * 0.14).max(1.0) as i64;
+    draw::disc(img, f.px(0.55), f.py(0.1), hr, s.scaled(s.accent));
+}
+
+fn render_tram(img: &mut Image, f: Frame, s: &Style) {
+    // Long body with a row of windows and a pantograph hint.
+    draw::rect_fill(img, f.sub(0.0, 0.12, 1.0, 0.88), s.scaled(s.body));
+    let n = (f.w() / 8).clamp(2, 6);
+    for i in 0..n {
+        let fx0 = 0.06 + i as f32 * (0.9 / n as f32);
+        draw::rect_fill(img, f.sub(fx0, 0.22, fx0 + 0.6 / n as f32, 0.5), s.scaled(s.accent));
+    }
+    draw::vline(
+        img,
+        f.px(0.5).max(0) as usize,
+        f.y0.saturating_sub(2),
+        f.y0 + 2,
+        [30.0, 30.0, 30.0],
+    );
+}
+
+/// Renders one canonical instance of `class` at its nominal size on a
+/// neutral mid-grey canvas, returning the canvas (used for detector template
+/// synthesis).
+pub fn canonical_template(class: ObjectClass) -> Image {
+    let (w, h) = class.nominal_size();
+    let mut img = Image::filled(w + 2, h + 2, [96.0, 96.0, 96.0]);
+    let bbox = BBox::new((w + 2) as f32 / 2.0, (h + 2) as f32 / 2.0, w as f32, h as f32);
+    render_object(&mut img, class, &bbox, &Style::canonical(class));
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_changes_pixels_inside_box() {
+        for class in ObjectClass::ALL {
+            let mut img = Image::filled(64, 48, [96.0; 3]);
+            let bbox = BBox::new(32.0, 24.0, 24.0, 16.0);
+            render_object(&mut img, class, &bbox, &Style::canonical(class));
+            let changed = (0..48)
+                .flat_map(|y| (0..64).map(move |x| (x, y)))
+                .filter(|&(x, y)| img.pixel(x, y) != [96.0; 3])
+                .count();
+            assert!(changed > 20, "{class} should paint a visible object ({changed} px)");
+        }
+    }
+
+    #[test]
+    fn rendering_stays_near_box() {
+        // No paint should land far outside the inflated bbox.
+        let mut img = Image::filled(100, 60, [96.0; 3]);
+        let bbox = BBox::new(50.0, 30.0, 20.0, 14.0);
+        render_object(&mut img, ObjectClass::Car, &bbox, &Style::canonical(ObjectClass::Car));
+        let fence = bbox.inflated(4.0);
+        for y in 0..60 {
+            for x in 0..100 {
+                if img.pixel(x, y) != [96.0; 3] {
+                    assert!(
+                        fence.contains_point(x as f32, y as f32),
+                        "paint at ({x},{y}) escaped the box"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_box_renders_nothing() {
+        let mut img = Image::filled(32, 32, [96.0; 3]);
+        let before = img.clone();
+        render_object(
+            &mut img,
+            ObjectClass::Car,
+            &BBox::new(10.0, 10.0, 0.5, 0.5),
+            &Style::default(),
+        );
+        assert_eq!(img, before);
+    }
+
+    #[test]
+    fn off_canvas_box_is_clipped() {
+        let mut img = Image::filled(32, 32, [96.0; 3]);
+        render_object(
+            &mut img,
+            ObjectClass::Truck,
+            &BBox::new(30.0, 30.0, 30.0, 20.0),
+            &Style::canonical(ObjectClass::Truck),
+        );
+        // Must not panic; some pixels inside the canvas changed.
+        assert!(img.pixel(28, 28) != [96.0; 3]);
+    }
+
+    #[test]
+    fn canonical_templates_differ_between_classes() {
+        let car = canonical_template(ObjectClass::Car);
+        let ped = canonical_template(ObjectClass::Pedestrian);
+        assert_ne!(
+            (car.width(), car.height()),
+            (ped.width(), ped.height()),
+            "distinct nominal sizes"
+        );
+        let car2 = canonical_template(ObjectClass::Car);
+        assert_eq!(car, car2, "template synthesis is deterministic");
+    }
+
+    #[test]
+    fn brightness_scales_colours() {
+        let mut dark = Style::canonical(ObjectClass::Car);
+        dark.brightness = 0.5;
+        let mut img_bright = Image::filled(40, 24, [96.0; 3]);
+        let mut img_dark = img_bright.clone();
+        let bbox = BBox::new(20.0, 12.0, 26.0, 12.0);
+        render_object(&mut img_bright, ObjectClass::Car, &bbox, &Style::canonical(ObjectClass::Car));
+        render_object(&mut img_dark, ObjectClass::Car, &bbox, &dark);
+        assert!(img_dark.mean() < img_bright.mean());
+    }
+}

@@ -1,0 +1,150 @@
+//! A renderable scene with ground truth.
+
+use crate::background::Background;
+use crate::bbox::BBox;
+use crate::class::ObjectClass;
+use crate::object::SceneObject;
+use bea_image::Image;
+
+/// A synthetic road scene: a background plus a list of objects.
+///
+/// # Examples
+///
+/// ```
+/// use bea_scene::{Scene, SceneObject, ObjectClass, BBox};
+///
+/// let mut scene = Scene::empty(96, 48);
+/// scene.push(SceneObject::new(ObjectClass::Car, BBox::new(30.0, 30.0, 26.0, 12.0)));
+/// let img = scene.render();
+/// assert_eq!(img.width(), 96);
+/// assert_eq!(scene.ground_truths().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scene {
+    width: usize,
+    height: usize,
+    background: Background,
+    objects: Vec<SceneObject>,
+}
+
+impl Scene {
+    /// Creates a scene with the default background and no objects.
+    pub fn empty(width: usize, height: usize) -> Self {
+        Self { width, height, background: Background::default(), objects: Vec::new() }
+    }
+
+    /// Creates a scene with an explicit background.
+    pub fn with_background(width: usize, height: usize, background: Background) -> Self {
+        Self { width, height, background, objects: Vec::new() }
+    }
+
+    /// Scene width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Scene height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The background parameters.
+    pub fn background(&self) -> &Background {
+        &self.background
+    }
+
+    /// Adds an object (drawn in insertion order, later objects occlude
+    /// earlier ones).
+    pub fn push(&mut self, object: SceneObject) {
+        self.objects.push(object);
+    }
+
+    /// The objects in the scene.
+    pub fn objects(&self) -> &[SceneObject] {
+        &self.objects
+    }
+
+    /// Ground-truth `(class, bbox)` pairs.
+    pub fn ground_truths(&self) -> Vec<(ObjectClass, BBox)> {
+        self.objects.iter().map(|o| (o.class(), o.bbox())).collect()
+    }
+
+    /// Ground-truth boxes for one class.
+    pub fn ground_truths_of(&self, class: ObjectClass) -> Vec<BBox> {
+        self.objects.iter().filter(|o| o.class() == class).map(|o| o.bbox()).collect()
+    }
+
+    /// Renders the scene to an image.
+    pub fn render(&self) -> Image {
+        let mut img = self.background.render(self.width, self.height);
+        for object in &self.objects {
+            object.render_into(&mut img);
+        }
+        img
+    }
+
+    /// Returns the scene advanced by `frames` steps of every object's
+    /// velocity (objects whose centre leaves the canvas are kept — they
+    /// simply clip during rendering, like objects leaving a camera's view).
+    pub fn stepped(&self, frames: f32) -> Scene {
+        Scene {
+            width: self.width,
+            height: self.height,
+            background: self.background,
+            objects: self.objects.iter().map(|o| o.stepped(frames)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn car_at(cx: f32, cy: f32) -> SceneObject {
+        SceneObject::new(ObjectClass::Car, BBox::new(cx, cy, 26.0, 12.0))
+    }
+
+    #[test]
+    fn empty_scene_is_background_only() {
+        let scene = Scene::empty(64, 32);
+        assert_eq!(scene.render(), Background::default().render(64, 32));
+        assert!(scene.ground_truths().is_empty());
+    }
+
+    #[test]
+    fn objects_paint_over_background() {
+        let mut scene = Scene::empty(64, 32);
+        scene.push(car_at(32.0, 22.0));
+        let with_car = scene.render();
+        let without = Scene::empty(64, 32).render();
+        assert_ne!(with_car, without);
+    }
+
+    #[test]
+    fn ground_truths_match_objects() {
+        let mut scene = Scene::empty(96, 48);
+        scene.push(car_at(20.0, 30.0));
+        scene.push(SceneObject::new(ObjectClass::Pedestrian, BBox::new(70.0, 28.0, 8.0, 20.0)));
+        let gts = scene.ground_truths();
+        assert_eq!(gts.len(), 2);
+        assert_eq!(gts[0].0, ObjectClass::Car);
+        assert_eq!(scene.ground_truths_of(ObjectClass::Pedestrian).len(), 1);
+        assert_eq!(scene.ground_truths_of(ObjectClass::Tram).len(), 0);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let mut scene = Scene::empty(64, 32);
+        scene.push(car_at(30.0, 22.0));
+        assert_eq!(scene.render(), scene.render());
+    }
+
+    #[test]
+    fn stepped_scene_moves_objects() {
+        let mut scene = Scene::empty(64, 32);
+        scene.push(car_at(10.0, 22.0).with_velocity(5.0, 0.0));
+        let later = scene.stepped(2.0);
+        assert_eq!(later.ground_truths()[0].1.cx, 20.0);
+        assert_ne!(later.render(), scene.render());
+    }
+}

@@ -1,0 +1,187 @@
+//! Image sequences for the temporal attack.
+//!
+//! Section IV-B: "for attacking temporally stable predictions, the single
+//! mask implementing δ simply needs to be effective not on multiple
+//! predictors but rather on a sequence of images." This module turns one
+//! scene into a short clip by advancing object velocities frame by frame.
+
+use crate::generator::SceneGenerator;
+use crate::object::SceneObject;
+use crate::scene::Scene;
+use bea_image::Image;
+use bea_tensor::WeightInit;
+
+/// A deterministic sequence of frames derived from a base scene.
+///
+/// # Examples
+///
+/// ```
+/// use bea_scene::{FrameSequence, SceneGenerator};
+///
+/// let generator = SceneGenerator::new(192, 64, 3);
+/// let seq = FrameSequence::from_scene(generator.scene(0), 5, 9);
+/// assert_eq!(seq.len(), 5);
+/// let frames: Vec<_> = seq.frames().collect();
+/// assert_eq!(frames.len(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameSequence {
+    base: Scene,
+    frame_count: usize,
+}
+
+impl FrameSequence {
+    /// Builds a sequence from a base scene, assigning each object a gentle
+    /// seeded velocity (cars drift horizontally, pedestrians and cyclists
+    /// move slowly).
+    pub fn from_scene(base: Scene, frame_count: usize, motion_seed: u64) -> Self {
+        let mut rng = WeightInit::from_seed(motion_seed);
+        let mut moving = Scene::with_background(base.width(), base.height(), *base.background());
+        for object in base.objects() {
+            let speed_scale = match object.class() {
+                crate::class::ObjectClass::Pedestrian => 0.4,
+                crate::class::ObjectClass::Cyclist => 0.8,
+                _ => 1.5,
+            };
+            let vx = rng.uniform(-1.0, 1.0) * speed_scale;
+            let vy = rng.uniform(-0.2, 0.2);
+            moving.push(object.with_velocity(vx, vy));
+        }
+        Self { base: moving, frame_count }
+    }
+
+    /// Builds a sequence directly from a generator's scene at `index`.
+    pub fn generate(
+        generator: &SceneGenerator,
+        index: usize,
+        frame_count: usize,
+    ) -> FrameSequence {
+        let motion_seed = generator.seed().wrapping_add(index as u64).wrapping_mul(31);
+        Self::from_scene(generator.scene(index), frame_count, motion_seed)
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frame_count
+    }
+
+    /// `true` when the sequence has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frame_count == 0
+    }
+
+    /// The scene at frame `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= len()`.
+    pub fn scene_at(&self, t: usize) -> Scene {
+        assert!(t < self.frame_count, "frame {t} out of bounds for {}", self.frame_count);
+        self.base.stepped(t as f32)
+    }
+
+    /// The rendered image at frame `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= len()`.
+    pub fn frame(&self, t: usize) -> Image {
+        self.scene_at(t).render()
+    }
+
+    /// Iterator over all rendered frames.
+    pub fn frames(&self) -> impl Iterator<Item = Image> + '_ {
+        (0..self.frame_count).map(|t| self.frame(t))
+    }
+
+    /// The moving objects (with their assigned velocities) of the base
+    /// frame.
+    pub fn objects(&self) -> &[SceneObject] {
+        self.base.objects()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sequence() -> FrameSequence {
+        let generator = SceneGenerator::new(128, 48, 5);
+        FrameSequence::generate(&generator, 0, 6)
+    }
+
+    #[test]
+    fn frames_share_background_but_move() {
+        let seq = sequence();
+        let first = seq.frame(0);
+        let last = seq.frame(5);
+        assert_ne!(first, last, "objects should have moved");
+        // Background pixels in the sky row are identical.
+        assert_eq!(first.pixel(10, 1), last.pixel(10, 1));
+    }
+
+    #[test]
+    fn frame_zero_matches_base_scene() {
+        let generator = SceneGenerator::new(128, 48, 5);
+        let base = generator.scene(0);
+        let seq = FrameSequence::generate(&generator, 0, 3);
+        // Same boxes at t=0 (velocities only apply from t>0).
+        let base_gts = base.ground_truths();
+        let seq_gts = seq.scene_at(0).ground_truths();
+        assert_eq!(base_gts, seq_gts);
+    }
+
+    #[test]
+    fn sequence_is_deterministic() {
+        let a = sequence();
+        let b = sequence();
+        for t in 0..a.len() {
+            assert_eq!(a.frame(t), b.frame(t));
+        }
+    }
+
+    #[test]
+    fn motion_is_linear() {
+        let seq = sequence();
+        let obj = seq.objects()[0];
+        let (vx, vy) = obj.velocity();
+        let b0 = seq.scene_at(0).ground_truths()[0].1;
+        let b3 = seq.scene_at(3).ground_truths()[0].1;
+        assert!((b3.cx - b0.cx - 3.0 * vx).abs() < 1e-4);
+        assert!((b3.cy - b0.cy - 3.0 * vy).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_frame_panics() {
+        let _ = sequence().frame(100);
+    }
+
+    #[test]
+    fn pedestrians_move_slower_than_cars() {
+        // Statistical property across many sequences.
+        let generator = SceneGenerator::new(192, 64, 11);
+        let mut car_speed = (0.0f32, 0usize);
+        let mut ped_speed = (0.0f32, 0usize);
+        for index in 0..20 {
+            let seq = FrameSequence::generate(&generator, index, 2);
+            for obj in seq.objects() {
+                let (vx, _) = obj.velocity();
+                match obj.class() {
+                    crate::class::ObjectClass::Car => {
+                        car_speed.0 += vx.abs();
+                        car_speed.1 += 1;
+                    }
+                    crate::class::ObjectClass::Pedestrian => {
+                        ped_speed.0 += vx.abs();
+                        ped_speed.1 += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if car_speed.1 > 3 && ped_speed.1 > 3 {
+            assert!(car_speed.0 / car_speed.1 as f32 > ped_speed.0 / ped_speed.1 as f32);
+        }
+    }
+}

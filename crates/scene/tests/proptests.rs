@@ -1,0 +1,95 @@
+//! Property-based tests of boxes and scene generation.
+
+use bea_scene::{BBox, FrameSequence, SceneGenerator};
+use proptest::prelude::*;
+
+fn arb_bbox() -> impl Strategy<Value = BBox> {
+    (0.0f32..200.0, 0.0f32..80.0, 0.1f32..50.0, 0.1f32..40.0)
+        .prop_map(|(cx, cy, l, w)| BBox::new(cx, cy, l, w))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn iou_triangle_of_containment(b in arb_bbox(), margin in 0.1f32..10.0) {
+        // A box always has higher IoU with itself than with its inflation.
+        let inflated = b.inflated(margin);
+        prop_assert!(b.iou(&inflated) < 1.0);
+        prop_assert!(b.iou(&inflated) > 0.0);
+        // Inflation contains the original: intersection equals b's area.
+        prop_assert!((b.intersection_area(&inflated) - b.area()).abs() / b.area() < 1e-3);
+    }
+
+    #[test]
+    fn translation_preserves_area_and_shrinks_iou(b in arb_bbox(), dx in 0.1f32..30.0) {
+        let moved = b.translated(dx, 0.0);
+        prop_assert!((moved.area() - b.area()).abs() < 1e-3);
+        let self_iou = b.iou(&b);
+        prop_assert!(b.iou(&moved) <= self_iou + 1e-6);
+        // Moving further never increases IoU.
+        let further = b.translated(dx * 2.0, 0.0);
+        prop_assert!(b.iou(&further) <= b.iou(&moved) + 1e-5);
+    }
+
+    #[test]
+    fn from_corners_is_order_invariant(
+        x0 in 0.0f32..50.0, y0 in 0.0f32..50.0,
+        x1 in 0.0f32..50.0, y1 in 0.0f32..50.0,
+    ) {
+        let a = BBox::from_corners(x0, y0, x1, y1);
+        let b = BBox::from_corners(x1, y1, x0, y0);
+        prop_assert_eq!(a, b);
+        prop_assert!(a.len >= 0.0 && a.wid >= 0.0);
+    }
+
+    #[test]
+    fn scaled_area_scales_quadratically(b in arb_bbox(), f in 0.1f32..3.0) {
+        let scaled = b.scaled(f);
+        prop_assert!((scaled.area() - b.area() * f * f).abs() / b.area().max(1e-3) < 1e-2);
+    }
+
+    #[test]
+    fn generated_scenes_satisfy_invariants(seed in 0u64..300, index in 0usize..8) {
+        let generator = SceneGenerator::new(160, 56, seed);
+        let scene = generator.scene(index);
+        let gts = scene.ground_truths();
+        // At least one object, all inside the canvas, one on the left half.
+        prop_assert!(!gts.is_empty());
+        let mut has_left = false;
+        for (_, b) in &gts {
+            prop_assert!(b.x0() >= -0.5 && b.x1() <= 160.5);
+            prop_assert!(b.y0() >= -0.5 && b.y1() <= 56.5);
+            if b.cx < 80.0 {
+                has_left = true;
+            }
+        }
+        prop_assert!(has_left, "scene must keep a left-half object for the experiments");
+        // Pairwise IoU bounded.
+        for i in 0..gts.len() {
+            for j in (i + 1)..gts.len() {
+                prop_assert!(gts[i].1.iou(&gts[j].1) <= 0.1 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn rendering_is_a_pure_function(seed in 0u64..100, index in 0usize..4) {
+        let g = SceneGenerator::new(128, 48, seed);
+        prop_assert_eq!(g.scene(index).render(), g.scene(index).render());
+    }
+
+    #[test]
+    fn sequence_motion_is_consistent(seed in 0u64..100) {
+        let generator = SceneGenerator::new(128, 48, seed);
+        let seq = FrameSequence::generate(&generator, 0, 4);
+        // Box centres move linearly: b(t) - b(0) == t * (b(1) - b(0)).
+        let at = |t: usize| seq.scene_at(t).ground_truths();
+        let (f0, f1, f3) = (at(0), at(1), at(3));
+        for i in 0..f0.len() {
+            let step = f1[i].1.cx - f0[i].1.cx;
+            let expected = f0[i].1.cx + 3.0 * step;
+            prop_assert!((f3[i].1.cx - expected).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Activation functions and the numerically stable softmax.
+
+use crate::matrix::Matrix;
+
+/// Rectified linear unit: `max(0, x)`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(bea_tensor::activation::relu(-3.0), 0.0);
+/// assert_eq!(bea_tensor::activation::relu(2.5), 2.5);
+/// ```
+#[inline]
+pub fn relu(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+/// Leaky rectified linear unit with slope `alpha` for negative inputs.
+#[inline]
+pub fn leaky_relu(x: f32, alpha: f32) -> f32 {
+    if x >= 0.0 {
+        x
+    } else {
+        alpha * x
+    }
+}
+
+/// Logistic sigmoid `1 / (1 + e^{-x})`.
+///
+/// # Examples
+///
+/// ```
+/// let mid = bea_tensor::activation::sigmoid(0.0);
+/// assert!((mid - 0.5).abs() < 1e-6);
+/// ```
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Gaussian error linear unit (tanh approximation, as used by transformer
+/// feed-forward blocks).
+#[inline]
+pub fn gelu(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Numerically stable softmax over a slice, in place.
+///
+/// An empty slice is left unchanged. If every input is `-inf`, the result is
+/// a uniform distribution (this keeps attention rows well-defined even when a
+/// mask removes every key).
+pub fn softmax_inplace(values: &mut [f32]) {
+    if values.is_empty() {
+        return;
+    }
+    let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        let uniform = 1.0 / values.len() as f32;
+        values.fill(uniform);
+        return;
+    }
+    let mut sum = 0.0;
+    for v in values.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in values.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Softmax over a slice, returning a new vector.
+///
+/// See [`softmax_inplace`] for edge-case behaviour.
+pub fn softmax(values: &[f32]) -> Vec<f32> {
+    let mut out = values.to_vec();
+    softmax_inplace(&mut out);
+    out
+}
+
+/// Applies softmax independently to every row of a matrix, in place.
+///
+/// This is the normalisation used for attention weights: each query's
+/// scores over all keys become a probability distribution.
+pub fn softmax_rows_inplace(m: &mut Matrix) {
+    let rows = m.rows();
+    for r in 0..rows {
+        softmax_inplace(m.row_mut(r));
+    }
+}
+
+/// Applies `relu` to every element of a matrix, in place.
+pub fn relu_matrix_inplace(m: &mut Matrix) {
+    m.map_inplace(relu);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(relu(-1.0), 0.0);
+        assert_eq!(relu(0.0), 0.0);
+        assert_eq!(relu(3.5), 3.5);
+    }
+
+    #[test]
+    fn leaky_relu_scales_negatives() {
+        assert_eq!(leaky_relu(-10.0, 0.1), -1.0);
+        assert_eq!(leaky_relu(10.0, 0.1), 10.0);
+    }
+
+    #[test]
+    fn sigmoid_is_monotone_and_bounded() {
+        let mut prev = sigmoid(-10.0);
+        assert!(prev > 0.0);
+        for i in -9..=10 {
+            let cur = sigmoid(i as f32);
+            assert!(cur > prev);
+            prev = cur;
+        }
+        assert!(prev < 1.0);
+    }
+
+    #[test]
+    fn gelu_fixed_points() {
+        assert_eq!(gelu(0.0), 0.0);
+        assert!((gelu(3.0) - 3.0).abs() < 0.01, "gelu(3) should be close to 3");
+        assert!(gelu(-3.0).abs() < 0.01, "gelu(-3) should be close to 0");
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let out = softmax(&[1.0, 2.0, 3.0]);
+        let sum: f32 = out.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(out[2] > out[1] && out[1] > out[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[1001.0, 1002.0, 1003.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_all_neg_infinity() {
+        let out = softmax(&[f32::NEG_INFINITY, f32::NEG_INFINITY]);
+        assert_eq!(out, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn softmax_empty_is_noop() {
+        let out = softmax(&[]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn softmax_rows_normalises_each_row() {
+        let mut m = Matrix::from_rows(&[&[0.0, 0.0], &[10.0, 0.0]]).unwrap();
+        softmax_rows_inplace(&mut m);
+        assert!((m.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!((m.row(1).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(m.at(1, 0) > 0.99);
+    }
+}

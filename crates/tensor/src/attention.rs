@@ -1,0 +1,269 @@
+//! Scaled dot-product and multi-head attention.
+//!
+//! Attention is the *global mixing* primitive: every output token is a
+//! softmax-weighted combination of **all** value tokens, so a perturbation
+//! anywhere in the image influences every token downstream. This is the
+//! architectural channel the paper blames for DETR's susceptibility to
+//! butterfly effects ("attention mechanisms connecting two arbitrary regions
+//! in an image").
+
+use crate::activation::softmax_rows_inplace;
+use crate::error::{Result, TensorError};
+use crate::init::WeightInit;
+use crate::linear::Linear;
+use crate::matrix::Matrix;
+
+/// Computes scaled dot-product attention `softmax(QKᵀ/√d)·V`.
+///
+/// `queries` is `n_q × d`, `keys` and `values` are `n_k × d_k` / `n_k × d_v`
+/// with `d == d_k`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the query/key widths differ or
+/// the key/value row counts differ.
+pub fn scaled_dot_attention(
+    queries: &Matrix,
+    keys: &Matrix,
+    values: &Matrix,
+) -> Result<Matrix> {
+    if queries.cols() != keys.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "attention q/k width",
+            lhs: vec![queries.rows(), queries.cols()],
+            rhs: vec![keys.rows(), keys.cols()],
+        });
+    }
+    if keys.rows() != values.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "attention k/v rows",
+            lhs: vec![keys.rows(), keys.cols()],
+            rhs: vec![values.rows(), values.cols()],
+        });
+    }
+    let scale = 1.0 / (queries.cols().max(1) as f32).sqrt();
+    let mut scores = queries.matmul(&keys.transpose())?.scale(scale);
+    softmax_rows_inplace(&mut scores);
+    scores.matmul(values)
+}
+
+/// Returns the attention weight matrix `softmax(QKᵀ/√d)` without applying it
+/// to the values (used for heatmap introspection).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the query/key widths differ.
+pub fn attention_weights(queries: &Matrix, keys: &Matrix) -> Result<Matrix> {
+    if queries.cols() != keys.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "attention q/k width",
+            lhs: vec![queries.rows(), queries.cols()],
+            rhs: vec![keys.rows(), keys.cols()],
+        });
+    }
+    let scale = 1.0 / (queries.cols().max(1) as f32).sqrt();
+    let mut scores = queries.matmul(&keys.transpose())?.scale(scale);
+    softmax_rows_inplace(&mut scores);
+    Ok(scores)
+}
+
+/// A multi-head attention layer with learned Q/K/V/output projections.
+///
+/// # Examples
+///
+/// ```
+/// use bea_tensor::{MultiHeadAttention, Matrix, WeightInit};
+///
+/// # fn main() -> Result<(), bea_tensor::TensorError> {
+/// let mut init = WeightInit::from_seed(1);
+/// let mha = MultiHeadAttention::seeded(8, 2, &mut init)?;
+/// let tokens = Matrix::zeros(5, 8);
+/// let out = mha.forward(&tokens, &tokens, &tokens)?;
+/// assert_eq!(out.shape(), (5, 8));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiHeadAttention {
+    heads: usize,
+    model_dim: usize,
+    head_dim: usize,
+    q_proj: Linear,
+    k_proj: Linear,
+    v_proj: Linear,
+    out_proj: Linear,
+}
+
+impl MultiHeadAttention {
+    /// Builds a seeded multi-head attention layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidConfig`] if `model_dim` is not divisible
+    /// by `heads` or either is zero.
+    pub fn seeded(model_dim: usize, heads: usize, init: &mut WeightInit) -> Result<Self> {
+        if heads == 0 || model_dim == 0 || !model_dim.is_multiple_of(heads) {
+            return Err(TensorError::InvalidConfig {
+                what: format!("model_dim {model_dim} must be a positive multiple of heads {heads}"),
+            });
+        }
+        Ok(Self {
+            heads,
+            model_dim,
+            head_dim: model_dim / heads,
+            q_proj: Linear::seeded(model_dim, model_dim, init),
+            k_proj: Linear::seeded(model_dim, model_dim, init),
+            v_proj: Linear::seeded(model_dim, model_dim, init),
+            out_proj: Linear::seeded(model_dim, model_dim, init),
+        })
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Model (embedding) dimensionality.
+    pub fn model_dim(&self) -> usize {
+        self.model_dim
+    }
+
+    /// Applies multi-head attention.
+    ///
+    /// `queries`, `keys` and `values` all have `model_dim` columns; for
+    /// self-attention pass the same token matrix three times, for
+    /// cross-attention (the DETR decoder) pass object queries as `queries`
+    /// and encoder tokens as `keys`/`values`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if any operand width differs
+    /// from `model_dim` or key/value row counts differ.
+    pub fn forward(&self, queries: &Matrix, keys: &Matrix, values: &Matrix) -> Result<Matrix> {
+        let q = self.q_proj.forward(queries)?;
+        let k = self.k_proj.forward(keys)?;
+        let v = self.v_proj.forward(values)?;
+        let mut concat = Matrix::zeros(q.rows(), 0);
+        for h in 0..self.heads {
+            let start = h * self.head_dim;
+            let qh = q.columns(start, self.head_dim);
+            let kh = k.columns(start, self.head_dim);
+            let vh = v.columns(start, self.head_dim);
+            let head_out = scaled_dot_attention(&qh, &kh, &vh)?;
+            concat = concat.hconcat(&head_out)?;
+        }
+        self.out_proj.forward(&concat)
+    }
+
+    /// Averaged per-head attention weights from `queries` to `keys`
+    /// (for heatmap introspection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on operand width mismatch.
+    pub fn average_attention(&self, queries: &Matrix, keys: &Matrix) -> Result<Matrix> {
+        let q = self.q_proj.forward(queries)?;
+        let k = self.k_proj.forward(keys)?;
+        let mut acc = Matrix::zeros(q.rows(), k.rows());
+        for h in 0..self.heads {
+            let start = h * self.head_dim;
+            let qh = q.columns(start, self.head_dim);
+            let kh = k.columns(start, self.head_dim);
+            acc = acc.add(&attention_weights(&qh, &kh)?)?;
+        }
+        Ok(acc.scale(1.0 / self.heads as f32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attention_rows_are_convex_combinations() {
+        let q = Matrix::from_rows(&[&[1.0, 0.0]]).unwrap();
+        let k = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let v = Matrix::from_rows(&[&[10.0, 0.0], &[0.0, 10.0]]).unwrap();
+        let out = scaled_dot_attention(&q, &k, &v).unwrap();
+        // Output must lie inside the convex hull of value rows.
+        assert!(out.at(0, 0) > 0.0 && out.at(0, 0) < 10.0);
+        assert!((out.at(0, 0) + out.at(0, 1) - 10.0).abs() < 1e-4);
+        // The query matches key 0 more strongly.
+        assert!(out.at(0, 0) > out.at(0, 1));
+    }
+
+    #[test]
+    fn attention_weight_rows_sum_to_one() {
+        let q = Matrix::from_rows(&[&[0.3, -0.7], &[1.5, 0.2]]).unwrap();
+        let k = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let w = attention_weights(&q, &k).unwrap();
+        assert_eq!(w.shape(), (2, 3));
+        for r in 0..2 {
+            let sum: f32 = w.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(w.row(r).iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn attention_shape_mismatch_errors() {
+        let q = Matrix::zeros(1, 3);
+        let k = Matrix::zeros(2, 4);
+        let v = Matrix::zeros(2, 4);
+        assert!(scaled_dot_attention(&q, &k, &v).is_err());
+        let k2 = Matrix::zeros(2, 3);
+        let v2 = Matrix::zeros(3, 4);
+        assert!(scaled_dot_attention(&q, &k2, &v2).is_err());
+    }
+
+    #[test]
+    fn mha_shapes() {
+        let mut init = WeightInit::from_seed(2);
+        let mha = MultiHeadAttention::seeded(12, 3, &mut init).unwrap();
+        let tokens = Matrix::filled(7, 12, 0.1);
+        let out = mha.forward(&tokens, &tokens, &tokens).unwrap();
+        assert_eq!(out.shape(), (7, 12));
+    }
+
+    #[test]
+    fn mha_rejects_bad_config() {
+        let mut init = WeightInit::from_seed(3);
+        assert!(MultiHeadAttention::seeded(10, 3, &mut init).is_err());
+        assert!(MultiHeadAttention::seeded(0, 1, &mut init).is_err());
+        assert!(MultiHeadAttention::seeded(8, 0, &mut init).is_err());
+    }
+
+    #[test]
+    fn attention_propagates_remote_changes() {
+        // The butterfly channel: perturbing ONE token changes EVERY output
+        // token, in contrast to conv locality (see conv::tests::conv_output_is_local).
+        let mut init = WeightInit::from_seed(4);
+        let mha = MultiHeadAttention::seeded(8, 2, &mut init).unwrap();
+        let mut tokens = Matrix::zeros(6, 8);
+        for r in 0..6 {
+            for c in 0..8 {
+                tokens.set(r, c, ((r * 8 + c) as f32 * 0.01).sin());
+            }
+        }
+        let base = mha.forward(&tokens, &tokens, &tokens).unwrap();
+        let mut perturbed = tokens.clone();
+        perturbed.set(5, 0, perturbed.at(5, 0) + 1.0); // poke the last token
+        let out = mha.forward(&perturbed, &perturbed, &perturbed).unwrap();
+        for r in 0..5 {
+            let moved: f32 = (0..8).map(|c| (base.at(r, c) - out.at(r, c)).abs()).sum();
+            assert!(moved > 0.0, "token {r} should feel the remote perturbation");
+        }
+    }
+
+    #[test]
+    fn cross_attention_shapes() {
+        let mut init = WeightInit::from_seed(5);
+        let mha = MultiHeadAttention::seeded(8, 2, &mut init).unwrap();
+        let queries = Matrix::filled(4, 8, 0.5); // object queries
+        let memory = Matrix::filled(20, 8, 0.25); // encoder tokens
+        let out = mha.forward(&queries, &memory, &memory).unwrap();
+        assert_eq!(out.shape(), (4, 8));
+        let w = mha.average_attention(&queries, &memory).unwrap();
+        assert_eq!(w.shape(), (4, 20));
+    }
+}

@@ -1,0 +1,110 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Errors raised by tensor construction and tensor arithmetic.
+///
+/// # Examples
+///
+/// ```
+/// use bea_tensor::{Matrix, TensorError};
+///
+/// let a = Matrix::zeros(2, 3);
+/// let b = Matrix::zeros(4, 5);
+/// match a.matmul(&b) {
+///     Err(TensorError::ShapeMismatch { .. }) => {}
+///     other => panic!("expected shape mismatch, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand, flattened to a list of extents.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand, flattened to a list of extents.
+        rhs: Vec<usize>,
+    },
+    /// A constructor received a data buffer whose length does not match the
+    /// requested shape.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A shape extent was zero where a non-empty tensor is required.
+    EmptyShape {
+        /// Description of the operation that failed.
+        op: &'static str,
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index, flattened to a list of coordinates.
+        index: Vec<usize>,
+        /// The tensor shape the index was checked against.
+        shape: Vec<usize>,
+    },
+    /// A layer was configured with invalid hyper-parameters
+    /// (for example an attention width not divisible by the head count).
+    InvalidConfig {
+        /// Human-readable description of the invalid configuration.
+        what: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape volume {expected}")
+            }
+            TensorError::EmptyShape { op } => write!(f, "empty shape not allowed in {op}"),
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        let text = err.to_string();
+        assert!(text.contains("matmul"));
+        assert!(text.contains("[2, 3]"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn length_mismatch_display() {
+        let err = TensorError::LengthMismatch { expected: 6, actual: 5 };
+        assert!(err.to_string().contains('6'));
+        assert!(err.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,56 @@
+//! Minimal pure-Rust tensor and neural-network primitives.
+//!
+//! This crate is the computational substrate for the butterfly-effect-attack
+//! workspace. The paper evaluates its attack against two deep object
+//! detectors (YOLOv5 and DETR); since no pretrained weights or GPU framework
+//! is available in this reproduction, the detectors in `bea-detect` are
+//! built from scratch on top of the primitives here:
+//!
+//! * [`Matrix`] — a dense row-major 2-D tensor with BLAS-free matmul,
+//! * [`FeatureMap`] — a dense C×H×W 3-D tensor used for images and
+//!   convolutional feature maps,
+//! * [`Conv2d`], [`MaxPool2d`], [`AvgPool2d`] — convolutional layers,
+//! * [`Linear`], [`LayerNorm`] — fully-connected layers,
+//! * [`MultiHeadAttention`] — the global token-mixing primitive that makes
+//!   the DETR-like detector susceptible to butterfly effects,
+//! * activation functions and reductions ([`activation`], [`stats`]),
+//! * deterministic seeded weight initialisation ([`init`]).
+//!
+//! Everything is `f32`, row-major, and deterministic given a seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use bea_tensor::{Matrix, FeatureMap};
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+//! let b = Matrix::identity(2);
+//! assert_eq!(a.matmul(&b).unwrap(), a);
+//!
+//! let map = FeatureMap::zeros(3, 4, 5);
+//! assert_eq!(map.shape(), (3, 4, 5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod attention;
+pub mod conv;
+pub mod error;
+pub mod init;
+pub mod linear;
+pub mod matrix;
+pub mod norm;
+pub mod pool;
+pub mod stats;
+pub mod tensor3;
+
+pub use attention::MultiHeadAttention;
+pub use conv::Conv2d;
+pub use error::{Result, TensorError};
+pub use init::WeightInit;
+pub use linear::{LayerNorm, Linear};
+pub use matrix::Matrix;
+pub use pool::{AvgPool2d, MaxPool2d};
+pub use tensor3::FeatureMap;

@@ -1,0 +1,241 @@
+//! Fully-connected layers and layer normalisation.
+
+use crate::error::{Result, TensorError};
+use crate::init::WeightInit;
+use crate::matrix::Matrix;
+
+/// A fully-connected (affine) layer: `y = x · Wᵀ + b`.
+///
+/// Inputs are row vectors stacked in a [`Matrix`] (one token per row), which
+/// is the layout used throughout the attention encoder.
+///
+/// # Examples
+///
+/// ```
+/// use bea_tensor::{Linear, Matrix};
+///
+/// # fn main() -> Result<(), bea_tensor::TensorError> {
+/// // 2 -> 2 identity layer.
+/// let layer = Linear::from_weights(Matrix::identity(2), vec![0.0, 0.0])?;
+/// let x = Matrix::from_rows(&[&[3.0, 4.0]])?;
+/// assert_eq!(layer.forward(&x)?, x);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    /// Weight matrix of shape `out_features × in_features`.
+    weight: Matrix,
+    bias: Vec<f32>,
+}
+
+impl Linear {
+    /// Builds a layer from an `out × in` weight matrix and a bias of length
+    /// `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `bias.len()` differs from
+    /// the weight row count.
+    pub fn from_weights(weight: Matrix, bias: Vec<f32>) -> Result<Self> {
+        if bias.len() != weight.rows() {
+            return Err(TensorError::LengthMismatch {
+                expected: weight.rows(),
+                actual: bias.len(),
+            });
+        }
+        Ok(Self { weight, bias })
+    }
+
+    /// Builds a Xavier-initialised layer from a seed.
+    pub fn seeded(out_features: usize, in_features: usize, init: &mut WeightInit) -> Self {
+        let mut buf = vec![0.0; out_features * in_features];
+        init.xavier_uniform(&mut buf, in_features, out_features);
+        let weight = Matrix::from_vec(out_features, in_features, buf)
+            .expect("buffer allocated with matching volume");
+        Self { weight, bias: vec![0.0; out_features] }
+    }
+
+    /// Output dimensionality.
+    pub fn out_features(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Input dimensionality.
+    pub fn in_features(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Immutable access to the weight matrix.
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+
+    /// Mutable access to the weight matrix (for seeded jitter).
+    pub fn weight_mut(&mut self) -> &mut Matrix {
+        &mut self.weight
+    }
+
+    /// Mutable access to the bias vector.
+    pub fn bias_mut(&mut self) -> &mut [f32] {
+        &mut self.bias
+    }
+
+    /// Applies the layer to a batch of row vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `x.cols()` differs from the
+    /// layer input dimensionality.
+    pub fn forward(&self, x: &Matrix) -> Result<Matrix> {
+        if x.cols() != self.in_features() {
+            return Err(TensorError::ShapeMismatch {
+                op: "linear",
+                lhs: vec![x.rows(), x.cols()],
+                rhs: vec![self.out_features(), self.in_features()],
+            });
+        }
+        let out = x.matmul(&self.weight.transpose())?;
+        out.add_row_vector(&self.bias)
+    }
+}
+
+/// Layer normalisation over the feature axis of each row.
+///
+/// Normalises every row to zero mean / unit variance, then applies a learned
+/// per-feature scale and shift. Used by the transformer encoder blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerNorm {
+    gamma: Vec<f32>,
+    beta: Vec<f32>,
+    epsilon: f32,
+}
+
+impl LayerNorm {
+    /// Creates a layer norm with unit scale and zero shift.
+    pub fn new(features: usize) -> Self {
+        Self { gamma: vec![1.0; features], beta: vec![0.0; features], epsilon: 1e-5 }
+    }
+
+    /// Number of features normalised per row.
+    pub fn features(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// Mutable access to the scale parameters.
+    pub fn gamma_mut(&mut self) -> &mut [f32] {
+        &mut self.gamma
+    }
+
+    /// Mutable access to the shift parameters.
+    pub fn beta_mut(&mut self) -> &mut [f32] {
+        &mut self.beta
+    }
+
+    /// Normalises each row of `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `x.cols()` differs from the
+    /// configured feature count.
+    pub fn forward(&self, x: &Matrix) -> Result<Matrix> {
+        if x.cols() != self.gamma.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "layer_norm",
+                lhs: vec![x.rows(), x.cols()],
+                rhs: vec![self.gamma.len()],
+            });
+        }
+        let mut out = x.clone();
+        let cols = x.cols();
+        for r in 0..x.rows() {
+            let row = out.row_mut(r);
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+            let denom = (var + self.epsilon).sqrt();
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = self.gamma[j] * ((*v - mean) / denom) + self.beta[j];
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_layer() {
+        let layer = Linear::from_weights(Matrix::identity(3), vec![0.0; 3]).unwrap();
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(layer.forward(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn bias_is_added() {
+        let layer = Linear::from_weights(Matrix::identity(2), vec![10.0, 20.0]).unwrap();
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.row(0), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn projection_changes_dimensionality() {
+        // 3 -> 2 projection summing pairs.
+        let w = Matrix::from_rows(&[&[1.0, 1.0, 0.0], &[0.0, 1.0, 1.0]]).unwrap();
+        let layer = Linear::from_weights(w, vec![0.0, 0.0]).unwrap();
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]).unwrap();
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.shape(), (1, 2));
+        assert_eq!(y.row(0), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn input_dim_mismatch_errors() {
+        let layer = Linear::from_weights(Matrix::identity(2), vec![0.0; 2]).unwrap();
+        let x = Matrix::zeros(1, 3);
+        assert!(layer.forward(&x).is_err());
+    }
+
+    #[test]
+    fn bias_length_validated() {
+        assert!(Linear::from_weights(Matrix::identity(2), vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn seeded_layer_deterministic() {
+        let mut a = WeightInit::from_seed(13);
+        let mut b = WeightInit::from_seed(13);
+        assert_eq!(Linear::seeded(4, 8, &mut a), Linear::seeded(4, 8, &mut b));
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let norm = LayerNorm::new(4);
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]).unwrap();
+        let y = norm.forward(&x).unwrap();
+        let mean: f32 = y.row(0).iter().sum::<f32>() / 4.0;
+        let var: f32 = y.row(0).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_norm_applies_gamma_beta() {
+        let mut norm = LayerNorm::new(2);
+        norm.gamma_mut().fill(2.0);
+        norm.beta_mut().fill(1.0);
+        let x = Matrix::from_rows(&[&[-1.0, 1.0]]).unwrap();
+        let y = norm.forward(&x).unwrap();
+        // normalised row is (-1, 1) * (1/sqrt(1+eps)); scaled by 2 and shifted by 1.
+        assert!((y.at(0, 0) - (-1.0)).abs() < 1e-2);
+        assert!((y.at(0, 1) - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn layer_norm_shape_validated() {
+        let norm = LayerNorm::new(3);
+        assert!(norm.forward(&Matrix::zeros(2, 4)).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Vector norms used by the attack objectives.
+//!
+//! The paper's `obj_intensity(δ) := ‖δ‖₂` (Section III-B) is computed with
+//! [`l2`]; [`l1`] and [`linf`] are provided because the paper notes "one can
+//! use different types of norms such as L1, L2 or L∞".
+
+/// L1 norm (sum of absolute values).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(bea_tensor::norm::l1(&[3.0, -4.0]), 7.0);
+/// ```
+pub fn l1(values: &[f32]) -> f64 {
+    values.iter().map(|v| v.abs() as f64).sum()
+}
+
+/// L2 (Euclidean) norm.
+///
+/// Accumulates in `f64` so masks with hundreds of thousands of pixels do not
+/// lose precision.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(bea_tensor::norm::l2(&[3.0, -4.0]), 5.0);
+/// ```
+pub fn l2(values: &[f32]) -> f64 {
+    values.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt()
+}
+
+/// L∞ norm (maximum absolute value). Returns `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(bea_tensor::norm::linf(&[3.0, -4.0]), 4.0);
+/// ```
+pub fn linf(values: &[f32]) -> f64 {
+    values.iter().map(|v| v.abs() as f64).fold(0.0, f64::max)
+}
+
+/// Which norm to use for the intensity objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NormKind {
+    /// Sum of absolute values.
+    L1,
+    /// Euclidean norm (the paper's choice).
+    #[default]
+    L2,
+    /// Maximum absolute value.
+    LInf,
+}
+
+impl NormKind {
+    /// Evaluates this norm on a slice.
+    pub fn eval(self, values: &[f32]) -> f64 {
+        match self {
+            NormKind::L1 => l1(values),
+            NormKind::L2 => l2(values),
+            NormKind::LInf => linf(values),
+        }
+    }
+}
+
+impl std::fmt::Display for NormKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormKind::L1 => write!(f, "L1"),
+            NormKind::L2 => write!(f, "L2"),
+            NormKind::LInf => write!(f, "Linf"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pythagorean_triple() {
+        assert_eq!(l2(&[3.0, 4.0]), 5.0);
+        assert_eq!(l1(&[3.0, 4.0]), 7.0);
+        assert_eq!(linf(&[3.0, 4.0]), 4.0);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert_eq!(l1(&[]), 0.0);
+        assert_eq!(l2(&[]), 0.0);
+        assert_eq!(linf(&[]), 0.0);
+    }
+
+    #[test]
+    fn norms_ignore_sign() {
+        let pos = [1.0, 2.0, 3.0];
+        let neg = [-1.0, -2.0, -3.0];
+        for kind in [NormKind::L1, NormKind::L2, NormKind::LInf] {
+            assert_eq!(kind.eval(&pos), kind.eval(&neg));
+        }
+    }
+
+    #[test]
+    fn norm_ordering_inequality() {
+        // For any vector: linf <= l2 <= l1.
+        let v = [0.5, -2.0, 1.5, 0.25];
+        assert!(linf(&v) <= l2(&v));
+        assert!(l2(&v) <= l1(&v));
+    }
+
+    #[test]
+    fn large_mask_precision() {
+        // 100k entries of 1.0: l2 should be sqrt(100000) with f64 precision.
+        let v = vec![1.0f32; 100_000];
+        assert!((l2(&v) - (100_000f64).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(NormKind::L2.to_string(), "L2");
+        assert_eq!(NormKind::default(), NormKind::L2);
+    }
+}

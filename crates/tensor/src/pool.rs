@@ -1,0 +1,230 @@
+//! Spatial pooling layers.
+
+use crate::error::{Result, TensorError};
+use crate::tensor3::FeatureMap;
+
+/// Max pooling over non-overlapping (or strided) windows.
+///
+/// # Examples
+///
+/// ```
+/// use bea_tensor::{FeatureMap, MaxPool2d};
+///
+/// # fn main() -> Result<(), bea_tensor::TensorError> {
+/// let pool = MaxPool2d::new(2, 2)?;
+/// let mut input = FeatureMap::zeros(1, 4, 4);
+/// input.set(0, 1, 1, 9.0);
+/// let out = pool.forward(&input)?;
+/// assert_eq!(out.at(0, 0, 0), 9.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxPool2d {
+    window: usize,
+    stride: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with the given window and stride.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidConfig`] if either is zero.
+    pub fn new(window: usize, stride: usize) -> Result<Self> {
+        if window == 0 || stride == 0 {
+            return Err(TensorError::InvalidConfig {
+                what: format!("pool window {window} and stride {stride} must be positive"),
+            });
+        }
+        Ok(Self { window, stride })
+    }
+
+    /// Window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Output spatial size for a given input size.
+    pub fn output_size(&self, in_h: usize, in_w: usize) -> (usize, usize) {
+        if in_h < self.window || in_w < self.window {
+            return (0, 0);
+        }
+        ((in_h - self.window) / self.stride + 1, (in_w - self.window) / self.stride + 1)
+    }
+
+    /// Runs max pooling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the input is smaller than
+    /// the pooling window.
+    pub fn forward(&self, input: &FeatureMap) -> Result<FeatureMap> {
+        pool_forward(input, self.window, self.stride, |acc, v| acc.max(v), f32::NEG_INFINITY, None)
+    }
+}
+
+/// Average pooling over strided windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AvgPool2d {
+    window: usize,
+    stride: usize,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer with the given window and stride.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidConfig`] if either is zero.
+    pub fn new(window: usize, stride: usize) -> Result<Self> {
+        if window == 0 || stride == 0 {
+            return Err(TensorError::InvalidConfig {
+                what: format!("pool window {window} and stride {stride} must be positive"),
+            });
+        }
+        Ok(Self { window, stride })
+    }
+
+    /// Window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Output spatial size for a given input size.
+    pub fn output_size(&self, in_h: usize, in_w: usize) -> (usize, usize) {
+        if in_h < self.window || in_w < self.window {
+            return (0, 0);
+        }
+        ((in_h - self.window) / self.stride + 1, (in_w - self.window) / self.stride + 1)
+    }
+
+    /// Runs average pooling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the input is smaller than
+    /// the pooling window.
+    pub fn forward(&self, input: &FeatureMap) -> Result<FeatureMap> {
+        let divisor = (self.window * self.window) as f32;
+        pool_forward(input, self.window, self.stride, |acc, v| acc + v, 0.0, Some(divisor))
+    }
+}
+
+fn pool_forward<F: Fn(f32, f32) -> f32>(
+    input: &FeatureMap,
+    window: usize,
+    stride: usize,
+    reduce: F,
+    init: f32,
+    divisor: Option<f32>,
+) -> Result<FeatureMap> {
+    let (in_h, in_w) = (input.height(), input.width());
+    if in_h < window || in_w < window {
+        return Err(TensorError::ShapeMismatch {
+            op: "pool (input smaller than window)",
+            lhs: vec![in_h, in_w],
+            rhs: vec![window, window],
+        });
+    }
+    let out_h = (in_h - window) / stride + 1;
+    let out_w = (in_w - window) / stride + 1;
+    let mut out = FeatureMap::zeros(input.channels(), out_h, out_w);
+    for c in 0..input.channels() {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let mut acc = init;
+                for wy in 0..window {
+                    for wx in 0..window {
+                        acc = reduce(acc, input.at(c, oy * stride + wy, ox * stride + wx));
+                    }
+                }
+                if let Some(d) = divisor {
+                    acc /= d;
+                }
+                out.set(c, oy, ox, acc);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Global average pooling: one value per channel.
+pub fn global_avg_pool(input: &FeatureMap) -> Vec<f32> {
+    let plane = (input.height() * input.width()).max(1) as f32;
+    (0..input.channels())
+        .map(|c| input.channel(c).iter().sum::<f32>() / plane)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_maximum() {
+        let pool = MaxPool2d::new(2, 2).unwrap();
+        let mut input = FeatureMap::zeros(1, 4, 4);
+        input.set(0, 0, 0, 1.0);
+        input.set(0, 3, 3, 7.0);
+        let out = pool.forward(&input).unwrap();
+        assert_eq!(out.shape(), (1, 2, 2));
+        assert_eq!(out.at(0, 0, 0), 1.0);
+        assert_eq!(out.at(0, 1, 1), 7.0);
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let pool = AvgPool2d::new(2, 2).unwrap();
+        let mut input = FeatureMap::zeros(1, 2, 2);
+        input.set(0, 0, 0, 4.0);
+        let out = pool.forward(&input).unwrap();
+        assert_eq!(out.at(0, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn overlapping_stride() {
+        let pool = MaxPool2d::new(2, 1).unwrap();
+        let input = FeatureMap::filled(1, 3, 3, 1.0);
+        let out = pool.forward(&input).unwrap();
+        assert_eq!(out.shape(), (1, 2, 2));
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        assert!(MaxPool2d::new(0, 1).is_err());
+        assert!(AvgPool2d::new(2, 0).is_err());
+    }
+
+    #[test]
+    fn input_smaller_than_window_errors() {
+        let pool = MaxPool2d::new(4, 4).unwrap();
+        let input = FeatureMap::zeros(1, 2, 2);
+        assert!(pool.forward(&input).is_err());
+    }
+
+    #[test]
+    fn pooling_preserves_channels() {
+        let pool = MaxPool2d::new(2, 2).unwrap();
+        let input = FeatureMap::filled(5, 4, 4, 1.0);
+        assert_eq!(pool.forward(&input).unwrap().channels(), 5);
+    }
+
+    #[test]
+    fn global_avg_pool_per_channel() {
+        let mut input = FeatureMap::zeros(2, 2, 2);
+        input.channel_mut(0).fill(2.0);
+        input.channel_mut(1).fill(6.0);
+        assert_eq!(global_avg_pool(&input), vec![2.0, 6.0]);
+    }
+}

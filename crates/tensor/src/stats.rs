@@ -1,0 +1,143 @@
+//! Small statistics helpers shared by the detectors and the benches.
+
+/// Arithmetic mean of a slice. Returns `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(bea_tensor::stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f32>() / values.len() as f32
+}
+
+/// Population variance. Returns `0.0` for an empty slice.
+pub fn variance(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / values.len() as f32
+}
+
+/// Population standard deviation.
+pub fn std_dev(values: &[f32]) -> f32 {
+    variance(values).sqrt()
+}
+
+/// Index of the maximum element, or `None` for an empty slice.
+/// Ties resolve to the first occurrence.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(bea_tensor::stats::argmax(&[1.0, 5.0, 3.0]), Some(1));
+/// assert_eq!(bea_tensor::stats::argmax(&[]), None);
+/// ```
+pub fn argmax(values: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        match best {
+            Some((_, b)) if v <= b => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the minimum element, or `None` for an empty slice.
+pub fn argmin(values: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        match best {
+            Some((_, b)) if v >= b => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Median of a slice (average of the two central elements for even lengths).
+/// Returns `0.0` for an empty slice.
+pub fn median(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Linearly rescales `values` so the minimum maps to 0 and the maximum to 1.
+/// A constant slice maps to all zeros.
+pub fn normalize_unit(values: &mut [f32]) {
+    let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+    for &v in values.iter() {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let range = hi - lo;
+    if !range.is_finite() || range <= 0.0 {
+        values.fill(0.0);
+        return;
+    }
+    for v in values {
+        *v = (*v - lo) / range;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_known() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&v), 5.0);
+        assert_eq!(variance(&v), 4.0);
+        assert_eq!(std_dev(&v), 2.0);
+    }
+
+    #[test]
+    fn argmax_ties_pick_first() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmin(&[3.0, 1.0, 1.0]), Some(1));
+    }
+
+    #[test]
+    fn median_even_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn normalize_unit_maps_to_unit_interval() {
+        let mut v = [10.0, 20.0, 15.0];
+        normalize_unit(&mut v);
+        assert_eq!(v, [0.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn normalize_constant_is_zero() {
+        let mut v = [7.0, 7.0];
+        normalize_unit(&mut v);
+        assert_eq!(v, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmin(&[]), None);
+    }
+}

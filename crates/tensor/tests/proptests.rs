@@ -1,0 +1,124 @@
+//! Property-based tests of the tensor primitives.
+
+use bea_tensor::activation::{softmax, softmax_rows_inplace};
+use bea_tensor::norm::{l1, l2, linf};
+use bea_tensor::{Conv2d, FeatureMap, Matrix, WeightInit};
+use proptest::prelude::*;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).expect("length matches"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transpose_is_an_involution(m in arb_matrix(4, 7)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in arb_matrix(3, 4),
+        b in arb_matrix(4, 2),
+        c in arb_matrix(4, 2),
+    ) {
+        // a(b + c) == ab + ac up to float noise.
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral(m in arb_matrix(5, 5)) {
+        let id = Matrix::identity(5);
+        prop_assert!(m.matmul(&id).unwrap().approx_eq(&m, 1e-5));
+        prop_assert!(id.matmul(&m).unwrap().approx_eq(&m, 1e-5));
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(values in proptest::collection::vec(-30.0f32..30.0, 1..20)) {
+        let out = softmax(&values);
+        let sum: f32 = out.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(out.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        // Order-preserving: argmax stays argmax.
+        let arg_in = values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i);
+        let arg_out = out
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i);
+        prop_assert_eq!(arg_in, arg_out);
+    }
+
+    #[test]
+    fn softmax_rows_normalise_independently(m in arb_matrix(4, 6)) {
+        let mut m = m;
+        softmax_rows_inplace(&mut m);
+        for r in 0..m.rows() {
+            let sum: f32 = m.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn norm_inequalities_hold(values in proptest::collection::vec(-50.0f32..50.0, 1..64)) {
+        let (n1, n2, ninf) = (l1(&values), l2(&values), linf(&values));
+        prop_assert!(ninf <= n2 + 1e-9);
+        prop_assert!(n2 <= n1 + 1e-9);
+        let n = values.len() as f64;
+        prop_assert!(n1 <= n.sqrt() * n2 + 1e-6, "Cauchy-Schwarz bound");
+    }
+
+    #[test]
+    fn norms_are_absolutely_homogeneous(
+        values in proptest::collection::vec(-20.0f32..20.0, 1..32),
+        scale in -3.0f32..3.0,
+    ) {
+        let scaled: Vec<f32> = values.iter().map(|v| v * scale).collect();
+        prop_assert!((l2(&scaled) - (scale.abs() as f64) * l2(&values)).abs() < 1e-2);
+    }
+
+    #[test]
+    fn conv_is_linear_in_the_input(seed in 0u64..100) {
+        let mut init = WeightInit::from_seed(seed);
+        let conv = Conv2d::seeded(2, 1, 3, 3, 1, 1, &mut init).unwrap();
+        let mut a = FeatureMap::zeros(1, 6, 6);
+        let mut b = FeatureMap::zeros(1, 6, 6);
+        for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i as f32) * 0.37).sin();
+        }
+        for (i, v) in b.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i as f32) * 0.73).cos();
+        }
+        let sum_out = conv.forward(&a.add(&b).unwrap()).unwrap();
+        let out_sum = conv.forward(&a).unwrap().add(&conv.forward(&b).unwrap()).unwrap();
+        for (x, y) in sum_out.as_slice().iter().zip(out_sum.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn weight_init_streams_are_reproducible(seed in 0u64..10_000) {
+        let mut a = WeightInit::from_seed(seed);
+        let mut b = WeightInit::from_seed(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.standard_normal(), b.standard_normal());
+        }
+    }
+
+    #[test]
+    fn token_matrix_roundtrip(values in proptest::collection::vec(-5.0f32..5.0, 24)) {
+        // 2 channels x 3 rows x 4 cols.
+        let map = FeatureMap::from_vec(2, 3, 4, values).unwrap();
+        let tokens = map.to_token_matrix();
+        let back = FeatureMap::from_token_matrix(&tokens, 3, 4).unwrap();
+        prop_assert_eq!(back, map);
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: attack one detector on one synthetic KITTI scene and print
+//! the resulting Pareto front.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use butterfly_effect_attack::{
+    Architecture, AttackConfig, ButterflyAttack, Detector, ModelZoo, SyntheticKitti,
+};
+
+fn main() {
+    // 1. A deterministic synthetic road scene (the KITTI stand-in).
+    let dataset = SyntheticKitti::evaluation_set();
+    let img = dataset.image(10); // "image no. 10" of the paper's figures
+    println!("image: {}x{} pixels", img.width(), img.height());
+
+    // 2. A seeded DETR-like detector from the model zoo.
+    let zoo = ModelZoo::with_defaults();
+    let detr = zoo.model(Architecture::Detr, 1);
+    let clean = detr.detect(&img);
+    println!("clean prediction of {}:", detr.name());
+    for det in &clean {
+        println!("  {det}");
+    }
+
+    // 3. The butterfly effect attack: NSGA-II over right-half filter
+    //    masks. A small budget keeps the example fast; the paper's full
+    //    Table II budget is `AttackConfig::default()`.
+    let config = AttackConfig::scaled(24, 15);
+    let outcome = ButterflyAttack::new(config).attack(detr.as_ref(), &img);
+
+    // 4. The three-objective Pareto front.
+    println!(
+        "\nPareto front after {} evaluations ({} members):",
+        outcome.evaluations(),
+        outcome.pareto_points().len()
+    );
+    println!("{:>12}  {:>9}  {:>9}", "intensity", "degrad", "dist");
+    for point in outcome.pareto_points() {
+        println!("{:>12.1}  {:>9.3}  {:>9.4}", point[0], point[1], point[2]);
+    }
+
+    // 5. The strongest perturbation's effect on the prediction.
+    let champion = outcome.best_degradation().expect("front is never empty");
+    let perturbed = detr.detect(&champion.genome().apply(&img));
+    println!(
+        "\nbest-degradation mask: obj_degrad {:.3} (1.0 = unchanged prediction)",
+        champion.objectives()[1]
+    );
+    println!("perturbed prediction:");
+    for det in &perturbed {
+        println!("  {det}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Umbrella crate for the butterfly-effect-attack workspace.
+//!
+//! Re-exports the public API of every workspace crate so examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`tensor`] — pure-Rust tensor / neural-network primitives,
+//! * [`image`] — images, filter masks, regions, noise, PPM I/O,
+//! * [`scene`] — the synthetic KITTI-like scene generator,
+//! * [`detect`] — the YOLO-like and DETR-like detectors and the model zoo,
+//! * [`nsga2`] — the generic NSGA-II multi-objective optimiser,
+//! * [`attack`] — the paper's contribution: objectives, genome, operators,
+//!   attack drivers, baselines, error taxonomy.
+//!
+//! The most common entry points are additionally re-exported at the crate
+//! root.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use butterfly_effect_attack::{
+//!     Architecture, AttackConfig, ButterflyAttack, ModelZoo, SyntheticKitti,
+//! };
+//!
+//! let zoo = ModelZoo::with_defaults();
+//! let detr = zoo.model(Architecture::Detr, 1);
+//! let img = SyntheticKitti::evaluation_set().image(10);
+//! let outcome = ButterflyAttack::new(AttackConfig::scaled(24, 10)).attack(detr.as_ref(), &img);
+//! assert!(!outcome.pareto_points().is_empty());
+//! ```
+
+pub use bea_core as attack;
+pub use bea_detect as detect;
+pub use bea_image as image;
+pub use bea_nsga2 as nsga2;
+pub use bea_scene as scene;
+pub use bea_tensor as tensor;
+
+pub use bea_core::attack::{AttackConfig, AttackOutcome, ButterflyAttack};
+pub use bea_core::{ButterflyProblem, ErrorTransition, TransitionReport};
+pub use bea_detect::{Architecture, Detector, Ensemble, ModelZoo, Prediction};
+pub use bea_image::{FilterMask, Image, RegionConstraint};
+pub use bea_scene::{BBox, ObjectClass, SyntheticKitti};

@@ -1,0 +1,80 @@
+//! End-to-end integration: the full pipeline from synthetic scene through
+//! detector to NSGA-II attack, exercised across crate boundaries.
+
+use butterfly_effect_attack::{
+    Architecture, AttackConfig, ButterflyAttack, Detector, ModelZoo, RegionConstraint,
+    SyntheticKitti,
+};
+
+/// A deliberately tiny budget: integration tests run unoptimised.
+fn tiny_config() -> AttackConfig {
+    AttackConfig::scaled(10, 4)
+}
+
+#[test]
+fn attack_runs_end_to_end_on_detr() {
+    let dataset = SyntheticKitti::smoke_set();
+    let img = dataset.image(0);
+    let zoo = ModelZoo::with_defaults();
+    let detr = zoo.model(Architecture::Detr, 1);
+    let clean = detr.detect(&img);
+    assert!(!clean.is_empty(), "the smoke scene must be detectable");
+
+    let outcome = ButterflyAttack::new(tiny_config()).attack(detr.as_ref(), &img);
+    // Structural invariants of the outcome.
+    assert!(!outcome.pareto_points().is_empty());
+    assert_eq!(outcome.evaluations(), 10 * 5);
+    let champion = outcome.best_degradation().expect("front never empty");
+    assert!(champion.objectives()[1] <= 1.0);
+    // Every surviving mask obeys the paper's right-half restriction.
+    for member in outcome.result().population() {
+        assert!(RegionConstraint::RightHalf.is_satisfied(member.genome()));
+    }
+    // The zero mask seeds the population, so the front always contains an
+    // intensity-0 member scoring (0, 1, 0).
+    let best_intensity = outcome.best_intensity().expect("front never empty");
+    assert_eq!(best_intensity.objectives()[0], 0.0);
+    // Self-IoU carries f32 rounding (x1() - x0() need not equal len bit
+    // for bit), so "unchanged" means 1.0 up to that noise.
+    assert!(best_intensity.objectives()[1] > 0.9999);
+}
+
+#[test]
+fn attack_is_deterministic_across_runs() {
+    let dataset = SyntheticKitti::smoke_set();
+    let img = dataset.image(1);
+    let zoo = ModelZoo::with_defaults();
+    let yolo = zoo.model(Architecture::Yolo, 2);
+    let a = ButterflyAttack::new(tiny_config()).attack(yolo.as_ref(), &img);
+    let b = ButterflyAttack::new(tiny_config()).attack(yolo.as_ref(), &img);
+    assert_eq!(a.pareto_points(), b.pareto_points());
+    assert_eq!(a.history().len(), b.history().len());
+}
+
+#[test]
+fn left_half_predictions_feel_only_global_coupling_under_yolo() {
+    // With the YOLO context gain disabled, the attack cannot change
+    // left-half detections at all — the structural robustness the paper
+    // attributes to single-stage CNNs, here in its pure form.
+    use butterfly_effect_attack::detect::yolo::{YoloConfig, YoloDetector};
+    let dataset = SyntheticKitti::smoke_set();
+    let img = dataset.image(0);
+    let yolo = YoloDetector::new(YoloConfig {
+        context_gain: 0.0,
+        ..YoloConfig::with_seed(1)
+    });
+    let clean = yolo.detect(&img);
+    let outcome = ButterflyAttack::new(tiny_config()).attack(&yolo, &img);
+    let half = img.width() as f32 / 2.0;
+    // Any front mask: left-half detections are bit-identical.
+    for member in outcome.result().pareto_front() {
+        let perturbed = yolo.detect(&member.genome().apply(&img));
+        let left = |p: &butterfly_effect_attack::Prediction| {
+            let mut v: Vec<_> =
+                p.iter().filter(|d| d.bbox.x1() < half - 26.0).copied().collect();
+            v.sort_by(|a, b| a.bbox.cx.partial_cmp(&b.bbox.cx).unwrap());
+            v
+        };
+        assert_eq!(left(&clean), left(&perturbed));
+    }
+}

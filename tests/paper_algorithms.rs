@@ -1,0 +1,134 @@
+//! Cross-crate checks of the paper's Algorithms 1 and 2 against
+//! hand-computed values, and of their consistency inside the attack
+//! problem.
+
+use butterfly_effect_attack::attack::objectives::{obj_degrad, obj_dist, DistanceField};
+use butterfly_effect_attack::detect::{Detection, Prediction};
+use butterfly_effect_attack::nsga2::Problem;
+use butterfly_effect_attack::{
+    BBox, ButterflyProblem, Detector, FilterMask, Image, ObjectClass, RegionConstraint,
+};
+
+fn det(class: ObjectClass, cx: f32, cy: f32, len: f32, wid: f32) -> Detection {
+    Detection::new(class, BBox::new(cx, cy, len, wid), 0.9)
+}
+
+#[test]
+fn algorithm1_worked_example() {
+    // Clean: two cars. Perturbed: one kept exactly, one shifted by half
+    // its width (IoU = 1/3 for identically sized boxes).
+    let clean = Prediction::from_detections(vec![
+        det(ObjectClass::Car, 10.0, 10.0, 8.0, 8.0),
+        det(ObjectClass::Car, 50.0, 10.0, 8.0, 8.0),
+    ]);
+    let perturbed = Prediction::from_detections(vec![
+        det(ObjectClass::Car, 10.0, 10.0, 8.0, 8.0),
+        det(ObjectClass::Car, 54.0, 10.0, 8.0, 8.0),
+    ]);
+    // A = 1.0 + 1/3, divided by 2 valid boxes.
+    let expected = (1.0 + 1.0 / 3.0) / 2.0;
+    assert!((obj_degrad(&clean, &perturbed) - expected).abs() < 1e-6);
+}
+
+#[test]
+fn algorithm2_worked_example() {
+    // One box at (4, 4), one perturbed pixel at (12, 4): D there is the
+    // distance 8 to the box centre; sum / 1 perturbed pixel = 8 * weight.
+    let clean =
+        Prediction::from_detections(vec![det(ObjectClass::Car, 4.0, 4.0, 2.0, 2.0)]);
+    let mut mask = FilterMask::zeros(16, 9);
+    mask.set(0, 4, 12, 100);
+    let value = obj_dist(16, 9, &clean, &mask, 0.0);
+    assert!((value - 8.0 * 100.0).abs() < 1e-9, "got {value}");
+}
+
+#[test]
+fn algorithm2_penalises_in_box_pixels_with_negative_average() {
+    let clean =
+        Prediction::from_detections(vec![det(ObjectClass::Car, 8.0, 4.0, 4.0, 4.0)]);
+    let field = DistanceField::new(16, 9, &clean, 0.0);
+    // The D value inside the box equals -(mean distance over all pixels).
+    let sum: f64 = {
+        // Rebuild the distance matrix without the in-box overwrite.
+        let raw = DistanceField::from_boxes(16, 9, &[], 0.0);
+        let diag = raw.values()[0]; // empty field = diagonal everywhere
+        let mut total = 0.0;
+        for y in 0..9 {
+            for x in 0..16 {
+                let dx = 8.0 - x as f64;
+                let dy = 4.0 - y as f64;
+                total += (dx * dx + dy * dy).sqrt().min(diag);
+            }
+        }
+        total
+    };
+    let neg_avg = -sum / (16.0 * 9.0);
+    let inside = field.values()[4 * 16 + 8];
+    assert!((inside - neg_avg).abs() < 1e-9, "inside {inside}, expected {neg_avg}");
+}
+
+/// A detector that always reports one fixed car.
+struct Fixed;
+
+impl Detector for Fixed {
+    fn detect(&self, _img: &Image) -> Prediction {
+        Prediction::from_detections(vec![det(ObjectClass::Car, 8.0, 8.0, 6.0, 6.0)])
+    }
+
+    fn name(&self) -> &str {
+        "fixed"
+    }
+}
+
+#[test]
+fn problem_objectives_match_standalone_functions() {
+    let img = Image::black(32, 16);
+    let problem = ButterflyProblem::single(&Fixed, &img, 2.0, RegionConstraint::Full);
+    let mut mask = FilterMask::zeros(32, 16);
+    mask.set(0, 2, 28, 120);
+    mask.set(1, 13, 30, -60);
+
+    let objectives = problem.evaluate(&mask);
+    // obj_intensity is the plain L2 norm.
+    let expected_intensity = ((120.0f64).powi(2) + (60.0f64).powi(2)).sqrt();
+    assert!((objectives[0] - expected_intensity).abs() < 1e-6);
+    // The detector is input-independent: no degradation, ever.
+    assert_eq!(objectives[1], 1.0);
+    // obj_dist equals the cached field's normalised value.
+    let clean = Fixed.detect(&img);
+    let field = DistanceField::new(32, 16, &clean, 2.0);
+    assert!((objectives[2] - field.objective_normalized(&mask)).abs() < 1e-12);
+}
+
+#[test]
+fn ensemble_objectives_average_member_objectives() {
+    // Eqs. 1-3 with two *different* detectors: a fixed one (never degrades)
+    // and a brightness-sensitive one.
+    struct Fragile;
+    impl Detector for Fragile {
+        fn detect(&self, img: &Image) -> Prediction {
+            if img.pixel(30, 2)[0] > 50.0 {
+                Prediction::new()
+            } else {
+                Prediction::from_detections(vec![det(ObjectClass::Car, 8.0, 8.0, 6.0, 6.0)])
+            }
+        }
+        fn name(&self) -> &str {
+            "fragile"
+        }
+    }
+    let img = Image::black(32, 16);
+    let mut mask = FilterMask::zeros(32, 16);
+    mask.set(0, 2, 30, 120); // kills Fragile's detection, Fixed is immune
+    let pair = ButterflyProblem::ensemble(
+        vec![&Fixed, &Fragile],
+        &img,
+        2.0,
+        RegionConstraint::Full,
+    );
+    let objectives = pair.evaluate(&mask);
+    // Eq. 2: average of 1.0 (Fixed) and 0.0 (Fragile).
+    assert_eq!(objectives[1], 0.5);
+    // Eq. 1: intensity is the mask's own norm, not averaged.
+    assert!((objectives[0] - 120.0).abs() < 1e-6);
+}

@@ -1,0 +1,138 @@
+//! Property-based tests of core cross-crate invariants.
+
+use butterfly_effect_attack::attack::objectives::{obj_degrad, DistanceField};
+use butterfly_effect_attack::attack::operators::{MaskCrossover, MaskMutation, MutationKind};
+use butterfly_effect_attack::detect::{Detection, Prediction};
+use butterfly_effect_attack::nsga2::operators::Crossover as _;
+use butterfly_effect_attack::nsga2::operators::Mutation as _;
+use butterfly_effect_attack::nsga2::sorting::fast_non_dominated_sort;
+use butterfly_effect_attack::nsga2::{dominates, Direction};
+use butterfly_effect_attack::tensor::WeightInit;
+use butterfly_effect_attack::{BBox, FilterMask, Image, ObjectClass, RegionConstraint};
+use proptest::prelude::*;
+
+fn arb_bbox() -> impl Strategy<Value = BBox> {
+    (0.0f32..100.0, 0.0f32..60.0, 0.5f32..40.0, 0.5f32..30.0)
+        .prop_map(|(cx, cy, l, w)| BBox::new(cx, cy, l, w))
+}
+
+fn arb_mask(width: usize, height: usize) -> impl Strategy<Value = FilterMask> {
+    proptest::collection::vec(-255i16..=255, 3 * width * height)
+        .prop_map(move |v| FilterMask::from_values(width, height, v).expect("length matches"))
+}
+
+fn arb_prediction() -> impl Strategy<Value = Prediction> {
+    proptest::collection::vec((0usize..6, arb_bbox(), 0.1f32..1.0), 0..5).prop_map(|items| {
+        items
+            .into_iter()
+            .map(|(c, b, s)| {
+                Detection::new(ObjectClass::from_index(c).expect("index < 6"), b, s)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn iou_is_symmetric_and_bounded(a in arb_bbox(), b in arb_bbox()) {
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-5);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        // Self-IoU of a non-degenerate box is 1 up to f32 rounding
+        // (x1() - x0() need not equal len bit for bit).
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn obj_degrad_is_bounded_and_reflexive(clean in arb_prediction(), pert in arb_prediction()) {
+        let v = obj_degrad(&clean, &pert);
+        prop_assert!((0.0..=1.0).contains(&v), "obj_degrad out of range: {v}");
+        prop_assert!((obj_degrad(&clean, &clean) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mask_application_keeps_images_in_range(mask in arb_mask(12, 8)) {
+        let img = Image::filled(12, 8, [128.0, 64.0, 200.0]);
+        let out = mask.apply(&img);
+        for &v in out.as_feature_map().as_slice() {
+            prop_assert!((0.0..=255.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn crossover_conserves_gene_multiset(a in arb_mask(8, 6), b in arb_mask(8, 6), seed in 0u64..1000) {
+        let (c1, c2) = MaskCrossover.crossover(&a, &b, &mut WeightInit::from_seed(seed));
+        let mut before: Vec<i16> = a.as_slice().iter().chain(b.as_slice()).copied().collect();
+        let mut after: Vec<i16> = c1.as_slice().iter().chain(c2.as_slice()).copied().collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn mutations_never_escape_the_region(seed in 0u64..500, kind_idx in 0usize..4) {
+        let kind = MutationKind::ALL[kind_idx];
+        let op = MaskMutation::with_kinds(vec![kind], 0.05, RegionConstraint::RightHalf);
+        let mut mask = FilterMask::zeros(20, 10);
+        let mut rng = WeightInit::from_seed(seed);
+        for _ in 0..5 {
+            op.mutate(&mut mask, &mut rng);
+        }
+        prop_assert!(RegionConstraint::RightHalf.is_satisfied(&mask));
+        for &v in mask.as_slice() {
+            prop_assert!((-255..=255).contains(&v));
+        }
+    }
+
+    #[test]
+    fn distance_objective_sign_matches_location(x in 0usize..32, y in 0usize..16) {
+        let clean = Prediction::from_detections(vec![Detection::new(
+            ObjectClass::Car,
+            BBox::new(8.0, 8.0, 6.0, 6.0),
+            0.9,
+        )]);
+        let field = DistanceField::new(32, 16, &clean, 0.0);
+        let mut mask = FilterMask::zeros(32, 16);
+        mask.set(0, y, x, 100);
+        let v = field.objective(&mask);
+        let inside = BBox::new(8.0, 8.0, 6.0, 6.0).contains_point(x as f32, y as f32);
+        if inside {
+            prop_assert!(v < 0.0, "in-box pixel must be penalised, got {v}");
+        } else {
+            prop_assert!(v > 0.0, "out-of-box pixel must score positive, got {v}");
+        }
+    }
+
+    #[test]
+    fn pareto_fronts_partition_and_respect_dominance(
+        objs in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 3), 1..40)
+    ) {
+        let dirs = [Direction::Minimize, Direction::Minimize, Direction::Maximize];
+        let fronts = fast_non_dominated_sort(&objs, &dirs);
+        // Partition.
+        let mut seen: Vec<usize> = fronts.concat();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..objs.len()).collect::<Vec<_>>());
+        // No intra-front dominance.
+        for front in &fronts {
+            for &a in front {
+                for &b in front {
+                    prop_assert!(!dominates(&objs[a], &objs[b], &dirs));
+                }
+            }
+        }
+        // Every member of front k+1 is dominated by someone in front k.
+        for w in fronts.windows(2) {
+            for &b in &w[1] {
+                prop_assert!(
+                    w[0].iter().any(|&a| dominates(&objs[a], &objs[b], &dirs)),
+                    "front member not dominated by the previous front"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! The error-transition taxonomy against real detectors on real scenes.
+
+use butterfly_effect_attack::attack::baseline::{GenAttack, GenAttackConfig};
+use butterfly_effect_attack::{
+    Architecture, Detector, ModelZoo, RegionConstraint, SyntheticKitti, TransitionReport,
+};
+
+#[test]
+fn clean_runs_produce_no_transitions() {
+    let dataset = SyntheticKitti::smoke_set();
+    let zoo = ModelZoo::with_defaults();
+    for arch in Architecture::ALL {
+        let model = zoo.model(arch, 1);
+        let scene = dataset.scene(0);
+        let img = scene.render();
+        let pred = model.detect(&img);
+        let report = TransitionReport::analyze(&scene.ground_truths(), &pred, &pred);
+        assert!(
+            report.is_clean(),
+            "{arch}: identical predictions must yield no transitions: {:?}",
+            report.transitions
+        );
+    }
+}
+
+#[test]
+fn genattack_baseline_triggers_transitions_on_detr() {
+    // A short single-objective attack against the transformer should
+    // produce at least one taxonomy event (DETR is the susceptible one).
+    let dataset = SyntheticKitti::smoke_set();
+    let scene = dataset.scene(0);
+    let img = scene.render();
+    let zoo = ModelZoo::with_defaults();
+    let detr = zoo.model(Architecture::Detr, 1);
+    let clean = detr.detect(&img);
+
+    let config = GenAttackConfig {
+        population_size: 12,
+        generations: 6,
+        radius: 90,
+        constraint: RegionConstraint::RightHalf,
+        ..GenAttackConfig::default()
+    };
+    let result = GenAttack::new(config).run(detr.as_ref(), &img);
+    let perturbed = detr.detect(&result.best_mask.apply(&img));
+    let report = TransitionReport::analyze(&scene.ground_truths(), &clean, &perturbed);
+    assert!(
+        result.best_fitness < 1.0 || report.is_clean(),
+        "a sub-1 fitness implies a prediction change"
+    );
+    if result.best_fitness < 1.0 {
+        assert!(
+            !report.is_clean(),
+            "obj_degrad {} < 1 but no transition classified",
+            result.best_fitness
+        );
+    }
+}
+
+#[test]
+fn merged_reports_accumulate_across_scenes() {
+    let dataset = SyntheticKitti::smoke_set();
+    let zoo = ModelZoo::with_defaults();
+    let detr = zoo.model(Architecture::Detr, 2);
+    let mut total = TransitionReport::default();
+    for index in 0..2 {
+        let scene = dataset.scene(index);
+        let img = scene.render();
+        let clean = detr.detect(&img);
+        // Perturbed = empty prediction: every clean TP becomes a loss.
+        let report = TransitionReport::analyze(
+            &scene.ground_truths(),
+            &clean,
+            &butterfly_effect_attack::Prediction::new(),
+        );
+        total.merge(&report);
+    }
+    assert_eq!(
+        total.total(),
+        total.tp_to_fn + total.tn_to_fp + total.fn_to_tp + total.fp_to_tn + total.box_deformed
+    );
+    assert!(total.tp_to_fn > 0, "losing every detection must register TP->FN events");
+}
