@@ -1,0 +1,69 @@
+//! Cached vs uncached attack-evaluation throughput.
+//!
+//! The attack's hot path evaluates thousands of masks against the *same*
+//! clean image. `CachedDetector` memoizes the clean forward pass and
+//! recomputes only each mask's dirty region, so the win scales inversely
+//! with the mask footprint:
+//!
+//! * `sticker` — a 12×10 patch, the paper's "tiny perturbation" scenario;
+//!   the dirty backbone window is a small fraction of the field and the
+//!   cached path should be well over 2× faster.
+//! * `dense_right_half` — the paper's right-half constraint filled
+//!   completely; template-support expansion makes the recompute window a
+//!   large share of the field, so the win is modest.
+
+use bea_detect::{CachedDetector, Detector, YoloConfig, YoloDetector};
+use bea_image::FilterMask;
+use bea_scene::SyntheticKitti;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn sticker_mask(w: usize, h: usize) -> FilterMask {
+    let mut mask = FilterMask::zeros(w, h);
+    for y in 10..(10 + 10).min(h) {
+        for x in (w / 2 + 8)..(w / 2 + 20).min(w) {
+            mask.set(0, y, x, 60);
+            mask.set(2, y, x, -45);
+        }
+    }
+    mask
+}
+
+fn dense_right_half_mask(w: usize, h: usize) -> FilterMask {
+    let mut mask = FilterMask::zeros(w, h);
+    for y in 0..h {
+        for x in (w / 2)..w {
+            mask.set(1, y, x, 35);
+        }
+    }
+    mask
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let img = SyntheticKitti::evaluation_set().image(10);
+    let (w, h) = (img.width(), img.height());
+
+    let plain = YoloDetector::new(YoloConfig::with_seed(1));
+    let cached = CachedDetector::new(YoloDetector::new(YoloConfig::with_seed(1)));
+
+    for (label, mask) in
+        [("sticker", sticker_mask(w, h)), ("dense_right_half", dense_right_half_mask(w, h))]
+    {
+        // Warm the clean-pass cache outside the timed region, as the
+        // attack does once per image.
+        let _ = cached.detect_masked(&img, &mask);
+        c.bench_function(&format!("cache/yolo_uncached_{label}"), |b| {
+            b.iter(|| plain.detect_masked(black_box(&img), black_box(&mask)))
+        });
+        c.bench_function(&format!("cache/yolo_cached_{label}"), |b| {
+            b.iter(|| cached.detect_masked(black_box(&img), black_box(&mask)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cache
+}
+criterion_main!(benches);

@@ -26,6 +26,7 @@ struct Options {
     generations: usize,
     constraint: RegionConstraint,
     out: PathBuf,
+    cache: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -37,6 +38,7 @@ fn parse_args() -> Result<Options, String> {
         generations: 30,
         constraint: RegionConstraint::RightHalf,
         out: PathBuf::from("target/experiments/cli"),
+        cache: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -85,10 +87,16 @@ fn parse_args() -> Result<Options, String> {
                 options.out = PathBuf::from(value()?);
                 i += 2;
             }
+            "--cache" => {
+                options.cache = true;
+                i += 1;
+            }
             "--help" | "-h" => {
                 return Err("usage: attack_cli [--arch yolo|detr] [--seed N] [--image N] \
                             [--pop N] [--gens N] [--constraint full|left-half|right-half] \
-                            [--out DIR]"
+                            [--out DIR] [--cache]\n\
+                            --cache evaluates through the dirty-region incremental cache \
+                            (identical results, prints hit/recompute counters)"
                     .into())
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
@@ -121,14 +129,19 @@ fn main() -> ExitCode {
     }
     let img = dataset.image(options.image);
     let zoo = ModelZoo::with_defaults();
-    let model = zoo.model(options.arch, options.seed);
+    let model = if options.cache {
+        zoo.cached_model(options.arch, options.seed)
+    } else {
+        zoo.model(options.arch, options.seed)
+    };
     println!(
-        "attacking {} on image {} (pop {}, {} generations, {:?})",
+        "attacking {} on image {} (pop {}, {} generations, {:?}{})",
         model.name(),
         options.image,
         options.population,
         options.generations,
-        options.constraint
+        options.constraint,
+        if options.cache { ", cached" } else { "" }
     );
 
     let config = AttackConfig {
@@ -138,9 +151,21 @@ fn main() -> ExitCode {
             ..Nsga2Config::default()
         },
         constraint: options.constraint,
+        use_cache: options.cache,
         ..AttackConfig::default()
     };
+    let started = std::time::Instant::now();
     let outcome = ButterflyAttack::new(config).attack(model.as_ref(), &img);
+    let elapsed = started.elapsed();
+    println!(
+        "{} detector evaluations in {:.2}s ({:.1} evals/s)",
+        outcome.evaluations(),
+        elapsed.as_secs_f64(),
+        outcome.evaluations() as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    if let Some(stats) = outcome.cache_stats() {
+        println!("cache stats: {stats}");
+    }
 
     let rows: Vec<Vec<String>> =
         champion_rows(&outcome, options.arch.name(), options.seed, options.image)

@@ -4,7 +4,7 @@ use crate::init::MaskInitializer;
 use crate::objectives::intensity::obj_intensity_normalized;
 use crate::operators::{MaskCrossover, MaskMutation, MutationKind};
 use crate::problem::ButterflyProblem;
-use bea_detect::Detector;
+use bea_detect::{CacheStats, Detector};
 use bea_image::{FilterMask, Image, RegionConstraint};
 use bea_nsga2::{Direction, GenerationStats, Individual, Nsga2, Nsga2Config, Nsga2Result};
 use bea_tensor::norm::NormKind;
@@ -38,6 +38,12 @@ pub struct AttackConfig {
     /// Ablation A1: keep Algorithm 2's division by the perturbed-pixel
     /// count (`true` is the paper's design).
     pub distance_count_division: bool,
+    /// Route evaluations through [`Detector::detect_masked`] so
+    /// cache-aware detectors (e.g. [`bea_detect::CachedDetector`]) reuse
+    /// the memoized clean forward pass and recompute only the mask's dirty
+    /// region. Results are identical with or without the cache; `false`
+    /// (the default) keeps the paper's plain full-forward evaluation.
+    pub use_cache: bool,
 }
 
 impl Default for AttackConfig {
@@ -52,6 +58,7 @@ impl Default for AttackConfig {
             mutation_kinds: MutationKind::ALL.to_vec(),
             feature_objective: false,
             distance_count_division: true,
+            use_cache: false,
         }
     }
 }
@@ -146,10 +153,18 @@ impl ButterflyAttack {
         if !self.config.distance_count_division {
             problem = problem.without_distance_count_division();
         }
+        if self.config.use_cache {
+            problem = problem.with_cache();
+        }
         problem
     }
 
     fn run(&self, problem: ButterflyProblem<'_>) -> AttackOutcome {
+        // The NSGA-II driver consumes the problem, so snapshot the
+        // detector handles (and their cache counters) first; the outcome
+        // reports only this run's delta.
+        let detectors: Vec<&dyn Detector> = problem.detectors().to_vec();
+        let before = merged_cache_stats(&detectors);
         let init = MaskInitializer::new(
             problem.width(),
             problem.height(),
@@ -164,20 +179,46 @@ impl ButterflyAttack {
         );
         let driver = Nsga2::new(problem, self.config.nsga2);
         let result = driver.run(&init, &crossover, &mutation);
-        AttackOutcome { result }
+        let cache = match (before, merged_cache_stats(&detectors)) {
+            (Some(before), Some(after)) => Some(after.since(&before)),
+            (None, after) => after,
+            (Some(_), None) => None,
+        };
+        AttackOutcome { result, cache }
     }
+}
+
+/// The sum of the detectors' cache counters, or `None` when none caches.
+fn merged_cache_stats(detectors: &[&dyn Detector]) -> Option<CacheStats> {
+    let mut merged = CacheStats::default();
+    let mut any = false;
+    for detector in detectors {
+        if let Some(stats) = detector.cache_stats() {
+            merged.merge(&stats);
+            any = true;
+        }
+    }
+    any.then_some(merged)
 }
 
 /// The result of one attack run.
 #[derive(Debug, Clone)]
 pub struct AttackOutcome {
     result: Nsga2Result<FilterMask>,
+    cache: Option<CacheStats>,
 }
 
 impl AttackOutcome {
     /// The underlying NSGA-II result (population, history, directions).
     pub fn result(&self) -> &Nsga2Result<FilterMask> {
         &self.result
+    }
+
+    /// Cache counters accumulated during this run (hits, incremental
+    /// evaluations, fallbacks, cells recomputed), or `None` when no
+    /// detector under attack caches.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache
     }
 
     /// Objective vectors of the final Pareto front, each
@@ -241,7 +282,11 @@ mod tests {
     use bea_scene::{BBox, ObjectClass};
 
     /// Cheap deterministic detector for driver-level tests: detects a
-    /// "car" whose size depends on the mean of the right half.
+    /// "car" whose box shrinks continuously with the mean brightness of
+    /// the right half. The smooth landscape gives the GA a gradient to
+    /// climb — a step threshold would leave `obj_degrad` flat at 1.0
+    /// until the cliff, making success pure initialization luck at the
+    /// small population/generation budgets these tests use.
     struct Toy;
 
     impl Detector for Toy {
@@ -255,7 +300,7 @@ mod tests {
                 }
             }
             let m = acc / n.max(1) as f32;
-            let size = if m > 30.0 { 4.0 } else { 8.0 };
+            let size = (8.0 - m / 8.0).clamp(3.0, 8.0);
             Prediction::from_detections(vec![Detection::new(
                 ObjectClass::Car,
                 BBox::new(8.0, 8.0, size, size),
@@ -352,5 +397,31 @@ mod tests {
         assert_eq!(config.nsga2.mutation_prob, 0.45);
         assert!((config.window_fraction - 0.01).abs() < 1e-9);
         assert_eq!(config.constraint, RegionConstraint::RightHalf);
+        assert!(!config.use_cache, "the paper's plain evaluation is the default");
+    }
+
+    #[test]
+    fn outcome_reports_cache_stats_only_for_caching_detectors() {
+        let img = Image::black(24, 12);
+        let plain = ButterflyAttack::new(fast_config()).attack(&Toy, &img);
+        assert!(plain.cache_stats().is_none(), "the toy detector never caches");
+
+        let cached = bea_detect::CachedDetector::new(
+            bea_detect::YoloDetector::new(bea_detect::YoloConfig::with_seed(1)),
+        );
+        let mut config = fast_config();
+        config.use_cache = true;
+        let img = bea_scene::SyntheticKitti::smoke_set().image(0);
+        let outcome = ButterflyAttack::new(config).attack(&cached, &img);
+        let stats = outcome.cache_stats().expect("cached detector reports stats");
+        assert!(stats.incremental > 0, "GA evaluations take the incremental path");
+        assert_eq!(stats.misses, 1, "one clean forward pass per image");
+        // A second run on the same detector reports only its own delta.
+        let mut config = fast_config();
+        config.use_cache = true;
+        let again = ButterflyAttack::new(config).attack(&cached, &img);
+        let delta = again.cache_stats().expect("stats present");
+        assert_eq!(delta.misses, 0, "clean pass already memoized");
+        assert!(delta.hits > 0);
     }
 }

@@ -90,14 +90,18 @@ pub struct TransitionReport {
     pub box_deformed: usize,
 }
 
-/// IoU above which a detection counts as matching a ground-truth object.
-const MATCH_IOU: f32 = 0.5;
-/// IoU below which two matched boxes of one object count as deformed.
-const DEFORM_IOU: f32 = 0.85;
-/// Relative area change above which a box counts as deformed.
-const DEFORM_AREA: f32 = 0.2;
-
 impl TransitionReport {
+    /// IoU above which a detection counts as matching a ground-truth
+    /// object.
+    pub const MATCH_IOU: f32 = 0.5;
+    /// IoU below which two matched boxes of one object count as deformed.
+    /// Drift with a clean-vs-perturbed IoU in `[DEFORM_IOU, 1)` is a
+    /// deliberate dead-band: it lowers `obj_degrad` below 1 without
+    /// registering a taxonomy event (sub-pixel jitter is not an error).
+    pub const DEFORM_IOU: f32 = 0.85;
+    /// Relative area change above which a box counts as deformed.
+    pub const DEFORM_AREA: f32 = 0.2;
+
     /// Classifies the transitions between the clean and the perturbed
     /// prediction of one image, relative to ground truth.
     pub fn analyze(
@@ -121,7 +125,7 @@ impl TransitionReport {
                     } else {
                         1.0
                     };
-                    if overlap < DEFORM_IOU || (area_ratio - 1.0).abs() > DEFORM_AREA {
+                    if overlap < Self::DEFORM_IOU || (area_ratio - 1.0).abs() > Self::DEFORM_AREA {
                         report.push(ErrorTransition::BoxDeformed {
                             class,
                             overlap,
@@ -148,7 +152,7 @@ impl TransitionReport {
             }
             let survives = perturbed
                 .of_class(det.class)
-                .any(|p| p.bbox.iou(&det.bbox) >= MATCH_IOU);
+                .any(|p| p.bbox.iou(&det.bbox) >= Self::MATCH_IOU);
             if !survives {
                 report.push(ErrorTransition::FpToTn { ghost: det.bbox, class: det.class });
             }
@@ -160,7 +164,7 @@ impl TransitionReport {
             }
             let existed = clean
                 .of_class(det.class)
-                .any(|c| c.bbox.iou(&det.bbox) >= MATCH_IOU);
+                .any(|c| c.bbox.iou(&det.bbox) >= Self::MATCH_IOU);
             if !existed {
                 report.push(ErrorTransition::TnToFp { ghost: det.bbox, class: det.class });
             }
@@ -218,7 +222,7 @@ fn match_to_ground_truth(
         for (gi, (class, bbox)) in ground_truth.iter().enumerate() {
             if det.class == *class {
                 let iou = det.bbox.iou(bbox);
-                if iou >= MATCH_IOU {
+                if iou >= TransitionReport::MATCH_IOU {
                     pairs.push((di, gi, iou));
                 }
             }

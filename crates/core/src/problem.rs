@@ -61,6 +61,10 @@ pub struct ButterflyProblem<'a> {
     /// `(dx, dy, brightness)` placements the mask is averaged over.
     /// Always contains the identity transform.
     placements: Vec<(i32, i32, f32)>,
+    /// Route identity-brightness evaluations through
+    /// [`Detector::detect_masked`], letting cache-aware detectors patch a
+    /// memoized clean forward pass instead of recomputing it.
+    use_cache: bool,
 }
 
 impl<'a> ButterflyProblem<'a> {
@@ -143,6 +147,7 @@ impl<'a> ButterflyProblem<'a> {
             constraint,
             distance_count_division: true,
             placements: vec![(0, 0, 1.0)],
+            use_cache: false,
         }
     }
 
@@ -194,6 +199,42 @@ impl<'a> ButterflyProblem<'a> {
     /// The placement transforms evaluated per candidate (length ≥ 1).
     pub fn placement_count(&self) -> usize {
         self.placements.len()
+    }
+
+    /// Routes identity-brightness evaluations through
+    /// [`Detector::detect_masked`] — the dirty-region incremental hot path
+    /// when the detectors are [`bea_detect::CachedDetector`]s. Plain
+    /// detectors are unaffected (their default `detect_masked` applies the
+    /// mask and detects in full), so results are identical either way.
+    /// Brightness placements change every pixel and always take the full
+    /// path.
+    pub fn with_cache(mut self) -> Self {
+        self.use_cache = true;
+        self
+    }
+
+    /// Whether evaluation routes through the masked/incremental path.
+    pub fn uses_cache(&self) -> bool {
+        self.use_cache
+    }
+
+    /// The detectors under attack (in construction order).
+    pub fn detectors(&self) -> &[&'a dyn Detector] {
+        &self.detectors
+    }
+
+    /// The sum of the detectors' cache counters, or `None` when no
+    /// detector caches (see [`Detector::cache_stats`]).
+    pub fn cache_stats(&self) -> Option<bea_detect::CacheStats> {
+        let mut merged = bea_detect::CacheStats::default();
+        let mut any = false;
+        for detector in &self.detectors {
+            if let Some(stats) = detector.cache_stats() {
+                merged.merge(&stats);
+                any = true;
+            }
+        }
+        any.then_some(merged)
     }
 
     /// Ablation A1: disables Algorithm 2's division by the perturbed-pixel
@@ -271,13 +312,27 @@ impl Problem for ButterflyProblem<'_> {
                 &placed
             };
             for (ti, frame) in self.frames.iter().enumerate() {
-                let perturbed = if (brightness - 1.0).abs() > 1e-6 {
-                    effective.apply(frame).brightness_scaled(brightness)
-                } else {
-                    effective.apply(frame)
+                let identity_brightness = (brightness - 1.0).abs() <= 1e-6;
+                // The cached path never materialises the perturbed image
+                // for detection; it is still built lazily when the feature
+                // objective (which reads perturbed pixels) is enabled.
+                let mut perturbed_lazy: Option<Image> = None;
+                let make_perturbed = || {
+                    if identity_brightness {
+                        effective.apply(frame)
+                    } else {
+                        effective.apply(frame).brightness_scaled(brightness)
+                    }
                 };
                 for (ki, detector) in self.detectors.iter().enumerate() {
-                    let prediction = detector.detect(&perturbed);
+                    // Brightness transforms touch every pixel, so only
+                    // identity-brightness placements can take the
+                    // dirty-region path.
+                    let prediction = if self.use_cache && identity_brightness {
+                        detector.detect_masked(frame, effective)
+                    } else {
+                        detector.detect(perturbed_lazy.get_or_insert_with(&make_perturbed))
+                    };
                     degrad += obj_degrad(&self.clean[ki][ti], &prediction);
                     dist += if self.distance_count_division {
                         self.dist_fields[ki][ti].objective_normalized(effective)
@@ -289,7 +344,8 @@ impl Problem for ButterflyProblem<'_> {
                             / (self.dist_fields[ki][ti].values().len() as f64 * 255.0 * 2.0)
                     };
                     if let Some(feature) = &self.feature {
-                        feat += feature[ki][ti].objective(*detector, &perturbed);
+                        feat += feature[ki][ti]
+                            .objective(*detector, perturbed_lazy.get_or_insert_with(&make_perturbed));
                     }
                 }
             }
@@ -485,6 +541,43 @@ mod tests {
         // two placements.
         assert_eq!(plain.evaluate(&zero)[1], 1.0);
         assert!(robust.evaluate(&zero)[1] < 1.0);
+    }
+
+    #[test]
+    fn cached_evaluation_matches_uncached() {
+        let img = SyntheticKitti::smoke_set().image(0);
+        let plain = YoloDetector::new(YoloConfig::with_seed(1));
+        let cached =
+            bea_detect::CachedDetector::new(YoloDetector::new(YoloConfig::with_seed(1)));
+        let p_plain = ButterflyProblem::single(&plain, &img, 2.0, RegionConstraint::Full);
+        let p_cached =
+            ButterflyProblem::single(&cached, &img, 2.0, RegionConstraint::Full).with_cache();
+        assert!(p_cached.uses_cache() && !p_plain.uses_cache());
+        let mut mask = FilterMask::zeros(img.width(), img.height());
+        mask.set(0, 6, 9, 90);
+        mask.set(2, 7, 10, -60);
+        assert_eq!(p_plain.evaluate(&mask), p_cached.evaluate(&mask));
+        let stats = p_cached.cache_stats().expect("cached detector reports stats");
+        assert_eq!(stats.incremental, 1);
+        assert!(p_plain.cache_stats().is_none());
+        assert_eq!(p_cached.detectors().len(), 1);
+    }
+
+    #[test]
+    fn brightness_placements_bypass_the_cache() {
+        // Brightness transforms touch every pixel, so only the identity
+        // placement may take the incremental path.
+        let img = SyntheticKitti::smoke_set().image(0);
+        let cached =
+            bea_detect::CachedDetector::new(YoloDetector::new(YoloConfig::with_seed(1)));
+        let problem = ButterflyProblem::single(&cached, &img, 2.0, RegionConstraint::Full)
+            .with_placement_robustness(&[], &[0.5])
+            .with_cache();
+        let mut mask = FilterMask::zeros(img.width(), img.height());
+        mask.set(1, 4, 4, 70);
+        let _ = problem.evaluate(&mask);
+        let stats = problem.cache_stats().expect("stats present");
+        assert_eq!(stats.incremental, 1, "only the identity placement is incremental");
     }
 
     #[test]

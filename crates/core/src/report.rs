@@ -1,11 +1,12 @@
 //! Result summarisation and export for the experiment harnesses.
 
 use crate::attack::AttackOutcome;
-use serde::{Deserialize, Serialize};
+// Rows serialise via the hand-rolled CSV writer below; the build
+// environment has no registry access for serde.
 use std::io::Write;
 
 /// One Pareto-front point of an attack run, in the paper's Figure 2 axes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParetoPoint {
     /// `obj_intensity` (raw L2).
     pub intensity: f64,
@@ -19,7 +20,7 @@ pub struct ParetoPoint {
 
 /// One labelled experiment row: a Pareto point attributed to an
 /// architecture / model / image triple.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttackRow {
     /// Architecture name (`"YOLO"` / `"DETR"`).
     pub architecture: String,
@@ -115,7 +116,7 @@ pub fn write_csv<W: Write>(rows: &[AttackRow], mut writer: W) -> std::io::Result
 /// Attack-success criteria: a run "succeeds" when some front member
 /// reaches `obj_degrad ≤ max_degrad` while spending at most
 /// `max_intensity` (raw L2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SuccessCriteria {
     /// Largest admissible `obj_degrad` (e.g. 0.6, the paper's "reasonable
     /// performance drop").
@@ -219,7 +220,7 @@ mod tests {
     }
 
     #[test]
-    fn rows_serialize_with_serde() {
+    fn rows_clone_compare_equal() {
         let row = sample_row();
         let clone = row.clone();
         assert_eq!(row, clone);

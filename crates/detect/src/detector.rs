@@ -1,7 +1,8 @@
 //! The object-detector abstraction.
 
+use crate::cache::CacheStats;
 use crate::types::Prediction;
-use bea_image::Image;
+use bea_image::{FilterMask, Image};
 use bea_tensor::FeatureMap;
 
 /// An object detector: the paper's function
@@ -42,6 +43,28 @@ pub trait Detector: Send + Sync {
         let _ = img;
         FeatureMap::default()
     }
+
+    /// Detects on `clean` perturbed by `mask` — the attack's hot path.
+    ///
+    /// The default applies the mask and runs [`Detector::detect`];
+    /// cache-aware wrappers ([`crate::cache::CachedDetector`]) override
+    /// this with the dirty-region incremental path. Either way the result
+    /// must equal `self.detect(&mask.apply(clean))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask and image dimensions disagree (as
+    /// [`bea_image::FilterMask::apply`] does).
+    fn detect_masked(&self, clean: &Image, mask: &FilterMask) -> Prediction {
+        self.detect(&mask.apply(clean))
+    }
+
+    /// Cache counters, when this detector memoizes forward passes.
+    ///
+    /// `None` (the default) means the detector runs every pass in full.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
 }
 
 impl<T: Detector + ?Sized> Detector for &T {
@@ -56,6 +79,14 @@ impl<T: Detector + ?Sized> Detector for &T {
     fn heatmap(&self, img: &Image) -> FeatureMap {
         (**self).heatmap(img)
     }
+
+    fn detect_masked(&self, clean: &Image, mask: &FilterMask) -> Prediction {
+        (**self).detect_masked(clean, mask)
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        (**self).cache_stats()
+    }
 }
 
 impl<T: Detector + ?Sized> Detector for Box<T> {
@@ -69,6 +100,14 @@ impl<T: Detector + ?Sized> Detector for Box<T> {
 
     fn heatmap(&self, img: &Image) -> FeatureMap {
         (**self).heatmap(img)
+    }
+
+    fn detect_masked(&self, clean: &Image, mask: &FilterMask) -> Prediction {
+        (**self).detect_masked(clean, mask)
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        (**self).cache_stats()
     }
 }
 
@@ -112,5 +151,19 @@ mod tests {
     fn default_heatmap_is_empty() {
         let d = Fixed;
         assert_eq!(d.heatmap(&Image::black(4, 4)).shape(), (0, 0, 0));
+    }
+
+    #[test]
+    fn default_masked_path_applies_then_detects() {
+        let d = Fixed;
+        let img = Image::black(4, 4);
+        let mut mask = bea_image::FilterMask::zeros(4, 4);
+        mask.set(0, 1, 1, 50);
+        assert_eq!(d.detect_masked(&img, &mask), d.detect(&mask.apply(&img)));
+        assert!(d.cache_stats().is_none());
+        // Forwarding impls expose the same defaults.
+        let boxed: Box<dyn Detector> = Box::new(Fixed);
+        assert_eq!(boxed.detect_masked(&img, &mask).len(), 1);
+        assert!(boxed.cache_stats().is_none());
     }
 }

@@ -12,6 +12,7 @@
 //! more susceptible to butterfly effect attacks ("attention mechanisms
 //! connecting two arbitrary regions in an image").
 
+use crate::cache::{IncrementalDetect, IncrementalPrediction};
 use crate::detector::Detector;
 use crate::nms;
 use crate::peaks::{measure_span, Peak};
@@ -22,7 +23,7 @@ use crate::types::{Detection, Prediction};
 use bea_image::Image;
 use bea_scene::{BBox, ObjectClass};
 use bea_tensor::activation::softmax_inplace;
-use bea_tensor::{FeatureMap, Linear, Matrix, WeightInit};
+use bea_tensor::{DirtyRect, FeatureMap, Linear, Matrix, WeightInit};
 
 /// Configuration of a [`DetrDetector`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -169,9 +170,9 @@ impl DetrDetector {
             .into_iter()
             .map(|scene| {
                 let img = scene.render();
-                let (gw, gh) = self.grid_size(&img);
                 let field = ResponseField::compute(&img, &self.bank);
-                let scores = self.token_scores_from(&img, &field);
+                let (gw, gh) = self.grid_dims(&field);
+                let scores = self.token_scores_from(&field);
                 (scene, field, scores, gw, gh)
             })
             .collect();
@@ -204,16 +205,22 @@ impl DetrDetector {
         ((bw / self.config.patch).max(1), (bh / self.config.patch).max(1))
     }
 
+    /// Token grid size from a backbone field (the field is already at
+    /// `1/BACKBONE_SCALE` resolution, so this agrees with
+    /// [`DetrDetector::grid_size`] on the source image).
+    fn grid_dims(&self, field: &ResponseField) -> (usize, usize) {
+        ((field.width() / self.config.patch).max(1), (field.height() / self.config.patch).max(1))
+    }
+
     /// Runs backbone → tokens → encoder → analytic head, returning the
     /// median-suppressed per-token class scores (`N × C`).
     fn token_scores(&self, img: &Image) -> Matrix {
-        let field = ResponseField::compute(img, &self.bank);
-        self.token_scores_from(img, &field)
+        self.token_scores_from(&ResponseField::compute(img, &self.bank))
     }
 
     /// [`DetrDetector::token_scores`] with a precomputed response field.
-    fn token_scores_from(&self, img: &Image, field: &ResponseField) -> Matrix {
-        let (gw, gh) = self.grid_size(img);
+    fn token_scores_from(&self, field: &ResponseField) -> Matrix {
+        let (gw, gh) = self.grid_dims(field);
         let patch = self.config.patch;
         let classes = ObjectClass::COUNT;
         // Patch content: per-class max response inside each patch.
@@ -444,11 +451,45 @@ impl DetrDetector {
     }
 }
 
+impl IncrementalDetect for DetrDetector {
+    type Clean = ResponseField;
+
+    fn clean_forward(&self, img: &Image) -> (ResponseField, Prediction) {
+        let field = ResponseField::compute(img, &self.bank);
+        let scores = self.token_scores_from(&field);
+        let (gw, gh) = self.grid_dims(&field);
+        let prediction = self.decode(&field, &scores, gw, gh);
+        (field, prediction)
+    }
+
+    fn detect_incremental(
+        &self,
+        clean: &ResponseField,
+        perturbed: &Image,
+        dirty: &DirtyRect,
+    ) -> IncrementalPrediction {
+        let mut field = clean.clone();
+        let window = field.recompute_window(perturbed, &self.bank, dirty);
+        // The incremental propagation stops here: the encoder's
+        // self-attention lets every token attend to every other, so one
+        // dirty token dirties the entire grid. The transformer and the
+        // query decoder re-run in full on the patched backbone field —
+        // only the CNN stem benefits from the cache.
+        let scores = self.token_scores_from(&field);
+        let (gw, gh) = self.grid_dims(&field);
+        IncrementalPrediction {
+            prediction: self.decode(&field, &scores, gw, gh),
+            cells_recomputed: window.area() as u64,
+            global_stage_full: true,
+        }
+    }
+}
+
 impl Detector for DetrDetector {
     fn detect(&self, img: &Image) -> Prediction {
-        let (gw, gh) = self.grid_size(img);
         let field = ResponseField::compute(img, &self.bank);
-        let scores = self.token_scores_from(img, &field);
+        let scores = self.token_scores_from(&field);
+        let (gw, gh) = self.grid_dims(&field);
         self.decode(&field, &scores, gw, gh)
     }
 

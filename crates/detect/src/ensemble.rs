@@ -6,10 +6,11 @@
 //! a fused consensus prediction, the standard ensemble defence of
 //! Strauss et al. that the paper cites.
 
+use crate::cache::CacheStats;
 use crate::detector::Detector;
 use crate::nms;
 use crate::types::{Detection, Prediction};
-use bea_image::Image;
+use bea_image::{FilterMask, Image};
 use bea_scene::BBox;
 
 /// An ensemble of detectors with consensus fusion.
@@ -72,15 +73,21 @@ impl Ensemble {
     pub fn member_predictions(&self, img: &Image) -> Vec<Prediction> {
         self.members.iter().map(|m| m.detect(img)).collect()
     }
-}
 
-impl Detector for Ensemble {
-    /// Consensus fusion: detections from all members are clustered by class
-    /// and IoU; a cluster supported by at least `quorum · K` members
-    /// becomes one fused detection whose box is the support-weighted mean.
-    fn detect(&self, img: &Image) -> Prediction {
+    /// Per-member predictions on `clean` perturbed by `mask`, routed
+    /// through each member's [`Detector::detect_masked`] so cache-aware
+    /// members take their incremental path.
+    pub fn member_predictions_masked(&self, clean: &Image, mask: &FilterMask) -> Vec<Prediction> {
+        self.members.iter().map(|m| m.detect_masked(clean, mask)).collect()
+    }
+
+    /// Consensus fusion over per-member predictions: detections are
+    /// clustered by class and IoU; a cluster supported by at least
+    /// `quorum · K` members becomes one fused detection whose box is the
+    /// support-weighted mean.
+    fn fuse(&self, predictions: Vec<Prediction>) -> Prediction {
         let all: Vec<Detection> =
-            self.member_predictions(img).into_iter().flat_map(Prediction::into_vec).collect();
+            predictions.into_iter().flat_map(Prediction::into_vec).collect();
         let mut used = vec![false; all.len()];
         let mut fused = Prediction::new();
         let needed = (self.quorum * self.members.len() as f32).ceil().max(1.0) as usize;
@@ -131,9 +138,36 @@ impl Detector for Ensemble {
         }
         nms::suppress(fused, 0.5)
     }
+}
+
+impl Detector for Ensemble {
+    /// Consensus fusion of the members' predictions (see [`Ensemble::fuse`]).
+    fn detect(&self, img: &Image) -> Prediction {
+        self.fuse(self.member_predictions(img))
+    }
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Fuses the members' masked predictions, so cache-aware members take
+    /// their dirty-region incremental path.
+    fn detect_masked(&self, clean: &Image, mask: &FilterMask) -> Prediction {
+        self.fuse(self.member_predictions_masked(clean, mask))
+    }
+
+    /// The sum of the members' cache counters, or `None` when no member
+    /// caches.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        let mut merged = CacheStats::default();
+        let mut any = false;
+        for member in &self.members {
+            if let Some(stats) = member.cache_stats() {
+                merged.merge(&stats);
+                any = true;
+            }
+        }
+        any.then_some(merged)
     }
 }
 
@@ -207,6 +241,31 @@ mod tests {
         assert_eq!(preds[0].len(), 1);
         assert!(preds[1].is_empty());
         assert_eq!(ensemble.len(), 2);
+    }
+
+    #[test]
+    fn masked_detection_routes_through_members() {
+        use crate::yolo::{YoloConfig, YoloDetector};
+        use crate::CachedDetector;
+        let members: Vec<Box<dyn Detector>> = vec![
+            Box::new(CachedDetector::new(YoloDetector::new(YoloConfig::with_seed(1)))),
+            Box::new(YoloDetector::new(YoloConfig::with_seed(2))),
+        ];
+        let ensemble = Ensemble::new(members);
+        let img = bea_scene::SyntheticKitti::smoke_set().image(0);
+        let mut mask = FilterMask::zeros(img.width(), img.height());
+        mask.set(1, 3, 5, 80);
+        let fused = ensemble.detect_masked(&img, &mask);
+        assert_eq!(fused, ensemble.detect(&mask.apply(&img)));
+        // Only the first member caches; the merged stats reflect its pass.
+        let stats = ensemble.cache_stats().expect("one member caches");
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn uncached_members_report_no_stats() {
+        let ensemble = Ensemble::new(vec![Box::new(Fixed(None)) as Box<dyn Detector>]);
+        assert!(ensemble.cache_stats().is_none());
     }
 
     #[test]

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod detector;
 pub mod detr;
 pub mod ensemble;
@@ -57,6 +58,7 @@ pub mod types;
 pub mod yolo;
 pub mod zoo;
 
+pub use cache::{CacheStats, CachedDetector, IncrementalDetect};
 pub use detector::Detector;
 pub use detr::{DetrConfig, DetrDetector};
 pub use ensemble::Ensemble;

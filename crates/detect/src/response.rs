@@ -14,7 +14,7 @@
 use crate::templates::{ClassTemplate, TemplateBank, BACKBONE_SCALE};
 use bea_image::Image;
 use bea_scene::ObjectClass;
-use bea_tensor::FeatureMap;
+use bea_tensor::{DirtyRect, FeatureMap};
 
 /// Per-class response maps at backbone resolution.
 ///
@@ -48,6 +48,65 @@ impl ResponseField {
             map.channel_mut(template.class().index()).copy_from_slice(plane.channel(0));
         }
         Self { map }
+    }
+
+    /// Recomputes only the response cells whose template support touches
+    /// `dirty` (a full-resolution pixel rectangle), patching `self` in
+    /// place. Cells outside the affected window keep their cached values,
+    /// which NCC locality guarantees are bit-identical to a full
+    /// recomputation on `img` (see the `response_is_local` test).
+    ///
+    /// Returns the backbone-resolution window of rewritten cells. When the
+    /// cached map's shape disagrees with `img` the field is recomputed in
+    /// full and the whole plane is returned.
+    pub fn recompute_window(
+        &mut self,
+        img: &Image,
+        bank: &TemplateBank,
+        dirty: &DirtyRect,
+    ) -> DirtyRect {
+        let half = img.downscale(BACKBONE_SCALE);
+        let (h, w) = (half.height(), half.width());
+        if self.map.height() != h || self.map.width() != w {
+            *self = Self::compute(img, bank);
+            return DirtyRect::full(w, h);
+        }
+        let d = dirty.downscaled(BACKBONE_SCALE).clamp(w, h);
+        if d.is_empty() {
+            return DirtyRect::empty();
+        }
+        // The summed-area table is rebuilt in full: it is O(W·H) while the
+        // NCC sweep it feeds is O(W·H·th·tw), so sharing it between the
+        // full and incremental paths is cheap and keeps both bit-identical.
+        let sat = Sat::build(half.as_feature_map());
+        let mut affected = DirtyRect::empty();
+        for template in bank.templates() {
+            let (th, tw) = (template.height(), template.width());
+            if th > h || tw > w {
+                continue;
+            }
+            // Support origins whose `th × tw` footprint intersects the
+            // dirty cells: o ∈ [d0 − (k − 1), d1), clamped to the valid
+            // origin range [0, dim − k].
+            let oy0 = d.y0.saturating_sub(th - 1);
+            let oy1 = d.y1.min(h - th + 1);
+            let ox0 = d.x0.saturating_sub(tw - 1);
+            let ox1 = d.x1.min(w - tw + 1);
+            if oy0 >= oy1 || ox0 >= ox1 {
+                continue;
+            }
+            let plane = self.map.channel_mut(template.class().index());
+            ncc_into(half.as_feature_map(), &sat, template, plane, oy0..oy1, ox0..ox1);
+            // Each origin writes at its centre, so the rewritten window is
+            // the origin window translated by the centre offset.
+            affected = affected.union(&DirtyRect::new(
+                ox0 + tw / 2,
+                oy0 + th / 2,
+                ox1 + tw / 2,
+                oy1 + th / 2,
+            ));
+        }
+        affected.clamp(w, h)
     }
 
     /// The stacked response maps (one channel per class index).
@@ -137,6 +196,29 @@ fn ncc_plane(img: &FeatureMap, sat: &Sat, template: &ClassTemplate) -> FeatureMa
     if th > h || tw > w {
         return out;
     }
+    ncc_into(img, sat, template, out.channel_mut(0), 0..(h - th + 1), 0..(w - tw + 1));
+    out
+}
+
+/// Computes NCC scores for the support origins `oy × ox`, writing each
+/// score at its template centre in `plane` (row stride `img.width()`).
+/// Flat patches are written as `0.0`, so re-running a window overwrites
+/// any stale value.
+///
+/// This is the single per-origin kernel shared by [`ncc_plane`] and
+/// [`ResponseField::recompute_window`]: both paths accumulate in the same
+/// order, which makes the incremental patch bit-identical to the full
+/// sweep.
+fn ncc_into(
+    img: &FeatureMap,
+    sat: &Sat,
+    template: &ClassTemplate,
+    plane: &mut [f32],
+    oy: std::ops::Range<usize>,
+    ox: std::ops::Range<usize>,
+) {
+    let w = img.width();
+    let (th, tw) = (template.height(), template.width());
     let t = template.map();
     let n = (3 * th * tw) as f64;
     // Patches whose per-entry standard deviation is below this floor are
@@ -144,11 +226,13 @@ fn ncc_plane(img: &FeatureMap, sat: &Sat, template: &ClassTemplate) -> FeatureMa
     // numerical dust on constant patches to ±1.
     const MIN_PATCH_STD: f64 = 4.0;
     let var_floor = n * MIN_PATCH_STD * MIN_PATCH_STD;
-    for y0 in 0..=(h - th) {
-        for x0 in 0..=(w - tw) {
+    for y0 in oy {
+        for x0 in ox.clone() {
+            let centre = (y0 + th / 2) * w + (x0 + tw / 2);
             let (s, q) = sat.rect(y0, x0, th, tw);
             let patch_var = q - s * s / n;
             if patch_var < var_floor {
+                plane[centre] = 0.0;
                 continue;
             }
             // Cross-correlation with the template, compensating the patch
@@ -163,10 +247,9 @@ fn ncc_plane(img: &FeatureMap, sat: &Sat, template: &ClassTemplate) -> FeatureMa
             }
             let num = dot - (s / n) * template.weight_sum() as f64;
             let ncc = num / (patch_var.sqrt() * template.norm() as f64);
-            out.set(0, y0 + th / 2, x0 + tw / 2, ncc.clamp(-1.0, 1.0) as f32);
+            plane[centre] = ncc.clamp(-1.0, 1.0) as f32;
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -278,6 +361,56 @@ mod tests {
         let field =
             ResponseField::compute(&Image::filled(96, 48, [50.0; 3]), &TemplateBank::canonical());
         assert!(field.map().max() < 0.3);
+    }
+
+    #[test]
+    fn recompute_window_matches_full_compute_bitwise() {
+        let base = scene_with(ObjectClass::Car, 40.0, 30.0);
+        let bank = TemplateBank::canonical();
+        let clean_field = ResponseField::compute(&base, &bank);
+        // Several dirty rectangles, from a single pixel to a half plane.
+        let rects = [
+            DirtyRect::new(70, 20, 71, 21),
+            DirtyRect::new(90, 5, 120, 40),
+            DirtyRect::new(64, 0, 128, 64),
+            DirtyRect::new(0, 0, 20, 10),
+        ];
+        for (i, rect) in rects.iter().enumerate() {
+            let mut perturbed = base.clone();
+            for y in rect.y0..rect.y1 {
+                for x in rect.x0..rect.x1 {
+                    let p = perturbed.pixel(x, y);
+                    perturbed.put_pixel(x, y, [255.0 - p[0], p[1] + 40.0, p[2]]);
+                }
+            }
+            let mut patched = clean_field.clone();
+            let window = patched.recompute_window(&perturbed, &bank, rect);
+            assert!(!window.is_empty(), "rect {i} should rewrite something");
+            let full = ResponseField::compute(&perturbed, &bank);
+            assert_eq!(patched, full, "rect {i}: incremental patch must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn recompute_with_empty_dirt_is_a_noop() {
+        let img = scene_with(ObjectClass::Cyclist, 50.0, 30.0);
+        let bank = TemplateBank::canonical();
+        let clean = ResponseField::compute(&img, &bank);
+        let mut patched = clean.clone();
+        let window = patched.recompute_window(&img, &bank, &DirtyRect::empty());
+        assert!(window.is_empty());
+        assert_eq!(patched, clean);
+    }
+
+    #[test]
+    fn recompute_with_mismatched_shape_falls_back_to_full() {
+        let small = scene_with(ObjectClass::Car, 40.0, 30.0);
+        let bank = TemplateBank::canonical();
+        let mut field = ResponseField::compute(&Image::filled(64, 32, [96.0; 3]), &bank);
+        let window =
+            field.recompute_window(&small, &bank, &DirtyRect::new(0, 0, 4, 4));
+        assert_eq!(window, DirtyRect::full(64, 32));
+        assert_eq!(field, ResponseField::compute(&small, &bank));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! architecture predicts YOLO-like robustness to butterfly perturbations.
 //! The `arch_extension` harness tests exactly that.
 
+use crate::cache::{IncrementalDetect, IncrementalPrediction};
 use crate::detector::Detector;
 use crate::nms;
 use crate::peaks::{find_peaks, measure_span};
@@ -17,7 +18,7 @@ use crate::templates::TemplateBank;
 use crate::types::{Detection, Prediction};
 use bea_image::Image;
 use bea_scene::{BBox, ObjectClass};
-use bea_tensor::{FeatureMap, WeightInit};
+use bea_tensor::{DirtyRect, FeatureMap, WeightInit};
 
 /// Configuration of a [`TwoStageDetector`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -109,12 +110,10 @@ impl TwoStageDetector {
         }
         out
     }
-}
 
-impl Detector for TwoStageDetector {
-    fn detect(&self, img: &Image) -> Prediction {
-        let field = ResponseField::compute(img, &self.bank);
-        let objectness = self.objectness(&field);
+    /// Both stages from a (possibly cached and patched) backbone field.
+    fn detect_from_field(&self, field: &ResponseField) -> Prediction {
+        let objectness = self.objectness(field);
         let (w, h) = (objectness.width(), objectness.height());
         let plane = objectness.channel(0);
         let mut raw = Prediction::new();
@@ -159,6 +158,39 @@ impl Detector for TwoStageDetector {
             raw.push(Detection::new(best_class, BBox::new(cx, cy, len, wid), score));
         }
         nms::suppress(raw, self.config.nms_iou)
+    }
+}
+
+impl IncrementalDetect for TwoStageDetector {
+    type Clean = ResponseField;
+
+    fn clean_forward(&self, img: &Image) -> (ResponseField, Prediction) {
+        let field = ResponseField::compute(img, &self.bank);
+        let prediction = self.detect_from_field(&field);
+        (field, prediction)
+    }
+
+    fn detect_incremental(
+        &self,
+        clean: &ResponseField,
+        perturbed: &Image,
+        dirty: &DirtyRect,
+    ) -> IncrementalPrediction {
+        let mut field = clean.clone();
+        let window = field.recompute_window(perturbed, &self.bank, dirty);
+        IncrementalPrediction {
+            prediction: self.detect_from_field(&field),
+            cells_recomputed: window.area() as u64,
+            // Proposals and per-region classification both read only local
+            // evidence from the patched field.
+            global_stage_full: false,
+        }
+    }
+}
+
+impl Detector for TwoStageDetector {
+    fn detect(&self, img: &Image) -> Prediction {
+        self.detect_from_field(&ResponseField::compute(img, &self.bank))
     }
 
     fn name(&self) -> &str {

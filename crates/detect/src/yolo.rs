@@ -10,6 +10,7 @@
 //! much more robust to butterfly perturbations than DETR (Figures 2 and 3)
 //! while not perfectly immune (Figure 1).
 
+use crate::cache::{IncrementalDetect, IncrementalPrediction};
 use crate::detector::Detector;
 use crate::nms;
 use crate::peaks::{find_peaks, measure_span};
@@ -18,7 +19,7 @@ use crate::templates::TemplateBank;
 use crate::types::{Detection, Prediction};
 use bea_image::Image;
 use bea_scene::{BBox, ObjectClass};
-use bea_tensor::{FeatureMap, WeightInit};
+use bea_tensor::{DirtyRect, FeatureMap, WeightInit};
 
 /// Configuration of a [`YoloDetector`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -114,7 +115,14 @@ impl YoloDetector {
 
     /// Computes the context-modulated response field.
     fn modulated_field(&self, img: &Image) -> FeatureMap {
-        let field = ResponseField::compute(img, &self.bank);
+        self.modulate(&ResponseField::compute(img, &self.bank))
+    }
+
+    /// Applies the global context gain to a (possibly cached and patched)
+    /// backbone field. The gain is a per-class scalar derived from the
+    /// field itself, so the incremental path re-runs this in full — it is
+    /// O(C·H·W) against the backbone's O(C·H·W·th·tw).
+    fn modulate(&self, field: &ResponseField) -> FeatureMap {
         let mut map = field.map().clone();
         let c = ObjectClass::COUNT;
         // Global context: average positive response per class (the SPPF-like
@@ -199,6 +207,34 @@ impl YoloDetector {
         }
         self.threshold = best.0;
         best.0
+    }
+}
+
+impl IncrementalDetect for YoloDetector {
+    type Clean = ResponseField;
+
+    fn clean_forward(&self, img: &Image) -> (ResponseField, Prediction) {
+        let field = ResponseField::compute(img, &self.bank);
+        let prediction = self.decode_at(&self.modulate(&field), self.threshold);
+        (field, prediction)
+    }
+
+    fn detect_incremental(
+        &self,
+        clean: &ResponseField,
+        perturbed: &Image,
+        dirty: &DirtyRect,
+    ) -> IncrementalPrediction {
+        let mut field = clean.clone();
+        let window = field.recompute_window(perturbed, &self.bank, dirty);
+        let prediction = self.decode_at(&self.modulate(&field), self.threshold);
+        IncrementalPrediction {
+            prediction,
+            cells_recomputed: window.area() as u64,
+            // The context gain re-runs over the patched field, but that is
+            // derived data, not a fresh pixel-level pass.
+            global_stage_full: false,
+        }
     }
 }
 

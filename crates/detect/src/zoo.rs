@@ -5,6 +5,7 @@
 //! ensemble. The zoo reproduces that setup: `model(arch, seed)` is a pure
 //! function of the seed.
 
+use crate::cache::CachedDetector;
 use crate::detector::Detector;
 use crate::detr::{DetrConfig, DetrDetector};
 use crate::ensemble::Ensemble;
@@ -110,6 +111,39 @@ impl ModelZoo {
         }
     }
 
+    /// Builds the model of `architecture` wrapped in a
+    /// [`CachedDetector`], so repeated masked evaluations of the same
+    /// clean image reuse the memoized backbone field.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ModelZoo::model`].
+    pub fn cached_model(&self, architecture: Architecture, seed: u64) -> Box<dyn Detector> {
+        match architecture {
+            Architecture::Yolo => Box::new(CachedDetector::new(YoloDetector::new(YoloConfig {
+                seed,
+                ..self.yolo_base
+            }))),
+            Architecture::Detr => Box::new(CachedDetector::new(
+                DetrDetector::new(DetrConfig { seed, ..self.detr_base })
+                    .expect("base DETR configuration must be valid"),
+            )),
+            Architecture::TwoStage => Box::new(CachedDetector::new(TwoStageDetector::new(
+                TwoStageConfig { seed, ..self.two_stage_base },
+            ))),
+        }
+    }
+
+    /// Builds cached models (see [`ModelZoo::cached_model`]) for a seed
+    /// range.
+    pub fn cached_models(
+        &self,
+        architecture: Architecture,
+        seeds: RangeInclusive<u64>,
+    ) -> Vec<Box<dyn Detector>> {
+        seeds.map(|s| self.cached_model(architecture, s)).collect()
+    }
+
     /// Builds the models for a seed range.
     pub fn models(
         &self,
@@ -212,6 +246,24 @@ mod tests {
         assert_eq!(Architecture::TwoStage.to_string(), "R-CNN");
         assert_eq!(Architecture::ALL.len(), 2, "the paper compares two patterns");
         assert_eq!(Architecture::EXTENDED.len(), 3);
+    }
+
+    #[test]
+    fn cached_models_agree_with_plain_models() {
+        let zoo = ModelZoo::with_defaults();
+        let img = SyntheticKitti::smoke_set().image(0);
+        let mut mask = bea_image::FilterMask::zeros(img.width(), img.height());
+        mask.set(0, 4, 4, 60);
+        for arch in Architecture::EXTENDED {
+            let plain = zoo.model(arch, 2);
+            let cached = zoo.cached_model(arch, 2);
+            assert_eq!(plain.name(), cached.name());
+            assert_eq!(plain.detect(&img), cached.detect(&img));
+            assert_eq!(plain.detect_masked(&img, &mask), cached.detect_masked(&img, &mask));
+            assert!(plain.cache_stats().is_none());
+            assert!(cached.cache_stats().is_some());
+        }
+        assert_eq!(zoo.cached_models(Architecture::Yolo, 1..=3).len(), 3);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! 2-D convolution over feature maps.
 
+use crate::dirty::DirtyRect;
 use crate::error::{Result, TensorError};
 use crate::init::WeightInit;
 use crate::tensor3::FeatureMap;
@@ -173,40 +174,97 @@ impl Conv2d {
         }
         let (out_h, out_w) = self.output_size(in_h, in_w);
         let mut out = FeatureMap::zeros(self.out_channels, out_h, out_w);
+        self.fill_window(input, &mut out, &DirtyRect::full(out_w, out_h));
+        Ok(out)
+    }
+
+    /// One output activation: the shared per-cell kernel of the full and
+    /// the incremental path, so both produce bit-identical results (same
+    /// accumulation order).
+    #[inline]
+    fn cell(&self, input: &FeatureMap, oc: usize, oy: usize, ox: usize) -> f32 {
+        let (in_h, in_w) = (input.height(), input.width());
         let kernel_volume = self.in_channels * self.kernel_h * self.kernel_w;
-        for oc in 0..self.out_channels {
-            let w_base = oc * kernel_volume;
-            for oy in 0..out_h {
-                for ox in 0..out_w {
-                    let mut acc = self.bias[oc];
-                    // Top-left corner of the receptive field in padded coords.
-                    let y0 = oy * self.stride;
-                    let x0 = ox * self.stride;
-                    for ic in 0..self.in_channels {
-                        for ky in 0..self.kernel_h {
-                            let iy = y0 + ky;
-                            if iy < self.padding || iy >= in_h + self.padding {
-                                continue;
-                            }
-                            let iy = iy - self.padding;
-                            for kx in 0..self.kernel_w {
-                                let ix = x0 + kx;
-                                if ix < self.padding || ix >= in_w + self.padding {
-                                    continue;
-                                }
-                                let ix = ix - self.padding;
-                                let w = self.weights[w_base
-                                    + (ic * self.kernel_h + ky) * self.kernel_w
-                                    + kx];
-                                acc += w * input.at(ic, iy, ix);
-                            }
-                        }
+        let w_base = oc * kernel_volume;
+        let mut acc = self.bias[oc];
+        // Top-left corner of the receptive field in padded coords.
+        let y0 = oy * self.stride;
+        let x0 = ox * self.stride;
+        for ic in 0..self.in_channels {
+            for ky in 0..self.kernel_h {
+                let iy = y0 + ky;
+                if iy < self.padding || iy >= in_h + self.padding {
+                    continue;
+                }
+                let iy = iy - self.padding;
+                for kx in 0..self.kernel_w {
+                    let ix = x0 + kx;
+                    if ix < self.padding || ix >= in_w + self.padding {
+                        continue;
                     }
-                    out.set(oc, oy, ox, acc);
+                    let ix = ix - self.padding;
+                    let w = self.weights
+                        [w_base + (ic * self.kernel_h + ky) * self.kernel_w + kx];
+                    acc += w * input.at(ic, iy, ix);
                 }
             }
         }
-        Ok(out)
+        acc
+    }
+
+    fn fill_window(&self, input: &FeatureMap, out: &mut FeatureMap, window: &DirtyRect) {
+        for oc in 0..self.out_channels {
+            for oy in window.y0..window.y1 {
+                for ox in window.x0..window.x1 {
+                    out.set(oc, oy, ox, self.cell(input, oc, oy, ox));
+                }
+            }
+        }
+    }
+
+    /// Patches a cached output in place, recomputing only the cells whose
+    /// receptive field intersects the dirty input region. Returns the
+    /// output-space dirty window (empty input dirt is a no-op).
+    ///
+    /// `cached` must hold this layer's output for the previous input; the
+    /// recomputed window is bit-identical to a full [`Self::forward`] of
+    /// `input` because both run the same per-cell kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the input fails the
+    /// [`Self::forward`] checks or `cached` has the wrong shape.
+    pub fn forward_incremental(
+        &self,
+        input: &FeatureMap,
+        cached: &mut FeatureMap,
+        dirty: &DirtyRect,
+    ) -> Result<DirtyRect> {
+        if input.channels() != self.in_channels {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d incremental",
+                lhs: vec![self.in_channels],
+                rhs: vec![input.channels()],
+            });
+        }
+        let (out_h, out_w) = self.output_size(input.height(), input.width());
+        if cached.shape() != (self.out_channels, out_h, out_w) {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d incremental (cached output shape)",
+                lhs: vec![self.out_channels, out_h, out_w],
+                rhs: vec![cached.channels(), cached.height(), cached.width()],
+            });
+        }
+        let window = dirty.conv_output_window(
+            self.kernel_h,
+            self.kernel_w,
+            self.stride,
+            self.padding,
+            out_h,
+            out_w,
+        );
+        self.fill_window(input, cached, &window);
+        Ok(window)
     }
 }
 
@@ -369,5 +427,59 @@ mod tests {
         let input = FeatureMap::zeros(1, 3, 3);
         let template = FeatureMap::zeros(1, 5, 5);
         assert!(matched_filter(&input, &template).is_err());
+    }
+
+    fn noisy_map(channels: usize, h: usize, w: usize, phase: f32) -> FeatureMap {
+        let mut map = FeatureMap::zeros(channels, h, w);
+        for (i, v) in map.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i as f32) * 0.173 + phase).sin() * 2.0;
+        }
+        map
+    }
+
+    #[test]
+    fn incremental_matches_full_forward_bitwise() {
+        for (stride, padding) in [(1, 0), (1, 1), (2, 0), (2, 1)] {
+            let mut init = WeightInit::from_seed(7);
+            let conv = Conv2d::seeded(3, 2, 3, 3, stride, padding, &mut init).unwrap();
+            let base = noisy_map(2, 12, 16, 0.0);
+            let mut perturbed = base.clone();
+            for y in 4..7 {
+                for x in 9..12 {
+                    perturbed.set(0, y, x, 5.0);
+                    perturbed.set(1, y, x, -5.0);
+                }
+            }
+            let mut cached = conv.forward(&base).unwrap();
+            let dirty = DirtyRect::new(9, 4, 12, 7);
+            let window = conv.forward_incremental(&perturbed, &mut cached, &dirty).unwrap();
+            assert!(!window.is_empty());
+            let full = conv.forward(&perturbed).unwrap();
+            assert_eq!(cached, full, "stride {stride} pad {padding}: patch must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn incremental_empty_dirt_is_noop() {
+        let mut init = WeightInit::from_seed(3);
+        let conv = Conv2d::seeded(1, 1, 3, 3, 1, 1, &mut init).unwrap();
+        let input = noisy_map(1, 8, 8, 1.0);
+        let mut cached = conv.forward(&input).unwrap();
+        let before = cached.clone();
+        let window =
+            conv.forward_incremental(&input, &mut cached, &DirtyRect::empty()).unwrap();
+        assert!(window.is_empty());
+        assert_eq!(cached, before);
+    }
+
+    #[test]
+    fn incremental_validates_cached_shape() {
+        let mut init = WeightInit::from_seed(3);
+        let conv = Conv2d::seeded(1, 1, 3, 3, 1, 0, &mut init).unwrap();
+        let input = noisy_map(1, 8, 8, 0.5);
+        let mut wrong = FeatureMap::zeros(1, 8, 8); // forward output is 6x6
+        assert!(conv
+            .forward_incremental(&input, &mut wrong, &DirtyRect::full(8, 8))
+            .is_err());
     }
 }

@@ -1,0 +1,324 @@
+//! Dirty-region bookkeeping for incremental inference.
+//!
+//! The butterfly effect attack evaluates thousands of masks against the
+//! *same* clean image, and each mask touches only a small window of
+//! pixels. Convolutions, pooling, and elementwise layers are local: an
+//! output cell depends only on its receptive field. [`DirtyRect`] tracks
+//! the half-open bounding box of changed pixels and maps it through a
+//! layer's geometry, so a cached clean activation can be patched by
+//! recomputing only the affected window instead of the full plane.
+//!
+//! The expansion rules are conservative (never shrink below the true
+//! affected set) and clamp to the layer's output bounds, so composing
+//! them across a stack of layers yields a valid dirty window at every
+//! depth. Global layers (attention, softmax over the full plane) have no
+//! finite expansion — callers detect that case and fall back to a full
+//! forward pass (see `bea-detect`'s `CachedDetector`).
+
+/// A half-open rectangle `[x0, x1) × [y0, y1)` of changed cells.
+///
+/// # Examples
+///
+/// ```
+/// use bea_tensor::DirtyRect;
+///
+/// let dirty = DirtyRect::new(4, 2, 10, 8);
+/// assert_eq!(dirty.width(), 6);
+/// assert_eq!(dirty.height(), 6);
+/// // A 3x3 stride-1 convolution widens the affected window by the
+/// // kernel's overlap on every side (clamped to the output plane).
+/// let out = dirty.conv_output_window(3, 3, 1, 0, 14, 14);
+/// assert_eq!((out.x0, out.y0, out.x1, out.y1), (2, 0, 10, 8));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DirtyRect {
+    /// Leftmost dirty column (inclusive).
+    pub x0: usize,
+    /// Topmost dirty row (inclusive).
+    pub y0: usize,
+    /// One past the rightmost dirty column (exclusive).
+    pub x1: usize,
+    /// One past the bottommost dirty row (exclusive).
+    pub y1: usize,
+}
+
+impl DirtyRect {
+    /// Builds a rectangle from half-open bounds.
+    pub fn new(x0: usize, y0: usize, x1: usize, y1: usize) -> Self {
+        Self { x0, y0, x1, y1 }
+    }
+
+    /// The empty rectangle (nothing dirty).
+    pub fn empty() -> Self {
+        Self { x0: 0, y0: 0, x1: 0, y1: 0 }
+    }
+
+    /// The full plane `[0, w) × [0, h)` (everything dirty).
+    pub fn full(width: usize, height: usize) -> Self {
+        Self { x0: 0, y0: 0, x1: width, y1: height }
+    }
+
+    /// A single-cell rectangle.
+    pub fn from_point(x: usize, y: usize) -> Self {
+        Self { x0: x, y0: y, x1: x + 1, y1: y + 1 }
+    }
+
+    /// `true` when the rectangle contains no cells.
+    pub fn is_empty(&self) -> bool {
+        self.x0 >= self.x1 || self.y0 >= self.y1
+    }
+
+    /// Number of dirty columns.
+    pub fn width(&self) -> usize {
+        self.x1.saturating_sub(self.x0)
+    }
+
+    /// Number of dirty rows.
+    pub fn height(&self) -> usize {
+        self.y1.saturating_sub(self.y0)
+    }
+
+    /// Number of dirty cells.
+    pub fn area(&self) -> usize {
+        self.width() * self.height()
+    }
+
+    /// `true` when the cell `(x, y)` lies inside the rectangle.
+    pub fn contains(&self, x: usize, y: usize) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+
+    /// `true` when `self` covers all of `other`.
+    pub fn covers(&self, other: &DirtyRect) -> bool {
+        other.is_empty()
+            || (self.x0 <= other.x0
+                && self.y0 <= other.y0
+                && self.x1 >= other.x1
+                && self.y1 >= other.y1)
+    }
+
+    /// The smallest rectangle containing both operands.
+    pub fn union(&self, other: &DirtyRect) -> DirtyRect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        DirtyRect {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+
+    /// The overlap of both operands (empty when disjoint).
+    pub fn intersect(&self, other: &DirtyRect) -> DirtyRect {
+        let rect = DirtyRect {
+            x0: self.x0.max(other.x0),
+            y0: self.y0.max(other.y0),
+            x1: self.x1.min(other.x1),
+            y1: self.y1.min(other.y1),
+        };
+        if rect.is_empty() {
+            DirtyRect::empty()
+        } else {
+            rect
+        }
+    }
+
+    /// Grows the rectangle by `margin` cells on every side, clamping at
+    /// zero on the low side (callers clamp the high side via [`Self::clamp`]).
+    pub fn expand(&self, margin: usize) -> DirtyRect {
+        if self.is_empty() {
+            return DirtyRect::empty();
+        }
+        DirtyRect {
+            x0: self.x0.saturating_sub(margin),
+            y0: self.y0.saturating_sub(margin),
+            x1: self.x1 + margin,
+            y1: self.y1 + margin,
+        }
+    }
+
+    /// Clamps the rectangle to the plane `[0, w) × [0, h)`.
+    pub fn clamp(&self, width: usize, height: usize) -> DirtyRect {
+        let rect = DirtyRect {
+            x0: self.x0.min(width),
+            y0: self.y0.min(height),
+            x1: self.x1.min(width),
+            y1: self.y1.min(height),
+        };
+        if rect.is_empty() {
+            DirtyRect::empty()
+        } else {
+            rect
+        }
+    }
+
+    /// Maps the rectangle through an integer downscale by `factor`
+    /// (block-averaging style: input cell `(x, y)` feeds output cell
+    /// `(x / factor, y / factor)`).
+    pub fn downscaled(&self, factor: usize) -> DirtyRect {
+        if self.is_empty() || factor == 0 {
+            return DirtyRect::empty();
+        }
+        DirtyRect {
+            x0: self.x0 / factor,
+            y0: self.y0 / factor,
+            x1: self.x1.div_ceil(factor),
+            y1: self.y1.div_ceil(factor),
+        }
+    }
+
+    /// Output cells of a convolution-like layer whose receptive field
+    /// intersects this (input-space) rectangle.
+    ///
+    /// Output cell `o` along one axis covers padded-input coordinates
+    /// `[o·stride − padding, o·stride − padding + kernel)`; the window is
+    /// the set of `o` for which that interval meets the dirty span,
+    /// clamped to `[0, out)`. Works for pooling too (`padding = 0`,
+    /// `kernel = window`).
+    pub fn conv_output_window(
+        &self,
+        kernel_h: usize,
+        kernel_w: usize,
+        stride: usize,
+        padding: usize,
+        out_h: usize,
+        out_w: usize,
+    ) -> DirtyRect {
+        if self.is_empty() || stride == 0 {
+            return DirtyRect::empty();
+        }
+        let axis = |d0: usize, d1: usize, kernel: usize, out: usize| -> (usize, usize) {
+            // o·s − p + k > d0  ⇒  o > (d0 + p − k) / s  ⇒
+            // o_min = ceil((d0 + p + 1 − k) / s) (0 when the numerator
+            // is negative).
+            let lo = (d0 + padding + 1).saturating_sub(kernel);
+            let o_min = lo.div_ceil(stride);
+            // o·s − p < d1  ⇒  o ≤ (d1 − 1 + p) / s.
+            let o_max = (d1 - 1 + padding) / stride;
+            (o_min.min(out), (o_max + 1).min(out))
+        };
+        let (oy0, oy1) = axis(self.y0, self.y1, kernel_h, out_h);
+        let (ox0, ox1) = axis(self.x0, self.x1, kernel_w, out_w);
+        let rect = DirtyRect { x0: ox0, y0: oy0, x1: ox1, y1: oy1 };
+        if rect.is_empty() {
+            DirtyRect::empty()
+        } else {
+            rect
+        }
+    }
+
+    /// Input cells a convolution-like layer reads to produce this
+    /// (output-space) rectangle: the union of the receptive fields,
+    /// clamped to the unpadded input plane.
+    pub fn conv_input_support(
+        &self,
+        kernel_h: usize,
+        kernel_w: usize,
+        stride: usize,
+        padding: usize,
+        in_h: usize,
+        in_w: usize,
+    ) -> DirtyRect {
+        if self.is_empty() {
+            return DirtyRect::empty();
+        }
+        let x0 = (self.x0 * stride).saturating_sub(padding);
+        let y0 = (self.y0 * stride).saturating_sub(padding);
+        let x1 = ((self.x1 - 1) * stride + kernel_w).saturating_sub(padding);
+        let y1 = ((self.y1 - 1) * stride + kernel_h).saturating_sub(padding);
+        DirtyRect { x0, y0, x1, y1 }.clamp(in_w, in_h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_union_is_identity() {
+        let rect = DirtyRect::new(2, 3, 5, 7);
+        assert_eq!(rect.union(&DirtyRect::empty()), rect);
+        assert_eq!(DirtyRect::empty().union(&rect), rect);
+    }
+
+    #[test]
+    fn union_bounds_both() {
+        let a = DirtyRect::new(0, 0, 2, 2);
+        let b = DirtyRect::new(5, 5, 7, 9);
+        let u = a.union(&b);
+        assert!(u.covers(&a) && u.covers(&b));
+        assert_eq!(u, DirtyRect::new(0, 0, 7, 9));
+    }
+
+    #[test]
+    fn disjoint_intersection_is_empty() {
+        let a = DirtyRect::new(0, 0, 2, 2);
+        let b = DirtyRect::new(5, 5, 7, 9);
+        assert!(a.intersect(&b).is_empty());
+        assert_eq!(a.intersect(&a), a);
+    }
+
+    #[test]
+    fn clamp_limits_to_plane() {
+        let rect = DirtyRect::new(3, 1, 40, 50).clamp(10, 8);
+        assert_eq!(rect, DirtyRect::new(3, 1, 10, 8));
+        assert!(DirtyRect::new(12, 0, 20, 4).clamp(10, 8).is_empty());
+    }
+
+    #[test]
+    fn downscale_rounds_outward() {
+        let rect = DirtyRect::new(3, 5, 7, 9).downscaled(2);
+        assert_eq!(rect, DirtyRect::new(1, 2, 4, 5));
+        assert!(DirtyRect::empty().downscaled(2).is_empty());
+    }
+
+    #[test]
+    fn identity_conv_window_is_identity() {
+        let rect = DirtyRect::new(3, 2, 6, 5);
+        assert_eq!(rect.conv_output_window(1, 1, 1, 0, 10, 10), rect);
+    }
+
+    #[test]
+    fn conv_window_expands_by_kernel_overlap() {
+        // 3x3 stride-1 no-padding conv on a 10x10 input → 8x8 output.
+        // Input cell (4, 4) feeds outputs (2..5, 2..5).
+        let rect = DirtyRect::from_point(4, 4).conv_output_window(3, 3, 1, 0, 8, 8);
+        assert_eq!(rect, DirtyRect::new(2, 2, 5, 5));
+    }
+
+    #[test]
+    fn conv_window_respects_stride() {
+        // 2x2 stride-2 pooling: input cell (5, 5) feeds only output (2, 2).
+        let rect = DirtyRect::from_point(5, 5).conv_output_window(2, 2, 2, 0, 4, 4);
+        assert_eq!(rect, DirtyRect::new(2, 2, 3, 3));
+    }
+
+    #[test]
+    fn conv_window_clamps_at_borders() {
+        let rect = DirtyRect::from_point(0, 0).conv_output_window(3, 3, 1, 0, 8, 8);
+        assert_eq!(rect, DirtyRect::new(0, 0, 1, 1));
+        let rect = DirtyRect::from_point(9, 9).conv_output_window(3, 3, 1, 0, 8, 8);
+        assert_eq!(rect, DirtyRect::new(7, 7, 8, 8));
+    }
+
+    #[test]
+    fn conv_window_accounts_for_padding() {
+        // 3x3 stride-1 pad-1 conv keeps the plane size; cell (0, 0)
+        // feeds outputs (0..2, 0..2).
+        let rect = DirtyRect::from_point(0, 0).conv_output_window(3, 3, 1, 1, 10, 10);
+        assert_eq!(rect, DirtyRect::new(0, 0, 2, 2));
+    }
+
+    #[test]
+    fn input_support_round_trips_through_output_window() {
+        let dirty = DirtyRect::new(4, 4, 6, 6);
+        let out = dirty.conv_output_window(3, 3, 1, 0, 8, 8);
+        let support = out.conv_input_support(3, 3, 1, 0, 10, 10);
+        assert!(support.covers(&dirty), "support {support:?} must cover {dirty:?}");
+    }
+}

@@ -37,6 +37,7 @@
 pub mod activation;
 pub mod attention;
 pub mod conv;
+pub mod dirty;
 pub mod error;
 pub mod init;
 pub mod linear;
@@ -48,6 +49,7 @@ pub mod tensor3;
 
 pub use attention::MultiHeadAttention;
 pub use conv::Conv2d;
+pub use dirty::DirtyRect;
 pub use error::{Result, TensorError};
 pub use init::WeightInit;
 pub use linear::{LayerNorm, Linear};

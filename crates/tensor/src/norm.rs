@@ -1,8 +1,13 @@
-//! Vector norms used by the attack objectives.
+//! Vector norms used by the attack objectives, plus the inference-time
+//! channel normalisation layer.
 //!
 //! The paper's `obj_intensity(δ) := ‖δ‖₂` (Section III-B) is computed with
 //! [`l2`]; [`l1`] and [`linf`] are provided because the paper notes "one can
 //! use different types of norms such as L1, L2 or L∞".
+
+use crate::dirty::DirtyRect;
+use crate::error::{Result, TensorError};
+use crate::tensor3::FeatureMap;
 
 /// L1 norm (sum of absolute values).
 ///
@@ -73,6 +78,139 @@ impl std::fmt::Display for NormKind {
     }
 }
 
+/// Inference-time per-channel normalisation with *frozen* statistics
+/// (batch-norm folded for inference): `y = γ · (x − μ) / √(σ² + ε) + β`.
+///
+/// Because the statistics are fixed, the layer is elementwise and thus
+/// local — a dirty region passes through unchanged, which makes the
+/// incremental path trivial and bit-identical.
+///
+/// # Examples
+///
+/// ```
+/// use bea_tensor::norm::ChannelNorm;
+/// use bea_tensor::FeatureMap;
+///
+/// # fn main() -> Result<(), bea_tensor::TensorError> {
+/// let norm = ChannelNorm::new(vec![2.0], vec![1.0], vec![0.0], vec![1.0])?;
+/// let input = FeatureMap::filled(1, 2, 2, 3.0);
+/// let out = norm.forward(&input)?;
+/// assert!((out.at(0, 0, 0) - 7.0).abs() < 1e-3); // 2·3 + 1 (ε keeps it shy of exact)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelNorm {
+    gamma: Vec<f32>,
+    beta: Vec<f32>,
+    mean: Vec<f32>,
+    var: Vec<f32>,
+    eps: f32,
+}
+
+impl ChannelNorm {
+    /// Builds the layer from per-channel scale, shift, and frozen
+    /// statistics (all four must have the same length).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when the buffers disagree
+    /// and [`TensorError::EmptyShape`] for zero channels.
+    pub fn new(gamma: Vec<f32>, beta: Vec<f32>, mean: Vec<f32>, var: Vec<f32>) -> Result<Self> {
+        if gamma.is_empty() {
+            return Err(TensorError::EmptyShape { op: "channel_norm" });
+        }
+        for buf in [&beta, &mean, &var] {
+            if buf.len() != gamma.len() {
+                return Err(TensorError::LengthMismatch {
+                    expected: gamma.len(),
+                    actual: buf.len(),
+                });
+            }
+        }
+        Ok(Self { gamma, beta, mean, var, eps: 1e-5 })
+    }
+
+    /// The identity normalisation over `channels` channels (γ = 1, β = 0,
+    /// μ = 0, σ² = 1).
+    pub fn identity(channels: usize) -> Result<Self> {
+        Self::new(vec![1.0; channels], vec![0.0; channels], vec![0.0; channels], vec![
+            1.0;
+            channels
+        ])
+    }
+
+    /// Number of channels the layer expects.
+    pub fn channels(&self) -> usize {
+        self.gamma.len()
+    }
+
+    #[inline]
+    fn apply(&self, c: usize, v: f32) -> f32 {
+        self.gamma[c] * (v - self.mean[c]) / (self.var[c] + self.eps).sqrt() + self.beta[c]
+    }
+
+    /// Normalises every channel with its frozen statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on a channel-count mismatch.
+    pub fn forward(&self, input: &FeatureMap) -> Result<FeatureMap> {
+        self.check_channels(input)?;
+        let mut out = input.clone();
+        for c in 0..input.channels() {
+            for v in out.channel_mut(c) {
+                *v = self.apply(c, *v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Patches a cached output in place over the dirty window only.
+    /// Elementwise ⇒ the dirty region passes through unchanged, and the
+    /// recomputed cells are bit-identical to [`Self::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on a channel-count mismatch
+    /// or when `cached` differs in shape from `input`.
+    pub fn forward_incremental(
+        &self,
+        input: &FeatureMap,
+        cached: &mut FeatureMap,
+        dirty: &DirtyRect,
+    ) -> Result<DirtyRect> {
+        self.check_channels(input)?;
+        if cached.shape() != input.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "channel_norm incremental (cached output shape)",
+                lhs: vec![input.channels(), input.height(), input.width()],
+                rhs: vec![cached.channels(), cached.height(), cached.width()],
+            });
+        }
+        let window = dirty.clamp(input.width(), input.height());
+        for c in 0..input.channels() {
+            for y in window.y0..window.y1 {
+                for x in window.x0..window.x1 {
+                    cached.set(c, y, x, self.apply(c, input.at(c, y, x)));
+                }
+            }
+        }
+        Ok(window)
+    }
+
+    fn check_channels(&self, input: &FeatureMap) -> Result<()> {
+        if input.channels() != self.channels() {
+            return Err(TensorError::ShapeMismatch {
+                op: "channel_norm",
+                lhs: vec![self.channels()],
+                rhs: vec![input.channels()],
+            });
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +257,55 @@ mod tests {
     fn display_names() {
         assert_eq!(NormKind::L2.to_string(), "L2");
         assert_eq!(NormKind::default(), NormKind::L2);
+    }
+
+    #[test]
+    fn channel_norm_standardises() {
+        let norm = ChannelNorm::new(vec![1.0], vec![0.0], vec![2.0], vec![4.0]).unwrap();
+        let input = FeatureMap::filled(1, 2, 2, 6.0);
+        let out = norm.forward(&input).unwrap();
+        // (6 − 2) / √(4 + ε) ≈ 2.
+        assert!((out.at(0, 0, 0) - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn channel_norm_identity_is_near_noop() {
+        let norm = ChannelNorm::identity(2).unwrap();
+        let input = FeatureMap::filled(2, 3, 3, 5.0);
+        let out = norm.forward(&input).unwrap();
+        for &v in out.as_slice() {
+            assert!((v - 5.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn channel_norm_incremental_matches_full() {
+        let norm = ChannelNorm::new(vec![1.5, -0.5], vec![0.1, 0.2], vec![1.0, 2.0], vec![
+            2.0, 0.5,
+        ])
+        .unwrap();
+        let mut base = FeatureMap::zeros(2, 6, 8);
+        for (i, v) in base.as_mut_slice().iter_mut().enumerate() {
+            *v = (i as f32 * 0.37).sin() * 3.0;
+        }
+        let mut perturbed = base.clone();
+        perturbed.set(0, 2, 3, 9.0);
+        perturbed.set(1, 3, 4, -7.0);
+        let mut cached = norm.forward(&base).unwrap();
+        let dirty = DirtyRect::new(3, 2, 5, 4);
+        let window = norm.forward_incremental(&perturbed, &mut cached, &dirty).unwrap();
+        assert_eq!(window, dirty);
+        assert_eq!(cached, norm.forward(&perturbed).unwrap(), "bit-identical patch");
+    }
+
+    #[test]
+    fn channel_norm_validates_shapes() {
+        assert!(ChannelNorm::new(vec![1.0], vec![0.0, 0.0], vec![0.0], vec![1.0]).is_err());
+        assert!(ChannelNorm::new(Vec::new(), Vec::new(), Vec::new(), Vec::new()).is_err());
+        let norm = ChannelNorm::identity(1).unwrap();
+        assert!(norm.forward(&FeatureMap::zeros(3, 2, 2)).is_err());
+        let mut wrong = FeatureMap::zeros(1, 3, 3);
+        let input = FeatureMap::zeros(1, 2, 2);
+        assert!(norm.forward_incremental(&input, &mut wrong, &DirtyRect::full(2, 2)).is_err());
     }
 }

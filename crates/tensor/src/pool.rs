@@ -1,5 +1,6 @@
 //! Spatial pooling layers.
 
+use crate::dirty::DirtyRect;
 use crate::error::{Result, TensorError};
 use crate::tensor3::FeatureMap;
 
@@ -67,6 +68,33 @@ impl MaxPool2d {
     pub fn forward(&self, input: &FeatureMap) -> Result<FeatureMap> {
         pool_forward(input, self.window, self.stride, |acc, v| acc.max(v), f32::NEG_INFINITY, None)
     }
+
+    /// Patches a cached output in place, recomputing only the cells whose
+    /// pooling window intersects the dirty input region. Returns the
+    /// output-space dirty window. Bit-identical to [`Self::forward`] on
+    /// the recomputed cells (same reduction order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the input is smaller than
+    /// the window or `cached` has the wrong shape.
+    pub fn forward_incremental(
+        &self,
+        input: &FeatureMap,
+        cached: &mut FeatureMap,
+        dirty: &DirtyRect,
+    ) -> Result<DirtyRect> {
+        pool_incremental(
+            input,
+            cached,
+            dirty,
+            self.window,
+            self.stride,
+            |acc, v| acc.max(v),
+            f32::NEG_INFINITY,
+            None,
+        )
+    }
 }
 
 /// Average pooling over strided windows.
@@ -119,6 +147,61 @@ impl AvgPool2d {
         let divisor = (self.window * self.window) as f32;
         pool_forward(input, self.window, self.stride, |acc, v| acc + v, 0.0, Some(divisor))
     }
+
+    /// Patches a cached output in place, recomputing only the cells whose
+    /// pooling window intersects the dirty input region. Returns the
+    /// output-space dirty window. Bit-identical to [`Self::forward`] on
+    /// the recomputed cells (same reduction order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the input is smaller than
+    /// the window or `cached` has the wrong shape.
+    pub fn forward_incremental(
+        &self,
+        input: &FeatureMap,
+        cached: &mut FeatureMap,
+        dirty: &DirtyRect,
+    ) -> Result<DirtyRect> {
+        let divisor = (self.window * self.window) as f32;
+        pool_incremental(
+            input,
+            cached,
+            dirty,
+            self.window,
+            self.stride,
+            |acc, v| acc + v,
+            0.0,
+            Some(divisor),
+        )
+    }
+}
+
+/// One pooled output cell: the shared kernel of the full and the
+/// incremental path (identical reduction order → bit-identical results).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn pool_cell<F: Fn(f32, f32) -> f32>(
+    input: &FeatureMap,
+    c: usize,
+    oy: usize,
+    ox: usize,
+    window: usize,
+    stride: usize,
+    reduce: &F,
+    init: f32,
+    divisor: Option<f32>,
+) -> f32 {
+    let mut acc = init;
+    for wy in 0..window {
+        for wx in 0..window {
+            acc = reduce(acc, input.at(c, oy * stride + wy, ox * stride + wx));
+        }
+    }
+    if let Some(d) = divisor {
+        acc /= d;
+    }
+    acc
 }
 
 fn pool_forward<F: Fn(f32, f32) -> f32>(
@@ -143,20 +226,50 @@ fn pool_forward<F: Fn(f32, f32) -> f32>(
     for c in 0..input.channels() {
         for oy in 0..out_h {
             for ox in 0..out_w {
-                let mut acc = init;
-                for wy in 0..window {
-                    for wx in 0..window {
-                        acc = reduce(acc, input.at(c, oy * stride + wy, ox * stride + wx));
-                    }
-                }
-                if let Some(d) = divisor {
-                    acc /= d;
-                }
-                out.set(c, oy, ox, acc);
+                out.set(c, oy, ox, pool_cell(input, c, oy, ox, window, stride, &reduce, init, divisor));
             }
         }
     }
     Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pool_incremental<F: Fn(f32, f32) -> f32>(
+    input: &FeatureMap,
+    cached: &mut FeatureMap,
+    dirty: &DirtyRect,
+    window: usize,
+    stride: usize,
+    reduce: F,
+    init: f32,
+    divisor: Option<f32>,
+) -> Result<DirtyRect> {
+    let (in_h, in_w) = (input.height(), input.width());
+    if in_h < window || in_w < window {
+        return Err(TensorError::ShapeMismatch {
+            op: "pool incremental (input smaller than window)",
+            lhs: vec![in_h, in_w],
+            rhs: vec![window, window],
+        });
+    }
+    let out_h = (in_h - window) / stride + 1;
+    let out_w = (in_w - window) / stride + 1;
+    if cached.shape() != (input.channels(), out_h, out_w) {
+        return Err(TensorError::ShapeMismatch {
+            op: "pool incremental (cached output shape)",
+            lhs: vec![input.channels(), out_h, out_w],
+            rhs: vec![cached.channels(), cached.height(), cached.width()],
+        });
+    }
+    let out_window = dirty.conv_output_window(window, window, stride, 0, out_h, out_w);
+    for c in 0..input.channels() {
+        for oy in out_window.y0..out_window.y1 {
+            for ox in out_window.x0..out_window.x1 {
+                cached.set(c, oy, ox, pool_cell(input, c, oy, ox, window, stride, &reduce, init, divisor));
+            }
+        }
+    }
+    Ok(out_window)
 }
 
 /// Global average pooling: one value per channel.
@@ -226,5 +339,42 @@ mod tests {
         input.channel_mut(0).fill(2.0);
         input.channel_mut(1).fill(6.0);
         assert_eq!(global_avg_pool(&input), vec![2.0, 6.0]);
+    }
+
+    fn noisy_map(channels: usize, h: usize, w: usize) -> FeatureMap {
+        let mut map = FeatureMap::zeros(channels, h, w);
+        for (i, v) in map.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i as f32) * 0.311).cos() * 4.0;
+        }
+        map
+    }
+
+    #[test]
+    fn incremental_pools_match_full_forward_bitwise() {
+        for (window, stride) in [(2, 2), (2, 1), (3, 2)] {
+            let max_pool = MaxPool2d::new(window, stride).unwrap();
+            let avg_pool = AvgPool2d::new(window, stride).unwrap();
+            let base = noisy_map(2, 10, 14);
+            let mut perturbed = base.clone();
+            perturbed.set(0, 3, 8, 50.0);
+            perturbed.set(1, 4, 9, -50.0);
+            let dirty = DirtyRect::new(8, 3, 10, 5);
+
+            let mut cached = max_pool.forward(&base).unwrap();
+            max_pool.forward_incremental(&perturbed, &mut cached, &dirty).unwrap();
+            assert_eq!(cached, max_pool.forward(&perturbed).unwrap(), "max {window}/{stride}");
+
+            let mut cached = avg_pool.forward(&base).unwrap();
+            avg_pool.forward_incremental(&perturbed, &mut cached, &dirty).unwrap();
+            assert_eq!(cached, avg_pool.forward(&perturbed).unwrap(), "avg {window}/{stride}");
+        }
+    }
+
+    #[test]
+    fn incremental_validates_cached_shape() {
+        let pool = MaxPool2d::new(2, 2).unwrap();
+        let input = noisy_map(1, 8, 8);
+        let mut wrong = FeatureMap::zeros(1, 8, 8); // forward output is 4x4
+        assert!(pool.forward_incremental(&input, &mut wrong, &DirtyRect::full(8, 8)).is_err());
     }
 }

@@ -172,6 +172,38 @@ impl FeatureMap {
         }
     }
 
+    /// Patches this map over `window` with `f(src)` applied elementwise —
+    /// the incremental variant of [`Self::map`] for activation layers:
+    /// elementwise ops are local, so the dirty region passes through
+    /// unchanged and the recomputed cells equal a full `src.map(f)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `src` differs in shape.
+    pub fn patch_map_from<F: Fn(f32) -> f32>(
+        &mut self,
+        src: &FeatureMap,
+        window: &crate::dirty::DirtyRect,
+        f: F,
+    ) -> Result<()> {
+        if self.shape() != src.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "patch_map_from",
+                lhs: vec![self.channels, self.height, self.width],
+                rhs: vec![src.channels, src.height, src.width],
+            });
+        }
+        let window = window.clamp(self.width, self.height);
+        for c in 0..self.channels {
+            for y in window.y0..window.y1 {
+                for x in window.x0..window.x1 {
+                    self.set(c, y, x, f(src.at(c, y, x)));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Element-wise sum.
     ///
     /// # Errors

@@ -2,12 +2,48 @@
 
 use bea_tensor::activation::{softmax, softmax_rows_inplace};
 use bea_tensor::norm::{l1, l2, linf};
-use bea_tensor::{Conv2d, FeatureMap, Matrix, WeightInit};
+use bea_tensor::{Conv2d, DirtyRect, FeatureMap, Matrix, WeightInit};
 use proptest::prelude::*;
 
 fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-10.0f32..10.0, rows * cols)
         .prop_map(move |v| Matrix::from_vec(rows, cols, v).expect("length matches"))
+}
+
+/// A non-empty rectangle inside a `dim × dim`-bounded plane, generated as
+/// `(x0, y0, width, height)` so it is valid by construction.
+fn arb_rect(dim: usize) -> impl Strategy<Value = DirtyRect> {
+    (0..dim, 0..dim, 1..=dim, 1..=dim).prop_map(move |(x0, y0, w, h)| {
+        DirtyRect::new(x0, y0, (x0 + w).min(dim), (y0 + h).min(dim))
+    })
+}
+
+/// The exact set of output cells of a conv-like layer whose receptive
+/// field meets `dirty`, by brute force over the output plane.
+fn brute_force_affected(
+    dirty: &DirtyRect,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    out_h: usize,
+    out_w: usize,
+) -> Vec<(usize, usize)> {
+    let mut affected = Vec::new();
+    for oy in 0..out_h {
+        for ox in 0..out_w {
+            // Output cell `o` reads unpadded coords [o·s − p, o·s − p + k).
+            let y_lo = (oy * stride).saturating_sub(padding);
+            let y_hi = (oy * stride + kernel).saturating_sub(padding);
+            let x_lo = (ox * stride).saturating_sub(padding);
+            let x_hi = (ox * stride + kernel).saturating_sub(padding);
+            let meets_y = y_lo < dirty.y1 && y_hi > dirty.y0;
+            let meets_x = x_lo < dirty.x1 && x_hi > dirty.x0;
+            if meets_y && meets_x {
+                affected.push((ox, oy));
+            }
+        }
+    }
+    affected
 }
 
 proptest! {
@@ -120,5 +156,90 @@ proptest! {
         let tokens = map.to_token_matrix();
         let back = FeatureMap::from_token_matrix(&tokens, 3, 4).unwrap();
         prop_assert_eq!(back, map);
+    }
+
+    #[test]
+    fn dirty_expansion_never_shrinks(rect in arb_rect(32), margin in 0usize..8) {
+        // `expand` must cover the original rectangle and grow monotonically
+        // with the margin.
+        let expanded = rect.expand(margin);
+        prop_assert!(expanded.covers(&rect));
+        prop_assert!(expanded.area() >= rect.area());
+        prop_assert!(rect.expand(margin + 1).covers(&expanded));
+    }
+
+    #[test]
+    fn dirty_clamp_stays_in_bounds(rect in arb_rect(48), w in 1usize..48, h in 1usize..48) {
+        let clamped = rect.clamp(w, h);
+        prop_assert!(clamped.x1 <= w && clamped.y1 <= h);
+        // Clamping loses only out-of-bounds cells: the in-bounds part of
+        // the original survives intact.
+        prop_assert_eq!(clamped, rect.intersect(&DirtyRect::full(w, h)));
+    }
+
+    #[test]
+    fn conv_window_covers_every_affected_output_cell(
+        rect in arb_rect(20),
+        kernel in 1usize..=5,
+        stride in 1usize..=3,
+        padding in 0usize..=2,
+    ) {
+        let (in_h, in_w) = (20usize, 20usize);
+        let out_h = (in_h + 2 * padding - kernel) / stride + 1;
+        let out_w = (in_w + 2 * padding - kernel) / stride + 1;
+        let window = rect.conv_output_window(kernel, kernel, stride, padding, out_h, out_w);
+        prop_assert!(window.x1 <= out_w && window.y1 <= out_h, "window clamps to bounds");
+        for (ox, oy) in brute_force_affected(&rect, kernel, stride, padding, out_h, out_w) {
+            prop_assert!(
+                window.contains(ox, oy),
+                "missed affected output cell ({}, {}) for {:?} k{} s{} p{}",
+                ox, oy, rect, kernel, stride, padding
+            );
+        }
+    }
+
+    #[test]
+    fn conv_windows_compose_across_stacked_layers(
+        rect in arb_rect(24),
+        k1 in 1usize..=4,
+        k2 in 1usize..=4,
+        s1 in 1usize..=2,
+        s2 in 1usize..=2,
+    ) {
+        // Pushing the dirty rect through two stacked stride/kernel
+        // geometries must still cover every truly affected cell of the
+        // second layer's output — the invariant `CachedDetector` relies on
+        // when backbone stages are chained.
+        let (in_h, in_w) = (24usize, 24usize);
+        let mid_h = (in_h - k1) / s1 + 1;
+        let mid_w = (in_w - k1) / s1 + 1;
+        // 24-cell input with k1 ≤ 4, s1 ≤ 2 keeps mid ≥ 11 ≥ k2.
+        let out_h = (mid_h - k2) / s2 + 1;
+        let out_w = (mid_w - k2) / s2 + 1;
+        let w1 = rect.conv_output_window(k1, k1, s1, 0, mid_h, mid_w);
+        let w2 = w1.conv_output_window(k2, k2, s2, 0, out_h, out_w);
+        prop_assert!(w2.x1 <= out_w && w2.y1 <= out_h);
+        // Brute-force the truly affected set through both layers.
+        let mid_affected = brute_force_affected(&rect, k1, s1, 0, mid_h, mid_w);
+        for &(mx, my) in &mid_affected {
+            let cell = DirtyRect::from_point(mx, my);
+            for (ox, oy) in brute_force_affected(&cell, k2, s2, 0, out_h, out_w) {
+                prop_assert!(
+                    w2.contains(ox, oy),
+                    "stacked window missed ({}, {}) reachable from mid ({}, {})",
+                    ox, oy, mx, my
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn downscale_covers_every_source_cell(rect in arb_rect(40), factor in 1usize..=4) {
+        let down = rect.downscaled(factor);
+        for y in rect.y0..rect.y1 {
+            for x in rect.x0..rect.x1 {
+                prop_assert!(down.contains(x / factor, y / factor));
+            }
+        }
     }
 }

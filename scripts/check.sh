@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Repo-wide check: lints clean at -D warnings, full test suite green.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test -q --workspace

@@ -1,0 +1,179 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace-local
+//! shim provides the subset the bench harnesses use: [`Criterion`] with
+//! `bench_function` / `sample_size`, [`Bencher::iter`], [`black_box`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros (both the plain
+//! and the `name = …; config = …; targets = …` forms).
+//!
+//! Measurement is deliberately simple: per sample the routine runs in a
+//! timed batch, and the harness reports the minimum, median, and maximum
+//! per-iteration wall time over the samples. No statistical regression
+//! machinery, no HTML reports — enough to compare cached vs uncached hot
+//! paths within one run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `use std::hint::black_box` and `criterion::black_box`
+/// behave identically.
+pub use std::hint::black_box;
+
+/// Target wall time per benchmark sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(60);
+
+/// The bench harness entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibration pass: how many iterations fit in the sample budget?
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        let batch =
+            (SAMPLE_TARGET.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut per_iter_nanos: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher { iters: batch, elapsed: Duration::ZERO };
+            f(&mut bencher);
+            per_iter_nanos.push(bencher.elapsed.as_nanos() as f64 / batch as f64);
+        }
+        per_iter_nanos.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = per_iter_nanos[per_iter_nanos.len() / 2];
+        println!(
+            "{id:<40} time: [{} {} {}]  ({} iters/sample, {} samples)",
+            format_nanos(per_iter_nanos[0]),
+            format_nanos(median),
+            format_nanos(*per_iter_nanos.last().expect("non-empty samples")),
+            batch,
+            self.sample_size,
+        );
+        self
+    }
+}
+
+/// Times the routine passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs the routine for the harness-chosen number of iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos >= 1e9 {
+        format!("{:.3} s", nanos / 1e9)
+    } else if nanos >= 1e6 {
+        format!("{:.3} ms", nanos / 1e6)
+    } else if nanos >= 1e3 {
+        format!("{:.3} µs", nanos / 1e3)
+    } else {
+        format!("{nanos:.1} ns")
+    }
+}
+
+/// Groups bench functions into one callable, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        Criterion::default().sample_size(2).bench_function("smoke/add", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(1 + 1)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    criterion_group!(plain_group, noop_bench);
+    criterion_group! {
+        name = named_group;
+        config = Criterion::default().sample_size(2);
+        targets = noop_bench
+    }
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("smoke/noop", |b| b.iter(|| black_box(0)));
+    }
+
+    #[test]
+    fn group_macros_compile_and_run() {
+        plain_group();
+        named_group();
+    }
+
+    #[test]
+    fn nanos_format_picks_unit() {
+        assert_eq!(format_nanos(12.0), "12.0 ns");
+        assert_eq!(format_nanos(1500.0), "1.500 µs");
+        assert_eq!(format_nanos(2.5e6), "2.500 ms");
+        assert_eq!(format_nanos(3.2e9), "3.200 s");
+    }
+}

@@ -1,0 +1,74 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no registry access; the workspace only uses
+//! `crossbeam::thread::scope` + `Scope::spawn`, which `std::thread::scope`
+//! (Rust 1.63+) covers directly. This shim adapts the crossbeam call shape
+//! (closure receives a scope handle argument, `scope` returns a `Result`)
+//! to the std implementation.
+//!
+//! Divergence from upstream: a panicking worker propagates the panic out of
+//! [`thread::scope`] instead of returning `Err`. Call sites in this
+//! workspace immediately `.expect()` the result, so the failure behaviour
+//! is identical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped threads.
+pub mod thread {
+    /// A handle for spawning scoped threads, wrapping [`std::thread::Scope`].
+    #[derive(Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. The closure receives a placeholder scope
+        /// argument for crossbeam signature compatibility (crossbeam passes
+        /// the scope for nested spawns; this workspace never nests).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(&()))
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned workers are joined before
+    /// this returns. Always `Ok` (worker panics propagate as panics).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn workers_fill_disjoint_chunks() {
+        let mut out = vec![0usize; 8];
+        super::thread::scope(|scope| {
+            for (i, chunk) in out.chunks_mut(3).enumerate() {
+                scope.spawn(move |_| {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = i * 100 + j;
+                    }
+                });
+            }
+        })
+        .expect("workers must not panic");
+        assert_eq!(out, vec![0, 1, 2, 100, 101, 102, 200, 201]);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let r = super::thread::scope(|scope| {
+            let h = scope.spawn(|_| 21);
+            h.join().expect("worker ok") * 2
+        });
+        assert_eq!(r.expect("no panic"), 42);
+    }
+}

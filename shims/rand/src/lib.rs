@@ -1,0 +1,182 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this workspace-local
+//! shim provides exactly the subset of the `rand` API the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`RngExt`]
+//! sampling methods `random::<f32>()` / `random::<f64>()` /
+//! `random_range(Range<usize>)`.
+//!
+//! The generator is a SplitMix64 stream: deterministic per seed, fast, and
+//! statistically sound for the seeded weight jitter and genetic operators
+//! this workspace drives with it. It makes no attempt to match upstream
+//! `rand`'s value streams — everything downstream is self-consistent, which
+//! is the only property the reproduction relies on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Types that can be constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling extension methods, mirroring `rand::Rng` / `rand::RngExt`.
+pub trait RngExt {
+    /// The next raw 64-bit output of the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a sample of `T` from its standard distribution
+    /// (`[0, 1)` for floats).
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws a uniform integer from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range(&mut self, range: Range<usize>) -> usize
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "cannot sample from an empty range");
+        let span = (range.end - range.start) as u128;
+        // Lemire's multiply-shift bounded sampling (bias < 2^-64).
+        range.start + ((u128::from(self.next_u64()) * span) >> 64) as usize
+    }
+
+    /// Draws `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random::<f64>() < p.clamp(0.0, 1.0)
+    }
+}
+
+/// Distribution support for [`RngExt::random`].
+pub trait StandardSample {
+    /// Draws one standard sample from `rng`.
+    fn sample<R: RngExt>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngExt>(rng: &mut R) -> Self {
+        // 24 high-quality mantissa bits -> [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngExt>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngExt>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngExt>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngExt>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn floats_land_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let f: f32 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            let d: f64 = rng.random();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn range_sampling_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_sampling_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 6];
+        for _ in 0..300 {
+            seen[rng.random_range(0..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all bucket values should appear");
+    }
+}

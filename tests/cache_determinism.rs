@@ -1,0 +1,47 @@
+//! Attack determinism through the incremental cache.
+//!
+//! The cache must be invisible to the optimiser: a seeded attack run
+//! against a `CachedDetector` must produce *exactly* the Pareto front the
+//! same attack produces against the plain detector — same objective
+//! vectors, same champion genomes. One convolutional (YOLO) and one
+//! transformer (DETR) architecture cover both cache regimes (fully local
+//! vs global-stage-full).
+
+use bea_core::attack::{AttackConfig, ButterflyAttack};
+use bea_detect::{Architecture, ModelZoo};
+use bea_scene::SyntheticKitti;
+
+fn front_of(arch: Architecture, use_cache: bool) -> (Vec<Vec<f64>>, Vec<bea_image::FilterMask>) {
+    let zoo = ModelZoo::with_defaults();
+    let model =
+        if use_cache { zoo.cached_model(arch, 1) } else { zoo.model(arch, 1) };
+    let img = SyntheticKitti::evaluation_set().image(0);
+    let mut config = AttackConfig::scaled(12, 4);
+    config.use_cache = use_cache;
+    let outcome = ButterflyAttack::new(config).attack(model.as_ref(), &img);
+    if use_cache {
+        let stats = outcome.cache_stats().expect("cached run reports stats");
+        assert!(stats.incremental > 0, "{arch}: the GA never took the incremental path");
+    } else {
+        assert!(outcome.cache_stats().is_none(), "{arch}: plain run must not report stats");
+    }
+    let genomes =
+        outcome.result().pareto_front().iter().map(|i| i.genome().clone()).collect();
+    (outcome.pareto_points(), genomes)
+}
+
+#[test]
+fn yolo_pareto_front_is_identical_with_and_without_cache() {
+    let (plain_points, plain_genomes) = front_of(Architecture::Yolo, false);
+    let (cached_points, cached_genomes) = front_of(Architecture::Yolo, true);
+    assert_eq!(plain_points, cached_points);
+    assert_eq!(plain_genomes, cached_genomes);
+}
+
+#[test]
+fn detr_pareto_front_is_identical_with_and_without_cache() {
+    let (plain_points, plain_genomes) = front_of(Architecture::Detr, false);
+    let (cached_points, cached_genomes) = front_of(Architecture::Detr, true);
+    assert_eq!(plain_points, cached_points);
+    assert_eq!(plain_genomes, cached_genomes);
+}

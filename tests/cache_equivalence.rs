@@ -1,0 +1,119 @@
+//! Equivalence of the dirty-region incremental cache with full inference.
+//!
+//! The cache is an optimisation, not an approximation: for every zoo
+//! architecture, [`bea_detect::CachedDetector`] must return *exactly* the
+//! prediction the wrapped detector returns on the perturbed image. The
+//! backbone's summed-area-table NCC is exact in `f64` for this pipeline's
+//! pixel regime (the detect crate's `response_is_local` test pins that
+//! down), so the assertions below are strict equality, not tolerance.
+
+use bea_detect::{Architecture, CachedDetector, Detector, ModelZoo};
+use bea_detect::{TwoStageConfig, TwoStageDetector, YoloConfig, YoloDetector};
+use bea_image::FilterMask;
+use bea_scene::SyntheticKitti;
+
+/// A small catalogue of masks exercising the cache's paths: empty
+/// (short-circuit), tiny sticker (small dirty rect), scattered pixels
+/// (bounding-rect union), dense half (large dirty rect), full frame
+/// (fallback).
+fn mask_catalogue(w: usize, h: usize) -> Vec<(&'static str, FilterMask)> {
+    let empty = FilterMask::zeros(w, h);
+
+    let mut sticker = FilterMask::zeros(w, h);
+    for y in 8..(8 + 6).min(h) {
+        for x in (w / 2 + 4)..(w / 2 + 12).min(w) {
+            sticker.set(0, y, x, 80);
+            sticker.set(1, y, x, -50);
+        }
+    }
+
+    let mut scattered = FilterMask::zeros(w, h);
+    scattered.set(0, 2, 3, 120);
+    scattered.set(1, h / 2, w / 2, -90);
+    scattered.set(2, h - 3, w - 4, 60);
+
+    let mut dense = FilterMask::zeros(w, h);
+    for y in 0..h {
+        for x in (w / 2)..w {
+            dense.set(2, y, x, 40);
+        }
+    }
+
+    let mut full = FilterMask::zeros(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            full.set(0, y, x, 25);
+        }
+    }
+
+    vec![
+        ("empty", empty),
+        ("sticker", sticker),
+        ("scattered", scattered),
+        ("dense_half", dense),
+        ("full_frame", full),
+    ]
+}
+
+/// The acceptance gate: over the *entire* evaluation set and every zoo
+/// architecture, cached predictions are identical to the wrapped
+/// detector's, clean and under every catalogue mask.
+#[test]
+fn cached_predictions_match_plain_on_full_evaluation_set() {
+    let data = SyntheticKitti::evaluation_set();
+    let zoo = ModelZoo::with_defaults();
+    for arch in Architecture::EXTENDED {
+        let plain = zoo.model(arch, 1);
+        let cached = zoo.cached_model(arch, 1);
+        for index in 0..data.len() {
+            let img = data.image(index);
+            assert_eq!(
+                plain.detect(&img),
+                cached.detect(&img),
+                "{arch} clean prediction diverges on image {index}"
+            );
+            for (label, mask) in mask_catalogue(img.width(), img.height()) {
+                assert_eq!(
+                    plain.detect_masked(&img, &mask),
+                    cached.detect_masked(&img, &mask),
+                    "{arch} masked prediction diverges on image {index} ({label} mask)"
+                );
+            }
+        }
+        let stats = cached.cache_stats().expect("cached models report stats");
+        assert!(stats.incremental > 0, "{arch}: incremental path never exercised");
+        assert!(stats.fallbacks > 0, "{arch}: full-frame fallback never exercised");
+    }
+}
+
+/// Per-detector equality against the *definition* of `detect_masked`
+/// (apply the mask, then detect), not just against the default method.
+#[test]
+fn cached_masked_equals_detect_on_applied_mask() {
+    let img = SyntheticKitti::evaluation_set().image(3);
+    let yolo = CachedDetector::new(YoloDetector::new(YoloConfig::with_seed(4)));
+    let rcnn = CachedDetector::new(TwoStageDetector::new(TwoStageConfig::with_seed(4)));
+    for (label, mask) in mask_catalogue(img.width(), img.height()) {
+        let perturbed = mask.apply(&img);
+        assert_eq!(yolo.detect_masked(&img, &mask), yolo.detect(&perturbed), "yolo {label}");
+        assert_eq!(rcnn.detect_masked(&img, &mask), rcnn.detect(&perturbed), "rcnn {label}");
+    }
+}
+
+/// Repeated evaluation of the same image must keep hitting the memoized
+/// clean pass — the attack's hot-path invariant.
+#[test]
+fn repeated_masked_evaluations_reuse_one_clean_pass() {
+    let img = SyntheticKitti::evaluation_set().image(0);
+    let cached = CachedDetector::new(YoloDetector::new(YoloConfig::with_seed(1)));
+    let mut mask = FilterMask::zeros(img.width(), img.height());
+    mask.set(0, 5, img.width() / 2 + 5, 100);
+    for _ in 0..5 {
+        let _ = cached.detect_masked(&img, &mask);
+    }
+    let stats = cached.stats();
+    assert_eq!(stats.misses, 1, "one clean forward per distinct image");
+    assert_eq!(stats.hits, 4);
+    assert_eq!(stats.incremental, 5);
+    assert_eq!(cached.cached_images(), 1);
+}

@@ -48,10 +48,14 @@ fn genattack_baseline_triggers_transitions_on_detr() {
         result.best_fitness < 1.0 || report.is_clean(),
         "a sub-1 fitness implies a prediction change"
     );
-    if result.best_fitness < 1.0 {
+    // `obj_degrad` in [DEFORM_IOU, 1) is the taxonomy's deliberate jitter
+    // dead-band: boxes drifted, but not enough to classify as deformed.
+    // Only once the best same-class IoU drops below DEFORM_IOU must the
+    // taxonomy register an event (deformation, loss, or ghost).
+    if result.best_fitness < TransitionReport::DEFORM_IOU as f64 {
         assert!(
             !report.is_clean(),
-            "obj_degrad {} < 1 but no transition classified",
+            "obj_degrad {} < DEFORM_IOU but no transition classified",
             result.best_fitness
         );
     }
