@@ -23,9 +23,7 @@ fn bench_detectors(c: &mut Criterion) {
 
     let zoo = ModelZoo::with_defaults();
     let ensemble = Ensemble::new(zoo.models(bea_detect::Architecture::Yolo, 1..=4));
-    c.bench_function("detect/ensemble4_yolo", |b| {
-        b.iter(|| ensemble.detect(black_box(&img)))
-    });
+    c.bench_function("detect/ensemble4_yolo", |b| b.iter(|| ensemble.detect(black_box(&img))));
 }
 
 criterion_group! {

@@ -44,11 +44,8 @@ fn bench_nsga2(c: &mut Criterion) {
     }
     c.bench_function("nsga2/schaffer_pop101_gen10", |b| {
         b.iter(|| {
-            let config = Nsga2Config {
-                population_size: 101,
-                generations: 10,
-                ..Nsga2Config::default()
-            };
+            let config =
+                Nsga2Config { population_size: 101, generations: 10, ..Nsga2Config::default() };
             Nsga2::new(Schaffer, config).run(
                 &|rng: &mut WeightInit| rng.uniform(-5.0, 5.0) as f64,
                 &|a: &f64, b: &f64, _rng: &mut WeightInit| ((a + b) / 2.0, (a - b) / 2.0),

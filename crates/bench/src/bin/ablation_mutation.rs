@@ -20,16 +20,12 @@ fn main() {
     let harness = Harness::from_args();
     let model = harness.model(Architecture::Detr, 1);
     let img = harness.dataset().image(0);
-    let directions =
-        [Direction::Minimize, Direction::Minimize, Direction::Maximize];
-    let max_intensity =
-        255.0 * ((3 * img.width() * img.height()) as f64 / 2.0).sqrt();
+    let directions = [Direction::Minimize, Direction::Minimize, Direction::Maximize];
+    let max_intensity = 255.0 * ((3 * img.width() * img.height()) as f64 / 2.0).sqrt();
     let reference = [max_intensity, 1.05, -0.05];
 
-    let mut variants: Vec<(String, Vec<MutationKind>)> = MutationKind::ALL
-        .iter()
-        .map(|&k| (format!("{k:?} only"), vec![k]))
-        .collect();
+    let mut variants: Vec<(String, Vec<MutationKind>)> =
+        MutationKind::ALL.iter().map(|&k| (format!("{k:?} only"), vec![k])).collect();
     variants.push(("all four (paper)".into(), MutationKind::ALL.to_vec()));
 
     let mut rows = Vec::new();
@@ -40,11 +36,8 @@ fn main() {
         let hv = hypervolume(&front, &reference, &directions);
         let best_deg = outcome.best_degradation().expect("front never empty");
         // The lowest-intensity *effective* member (obj_degrad < 1).
-        let min_effective_intensity = front
-            .iter()
-            .filter(|p| p[1] < 0.999)
-            .map(|p| p[0])
-            .fold(f64::INFINITY, f64::min);
+        let min_effective_intensity =
+            front.iter().filter(|p| p[1] < 0.999).map(|p| p[0]).fold(f64::INFINITY, f64::min);
         rows.push(vec![
             label,
             front.len().to_string(),
@@ -60,13 +53,7 @@ fn main() {
 
     println!("\nAblation A2 — mutation operator mix");
     print_table(
-        &[
-            "operators",
-            "front size",
-            "best obj_degrad",
-            "min intensity w/ effect",
-            "hypervolume",
-        ],
+        &["operators", "front size", "best obj_degrad", "min intensity w/ effect", "hypervolume"],
         &rows,
     );
     println!(

@@ -26,10 +26,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for (label, division) in [("with division (paper)", true), ("without division", false)] {
-        let config = AttackConfig {
-            distance_count_division: division,
-            ..harness.attack_config()
-        };
+        let config = AttackConfig { distance_count_division: division, ..harness.attack_config() };
         let outcome = ButterflyAttack::new(config).attack(model.as_ref(), &img);
         let best_dist = outcome.best_distance().expect("front never empty");
         let best_deg = outcome.best_degradation().expect("front never empty");

@@ -65,13 +65,11 @@ fn parse_args() -> Result<Options, String> {
                 i += 2;
             }
             "--pop" => {
-                options.population =
-                    value()?.parse().map_err(|e| format!("--pop: {e}"))?;
+                options.population = value()?.parse().map_err(|e| format!("--pop: {e}"))?;
                 i += 2;
             }
             "--gens" => {
-                options.generations =
-                    value()?.parse().map_err(|e| format!("--gens: {e}"))?;
+                options.generations = value()?.parse().map_err(|e| format!("--gens: {e}"))?;
                 i += 2;
             }
             "--constraint" => {

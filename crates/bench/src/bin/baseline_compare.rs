@@ -29,12 +29,7 @@ fn main() {
     for arch in Architecture::ALL {
         let model = harness.model(arch, 1);
         let clean = model.detect(&img);
-        let field = DistanceField::new(
-            img.width(),
-            img.height(),
-            &clean,
-            attack_config.epsilon,
-        );
+        let field = DistanceField::new(img.width(), img.height(), &clean, attack_config.epsilon);
 
         // NSGA-II (ours): the best-degradation champion plus the knee
         // point, to show the front covers several operating points.
@@ -49,10 +44,9 @@ fn main() {
             fmt(ours.objectives()[0], 1),
             fmt(ours.objectives()[2], 4),
         ]);
-        if let Some(knee) = bea_nsga2::pareto::knee_point(
-            outcome.result().population(),
-            outcome.directions(),
-        ) {
+        if let Some(knee) =
+            bea_nsga2::pareto::knee_point(outcome.result().population(), outcome.directions())
+        {
             rows.push(vec![
                 arch.name().to_string(),
                 "NSGA-II knee".into(),
@@ -101,10 +95,7 @@ fn main() {
     }
 
     println!("\nBaseline comparison at equal evaluation budget");
-    print_table(
-        &["arch", "method", "evals", "obj_degrad", "obj_intensity", "obj_dist"],
-        &rows,
-    );
+    print_table(&["arch", "method", "evals", "obj_degrad", "obj_intensity", "obj_dist"], &rows);
     println!(
         "\nexpected shape: single-objective methods can match the raw degradation, but \
          they deliver ONE operating point — NSGA-II's champions come from a front that \

@@ -32,8 +32,7 @@ fn main() {
             (1..=k as u64).map(|s| harness.model(arch, s)).collect();
         let refs: Vec<&dyn Detector> = members.iter().map(|m| m.as_ref()).collect();
         let ensemble_outcome = attack.attack_ensemble(&refs, &img);
-        let ensemble_best =
-            ensemble_outcome.best_degradation().expect("front never empty");
+        let ensemble_best = ensemble_outcome.best_degradation().expect("front never empty");
 
         // The ensemble's best mask, verified member by member.
         let mask = ensemble_best.genome();

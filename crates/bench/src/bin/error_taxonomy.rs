@@ -56,10 +56,7 @@ fn main() {
     }
 
     println!("\nError-transition taxonomy over all front members");
-    print_table(
-        &["arch", "masks", "box change", "TP->FN", "TN->FP", "FN->TP", "FP->TN"],
-        &rows,
-    );
+    print_table(&["arch", "masks", "box change", "TP->FN", "TN->FP", "FN->TP", "FP->TN"], &rows);
     println!(
         "\nexpected shape: every one of the paper's five transition types occurs, with \
          DETR accumulating more transitions per mask than YOLO"

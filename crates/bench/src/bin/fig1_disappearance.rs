@@ -19,10 +19,7 @@ use bea_image::RegionConstraint;
 fn main() {
     let harness = Harness::from_args();
     // Figure 1 flips the restriction: perturb LEFT, observe RIGHT.
-    let config = AttackConfig {
-        constraint: RegionConstraint::LeftHalf,
-        ..harness.attack_config()
-    };
+    let config = AttackConfig { constraint: RegionConstraint::LeftHalf, ..harness.attack_config() };
     let attack = ButterflyAttack::new(config);
 
     let mut rows = Vec::new();
@@ -44,8 +41,7 @@ fn main() {
                 .filter(|d| d.bbox.cx > half)
                 .filter(|d| perturbed.best_iou(d.class, &d.bbox) < 0.5)
                 .count();
-            let report =
-                TransitionReport::analyze(&scene.ground_truths(), &clean, &perturbed);
+            let report = TransitionReport::analyze(&scene.ground_truths(), &clean, &perturbed);
             rows.push(vec![
                 model.name().to_string(),
                 image_index.to_string(),
@@ -55,13 +51,7 @@ fn main() {
             ]);
             let score = champion.objectives()[1] - lost_right as f64;
             if best.as_ref().is_none_or(|(s, _, _)| score < *s) && lost_right > 0 {
-                let (a, b) = save_case_study(
-                    "fig1",
-                    &img,
-                    &clean,
-                    &perturbed_img,
-                    &perturbed,
-                );
+                let (a, b) = save_case_study("fig1", &img, &clean, &perturbed_img, &perturbed);
                 println!(
                     "case study: {} image {} -> {} / {}",
                     model.name(),
@@ -84,8 +74,8 @@ fn main() {
             "\nbutterfly effect demonstrated: {model} on image {image} lost untouched \
              right-half objects (see saved PPMs)"
         ),
-        None => println!(
-            "\nno right-half loss at this scale — rerun with --full for the paper budget"
-        ),
+        None => {
+            println!("\nno right-half loss at this scale — rerun with --full for the paper budget")
+        }
     }
 }

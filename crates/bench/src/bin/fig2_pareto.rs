@@ -4,46 +4,66 @@
 //! NSGA-II and reports the three per-objective champions of the final
 //! front — exactly the read-out of the paper's Figure 2 ("we only show the
 //! resulting 3 perturbations reflecting the best of three objectives").
+//! The grid runs through the parallel campaign runner, so `--jobs N`
+//! shards the cells across workers without changing any number in the
+//! output.
 //!
 //! Expected shape (paper Section V-B): "for DETR, with a smaller amount of
 //! perturbation, one can generate larger performance degradation", and
 //! DETR reaches `obj_degrad ≈ 0.6` while `obj_dist ≈ 0.5` of its
 //! achievable range.
 //!
-//! Run: `cargo run --release -p bea-bench --bin fig2_pareto [--full]`
+//! Run: `cargo run --release -p bea-bench --bin fig2_pareto [--full] [--jobs N]`
 //! Writes: `target/experiments/fig2_pareto.csv` (all champions).
 
 use bea_bench::{fmt, output_dir, Harness};
-use bea_core::attack::{AttackOutcome, ButterflyAttack};
-use bea_core::report::{
-    champion_rows, print_table, success_rate, write_csv, AttackRow, SuccessCriteria,
-};
+use bea_core::campaign::{Campaign, CampaignConfig, CellSpec};
+use bea_core::report::{print_table, rows_succeeded, write_csv, AttackRow, SuccessCriteria};
 use bea_detect::Architecture;
-use std::collections::HashMap;
+
+fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
 
 fn main() {
     let harness = Harness::from_args();
-    let attack = ButterflyAttack::new(harness.attack_config());
 
-    let mut all_rows: Vec<AttackRow> = Vec::new();
-    let mut outcomes: HashMap<&'static str, Vec<AttackOutcome>> = HashMap::new();
+    let mut specs = Vec::new();
     for arch in Architecture::ALL {
-        for &seed in &harness.model_seeds() {
-            let model = harness.model(arch, seed);
-            for &image_index in &harness.image_indices() {
-                let img = harness.dataset().image(image_index);
-                let outcome = attack.attack(model.as_ref(), &img);
-                all_rows.extend(champion_rows(&outcome, arch.name(), seed, image_index));
-                outcomes.entry(arch.name()).or_default().push(outcome.clone());
-                eprintln!(
-                    "  {} image {}: front {} points",
-                    model.name(),
-                    image_index,
-                    outcome.pareto_points().len()
-                );
-            }
-        }
+        specs.extend(CellSpec::grid(arch.name(), &harness.model_seeds(), &harness.image_indices()));
     }
+    let campaign = Campaign::new(CampaignConfig {
+        attack: harness.attack_config(),
+        base_seed: harness.attack_config().nsga2.seed,
+        jobs: jobs_from_args(),
+        telemetry: false,
+    });
+    let result = campaign.run(
+        &specs,
+        |spec: &CellSpec| {
+            let arch = Architecture::ALL
+                .into_iter()
+                .find(|a| a.name() == spec.group)
+                .expect("specs are built from Architecture::ALL");
+            harness.model(arch, spec.model_seed)
+        },
+        |spec: &CellSpec| harness.dataset().image(spec.image_index),
+    );
+    for cell in &result.cells {
+        eprintln!(
+            "  {} s{} image {}: front {} points",
+            cell.spec.group,
+            cell.spec.model_seed,
+            cell.spec.image_index,
+            cell.rows.iter().filter(|r| r.role == "front").count()
+        );
+    }
+    let all_rows: Vec<AttackRow> = result.champion_rows();
 
     // Per-architecture series (the figure's two point clouds).
     println!("\nFigure 2 — per-objective champions of each attack run");
@@ -97,13 +117,16 @@ fn main() {
     );
     let mut srows = Vec::new();
     for arch in Architecture::ALL {
-        if let Some(list) = outcomes.get(arch.name()) {
-            srows.push(vec![
-                arch.name().to_string(),
-                list.len().to_string(),
-                format!("{:.0}%", 100.0 * success_rate(list, criteria)),
-            ]);
+        let cells: Vec<_> = result.cells.iter().filter(|c| c.spec.group == arch.name()).collect();
+        if cells.is_empty() {
+            continue;
         }
+        let hits = cells.iter().filter(|c| rows_succeeded(&c.rows, criteria)).count();
+        srows.push(vec![
+            arch.name().to_string(),
+            cells.len().to_string(),
+            format!("{:.0}%", 100.0 * hits as f64 / cells.len() as f64),
+        ]);
     }
     print_table(&["arch", "runs", "success rate"], &srows);
     println!(

@@ -21,11 +21,7 @@ fn main() {
     let model = harness.model(Architecture::Yolo, 1);
     let img = harness.dataset().image(10);
     let clean = model.detect(&img);
-    println!(
-        "Figure 3 — {} on image no. 10 ({} clean detections)",
-        model.name(),
-        clean.len()
-    );
+    println!("Figure 3 — {} on image no. 10 ({} clean detections)", model.name(), clean.len());
 
     let mut rows = Vec::new();
     let mut strongest = None;
@@ -34,8 +30,11 @@ fn main() {
         let mut degrads = Vec::new();
         let mut example = None;
         for seed in 0..5u64 {
-            let mut mask = NoiseKind::Gaussian { std_dev }
-                .generate(img.width(), img.height(), &mut WeightInit::from_seed(seed));
+            let mut mask = NoiseKind::Gaussian { std_dev }.generate(
+                img.width(),
+                img.height(),
+                &mut WeightInit::from_seed(seed),
+            );
             RegionConstraint::RightHalf.apply(&mut mask);
             let perturbed_img = mask.apply(&img);
             let perturbed = model.detect(&perturbed_img);
@@ -55,10 +54,7 @@ fn main() {
         ]);
         strongest = Some((perturbed_img, perturbed));
     }
-    print_table(
-        &["noise std (right half)", "PSNR dB", "mean obj_degrad", "min obj_degrad"],
-        &rows,
-    );
+    print_table(&["noise std (right half)", "PSNR dB", "mean obj_degrad", "min obj_degrad"], &rows);
     println!(
         "\nexpected shape: obj_degrad stays close to 1.0 even at human-visible noise \
          (PSNR < 20 dB) — the single-stage detector's local receptive fields shield the \

@@ -23,11 +23,7 @@ fn left_shrinks(clean: &Prediction, perturbed: &Prediction, half: f32) -> (usize
     let mut worst_ratio = 1.0f32;
     for det in clean.iter().filter(|d| d.bbox.cx < half) {
         if let Some(m) = perturbed.best_match(det.class, &det.bbox) {
-            let ratio = if det.bbox.area() > 0.0 {
-                m.bbox.area() / det.bbox.area()
-            } else {
-                1.0
-            };
+            let ratio = if det.bbox.area() > 0.0 { m.bbox.area() / det.bbox.area() } else { 1.0 };
             if ratio < 0.9 {
                 shrinks += 1;
                 worst_ratio = worst_ratio.min(ratio);
@@ -78,9 +74,7 @@ fn run_case(
     // Walk the front from low to high intensity, reporting deformations.
     let mut members: Vec<_> = outcome.result().pareto_front();
     members.sort_by(|a, b| {
-        a.objectives()[0]
-            .partial_cmp(&b.objectives()[0])
-            .unwrap_or(std::cmp::Ordering::Equal)
+        a.objectives()[0].partial_cmp(&b.objectives()[0]).unwrap_or(std::cmp::Ordering::Equal)
     });
     let half = img.width() as f32 / 2.0;
     let mut rows = Vec::new();
@@ -113,11 +107,9 @@ fn run_case(
             // right-half perturbation reshapes left-half token scores.
             let dir = bea_bench::output_dir();
             let clean_map = bea_detect::heatmap::salience_plane(&model.heatmap(&img));
-            let pert_map =
-                bea_detect::heatmap::salience_plane(&model.heatmap(&perturbed_img));
+            let pert_map = bea_detect::heatmap::salience_plane(&model.heatmap(&perturbed_img));
             let _ = bea_image::io::save_pgm(&clean_map, 0, dir.join("fig4_heat_clean.pgm"));
-            let _ =
-                bea_image::io::save_pgm(&pert_map, 0, dir.join("fig4_heat_perturbed.pgm"));
+            let _ = bea_image::io::save_pgm(&pert_map, 0, dir.join("fig4_heat_perturbed.pgm"));
             println!(
                 "\nbox shrink at intensity {} (PSNR {} dB, obj_degrad {}): saved {} and {}",
                 fmt(objs[0], 1),

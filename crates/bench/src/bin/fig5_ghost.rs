@@ -34,18 +34,13 @@ fn main() {
                 for member in outcome.result().pareto_front() {
                     let perturbed_img = member.genome().apply(&img);
                     let perturbed = model.detect(&perturbed_img);
-                    let report = TransitionReport::analyze(
-                        &scene.ground_truths(),
-                        &clean,
-                        &perturbed,
-                    );
+                    let report =
+                        TransitionReport::analyze(&scene.ground_truths(), &clean, &perturbed);
                     let left_ghosts: Vec<_> = report
                         .transitions
                         .iter()
                         .filter_map(|t| match t {
-                            ErrorTransition::TnToFp { ghost, class }
-                                if ghost.cx < half =>
-                            {
+                            ErrorTransition::TnToFp { ghost, class } if ghost.cx < half => {
                                 Some((*ghost, *class))
                             }
                             _ => None,

@@ -21,11 +21,7 @@ use bea_image::Image;
 
 /// Held-out evaluation: mean obj_degrad over a grid of placements the
 /// optimiser did not necessarily see.
-fn robustness_score(
-    detector: &dyn Detector,
-    img: &Image,
-    mask: &FilterMask,
-) -> (f64, f64) {
+fn robustness_score(detector: &dyn Detector, img: &Image, mask: &FilterMask) -> (f64, f64) {
     let clean = detector.detect(img);
     let mut nominal = 0.0;
     let mut jittered = Vec::new();
@@ -57,20 +53,14 @@ fn main() {
     let standard_mask = standard.best_degradation().expect("front never empty");
 
     // EoT attack: the problem averages objectives over placement jitter.
-    let problem = ButterflyProblem::single(
-        model.as_ref(),
-        &img,
-        config.epsilon,
-        config.constraint,
-    )
-    .with_placement_robustness(&[(-3, 0), (3, 0), (0, -1), (0, 1)], &[0.9, 1.1]);
+    let problem = ButterflyProblem::single(model.as_ref(), &img, config.epsilon, config.constraint)
+        .with_placement_robustness(&[(-3, 0), (3, 0), (0, -1), (0, 1)], &[0.9, 1.1]);
     let eot = ButterflyAttack::new(config).attack_problem(problem);
     let eot_mask = eot.best_degradation().expect("front never empty");
 
     let (std_nominal, std_jittered) =
         robustness_score(model.as_ref(), &img, standard_mask.genome());
-    let (eot_nominal, eot_jittered) =
-        robustness_score(model.as_ref(), &img, eot_mask.genome());
+    let (eot_nominal, eot_jittered) = robustness_score(model.as_ref(), &img, eot_mask.genome());
 
     println!("\nPhysical robustness — standard vs Expectation-over-Transformations");
     print_table(

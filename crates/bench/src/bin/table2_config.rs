@@ -3,7 +3,11 @@
 //! Prints the genetic-algorithm parametrisation in the paper's Table II
 //! layout, then runs one attack while tracing the non-dominated front's
 //! 3-D hypervolume per generation — the convergence evidence that the
-//! crowded-comparison selection works on the three attack objectives.
+//! crowded-comparison selection works on the three attack objectives. The
+//! trace comes straight from the attack driver's generation observer
+//! (`ButterflyAttack::attack_with_observer` with the default
+//! `track_hypervolume`), i.e. the same statistics campaign telemetry
+//! records.
 //!
 //! Run: `cargo run --release -p bea-bench --bin table2_config [--full]`
 
@@ -11,10 +15,6 @@ use bea_bench::{fmt, Harness};
 use bea_core::attack::ButterflyAttack;
 use bea_core::report::print_table;
 use bea_detect::Architecture;
-use bea_image::FilterMask;
-use bea_nsga2::hypervolume::hypervolume;
-use bea_nsga2::prelude::*;
-use bea_nsga2::sorting::fast_non_dominated_sort;
 
 fn main() {
     let harness = Harness::from_args();
@@ -24,16 +24,8 @@ fn main() {
     print_table(
         &["Parameter", "Paper", "This run"],
         &[
-            vec![
-                "Number of iterations".into(),
-                "100".into(),
-                config.nsga2.generations.to_string(),
-            ],
-            vec![
-                "Population size".into(),
-                "101".into(),
-                config.nsga2.population_size.to_string(),
-            ],
+            vec!["Number of iterations".into(), "100".into(), config.nsga2.generations.to_string()],
+            vec!["Population size".into(), "101".into(), config.nsga2.population_size.to_string()],
             vec![
                 "Crossover probability".into(),
                 "p_c = 0.5".into(),
@@ -53,52 +45,24 @@ fn main() {
     );
 
     // Convergence trace on one representative attack (DETR, image 10).
+    // The driver tracks the front's exact hypervolume per generation
+    // against its fixed worst-corner reference point whenever
+    // `track_hypervolume` is on (the default), and the observer hands the
+    // trace out generation by generation.
     let model = harness.model(Architecture::Detr, 1);
     let img = harness.dataset().image(10);
     println!("\nConvergence trace: attacking {} on image no. 10", model.name());
-    let directions =
-        vec![Direction::Minimize, Direction::Minimize, Direction::Maximize];
-    // Reference point for the hypervolume: worst plausible corner
-    // (max intensity of an all-±255 right-half mask, no degradation,
-    // perturbation on the object).
-    let max_intensity =
-        255.0 * ((3 * img.width() * img.height()) as f64 / 2.0).sqrt();
-    let reference = [max_intensity, 1.05, -0.05];
 
     let mut trace: Vec<(usize, usize, f64, Vec<f64>)> = Vec::new();
-    let problem = bea_core::ButterflyProblem::single(
-        model.as_ref(),
-        &img,
-        config.epsilon,
-        config.constraint,
-    );
-    let init = bea_core::init::MaskInitializer::new(
-        img.width(),
-        img.height(),
-        config.constraint,
-    );
-    let crossover = bea_core::operators::MaskCrossover;
-    let mutation = bea_core::operators::MaskMutation::new(
-        config.window_fraction,
-        config.constraint,
-    );
-    let driver = Nsga2::new(problem, config.nsga2);
-    let result = driver.run_with_observer(
-        &init,
-        &crossover,
-        &mutation,
-        |stats, population: &[Individual<FilterMask>]| {
-            let objectives: Vec<Vec<f64>> =
-                population.iter().map(|i| i.objectives().to_vec()).collect();
-            let fronts = fast_non_dominated_sort(&objectives, &directions);
-            let front: Vec<Vec<f64>> = fronts
-                .first()
-                .map(|f| f.iter().map(|&i| objectives[i].clone()).collect())
-                .unwrap_or_default();
-            let hv = hypervolume(&front, &reference, &directions);
-            trace.push((stats.generation, stats.front_size, hv, stats.best.clone()));
-        },
-    );
+    let outcome =
+        ButterflyAttack::new(config.clone()).attack_with_observer(model.as_ref(), &img, |stats| {
+            trace.push((
+                stats.generation,
+                stats.front_size,
+                stats.hypervolume.expect("three-objective attacks track hypervolume"),
+                stats.best.clone(),
+            ));
+        });
 
     let mut rows = Vec::new();
     let step = (trace.len() / 12).max(1);
@@ -123,11 +87,9 @@ fn main() {
         "\nhypervolume grew {}x over {} generations ({} evaluations)",
         fmt(if first_hv > 0.0 { last_hv / first_hv } else { f64::NAN }, 2),
         config.nsga2.generations,
-        result.evaluations(),
+        outcome.evaluations(),
     );
-
-    // Echo the attack driver API as well (champions of a fresh run share
-    // the same seed and therefore the same front).
-    let outcome = ButterflyAttack::new(config).attack(model.as_ref(), &img);
-    println!("final front size (driver API): {}", outcome.pareto_points().len());
+    println!("final front size: {}", outcome.pareto_points().len());
+    // The observer's trace and the outcome's history are the same data.
+    assert_eq!(trace.len(), outcome.history().len());
 }

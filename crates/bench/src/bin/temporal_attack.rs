@@ -20,8 +20,7 @@ fn main() {
     let harness = Harness::from_args();
     let attack = ButterflyAttack::new(harness.attack_config());
     let frame_count = 5;
-    let sequence =
-        FrameSequence::generate(harness.dataset().generator(), 0, frame_count);
+    let sequence = FrameSequence::generate(harness.dataset().generator(), 0, frame_count);
     let frames: Vec<Image> = sequence.frames().collect();
     let model = harness.model(Architecture::Detr, 1);
 
@@ -37,12 +36,8 @@ fn main() {
     let mut single_sum = 0.0;
     for (t, frame) in frames.iter().enumerate() {
         let clean = model.detect(frame);
-        let d_temporal = obj_degrad(
-            &clean,
-            &model.detect(&temporal_best.genome().apply(frame)),
-        );
-        let d_single =
-            obj_degrad(&clean, &model.detect(&single_best.genome().apply(frame)));
+        let d_temporal = obj_degrad(&clean, &model.detect(&temporal_best.genome().apply(frame)));
+        let d_single = obj_degrad(&clean, &model.detect(&single_best.genome().apply(frame)));
         temporal_sum += d_temporal;
         single_sum += d_single;
         rows.push(vec![

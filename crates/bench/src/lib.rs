@@ -76,16 +76,12 @@ impl Scale {
     /// The NSGA-II parameters for this scale (Table II at full scale).
     pub fn nsga2(self) -> Nsga2Config {
         match self {
-            Scale::Quick => Nsga2Config {
-                population_size: 24,
-                generations: 20,
-                ..Nsga2Config::default()
-            },
-            Scale::Medium => Nsga2Config {
-                population_size: 40,
-                generations: 40,
-                ..Nsga2Config::default()
-            },
+            Scale::Quick => {
+                Nsga2Config { population_size: 24, generations: 20, ..Nsga2Config::default() }
+            }
+            Scale::Medium => {
+                Nsga2Config { population_size: 40, generations: 40, ..Nsga2Config::default() }
+            }
             Scale::Full => Nsga2Config::default(),
         }
     }
@@ -231,8 +227,6 @@ mod tests {
     fn medium_scale_sits_between() {
         assert!(Scale::Quick.model_count() < Scale::Medium.model_count());
         assert!(Scale::Medium.model_count() < Scale::Full.model_count());
-        assert!(
-            Scale::Medium.nsga2().population_size < Scale::Full.nsga2().population_size
-        );
+        assert!(Scale::Medium.nsga2().population_size < Scale::Full.nsga2().population_size);
     }
 }

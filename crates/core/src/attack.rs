@@ -44,6 +44,14 @@ pub struct AttackConfig {
     /// region. Results are identical with or without the cache; `false`
     /// (the default) keeps the paper's plain full-forward evaluation.
     pub use_cache: bool,
+    /// Track the exact hypervolume of each generation's non-dominated
+    /// front in [`GenerationStats::hypervolume`], against a fixed
+    /// reference point at the worst plausible corner of the three-objective
+    /// space (maximal mask intensity, no degradation, perturbation on the
+    /// object). Enabled by default; automatically skipped when the
+    /// feature objective raises the dimensionality past the exact
+    /// indicator's 3-objective support.
+    pub track_hypervolume: bool,
 }
 
 impl Default for AttackConfig {
@@ -59,6 +67,7 @@ impl Default for AttackConfig {
             feature_objective: false,
             distance_count_division: true,
             use_cache: false,
+            track_hypervolume: true,
         }
     }
 }
@@ -113,26 +122,48 @@ impl ButterflyAttack {
     /// Attacks one detector on one image (the standard setting).
     pub fn attack(&self, detector: &dyn Detector, img: &Image) -> AttackOutcome {
         let problem = self.make_problem(vec![detector], vec![img.clone()]);
-        self.run(problem)
+        self.run(problem, |_| {})
+    }
+
+    /// Like [`ButterflyAttack::attack`], but invokes `observer` with every
+    /// generation's [`GenerationStats`] as the run progresses — the hook
+    /// campaign telemetry streams from.
+    pub fn attack_with_observer(
+        &self,
+        detector: &dyn Detector,
+        img: &Image,
+        observer: impl FnMut(&GenerationStats),
+    ) -> AttackOutcome {
+        let problem = self.make_problem(vec![detector], vec![img.clone()]);
+        self.run(problem, observer)
     }
 
     /// Attacks an ensemble of detectors with one shared mask
     /// (Section IV-B, Eqs. 1–3).
     pub fn attack_ensemble(&self, detectors: &[&dyn Detector], img: &Image) -> AttackOutcome {
         let problem = self.make_problem(detectors.to_vec(), vec![img.clone()]);
-        self.run(problem)
+        self.run(problem, |_| {})
     }
 
     /// Attacks one detector across an image sequence with one mask
     /// (Section IV-B, temporal extension).
     pub fn attack_sequence(&self, detector: &dyn Detector, frames: &[Image]) -> AttackOutcome {
         let problem = self.make_problem(vec![detector], frames.to_vec());
-        self.run(problem)
+        self.run(problem, |_| {})
     }
 
     /// Runs the attack on an explicit problem (fully general setting).
     pub fn attack_problem(&self, problem: ButterflyProblem<'_>) -> AttackOutcome {
-        self.run(problem)
+        self.run(problem, |_| {})
+    }
+
+    /// [`ButterflyAttack::attack_problem`] with a generation observer.
+    pub fn attack_problem_with_observer(
+        &self,
+        problem: ButterflyProblem<'_>,
+        observer: impl FnMut(&GenerationStats),
+    ) -> AttackOutcome {
+        self.run(problem, observer)
     }
 
     fn make_problem<'a>(
@@ -140,13 +171,9 @@ impl ButterflyAttack {
         detectors: Vec<&'a dyn Detector>,
         frames: Vec<Image>,
     ) -> ButterflyProblem<'a> {
-        let mut problem = ButterflyProblem::build(
-            detectors,
-            frames,
-            self.config.epsilon,
-            self.config.constraint,
-        )
-        .with_norm(self.config.norm);
+        let mut problem =
+            ButterflyProblem::build(detectors, frames, self.config.epsilon, self.config.constraint)
+                .with_norm(self.config.norm);
         if self.config.feature_objective {
             problem = problem.with_feature_objective();
         }
@@ -159,26 +186,45 @@ impl ButterflyAttack {
         problem
     }
 
-    fn run(&self, problem: ButterflyProblem<'_>) -> AttackOutcome {
+    /// A hypervolume reference point dominated by every reachable
+    /// objective vector: maximal mask intensity (every channel of every
+    /// pixel saturated), overlap just above the clean-prediction score of
+    /// 1, and a perturbation distance just below the on-object minimum of
+    /// 0. Only defined for the paper's three-objective setting — the exact
+    /// indicator stops at 3 dimensions.
+    fn hypervolume_reference(&self, width: usize, height: usize) -> Vec<f64> {
+        let max_intensity = 255.0 * ((3 * width * height) as f64).sqrt();
+        vec![max_intensity, 1.05, -0.05]
+    }
+
+    fn run(
+        &self,
+        problem: ButterflyProblem<'_>,
+        mut observer: impl FnMut(&GenerationStats),
+    ) -> AttackOutcome {
         // The NSGA-II driver consumes the problem, so snapshot the
         // detector handles (and their cache counters) first; the outcome
         // reports only this run's delta.
         let detectors: Vec<&dyn Detector> = problem.detectors().to_vec();
         let before = merged_cache_stats(&detectors);
-        let init = MaskInitializer::new(
-            problem.width(),
-            problem.height(),
-            self.config.constraint,
-        )
-        .with_gaussian_std(self.config.gaussian_std);
+        let (width, height) = (problem.width(), problem.height());
+        // The feature objective is the only thing that raises the paper's
+        // three objectives to four.
+        let three_objectives = !self.config.feature_objective;
+        let init = MaskInitializer::new(width, height, self.config.constraint)
+            .with_gaussian_std(self.config.gaussian_std);
         let crossover = MaskCrossover;
         let mutation = MaskMutation::with_kinds(
             self.config.mutation_kinds.clone(),
             self.config.window_fraction,
             self.config.constraint,
         );
-        let driver = Nsga2::new(problem, self.config.nsga2);
-        let result = driver.run(&init, &crossover, &mutation);
+        let mut driver = Nsga2::new(problem, self.config.nsga2);
+        if self.config.track_hypervolume && three_objectives {
+            driver = driver.with_hypervolume_reference(self.hypervolume_reference(width, height));
+        }
+        let result =
+            driver.run_with_observer(&init, &crossover, &mutation, |stats, _| observer(stats));
         let cache = match (before, merged_cache_stats(&detectors)) {
             (Some(before), Some(after)) => Some(after.since(&before)),
             (None, after) => after,
@@ -209,6 +255,13 @@ pub struct AttackOutcome {
 }
 
 impl AttackOutcome {
+    /// Assembles an outcome from a pre-existing NSGA-II result and
+    /// optional cache counters — the escape hatch for reloading persisted
+    /// runs or building fixtures. Live attacks never need this.
+    pub fn from_parts(result: Nsga2Result<FilterMask>, cache: Option<CacheStats>) -> Self {
+        Self { result, cache }
+    }
+
     /// The underlying NSGA-II result (population, history, directions).
     pub fn result(&self) -> &Nsga2Result<FilterMask> {
         &self.result
@@ -278,40 +331,7 @@ impl AttackOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bea_detect::{Detection, Prediction};
-    use bea_scene::{BBox, ObjectClass};
-
-    /// Cheap deterministic detector for driver-level tests: detects a
-    /// "car" whose box shrinks continuously with the mean brightness of
-    /// the right half. The smooth landscape gives the GA a gradient to
-    /// climb — a step threshold would leave `obj_degrad` flat at 1.0
-    /// until the cliff, making success pure initialization luck at the
-    /// small population/generation budgets these tests use.
-    struct Toy;
-
-    impl Detector for Toy {
-        fn detect(&self, img: &Image) -> Prediction {
-            let mut acc = 0.0;
-            let mut n = 0usize;
-            for y in 0..img.height() {
-                for x in (img.width() / 2)..img.width() {
-                    acc += img.pixel(x, y)[0] + img.pixel(x, y)[1];
-                    n += 1;
-                }
-            }
-            let m = acc / n.max(1) as f32;
-            let size = (8.0 - m / 8.0).clamp(3.0, 8.0);
-            Prediction::from_detections(vec![Detection::new(
-                ObjectClass::Car,
-                BBox::new(8.0, 8.0, size, size),
-                0.9,
-            )])
-        }
-
-        fn name(&self) -> &str {
-            "toy"
-        }
-    }
+    use crate::test_fixtures::Toy;
 
     fn fast_config() -> AttackConfig {
         AttackConfig::scaled(16, 8)
@@ -358,11 +378,9 @@ mod tests {
     fn per_objective_champions_come_from_the_front() {
         let img = Image::black(24, 12);
         let outcome = ButterflyAttack::new(fast_config()).attack(&Toy, &img);
-        for champion in [
-            outcome.best_intensity(),
-            outcome.best_degradation(),
-            outcome.best_distance(),
-        ] {
+        for champion in
+            [outcome.best_intensity(), outcome.best_degradation(), outcome.best_distance()]
+        {
             assert_eq!(champion.expect("present").rank(), 0);
         }
     }
@@ -380,12 +398,36 @@ mod tests {
     fn ensemble_and_sequence_settings_run() {
         let img = Image::black(24, 12);
         let detectors: Vec<&dyn Detector> = vec![&Toy, &Toy];
-        let outcome =
-            ButterflyAttack::new(fast_config()).attack_ensemble(&detectors, &img);
+        let outcome = ButterflyAttack::new(fast_config()).attack_ensemble(&detectors, &img);
         assert!(!outcome.pareto_points().is_empty());
         let frames = vec![Image::black(24, 12), Image::filled(24, 12, [10.0; 3])];
         let outcome = ButterflyAttack::new(fast_config()).attack_sequence(&Toy, &frames);
         assert!(!outcome.pareto_points().is_empty());
+    }
+
+    #[test]
+    fn observer_streams_every_generation_with_hypervolume() {
+        let img = Image::black(24, 12);
+        let mut seen = Vec::new();
+        let outcome =
+            ButterflyAttack::new(fast_config()).attack_with_observer(&Toy, &img, |stats| {
+                seen.push((stats.generation, stats.hypervolume))
+            });
+        let generations = fast_config().nsga2.generations;
+        assert_eq!(seen.len(), generations + 1);
+        assert_eq!(seen.first().map(|(g, _)| *g), Some(0));
+        assert!(
+            seen.iter().all(|(_, hv)| hv.is_some_and(|v| v.is_finite() && v >= 0.0)),
+            "three-objective attacks track hypervolume by default"
+        );
+        assert_eq!(outcome.history().len(), seen.len());
+
+        // The feature objective makes four dimensions — past the exact
+        // indicator's support, so tracking turns itself off.
+        let mut config = fast_config();
+        config.feature_objective = true;
+        let outcome = ButterflyAttack::new(config).attack(&Toy, &img);
+        assert!(outcome.history().iter().all(|s| s.hypervolume.is_none()));
     }
 
     #[test]
@@ -406,9 +448,9 @@ mod tests {
         let plain = ButterflyAttack::new(fast_config()).attack(&Toy, &img);
         assert!(plain.cache_stats().is_none(), "the toy detector never caches");
 
-        let cached = bea_detect::CachedDetector::new(
-            bea_detect::YoloDetector::new(bea_detect::YoloConfig::with_seed(1)),
-        );
+        let cached = bea_detect::CachedDetector::new(bea_detect::YoloDetector::new(
+            bea_detect::YoloConfig::with_seed(1),
+        ));
         let mut config = fast_config();
         config.use_cache = true;
         let img = bea_scene::SyntheticKitti::smoke_set().image(0);

@@ -125,8 +125,7 @@ impl GenAttack {
             // fitter); softmax over negated fitness.
             let weights: Vec<f64> = {
                 let min = fitness.iter().cloned().fold(f64::INFINITY, f64::min);
-                let raw: Vec<f64> =
-                    fitness.iter().map(|f| (-(f - min) * 6.0).exp()).collect();
+                let raw: Vec<f64> = fitness.iter().map(|f| (-(f - min) * 6.0).exp()).collect();
                 let sum: f64 = raw.iter().sum();
                 raw.iter().map(|v| v / sum.max(1e-12)).collect()
             };

@@ -111,8 +111,7 @@ mod tests {
     #[test]
     fn respects_budget() {
         let img = Image::black(16, 8);
-        let result =
-            random_noise_baseline(&Toy, &img, 300.0, 10, RegionConstraint::Full, 1);
+        let result = random_noise_baseline(&Toy, &img, 300.0, 10, RegionConstraint::Full, 1);
         assert!(result.best_intensity <= 300.0 * 1.05, "got {}", result.best_intensity);
         assert_eq!(result.evaluations, 10);
     }
@@ -129,8 +128,7 @@ mod tests {
     #[test]
     fn constraint_is_enforced() {
         let img = Image::black(16, 8);
-        let result =
-            random_noise_baseline(&Toy, &img, 800.0, 6, RegionConstraint::RightHalf, 2);
+        let result = random_noise_baseline(&Toy, &img, 800.0, 6, RegionConstraint::RightHalf, 2);
         assert!(RegionConstraint::RightHalf.is_satisfied(&result.best_mask));
     }
 

@@ -126,21 +126,15 @@ impl TransitionReport {
                         1.0
                     };
                     if overlap < Self::DEFORM_IOU || (area_ratio - 1.0).abs() > Self::DEFORM_AREA {
-                        report.push(ErrorTransition::BoxDeformed {
-                            class,
-                            overlap,
-                            area_ratio,
-                        });
+                        report.push(ErrorTransition::BoxDeformed { class, overlap, area_ratio });
                     }
                 }
-                (Some(_), None) => report.push(ErrorTransition::TpToFn {
-                    ground_truth: bbox,
-                    class,
-                }),
-                (None, Some(_)) => report.push(ErrorTransition::FnToTp {
-                    ground_truth: bbox,
-                    class,
-                }),
+                (Some(_), None) => {
+                    report.push(ErrorTransition::TpToFn { ground_truth: bbox, class })
+                }
+                (None, Some(_)) => {
+                    report.push(ErrorTransition::FnToTp { ground_truth: bbox, class })
+                }
                 (None, None) => {}
             }
         }
@@ -150,9 +144,8 @@ impl TransitionReport {
             if clean_matches.matched_detections.contains(&ci) {
                 continue; // not a ghost
             }
-            let survives = perturbed
-                .of_class(det.class)
-                .any(|p| p.bbox.iou(&det.bbox) >= Self::MATCH_IOU);
+            let survives =
+                perturbed.of_class(det.class).any(|p| p.bbox.iou(&det.bbox) >= Self::MATCH_IOU);
             if !survives {
                 report.push(ErrorTransition::FpToTn { ghost: det.bbox, class: det.class });
             }
@@ -162,9 +155,8 @@ impl TransitionReport {
             if pert_matches.matched_detections.contains(&pi) {
                 continue; // matches ground truth: not a ghost
             }
-            let existed = clean
-                .of_class(det.class)
-                .any(|c| c.bbox.iou(&det.bbox) >= Self::MATCH_IOU);
+            let existed =
+                clean.of_class(det.class).any(|c| c.bbox.iou(&det.bbox) >= Self::MATCH_IOU);
             if !existed {
                 report.push(ErrorTransition::TnToFp { ghost: det.bbox, class: det.class });
             }
@@ -212,10 +204,7 @@ struct GtMatch {
     matched_detections: Vec<usize>,
 }
 
-fn match_to_ground_truth(
-    ground_truth: &[(ObjectClass, BBox)],
-    prediction: &Prediction,
-) -> GtMatch {
+fn match_to_ground_truth(ground_truth: &[(ObjectClass, BBox)], prediction: &Prediction) -> GtMatch {
     let dets: &[Detection] = prediction.as_slice();
     let mut pairs: Vec<(usize, usize, f32)> = Vec::new();
     for (di, det) in dets.iter().enumerate() {
@@ -274,13 +263,8 @@ mod tests {
 
     #[test]
     fn vanished_object_is_tp_to_fn() {
-        let perturbed = Prediction::from_detections(vec![det(
-            ObjectClass::Pedestrian,
-            60.0,
-            20.0,
-            8.0,
-            16.0,
-        )]);
+        let perturbed =
+            Prediction::from_detections(vec![det(ObjectClass::Pedestrian, 60.0, 20.0, 8.0, 16.0)]);
         let report = TransitionReport::analyze(&gt(), &full_clean(), &perturbed);
         assert_eq!(report.tp_to_fn, 1);
         assert_eq!(report.total(), 1);
@@ -298,13 +282,8 @@ mod tests {
     #[test]
     fn recovered_object_is_fn_to_tp() {
         // Clean prediction missed the pedestrian; perturbed finds it.
-        let clean = Prediction::from_detections(vec![det(
-            ObjectClass::Car,
-            20.0,
-            20.0,
-            10.0,
-            10.0,
-        )]);
+        let clean =
+            Prediction::from_detections(vec![det(ObjectClass::Car, 20.0, 20.0, 10.0, 10.0)]);
         let report = TransitionReport::analyze(&gt(), &clean, &full_clean());
         assert_eq!(report.fn_to_tp, 1);
     }

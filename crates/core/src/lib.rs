@@ -50,6 +50,7 @@
 
 pub mod attack;
 pub mod baseline;
+pub mod campaign;
 pub mod errors;
 pub mod init;
 pub mod objectives;
@@ -57,7 +58,12 @@ pub mod operators;
 pub mod problem;
 pub mod report;
 pub mod sweep;
+pub mod telemetry;
+
+#[cfg(test)]
+pub(crate) mod test_fixtures;
 
 pub use attack::{AttackConfig, AttackOutcome, ButterflyAttack};
+pub use campaign::{Campaign, CampaignConfig, CampaignResult, CellSpec};
 pub use errors::{ErrorTransition, TransitionReport};
 pub use problem::ButterflyProblem;

@@ -89,13 +89,8 @@ mod tests {
         // class to either ⊥ or to other class ... the computed objective
         // equals 0."
         let clean = Prediction::from_detections(vec![car(10.0)]);
-        let flipped = Prediction::from_detections(vec![det(
-            ObjectClass::Van,
-            10.0,
-            10.0,
-            8.0,
-            8.0,
-        )]);
+        let flipped =
+            Prediction::from_detections(vec![det(ObjectClass::Van, 10.0, 10.0, 8.0, 8.0)]);
         assert_eq!(obj_degrad(&clean, &flipped), 0.0);
     }
 
@@ -110,8 +105,7 @@ mod tests {
     #[test]
     fn shrunk_box_scores_below_one() {
         let clean = Prediction::from_detections(vec![car(10.0)]);
-        let shrunk =
-            Prediction::from_detections(vec![det(ObjectClass::Car, 10.0, 10.0, 4.0, 4.0)]);
+        let shrunk = Prediction::from_detections(vec![det(ObjectClass::Car, 10.0, 10.0, 4.0, 4.0)]);
         let v = obj_degrad(&clean, &shrunk);
         assert!((v - 0.25).abs() < 1e-6, "4x4 inside 8x8 has IoU 0.25, got {v}");
     }

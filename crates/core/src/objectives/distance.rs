@@ -87,11 +87,8 @@ impl DistanceField {
             }
         }
         // Line 8: neg.avg = -(Σ D) / (L·W).
-        let neg_avg = if values.is_empty() {
-            0.0
-        } else {
-            -values.iter().sum::<f64>() / values.len() as f64
-        };
+        let neg_avg =
+            if values.is_empty() { 0.0 } else { -values.iter().sum::<f64>() / values.len() as f64 };
         // Lines 9–16: pixels inside any ε-inflated box get the negative
         // average.
         for b in boxes {
@@ -175,12 +172,7 @@ impl DistanceField {
             "mask and distance field must share dimensions"
         );
         let weights = mask.max_abs_per_pixel();
-        self.values
-            .iter()
-            .zip(&weights)
-            .filter(|(_, &w)| w != 0)
-            .map(|(d, &w)| d * w as f64)
-            .sum()
+        self.values.iter().zip(&weights).filter(|(_, &w)| w != 0).map(|(d, &w)| d * w as f64).sum()
     }
 }
 

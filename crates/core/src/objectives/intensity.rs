@@ -58,15 +58,12 @@ mod tests {
         small.set(0, 1, 1, 10);
         let mut large = small.clone();
         large.set(1, 2, 2, 100);
-        assert!(
-            obj_intensity(&large, NormKind::L2) > obj_intensity(&small, NormKind::L2)
-        );
+        assert!(obj_intensity(&large, NormKind::L2) > obj_intensity(&small, NormKind::L2));
     }
 
     #[test]
     fn normalized_maximum_is_one() {
-        let mask =
-            FilterMask::from_values(2, 2, vec![255; 12]).expect("length matches");
+        let mask = FilterMask::from_values(2, 2, vec![255; 12]).expect("length matches");
         assert!((obj_intensity_normalized(&mask) - 1.0).abs() < 1e-12);
     }
 

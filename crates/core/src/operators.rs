@@ -163,8 +163,7 @@ impl MaskMutation {
 
     /// Number of pixels one mutation may touch on a mask of this size.
     fn budget(&self, mask: &FilterMask) -> usize {
-        let allowed =
-            self.constraint.allowed_region(mask.width(), mask.height()).area();
+        let allowed = self.constraint.allowed_region(mask.width(), mask.height()).area();
         ((allowed as f32 * self.window_fraction).ceil() as usize).max(1).min(allowed.max(1))
     }
 
@@ -283,8 +282,7 @@ mod tests {
 
     fn random_mask(width: usize, height: usize) -> FilterMask {
         let mut rng = WeightInit::from_seed(7);
-        let values =
-            (0..3 * width * height).map(|_| rng.index(511) as i16 - 255).collect();
+        let values = (0..3 * width * height).map(|_| rng.index(511) as i16 - 255).collect();
         FilterMask::from_values(width, height, values).expect("length matches")
     }
 
@@ -293,10 +291,8 @@ mod tests {
         let a = random_mask(8, 4);
         let b = random_mask(8, 4);
         let (c1, c2) = MaskCrossover.crossover(&a, &b, &mut rng());
-        let mut expected: Vec<i16> =
-            a.as_slice().iter().chain(b.as_slice()).copied().collect();
-        let mut actual: Vec<i16> =
-            c1.as_slice().iter().chain(c2.as_slice()).copied().collect();
+        let mut expected: Vec<i16> = a.as_slice().iter().chain(b.as_slice()).copied().collect();
+        let mut actual: Vec<i16> = c1.as_slice().iter().chain(c2.as_slice()).copied().collect();
         expected.sort_unstable();
         actual.sort_unstable();
         assert_eq!(expected, actual);
@@ -329,12 +325,8 @@ mod tests {
             let mut mask = random_mask(40, 20);
             let before = mask.clone();
             op.mutate(&mut mask, &mut rng());
-            let changed = before
-                .as_slice()
-                .iter()
-                .zip(mask.as_slice())
-                .filter(|(a, b)| a != b)
-                .count();
+            let changed =
+                before.as_slice().iter().zip(mask.as_slice()).filter(|(a, b)| a != b).count();
             // The budget is per *pixel* (3 genes each); shuffle/invert touch
             // at most 2x the budget through swaps.
             let budget_pixels = mutation.budget(&before);
@@ -348,8 +340,7 @@ mod tests {
     #[test]
     fn mutations_respect_region_constraint() {
         for kind in MutationKind::ALL {
-            let op =
-                MaskMutation::with_kinds(vec![kind], 0.05, RegionConstraint::RightHalf);
+            let op = MaskMutation::with_kinds(vec![kind], 0.05, RegionConstraint::RightHalf);
             let mut mask = FilterMask::zeros(20, 10);
             // Seed some content in the right half so shuffle has something to move.
             for x in 10..20 {
@@ -380,11 +371,8 @@ mod tests {
     #[test]
     fn complement_bootstraps_zero_mask() {
         // complement(0) = 255: the operator can escape the all-zero genome.
-        let op = MaskMutation::with_kinds(
-            vec![MutationKind::Complement],
-            0.01,
-            RegionConstraint::Full,
-        );
+        let op =
+            MaskMutation::with_kinds(vec![MutationKind::Complement], 0.01, RegionConstraint::Full);
         let mut mask = FilterMask::zeros(30, 20);
         op.mutate(&mut mask, &mut rng());
         assert!(!mask.is_zero());
@@ -392,11 +380,8 @@ mod tests {
 
     #[test]
     fn shuffle_preserves_multiset_of_genes() {
-        let op = MaskMutation::with_kinds(
-            vec![MutationKind::Shuffle],
-            0.10,
-            RegionConstraint::Full,
-        );
+        let op =
+            MaskMutation::with_kinds(vec![MutationKind::Shuffle], 0.10, RegionConstraint::Full);
         let mut mask = random_mask(16, 8);
         let mut before: Vec<i16> = mask.as_slice().to_vec();
         op.mutate(&mut mask, &mut rng());
@@ -408,11 +393,7 @@ mod tests {
 
     #[test]
     fn invert_mirrors_a_window() {
-        let op = MaskMutation::with_kinds(
-            vec![MutationKind::Invert],
-            0.30,
-            RegionConstraint::Full,
-        );
+        let op = MaskMutation::with_kinds(vec![MutationKind::Invert], 0.30, RegionConstraint::Full);
         let mut mask = random_mask(12, 12);
         let before = mask.clone();
         op.mutate(&mut mask, &mut rng());
@@ -427,11 +408,8 @@ mod tests {
 
     #[test]
     fn gentle_noise_stays_small() {
-        let op = MaskMutation::with_kinds(
-            vec![MutationKind::GentleNoise],
-            0.05,
-            RegionConstraint::Full,
-        );
+        let op =
+            MaskMutation::with_kinds(vec![MutationKind::GentleNoise], 0.05, RegionConstraint::Full);
         let mut mask = FilterMask::zeros(30, 20);
         op.mutate(&mut mask, &mut rng());
         assert!(!mask.is_zero());

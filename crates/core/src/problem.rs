@@ -130,10 +130,7 @@ impl<'a> ButterflyProblem<'a> {
         let mut dist_fields = Vec::with_capacity(detectors.len());
         for detector in &detectors {
             let preds: Vec<Prediction> = frames.iter().map(|f| detector.detect(f)).collect();
-            let fields = preds
-                .iter()
-                .map(|p| DistanceField::new(w, h, p, epsilon))
-                .collect();
+            let fields = preds.iter().map(|p| DistanceField::new(w, h, p, epsilon)).collect();
             clean.push(preds);
             dist_fields.push(fields);
         }
@@ -176,11 +173,7 @@ impl<'a> ButterflyProblem<'a> {
     /// given placement shifts and illumination factors, and the
     /// degradation / distance objectives average over all placements. The
     /// identity placement is always included.
-    pub fn with_placement_robustness(
-        mut self,
-        shifts: &[(i32, i32)],
-        brightness: &[f32],
-    ) -> Self {
+    pub fn with_placement_robustness(mut self, shifts: &[(i32, i32)], brightness: &[f32]) -> Self {
         let mut placements = vec![(0, 0, 1.0f32)];
         for &(dx, dy) in shifts {
             if (dx, dy) != (0, 0) {
@@ -339,19 +332,19 @@ impl Problem for ButterflyProblem<'_> {
                     } else {
                         // Same weighting, no per-pixel-count normalisation;
                         // rescaled to a comparable magnitude.
-                        self.dist_fields[ki][ti]
-                            .objective_without_count_division(effective)
+                        self.dist_fields[ki][ti].objective_without_count_division(effective)
                             / (self.dist_fields[ki][ti].values().len() as f64 * 255.0 * 2.0)
                     };
                     if let Some(feature) = &self.feature {
-                        feat += feature[ki][ti]
-                            .objective(*detector, perturbed_lazy.get_or_insert_with(&make_perturbed));
+                        feat += feature[ki][ti].objective(
+                            *detector,
+                            perturbed_lazy.get_or_insert_with(&make_perturbed),
+                        );
                     }
                 }
             }
         }
-        let scale =
-            (self.detectors.len() * self.frames.len() * self.placements.len()) as f64;
+        let scale = (self.detectors.len() * self.frames.len() * self.placements.len()) as f64;
         let mut objectives = vec![intensity, degrad / scale, dist / scale];
         if self.feature.is_some() {
             objectives.push(feat / scale);
@@ -459,8 +452,7 @@ mod tests {
         // single-detector ones (Eqs. 1-3 with identical members).
         let img = Image::black(32, 16);
         let single = ButterflyProblem::single(&Toy, &img, 1.0, RegionConstraint::Full);
-        let pair =
-            ButterflyProblem::ensemble(vec![&Toy, &Toy], &img, 1.0, RegionConstraint::Full);
+        let pair = ButterflyProblem::ensemble(vec![&Toy, &Toy], &img, 1.0, RegionConstraint::Full);
         assert_eq!(pair.detector_count(), 2);
         let mut mask = FilterMask::zeros(32, 16);
         mask.set(1, 3, 28, 77);
@@ -547,8 +539,7 @@ mod tests {
     fn cached_evaluation_matches_uncached() {
         let img = SyntheticKitti::smoke_set().image(0);
         let plain = YoloDetector::new(YoloConfig::with_seed(1));
-        let cached =
-            bea_detect::CachedDetector::new(YoloDetector::new(YoloConfig::with_seed(1)));
+        let cached = bea_detect::CachedDetector::new(YoloDetector::new(YoloConfig::with_seed(1)));
         let p_plain = ButterflyProblem::single(&plain, &img, 2.0, RegionConstraint::Full);
         let p_cached =
             ButterflyProblem::single(&cached, &img, 2.0, RegionConstraint::Full).with_cache();
@@ -568,8 +559,7 @@ mod tests {
         // Brightness transforms touch every pixel, so only the identity
         // placement may take the incremental path.
         let img = SyntheticKitti::smoke_set().image(0);
-        let cached =
-            bea_detect::CachedDetector::new(YoloDetector::new(YoloConfig::with_seed(1)));
+        let cached = bea_detect::CachedDetector::new(YoloDetector::new(YoloConfig::with_seed(1)));
         let problem = ButterflyProblem::single(&cached, &img, 2.0, RegionConstraint::Full)
             .with_placement_robustness(&[], &[0.5])
             .with_cache();
@@ -584,12 +574,7 @@ mod tests {
     #[should_panic(expected = "at least one detector")]
     fn empty_detector_list_panics() {
         let img = Image::black(8, 8);
-        let _ = ButterflyProblem::build(
-            Vec::new(),
-            vec![img],
-            1.0,
-            RegionConstraint::Full,
-        );
+        let _ = ButterflyProblem::build(Vec::new(), vec![img], 1.0, RegionConstraint::Full);
     }
 
     #[test]

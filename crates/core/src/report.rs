@@ -74,10 +74,9 @@ pub fn champion_rows(
                 role: role.to_string(),
                 point: ParetoPoint {
                     intensity: objs[0],
-                    intensity_normalized:
-                        crate::objectives::intensity::obj_intensity_normalized(
-                            individual.genome(),
-                        ),
+                    intensity_normalized: crate::objectives::intensity::obj_intensity_normalized(
+                        individual.genome(),
+                    ),
                     degrad: objs[1],
                     dist: objs[2],
                 },
@@ -86,24 +85,69 @@ pub fn champion_rows(
         .collect()
 }
 
-/// Writes rows as CSV (with header).
+/// Extracts every final-front point as a `"front"`-role row. Persisting
+/// these next to the champions keeps success criteria computable from the
+/// stored rows alone (see [`rows_succeeded`]).
+pub fn front_rows(
+    outcome: &AttackOutcome,
+    architecture: &str,
+    model_seed: u64,
+    image_index: usize,
+) -> Vec<AttackRow> {
+    pareto_points(outcome)
+        .into_iter()
+        .map(|point| AttackRow {
+            architecture: architecture.to_string(),
+            model_seed,
+            image_index,
+            role: "front".to_string(),
+            point,
+        })
+        .collect()
+}
+
+/// [`attack_succeeded`] over persisted rows: `true` when any `"front"` row
+/// meets the criteria (champions are also front members, so they count
+/// too — the predicate matches the live-outcome one on rows produced by
+/// [`front_rows`] + [`champion_rows`]).
+pub fn rows_succeeded(rows: &[AttackRow], criteria: SuccessCriteria) -> bool {
+    rows.iter().any(|r| {
+        r.point.degrad <= criteria.max_degrad && r.point.intensity <= criteria.max_intensity
+    })
+}
+
+/// The column header emitted and expected by [`write_csv`] / [`read_csv`].
+pub const CSV_HEADER: &str =
+    "architecture,model_seed,image_index,role,intensity,intensity_normalized,degrad,dist";
+
+/// Quotes a field per RFC 4180 when it contains a comma, quote or line
+/// break; embedded quotes are doubled. Plain fields pass through.
+fn csv_field(value: &str) -> std::borrow::Cow<'_, str> {
+    if value.contains(['"', ',', '\n', '\r']) {
+        std::borrow::Cow::Owned(format!("\"{}\"", value.replace('"', "\"\"")))
+    } else {
+        std::borrow::Cow::Borrowed(value)
+    }
+}
+
+/// Writes rows as CSV (with header). String fields are quoted/escaped per
+/// RFC 4180, so caller-supplied group labels containing commas, quotes or
+/// newlines round-trip through [`read_csv`] instead of corrupting the
+/// file.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures from the writer.
 pub fn write_csv<W: Write>(rows: &[AttackRow], mut writer: W) -> std::io::Result<()> {
-    writeln!(
-        writer,
-        "architecture,model_seed,image_index,role,intensity,intensity_normalized,degrad,dist"
-    )?;
+    writeln!(writer, "{CSV_HEADER}")?;
     for row in rows {
         writeln!(
             writer,
             "{},{},{},{},{:.4},{:.6},{:.6},{:.6}",
-            row.architecture,
+            csv_field(&row.architecture),
             row.model_seed,
             row.image_index,
-            row.role,
+            csv_field(&row.role),
             row.point.intensity,
             row.point.intensity_normalized,
             row.point.degrad,
@@ -111,6 +155,96 @@ pub fn write_csv<W: Write>(rows: &[AttackRow], mut writer: W) -> std::io::Result
         )?;
     }
     Ok(())
+}
+
+/// Splits one CSV document into records of fields, honouring RFC 4180
+/// quoting (quoted fields may contain commas, doubled quotes and line
+/// breaks). Returns an error for an unterminated quoted field.
+fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, String> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut quoted = false;
+    let mut chars = text.chars().peekable();
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        if quoted {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    field.push('"');
+                }
+                '"' => quoted = false,
+                other => field.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' => quoted = true,
+            ',' => record.push(std::mem::take(&mut field)),
+            '\r' => {} // tolerate CRLF line endings
+            '\n' => {
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+            }
+            other => field.push(other),
+        }
+    }
+    if quoted {
+        return Err("unterminated quoted field".into());
+    }
+    // A final record without a trailing newline still counts.
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Reads rows back from CSV produced by [`write_csv`] (used to reload
+/// completed campaign cells on resume).
+///
+/// # Errors
+///
+/// Returns [`std::io::ErrorKind::InvalidData`] when the header or any
+/// record does not match the [`write_csv`] schema, and propagates I/O
+/// failures from the reader.
+pub fn read_csv<R: std::io::Read>(mut reader: R) -> std::io::Result<Vec<AttackRow>> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let mut records = parse_csv(&text).map_err(invalid)?.into_iter();
+    match records.next() {
+        Some(header) if header.join(",") == CSV_HEADER => {}
+        other => return Err(invalid(format!("bad CSV header: {other:?}"))),
+    }
+    let mut rows = Vec::new();
+    for (line, record) in records.enumerate() {
+        if record.len() != 8 {
+            return Err(invalid(format!("record {line}: expected 8 fields, got {}", record.len())));
+        }
+        let num = |i: usize| -> std::io::Result<f64> {
+            record[i].parse().map_err(|e| invalid(format!("record {line} field {i}: {e}")))
+        };
+        rows.push(AttackRow {
+            architecture: record[0].clone(),
+            model_seed: record[1]
+                .parse()
+                .map_err(|e| invalid(format!("record {line} model_seed: {e}")))?,
+            image_index: record[2]
+                .parse()
+                .map_err(|e| invalid(format!("record {line} image_index: {e}")))?,
+            role: record[3].clone(),
+            point: ParetoPoint {
+                intensity: num(4)?,
+                intensity_normalized: num(5)?,
+                degrad: num(6)?,
+                dist: num(7)?,
+            },
+        });
+    }
+    Ok(rows)
 }
 
 /// Attack-success criteria: a run "succeeds" when some front member
@@ -172,10 +306,7 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         println!("| {} |", padded.join(" | "));
     };
     line(headers.iter().map(|h| h.to_string()).collect());
-    println!(
-        "|{}|",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
-    );
+    println!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
     for row in rows {
         line(row.clone());
     }
@@ -217,6 +348,64 @@ mod tests {
         let mut buf = Vec::new();
         write_csv(&[], &mut buf).unwrap();
         assert_eq!(String::from_utf8(buf).unwrap().lines().count(), 1);
+    }
+
+    #[test]
+    fn hostile_labels_round_trip_through_csv() {
+        let hostile = AttackRow {
+            architecture: "DETR, \"v2\"\nensemble".into(),
+            model_seed: 7,
+            image_index: 3,
+            role: "best,\"degrad\"".into(),
+            point: ParetoPoint {
+                intensity: 10.5,
+                intensity_normalized: 0.25,
+                degrad: 0.125,
+                dist: 0.75,
+            },
+        };
+        let plain = sample_row();
+        let mut buf = Vec::new();
+        write_csv(&[hostile.clone(), plain.clone()], &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(
+            text.contains("\"DETR, \"\"v2\"\"\nensemble\""),
+            "label must be quoted with doubled quotes: {text}"
+        );
+        let rows = read_csv(&buf[..]).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].architecture, hostile.architecture);
+        assert_eq!(rows[0].role, hostile.role);
+        assert_eq!(rows[0].model_seed, 7);
+        assert_eq!(rows[0].image_index, 3);
+        assert_eq!(rows[0].point, hostile.point);
+        assert_eq!(rows[1], plain);
+    }
+
+    #[test]
+    fn csv_written_from_parsed_rows_is_byte_stable() {
+        // Values emitted at fixed precision re-parse and re-format to the
+        // identical bytes — resume can rewrite champion CSVs losslessly.
+        let mut first = Vec::new();
+        write_csv(&[sample_row()], &mut first).unwrap();
+        let reloaded = read_csv(&first[..]).unwrap();
+        let mut second = Vec::new();
+        write_csv(&reloaded, &mut second).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn read_csv_rejects_malformed_input() {
+        assert!(read_csv(&b"not,a,header\n"[..]).is_err());
+        let mut short = format!("{CSV_HEADER}\n").into_bytes();
+        short.extend_from_slice(b"DETR,1,2,role\n");
+        assert!(read_csv(&short[..]).is_err(), "field-count mismatch must fail");
+        let mut unterminated = format!("{CSV_HEADER}\n").into_bytes();
+        unterminated.extend_from_slice(b"\"DETR,1,2,role,1,1,1,1\n");
+        assert!(read_csv(&unterminated[..]).is_err(), "unterminated quote must fail");
+        let mut garbage = format!("{CSV_HEADER}\n").into_bytes();
+        garbage.extend_from_slice(b"DETR,notanumber,2,role,1,1,1,1\n");
+        assert!(read_csv(&garbage[..]).is_err(), "non-numeric seed must fail");
     }
 
     #[test]

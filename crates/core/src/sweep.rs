@@ -25,21 +25,35 @@ pub struct SweepCell {
 }
 
 /// Aggregated statistics of one group of cells.
+///
+/// The two denominators are explicit: `runs` counts every cell of the
+/// group, while `scored_runs` counts only the cells that produced a
+/// best-degradation champion. `mean_*` and `best_degrad` average/minimise
+/// over the `scored_runs` champions (NaN / `+inf` when there are none);
+/// `success_rate` divides by `runs`, so a cell with an empty front counts
+/// as a failure rather than silently vanishing from the rate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepSummary {
     /// Group label.
     pub group: String,
-    /// Number of runs aggregated.
+    /// Number of cells aggregated, including cells with an empty front.
     pub runs: usize,
-    /// Mean `obj_degrad` of the best-degradation champions.
+    /// Number of cells that contributed a best-degradation champion — the
+    /// denominator of every `mean_*` field.
+    pub scored_runs: usize,
+    /// Mean `obj_degrad` of the best-degradation champions (NaN when
+    /// `scored_runs` is zero).
     pub mean_degrad: f64,
-    /// Best (lowest) champion `obj_degrad` in the group.
+    /// Best (lowest) champion `obj_degrad` in the group (`+inf` when
+    /// `scored_runs` is zero).
     pub best_degrad: f64,
-    /// Mean `obj_intensity` of those champions.
+    /// Mean `obj_intensity` of those champions (NaN when `scored_runs` is
+    /// zero).
     pub mean_intensity: f64,
-    /// Mean `obj_dist` of those champions.
+    /// Mean `obj_dist` of those champions (NaN when `scored_runs` is
+    /// zero).
     pub mean_dist: f64,
-    /// Fraction of runs meeting the success criteria.
+    /// Fraction of **all** `runs` meeting the success criteria.
     pub success_rate: f64,
 }
 
@@ -90,12 +104,20 @@ impl AttackSweep {
         img: &Image,
     ) -> &SweepCell {
         let outcome = self.attack.attack(detector, img);
-        self.cells.push(SweepCell {
-            group: group.to_string(),
-            model_seed,
-            image_index,
-            outcome,
-        });
+        self.record_outcome(group, model_seed, image_index, outcome)
+    }
+
+    /// Records an already-computed outcome under `group` — the entry point
+    /// for results produced elsewhere (a parallel campaign, a reloaded
+    /// run). Returns a reference to the recorded cell.
+    pub fn record_outcome(
+        &mut self,
+        group: &str,
+        model_seed: u64,
+        image_index: usize,
+        outcome: AttackOutcome,
+    ) -> &SweepCell {
+        self.cells.push(SweepCell { group: group.to_string(), model_seed, image_index, outcome });
         self.cells.last().expect("just pushed")
     }
 
@@ -109,9 +131,7 @@ impl AttackSweep {
     pub fn champion_rows(&self) -> Vec<AttackRow> {
         self.cells
             .iter()
-            .flat_map(|c| {
-                champion_rows(&c.outcome, &c.group, c.model_seed, c.image_index)
-            })
+            .flat_map(|c| champion_rows(&c.outcome, &c.group, c.model_seed, c.image_index))
             .collect()
     }
 
@@ -140,22 +160,18 @@ impl AttackSweep {
                     .iter()
                     .filter_map(|c| c.outcome.best_degradation().map(|i| i.objectives()))
                     .collect();
-                if champs.is_empty() {
-                    return None;
-                }
+                // Means divide by the champion count, the success rate by
+                // the full member count: a cell with an empty front still
+                // counts as a failed run.
                 let n = champs.len() as f64;
-                let hits = members
-                    .iter()
-                    .filter(|c| attack_succeeded(&c.outcome, criteria))
-                    .count();
+                let hits =
+                    members.iter().filter(|c| attack_succeeded(&c.outcome, criteria)).count();
                 Some(SweepSummary {
                     group,
                     runs: members.len(),
+                    scored_runs: champs.len(),
                     mean_degrad: champs.iter().map(|o| o[1]).sum::<f64>() / n,
-                    best_degrad: champs
-                        .iter()
-                        .map(|o| o[1])
-                        .fold(f64::INFINITY, f64::min),
+                    best_degrad: champs.iter().map(|o| o[1]).fold(f64::INFINITY, f64::min),
                     mean_intensity: champs.iter().map(|o| o[0]).sum::<f64>() / n,
                     mean_dist: champs.iter().map(|o| o[2]).sum::<f64>() / n,
                     success_rate: hits as f64 / members.len() as f64,
@@ -169,34 +185,7 @@ impl AttackSweep {
 mod tests {
     use super::*;
     use crate::attack::AttackConfig;
-    use bea_detect::{Detection, Prediction};
-    use bea_scene::{BBox, ObjectClass};
-
-    /// Toy detector with a smooth right-half response (as in attack tests).
-    struct Toy;
-
-    impl Detector for Toy {
-        fn detect(&self, img: &Image) -> Prediction {
-            let mut acc = 0.0;
-            let mut n = 0usize;
-            for y in 0..img.height() {
-                for x in (img.width() / 2)..img.width() {
-                    acc += img.pixel(x, y)[0];
-                    n += 1;
-                }
-            }
-            let size = (8.0 - acc / n.max(1) as f32 / 4.0).clamp(3.0, 8.0);
-            Prediction::from_detections(vec![Detection::new(
-                ObjectClass::Car,
-                BBox::new(8.0, 8.0, size, size),
-                0.9,
-            )])
-        }
-
-        fn name(&self) -> &str {
-            "toy"
-        }
-    }
+    use crate::test_fixtures::Toy;
 
     fn sweep_with_cells() -> AttackSweep {
         let mut sweep = AttackSweep::new(ButterflyAttack::new(AttackConfig::scaled(10, 4)));
@@ -222,8 +211,66 @@ mod tests {
         let a = &summaries[0];
         assert_eq!(a.group, "A");
         assert_eq!(a.runs, 2);
+        assert_eq!(a.scored_runs, 2, "every real attack run yields a champion");
         assert!(a.best_degrad <= a.mean_degrad);
         assert!((0.0..=1.0).contains(&a.success_rate));
+    }
+
+    #[test]
+    fn empty_front_cells_count_as_runs_but_not_scored_runs() {
+        let mut sweep = AttackSweep::new(ButterflyAttack::new(AttackConfig::scaled(10, 4)));
+        let img = Image::black(24, 12);
+        sweep.run_cell("A", &Toy, 1, 0, &img);
+        // A synthetic outcome with an empty population — no front, no
+        // champions (the shape a crashed or degenerate run reloads as).
+        let empty = AttackOutcome::from_parts(
+            bea_nsga2::Nsga2Result::from_parts(
+                Vec::new(),
+                vec![
+                    bea_nsga2::Direction::Minimize,
+                    bea_nsga2::Direction::Minimize,
+                    bea_nsga2::Direction::Maximize,
+                ],
+                Vec::new(),
+                0,
+            ),
+            None,
+        );
+        sweep.record_outcome("A", 2, 0, empty);
+        let summaries = sweep.summaries(SuccessCriteria::default());
+        assert_eq!(summaries.len(), 1);
+        let a = &summaries[0];
+        assert_eq!(a.runs, 2, "the empty-front cell still counts as a run");
+        assert_eq!(a.scored_runs, 1, "but not as a scored run");
+        assert!(a.mean_degrad.is_finite(), "means average over scored runs only");
+        assert!(
+            a.success_rate <= 0.5,
+            "the empty-front cell is a failure in the success rate: {}",
+            a.success_rate
+        );
+
+        // A group consisting only of empty-front cells: explicit zeros and
+        // sentinels instead of a silently dropped group.
+        let empty_only = {
+            let mut s = AttackSweep::new(ButterflyAttack::new(AttackConfig::scaled(10, 4)));
+            let outcome = AttackOutcome::from_parts(
+                bea_nsga2::Nsga2Result::from_parts(
+                    Vec::new(),
+                    vec![bea_nsga2::Direction::Minimize],
+                    Vec::new(),
+                    0,
+                ),
+                None,
+            );
+            s.record_outcome("B", 1, 0, outcome);
+            s.summaries(SuccessCriteria::default())
+        };
+        assert_eq!(empty_only.len(), 1);
+        let b = &empty_only[0];
+        assert_eq!((b.runs, b.scored_runs), (1, 0));
+        assert_eq!(b.success_rate, 0.0);
+        assert!(b.mean_degrad.is_nan());
+        assert!(b.best_degrad.is_infinite());
     }
 
     #[test]

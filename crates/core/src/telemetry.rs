@@ -1,0 +1,420 @@
+//! Structured JSONL telemetry for campaign runs.
+//!
+//! Everything here is hand-rolled: the build environment has no registry
+//! access for serde, and the records are flat enough that a small builder
+//! beats a dependency. Two invariants matter to consumers:
+//!
+//! 1. **One JSON object per line** ("JSON Lines"): a campaign telemetry
+//!    file is a `manifest` record followed by one `generation` record per
+//!    generation per cell, in deterministic cell order.
+//! 2. **Timing fields come last.** Wall-times are the only
+//!    non-deterministic part of a record, so [`deterministic_prefix`] can
+//!    split a generation line right before `"evaluate_ms"` and determinism
+//!    tests compare the prefix byte-for-byte across runs.
+
+use bea_detect::CacheStats;
+use bea_nsga2::GenerationStats;
+use std::fmt::Write as _;
+
+/// Escapes a string's content for embedding inside JSON quotes (the
+/// quotes themselves are not added).
+pub fn escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a float as a JSON number; non-finite values (which JSON cannot
+/// represent) become `null`.
+pub fn number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders a `[f64]` slice as a JSON array via [`number`].
+pub fn array(values: &[f64]) -> String {
+    let inner: Vec<String> = values.iter().map(|v| number(*v)).collect();
+    format!("[{}]", inner.join(","))
+}
+
+/// Incremental JSON-object builder preserving field insertion order.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        let _ = write!(self.buf, "\"{}\":", escape(key));
+    }
+
+    /// Appends a string field.
+    pub fn string(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "\"{}\"", escape(value));
+        self
+    }
+
+    /// Appends an integer field.
+    pub fn integer(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Appends a float field (`null` when non-finite).
+    pub fn float(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        self.buf.push_str(&number(value));
+        self
+    }
+
+    /// Appends an optional float field (`null` when absent or non-finite).
+    pub fn optional_float(mut self, key: &str, value: Option<f64>) -> Self {
+        self.key(key);
+        self.buf.push_str(&value.map(number).unwrap_or_else(|| "null".to_string()));
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn boolean(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Appends a field whose value is already-rendered JSON (an array, a
+    /// nested object).
+    pub fn raw(mut self, key: &str, rendered: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(rendered);
+        self
+    }
+
+    /// Closes the object into its final `{...}` text.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Renders one per-generation telemetry record. Cache counters are the
+/// cumulative values observed *after* this generation (zero when the
+/// detector under attack does not cache); the wall-time fields come last
+/// (see the module docs).
+pub fn generation_record(
+    group: &str,
+    model_seed: u64,
+    image_index: usize,
+    seed: u64,
+    stats: &GenerationStats,
+    cache: Option<&CacheStats>,
+) -> String {
+    let zero = CacheStats::default();
+    let cache = cache.unwrap_or(&zero);
+    JsonObject::new()
+        .string("type", "generation")
+        .string("group", group)
+        .integer("model_seed", model_seed)
+        .integer("image_index", image_index as u64)
+        .integer("seed", seed)
+        .integer("generation", stats.generation as u64)
+        .integer("front_size", stats.front_size as u64)
+        .raw("best", &array(&stats.best))
+        .optional_float("hypervolume", stats.hypervolume)
+        .integer("cache_hits", cache.hits)
+        .integer("cache_misses", cache.misses)
+        .integer("cache_incremental", cache.incremental)
+        .integer("cache_fallbacks", cache.fallbacks)
+        .integer("cache_evictions", cache.evictions)
+        .float("evaluate_ms", stats.evaluate_ms)
+        .float("sort_ms", stats.sort_ms)
+        .float("select_ms", stats.select_ms)
+        .finish()
+}
+
+/// The deterministic part of a telemetry line: everything before the
+/// trailing wall-time fields. For records without timing fields (the
+/// manifest) the whole line is returned.
+pub fn deterministic_prefix(line: &str) -> &str {
+    line.split(",\"evaluate_ms\":").next().unwrap_or(line)
+}
+
+/// Checks that `text` is one syntactically valid JSON value (used by
+/// tests to keep the hand-rolled writer honest without a JSON
+/// dependency).
+///
+/// # Errors
+///
+/// Returns a description of the first syntax violation.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let mut parser = Parser { chars: text.char_indices().peekable(), text };
+    parser.skip_ws();
+    parser.value()?;
+    parser.skip_ws();
+    match parser.chars.next() {
+        None => Ok(()),
+        Some((i, c)) => Err(format!("trailing content at byte {i}: {c:?}")),
+    }
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    text: &'a str,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some((_, ' ' | '\t' | '\n' | '\r'))) {
+            self.chars.next();
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.chars.next() {
+            Some((_, c)) if c == want => Ok(()),
+            Some((i, c)) => Err(format!("expected {want:?} at byte {i}, got {c:?}")),
+            None => Err(format!("expected {want:?}, got end of input")),
+        }
+    }
+
+    fn literal(&mut self, rest: &str) -> Result<(), String> {
+        for want in rest.chars() {
+            self.expect(want)?;
+        }
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.chars.peek().copied() {
+            Some((_, '{')) => self.object(),
+            Some((_, '[')) => self.array(),
+            Some((_, '"')) => self.string(),
+            Some((_, 't')) => self.literal("true"),
+            Some((_, 'f')) => self.literal("false"),
+            Some((_, 'n')) => self.literal("null"),
+            Some((_, c)) if c == '-' || c.is_ascii_digit() => self.number_value(),
+            Some((i, c)) => Err(format!("unexpected {c:?} at byte {i}")),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect('{')?;
+        self.skip_ws();
+        if matches!(self.chars.peek(), Some((_, '}'))) {
+            self.chars.next();
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.value()?;
+            self.skip_ws();
+            match self.chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, '}')) => return Ok(()),
+                Some((i, c)) => return Err(format!("expected ',' or '}}' at byte {i}, got {c:?}")),
+                None => return Err("unterminated object".to_string()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect('[')?;
+        self.skip_ws();
+        if matches!(self.chars.peek(), Some((_, ']'))) {
+            self.chars.next();
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, ']')) => return Ok(()),
+                Some((i, c)) => return Err(format!("expected ',' or ']' at byte {i}, got {c:?}")),
+                None => return Err("unterminated array".to_string()),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect('"')?;
+        while let Some((i, c)) = self.chars.next() {
+            match c {
+                '"' => return Ok(()),
+                '\\' => match self.chars.next() {
+                    Some((_, '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't')) => {}
+                    Some((_, 'u')) => {
+                        for _ in 0..4 {
+                            match self.chars.next() {
+                                Some((_, h)) if h.is_ascii_hexdigit() => {}
+                                other => {
+                                    return Err(format!("bad \\u escape near byte {i}: {other:?}"))
+                                }
+                            }
+                        }
+                    }
+                    other => return Err(format!("bad escape near byte {i}: {other:?}")),
+                },
+                c if (c as u32) < 0x20 => return Err(format!("raw control character at byte {i}")),
+                _ => {}
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number_value(&mut self) -> Result<(), String> {
+        let start = self.chars.peek().map(|(i, _)| *i).unwrap_or(self.text.len());
+        if matches!(self.chars.peek(), Some((_, '-'))) {
+            self.chars.next();
+        }
+        let mut digits = 0usize;
+        while matches!(self.chars.peek(), Some((_, c)) if c.is_ascii_digit()) {
+            self.chars.next();
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err(format!("number without digits at byte {start}"));
+        }
+        if matches!(self.chars.peek(), Some((_, '.'))) {
+            self.chars.next();
+            let mut frac = 0usize;
+            while matches!(self.chars.peek(), Some((_, c)) if c.is_ascii_digit()) {
+                self.chars.next();
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err(format!("number with empty fraction at byte {start}"));
+            }
+        }
+        if matches!(self.chars.peek(), Some((_, 'e' | 'E'))) {
+            self.chars.next();
+            if matches!(self.chars.peek(), Some((_, '+' | '-'))) {
+                self.chars.next();
+            }
+            let mut exp = 0usize;
+            while matches!(self.chars.peek(), Some((_, c)) if c.is_ascii_digit()) {
+                self.chars.next();
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err(format!("number with empty exponent at byte {start}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_render_as_json() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(0.0), "0");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(array(&[1.0, 2.5]), "[1,2.5]");
+    }
+
+    #[test]
+    fn builder_produces_valid_json() {
+        let line = JsonObject::new()
+            .string("type", "man\"ifest")
+            .integer("jobs", 4)
+            .float("ratio", 0.5)
+            .optional_float("hv", None)
+            .boolean("resumed", false)
+            .raw("best", &array(&[1.0, f64::NAN]))
+            .finish();
+        validate_json(&line).expect("builder output must be valid JSON");
+        assert!(line.starts_with("{\"type\":\"man\\\"ifest\","));
+        assert!(line.contains("\"hv\":null"));
+        assert!(line.contains("\"best\":[1,null]"));
+    }
+
+    #[test]
+    fn generation_records_put_timing_last() {
+        let stats = bea_nsga2::GenerationStats {
+            generation: 3,
+            front_size: 7,
+            best: vec![1.0, 0.5, 0.25],
+            hypervolume: Some(2.0),
+            evaluate_ms: 1.25,
+            sort_ms: 0.5,
+            select_ms: 0.125,
+        };
+        let line = generation_record("YOLO", 2, 5, 99, &stats, None);
+        validate_json(&line).expect("record must be valid JSON");
+        let prefix = deterministic_prefix(&line);
+        assert!(prefix.ends_with("\"cache_evictions\":0"));
+        assert!(line.ends_with("\"select_ms\":0.125}"));
+        assert!(line.contains("\"hypervolume\":2"));
+        // The manifest has no timing fields; the prefix is the whole line.
+        let manifest = JsonObject::new().string("type", "manifest").finish();
+        assert_eq!(deterministic_prefix(&manifest), manifest);
+    }
+
+    #[test]
+    fn validator_accepts_json_and_rejects_garbage() {
+        for good in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            "{\"a\":[1,2,{\"b\":\"c\\n\"}],\"d\":true}",
+            " {\"x\": null} ",
+        ] {
+            validate_json(good).unwrap_or_else(|e| panic!("{good}: {e}"));
+        }
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "01x",
+            "1.2.3",
+            "{\"a\":1} extra",
+            "nul",
+        ] {
+            assert!(validate_json(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Shared test fixtures for the crate's unit tests.
+
+use bea_detect::{Detection, Detector, Prediction};
+use bea_image::Image;
+use bea_scene::{BBox, ObjectClass};
+
+/// Cheap deterministic detector for driver-level tests: detects a "car"
+/// whose box shrinks continuously with the mean brightness of the right
+/// half. The smooth landscape gives the GA a gradient to climb — a step
+/// threshold would leave `obj_degrad` flat at 1.0 until the cliff, making
+/// success pure initialization luck at the small population/generation
+/// budgets tests use.
+pub(crate) struct Toy;
+
+impl Detector for Toy {
+    fn detect(&self, img: &Image) -> Prediction {
+        let mut acc = 0.0;
+        let mut n = 0usize;
+        for y in 0..img.height() {
+            for x in (img.width() / 2)..img.width() {
+                acc += img.pixel(x, y)[0] + img.pixel(x, y)[1];
+                n += 1;
+            }
+        }
+        let m = acc / n.max(1) as f32;
+        let size = (8.0 - m / 8.0).clamp(3.0, 8.0);
+        Prediction::from_detections(vec![Detection::new(
+            ObjectClass::Car,
+            BBox::new(8.0, 8.0, size, size),
+            0.9,
+        )])
+    }
+
+    fn name(&self) -> &str {
+        "toy"
+    }
+}

@@ -51,6 +51,10 @@ pub struct CacheStats {
     /// Backbone cells rewritten by the incremental path, summed over all
     /// evaluations (the cached counterpart recomputes the full plane).
     pub pixels_recomputed: u64,
+    /// Memoized clean passes dropped from the cache — least-recently-used
+    /// entries displaced by the capacity bound plus explicit
+    /// [`CachedDetector::evict`] / [`CachedDetector::clear`] calls.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -62,6 +66,7 @@ impl CacheStats {
         self.fallbacks += other.fallbacks;
         self.global_stage_full += other.global_stage_full;
         self.pixels_recomputed += other.pixels_recomputed;
+        self.evictions += other.evictions;
     }
 
     /// The activity since an earlier snapshot of the same counters.
@@ -71,12 +76,9 @@ impl CacheStats {
             misses: self.misses.saturating_sub(earlier.misses),
             incremental: self.incremental.saturating_sub(earlier.incremental),
             fallbacks: self.fallbacks.saturating_sub(earlier.fallbacks),
-            global_stage_full: self
-                .global_stage_full
-                .saturating_sub(earlier.global_stage_full),
-            pixels_recomputed: self
-                .pixels_recomputed
-                .saturating_sub(earlier.pixels_recomputed),
+            global_stage_full: self.global_stage_full.saturating_sub(earlier.global_stage_full),
+            pixels_recomputed: self.pixels_recomputed.saturating_sub(earlier.pixels_recomputed),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
         }
     }
 
@@ -91,13 +93,14 @@ impl std::fmt::Display for CacheStats {
         write!(
             f,
             "hits {} / misses {}, incremental {}, fallbacks {}, \
-             global-stage-full {}, cells recomputed {}",
+             global-stage-full {}, cells recomputed {}, evictions {}",
             self.hits,
             self.misses,
             self.incremental,
             self.fallbacks,
             self.global_stage_full,
-            self.pixels_recomputed
+            self.pixels_recomputed,
+            self.evictions
         )
     }
 }
@@ -193,27 +196,62 @@ fn content_hash(img: &Image) -> u64 {
 /// ```
 pub struct CachedDetector<D: IncrementalDetect> {
     inner: D,
-    entries: Mutex<HashMap<u64, CacheEntry<D>>>,
+    entries: Mutex<EntryMap<D>>,
+    capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
     incremental: AtomicU64,
     fallbacks: AtomicU64,
     global_stage_full: AtomicU64,
     pixels_recomputed: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// The memoized clean passes plus the LRU clock; one mutex guards both.
+struct EntryMap<D: IncrementalDetect> {
+    slots: HashMap<u64, LruSlot<D>>,
+    tick: u64,
+}
+
+struct LruSlot<D: IncrementalDetect> {
+    entry: CacheEntry<D>,
+    last_used: u64,
 }
 
 impl<D: IncrementalDetect> CachedDetector<D> {
-    /// Wraps a detector with an empty cache.
+    /// Wraps a detector with an empty, unbounded cache.
     pub fn new(inner: D) -> Self {
+        Self::build(inner, None)
+    }
+
+    /// Wraps a detector with a cache bounded to at most `capacity`
+    /// memoized clean images; the least-recently-used entry is evicted
+    /// (counted in [`CacheStats::evictions`]) when a new image would
+    /// overflow the bound. Campaigns sweeping many images use this to keep
+    /// memory flat. Predictions are identical at any capacity — eviction
+    /// only costs a recomputed clean pass on the next lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero; use the inner detector directly
+    /// instead of a cache that can hold nothing.
+    pub fn with_capacity(inner: D, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be at least 1");
+        Self::build(inner, Some(capacity))
+    }
+
+    fn build(inner: D, capacity: Option<usize>) -> Self {
         Self {
             inner,
-            entries: Mutex::new(HashMap::new()),
+            entries: Mutex::new(EntryMap { slots: HashMap::new(), tick: 0 }),
+            capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             incremental: AtomicU64::new(0),
             fallbacks: AtomicU64::new(0),
             global_stage_full: AtomicU64::new(0),
             pixels_recomputed: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -229,7 +267,33 @@ impl<D: IncrementalDetect> CachedDetector<D> {
 
     /// Number of distinct clean images currently memoized.
     pub fn cached_images(&self) -> usize {
-        self.entries.lock().expect("cache mutex poisoned").len()
+        self.entries.lock().expect("cache mutex poisoned").slots.len()
+    }
+
+    /// The configured capacity bound, `None` when unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Drops the memoized clean pass of one image, if present. A campaign
+    /// calls this after finishing a cell so long-lived shared detectors
+    /// do not accumulate every image of the grid.
+    pub fn evict(&self, img: &Image) -> bool {
+        let key = content_hash(img);
+        let mut entries = self.entries.lock().expect("cache mutex poisoned");
+        let dropped = entries.slots.remove(&key).is_some();
+        if dropped {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        dropped
+    }
+
+    /// Drops every memoized clean pass, counting each as an eviction.
+    pub fn clear(&self) {
+        let mut entries = self.entries.lock().expect("cache mutex poisoned");
+        let dropped = entries.slots.len() as u64;
+        entries.slots.clear();
+        self.evictions.fetch_add(dropped, Ordering::Relaxed);
     }
 
     /// Snapshot of the accumulated counters.
@@ -241,6 +305,7 @@ impl<D: IncrementalDetect> CachedDetector<D> {
             fallbacks: self.fallbacks.load(Ordering::Relaxed),
             global_stage_full: self.global_stage_full.load(Ordering::Relaxed),
             pixels_recomputed: self.pixels_recomputed.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -248,15 +313,30 @@ impl<D: IncrementalDetect> CachedDetector<D> {
     fn entry(&self, img: &Image) -> Arc<(D::Clean, Prediction)> {
         let key = content_hash(img);
         let mut entries = self.entries.lock().expect("cache mutex poisoned");
-        if let Some(entry) = entries.get(&key) {
+        entries.tick += 1;
+        let tick = entries.tick;
+        if let Some(slot) = entries.slots.get_mut(&key) {
+            slot.last_used = tick;
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(entry);
+            return Arc::clone(&slot.entry);
+        }
+        if let Some(capacity) = self.capacity {
+            while entries.slots.len() >= capacity {
+                let oldest = entries
+                    .slots
+                    .iter()
+                    .min_by_key(|(_, slot)| slot.last_used)
+                    .map(|(&k, _)| k)
+                    .expect("non-empty map has a minimum");
+                entries.slots.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
         }
         // Computed under the lock: concurrent first sights of one image
         // would otherwise duplicate the most expensive pass in the system.
         let entry = Arc::new(self.inner.clean_forward(img));
         self.misses.fetch_add(1, Ordering::Relaxed);
-        entries.insert(key, Arc::clone(&entry));
+        entries.slots.insert(key, LruSlot { entry: Arc::clone(&entry), last_used: tick });
         entry
     }
 }
@@ -341,10 +421,7 @@ mod tests {
         assert_eq!(content_hash(&a), content_hash(&b));
         b.put_pixel(3, 2, [10.0, 11.0, 10.0]);
         assert_ne!(content_hash(&a), content_hash(&b));
-        assert_ne!(
-            content_hash(&Image::black(8, 16)),
-            content_hash(&Image::black(16, 8))
-        );
+        assert_ne!(content_hash(&Image::black(8, 16)), content_hash(&Image::black(16, 8)));
     }
 
     #[test]
@@ -395,13 +472,92 @@ mod tests {
 
     #[test]
     fn stats_merge_and_since() {
-        let a = CacheStats { hits: 3, misses: 1, incremental: 2, fallbacks: 0, global_stage_full: 1, pixels_recomputed: 100 };
+        let a = CacheStats {
+            hits: 3,
+            misses: 1,
+            incremental: 2,
+            fallbacks: 0,
+            global_stage_full: 1,
+            pixels_recomputed: 100,
+            evictions: 2,
+        };
         let mut b = a;
         b.merge(&a);
         assert_eq!(b.hits, 6);
         assert_eq!(b.pixels_recomputed, 200);
+        assert_eq!(b.evictions, 4);
         assert_eq!(b.since(&a), a);
         assert_eq!(a.lookups(), 4);
         assert!(a.to_string().contains("hits 3"));
+        assert!(a.to_string().contains("evictions 2"));
+    }
+
+    #[test]
+    fn capacity_one_cache_over_two_images_stays_bounded_and_bit_identical() {
+        let images =
+            [SyntheticKitti::evaluation_set().image(0), SyntheticKitti::evaluation_set().image(1)];
+        let plain = YoloDetector::new(YoloConfig::with_seed(3));
+        let cached = CachedDetector::with_capacity(YoloDetector::new(YoloConfig::with_seed(3)), 1);
+        assert_eq!(cached.capacity(), Some(1));
+        // Alternate between the two images: every switch displaces the
+        // other image's entry, yet predictions never change.
+        for round in 0..2 {
+            for img in &images {
+                let mask = sample_mask(img.width(), img.height());
+                assert_eq!(
+                    cached.detect_masked(img, &mask),
+                    plain.detect(&mask.apply(img)),
+                    "round {round}: cached path must stay bit-identical"
+                );
+                assert!(cached.cached_images() <= 1, "capacity bound violated");
+            }
+        }
+        let stats = cached.stats();
+        assert_eq!(stats.evictions, 3, "every switch after the first fill evicts");
+        assert_eq!(stats.misses, 4, "alternation defeats a capacity-1 cache");
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn explicit_eviction_and_clear_are_counted() {
+        let img = SyntheticKitti::evaluation_set().image(2);
+        let cached = CachedDetector::new(YoloDetector::new(YoloConfig::with_seed(1)));
+        let mask = sample_mask(img.width(), img.height());
+        let _ = cached.detect_masked(&img, &mask);
+        assert_eq!(cached.cached_images(), 1);
+        assert!(cached.evict(&img));
+        assert!(!cached.evict(&img), "double eviction is a no-op");
+        assert_eq!(cached.cached_images(), 0);
+        // Re-memoize, then clear.
+        let _ = cached.detect_masked(&img, &mask);
+        cached.clear();
+        assert_eq!(cached.cached_images(), 0);
+        let stats = cached.stats();
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.misses, 2, "eviction forces a fresh clean pass");
+    }
+
+    #[test]
+    fn lru_keeps_the_recently_used_image() {
+        let data = SyntheticKitti::evaluation_set();
+        let images = [data.image(0), data.image(1), data.image(2)];
+        let cached = CachedDetector::with_capacity(YoloDetector::new(YoloConfig::with_seed(2)), 2);
+        let mask = |img: &Image| sample_mask(img.width(), img.height());
+        let _ = cached.detect_masked(&images[0], &mask(&images[0])); // miss {0}
+        let _ = cached.detect_masked(&images[1], &mask(&images[1])); // miss {0,1}
+        let _ = cached.detect_masked(&images[0], &mask(&images[0])); // hit, 0 newest
+        let _ = cached.detect_masked(&images[2], &mask(&images[2])); // miss, evicts 1
+        let _ = cached.detect_masked(&images[0], &mask(&images[0])); // hit
+        let stats = cached.stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 2, "image 0 must survive both insertions");
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(cached.cached_images(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_is_rejected() {
+        let _ = CachedDetector::with_capacity(YoloDetector::new(YoloConfig::with_seed(1)), 0);
     }
 }

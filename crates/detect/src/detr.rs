@@ -182,11 +182,7 @@ impl DetrDetector {
             let mut total = crate::metrics::DetectionScore::default();
             for (scene, field, scores, gw, gh) in &cached {
                 let pred = self.decode_at(field, scores, *gw, *gh, t);
-                total.merge(&crate::metrics::match_prediction(
-                    &pred,
-                    &scene.ground_truths(),
-                    0.5,
-                ));
+                total.merge(&crate::metrics::match_prediction(&pred, &scene.ground_truths(), 0.5));
             }
             let f1 = total.f1();
             if f1 > best.1 {
@@ -256,9 +252,8 @@ impl DetrDetector {
             tokens = block.forward(&tokens, Some(&pos)).expect("encoder preserves token shape");
         }
         // Analytic read-out head.
-        let mut scores = tokens
-            .matmul(self.embed.weight())
-            .expect("token width equals embed output width");
+        let mut scores =
+            tokens.matmul(self.embed.weight()).expect("token width equals embed output width");
         for c in 0..classes {
             let norm = self.config.content_gain * self.head_norms[c];
             for t in 0..scores.rows() {
@@ -439,14 +434,13 @@ impl DetrDetector {
         let span = measure_span(&window, ww, wh, peak, frac, reach);
         let (nominal_len, nominal_wid) = template.nominal_box();
         let (expected_x, expected_y) = template.expected_span();
-        let len = (nominal_len * span.width / expected_x)
-            .clamp(0.6 * nominal_len, 1.5 * nominal_len);
-        let wid = (nominal_wid * span.height / expected_y)
-            .clamp(0.6 * nominal_wid, 1.5 * nominal_wid);
+        let len =
+            (nominal_len * span.width / expected_x).clamp(0.6 * nominal_len, 1.5 * nominal_len);
+        let wid =
+            (nominal_wid * span.height / expected_y).clamp(0.6 * nominal_wid, 1.5 * nominal_wid);
         let cx = ResponseField::to_full_res(cx0 as f32 + span.center_x);
         let cy = ResponseField::to_full_res(cy0 as f32 + span.center_y);
-        let score =
-            ((best_score - threshold) / (1.0 - threshold)).clamp(0.0, 1.0) * 0.5 + 0.5;
+        let score = ((best_score - threshold) / (1.0 - threshold)).clamp(0.0, 1.0) * 0.5 + 0.5;
         Some(Detection::new(best_class, BBox::new(cx, cy, len, wid), score))
     }
 }

@@ -86,8 +86,7 @@ impl Ensemble {
     /// `quorum · K` members becomes one fused detection whose box is the
     /// support-weighted mean.
     fn fuse(&self, predictions: Vec<Prediction>) -> Prediction {
-        let all: Vec<Detection> =
-            predictions.into_iter().flat_map(Prediction::into_vec).collect();
+        let all: Vec<Detection> = predictions.into_iter().flat_map(Prediction::into_vec).collect();
         let mut used = vec![false; all.len()];
         let mut fused = Prediction::new();
         let needed = (self.quorum * self.members.len() as f32).ceil().max(1.0) as usize;

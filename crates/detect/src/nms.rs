@@ -27,9 +27,8 @@ pub fn suppress(prediction: Prediction, iou_threshold: f32) -> Prediction {
     sorted.sort_by_score();
     let mut kept: Vec<Detection> = Vec::new();
     for det in sorted.into_vec() {
-        let overlapped = kept
-            .iter()
-            .any(|k| k.class == det.class && k.bbox.iou(&det.bbox) > iou_threshold);
+        let overlapped =
+            kept.iter().any(|k| k.class == det.class && k.bbox.iou(&det.bbox) > iou_threshold);
         if !overlapped {
             kept.push(det);
         }
@@ -91,14 +90,17 @@ mod tests {
             det(ObjectClass::Van, 10.0, 0.8),
         ]);
         assert_eq!(suppress(pred, 0.5).len(), 2);
-        assert_eq!(suppress_class_agnostic(
-            Prediction::from_detections(vec![
-                det(ObjectClass::Car, 10.0, 0.9),
-                det(ObjectClass::Van, 10.0, 0.8),
-            ]),
-            0.5,
-        )
-        .len(), 1);
+        assert_eq!(
+            suppress_class_agnostic(
+                Prediction::from_detections(vec![
+                    det(ObjectClass::Car, 10.0, 0.9),
+                    det(ObjectClass::Van, 10.0, 0.8),
+                ]),
+                0.5,
+            )
+            .len(),
+            1
+        );
     }
 
     #[test]

@@ -166,8 +166,7 @@ impl Sat {
                 }
                 let idx = (y + 1) * stride + (x + 1);
                 sum[idx] = s + sum[idx - 1] + sum[idx - stride] - sum[idx - stride - 1];
-                sum_sq[idx] =
-                    q + sum_sq[idx - 1] + sum_sq[idx - stride] - sum_sq[idx - stride - 1];
+                sum_sq[idx] = q + sum_sq[idx - 1] + sum_sq[idx - stride] - sum_sq[idx - stride - 1];
             }
         }
         Self { width: w, sum, sum_sq }
@@ -407,8 +406,7 @@ mod tests {
         let small = scene_with(ObjectClass::Car, 40.0, 30.0);
         let bank = TemplateBank::canonical();
         let mut field = ResponseField::compute(&Image::filled(64, 32, [96.0; 3]), &bank);
-        let window =
-            field.recompute_window(&small, &bank, &DirtyRect::new(0, 0, 4, 4));
+        let window = field.recompute_window(&small, &bank, &DirtyRect::new(0, 0, 4, 4));
         assert_eq!(window, DirtyRect::full(64, 32));
         assert_eq!(field, ResponseField::compute(&small, &bank));
     }

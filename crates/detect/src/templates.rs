@@ -83,8 +83,7 @@ impl ClassTemplate {
                 *v += rng.normal(0.0, scale);
             }
         }
-        let norm =
-            map.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt().max(f32::MIN_POSITIVE);
+        let norm = map.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt().max(f32::MIN_POSITIVE);
         let weight_sum = map.as_slice().iter().sum();
         let mut template = Self { class, map, norm, weight_sum, expected_span: (1.0, 1.0) };
         template.expected_span = template.autocorrelation_span();
@@ -138,14 +137,7 @@ impl ClassTemplate {
         let peaks = crate::peaks::find_peaks(&plane, sw, sh, 0.3);
         match peaks.first() {
             Some(&peak) => {
-                let span = crate::peaks::measure_span(
-                    &plane,
-                    sw,
-                    sh,
-                    peak,
-                    0.5,
-                    tw.max(th) * 2,
-                );
+                let span = crate::peaks::measure_span(&plane, sw, sh, peak, 0.5, tw.max(th) * 2);
                 (span.width.max(1.0), span.height.max(1.0))
             }
             None => (tw.max(1) as f32, th.max(1) as f32),
@@ -248,8 +240,7 @@ mod tests {
             // The neutral margin around the object carries zero weight.
             assert_eq!(t.map().at(0, 0, 0), 0.0, "{} margin should be zero", t.class());
             // And a sizeable part of the map is unpainted.
-            let zeros =
-                t.map().as_slice().iter().filter(|&&v| v == 0.0).count() as f32;
+            let zeros = t.map().as_slice().iter().filter(|&&v| v == 0.0).count() as f32;
             let frac = zeros / t.map().as_slice().len() as f32;
             assert!(frac > 0.05, "{} template has no zero support ({frac})", t.class());
         }

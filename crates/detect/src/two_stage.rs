@@ -146,15 +146,15 @@ impl TwoStageDetector {
             );
             let (nominal_len, nominal_wid) = template.nominal_box();
             let (expected_x, expected_y) = template.expected_span();
-            let len = (nominal_len * span.width / expected_x)
-                .clamp(0.6 * nominal_len, 1.5 * nominal_len);
+            let len =
+                (nominal_len * span.width / expected_x).clamp(0.6 * nominal_len, 1.5 * nominal_len);
             let wid = (nominal_wid * span.height / expected_y)
                 .clamp(0.6 * nominal_wid, 1.5 * nominal_wid);
             let cx = ResponseField::to_full_res(span.center_x);
             let cy = ResponseField::to_full_res(span.center_y);
-            let score =
-                ((best_score - self.threshold) / (1.0 - self.threshold)).clamp(0.0, 1.0) * 0.5
-                    + 0.5;
+            let score = ((best_score - self.threshold) / (1.0 - self.threshold)).clamp(0.0, 1.0)
+                * 0.5
+                + 0.5;
             raw.push(Detection::new(best_class, BBox::new(cx, cy, len, wid), score));
         }
         nms::suppress(raw, self.config.nms_iou)
@@ -239,10 +239,7 @@ mod tests {
         let a = TwoStageDetector::new(TwoStageConfig::with_seed(3));
         let b = TwoStageDetector::new(TwoStageConfig::with_seed(3));
         assert_eq!(a.detect(&img), b.detect(&img));
-        assert_ne!(
-            a.threshold(),
-            TwoStageDetector::new(TwoStageConfig::with_seed(4)).threshold()
-        );
+        assert_ne!(a.threshold(), TwoStageDetector::new(TwoStageConfig::with_seed(4)).threshold());
     }
 
     #[test]
@@ -271,8 +268,7 @@ mod tests {
         }
         let half = base.width() as f32 / 2.0;
         let left = |p: &Prediction| {
-            let mut v: Vec<_> =
-                p.iter().filter(|d| d.bbox.x1() < half - 26.0).copied().collect();
+            let mut v: Vec<_> = p.iter().filter(|d| d.bbox.x1() < half - 26.0).copied().collect();
             v.sort_by(|a, b| a.bbox.cx.partial_cmp(&b.bbox.cx).unwrap());
             v
         };

@@ -130,11 +130,13 @@ impl Prediction {
         self.of_class(class).map(|d| d.bbox.iou(bbox)).fold(0.0, f32::max)
     }
 
-    /// Sorts detections by descending score.
+    /// Sorts detections by descending score. Uses IEEE 754 `total_cmp`
+    /// so the order is a strict total order — deterministic NMS even if a
+    /// detector ever emits a non-finite score (`partial_cmp` would treat
+    /// NaN as equal to everything, leaving the order
+    /// implementation-defined).
     pub fn sort_by_score(&mut self) {
-        self.detections.sort_by(|a, b| {
-            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        self.detections.sort_by(|a, b| b.score.total_cmp(&a.score));
     }
 }
 
@@ -235,8 +237,7 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let pred: Prediction =
-            (0..3).map(|i| det(ObjectClass::Car, i as f32, 0.5)).collect();
+        let pred: Prediction = (0..3).map(|i| det(ObjectClass::Car, i as f32, 0.5)).collect();
         assert_eq!(pred.len(), 3);
     }
 

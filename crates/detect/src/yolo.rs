@@ -132,9 +132,7 @@ impl YoloDetector {
             .map(|ci| map.channel(ci).iter().map(|v| v.max(0.0)).sum::<f32>() / plane_len)
             .collect();
         for ci in 0..c {
-            let drive: f32 = (0..c)
-                .map(|k| self.ctx_weights[ci * c + k] * context[k])
-                .sum();
+            let drive: f32 = (0..c).map(|k| self.ctx_weights[ci * c + k] * context[k]).sum();
             let gain = 1.0 + self.config.context_gain * drive.tanh();
             for v in map.channel_mut(ci) {
                 *v *= gain;
@@ -166,10 +164,8 @@ impl YoloDetector {
                     .clamp(0.6 * nominal_wid, 1.5 * nominal_wid);
                 let cx = ResponseField::to_full_res(span.center_x);
                 let cy = ResponseField::to_full_res(span.center_y);
-                let score = ((peak.value - threshold) / (1.0 - threshold))
-                    .clamp(0.0, 1.0)
-                    * 0.5
-                    + 0.5;
+                let score =
+                    ((peak.value - threshold) / (1.0 - threshold)).clamp(0.0, 1.0) * 0.5 + 0.5;
                 raw.push(Detection::new(class, BBox::new(cx, cy, len, wid), score));
             }
         }
@@ -193,11 +189,7 @@ impl YoloDetector {
             let mut total = crate::metrics::DetectionScore::default();
             for (scene, map) in &cached {
                 let pred = self.decode_at(map, t);
-                total.merge(&crate::metrics::match_prediction(
-                    &pred,
-                    &scene.ground_truths(),
-                    0.5,
-                ));
+                total.merge(&crate::metrics::match_prediction(&pred, &scene.ground_truths(), 0.5));
             }
             let f1 = total.f1();
             if f1 > best.1 {
@@ -351,8 +343,7 @@ mod tests {
         let pb = yolo.detect(&noisy);
         let half = base.width() as f32 / 2.0;
         let left = |p: &Prediction| {
-            let mut v: Vec<_> =
-                p.iter().filter(|d| d.bbox.cx < half - 14.0).copied().collect();
+            let mut v: Vec<_> = p.iter().filter(|d| d.bbox.cx < half - 14.0).copied().collect();
             v.sort_by(|a, b| a.bbox.cx.partial_cmp(&b.bbox.cx).unwrap());
             v
         };

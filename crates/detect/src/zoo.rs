@@ -128,9 +128,12 @@ impl ModelZoo {
                 DetrDetector::new(DetrConfig { seed, ..self.detr_base })
                     .expect("base DETR configuration must be valid"),
             )),
-            Architecture::TwoStage => Box::new(CachedDetector::new(TwoStageDetector::new(
-                TwoStageConfig { seed, ..self.two_stage_base },
-            ))),
+            Architecture::TwoStage => {
+                Box::new(CachedDetector::new(TwoStageDetector::new(TwoStageConfig {
+                    seed,
+                    ..self.two_stage_base
+                })))
+            }
         }
     }
 

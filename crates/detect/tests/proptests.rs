@@ -6,14 +6,15 @@ use bea_scene::{BBox, ObjectClass};
 use proptest::prelude::*;
 
 fn arb_detection() -> impl Strategy<Value = Detection> {
-    (0usize..6, 0.0f32..150.0, 0.0f32..60.0, 1.0f32..40.0, 1.0f32..30.0, 0.0f32..1.0)
-        .prop_map(|(c, cx, cy, l, w, s)| {
+    (0usize..6, 0.0f32..150.0, 0.0f32..60.0, 1.0f32..40.0, 1.0f32..30.0, 0.0f32..1.0).prop_map(
+        |(c, cx, cy, l, w, s)| {
             Detection::new(
                 ObjectClass::from_index(c).expect("index < 6"),
                 BBox::new(cx, cy, l, w),
                 s,
             )
-        })
+        },
+    )
 }
 
 fn arb_prediction(max: usize) -> impl Strategy<Value = Prediction> {

@@ -93,8 +93,7 @@ pub fn write_pgm<W: Write>(map: &FeatureMap, channel: usize, mut writer: W) -> R
     let hi = plane.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let range = if hi > lo { hi - lo } else { 1.0 };
     write!(writer, "P5\n{} {}\n255\n", map.width(), map.height())?;
-    let bytes: Vec<u8> =
-        plane.iter().map(|&v| (255.0 * (v - lo) / range).round() as u8).collect();
+    let bytes: Vec<u8> = plane.iter().map(|&v| (255.0 * (v - lo) / range).round() as u8).collect();
     writer.write_all(&bytes)?;
     Ok(())
 }
@@ -162,10 +161,7 @@ pub fn read_mask<R: Read>(mut reader: R) -> Result<crate::FilterMask> {
     reader.read_exact(&mut buf).map_err(|_| ImageError::Format {
         what: format!("truncated gene data for {width}x{height} mask"),
     })?;
-    let values: Vec<i16> = buf
-        .chunks_exact(2)
-        .map(|b| i16::from_le_bytes([b[0], b[1]]))
-        .collect();
+    let values: Vec<i16> = buf.chunks_exact(2).map(|b| i16::from_le_bytes([b[0], b[1]])).collect();
     crate::FilterMask::from_values(width, height, values)
 }
 
@@ -187,9 +183,7 @@ fn read_token<R: BufRead>(reader: &mut R) -> Result<String> {
         match reader.read_exact(&mut byte) {
             Ok(()) => {}
             Err(_) if !token.is_empty() => return Ok(token),
-            Err(_) => {
-                return Err(ImageError::Format { what: "unexpected end of header".into() })
-            }
+            Err(_) => return Err(ImageError::Format { what: "unexpected end of header".into() }),
         }
         let ch = byte[0] as char;
         if in_comment {
@@ -214,9 +208,7 @@ fn read_token<R: BufRead>(reader: &mut R) -> Result<String> {
 
 fn parse_token<R: BufRead, T: std::str::FromStr>(reader: &mut R, field: &str) -> Result<T> {
     let token = read_token(reader)?;
-    token
-        .parse()
-        .map_err(|_| ImageError::Format { what: format!("invalid {field}: {token:?}") })
+    token.parse().map_err(|_| ImageError::Format { what: format!("invalid {field}: {token:?}") })
 }
 
 #[cfg(test)]

@@ -55,8 +55,7 @@ impl FilterMask {
         if values.len() != expected {
             return Err(ImageError::LengthMismatch { expected, actual: values.len() });
         }
-        let values =
-            values.into_iter().map(|v| v.clamp(-MASK_LIMIT, MASK_LIMIT)).collect();
+        let values = values.into_iter().map(|v| v.clamp(-MASK_LIMIT, MASK_LIMIT)).collect();
         Ok(Self { width, height, values })
     }
 
@@ -184,11 +183,8 @@ impl FilterMask {
         let mut out = vec![0i16; self.width * self.height];
         for y in 0..self.height {
             for x in 0..self.width {
-                let m = self
-                    .at(0, y, x)
-                    .abs()
-                    .max(self.at(1, y, x).abs())
-                    .max(self.at(2, y, x).abs());
+                let m =
+                    self.at(0, y, x).abs().max(self.at(1, y, x).abs()).max(self.at(2, y, x).abs());
                 out[y * self.width + x] = m;
             }
         }

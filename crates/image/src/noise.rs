@@ -160,8 +160,7 @@ mod tests {
 
     #[test]
     fn speckle_is_sparse() {
-        let mask =
-            NoiseKind::Speckle { density: 0.05, std_dev: 50.0 }.generate(64, 64, &mut rng());
+        let mask = NoiseKind::Speckle { density: 0.05, std_dev: 50.0 }.generate(64, 64, &mut rng());
         let nonzero = mask.as_slice().iter().filter(|&&v| v != 0).count();
         let frac = nonzero as f64 / mask.gene_count() as f64;
         assert!(frac < 0.10, "speckle should leave most genes zero (got {frac})");
@@ -179,8 +178,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let a = NoiseKind::Gaussian { std_dev: 5.0 }.generate(16, 16, &mut WeightInit::from_seed(3));
-        let b = NoiseKind::Gaussian { std_dev: 5.0 }.generate(16, 16, &mut WeightInit::from_seed(3));
+        let a =
+            NoiseKind::Gaussian { std_dev: 5.0 }.generate(16, 16, &mut WeightInit::from_seed(3));
+        let b =
+            NoiseKind::Gaussian { std_dev: 5.0 }.generate(16, 16, &mut WeightInit::from_seed(3));
         assert_eq!(a, b);
     }
 

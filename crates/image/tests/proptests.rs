@@ -10,11 +10,7 @@ fn arb_image(width: usize, height: usize) -> impl Strategy<Value = Image> {
         for y in 0..height {
             for x in 0..width {
                 let i = (y * width + x) * 3;
-                img.put_pixel(
-                    x,
-                    y,
-                    [bytes[i] as f32, bytes[i + 1] as f32, bytes[i + 2] as f32],
-                );
+                img.put_pixel(x, y, [bytes[i] as f32, bytes[i + 1] as f32, bytes[i + 2] as f32]);
             }
         }
         img

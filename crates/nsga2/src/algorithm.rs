@@ -1,6 +1,7 @@
 //! The NSGA-II run driver.
 
 use crate::crowding::crowding_distances;
+use crate::hypervolume::hypervolume;
 use crate::individual::Individual;
 use crate::objective::Direction;
 use crate::operators::{Crossover, Initializer, Mutation};
@@ -8,12 +9,25 @@ use crate::pareto;
 use crate::selection::binary_tournament;
 use crate::sorting::fast_non_dominated_sort;
 use bea_tensor::WeightInit;
+use std::time::Instant;
 
 /// Evaluates a batch of genomes, fanning out over `crossbeam` scoped
-/// threads when the host has more than one core (the order of results
+/// threads when more than one worker is requested (the order of results
 /// always matches the input order, so runs stay deterministic).
-fn evaluate_batch<P: Problem>(problem: &P, genomes: Vec<P::Genome>) -> Vec<Individual<P::Genome>> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+///
+/// `threads == 0` uses every available core; outer schedulers that already
+/// saturate the host (e.g. a campaign sharding cells across workers) pass
+/// `1` to keep each run single-threaded.
+fn evaluate_batch<P: Problem>(
+    problem: &P,
+    genomes: Vec<P::Genome>,
+    threads: usize,
+) -> Vec<Individual<P::Genome>> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
     if threads <= 1 || genomes.len() < 2 {
         return genomes
             .into_iter()
@@ -27,9 +41,7 @@ fn evaluate_batch<P: Problem>(problem: &P, genomes: Vec<P::Genome>) -> Vec<Indiv
     let mut out: Vec<Option<Individual<P::Genome>>> = Vec::new();
     out.resize_with(genomes.len(), || None);
     crossbeam::thread::scope(|scope| {
-        for (slot_chunk, genome_chunk) in
-            out.chunks_mut(chunk).zip(genomes.chunks(chunk))
-        {
+        for (slot_chunk, genome_chunk) in out.chunks_mut(chunk).zip(genomes.chunks(chunk)) {
             scope.spawn(move |_| {
                 for (slot, genome) in slot_chunk.iter_mut().zip(genome_chunk) {
                     let objectives = problem.evaluate(genome);
@@ -89,6 +101,11 @@ pub struct Nsga2Config {
     pub mutation_prob: f32,
     /// Seed of the run's deterministic random stream.
     pub seed: u64,
+    /// Worker threads for objective evaluation: `0` (the default) uses
+    /// every available core, `1` keeps evaluation on the calling thread.
+    /// Outer schedulers that already shard work across threads set `1` to
+    /// avoid oversubscription. The thread count never changes results.
+    pub eval_threads: usize,
 }
 
 impl Default for Nsga2Config {
@@ -99,11 +116,18 @@ impl Default for Nsga2Config {
             crossover_prob: 0.5,
             mutation_prob: 0.45,
             seed: 1,
+            eval_threads: 0,
         }
     }
 }
 
 /// Per-generation progress statistics.
+///
+/// The `*_ms` wall-time fields and (when a reference point is configured,
+/// see [`Nsga2::with_hypervolume_reference`]) `hypervolume` make up the
+/// run's observability record: one `GenerationStats` per generation is
+/// what campaign telemetry serialises per grid cell. Timing fields vary
+/// between runs; everything else is deterministic per seed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GenerationStats {
     /// Generation index (0 = after initialisation).
@@ -113,6 +137,17 @@ pub struct GenerationStats {
     /// Best value seen in the population for each objective (respecting
     /// its direction).
     pub best: Vec<f64>,
+    /// Exact hypervolume of the current non-dominated front against the
+    /// configured reference point; `None` when no reference is set.
+    pub hypervolume: Option<f64>,
+    /// Wall time spent evaluating objectives this generation.
+    pub evaluate_ms: f64,
+    /// Wall time spent in non-dominated sorting, crowding and
+    /// environmental selection this generation.
+    pub sort_ms: f64,
+    /// Wall time spent in parent selection and variation (tournaments,
+    /// crossover, mutation, repair); zero for generation 0.
+    pub select_ms: f64,
 }
 
 /// The outcome of an NSGA-II run.
@@ -125,6 +160,18 @@ pub struct Nsga2Result<G> {
 }
 
 impl<G> Nsga2Result<G> {
+    /// Assembles a result from its parts — the escape hatch for rebuilding
+    /// an outcome outside a live run (reloading a persisted campaign cell,
+    /// constructing fixtures). `run` never needs this.
+    pub fn from_parts(
+        population: Vec<Individual<G>>,
+        directions: Vec<Direction>,
+        history: Vec<GenerationStats>,
+        evaluations: usize,
+    ) -> Self {
+        Self { population, directions, history, evaluations }
+    }
+
     /// The final population (ranked, with crowding distances).
     pub fn population(&self) -> &[Individual<G>] {
         &self.population
@@ -165,12 +212,30 @@ impl<G> Nsga2Result<G> {
 pub struct Nsga2<P: Problem> {
     problem: P,
     config: Nsga2Config,
+    hv_reference: Option<Vec<f64>>,
 }
 
 impl<P: Problem> Nsga2<P> {
     /// Wraps a problem with a configuration.
     pub fn new(problem: P, config: Nsga2Config) -> Self {
-        Self { problem, config }
+        Self { problem, config, hv_reference: None }
+    }
+
+    /// Enables per-generation hypervolume tracking against a fixed
+    /// reference point (given in the problem's original objective scale;
+    /// it must be dominated by every interesting point, see
+    /// [`hypervolume`]). With a reference set, every
+    /// [`GenerationStats::hypervolume`] carries the exact hypervolume of
+    /// that generation's non-dominated front.
+    ///
+    /// # Panics
+    ///
+    /// The run panics if the reference dimensionality disagrees with the
+    /// problem's objective count, or that count exceeds the 3 objectives
+    /// the exact indicator supports.
+    pub fn with_hypervolume_reference(mut self, reference: Vec<f64>) -> Self {
+        self.hv_reference = Some(reference);
+        self
     }
 
     /// The wrapped problem.
@@ -222,17 +287,27 @@ impl<P: Problem> Nsga2<P> {
             genomes.push(g);
         }
         evaluations += genomes.len();
-        let mut population = evaluate_batch(&self.problem, genomes);
+        let clock = Instant::now();
+        let mut population = evaluate_batch(&self.problem, genomes, self.config.eval_threads);
+        let evaluate_ms = ms_since(clock);
+        let clock = Instant::now();
         assign_ranks_and_crowding(&mut population, &directions);
+        let sort_ms = ms_since(clock);
 
         let mut history = Vec::with_capacity(self.config.generations + 1);
-        let stats = collect_stats(0, &population, &directions);
+        let stats = self.collect_stats(
+            0,
+            &population,
+            &directions,
+            PhaseTimings { evaluate_ms, sort_ms, select_ms: 0.0 },
+        );
         observer(&stats, &population);
         history.push(stats);
 
         for generation in 1..=self.config.generations {
             // Variation: crowded tournaments pick parents, the paper's
             // p_c / p_m gates apply crossover and mutation.
+            let clock = Instant::now();
             let ranks: Vec<usize> = population.iter().map(|i| i.rank()).collect();
             let crowding: Vec<f64> = population.iter().map(|i| i.crowding()).collect();
             let mut offspring: Vec<P::Genome> = Vec::with_capacity(self.config.population_size);
@@ -240,11 +315,7 @@ impl<P: Problem> Nsga2<P> {
                 let pa = binary_tournament(&ranks, &crowding, &mut rng);
                 let pb = binary_tournament(&ranks, &crowding, &mut rng);
                 let (mut c1, mut c2) = if rng.coin(self.config.crossover_prob) {
-                    crossover.crossover(
-                        population[pa].genome(),
-                        population[pb].genome(),
-                        &mut rng,
-                    )
+                    crossover.crossover(population[pa].genome(), population[pb].genome(), &mut rng)
                 } else {
                     (population[pa].genome().clone(), population[pb].genome().clone())
                 };
@@ -259,22 +330,73 @@ impl<P: Problem> Nsga2<P> {
                     offspring.push(c2);
                 }
             }
+            let select_ms = ms_since(clock);
             // Elitist environmental selection over parents ∪ offspring.
             evaluations += offspring.len();
+            let clock = Instant::now();
             let mut combined = std::mem::take(&mut population);
-            combined.extend(evaluate_batch(&self.problem, offspring));
-            population = environmental_selection(
-                combined,
-                self.config.population_size,
-                &directions,
-            );
+            combined.extend(evaluate_batch(&self.problem, offspring, self.config.eval_threads));
+            let evaluate_ms = ms_since(clock);
+            let clock = Instant::now();
+            population =
+                environmental_selection(combined, self.config.population_size, &directions);
+            let sort_ms = ms_since(clock);
 
-            let stats = collect_stats(generation, &population, &directions);
+            let stats = self.collect_stats(
+                generation,
+                &population,
+                &directions,
+                PhaseTimings { evaluate_ms, sort_ms, select_ms },
+            );
             observer(&stats, &population);
             history.push(stats);
         }
 
         Nsga2Result { population, directions, history, evaluations }
+    }
+
+    /// Snapshot of one generation: front size, per-objective bests, the
+    /// phase wall-times measured by the run loop, and — with a reference
+    /// point configured — the front's exact hypervolume.
+    fn collect_stats(
+        &self,
+        generation: usize,
+        population: &[Individual<P::Genome>],
+        directions: &[Direction],
+        timings: PhaseTimings,
+    ) -> GenerationStats {
+        let front_size = population.iter().filter(|i| i.rank() == 0).count();
+        let best = directions
+            .iter()
+            .enumerate()
+            .map(|(k, dir)| {
+                population
+                    .iter()
+                    .map(|i| i.objectives()[k])
+                    .fold(None::<f64>, |acc, v| match acc {
+                        Some(best) if !dir.better(v, best) => Some(best),
+                        _ => Some(v),
+                    })
+                    .unwrap_or(f64::NAN)
+            })
+            .collect();
+        let hv = self.hv_reference.as_ref().map(|reference| {
+            let front: Vec<Vec<f64>> = population
+                .iter()
+                .filter(|i| i.rank() == 0)
+                .map(|i| i.objectives().to_vec())
+                .collect();
+            hypervolume(&front, reference, directions)
+        });
+        GenerationStats {
+            generation,
+            front_size,
+            best,
+            hypervolume: hv,
+            evaluate_ms: timings.evaluate_ms,
+            sort_ms: timings.sort_ms,
+            select_ms: timings.select_ms,
+        }
     }
 }
 
@@ -283,8 +405,7 @@ pub(crate) fn assign_ranks_and_crowding<G>(
     population: &mut [Individual<G>],
     directions: &[Direction],
 ) {
-    let objectives: Vec<Vec<f64>> =
-        population.iter().map(|i| i.objectives().to_vec()).collect();
+    let objectives: Vec<Vec<f64>> = population.iter().map(|i| i.objectives().to_vec()).collect();
     let fronts = fast_non_dominated_sort(&objectives, directions);
     for (rank, front) in fronts.iter().enumerate() {
         let distances = crowding_distances(front, &objectives);
@@ -305,9 +426,9 @@ fn environmental_selection<G>(
 ) -> Vec<Individual<G>> {
     assign_ranks_and_crowding(&mut combined, directions);
     combined.sort_by(|a, b| {
-        a.rank()
-            .cmp(&b.rank())
-            .then_with(|| b.crowding().partial_cmp(&a.crowding()).unwrap_or(std::cmp::Ordering::Equal))
+        a.rank().cmp(&b.rank()).then_with(|| {
+            b.crowding().partial_cmp(&a.crowding()).unwrap_or(std::cmp::Ordering::Equal)
+        })
     });
     combined.truncate(target);
     // Re-rank the survivors so exposed ranks/crowding describe the new
@@ -316,27 +437,15 @@ fn environmental_selection<G>(
     combined
 }
 
-fn collect_stats<G>(
-    generation: usize,
-    population: &[Individual<G>],
-    directions: &[Direction],
-) -> GenerationStats {
-    let front_size = population.iter().filter(|i| i.rank() == 0).count();
-    let best = directions
-        .iter()
-        .enumerate()
-        .map(|(k, dir)| {
-            population
-                .iter()
-                .map(|i| i.objectives()[k])
-                .fold(None::<f64>, |acc, v| match acc {
-                    Some(best) if !dir.better(v, best) => Some(best),
-                    _ => Some(v),
-                })
-                .unwrap_or(f64::NAN)
-        })
-        .collect();
-    GenerationStats { generation, front_size, best }
+/// Wall-times of one generation's three phases, in milliseconds.
+struct PhaseTimings {
+    evaluate_ms: f64,
+    sort_ms: f64,
+    select_ms: f64,
+}
+
+fn ms_since(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
 }
 
 #[cfg(test)]
@@ -366,6 +475,7 @@ mod tests {
             crossover_prob: 0.9,
             mutation_prob: 0.5,
             seed,
+            eval_threads: 0,
         };
         Nsga2::new(Schaffer, config).run(
             &|rng: &mut WeightInit| rng.uniform(-8.0, 8.0) as f64,
@@ -445,8 +555,7 @@ mod tests {
                 vec![0.0] // already optimal
             }
         }
-        let config =
-            Nsga2Config { population_size: 10, generations: 3, ..Nsga2Config::default() };
+        let config = Nsga2Config { population_size: 10, generations: 3, ..Nsga2Config::default() };
         let result = Nsga2::new(Seeded, config).run(
             &|rng: &mut WeightInit| rng.uniform(5.0, 9.0) as f64,
             &|a: &f64, b: &f64, _: &mut WeightInit| (*a, *b),
@@ -470,8 +579,7 @@ mod tests {
                 *genome = genome.clamp(3.0, 10.0);
             }
         }
-        let config =
-            Nsga2Config { population_size: 16, generations: 10, ..Nsga2Config::default() };
+        let config = Nsga2Config { population_size: 16, generations: 10, ..Nsga2Config::default() };
         let result = Nsga2::new(Bounded, config).run(
             &|rng: &mut WeightInit| rng.uniform(-50.0, 50.0) as f64,
             &|a: &f64, b: &f64, _: &mut WeightInit| (*a, *b),
@@ -497,8 +605,7 @@ mod tests {
                 vec![g.iter().sum(), g[0]]
             }
         }
-        let config =
-            Nsga2Config { population_size: 20, generations: 15, ..Nsga2Config::default() };
+        let config = Nsga2Config { population_size: 20, generations: 15, ..Nsga2Config::default() };
         let result = Nsga2::new(VecProblem, config).run(
             &|rng: &mut WeightInit| (0..6).map(|_| rng.uniform(0.0, 1.0) as f64).collect(),
             &OnePointCrossover,
@@ -513,8 +620,7 @@ mod tests {
 
     #[test]
     fn observer_sees_every_generation() {
-        let config =
-            Nsga2Config { population_size: 8, generations: 5, ..Nsga2Config::default() };
+        let config = Nsga2Config { population_size: 8, generations: 5, ..Nsga2Config::default() };
         let mut seen = Vec::new();
         let _ = Nsga2::new(Schaffer, config).run_with_observer(
             &|rng: &mut WeightInit| rng.uniform(-4.0, 4.0) as f64,
@@ -533,5 +639,117 @@ mod tests {
         let result = schaffer_result(10, 2);
         assert!(result.population().iter().any(|i| i.rank() == 0));
         assert!(result.population().iter().all(|i| i.rank() != usize::MAX));
+    }
+
+    #[test]
+    fn hypervolume_tracking_is_monotone_under_elitism() {
+        let config = Nsga2Config {
+            population_size: 24,
+            generations: 20,
+            crossover_prob: 0.9,
+            mutation_prob: 0.5,
+            seed: 3,
+            eval_threads: 1,
+        };
+        let result = Nsga2::new(Schaffer, config).with_hypervolume_reference(vec![70.0, 70.0]).run(
+            &|rng: &mut WeightInit| rng.uniform(-8.0, 8.0) as f64,
+            &|a: &f64, b: &f64, rng: &mut WeightInit| {
+                let t = rng.uniform(0.0, 1.0) as f64;
+                (t * a + (1.0 - t) * b, (1.0 - t) * a + t * b)
+            },
+            &|x: &mut f64, rng: &mut WeightInit| *x += rng.normal(0.0, 0.5) as f64,
+        );
+        let hvs: Vec<f64> =
+            result.history().iter().map(|s| s.hypervolume.expect("reference configured")).collect();
+        assert!(hvs.iter().all(|hv| hv.is_finite() && *hv >= 0.0));
+        // Crowding truncation may drop interior front points, so strict
+        // per-generation monotonicity does not hold — but convergence over
+        // the whole run must show up as net hypervolume growth.
+        assert!(
+            hvs.last().unwrap() > hvs.first().unwrap(),
+            "hypervolume did not grow: {:?} -> {:?}",
+            hvs.first(),
+            hvs.last()
+        );
+        // Without a reference the field stays empty.
+        let plain = schaffer_result(5, 3);
+        assert!(plain.history().iter().all(|s| s.hypervolume.is_none()));
+    }
+
+    #[test]
+    fn phase_timings_are_populated() {
+        let result = schaffer_result(8, 5);
+        let history = result.history();
+        assert_eq!(history[0].select_ms, 0.0, "generation 0 has no variation phase");
+        for stats in history {
+            assert!(stats.evaluate_ms >= 0.0);
+            assert!(stats.sort_ms >= 0.0);
+            assert!(stats.select_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn eval_threads_do_not_change_results() {
+        let run = |threads: usize| {
+            let config = Nsga2Config {
+                population_size: 30,
+                generations: 8,
+                crossover_prob: 0.9,
+                mutation_prob: 0.5,
+                seed: 13,
+                eval_threads: threads,
+            };
+            Nsga2::new(Schaffer, config).run(
+                &|rng: &mut WeightInit| rng.uniform(-8.0, 8.0) as f64,
+                &|a: &f64, b: &f64, _: &mut WeightInit| (*a, *b),
+                &|x: &mut f64, rng: &mut WeightInit| *x += rng.normal(0.0, 0.5) as f64,
+            )
+        };
+        let sequential = run(1);
+        let parallel = run(4);
+        for (a, b) in sequential.population().iter().zip(parallel.population()) {
+            assert_eq!(a.genome(), b.genome());
+            assert_eq!(a.objectives(), b.objectives());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "objective vector must be finite")]
+    fn nan_producing_problem_fails_loudly() {
+        struct Poisoned;
+        impl Problem for Poisoned {
+            type Genome = f64;
+            fn directions(&self) -> Vec<Direction> {
+                vec![Direction::Minimize, Direction::Minimize]
+            }
+            fn evaluate(&self, x: &f64) -> Vec<f64> {
+                // A misbehaving detector: produces NaN past a threshold.
+                vec![*x, if *x > 0.0 { f64::NAN } else { 1.0 }]
+            }
+        }
+        let config = Nsga2Config {
+            population_size: 8,
+            generations: 2,
+            eval_threads: 1,
+            ..Nsga2Config::default()
+        };
+        let _ = Nsga2::new(Poisoned, config).run(
+            &|rng: &mut WeightInit| rng.uniform(-1.0, 1.0) as f64,
+            &|a: &f64, b: &f64, _: &mut WeightInit| (*a, *b),
+            &|x: &mut f64, rng: &mut WeightInit| *x += rng.normal(0.0, 0.1) as f64,
+        );
+    }
+
+    #[test]
+    fn results_can_be_rebuilt_from_parts() {
+        let result = schaffer_result(5, 2);
+        let rebuilt = Nsga2Result::from_parts(
+            result.population().to_vec(),
+            result.directions().to_vec(),
+            result.history().to_vec(),
+            result.evaluations(),
+        );
+        assert_eq!(rebuilt.evaluations(), result.evaluations());
+        assert_eq!(rebuilt.pareto_front().len(), result.pareto_front().len());
     }
 }

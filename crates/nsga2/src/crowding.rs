@@ -36,11 +36,10 @@ pub fn crowding_distances(front: &[usize], objectives: &[Vec<f64>]) -> Vec<f64> 
     let mut order: Vec<usize> = (0..n).collect();
     #[allow(clippy::needless_range_loop)] // `obj` indexes a column, not a slice
     for obj in 0..m {
-        order.sort_by(|&a, &b| {
-            objectives[front[a]][obj]
-                .partial_cmp(&objectives[front[b]][obj])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        // `total_cmp` keeps the sort a strict weak ordering even if a
+        // non-finite value slips through (Individual::new rejects them,
+        // but this function also accepts raw objective matrices).
+        order.sort_by(|&a, &b| objectives[front[a]][obj].total_cmp(&objectives[front[b]][obj]));
         let lo = objectives[front[order[0]]][obj];
         let hi = objectives[front[order[n - 1]]][obj];
         distance[order[0]] = f64::INFINITY;
@@ -87,8 +86,7 @@ mod tests {
     #[test]
     fn lonely_points_get_larger_distance() {
         // Points at 0, 1, 2, 10: the point at 2 has a huge gap to 10.
-        let objs: Vec<Vec<f64>> =
-            [0.0, 1.0, 2.0, 10.0].iter().map(|&v| vec![v, -v]).collect();
+        let objs: Vec<Vec<f64>> = [0.0, 1.0, 2.0, 10.0].iter().map(|&v| vec![v, -v]).collect();
         let d = crowding_distances(&[0, 1, 2, 3], &objs);
         assert!(d[2] > d[1], "the point next to the gap should be less crowded");
     }

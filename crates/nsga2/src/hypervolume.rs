@@ -85,11 +85,8 @@ fn hv3(points: &[Vec<f64>], reference: &[f64]) -> f64 {
         if z1 <= z0 {
             continue;
         }
-        let slab: Vec<Vec<f64>> = points
-            .iter()
-            .filter(|p| p[2] <= z0)
-            .map(|p| vec![p[0], p[1]])
-            .collect();
+        let slab: Vec<Vec<f64>> =
+            points.iter().filter(|p| p[2] <= z0).map(|p| vec![p[0], p[1]]).collect();
         if !slab.is_empty() {
             volume += hv2(&slab, &reference[..2]) * (z1 - z0);
         }
@@ -102,8 +99,7 @@ mod tests {
     use super::*;
 
     const MIN2: [Direction; 2] = [Direction::Minimize, Direction::Minimize];
-    const MIN3: [Direction; 3] =
-        [Direction::Minimize, Direction::Minimize, Direction::Minimize];
+    const MIN3: [Direction; 3] = [Direction::Minimize, Direction::Minimize, Direction::Minimize];
 
     #[test]
     fn single_point_2d() {
@@ -114,8 +110,7 @@ mod tests {
     #[test]
     fn dominated_points_add_nothing() {
         let alone = hypervolume(&[vec![1.0, 1.0]], &[3.0, 3.0], &MIN2);
-        let with_dominated =
-            hypervolume(&[vec![1.0, 1.0], vec![2.0, 2.0]], &[3.0, 3.0], &MIN2);
+        let with_dominated = hypervolume(&[vec![1.0, 1.0], vec![2.0, 2.0]], &[3.0, 3.0], &MIN2);
         assert!((alone - with_dominated).abs() < 1e-12);
     }
 
@@ -136,8 +131,7 @@ mod tests {
 
     #[test]
     fn one_dimensional() {
-        let hv =
-            hypervolume(&[vec![2.0], vec![5.0]], &[10.0], &[Direction::Minimize]);
+        let hv = hypervolume(&[vec![2.0], vec![5.0]], &[10.0], &[Direction::Minimize]);
         assert!((hv - 8.0).abs() < 1e-12);
     }
 
@@ -170,8 +164,7 @@ mod tests {
         let weak = hypervolume(&[vec![2.0, 2.0]], &[4.0, 4.0], &MIN2);
         let strong = hypervolume(&[vec![1.0, 1.0]], &[4.0, 4.0], &MIN2);
         assert!(strong > weak);
-        let more_points =
-            hypervolume(&[vec![2.0, 2.0], vec![1.0, 3.0]], &[4.0, 4.0], &MIN2);
+        let more_points = hypervolume(&[vec![2.0, 2.0], vec![1.0, 3.0]], &[4.0, 4.0], &MIN2);
         assert!(more_points > weak);
     }
 

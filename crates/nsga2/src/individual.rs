@@ -24,7 +24,19 @@ pub struct Individual<G> {
 
 impl<G> Individual<G> {
     /// Wraps a genome with its objective values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any objective is NaN or infinite. Non-dominated sorting,
+    /// crowding distances and tournament selection all compare objective
+    /// values; a single NaN would make those comparisons inconsistent and
+    /// silently corrupt selection, so a misbehaving evaluation function
+    /// fails loudly here instead.
     pub fn new(genome: G, objectives: Vec<f64>) -> Self {
+        assert!(
+            objectives.iter().all(|v| v.is_finite()),
+            "objective vector must be finite, got {objectives:?}"
+        );
         Self { genome, objectives, rank: usize::MAX, crowding: 0.0 }
     }
 
@@ -59,6 +71,18 @@ impl<G> Individual<G> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[should_panic(expected = "objective vector must be finite")]
+    fn nan_objectives_are_rejected() {
+        let _ = Individual::new(0u8, vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "objective vector must be finite")]
+    fn infinite_objectives_are_rejected() {
+        let _ = Individual::new(0u8, vec![f64::INFINITY]);
+    }
 
     #[test]
     fn accessors_roundtrip() {

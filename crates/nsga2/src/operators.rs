@@ -102,8 +102,7 @@ mod tests {
         let mut rng = WeightInit::from_seed(7);
         let (c1, c2) = OnePointCrossover.crossover(&a, &b, &mut rng);
         // There is exactly one switch point in each child.
-        let switches =
-            |v: &[u8]| v.windows(2).filter(|w| w[0] != w[1]).count();
+        let switches = |v: &[u8]| v.windows(2).filter(|w| w[0] != w[1]).count();
         assert_eq!(switches(&c1), 1);
         assert_eq!(switches(&c2), 1);
         assert_eq!(c1[0], 0);

@@ -5,12 +5,8 @@ use crate::objective::Direction;
 use crate::sorting::fast_non_dominated_sort;
 
 /// Extracts the indices of the non-dominated members of a population.
-pub fn front_indices<G>(
-    population: &[Individual<G>],
-    directions: &[Direction],
-) -> Vec<usize> {
-    let objectives: Vec<Vec<f64>> =
-        population.iter().map(|i| i.objectives().to_vec()).collect();
+pub fn front_indices<G>(population: &[Individual<G>], directions: &[Direction]) -> Vec<usize> {
+    let objectives: Vec<Vec<f64>> = population.iter().map(|i| i.objectives().to_vec()).collect();
     let fronts = fast_non_dominated_sort(&objectives, directions);
     fronts.into_iter().next().unwrap_or_default()
 }
@@ -31,19 +27,16 @@ pub fn best_for_objective<'a, G>(
         return None;
     }
     let dir = directions[index];
-    front_indices(population, directions)
-        .into_iter()
-        .map(|i| &population[i])
-        .max_by(|a, b| {
-            let (va, vb) = (a.objectives()[index], b.objectives()[index]);
-            if dir.better(va, vb) {
-                std::cmp::Ordering::Greater
-            } else if dir.better(vb, va) {
-                std::cmp::Ordering::Less
-            } else {
-                std::cmp::Ordering::Equal
-            }
-        })
+    front_indices(population, directions).into_iter().map(|i| &population[i]).max_by(|a, b| {
+        let (va, vb) = (a.objectives()[index], b.objectives()[index]);
+        if dir.better(va, vb) {
+            std::cmp::Ordering::Greater
+        } else if dir.better(vb, va) {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Equal
+        }
+    })
 }
 
 /// The knee point of the front: the member closest (in normalised objective
@@ -132,10 +125,8 @@ mod tests {
     #[test]
     fn best_respects_maximization() {
         let dirs = [Direction::Maximize, Direction::Minimize];
-        let pop = vec![
-            Individual::new("low", vec![1.0, 0.0]),
-            Individual::new("high", vec![9.0, 5.0]),
-        ];
+        let pop =
+            vec![Individual::new("low", vec![1.0, 0.0]), Individual::new("high", vec![9.0, 5.0])];
         assert_eq!(*best_for_objective(&pop, &dirs, 0).unwrap().genome(), "high");
     }
 

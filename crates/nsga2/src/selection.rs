@@ -57,9 +57,8 @@ mod tests {
         let ranks = [0usize, 5, 5, 5, 5, 5, 5, 5];
         let crowding = [1.0f64; 8];
         let mut rng = WeightInit::from_seed(1);
-        let wins_of_zero = (0..2000)
-            .filter(|_| binary_tournament(&ranks, &crowding, &mut rng) == 0)
-            .count();
+        let wins_of_zero =
+            (0..2000).filter(|_| binary_tournament(&ranks, &crowding, &mut rng) == 0).count();
         // P(select 0) = 1 - (7/8)^2 ≈ 0.234.
         assert!(
             (300..650).contains(&wins_of_zero),

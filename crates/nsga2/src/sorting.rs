@@ -47,8 +47,7 @@ pub fn fast_non_dominated_sort(
         }
     }
     let mut fronts: Vec<Vec<usize>> = Vec::new();
-    let mut current: Vec<usize> =
-        (0..n).filter(|&p| domination_count[p] == 0).collect();
+    let mut current: Vec<usize> = (0..n).filter(|&p| domination_count[p] == 0).collect();
     while !current.is_empty() {
         let mut next = Vec::new();
         for &p in &current {
@@ -96,8 +95,7 @@ mod tests {
 
     #[test]
     fn chain_of_dominated_solutions() {
-        let objs: Vec<Vec<f64>> =
-            (0..5).map(|i| vec![i as f64, i as f64]).collect();
+        let objs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64, i as f64]).collect();
         let fronts = fast_non_dominated_sort(&objs, &MIN2);
         assert_eq!(fronts.len(), 5, "each solution is its own front");
         for (rank, front) in fronts.iter().enumerate() {

@@ -39,10 +39,7 @@ impl SyntheticKitti {
     /// The 16-image evaluation set at the default scaled-KITTI resolution
     /// (Table I: "# images tested on each model: 16").
     pub fn evaluation_set() -> Self {
-        Self::new(
-            SceneGenerator::new(DEFAULT_WIDTH, DEFAULT_HEIGHT, 0xBEA7),
-            DEFAULT_IMAGE_COUNT,
-        )
+        Self::new(SceneGenerator::new(DEFAULT_WIDTH, DEFAULT_HEIGHT, 0xBEA7), DEFAULT_IMAGE_COUNT)
     }
 
     /// A small 4-image set for fast tests.

@@ -184,8 +184,7 @@ mod tests {
         let g = generator();
         for index in 0..16 {
             let scene = g.scene(index);
-            let has_left =
-                scene.ground_truths().iter().any(|(_, b)| b.cx < g.width() as f32 / 2.0);
+            let has_left = scene.ground_truths().iter().any(|(_, b)| b.cx < g.width() as f32 / 2.0);
             assert!(has_left, "scene {index} lacks a left-half object");
         }
     }

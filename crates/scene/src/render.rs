@@ -275,7 +275,12 @@ mod tests {
         let mut img_bright = Image::filled(40, 24, [96.0; 3]);
         let mut img_dark = img_bright.clone();
         let bbox = BBox::new(20.0, 12.0, 26.0, 12.0);
-        render_object(&mut img_bright, ObjectClass::Car, &bbox, &Style::canonical(ObjectClass::Car));
+        render_object(
+            &mut img_bright,
+            ObjectClass::Car,
+            &bbox,
+            &Style::canonical(ObjectClass::Car),
+        );
         render_object(&mut img_dark, ObjectClass::Car, &bbox, &dark);
         assert!(img_dark.mean() < img_bright.mean());
     }

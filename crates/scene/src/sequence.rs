@@ -51,11 +51,7 @@ impl FrameSequence {
     }
 
     /// Builds a sequence directly from a generator's scene at `index`.
-    pub fn generate(
-        generator: &SceneGenerator,
-        index: usize,
-        frame_count: usize,
-    ) -> FrameSequence {
+    pub fn generate(generator: &SceneGenerator, index: usize, frame_count: usize) -> FrameSequence {
         let motion_seed = generator.seed().wrapping_add(index as u64).wrapping_mul(31);
         Self::from_scene(generator.scene(index), frame_count, motion_seed)
     }

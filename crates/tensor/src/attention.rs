@@ -22,11 +22,7 @@ use crate::matrix::Matrix;
 ///
 /// Returns [`TensorError::ShapeMismatch`] if the query/key widths differ or
 /// the key/value row counts differ.
-pub fn scaled_dot_attention(
-    queries: &Matrix,
-    keys: &Matrix,
-    values: &Matrix,
-) -> Result<Matrix> {
+pub fn scaled_dot_attention(queries: &Matrix, keys: &Matrix, values: &Matrix) -> Result<Matrix> {
     if queries.cols() != keys.cols() {
         return Err(TensorError::ShapeMismatch {
             op: "attention q/k width",

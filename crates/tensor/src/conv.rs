@@ -203,8 +203,7 @@ impl Conv2d {
                         continue;
                     }
                     let ix = ix - self.padding;
-                    let w = self.weights
-                        [w_base + (ic * self.kernel_h + ky) * self.kernel_w + kx];
+                    let w = self.weights[w_base + (ic * self.kernel_h + ky) * self.kernel_w + kx];
                     acc += w * input.at(ic, iy, ix);
                 }
             }
@@ -327,8 +326,7 @@ mod tests {
 
     #[test]
     fn box_filter_averages() {
-        let conv =
-            Conv2d::from_weights(1, 1, 3, 3, vec![1.0 / 9.0; 9], vec![0.0], 1, 0).unwrap();
+        let conv = Conv2d::from_weights(1, 1, 3, 3, vec![1.0 / 9.0; 9], vec![0.0], 1, 0).unwrap();
         let input = FeatureMap::filled(1, 5, 5, 9.0);
         let out = conv.forward(&input).unwrap();
         assert_eq!(out.shape(), (1, 3, 3));
@@ -466,8 +464,7 @@ mod tests {
         let input = noisy_map(1, 8, 8, 1.0);
         let mut cached = conv.forward(&input).unwrap();
         let before = cached.clone();
-        let window =
-            conv.forward_incremental(&input, &mut cached, &DirtyRect::empty()).unwrap();
+        let window = conv.forward_incremental(&input, &mut cached, &DirtyRect::empty()).unwrap();
         assert!(window.is_empty());
         assert_eq!(cached, before);
     }
@@ -478,8 +475,6 @@ mod tests {
         let conv = Conv2d::seeded(1, 1, 3, 3, 1, 0, &mut init).unwrap();
         let input = noisy_map(1, 8, 8, 0.5);
         let mut wrong = FeatureMap::zeros(1, 8, 8); // forward output is 6x6
-        assert!(conv
-            .forward_incremental(&input, &mut wrong, &DirtyRect::full(8, 8))
-            .is_err());
+        assert!(conv.forward_incremental(&input, &mut wrong, &DirtyRect::full(8, 8)).is_err());
     }
 }

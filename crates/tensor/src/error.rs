@@ -85,11 +85,7 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let err = TensorError::ShapeMismatch {
-            op: "matmul",
-            lhs: vec![2, 3],
-            rhs: vec![4, 5],
-        };
+        let err = TensorError::ShapeMismatch { op: "matmul", lhs: vec![2, 3], rhs: vec![4, 5] };
         let text = err.to_string();
         assert!(text.contains("matmul"));
         assert!(text.contains("[2, 3]"));

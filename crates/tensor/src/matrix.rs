@@ -238,11 +238,7 @@ impl Matrix {
 
     /// Applies `f` to every element, returning a new matrix.
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
     /// Applies `f` to every element in place.

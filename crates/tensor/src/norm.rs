@@ -134,10 +134,12 @@ impl ChannelNorm {
     /// The identity normalisation over `channels` channels (γ = 1, β = 0,
     /// μ = 0, σ² = 1).
     pub fn identity(channels: usize) -> Result<Self> {
-        Self::new(vec![1.0; channels], vec![0.0; channels], vec![0.0; channels], vec![
-            1.0;
-            channels
-        ])
+        Self::new(
+            vec![1.0; channels],
+            vec![0.0; channels],
+            vec![0.0; channels],
+            vec![1.0; channels],
+        )
     }
 
     /// Number of channels the layer expects.
@@ -280,10 +282,9 @@ mod tests {
 
     #[test]
     fn channel_norm_incremental_matches_full() {
-        let norm = ChannelNorm::new(vec![1.5, -0.5], vec![0.1, 0.2], vec![1.0, 2.0], vec![
-            2.0, 0.5,
-        ])
-        .unwrap();
+        let norm =
+            ChannelNorm::new(vec![1.5, -0.5], vec![0.1, 0.2], vec![1.0, 2.0], vec![2.0, 0.5])
+                .unwrap();
         let mut base = FeatureMap::zeros(2, 6, 8);
         for (i, v) in base.as_mut_slice().iter_mut().enumerate() {
             *v = (i as f32 * 0.37).sin() * 3.0;

@@ -226,7 +226,12 @@ fn pool_forward<F: Fn(f32, f32) -> f32>(
     for c in 0..input.channels() {
         for oy in 0..out_h {
             for ox in 0..out_w {
-                out.set(c, oy, ox, pool_cell(input, c, oy, ox, window, stride, &reduce, init, divisor));
+                out.set(
+                    c,
+                    oy,
+                    ox,
+                    pool_cell(input, c, oy, ox, window, stride, &reduce, init, divisor),
+                );
             }
         }
     }
@@ -265,7 +270,12 @@ fn pool_incremental<F: Fn(f32, f32) -> f32>(
     for c in 0..input.channels() {
         for oy in out_window.y0..out_window.y1 {
             for ox in out_window.x0..out_window.x1 {
-                cached.set(c, oy, ox, pool_cell(input, c, oy, ox, window, stride, &reduce, init, divisor));
+                cached.set(
+                    c,
+                    oy,
+                    ox,
+                    pool_cell(input, c, oy, ox, window, stride, &reduce, init, divisor),
+                );
             }
         }
     }
@@ -275,9 +285,7 @@ fn pool_incremental<F: Fn(f32, f32) -> f32>(
 /// Global average pooling: one value per channel.
 pub fn global_avg_pool(input: &FeatureMap) -> Vec<f32> {
     let plane = (input.height() * input.width()).max(1) as f32;
-    (0..input.channels())
-        .map(|c| input.channel(c).iter().sum::<f32>() / plane)
-        .collect()
+    (0..input.channels()).map(|c| input.channel(c).iter().sum::<f32>() / plane).collect()
 }
 
 #[cfg(test)]

@@ -15,10 +15,7 @@ fn main() {
     let zoo = ModelZoo::with_defaults();
     let attack = ButterflyAttack::new(AttackConfig::scaled(24, 15));
 
-    println!(
-        "{:<6} {:>6} {:>12} {:>10} {:>10}",
-        "arch", "image", "intensity", "degrad", "dist"
-    );
+    println!("{:<6} {:>6} {:>12} {:>10} {:>10}", "arch", "image", "intensity", "degrad", "dist");
     for arch in Architecture::ALL {
         let model = zoo.model(arch, 1);
         let mut degrad_sum = 0.0;

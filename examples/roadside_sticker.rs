@@ -24,7 +24,8 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // The "sticker": a 24x16 px rectangle on the right roadside, away from
     // every object of interest.
-    let sticker = Region::new(img.width() - 28, img.height() / 2, img.width() - 4, img.height() / 2 + 16);
+    let sticker =
+        Region::new(img.width() - 28, img.height() / 2, img.width() - 4, img.height() / 2 + 16);
     println!(
         "sticker area: {}x{} px at ({}, {}) — {:.1}% of the image",
         sticker.x1 - sticker.x0,

@@ -27,10 +27,7 @@ fn main() {
     let attack = ButterflyAttack::new(AttackConfig::scaled(20, 12));
     let outcome = attack.attack_sequence(detr.as_ref(), &frames);
     let champion = outcome.best_degradation().expect("front is never empty");
-    println!(
-        "sequence-averaged obj_degrad of the champion mask: {:.3}",
-        champion.objectives()[1]
-    );
+    println!("sequence-averaged obj_degrad of the champion mask: {:.3}", champion.objectives()[1]);
 
     println!("\nper-frame verification:");
     for (t, frame) in frames.iter().enumerate() {

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Repo-wide check: lints clean at -D warnings, full test suite green.
+# Repo-wide check: formatted, lints clean at -D warnings, full test suite green.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q --workspace

@@ -378,7 +378,8 @@ macro_rules! prop_assert_ne {
         if left == right {
             return ::std::result::Result::Err(::std::format!(
                 "assertion failed: `{} != {}`\n  both: {left:?}",
-                stringify!($left), stringify!($right)
+                stringify!($left),
+                stringify!($right)
             ));
         }
     }};

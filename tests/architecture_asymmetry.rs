@@ -16,8 +16,11 @@ use butterfly_effect_attack::{
 
 /// Builds a strong right-half noise mask.
 fn right_half_noise(width: usize, height: usize, seed: u64) -> FilterMask {
-    let mut mask = NoiseKind::Gaussian { std_dev: 70.0 }
-        .generate(width, height, &mut WeightInit::from_seed(seed));
+    let mut mask = NoiseKind::Gaussian { std_dev: 70.0 }.generate(
+        width,
+        height,
+        &mut WeightInit::from_seed(seed),
+    );
     RegionConstraint::RightHalf.apply(&mut mask);
     mask
 }

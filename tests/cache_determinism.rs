@@ -13,8 +13,7 @@ use bea_scene::SyntheticKitti;
 
 fn front_of(arch: Architecture, use_cache: bool) -> (Vec<Vec<f64>>, Vec<bea_image::FilterMask>) {
     let zoo = ModelZoo::with_defaults();
-    let model =
-        if use_cache { zoo.cached_model(arch, 1) } else { zoo.model(arch, 1) };
+    let model = if use_cache { zoo.cached_model(arch, 1) } else { zoo.model(arch, 1) };
     let img = SyntheticKitti::evaluation_set().image(0);
     let mut config = AttackConfig::scaled(12, 4);
     config.use_cache = use_cache;
@@ -25,8 +24,7 @@ fn front_of(arch: Architecture, use_cache: bool) -> (Vec<Vec<f64>>, Vec<bea_imag
     } else {
         assert!(outcome.cache_stats().is_none(), "{arch}: plain run must not report stats");
     }
-    let genomes =
-        outcome.result().pareto_front().iter().map(|i| i.genome().clone()).collect();
+    let genomes = outcome.result().pareto_front().iter().map(|i| i.genome().clone()).collect();
     (outcome.pareto_points(), genomes)
 }
 

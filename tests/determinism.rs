@@ -43,10 +43,16 @@ fn models_are_pure_functions_of_seed() {
 
 #[test]
 fn noise_and_rng_streams_are_repeatable() {
-    let a = NoiseKind::SaltPepper { density: 0.05, amplitude: 120 }
-        .generate(48, 24, &mut WeightInit::from_seed(9));
-    let b = NoiseKind::SaltPepper { density: 0.05, amplitude: 120 }
-        .generate(48, 24, &mut WeightInit::from_seed(9));
+    let a = NoiseKind::SaltPepper { density: 0.05, amplitude: 120 }.generate(
+        48,
+        24,
+        &mut WeightInit::from_seed(9),
+    );
+    let b = NoiseKind::SaltPepper { density: 0.05, amplitude: 120 }.generate(
+        48,
+        24,
+        &mut WeightInit::from_seed(9),
+    );
     assert_eq!(a, b);
 }
 

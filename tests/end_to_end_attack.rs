@@ -59,10 +59,7 @@ fn left_half_predictions_feel_only_global_coupling_under_yolo() {
     use butterfly_effect_attack::detect::yolo::{YoloConfig, YoloDetector};
     let dataset = SyntheticKitti::smoke_set();
     let img = dataset.image(0);
-    let yolo = YoloDetector::new(YoloConfig {
-        context_gain: 0.0,
-        ..YoloConfig::with_seed(1)
-    });
+    let yolo = YoloDetector::new(YoloConfig { context_gain: 0.0, ..YoloConfig::with_seed(1) });
     let clean = yolo.detect(&img);
     let outcome = ButterflyAttack::new(tiny_config()).attack(&yolo, &img);
     let half = img.width() as f32 / 2.0;
@@ -70,8 +67,7 @@ fn left_half_predictions_feel_only_global_coupling_under_yolo() {
     for member in outcome.result().pareto_front() {
         let perturbed = yolo.detect(&member.genome().apply(&img));
         let left = |p: &butterfly_effect_attack::Prediction| {
-            let mut v: Vec<_> =
-                p.iter().filter(|d| d.bbox.x1() < half - 26.0).copied().collect();
+            let mut v: Vec<_> = p.iter().filter(|d| d.bbox.x1() < half - 26.0).copied().collect();
             v.sort_by(|a, b| a.bbox.cx.partial_cmp(&b.bbox.cx).unwrap());
             v
         };

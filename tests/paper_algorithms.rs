@@ -34,8 +34,7 @@ fn algorithm1_worked_example() {
 fn algorithm2_worked_example() {
     // One box at (4, 4), one perturbed pixel at (12, 4): D there is the
     // distance 8 to the box centre; sum / 1 perturbed pixel = 8 * weight.
-    let clean =
-        Prediction::from_detections(vec![det(ObjectClass::Car, 4.0, 4.0, 2.0, 2.0)]);
+    let clean = Prediction::from_detections(vec![det(ObjectClass::Car, 4.0, 4.0, 2.0, 2.0)]);
     let mut mask = FilterMask::zeros(16, 9);
     mask.set(0, 4, 12, 100);
     let value = obj_dist(16, 9, &clean, &mask, 0.0);
@@ -44,8 +43,7 @@ fn algorithm2_worked_example() {
 
 #[test]
 fn algorithm2_penalises_in_box_pixels_with_negative_average() {
-    let clean =
-        Prediction::from_detections(vec![det(ObjectClass::Car, 8.0, 4.0, 4.0, 4.0)]);
+    let clean = Prediction::from_detections(vec![det(ObjectClass::Car, 8.0, 4.0, 4.0, 4.0)]);
     let field = DistanceField::new(16, 9, &clean, 0.0);
     // The D value inside the box equals -(mean distance over all pixels).
     let sum: f64 = {
@@ -120,12 +118,8 @@ fn ensemble_objectives_average_member_objectives() {
     let img = Image::black(32, 16);
     let mut mask = FilterMask::zeros(32, 16);
     mask.set(0, 2, 30, 120); // kills Fragile's detection, Fixed is immune
-    let pair = ButterflyProblem::ensemble(
-        vec![&Fixed, &Fragile],
-        &img,
-        2.0,
-        RegionConstraint::Full,
-    );
+    let pair =
+        ButterflyProblem::ensemble(vec![&Fixed, &Fragile], &img, 2.0, RegionConstraint::Full);
     let objectives = pair.evaluate(&mask);
     // Eq. 2: average of 1.0 (Fixed) and 0.0 (Fragile).
     assert_eq!(objectives[1], 0.5);

@@ -25,9 +25,7 @@ fn arb_prediction() -> impl Strategy<Value = Prediction> {
     proptest::collection::vec((0usize..6, arb_bbox(), 0.1f32..1.0), 0..5).prop_map(|items| {
         items
             .into_iter()
-            .map(|(c, b, s)| {
-                Detection::new(ObjectClass::from_index(c).expect("index < 6"), b, s)
-            })
+            .map(|(c, b, s)| Detection::new(ObjectClass::from_index(c).expect("index < 6"), b, s))
             .collect()
     })
 }
