@@ -1,0 +1,169 @@
+//! Shared command-line flag parsing for the experiment and serving
+//! binaries.
+//!
+//! Every binary in this workspace speaks the same tiny flag dialect
+//! (`--flag value` pairs plus boolean switches), and before this module
+//! each one hand-rolled the same cursor loop with the same error
+//! strings. [`ArgParser`] centralises the loop so `attack_cli`,
+//! `campaign_cli`, `serve_cli` and `loadgen` parse — and misparse —
+//! identically:
+//!
+//! * a flag missing its value reports `"{flag} needs a value"`,
+//! * a value failing to parse reports `"{flag}: {error}"`,
+//! * an unrecognised flag reports `"unknown flag {flag:?} (try --help)"`
+//!   via [`unknown_flag`],
+//! * architecture values parse through [`parse_arch`] /
+//!   [`parse_arches`] with `"unknown architecture {value:?}"`.
+
+use bea_detect::Architecture;
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// A cursor over command-line arguments.
+#[derive(Debug, Clone)]
+pub struct ArgParser {
+    args: Vec<String>,
+    index: usize,
+}
+
+impl ArgParser {
+    /// A parser over the process arguments (program name skipped).
+    pub fn from_env() -> Self {
+        Self::new(std::env::args().skip(1).collect())
+    }
+
+    /// A parser over explicit arguments (tests, embedding).
+    pub fn new(args: Vec<String>) -> Self {
+        Self { args, index: 0 }
+    }
+
+    /// The next flag, advancing the cursor; `None` when exhausted.
+    pub fn next_flag(&mut self) -> Option<String> {
+        let flag = self.args.get(self.index).cloned();
+        if flag.is_some() {
+            self.index += 1;
+        }
+        flag
+    }
+
+    /// The value of the flag just returned by [`ArgParser::next_flag`],
+    /// advancing past it.
+    ///
+    /// # Errors
+    ///
+    /// `"{flag} needs a value"` when the arguments end first.
+    pub fn value(&mut self, flag: &str) -> Result<String, String> {
+        let value = self.args.get(self.index).cloned().ok_or(format!("{flag} needs a value"))?;
+        self.index += 1;
+        Ok(value)
+    }
+
+    /// Takes and parses the flag's value via [`FromStr`].
+    ///
+    /// # Errors
+    ///
+    /// `"{flag} needs a value"` or `"{flag}: {error}"`.
+    pub fn parse<T: FromStr>(&mut self, flag: &str) -> Result<T, String>
+    where
+        T::Err: Display,
+    {
+        self.value(flag)?.parse().map_err(|e| format!("{flag}: {e}"))
+    }
+
+    /// Takes the flag's value as an architecture.
+    ///
+    /// # Errors
+    ///
+    /// `"{flag} needs a value"` or `"unknown architecture {value:?}"`.
+    pub fn arch(&mut self, flag: &str) -> Result<Architecture, String> {
+        parse_arch(&self.value(flag)?)
+    }
+}
+
+/// Parses one architecture name (`yolo`/`YOLO`, `detr`/`DETR`).
+///
+/// # Errors
+///
+/// `"unknown architecture {value:?}"`.
+pub fn parse_arch(value: &str) -> Result<Architecture, String> {
+    match value {
+        "yolo" | "YOLO" => Ok(Architecture::Yolo),
+        "detr" | "DETR" => Ok(Architecture::Detr),
+        other => Err(format!("unknown architecture {other:?}")),
+    }
+}
+
+/// Parses an architecture list (`yolo`, `detr` or `both`).
+///
+/// # Errors
+///
+/// `"unknown architecture {value:?}"`.
+pub fn parse_arches(value: &str) -> Result<Vec<Architecture>, String> {
+    match value {
+        "both" => Ok(vec![Architecture::Yolo, Architecture::Detr]),
+        other => parse_arch(other).map(|a| vec![a]),
+    }
+}
+
+/// The shared unknown-flag error.
+pub fn unknown_flag(flag: &str) -> String {
+    format!("unknown flag {flag:?} (try --help)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parser(args: &[&str]) -> ArgParser {
+        ArgParser::new(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn flags_and_values_stream_in_order() {
+        let mut args = parser(&["--seed", "7", "--cache", "--out", "dir"]);
+        assert_eq!(args.next_flag().as_deref(), Some("--seed"));
+        assert_eq!(args.parse::<u64>("--seed"), Ok(7));
+        assert_eq!(args.next_flag().as_deref(), Some("--cache"));
+        assert_eq!(args.next_flag().as_deref(), Some("--out"));
+        assert_eq!(args.value("--out").as_deref(), Ok("dir"));
+        assert_eq!(args.next_flag(), None);
+        assert_eq!(args.next_flag(), None, "exhaustion is stable");
+    }
+
+    #[test]
+    fn error_messages_match_the_historical_clis() {
+        // "{flag} needs a value" — the message attack_cli and
+        // campaign_cli have always printed.
+        let mut args = parser(&["--seed"]);
+        args.next_flag();
+        assert_eq!(args.value("--seed").unwrap_err(), "--seed needs a value");
+
+        // "{flag}: {parse error}".
+        let mut args = parser(&["--pop", "many"]);
+        args.next_flag();
+        let err = args.parse::<usize>("--pop").unwrap_err();
+        assert!(err.starts_with("--pop: "), "{err}");
+
+        // Negative numbers fail usize parsing with the flag named.
+        let mut args = parser(&["--gens", "-3"]);
+        args.next_flag();
+        assert!(args.parse::<usize>("--gens").unwrap_err().starts_with("--gens: "));
+
+        assert_eq!(unknown_flag("--bogus"), "unknown flag \"--bogus\" (try --help)");
+        assert_eq!(parse_arch("vgg").unwrap_err(), "unknown architecture \"vgg\"");
+        assert_eq!(parse_arches("vgg").unwrap_err(), "unknown architecture \"vgg\"");
+    }
+
+    #[test]
+    fn architectures_parse_both_cases_and_lists() {
+        assert_eq!(parse_arch("yolo"), Ok(Architecture::Yolo));
+        assert_eq!(parse_arch("YOLO"), Ok(Architecture::Yolo));
+        assert_eq!(parse_arch("detr"), Ok(Architecture::Detr));
+        assert_eq!(parse_arch("DETR"), Ok(Architecture::Detr));
+        assert_eq!(parse_arches("both"), Ok(vec![Architecture::Yolo, Architecture::Detr]));
+        assert_eq!(parse_arches("detr"), Ok(vec![Architecture::Detr]));
+        let mut args = parser(&["--arch", "yolo"]);
+        args.next_flag();
+        assert_eq!(args.arch("--arch"), Ok(Architecture::Yolo));
+    }
+}

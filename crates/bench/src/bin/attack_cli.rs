@@ -9,6 +9,7 @@
 //! Prints the Pareto front and writes the champion masks (applied to the
 //! image) plus the raw mask visualisation as PPM files under `--out`.
 
+use bea_bench::args::{self, ArgParser};
 use bea_core::attack::{AttackConfig, ButterflyAttack};
 use bea_core::report::{champion_rows, print_table};
 use bea_detect::{Architecture, Detector, ModelZoo};
@@ -40,55 +41,24 @@ fn parse_args() -> Result<Options, String> {
         out: PathBuf::from("target/experiments/cli"),
         cache: false,
     };
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < args.len() {
-        let flag = args[i].as_str();
-        let value = || -> Result<&str, String> {
-            args.get(i + 1).map(|s| s.as_str()).ok_or(format!("{flag} needs a value"))
-        };
-        match flag {
-            "--arch" => {
-                options.arch = match value()? {
-                    "yolo" | "YOLO" => Architecture::Yolo,
-                    "detr" | "DETR" => Architecture::Detr,
-                    other => return Err(format!("unknown architecture {other:?}")),
-                };
-                i += 2;
-            }
-            "--seed" => {
-                options.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?;
-                i += 2;
-            }
-            "--image" => {
-                options.image = value()?.parse().map_err(|e| format!("--image: {e}"))?;
-                i += 2;
-            }
-            "--pop" => {
-                options.population = value()?.parse().map_err(|e| format!("--pop: {e}"))?;
-                i += 2;
-            }
-            "--gens" => {
-                options.generations = value()?.parse().map_err(|e| format!("--gens: {e}"))?;
-                i += 2;
-            }
+    let mut args = ArgParser::from_env();
+    while let Some(flag) = args.next_flag() {
+        match flag.as_str() {
+            "--arch" => options.arch = args.arch(&flag)?,
+            "--seed" => options.seed = args.parse(&flag)?,
+            "--image" => options.image = args.parse(&flag)?,
+            "--pop" => options.population = args.parse(&flag)?,
+            "--gens" => options.generations = args.parse(&flag)?,
             "--constraint" => {
-                options.constraint = match value()? {
+                options.constraint = match args.value(&flag)?.as_str() {
                     "full" => RegionConstraint::Full,
                     "left-half" => RegionConstraint::LeftHalf,
                     "right-half" => RegionConstraint::RightHalf,
                     other => return Err(format!("unknown constraint {other:?}")),
                 };
-                i += 2;
             }
-            "--out" => {
-                options.out = PathBuf::from(value()?);
-                i += 2;
-            }
-            "--cache" => {
-                options.cache = true;
-                i += 1;
-            }
+            "--out" => options.out = PathBuf::from(args.value(&flag)?),
+            "--cache" => options.cache = true,
             "--help" | "-h" => {
                 return Err("usage: attack_cli [--arch yolo|detr] [--seed N] [--image N] \
                             [--pop N] [--gens N] [--constraint full|left-half|right-half] \
@@ -97,7 +67,7 @@ fn parse_args() -> Result<Options, String> {
                             (identical results, prints hit/recompute counters)"
                     .into())
             }
-            other => return Err(format!("unknown flag {other:?} (try --help)")),
+            other => return Err(args::unknown_flag(other)),
         }
     }
     Ok(options)

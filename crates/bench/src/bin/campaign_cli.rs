@@ -13,6 +13,7 @@
 //! finished cells from a previous run instead of recomputing them. The
 //! grid outcome is identical for every `--jobs` value.
 
+use bea_bench::args::{self, ArgParser};
 use bea_bench::{fmt, Scale};
 use bea_core::attack::AttackConfig;
 use bea_core::campaign::{Campaign, CampaignConfig, CampaignStore, CellSpec};
@@ -54,66 +55,21 @@ fn parse_args() -> Result<Options, String> {
         telemetry: false,
         out: PathBuf::from("target/experiments/campaign"),
     };
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < args.len() {
-        let flag = args[i].as_str();
-        let value = || -> Result<&str, String> {
-            args.get(i + 1).map(|s| s.as_str()).ok_or(format!("{flag} needs a value"))
-        };
-        let parse_usize =
-            |v: &str, flag: &str| v.parse::<usize>().map_err(|e| format!("{flag}: {e}"));
-        match flag {
-            "--arch" => {
-                options.arches = match value()? {
-                    "yolo" | "YOLO" => vec![Architecture::Yolo],
-                    "detr" | "DETR" => vec![Architecture::Detr],
-                    "both" => vec![Architecture::Yolo, Architecture::Detr],
-                    other => return Err(format!("unknown architecture {other:?}")),
-                };
-                i += 2;
-            }
-            "--models" => {
-                options.models = parse_usize(value()?, flag)?;
-                i += 2;
-            }
-            "--images" => {
-                options.images = parse_usize(value()?, flag)?;
-                i += 2;
-            }
-            "--pop" => {
-                options.population = parse_usize(value()?, flag)?;
-                i += 2;
-            }
-            "--gens" => {
-                options.generations = parse_usize(value()?, flag)?;
-                i += 2;
-            }
-            "--seed" => {
-                options.base_seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?;
-                i += 2;
-            }
-            "--jobs" => {
-                options.jobs = parse_usize(value()?, flag)?;
-                i += 2;
-            }
-            "--cache" => {
-                options.cache = true;
-                i += 1;
-            }
-            "--resume" => {
-                options.resume = true;
-                i += 1;
-            }
-            "--telemetry" => {
-                options.telemetry = true;
-                i += 1;
-            }
-            "--out" => {
-                options.out = PathBuf::from(value()?);
-                i += 2;
-            }
-            "--quick" | "--medium" | "--full" => i += 1, // consumed by Scale
+    let mut args = ArgParser::from_env();
+    while let Some(flag) = args.next_flag() {
+        match flag.as_str() {
+            "--arch" => options.arches = args::parse_arches(&args.value(&flag)?)?,
+            "--models" => options.models = args.parse(&flag)?,
+            "--images" => options.images = args.parse(&flag)?,
+            "--pop" => options.population = args.parse(&flag)?,
+            "--gens" => options.generations = args.parse(&flag)?,
+            "--seed" => options.base_seed = args.parse(&flag)?,
+            "--jobs" => options.jobs = args.parse(&flag)?,
+            "--cache" => options.cache = true,
+            "--resume" => options.resume = true,
+            "--telemetry" => options.telemetry = true,
+            "--out" => options.out = PathBuf::from(args.value(&flag)?),
+            "--quick" | "--medium" | "--full" => {} // consumed by Scale
             "--help" | "-h" => {
                 return Err("usage: campaign_cli [--arch yolo|detr|both] [--models N] \
                             [--images N] [--pop N] [--gens N] [--seed N] [--jobs N] \
@@ -124,7 +80,7 @@ fn parse_args() -> Result<Options, String> {
                             --telemetry writes one JSONL record per generation per cell"
                     .into())
             }
-            other => return Err(format!("unknown flag {other:?} (try --help)")),
+            other => return Err(args::unknown_flag(other)),
         }
     }
     if options.models == 0 || options.images == 0 {

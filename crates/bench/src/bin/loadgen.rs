@@ -1,0 +1,222 @@
+//! Closed-loop load generator for the attack server.
+//!
+//! ```text
+//! cargo run --release -p bea-bench --bin loadgen -- \
+//!     --addr 127.0.0.1:7878 --clients 8 --requests 20 \
+//!     --csv target/experiments/loadgen.csv
+//! ```
+//!
+//! Each client thread submits `--requests` jobs back to back: a `429`
+//! counts as backpressure (the client honours `Retry-After` once, then
+//! moves on), everything else records its latency. The run reports
+//! p50/p99 submit latency, the acceptance/rejection split, and — with
+//! `--wait` — polls every accepted job to completion so the tool
+//! doubles as an end-to-end soak test. Per-request rows land in
+//! `--csv`.
+
+use bea_bench::args::{self, ArgParser};
+use bea_serve::{percentile, Client};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+struct Options {
+    addr: String,
+    clients: usize,
+    requests: usize,
+    pop: usize,
+    gens: usize,
+    seed: u64,
+    csv: Option<PathBuf>,
+    wait: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        addr: "127.0.0.1:7878".to_string(),
+        clients: 4,
+        requests: 10,
+        pop: 4,
+        gens: 1,
+        seed: 1,
+        csv: None,
+        wait: false,
+    };
+    let mut args = ArgParser::from_env();
+    while let Some(flag) = args.next_flag() {
+        match flag.as_str() {
+            "--addr" => options.addr = args.value(&flag)?,
+            "--clients" => options.clients = args.parse(&flag)?,
+            "--requests" => options.requests = args.parse(&flag)?,
+            "--pop" => options.pop = args.parse(&flag)?,
+            "--gens" => options.gens = args.parse(&flag)?,
+            "--seed" => options.seed = args.parse(&flag)?,
+            "--csv" => options.csv = Some(PathBuf::from(args.value(&flag)?)),
+            "--wait" => options.wait = true,
+            "--help" | "-h" => {
+                return Err("usage: loadgen [--addr HOST:PORT] [--clients N] [--requests N] \
+                            [--pop N] [--gens N] [--seed N] [--csv FILE] [--wait]\n\
+                            each client submits --requests inline-image jobs back to back;\n\
+                            429 responses count as backpressure, not errors\n\
+                            --wait polls every accepted job to completion afterwards"
+                    .into())
+            }
+            other => return Err(args::unknown_flag(other)),
+        }
+    }
+    if options.clients == 0 || options.requests == 0 {
+        return Err("--clients and --requests must be positive".into());
+    }
+    Ok(options)
+}
+
+/// One submission's outcome.
+struct Sample {
+    client: usize,
+    request: usize,
+    status: u16,
+    latency_s: f64,
+    id: Option<String>,
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "loadgen: {} client(s) x {} request(s) against {} (pop {}, gens {})",
+        options.clients, options.requests, options.addr, options.pop, options.gens
+    );
+    let started = Instant::now();
+    let samples: Vec<Sample> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..options.clients)
+            .map(|client_id| {
+                let addr = options.addr.clone();
+                let (pop, gens, seed, requests) =
+                    (options.pop, options.gens, options.seed, options.requests);
+                scope.spawn(move || {
+                    let client = Client::new(addr);
+                    let mut samples = Vec::with_capacity(requests);
+                    for request_id in 0..requests {
+                        // Distinct fills vary the work without changing
+                        // the cell identity or requiring pixel payloads.
+                        let fill = (client_id * 31 + request_id * 7) % 256;
+                        let body = format!(
+                            "{{\"arch\":\"yolo\",\"pop\":{pop},\"gens\":{gens},\"seed\":{seed},\
+                             \"image\":{{\"width\":64,\"height\":32,\"fill\":[{fill},64,128]}}}}"
+                        );
+                        let submit_started = Instant::now();
+                        let response = match client.submit(&body) {
+                            Ok(response) => response,
+                            Err(e) => {
+                                eprintln!("client {client_id}: submit failed: {e}");
+                                continue;
+                            }
+                        };
+                        let latency_s = submit_started.elapsed().as_secs_f64();
+                        let id = (response.status == 202).then(|| {
+                            bea_core::telemetry::parse_json(response.body_text().unwrap_or("{}"))
+                                .ok()
+                                .and_then(|v| {
+                                    v.get("id").and_then(|id| id.as_str().map(String::from))
+                                })
+                                .unwrap_or_default()
+                        });
+                        let status = response.status;
+                        samples.push(Sample {
+                            client: client_id,
+                            request: request_id,
+                            status,
+                            latency_s,
+                            id,
+                        });
+                        if status == 429 {
+                            // Honour the advertised backoff once.
+                            let retry = response
+                                .header("retry-after")
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or(1u64);
+                            std::thread::sleep(Duration::from_secs(retry.min(5)));
+                        }
+                    }
+                    samples
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let accepted: Vec<&Sample> = samples.iter().filter(|s| s.status == 202).collect();
+    let rejected = samples.iter().filter(|s| s.status == 429).count();
+    let other = samples.len() - accepted.len() - rejected;
+    let mut latencies: Vec<f64> = samples.iter().map(|s| s.latency_s).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    println!(
+        "{} submissions in {wall_s:.2}s: {} accepted (202), {rejected} rejected (429), \
+         {other} other",
+        samples.len(),
+        accepted.len(),
+    );
+    println!(
+        "submit latency: p50 {:.1}ms, p99 {:.1}ms, max {:.1}ms",
+        percentile(&latencies, 50.0) * 1e3,
+        percentile(&latencies, 99.0) * 1e3,
+        latencies.last().copied().unwrap_or(0.0) * 1e3,
+    );
+
+    if let Some(path) = &options.csv {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let mut out = String::from("client,request,status,latency_s,id\n");
+        for s in &samples {
+            out.push_str(&format!(
+                "{},{},{},{:.6},{}\n",
+                s.client,
+                s.request,
+                s.status,
+                s.latency_s,
+                s.id.as_deref().unwrap_or("")
+            ));
+        }
+        match std::fs::File::create(path).and_then(|mut f| f.write_all(out.as_bytes())) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if options.wait {
+        let client = Client::new(options.addr.clone());
+        let mut done = 0usize;
+        for sample in &accepted {
+            let Some(id) = sample.id.as_deref().filter(|id| !id.is_empty()) else { continue };
+            match client.wait(id, Duration::from_millis(100), Duration::from_secs(600)) {
+                Ok(response)
+                    if response.body_text().unwrap_or("").contains("\"status\":\"done\"") =>
+                {
+                    done += 1;
+                }
+                Ok(response) => {
+                    eprintln!("job {id} ended badly: {:?}", response.body_text());
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("job {id} never finished: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        println!("all {done} accepted job(s) ran to completion — no accepted job lost");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,106 @@
+//! Boots the attack server.
+//!
+//! ```text
+//! cargo run --release -p bea-bench --bin serve_cli -- \
+//!     --addr 127.0.0.1:7878 --workers 4 --queue 64 \
+//!     --out target/experiments/serve
+//! ```
+//!
+//! Serves until `POST /v1/shutdown` (or SIGKILL — accepted jobs survive
+//! either through the store's job log). `--smoke` swaps in the 4-image
+//! smoke dataset for fast local and CI runs.
+
+use bea_bench::args::{self, ArgParser};
+use bea_scene::SyntheticKitti;
+use bea_serve::{Server, ServerConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Options {
+    addr: String,
+    workers: usize,
+    queue: usize,
+    out: PathBuf,
+    smoke: bool,
+    drain_secs: u64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        addr: "127.0.0.1:7878".to_string(),
+        workers: 2,
+        queue: 64,
+        out: PathBuf::from("target/experiments/serve"),
+        smoke: false,
+        drain_secs: 60,
+    };
+    let mut args = ArgParser::from_env();
+    while let Some(flag) = args.next_flag() {
+        match flag.as_str() {
+            "--addr" => options.addr = args.value(&flag)?,
+            "--workers" => options.workers = args.parse(&flag)?,
+            "--queue" => options.queue = args.parse(&flag)?,
+            "--out" => options.out = PathBuf::from(args.value(&flag)?),
+            "--smoke" => options.smoke = true,
+            "--drain-secs" => options.drain_secs = args.parse(&flag)?,
+            "--help" | "-h" => {
+                return Err("usage: serve_cli [--addr HOST:PORT] [--workers N] [--queue N] \
+                            [--out DIR] [--smoke] [--drain-secs N]\n\
+                            --smoke serves the 4-image smoke dataset (fast jobs for CI)\n\
+                            POST /v1/attacks submits a job; GET /metrics exposes Prometheus text;\n\
+                            POST /v1/shutdown drains in-flight work and exits"
+                    .into())
+            }
+            other => return Err(args::unknown_flag(other)),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = ServerConfig {
+        addr: options.addr,
+        workers: options.workers,
+        queue_capacity: options.queue,
+        store_dir: options.out.clone(),
+        dataset: if options.smoke {
+            SyntheticKitti::smoke_set()
+        } else {
+            SyntheticKitti::evaluation_set()
+        },
+        drain_deadline: Duration::from_secs(options.drain_secs),
+        request_log: true,
+    };
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("server failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("bea-serve listening on http://{}", server.addr());
+    println!("store: {}", options.out.display());
+    println!("endpoints: POST /v1/attacks, GET /v1/attacks/{{id}}[/csv], GET /healthz, GET /metrics, POST /v1/shutdown");
+
+    // Serve until a client asks us to stop.
+    while !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("shutdown requested, draining...");
+    let report = server.shutdown();
+    println!(
+        "drained {} in-flight job(s), requeued {} for the next start{}",
+        report.drained,
+        report.requeued,
+        if report.deadline_expired { " (drain deadline expired)" } else { "" }
+    );
+    ExitCode::SUCCESS
+}

@@ -78,6 +78,29 @@ pub fn derive_cell_seed(base_seed: u64, model_seed: u64, image_index: usize) -> 
     splitmix(b ^ image_index as u64)
 }
 
+/// A stable fingerprint of a campaign's identity: the base seed, the GA
+/// budget and the exact cell grid (order-sensitive). Two campaigns with
+/// the same fingerprint produce the same cells; resuming into a store
+/// whose manifest carries a different fingerprint would silently mix
+/// incompatible cells, so [`Campaign::run_with_store`] refuses it.
+pub fn grid_fingerprint(
+    base_seed: u64,
+    population: usize,
+    generations: usize,
+    specs: &[CellSpec],
+) -> u64 {
+    let mut canonical = format!("v1\x1f{base_seed}\x1f{population}\x1f{generations}");
+    for spec in specs {
+        canonical.push('\x1e');
+        canonical.push_str(&spec.group);
+        canonical.push('\x1f');
+        canonical.push_str(&spec.model_seed.to_string());
+        canonical.push('\x1f');
+        canonical.push_str(&spec.image_index.to_string());
+    }
+    fnv1a(canonical.as_bytes())
+}
+
 /// Campaign-level configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignConfig {
@@ -138,6 +161,7 @@ pub struct CampaignResult {
     base_seed: u64,
     population: usize,
     generations: usize,
+    fingerprint: u64,
 }
 
 impl CampaignResult {
@@ -170,6 +194,7 @@ impl CampaignResult {
         JsonObject::new()
             .string("type", "manifest")
             .integer("version", 1)
+            .string("fingerprint", &format!("{:016x}", self.fingerprint))
             .integer("base_seed", self.base_seed)
             .integer("jobs", self.jobs as u64)
             .integer("population", self.population as u64)
@@ -249,6 +274,37 @@ impl CampaignStore {
     /// Path of the campaign manifest.
     pub fn manifest_path(&self) -> PathBuf {
         self.root.join("manifest.json")
+    }
+
+    /// The fingerprint recorded in the store's manifest, or `None` when
+    /// no manifest exists yet (a fresh store) or the manifest predates
+    /// fingerprinting (a legacy store, which resumes without the check).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; a manifest that exists but is not valid
+    /// JSON is [`io::ErrorKind::InvalidData`].
+    pub fn manifest_fingerprint(&self) -> io::Result<Option<u64>> {
+        let text = match std::fs::read_to_string(self.manifest_path()) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let manifest = telemetry::parse_json(text.trim()).map_err(|e| {
+            invalid(format!("corrupt manifest {}: {e}", self.manifest_path().display()))
+        })?;
+        match manifest.get("fingerprint") {
+            None => Ok(None),
+            Some(field) => {
+                let hex = field.as_str().ok_or_else(|| {
+                    invalid("manifest fingerprint must be a hex string".to_string())
+                })?;
+                u64::from_str_radix(hex, 16)
+                    .map(Some)
+                    .map_err(|e| invalid(format!("manifest fingerprint {hex:?}: {e}")))
+            }
+        }
     }
 
     /// Loads a previously persisted cell, or `None` when the cell has not
@@ -399,6 +455,31 @@ impl Campaign {
         D: Fn(&CellSpec) -> Box<dyn Detector> + Sync,
         I: Fn(&CellSpec) -> Image + Sync,
     {
+        let fingerprint = grid_fingerprint(
+            self.config.base_seed,
+            self.config.attack.nsga2.population_size,
+            self.config.attack.nsga2.generations,
+            specs,
+        );
+        // Refuse to resume into a store built for a different grid: the
+        // reloaded cells would silently mix two incompatible campaigns.
+        if let Some(store) = store {
+            if let Some(persisted) = store.manifest_fingerprint()? {
+                if persisted != fingerprint {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "refusing to resume into {}: its manifest fingerprint \
+                             {persisted:016x} does not match the requested grid's \
+                             {fingerprint:016x} (same cells, seed, population and \
+                             generations required); use a fresh out directory",
+                            store.root().display()
+                        ),
+                    ));
+                }
+            }
+        }
+
         let jobs = if self.config.jobs == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         } else {
@@ -460,6 +541,7 @@ impl Campaign {
             base_seed: self.config.base_seed,
             population: self.config.attack.nsga2.population_size,
             generations: self.config.attack.nsga2.generations,
+            fingerprint,
         };
         if let Some(store) = store {
             store.write_outputs(&result, self.config.telemetry)?;
@@ -654,6 +736,62 @@ mod tests {
         let third = tiny_campaign(1).run_with_store(&specs, detector, image, &store).unwrap();
         assert_eq!(third.computed_cells(), 1);
         assert_eq!(csv_bytes(&first), csv_bytes(&third));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn mismatched_resume_is_refused() {
+        let root = std::env::temp_dir().join(format!(
+            "bea_campaign_fingerprint_{}_{:x}",
+            std::process::id(),
+            fnv1a(b"fingerprint")
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = CampaignStore::open(&root).unwrap();
+        let specs = tiny_specs();
+        let detector = |_: &CellSpec| Box::new(Toy) as Box<dyn Detector>;
+        let image = |_: &CellSpec| Image::black(24, 12);
+        tiny_campaign(1).run_with_store(&specs, detector, image, &store).unwrap();
+        let persisted = store.manifest_fingerprint().unwrap().expect("manifest records it");
+        let expected = grid_fingerprint(7, 10, 4, &specs);
+        assert_eq!(persisted, expected);
+
+        // A different grid into the same store must refuse, naming both
+        // fingerprints — before touching any cell.
+        let other_specs = CellSpec::grid("YOLO", &[1], &[0]);
+        let err = tiny_campaign(1)
+            .run_with_store(&other_specs, detector, image, &store)
+            .expect_err("mismatched grid must not resume");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("fingerprint"), "unhelpful error: {err}");
+
+        // A different GA budget is also a different campaign.
+        let bigger = Campaign::new(CampaignConfig {
+            attack: AttackConfig::scaled(10, 5),
+            base_seed: 7,
+            jobs: 1,
+            telemetry: true,
+        });
+        assert!(bigger.run_with_store(&specs, detector, image, &store).is_err());
+
+        // The matching grid still resumes every cell.
+        let again = tiny_campaign(2).run_with_store(&specs, detector, image, &store).unwrap();
+        assert_eq!(again.computed_cells(), 0);
+
+        // Legacy stores (manifest without a fingerprint) resume without
+        // the check rather than stranding old campaigns.
+        let manifest = std::fs::read_to_string(store.manifest_path()).unwrap();
+        let legacy = manifest.replacen(&format!("\"fingerprint\":\"{expected:016x}\","), "", 1);
+        assert_ne!(legacy, manifest, "test must actually strip the field");
+        std::fs::write(store.manifest_path(), legacy).unwrap();
+        assert_eq!(store.manifest_fingerprint().unwrap(), None);
+        let legacy_run = tiny_campaign(1).run_with_store(&specs, detector, image, &store).unwrap();
+        assert_eq!(legacy_run.computed_cells(), 0);
+
+        // A corrupt manifest is an error, not a silent fresh start.
+        std::fs::write(store.manifest_path(), "not json").unwrap();
+        assert!(store.manifest_fingerprint().is_err());
+        assert!(tiny_campaign(1).run_with_store(&specs, detector, image, &store).is_err());
         let _ = std::fs::remove_dir_all(&root);
     }
 

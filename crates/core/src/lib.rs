@@ -53,9 +53,11 @@ pub mod baseline;
 pub mod campaign;
 pub mod errors;
 pub mod init;
+pub mod job;
 pub mod objectives;
 pub mod operators;
 pub mod problem;
+pub mod queue;
 pub mod report;
 pub mod sweep;
 pub mod telemetry;
@@ -66,4 +68,6 @@ pub(crate) mod test_fixtures;
 pub use attack::{AttackConfig, AttackOutcome, ButterflyAttack};
 pub use campaign::{Campaign, CampaignConfig, CampaignResult, CellSpec};
 pub use errors::{ErrorTransition, TransitionReport};
+pub use job::{AttackJob, ImageSpec, JobStatus};
 pub use problem::ButterflyProblem;
+pub use queue::{BoundedQueue, PushError};

@@ -162,20 +162,161 @@ pub fn deterministic_prefix(line: &str) -> &str {
     line.split(",\"evaluate_ms\":").next().unwrap_or(line)
 }
 
-/// Checks that `text` is one syntactically valid JSON value (used by
-/// tests to keep the hand-rolled writer honest without a JSON
-/// dependency).
+/// Resource limits applied when validating or parsing untrusted JSON
+/// (HTTP request bodies in `bea-serve`, persisted manifests). Both checks
+/// fail with a descriptive error instead of recursing or allocating
+/// without bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonLimits {
+    /// Maximum nesting depth of arrays/objects (the document root is
+    /// depth 1).
+    pub max_depth: usize,
+    /// Maximum document length in bytes, checked before any parsing.
+    pub max_bytes: usize,
+}
+
+impl Default for JsonLimits {
+    fn default() -> Self {
+        // Deep enough for every record this workspace writes, shallow
+        // enough that the recursive-descent parser cannot blow the stack
+        // on a hostile body like "[[[[...".
+        Self { max_depth: 32, max_bytes: 1 << 20 }
+    }
+}
+
+/// Checks that `text` is one syntactically valid JSON value within the
+/// default [`JsonLimits`] (used by tests to keep the hand-rolled writer
+/// honest, and by the serving layer as a cheap pre-check on untrusted
+/// bodies).
 ///
 /// # Errors
 ///
-/// Returns a description of the first syntax violation.
+/// Returns a description of the first syntax violation or exceeded limit.
 pub fn validate_json(text: &str) -> Result<(), String> {
-    let mut parser = Parser { chars: text.char_indices().peekable(), text };
+    validate_json_with_limits(text, JsonLimits::default())
+}
+
+/// [`validate_json`] with explicit resource limits.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax violation or exceeded limit.
+pub fn validate_json_with_limits(text: &str, limits: JsonLimits) -> Result<(), String> {
+    parse_json_with_limits(text, limits).map(drop)
+}
+
+/// A parsed JSON document — the minimal tree the serving layer needs to
+/// read untrusted request bodies without a serde dependency. Object
+/// fields keep their document order (duplicate keys are kept as written;
+/// [`JsonValue::get`] returns the first).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Number(f64),
+    /// A string, with escapes decoded.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, fields in document order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// The first value of an object field, or `None` for missing fields
+    /// and non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string content, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a `u64`, when this is a non-negative integer
+    /// small enough for `f64` to represent exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean value, when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Renders the value back to JSON text through the same writer the
+    /// telemetry records use ([`escape`] / [`number`]), so
+    /// `parse_json(render(v)) == v` for every value whose numbers are
+    /// finite.
+    pub fn render(&self) -> String {
+        match self {
+            JsonValue::Null => "null".to_string(),
+            JsonValue::Bool(b) => if *b { "true" } else { "false" }.to_string(),
+            JsonValue::Number(n) => number(*n),
+            JsonValue::String(s) => format!("\"{}\"", escape(s)),
+            JsonValue::Array(items) => {
+                let inner: Vec<String> = items.iter().map(JsonValue::render).collect();
+                format!("[{}]", inner.join(","))
+            }
+            JsonValue::Object(fields) => {
+                let inner: Vec<String> = fields
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":{}", escape(k), v.render()))
+                    .collect();
+                format!("{{{}}}", inner.join(","))
+            }
+        }
+    }
+}
+
+/// Parses one JSON document into a [`JsonValue`] under the default
+/// [`JsonLimits`] — the entry point for untrusted request bodies.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax violation or exceeded limit.
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    parse_json_with_limits(text, JsonLimits::default())
+}
+
+/// [`parse_json`] with explicit resource limits.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax violation or exceeded limit.
+pub fn parse_json_with_limits(text: &str, limits: JsonLimits) -> Result<JsonValue, String> {
+    let mut parser = Parser::new(text, limits)?;
     parser.skip_ws();
-    parser.value()?;
+    let value = parser.value()?;
     parser.skip_ws();
     match parser.chars.next() {
-        None => Ok(()),
+        None => Ok(value),
         Some((i, c)) => Err(format!("trailing content at byte {i}: {c:?}")),
     }
 }
@@ -183,9 +324,30 @@ pub fn validate_json(text: &str) -> Result<(), String> {
 struct Parser<'a> {
     chars: std::iter::Peekable<std::str::CharIndices<'a>>,
     text: &'a str,
+    depth: usize,
+    limits: JsonLimits,
 }
 
-impl Parser<'_> {
+impl<'a> Parser<'a> {
+    fn new(text: &'a str, limits: JsonLimits) -> Result<Parser<'a>, String> {
+        if text.len() > limits.max_bytes {
+            return Err(format!(
+                "document is {} bytes, exceeding the {}-byte cap",
+                text.len(),
+                limits.max_bytes
+            ));
+        }
+        Ok(Parser { chars: text.char_indices().peekable(), text, depth: 0, limits })
+    }
+
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > self.limits.max_depth {
+            return Err(format!("nesting depth exceeds the limit of {}", self.limits.max_depth));
+        }
+        Ok(())
+    }
+
     fn skip_ws(&mut self) {
         while matches!(self.chars.peek(), Some((_, ' ' | '\t' | '\n' | '\r'))) {
             self.chars.next();
@@ -200,97 +362,142 @@ impl Parser<'_> {
         }
     }
 
-    fn literal(&mut self, rest: &str) -> Result<(), String> {
+    fn literal(&mut self, rest: &str, value: JsonValue) -> Result<JsonValue, String> {
         for want in rest.chars() {
             self.expect(want)?;
         }
-        Ok(())
+        Ok(value)
     }
 
-    fn value(&mut self) -> Result<(), String> {
+    fn value(&mut self) -> Result<JsonValue, String> {
         self.skip_ws();
         match self.chars.peek().copied() {
             Some((_, '{')) => self.object(),
             Some((_, '[')) => self.array(),
-            Some((_, '"')) => self.string(),
-            Some((_, 't')) => self.literal("true"),
-            Some((_, 'f')) => self.literal("false"),
-            Some((_, 'n')) => self.literal("null"),
+            Some((_, '"')) => self.string().map(JsonValue::String),
+            Some((_, 't')) => self.literal("true", JsonValue::Bool(true)),
+            Some((_, 'f')) => self.literal("false", JsonValue::Bool(false)),
+            Some((_, 'n')) => self.literal("null", JsonValue::Null),
             Some((_, c)) if c == '-' || c.is_ascii_digit() => self.number_value(),
             Some((i, c)) => Err(format!("unexpected {c:?} at byte {i}")),
             None => Err("unexpected end of input".to_string()),
         }
     }
 
-    fn object(&mut self) -> Result<(), String> {
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.descend()?;
         self.expect('{')?;
         self.skip_ws();
+        let mut fields = Vec::new();
         if matches!(self.chars.peek(), Some((_, '}'))) {
             self.chars.next();
-            return Ok(());
+            self.depth -= 1;
+            return Ok(JsonValue::Object(fields));
         }
         loop {
             self.skip_ws();
-            self.string()?;
+            let key = self.string()?;
             self.skip_ws();
             self.expect(':')?;
-            self.value()?;
+            let value = self.value()?;
+            fields.push((key, value));
             self.skip_ws();
             match self.chars.next() {
                 Some((_, ',')) => continue,
-                Some((_, '}')) => return Ok(()),
+                Some((_, '}')) => {
+                    self.depth -= 1;
+                    return Ok(JsonValue::Object(fields));
+                }
                 Some((i, c)) => return Err(format!("expected ',' or '}}' at byte {i}, got {c:?}")),
                 None => return Err("unterminated object".to_string()),
             }
         }
     }
 
-    fn array(&mut self) -> Result<(), String> {
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.descend()?;
         self.expect('[')?;
         self.skip_ws();
+        let mut items = Vec::new();
         if matches!(self.chars.peek(), Some((_, ']'))) {
             self.chars.next();
-            return Ok(());
+            self.depth -= 1;
+            return Ok(JsonValue::Array(items));
         }
         loop {
-            self.value()?;
+            items.push(self.value()?);
             self.skip_ws();
             match self.chars.next() {
                 Some((_, ',')) => continue,
-                Some((_, ']')) => return Ok(()),
+                Some((_, ']')) => {
+                    self.depth -= 1;
+                    return Ok(JsonValue::Array(items));
+                }
                 Some((i, c)) => return Err(format!("expected ',' or ']' at byte {i}, got {c:?}")),
                 None => return Err("unterminated array".to_string()),
             }
         }
     }
 
-    fn string(&mut self) -> Result<(), String> {
+    /// One `\uXXXX` escape's four hex digits as a code unit.
+    fn hex_unit(&mut self, at: usize) -> Result<u16, String> {
+        let mut unit = 0u16;
+        for _ in 0..4 {
+            match self.chars.next() {
+                Some((_, h)) if h.is_ascii_hexdigit() => {
+                    unit = unit * 16 + h.to_digit(16).expect("hex digit") as u16;
+                }
+                other => return Err(format!("bad \\u escape near byte {at}: {other:?}")),
+            }
+        }
+        Ok(unit)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
         self.expect('"')?;
+        let mut out = String::new();
         while let Some((i, c)) = self.chars.next() {
             match c {
-                '"' => return Ok(()),
+                '"' => return Ok(out),
                 '\\' => match self.chars.next() {
-                    Some((_, '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't')) => {}
+                    Some((_, c @ ('"' | '\\' | '/'))) => out.push(c),
+                    Some((_, 'b')) => out.push('\u{8}'),
+                    Some((_, 'f')) => out.push('\u{c}'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
                     Some((_, 'u')) => {
-                        for _ in 0..4 {
-                            match self.chars.next() {
-                                Some((_, h)) if h.is_ascii_hexdigit() => {}
-                                other => {
-                                    return Err(format!("bad \\u escape near byte {i}: {other:?}"))
-                                }
+                        let unit = self.hex_unit(i)?;
+                        // A high surrogate must pair with a following
+                        // \uXXXX low surrogate; anything else is a lone
+                        // surrogate, which no UTF-8 string can hold.
+                        let code = if (0xd800..0xdc00).contains(&unit) {
+                            self.expect('\\')
+                                .and_then(|()| self.expect('u'))
+                                .map_err(|_| format!("unpaired surrogate near byte {i}"))?;
+                            let low = self.hex_unit(i)?;
+                            if !(0xdc00..0xe000).contains(&low) {
+                                return Err(format!("unpaired surrogate near byte {i}"));
                             }
+                            0x10000 + ((u32::from(unit) - 0xd800) << 10) + (u32::from(low) - 0xdc00)
+                        } else {
+                            u32::from(unit)
+                        };
+                        match char::from_u32(code) {
+                            Some(c) => out.push(c),
+                            None => return Err(format!("unpaired surrogate near byte {i}")),
                         }
                     }
                     other => return Err(format!("bad escape near byte {i}: {other:?}")),
                 },
                 c if (c as u32) < 0x20 => return Err(format!("raw control character at byte {i}")),
-                _ => {}
+                c => out.push(c),
             }
         }
         Err("unterminated string".to_string())
     }
 
-    fn number_value(&mut self) -> Result<(), String> {
+    fn number_value(&mut self) -> Result<JsonValue, String> {
         let start = self.chars.peek().map(|(i, _)| *i).unwrap_or(self.text.len());
         if matches!(self.chars.peek(), Some((_, '-'))) {
             self.chars.next();
@@ -328,7 +535,11 @@ impl Parser<'_> {
                 return Err(format!("number with empty exponent at byte {start}"));
             }
         }
-        Ok(())
+        let end = self.chars.peek().map(|(i, _)| *i).unwrap_or(self.text.len());
+        let parsed: f64 = self.text[start..end]
+            .parse()
+            .map_err(|e| format!("unparseable number at byte {start}: {e}"))?;
+        Ok(JsonValue::Number(parsed))
     }
 }
 
@@ -388,6 +599,63 @@ mod tests {
         // The manifest has no timing fields; the prefix is the whole line.
         let manifest = JsonObject::new().string("type", "manifest").finish();
         assert_eq!(deterministic_prefix(&manifest), manifest);
+    }
+
+    #[test]
+    fn parser_builds_values_and_decodes_escapes() {
+        let value = parse_json(
+            "{\"a\":[1,-2.5,null],\"b\":\"q\\\"\\\\\\n\\u0041\\u00e9\\ud83d\\ude00\",\"c\":true}",
+        )
+        .expect("valid document");
+        assert_eq!(
+            value.get("a"),
+            Some(&JsonValue::Array(vec![
+                JsonValue::Number(1.0),
+                JsonValue::Number(-2.5),
+                JsonValue::Null,
+            ]))
+        );
+        assert_eq!(value.get("b").and_then(JsonValue::as_str), Some("q\"\\\nAé😀"));
+        assert_eq!(value.get("c").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(value.get("missing"), None);
+        assert_eq!(JsonValue::Number(7.0).as_u64(), Some(7));
+        assert_eq!(JsonValue::Number(-1.0).as_u64(), None);
+        assert_eq!(JsonValue::Number(0.5).as_u64(), None);
+        // Lone or malformed surrogates cannot become Rust strings.
+        assert!(parse_json("\"\\ud800\"").is_err());
+        assert!(parse_json("\"\\ud800\\u0041\"").is_err());
+        assert!(parse_json("\"\\udc00\"").is_err());
+    }
+
+    #[test]
+    fn parsed_values_render_back_to_equal_values() {
+        for text in
+            ["{\"a\":[1,2.5,null,\"x\\ny\"],\"b\":{\"c\":false}}", "[[[\"\\u0007\"]]]", "-1.5e-3"]
+        {
+            let value = parse_json(text).expect("valid");
+            let rendered = value.render();
+            validate_json(&rendered).expect("rendered output is valid JSON");
+            assert_eq!(parse_json(&rendered).expect("re-parses"), value);
+        }
+    }
+
+    #[test]
+    fn limits_bound_depth_and_bytes() {
+        let deep_ok = format!("{}1{}", "[".repeat(31), "]".repeat(31));
+        validate_json(&deep_ok).expect("depth 32 fits the default limit");
+        let too_deep = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        let err = validate_json(&too_deep).expect_err("hostile nesting is rejected");
+        assert!(err.contains("nesting depth"), "unexpected error: {err}");
+        let mixed = format!("{}{}{}", "{\"k\":[".repeat(40), "1", "]}".repeat(40));
+        assert!(validate_json(&mixed).is_err(), "objects and arrays share the depth budget");
+
+        let limits = JsonLimits { max_depth: 2, max_bytes: 16 };
+        assert!(validate_json_with_limits("[[1]]", limits).is_ok());
+        assert!(validate_json_with_limits("[[[1]]]", limits).is_err());
+        let err = validate_json_with_limits("\"aaaaaaaaaaaaaaaaaaaa\"", limits)
+            .expect_err("oversized body is rejected before parsing");
+        assert!(err.contains("byte cap"), "unexpected error: {err}");
+        assert!(parse_json_with_limits("[[[1]]]", limits).is_err());
     }
 
     #[test]

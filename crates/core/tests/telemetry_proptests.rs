@@ -1,0 +1,109 @@
+//! Property tests for the hand-rolled JSON writer/validator/parser in
+//! [`bea_core::telemetry`], which now also parses untrusted HTTP request
+//! bodies for `bea-serve`. The core property is the round trip
+//! `render → validate → parse == identity` over arbitrary value trees,
+//! including escape-heavy strings; the limits are exercised at their
+//! boundaries.
+
+use bea_core::telemetry::{
+    escape, parse_json, parse_json_with_limits, validate_json, validate_json_with_limits,
+    JsonLimits, JsonValue,
+};
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+/// Characters that stress the escaper: quotes, backslashes, controls,
+/// multi-byte code points and an astral-plane emoji (which the writer
+/// emits raw and `\uXXXX` surrogate pairs must also decode to).
+const SPICY: &[char] =
+    &['"', '\\', '\n', '\r', '\t', '\u{0}', '\u{1f}', '/', 'a', 'é', 'Ω', '語', '😀', ' '];
+
+fn arb_string(rng: &mut TestRng) -> String {
+    let len = rng.below(12) as usize;
+    (0..len).map(|_| SPICY[rng.below(SPICY.len() as u64) as usize]).collect()
+}
+
+fn arb_number(rng: &mut TestRng) -> f64 {
+    match rng.below(4) {
+        0 => rng.below(1_000_000) as f64 - 500_000.0,
+        1 => rng.unit_f64() * 2e9 - 1e9,
+        2 => rng.unit_f64() * 1e-6,
+        _ => 0.0,
+    }
+}
+
+/// An arbitrary JSON tree of bounded depth, driven by a seeded generator
+/// (the shim has no recursive strategies, so the tree is built directly).
+fn arb_value(rng: &mut TestRng, depth: usize) -> JsonValue {
+    let choices = if depth == 0 { 4 } else { 6 };
+    match rng.below(choices) {
+        0 => JsonValue::Null,
+        1 => JsonValue::Bool(rng.below(2) == 0),
+        2 => JsonValue::Number(arb_number(rng)),
+        3 => JsonValue::String(arb_string(rng)),
+        4 => {
+            let len = rng.below(4) as usize;
+            JsonValue::Array((0..len).map(|_| arb_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let len = rng.below(4) as usize;
+            JsonValue::Object(
+                (0..len).map(|_| (arb_string(rng), arb_value(rng, depth - 1))).collect(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn render_validate_parse_round_trips(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::from_seed(seed);
+        let value = arb_value(&mut rng, 4);
+        let rendered = value.render();
+        prop_assert!(
+            validate_json(&rendered).is_ok(),
+            "rendered tree must validate: {rendered}"
+        );
+        let parsed = parse_json(&rendered).expect("validated text must parse");
+        prop_assert_eq!(&parsed, &value);
+        // Parsing is idempotent: a second render/parse cycle is stable.
+        prop_assert_eq!(parse_json(&parsed.render()).expect("stable"), parsed);
+    }
+
+    #[test]
+    fn escaped_strings_survive_the_parser(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::from_seed(seed);
+        let original = arb_string(&mut rng);
+        let document = format!("\"{}\"", escape(&original));
+        let parsed = parse_json(&document).expect("escaped string must parse");
+        prop_assert_eq!(parsed.as_str(), Some(original.as_str()));
+    }
+
+    #[test]
+    fn depth_limit_is_exact(depth in 1usize..24, arrays in 0u8..2) {
+        // A chain of exactly `depth` containers parses at max_depth ==
+        // depth and fails at max_depth == depth - 1: no off-by-one, no
+        // unbounded recursion on hostile nesting.
+        let (open, close) = if arrays == 0 { ("[", "]") } else { ("{\"k\":", "}") };
+        let text = format!("{}1{}", open.repeat(depth), close.repeat(depth));
+        let fits = JsonLimits { max_depth: depth, ..JsonLimits::default() };
+        prop_assert!(validate_json_with_limits(&text, fits).is_ok());
+        if depth > 1 {
+            let tight = JsonLimits { max_depth: depth - 1, ..JsonLimits::default() };
+            let err = validate_json_with_limits(&text, tight).expect_err("must refuse");
+            prop_assert!(err.contains("nesting depth"));
+        }
+    }
+
+    #[test]
+    fn byte_cap_is_exact(len in 1usize..200) {
+        let text = format!("\"{}\"", "a".repeat(len));
+        let exact = JsonLimits { max_bytes: text.len(), ..JsonLimits::default() };
+        prop_assert!(parse_json_with_limits(&text, exact).is_ok());
+        let tight = JsonLimits { max_bytes: text.len() - 1, ..JsonLimits::default() };
+        let err = parse_json_with_limits(&text, tight).expect_err("must refuse");
+        prop_assert!(err.contains("byte cap"));
+    }
+}

@@ -86,6 +86,22 @@ impl CacheStats {
     pub fn lookups(&self) -> u64 {
         self.hits + self.misses
     }
+
+    /// The counters as stable `(name, value)` pairs, in declaration
+    /// order — the snapshot shape metrics exporters (the serving layer's
+    /// `/metrics` endpoint, telemetry consumers) iterate over without
+    /// hard-coding the field list.
+    pub fn counters(&self) -> [(&'static str, u64); 7] {
+        [
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("incremental", self.incremental),
+            ("fallbacks", self.fallbacks),
+            ("global_stage_full", self.global_stage_full),
+            ("pixels_recomputed", self.pixels_recomputed),
+            ("evictions", self.evictions),
+        ]
+    }
 }
 
 impl std::fmt::Display for CacheStats {
@@ -490,6 +506,42 @@ mod tests {
         assert_eq!(a.lookups(), 4);
         assert!(a.to_string().contains("hits 3"));
         assert!(a.to_string().contains("evictions 2"));
+    }
+
+    #[test]
+    fn counters_snapshot_every_field_in_order() {
+        let stats = CacheStats {
+            hits: 1,
+            misses: 2,
+            incremental: 3,
+            fallbacks: 4,
+            global_stage_full: 5,
+            pixels_recomputed: 6,
+            evictions: 7,
+        };
+        let counters = stats.counters();
+        assert_eq!(
+            counters.map(|(name, _)| name),
+            [
+                "hits",
+                "misses",
+                "incremental",
+                "fallbacks",
+                "global_stage_full",
+                "pixels_recomputed",
+                "evictions",
+            ]
+        );
+        assert_eq!(counters.map(|(_, value)| value), [1, 2, 3, 4, 5, 6, 7]);
+        // The snapshot is exhaustive: merging a stats value built back
+        // from its own counters doubles every field.
+        let mut doubled = stats;
+        doubled.merge(&stats);
+        assert_eq!(
+            doubled.counters().map(|(_, v)| v),
+            counters.map(|(_, v)| v * 2),
+            "counters() must cover every CacheStats field"
+        );
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! A minimal blocking HTTP client over `std::net::TcpStream`.
+//!
+//! Shared by the load generator, the integration tests and the CI smoke
+//! job so none of them need an external HTTP tool. It speaks the same
+//! one-request-per-connection subset the server does.
+
+use crate::http::{status_reason, Request};
+use std::io::{self, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Cap on response bodies the client will buffer.
+const MAX_RESPONSE_BODY: usize = 16 * 1024 * 1024;
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// The status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// The first value of a header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == want).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// Reports non-UTF-8 bodies.
+    pub fn body_text(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|e| format!("body is not UTF-8: {e}"))
+    }
+}
+
+/// Performs one request against `addr` and reads the full response.
+///
+/// # Errors
+///
+/// Propagates connection and transport failures, and reports malformed
+/// responses as [`io::ErrorKind::InvalidData`].
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<HttpResponse> {
+    let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+
+    // The response grammar mirrors the request grammar closely enough to
+    // reuse the request parser: swap the status line for a request line.
+    let mut reader = BufReader::new(stream);
+    let status_line = read_status_line(&mut reader)?;
+    let mut parts = status_line.splitn(3, ' ');
+    let (version, code) = match (parts.next(), parts.next()) {
+        (Some(v), Some(c)) if v.starts_with("HTTP/") => (v, c),
+        _ => return Err(invalid(format!("malformed status line {status_line:?}"))),
+    };
+    let _ = version;
+    let status: u16 =
+        code.parse().map_err(|e| invalid(format!("bad status code {code:?}: {e}")))?;
+    // Re-feed the remainder as a bodiless request so header and body
+    // handling stay in one place.
+    let mut synthetic = Vec::from(&b"GET / HTTP/1.1\r\n"[..]);
+    let mut rest = Vec::new();
+    io::Read::read_to_end(&mut reader, &mut rest)?;
+    synthetic.extend_from_slice(&rest);
+    let parsed = Request::read_from(&mut BufReader::new(&synthetic[..]), MAX_RESPONSE_BODY)?;
+    Ok(HttpResponse { status, headers: parsed.headers, body: parsed.body })
+}
+
+/// Reads the CRLF-terminated status line.
+fn read_status_line<R: io::BufRead>(reader: &mut R) -> io::Result<String> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    if line.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "empty response"));
+    }
+    Ok(line)
+}
+
+/// A convenience wrapper bound to one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self { addr: addr.into() }
+    }
+
+    /// The server address this client targets.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Submits an attack job body to `POST /v1/attacks`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn submit(&self, job_json: &str) -> io::Result<HttpResponse> {
+        request(&self.addr, "POST", "/v1/attacks", Some(job_json))
+    }
+
+    /// Fetches `GET /v1/attacks/{id}`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn status(&self, id: &str) -> io::Result<HttpResponse> {
+        request(&self.addr, "GET", &format!("/v1/attacks/{id}"), None)
+    }
+
+    /// Fetches the stored result CSV via `GET /v1/attacks/{id}/csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn csv(&self, id: &str) -> io::Result<HttpResponse> {
+        request(&self.addr, "GET", &format!("/v1/attacks/{id}/csv"), None)
+    }
+
+    /// Fetches `GET /healthz`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn healthz(&self) -> io::Result<HttpResponse> {
+        request(&self.addr, "GET", "/healthz", None)
+    }
+
+    /// Fetches `GET /metrics`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn metrics(&self) -> io::Result<HttpResponse> {
+        request(&self.addr, "GET", "/metrics", None)
+    }
+
+    /// Polls `GET /v1/attacks/{id}` until the job leaves `queued` /
+    /// `running`, waiting `interval` between polls up to `deadline`.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::TimedOut`] when the deadline expires, plus any
+    /// transport failure.
+    pub fn wait(
+        &self,
+        id: &str,
+        interval: Duration,
+        deadline: Duration,
+    ) -> io::Result<HttpResponse> {
+        let start = std::time::Instant::now();
+        loop {
+            let response = self.status(id)?;
+            let text = response.body_text().unwrap_or("");
+            if response.status != 200
+                || !(text.contains("\"queued\"") || text.contains("\"running\""))
+            {
+                return Ok(response);
+            }
+            if start.elapsed() > deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("job {id} still pending after {deadline:?}"),
+                ));
+            }
+            std::thread::sleep(interval);
+        }
+    }
+}
+
+/// A descriptive string for a reason phrase lookup, used by loadgen's
+/// summary output.
+pub fn describe_status(code: u16) -> String {
+    format!("{code} {}", status_reason(code))
+}

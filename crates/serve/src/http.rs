@@ -1,0 +1,274 @@
+//! Hand-rolled HTTP/1.1 request parsing and response writing.
+//!
+//! The build environment has no registry access, so the serving layer
+//! speaks the small, strict subset of HTTP/1.1 its endpoints need: one
+//! request per connection (`Connection: close`), explicit
+//! `Content-Length` bodies, and hard limits on line length, header count
+//! and body size so a hostile peer cannot make the server buffer without
+//! bound. Anything outside the subset is a parse error the server maps
+//! to `400`.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on the request line and on each header line, in bytes.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Upper bound on the number of request headers.
+pub const MAX_HEADERS: usize = 64;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The method verb, uppercased by the client (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target path, query string included.
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of a header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == want).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// Reports non-UTF-8 bodies.
+    pub fn body_text(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|e| format!("body is not UTF-8: {e}"))
+    }
+
+    /// Reads and parses one request from a buffered stream. `max_body`
+    /// bounds the accepted `Content-Length`; bigger announcements fail
+    /// without reading the body.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] on malformed requests and exceeded
+    /// limits, plus any transport error.
+    pub fn read_from<R: BufRead>(reader: &mut R, max_body: usize) -> io::Result<Request> {
+        let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let request_line = read_line(reader)?;
+        let mut parts = request_line.split(' ');
+        let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+        {
+            (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+            _ => return Err(invalid(format!("malformed request line {request_line:?}"))),
+        };
+        if version != "HTTP/1.1" && version != "HTTP/1.0" {
+            return Err(invalid(format!("unsupported protocol {version:?}")));
+        }
+        let mut headers = Vec::new();
+        loop {
+            let line = read_line(reader)?;
+            if line.is_empty() {
+                break;
+            }
+            if headers.len() >= MAX_HEADERS {
+                return Err(invalid(format!("more than {MAX_HEADERS} headers")));
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| invalid(format!("malformed header {line:?}")))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let request = Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers,
+            body: Vec::new(),
+        };
+        let content_length = match request.header("content-length") {
+            None => 0,
+            Some(text) => text
+                .parse::<usize>()
+                .map_err(|e| invalid(format!("bad Content-Length {text:?}: {e}")))?,
+        };
+        if content_length > max_body {
+            return Err(invalid(format!(
+                "Content-Length {content_length} exceeds the {max_body}-byte limit"
+            )));
+        }
+        let mut request = request;
+        request.body = vec![0u8; content_length];
+        reader.read_exact(&mut request.body)?;
+        Ok(request)
+    }
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, capped at
+/// [`MAX_LINE_BYTES`].
+fn read_line<R: BufRead>(reader: &mut R) -> io::Result<String> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        reader.read_exact(&mut byte)?;
+        if byte[0] == b'\n' {
+            break;
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_LINE_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line exceeds {MAX_LINE_BYTES} bytes"),
+            ));
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("non-UTF-8 line: {e}")))
+}
+
+/// The reason phrase of the status codes this server emits.
+pub fn status_reason(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// One HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with a status code.
+    pub fn new(status: u16) -> Self {
+        Self { status, headers: Vec::new(), body: Vec::new() }
+    }
+
+    /// A JSON response.
+    pub fn json(status: u16, body: &str) -> Self {
+        Self::new(status).with_body("application/json", body.as_bytes().to_vec())
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Sets the body and its content type.
+    pub fn with_body(mut self, content_type: &str, body: Vec<u8>) -> Self {
+        self.headers.retain(|(n, _)| !n.eq_ignore_ascii_case("content-type"));
+        self.headers.push(("Content-Type".to_string(), content_type.to_string()));
+        self.body = body;
+        self
+    }
+
+    /// The body bytes.
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    /// Serialises the response (status line, headers, `Content-Length`,
+    /// `Connection: close`, body) onto the wire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> io::Result<()> {
+        write!(writer, "HTTP/1.1 {} {}\r\n", self.status, status_reason(self.status))?;
+        for (name, value) in &self.headers {
+            write!(writer, "{name}: {value}\r\n")?;
+        }
+        write!(writer, "Content-Length: {}\r\nConnection: close\r\n\r\n", self.body.len())?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> io::Result<Request> {
+        Request::read_from(&mut BufReader::new(raw), 1024)
+    }
+
+    #[test]
+    fn requests_parse_with_headers_and_body() {
+        let raw = b"POST /v1/attacks HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+        let request = parse(raw).unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/v1/attacks");
+        assert_eq!(request.header("HOST"), Some("x"));
+        assert_eq!(request.header("content-length"), Some("4"));
+        assert_eq!(request.body_text().unwrap(), "body");
+        // Bare-LF requests and bodiless GETs also parse.
+        let request = parse(b"GET /healthz HTTP/1.0\n\n").unwrap();
+        assert_eq!(request.method, "GET");
+        assert!(request.body.is_empty());
+    }
+
+    #[test]
+    fn malformed_requests_are_invalid_data() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET noslash HTTP/1.1\r\n\r\n",
+            b"GET / SPDY/3\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon-header\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        ] {
+            let err = parse(raw).expect_err(&format!("{raw:?}"));
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn limits_bound_bodies_lines_and_headers() {
+        let announced = b"POST / HTTP/1.1\r\nContent-Length: 2048\r\n\r\n";
+        let err = parse(announced).expect_err("over max_body");
+        assert!(err.to_string().contains("exceeds"), "{err}");
+
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE_BYTES + 1));
+        assert!(parse(long_line.as_bytes()).is_err());
+
+        let mut many_headers = String::from("GET / HTTP/1.1\r\n");
+        for k in 0..=MAX_HEADERS {
+            many_headers.push_str(&format!("h{k}: v\r\n"));
+        }
+        many_headers.push_str("\r\n");
+        assert!(parse(many_headers.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn responses_serialise_with_length_and_close() {
+        let mut wire = Vec::new();
+        Response::json(202, "{\"id\":\"job-1\"}")
+            .with_header("Retry-After", "1")
+            .write_to(&mut wire)
+            .unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 202 Accepted\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 14\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"id\":\"job-1\"}"));
+        assert_eq!(status_reason(429), "Too Many Requests");
+        assert_eq!(status_reason(599), "Internal Server Error");
+    }
+}

@@ -1,0 +1,264 @@
+//! Live server metrics rendered in the Prometheus text format.
+//!
+//! Counters are lock-free atomics on the hot path; per-endpoint status
+//! counts and latency histograms take a short mutex only when a request
+//! finishes. Rendering snapshots everything into the plain-text
+//! exposition format (`# TYPE` lines plus samples) that `GET /metrics`
+//! returns.
+
+use bea_detect::CacheStats;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Upper bounds (seconds) of the request-latency histogram buckets; an
+/// implicit `+Inf` bucket follows the last entry.
+pub const LATENCY_BUCKETS: [f64; 8] = [0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0, 60.0];
+
+/// A fixed-bound latency histogram in seconds.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    counts: [u64; LATENCY_BUCKETS.len() + 1],
+    sum: f64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, seconds: f64) {
+        let slot = LATENCY_BUCKETS
+            .iter()
+            .position(|&bound| seconds <= bound)
+            .unwrap_or(LATENCY_BUCKETS.len());
+        self.counts[slot] += 1;
+        self.sum += seconds;
+        self.total += 1;
+    }
+
+    /// Cumulative count at each bucket bound, `+Inf` last.
+    pub fn cumulative(&self) -> [u64; LATENCY_BUCKETS.len() + 1] {
+        let mut running = 0;
+        let mut out = [0u64; LATENCY_BUCKETS.len() + 1];
+        for (slot, &count) in self.counts.iter().enumerate() {
+            running += count;
+            out[slot] = running;
+        }
+        out
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all observed values, in seconds.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+/// Per-endpoint response accounting.
+#[derive(Debug, Clone, Default)]
+struct EndpointMetrics {
+    by_status: BTreeMap<u16, u64>,
+    latency: Histogram,
+}
+
+/// Shared server metrics: job counters plus per-endpoint request
+/// accounting.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Jobs accepted onto the queue (202 responses).
+    pub accepted: AtomicU64,
+    /// Jobs rejected with 429 because the queue was full.
+    pub rejected: AtomicU64,
+    /// Jobs that ran to completion.
+    pub completed: AtomicU64,
+    /// Jobs that failed (attack error or panic).
+    pub failed: AtomicU64,
+    endpoints: Mutex<BTreeMap<&'static str, EndpointMetrics>>,
+}
+
+impl Metrics {
+    /// Records one finished request against its endpoint label.
+    pub fn record_request(&self, endpoint: &'static str, status: u16, elapsed: Duration) {
+        let mut endpoints = self.endpoints.lock().expect("metrics mutex poisoned");
+        let entry = endpoints.entry(endpoint).or_default();
+        *entry.by_status.entry(status).or_insert(0) += 1;
+        entry.latency.observe(elapsed.as_secs_f64());
+    }
+
+    /// Renders the Prometheus text exposition. Queue and worker gauges
+    /// are sampled by the caller (they live on the server, not here);
+    /// cache counters come from the merged [`CacheStats`] of every
+    /// completed job.
+    pub fn render(
+        &self,
+        queue_depth: usize,
+        queue_capacity: usize,
+        in_flight: usize,
+        cache: &CacheStats,
+    ) -> String {
+        let mut out = String::new();
+        let counter = |out: &mut String, name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        let gauge = |out: &mut String, name: &str, help: &str, value: usize| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        gauge(&mut out, "bea_serve_queue_depth", "Jobs waiting on the queue.", queue_depth);
+        gauge(&mut out, "bea_serve_queue_capacity", "Bound of the job queue.", queue_capacity);
+        gauge(&mut out, "bea_serve_in_flight", "Jobs currently being attacked.", in_flight);
+        counter(
+            &mut out,
+            "bea_serve_jobs_accepted_total",
+            "Jobs accepted onto the queue.",
+            self.accepted.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "bea_serve_jobs_rejected_total",
+            "Jobs rejected with 429 (queue full).",
+            self.rejected.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "bea_serve_jobs_completed_total",
+            "Jobs that ran to completion.",
+            self.completed.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "bea_serve_jobs_failed_total",
+            "Jobs that failed.",
+            self.failed.load(Ordering::Relaxed),
+        );
+        for (name, value) in cache.counters() {
+            counter(
+                &mut out,
+                &format!("bea_serve_cache_{name}_total"),
+                "Detector cache counter, summed over completed jobs.",
+                value,
+            );
+        }
+
+        let endpoints = self.endpoints.lock().expect("metrics mutex poisoned");
+        let _ =
+            writeln!(out, "# HELP bea_serve_http_requests_total Requests by endpoint and status.");
+        let _ = writeln!(out, "# TYPE bea_serve_http_requests_total counter");
+        for (endpoint, metrics) in endpoints.iter() {
+            for (status, count) in &metrics.by_status {
+                let _ = writeln!(
+                    out,
+                    "bea_serve_http_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}} {count}"
+                );
+            }
+        }
+        let _ = writeln!(out, "# HELP bea_serve_request_seconds Request latency by endpoint.");
+        let _ = writeln!(out, "# TYPE bea_serve_request_seconds histogram");
+        for (endpoint, metrics) in endpoints.iter() {
+            let cumulative = metrics.latency.cumulative();
+            for (slot, &bound) in LATENCY_BUCKETS.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "bea_serve_request_seconds_bucket{{endpoint=\"{endpoint}\",le=\"{bound}\"}} {}",
+                    cumulative[slot]
+                );
+            }
+            let _ = writeln!(
+                out,
+                "bea_serve_request_seconds_bucket{{endpoint=\"{endpoint}\",le=\"+Inf\"}} {}",
+                cumulative[LATENCY_BUCKETS.len()]
+            );
+            let _ = writeln!(
+                out,
+                "bea_serve_request_seconds_sum{{endpoint=\"{endpoint}\"}} {}",
+                metrics.latency.sum()
+            );
+            let _ = writeln!(
+                out,
+                "bea_serve_request_seconds_count{{endpoint=\"{endpoint}\"}} {}",
+                metrics.latency.total()
+            );
+        }
+        out
+    }
+}
+
+/// The `q`-th percentile (0..=100) of a set of latencies, by the
+/// nearest-rank method. Returns zero for an empty set. Shared by the
+/// load generator's report and tests.
+pub fn percentile(sorted_seconds: &[f64], q: f64) -> f64 {
+    if sorted_seconds.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q / 100.0) * sorted_seconds.len() as f64).ceil() as usize;
+    sorted_seconds[rank.clamp(1, sorted_seconds.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut hist = Histogram::default();
+        hist.observe(0.0005); // bucket 0.001
+        hist.observe(0.003); // bucket 0.005
+        hist.observe(0.003);
+        hist.observe(120.0); // +Inf
+        let cumulative = hist.cumulative();
+        assert_eq!(cumulative[0], 1);
+        assert_eq!(cumulative[1], 3);
+        assert_eq!(cumulative[LATENCY_BUCKETS.len() - 1], 3);
+        assert_eq!(cumulative[LATENCY_BUCKETS.len()], 4);
+        assert_eq!(hist.total(), 4);
+        assert!((hist.sum() - 120.0065).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_exposes_every_metric_family() {
+        let metrics = Metrics::default();
+        metrics.accepted.store(3, Ordering::Relaxed);
+        metrics.rejected.store(1, Ordering::Relaxed);
+        metrics.completed.store(2, Ordering::Relaxed);
+        metrics.record_request("POST /v1/attacks", 202, Duration::from_millis(2));
+        metrics.record_request("POST /v1/attacks", 429, Duration::from_millis(1));
+        metrics.record_request("GET /healthz", 200, Duration::from_micros(50));
+        let text = metrics.render(5, 64, 2, &CacheStats::default());
+        assert!(text.contains("bea_serve_queue_depth 5"), "{text}");
+        assert!(text.contains("bea_serve_queue_capacity 64"));
+        assert!(text.contains("bea_serve_in_flight 2"));
+        assert!(text.contains("bea_serve_jobs_accepted_total 3"));
+        assert!(text.contains("bea_serve_jobs_rejected_total 1"));
+        assert!(text.contains("bea_serve_jobs_completed_total 2"));
+        assert!(text.contains("bea_serve_jobs_failed_total 0"));
+        assert!(text.contains("bea_serve_cache_hits_total 0"));
+        assert!(text.contains("bea_serve_cache_evictions_total 0"));
+        assert!(text.contains(
+            "bea_serve_http_requests_total{endpoint=\"POST /v1/attacks\",status=\"202\"} 1"
+        ));
+        assert!(text.contains(
+            "bea_serve_http_requests_total{endpoint=\"POST /v1/attacks\",status=\"429\"} 1"
+        ));
+        assert!(text
+            .contains("bea_serve_request_seconds_bucket{endpoint=\"GET /healthz\",le=\"+Inf\"} 1"));
+        assert!(text.contains("bea_serve_request_seconds_count{endpoint=\"POST /v1/attacks\"} 2"));
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|k| k as f64).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&sorted, 100.0), 100.0);
+        assert_eq!(percentile(&[7.5], 50.0), 7.5);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

@@ -1,0 +1,611 @@
+//! The attack server: accept loop, bounded job queue, worker pool,
+//! persistence and graceful shutdown.
+//!
+//! Three contracts hold everything together:
+//!
+//! 1. **Determinism.** A worker runs each job as a one-cell
+//!    [`Campaign`] with `jobs: 1`, so the persisted cell CSV is
+//!    byte-identical to a direct campaign run of the same cell with the
+//!    same base seed and GA budget (the seed derives from the cell
+//!    identity via `derive_cell_seed`, never from arrival order).
+//! 2. **No accepted job is lost.** `POST /v1/attacks` registers the job
+//!    and appends it to `jobs.jsonl` *before* answering `202`; a full
+//!    queue answers `429` without logging anything. On restart the log
+//!    replays: jobs whose cell CSV exists report `done`, the rest
+//!    re-enqueue.
+//! 3. **Backpressure, not buffering.** The queue is bounded; admission
+//!    control is explicit (`429` + `Retry-After`) instead of unbounded
+//!    memory growth.
+
+use crate::http::{Request, Response};
+use crate::metrics::Metrics;
+use bea_core::campaign::{Campaign, CampaignConfig, CampaignStore};
+use bea_core::telemetry::JsonObject;
+use bea_core::{AttackJob, BoundedQueue, JobStatus, PushError};
+use bea_detect::{CacheStats, ModelZoo};
+use bea_scene::SyntheticKitti;
+use std::collections::BTreeMap;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant, SystemTime};
+
+/// Server configuration.
+#[derive(Debug)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Bound of the job queue; submissions beyond it get `429`.
+    pub queue_capacity: usize,
+    /// Directory of the [`CampaignStore`] results persist into (also
+    /// holds `jobs.jsonl` and `requests.jsonl`).
+    pub store_dir: PathBuf,
+    /// The dataset `image_index` submissions resolve against.
+    pub dataset: SyntheticKitti,
+    /// How long [`Server::shutdown`] waits for in-flight jobs.
+    pub drain_deadline: Duration,
+    /// Append one JSONL record per request to `requests.jsonl`.
+    pub request_log: bool,
+}
+
+impl ServerConfig {
+    /// A loopback configuration persisting into `store_dir`, with the
+    /// full evaluation dataset, 2 workers and a 64-job queue.
+    pub fn new(store_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            store_dir: store_dir.into(),
+            dataset: SyntheticKitti::evaluation_set(),
+            drain_deadline: Duration::from_secs(60),
+            request_log: true,
+        }
+    }
+}
+
+/// What [`Server::shutdown`] accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// In-flight jobs that finished during the drain window.
+    pub drained: usize,
+    /// Queued jobs that never started; they stay in `jobs.jsonl` and
+    /// re-enqueue on the next start.
+    pub requeued: usize,
+    /// `true` when the drain deadline expired with jobs still running.
+    pub deadline_expired: bool,
+}
+
+/// One queued unit of work.
+#[derive(Debug, Clone)]
+struct QueuedJob {
+    id: u64,
+    job: AttackJob,
+}
+
+/// Registry entry of a submitted job.
+#[derive(Debug, Clone)]
+struct JobEntry {
+    job: AttackJob,
+    status: JobStatus,
+}
+
+/// State shared between the accept loop, connection handlers and
+/// workers.
+struct Shared {
+    queue: BoundedQueue<QueuedJob>,
+    registry: Mutex<BTreeMap<u64, JobEntry>>,
+    next_id: AtomicU64,
+    accepting: AtomicBool,
+    stop_requested: AtomicBool,
+    in_flight: Mutex<usize>,
+    idle: Condvar,
+    metrics: Metrics,
+    cache_totals: Mutex<CacheStats>,
+    store: CampaignStore,
+    zoo: ModelZoo,
+    dataset: SyntheticKitti,
+    job_log: Mutex<()>,
+    job_log_path: PathBuf,
+    request_log_path: Option<PathBuf>,
+    request_log: Mutex<()>,
+}
+
+impl Shared {
+    fn append_line(&self, path: &PathBuf, line: &str) -> io::Result<()> {
+        let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        file.write_all(line.as_bytes())?;
+        file.write_all(b"\n")
+    }
+
+    /// Appends one accepted job to the job log (the restart-survival
+    /// record).
+    fn log_job(&self, id: u64, job: &AttackJob) -> io::Result<()> {
+        let line = JsonObject::new()
+            .string("type", "job")
+            .integer("id", id)
+            .raw("job", &job.to_json())
+            .finish();
+        let _guard = self.job_log.lock().expect("job log lock");
+        self.append_line(&self.job_log_path, &line)
+    }
+
+    /// Appends one request record to `requests.jsonl`.
+    fn log_request(&self, method: &str, path: &str, status: u16, elapsed: Duration) {
+        let Some(log_path) = &self.request_log_path else { return };
+        let unix_ms = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let line = JsonObject::new()
+            .string("type", "request")
+            .integer("unix_ms", unix_ms)
+            .string("method", method)
+            .string("path", path)
+            .integer("status", u64::from(status))
+            .float("duration_s", elapsed.as_secs_f64())
+            .finish();
+        let _guard = self.request_log.lock().expect("request log lock");
+        let _ = self.append_line(log_path, &line);
+    }
+
+    fn set_status(&self, id: u64, status: JobStatus) {
+        if let Some(entry) = self.registry.lock().expect("registry lock").get_mut(&id) {
+            entry.status = status;
+        }
+    }
+}
+
+/// The running server. Dropping it without calling [`Server::shutdown`]
+/// leaves worker threads detached; call shutdown for an orderly stop.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    drain_deadline: Duration,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    worker_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("workers", &self.worker_handles.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds, recovers persisted jobs and starts accepting.
+    ///
+    /// Recovery replays `jobs.jsonl`: a job whose cell CSV already
+    /// exists in the store reports `done`; every other logged job —
+    /// including jobs that were mid-flight when the previous process
+    /// died — re-enqueues and runs again (re-running a deterministic
+    /// job is idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and store I/O failures, and reports a corrupt
+    /// job log as [`io::ErrorKind::InvalidData`].
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let store = CampaignStore::open(&config.store_dir)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            registry: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            accepting: AtomicBool::new(true),
+            stop_requested: AtomicBool::new(false),
+            in_flight: Mutex::new(0),
+            idle: Condvar::new(),
+            metrics: Metrics::default(),
+            cache_totals: Mutex::new(CacheStats::default()),
+            job_log_path: config.store_dir.join("jobs.jsonl"),
+            request_log_path: config.request_log.then(|| config.store_dir.join("requests.jsonl")),
+            store,
+            zoo: ModelZoo::with_defaults(),
+            dataset: config.dataset,
+            job_log: Mutex::new(()),
+            request_log: Mutex::new(()),
+        });
+
+        // Workers start before recovery so replayed jobs beyond the
+        // queue bound can drain while the rest push.
+        let worker_handles: Vec<_> = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        recover_jobs(&shared)?;
+
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(Server {
+            shared,
+            addr,
+            drain_deadline: config.drain_deadline,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The store results persist into.
+    pub fn store(&self) -> &CampaignStore {
+        &self.shared.store
+    }
+
+    /// `true` once a client requested `POST /v1/shutdown`; the embedding
+    /// process polls this and calls [`Server::shutdown`].
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.stop_requested.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, drains in-flight jobs until the configured
+    /// deadline, recovers the unstarted queue (it stays persisted in
+    /// `jobs.jsonl` for the next start) and joins the threads.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.shared.accepting.store(false, Ordering::SeqCst);
+        self.shared.stop_requested.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        // Wake the accept loop so it observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+
+        let started = Instant::now();
+        let busy_at_close = *self.shared.in_flight.lock().expect("in-flight lock");
+        let mut in_flight = self.shared.in_flight.lock().expect("in-flight lock");
+        while *in_flight > 0 && started.elapsed() < self.drain_deadline {
+            let remaining = self.drain_deadline.saturating_sub(started.elapsed());
+            let (guard, _) =
+                self.shared.idle.wait_timeout(in_flight, remaining).expect("in-flight lock");
+            in_flight = guard;
+        }
+        let still_running = *in_flight;
+        drop(in_flight);
+
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        if still_running == 0 {
+            // Joining also covers the instant between a worker popping a
+            // job and it registering as in-flight: the worker finishes
+            // (and persists) that job before the join returns.
+            for handle in self.worker_handles.drain(..) {
+                let _ = handle.join();
+            }
+        }
+        // Workers past the deadline stay detached; the job log replays
+        // their jobs on the next start. Draining after the joins means a
+        // popped job is never double-counted as requeued.
+        let requeued = self.shared.queue.drain_remaining();
+        ShutdownReport {
+            drained: busy_at_close.saturating_sub(still_running),
+            requeued: requeued.len(),
+            deadline_expired: still_running > 0,
+        }
+    }
+}
+
+/// Replays `jobs.jsonl` into the registry and queue.
+fn recover_jobs(shared: &Arc<Shared>) -> io::Result<()> {
+    let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let text = match std::fs::read_to_string(&shared.job_log_path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    let mut max_id = 0u64;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let record = bea_core::telemetry::parse_json(line)
+            .map_err(|e| invalid(format!("corrupt job log line: {e}")))?;
+        let id = record
+            .get("id")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| invalid("job log record missing id".to_string()))?;
+        let job_field =
+            record.get("job").ok_or_else(|| invalid("job log record missing job".to_string()))?;
+        let job = AttackJob::from_json(&job_field.render())
+            .map_err(|e| invalid(format!("corrupt logged job {id}: {e}")))?;
+        max_id = max_id.max(id);
+        let done = shared.store.cell_path(&job.cell_spec()).exists();
+        let status = if done { JobStatus::Done } else { JobStatus::Queued };
+        shared
+            .registry
+            .lock()
+            .expect("registry lock")
+            .insert(id, JobEntry { job: job.clone(), status });
+        if !done {
+            // Block until the running workers make room; recovery
+            // re-admits everything the previous process accepted.
+            let mut item = QueuedJob { id, job };
+            loop {
+                match shared.queue.try_push(item) {
+                    Ok(()) => break,
+                    Err(PushError::Full(back)) => {
+                        item = back;
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(PushError::Closed(_)) => return Ok(()),
+                }
+            }
+        }
+    }
+    let next = shared.next_id.load(Ordering::SeqCst).max(max_id + 1);
+    shared.next_id.store(next, Ordering::SeqCst);
+    Ok(())
+}
+
+/// Accepts connections until shutdown, one handler thread each.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stop_requested.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || handle_connection(stream, &shared));
+    }
+}
+
+/// Serves one connection (one request, `Connection: close`).
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let request = match Request::read_from(&mut reader, bea_core::job::MAX_JOB_BODY_BYTES) {
+        Ok(request) => request,
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            let response = error_response(400, &e.to_string());
+            let mut stream = stream;
+            let _ = response.write_to(&mut stream);
+            shared.metrics.record_request("malformed", 400, started.elapsed());
+            shared.log_request("?", "?", 400, started.elapsed());
+            return;
+        }
+        Err(_) => return,
+    };
+    let (endpoint, response) = route(&request, shared);
+    let mut stream = stream;
+    let _ = response.write_to(&mut stream);
+    let elapsed = started.elapsed();
+    shared.metrics.record_request(endpoint, response.status, elapsed);
+    shared.log_request(&request.method, &request.path, response.status, elapsed);
+}
+
+/// A JSON error body.
+fn error_response(status: u16, message: &str) -> Response {
+    Response::json(status, &JsonObject::new().string("error", message).finish())
+}
+
+/// Dispatches one request to its endpoint.
+fn route(request: &Request, shared: &Arc<Shared>) -> (&'static str, Response) {
+    let path = request.path.split('?').next().unwrap_or("");
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => ("GET /healthz", healthz(shared)),
+        ("GET", "/metrics") => ("GET /metrics", metrics(shared)),
+        ("POST", "/v1/attacks") => ("POST /v1/attacks", submit(request, shared)),
+        ("POST", "/v1/shutdown") => {
+            shared.accepting.store(false, Ordering::SeqCst);
+            shared.stop_requested.store(true, Ordering::SeqCst);
+            (
+                "POST /v1/shutdown",
+                Response::json(200, &JsonObject::new().string("status", "stopping").finish()),
+            )
+        }
+        ("GET", _) if path.starts_with("/v1/attacks/") => {
+            let rest = &path["/v1/attacks/".len()..];
+            match rest.strip_suffix("/csv") {
+                Some(id) => ("GET /v1/attacks/{id}/csv", job_csv(id, shared)),
+                None => ("GET /v1/attacks/{id}", job_status(rest, shared)),
+            }
+        }
+        (_, "/healthz" | "/metrics" | "/v1/attacks" | "/v1/shutdown") => {
+            ("method-not-allowed", error_response(405, "method not allowed"))
+        }
+        _ => ("not-found", error_response(404, "no such endpoint")),
+    }
+}
+
+fn healthz(shared: &Shared) -> Response {
+    let body = JsonObject::new()
+        .string("status", "ok")
+        .boolean("accepting", shared.accepting.load(Ordering::SeqCst))
+        .integer("queue_depth", shared.queue.len() as u64)
+        .integer("in_flight", *shared.in_flight.lock().expect("in-flight lock") as u64)
+        .finish();
+    Response::json(200, &body)
+}
+
+fn metrics(shared: &Shared) -> Response {
+    let cache = *shared.cache_totals.lock().expect("cache totals lock");
+    let text = shared.metrics.render(
+        shared.queue.len(),
+        shared.queue.capacity(),
+        *shared.in_flight.lock().expect("in-flight lock"),
+        &cache,
+    );
+    Response::new(200).with_body("text/plain; version=0.0.4", text.into_bytes())
+}
+
+fn submit(request: &Request, shared: &Shared) -> Response {
+    if !shared.accepting.load(Ordering::SeqCst) {
+        return error_response(503, "server is shutting down");
+    }
+    let body = match request.body_text() {
+        Ok(body) => body,
+        Err(e) => return error_response(400, &e),
+    };
+    let job = match AttackJob::from_json(body) {
+        Ok(job) => job,
+        Err(e) => return error_response(400, &e),
+    };
+    // Reject images that cannot materialise at admission time, not at
+    // run time — the submitter is still around to hear about it.
+    if let Err(e) = job.materialize_image(&shared.dataset) {
+        return error_response(400, &e);
+    }
+    let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+    // Register before pushing: a worker may pop the job immediately.
+    shared
+        .registry
+        .lock()
+        .expect("registry lock")
+        .insert(id, JobEntry { job: job.clone(), status: JobStatus::Queued });
+    match shared.queue.try_push(QueuedJob { id, job: job.clone() }) {
+        Ok(()) => {
+            // Log after a successful push so rejected jobs never replay.
+            if let Err(e) = shared.log_job(id, &job) {
+                shared.registry.lock().expect("registry lock").remove(&id);
+                return error_response(500, &format!("job log write failed: {e}"));
+            }
+            shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+            let body = JsonObject::new()
+                .string("id", &format!("job-{id}"))
+                .string("status", "queued")
+                .string("result", &format!("/v1/attacks/job-{id}"))
+                .finish();
+            Response::json(202, &body)
+        }
+        Err(PushError::Full(_)) => {
+            shared.registry.lock().expect("registry lock").remove(&id);
+            shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            error_response(429, "queue full, retry later").with_header("Retry-After", "1")
+        }
+        Err(PushError::Closed(_)) => {
+            shared.registry.lock().expect("registry lock").remove(&id);
+            error_response(503, "server is shutting down")
+        }
+    }
+}
+
+/// Parses `job-N` into `N`.
+fn parse_job_id(text: &str) -> Option<u64> {
+    text.strip_prefix("job-")?.parse().ok()
+}
+
+fn job_status(id_text: &str, shared: &Shared) -> Response {
+    let Some(id) = parse_job_id(id_text) else {
+        return error_response(404, &format!("malformed job id {id_text:?}"));
+    };
+    let entry = shared.registry.lock().expect("registry lock").get(&id).cloned();
+    let Some(entry) = entry else {
+        return error_response(404, &format!("unknown job job-{id}"));
+    };
+    let mut body =
+        JsonObject::new().string("id", &format!("job-{id}")).string("status", entry.status.name());
+    body = match &entry.status {
+        JobStatus::Failed(message) => body.string("error", message),
+        JobStatus::Done => body.string("csv", &format!("/v1/attacks/job-{id}/csv")),
+        _ => body,
+    };
+    Response::json(200, &body.raw("job", &entry.job.to_json()).finish())
+}
+
+fn job_csv(id_text: &str, shared: &Shared) -> Response {
+    let Some(id) = parse_job_id(id_text) else {
+        return error_response(404, &format!("malformed job id {id_text:?}"));
+    };
+    let entry = shared.registry.lock().expect("registry lock").get(&id).cloned();
+    let Some(entry) = entry else {
+        return error_response(404, &format!("unknown job job-{id}"));
+    };
+    if entry.status != JobStatus::Done {
+        return error_response(
+            409,
+            &format!("job-{id} is {}, results exist once it is done", entry.status.name()),
+        );
+    }
+    match std::fs::read(shared.store.cell_path(&entry.job.cell_spec())) {
+        Ok(bytes) => Response::new(200).with_body("text/csv", bytes),
+        Err(e) => error_response(500, &format!("stored cell unreadable: {e}")),
+    }
+}
+
+/// One worker: pop, run, persist, account.
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(queued) = shared.queue.pop() {
+        shared.set_status(queued.id, JobStatus::Running);
+        *shared.in_flight.lock().expect("in-flight lock") += 1;
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(shared, &queued.job)))
+                .unwrap_or_else(|panic| {
+                    let message = panic
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                        .unwrap_or_else(|| "attack panicked".to_string());
+                    Err(format!("panic: {message}"))
+                });
+        match result {
+            Ok(cache) => {
+                if let Some(cache) = cache {
+                    shared.cache_totals.lock().expect("cache totals lock").merge(&cache);
+                }
+                shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                shared.set_status(queued.id, JobStatus::Done);
+            }
+            Err(message) => {
+                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                shared.set_status(queued.id, JobStatus::Failed(message));
+            }
+        }
+        let mut in_flight = shared.in_flight.lock().expect("in-flight lock");
+        *in_flight -= 1;
+        drop(in_flight);
+        shared.idle.notify_all();
+    }
+}
+
+/// Runs one job as a single-cell campaign and persists its rows.
+///
+/// The campaign runs in memory (`jobs: 1`, telemetry off) and the cell
+/// is saved through the same [`CampaignStore::save_cell`] writer a
+/// direct campaign uses — that is what makes the served CSV
+/// byte-identical to a batch run of the same cell.
+fn run_job(shared: &Shared, job: &AttackJob) -> Result<Option<CacheStats>, String> {
+    let image = job.materialize_image(&shared.dataset)?;
+    let spec = job.cell_spec();
+    let campaign = Campaign::new(CampaignConfig {
+        attack: job.attack_config(),
+        base_seed: job.base_seed,
+        jobs: 1,
+        telemetry: false,
+    });
+    let arch = job.arch;
+    let use_cache = job.use_cache;
+    let zoo = &shared.zoo;
+    let result = campaign.run(
+        std::slice::from_ref(&spec),
+        |cell| {
+            if use_cache {
+                zoo.cached_model(arch, cell.model_seed)
+            } else {
+                zoo.model(arch, cell.model_seed)
+            }
+        },
+        |_cell| image.clone(),
+    );
+    let cell = &result.cells[0];
+    shared
+        .store
+        .save_cell(&spec, &cell.rows)
+        .map_err(|e| format!("persisting cell failed: {e}"))?;
+    Ok(cell.outcome.as_ref().and_then(|o| o.cache_stats()))
+}

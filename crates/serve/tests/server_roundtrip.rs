@@ -1,0 +1,270 @@
+//! Loopback integration tests for the serving layer: determinism
+//! against direct campaign runs, backpressure, and shutdown/restart
+//! recovery.
+
+use bea_core::campaign::{Campaign, CampaignConfig, CampaignStore, CellSpec};
+use bea_core::AttackJob;
+use bea_detect::{Architecture, ModelZoo};
+use bea_scene::SyntheticKitti;
+use bea_serve::{Client, Server, ServerConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A fresh scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("bea_serve_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+/// A fast server configuration: smoke dataset, tiny drain deadline
+/// headroom, request logging on.
+fn test_config(store_dir: PathBuf, workers: usize, queue_capacity: usize) -> ServerConfig {
+    ServerConfig {
+        workers,
+        queue_capacity,
+        dataset: SyntheticKitti::smoke_set(),
+        drain_deadline: Duration::from_secs(120),
+        ..ServerConfig::new(store_dir)
+    }
+}
+
+/// A small but real job: YOLO seed 1 on smoke image 0, pop 8 / gens 2.
+fn toy_job_json() -> String {
+    "{\"arch\":\"yolo\",\"model_seed\":1,\"image_index\":0,\
+     \"pop\":8,\"gens\":2,\"seed\":5}"
+        .to_string()
+}
+
+/// Extracts the `"id":"job-N"` value from a 202 body.
+fn job_id(body: &str) -> String {
+    let value = bea_core::telemetry::parse_json(body).expect("valid 202 body");
+    value.get("id").and_then(|v| v.as_str()).expect("202 body carries an id").to_string()
+}
+
+const POLL: Duration = Duration::from_millis(50);
+const DEADLINE: Duration = Duration::from_secs(120);
+
+#[test]
+fn served_csv_is_byte_identical_to_direct_campaign_run() {
+    let store_dir = scratch("identity");
+    let server = Server::start(test_config(store_dir.clone(), 1, 8)).expect("server starts");
+    let client = Client::new(server.addr().to_string());
+
+    // Liveness and metrics respond before any job runs.
+    let health = client.healthz().expect("healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.body_text().unwrap().contains("\"status\":\"ok\""));
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body_text().unwrap().contains("bea_serve_queue_depth"));
+
+    // Submit the job and wait for completion.
+    let accepted = client.submit(&toy_job_json()).expect("submit");
+    assert_eq!(accepted.status, 202, "{:?}", accepted.body_text());
+    let id = job_id(accepted.body_text().unwrap());
+    let finished = client.wait(&id, POLL, DEADLINE).expect("job finishes");
+    assert_eq!(finished.status, 200);
+    assert!(
+        finished.body_text().unwrap().contains("\"status\":\"done\""),
+        "job did not finish cleanly: {:?}",
+        finished.body_text()
+    );
+    let served = client.csv(&id).expect("csv");
+    assert_eq!(served.status, 200);
+    assert!(!served.body.is_empty());
+
+    // The same cell, run directly as a batch campaign with the same
+    // base seed and GA budget, must persist byte-identical CSV.
+    let direct_dir = scratch("identity_direct");
+    let direct_store = CampaignStore::open(&direct_dir).expect("store opens");
+    let job = AttackJob::from_json(&toy_job_json()).expect("job parses");
+    let campaign = Campaign::new(CampaignConfig {
+        attack: job.attack_config(),
+        base_seed: job.base_seed,
+        jobs: 1,
+        telemetry: false,
+    });
+    let zoo = ModelZoo::with_defaults();
+    let dataset = SyntheticKitti::smoke_set();
+    let spec = job.cell_spec();
+    assert_eq!(spec, CellSpec::new("YOLO", 1, 0));
+    campaign
+        .run_with_store(
+            std::slice::from_ref(&spec),
+            |cell| zoo.model(Architecture::Yolo, cell.model_seed),
+            |cell| dataset.image(cell.image_index),
+            &direct_store,
+        )
+        .expect("direct run");
+    let direct_bytes = std::fs::read(direct_store.cell_path(&spec)).expect("direct cell CSV");
+    assert_eq!(
+        served.body, direct_bytes,
+        "served CSV must be byte-identical to the direct campaign cell"
+    );
+
+    // Error paths: unknown job, premature CSV id, bad bodies, bad routes.
+    assert_eq!(client.status("job-999").unwrap().status, 404);
+    assert_eq!(client.status("nonsense").unwrap().status, 404);
+    assert_eq!(client.submit("{\"arch\":\"vgg\"}").unwrap().status, 400);
+    assert_eq!(client.submit("not json").unwrap().status, 400);
+    let oob = "{\"arch\":\"yolo\",\"image_index\":9999}";
+    assert_eq!(client.submit(oob).unwrap().status, 400, "unmaterialisable image rejected early");
+    assert_eq!(
+        bea_serve::client::request(client.addr(), "GET", "/nope", None).unwrap().status,
+        404
+    );
+    assert_eq!(
+        bea_serve::client::request(client.addr(), "DELETE", "/healthz", None).unwrap().status,
+        405
+    );
+
+    // Metrics reflect the completed job and the request traffic.
+    let metrics = client.metrics().expect("metrics");
+    let text = metrics.body_text().unwrap();
+    assert!(text.contains("bea_serve_jobs_accepted_total 1"), "{text}");
+    assert!(text.contains("bea_serve_jobs_completed_total 1"), "{text}");
+    assert!(text.contains("bea_serve_jobs_failed_total 0"), "{text}");
+    assert!(text.contains("endpoint=\"POST /v1/attacks\",status=\"202\""), "{text}");
+    assert!(text.contains("bea_serve_cache_hits_total"), "{text}");
+
+    // The request log recorded the traffic as valid JSONL.
+    let report = server.shutdown();
+    assert!(!report.deadline_expired);
+    let log = std::fs::read_to_string(store_dir.join("requests.jsonl")).expect("request log");
+    assert!(log.lines().count() >= 5, "expected several request records:\n{log}");
+    for line in log.lines() {
+        bea_core::telemetry::validate_json(line).expect("request log lines are valid JSON");
+    }
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let _ = std::fs::remove_dir_all(&direct_dir);
+}
+
+#[test]
+fn backpressure_rejects_with_429_and_loses_no_accepted_job() {
+    let store_dir = scratch("backpressure");
+    let server = Server::start(test_config(store_dir.clone(), 1, 1)).expect("server starts");
+    let client = Client::new(server.addr().to_string());
+
+    // One worker, queue bound 1: keep submitting until the queue refuses.
+    // The job is heavy enough (pop 8 × 4 generations on a 96×48 image)
+    // that submissions outpace the single worker.
+    let body = |fill: usize| {
+        format!(
+            "{{\"arch\":\"yolo\",\"pop\":8,\"gens\":4,\"seed\":9,\
+             \"image\":{{\"width\":96,\"height\":48,\"fill\":[{fill},0,0]}}}}"
+        )
+    };
+    let mut accepted = Vec::new();
+    let mut rejected = 0;
+    for k in 0..50 {
+        let response = client.submit(&body(k % 200)).expect("submit");
+        match response.status {
+            202 => accepted.push(job_id(response.body_text().unwrap())),
+            429 => {
+                assert_eq!(response.header("retry-after"), Some("1"), "429 carries Retry-After");
+                rejected += 1;
+                if rejected >= 3 {
+                    break;
+                }
+            }
+            other => panic!("unexpected status {other}: {:?}", response.body_text()),
+        }
+    }
+    assert!(rejected >= 3, "the bounded queue must push back");
+    assert!(!accepted.is_empty(), "some jobs must be accepted");
+
+    // Every accepted job completes and serves its CSV; none are lost.
+    for id in &accepted {
+        let finished = client.wait(id, POLL, DEADLINE).expect("accepted job finishes");
+        assert!(
+            finished.body_text().unwrap().contains("\"status\":\"done\""),
+            "accepted job {id} lost: {:?}",
+            finished.body_text()
+        );
+        assert_eq!(client.csv(id).unwrap().status, 200);
+    }
+    let metrics = client.metrics().unwrap();
+    let text = metrics.body_text().unwrap().to_string();
+    assert!(text.contains(&format!("bea_serve_jobs_accepted_total {}", accepted.len())), "{text}");
+    assert!(text.contains(&format!("bea_serve_jobs_rejected_total {rejected}")), "{text}");
+
+    // Only accepted jobs were logged for replay.
+    let log = std::fs::read_to_string(store_dir.join("jobs.jsonl")).expect("job log");
+    assert_eq!(log.lines().count(), accepted.len(), "429s must never enter the job log");
+
+    let report = server.shutdown();
+    assert!(!report.deadline_expired);
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn shutdown_drains_in_flight_and_restart_recovers_the_queue() {
+    let store_dir = scratch("restart");
+    let server = Server::start(test_config(store_dir.clone(), 1, 4)).expect("server starts");
+    let client = Client::new(server.addr().to_string());
+
+    // Three jobs against one worker: the later ones are still queued
+    // when shutdown begins. Distinct model seeds give each job its own
+    // cell, so persisted cells count finished jobs exactly.
+    let body = |model_seed: usize| {
+        format!(
+            "{{\"arch\":\"detr\",\"model_seed\":{model_seed},\"pop\":4,\"gens\":1,\"seed\":3,\
+             \"image\":{{\"width\":32,\"height\":16,\"fill\":[0,200,0]}}}}"
+        )
+    };
+    let mut ids = Vec::new();
+    for model_seed in [1, 2, 3] {
+        let response = client.submit(&body(model_seed)).expect("submit");
+        assert_eq!(response.status, 202, "{:?}", response.body_text());
+        ids.push(job_id(response.body_text().unwrap()));
+    }
+    // POST /v1/shutdown flips the stop flag an embedding binary polls.
+    let stop = bea_serve::client::request(client.addr(), "POST", "/v1/shutdown", None).unwrap();
+    assert_eq!(stop.status, 200);
+    assert!(server.shutdown_requested());
+    let addr = server.addr().to_string();
+    let report = server.shutdown();
+    assert!(!report.deadline_expired, "drain must finish inside the deadline");
+    // Every accepted job either persisted its cell (finished before or
+    // during the drain) or went back to the queue for the next start.
+    let persisted = done_count(&store_dir);
+    assert_eq!(
+        persisted + report.requeued,
+        ids.len(),
+        "every accepted job is persisted or requeued: {report:?}, {persisted} persisted"
+    );
+    assert!(report.drained <= persisted, "{report:?}, {persisted} persisted");
+    // The old address refuses connections once the server is down.
+    assert!(bea_serve::client::request(&addr, "GET", "/healthz", None).is_err());
+
+    // Restart over the same store: finished jobs report done from disk,
+    // the rest replay from jobs.jsonl and finish now.
+    let server = Server::start(test_config(store_dir.clone(), 1, 4)).expect("server restarts");
+    let client = Client::new(server.addr().to_string());
+    for id in &ids {
+        let finished = client.wait(id, POLL, DEADLINE).expect("job finishes after restart");
+        assert!(
+            finished.body_text().unwrap().contains("\"status\":\"done\""),
+            "job {id} lost across restart: {:?}",
+            finished.body_text()
+        );
+        assert_eq!(client.csv(id).unwrap().status, 200, "results served from the store");
+    }
+    // Fresh submissions after restart get fresh ids.
+    let response = client.submit(&body(40)).expect("submit after restart");
+    assert_eq!(response.status, 202);
+    let new_id = job_id(response.body_text().unwrap());
+    assert!(!ids.contains(&new_id), "restart must not reuse job ids");
+    client.wait(&new_id, POLL, DEADLINE).expect("new job finishes");
+
+    let report = server.shutdown();
+    assert!(!report.deadline_expired);
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+/// How many cell CSVs the store holds (one per finished job here, since
+/// every submitted job targets a distinct cell).
+fn done_count(store_dir: &std::path::Path) -> usize {
+    std::fs::read_dir(store_dir.join("cells")).map(|dir| dir.count()).unwrap_or(0)
+}
