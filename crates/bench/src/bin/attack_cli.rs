@@ -12,7 +12,7 @@
 use bea_bench::args::{self, ArgParser};
 use bea_core::attack::{AttackConfig, ButterflyAttack};
 use bea_core::report::{champion_rows, print_table};
-use bea_detect::{Architecture, Detector, ModelZoo};
+use bea_detect::{Architecture, Detector, KernelPolicy, ModelZoo};
 use bea_image::{io, FilterMask, Image, RegionConstraint};
 use bea_nsga2::Nsga2Config;
 use bea_scene::SyntheticKitti;
@@ -28,6 +28,7 @@ struct Options {
     constraint: RegionConstraint,
     out: PathBuf,
     cache: bool,
+    kernels: KernelPolicy,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -40,6 +41,7 @@ fn parse_args() -> Result<Options, String> {
         constraint: RegionConstraint::RightHalf,
         out: PathBuf::from("target/experiments/cli"),
         cache: false,
+        kernels: KernelPolicy::default(),
     };
     let mut args = ArgParser::from_env();
     while let Some(flag) = args.next_flag() {
@@ -59,12 +61,15 @@ fn parse_args() -> Result<Options, String> {
             }
             "--out" => options.out = PathBuf::from(args.value(&flag)?),
             "--cache" => options.cache = true,
+            "--kernels" => options.kernels = args.parse(&flag)?,
             "--help" | "-h" => {
                 return Err("usage: attack_cli [--arch yolo|detr] [--seed N] [--image N] \
                             [--pop N] [--gens N] [--constraint full|left-half|right-half] \
-                            [--out DIR] [--cache]\n\
+                            [--out DIR] [--cache] [--kernels reference|blocked]\n\
                             --cache evaluates through the dirty-region incremental cache \
-                            (identical results, prints hit/recompute counters)"
+                            (identical results, prints hit/recompute counters)\n\
+                            --kernels selects the compute kernels (blocked is the fast \
+                            default; predictions are identical under both)"
                     .into())
             }
             other => return Err(args::unknown_flag(other)),
@@ -96,7 +101,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let img = dataset.image(options.image);
-    let zoo = ModelZoo::with_defaults();
+    let zoo = ModelZoo::with_defaults().with_kernel_policy(options.kernels);
     let model = if options.cache {
         zoo.cached_model(options.arch, options.seed)
     } else {
@@ -120,6 +125,7 @@ fn main() -> ExitCode {
         },
         constraint: options.constraint,
         use_cache: options.cache,
+        kernel_policy: options.kernels,
         ..AttackConfig::default()
     };
     let started = std::time::Instant::now();

@@ -18,7 +18,7 @@ use bea_bench::{fmt, Scale};
 use bea_core::attack::AttackConfig;
 use bea_core::campaign::{Campaign, CampaignConfig, CampaignStore, CellSpec};
 use bea_core::report::{print_table, rows_succeeded, SuccessCriteria};
-use bea_detect::{Architecture, ModelZoo};
+use bea_detect::{Architecture, KernelPolicy, ModelZoo};
 use bea_nsga2::Nsga2Config;
 use bea_scene::SyntheticKitti;
 use std::path::PathBuf;
@@ -35,6 +35,7 @@ struct Options {
     cache: bool,
     resume: bool,
     telemetry: bool,
+    kernels: KernelPolicy,
     out: PathBuf,
 }
 
@@ -53,6 +54,7 @@ fn parse_args() -> Result<Options, String> {
         cache: false,
         resume: false,
         telemetry: false,
+        kernels: KernelPolicy::default(),
         out: PathBuf::from("target/experiments/campaign"),
     };
     let mut args = ArgParser::from_env();
@@ -68,16 +70,20 @@ fn parse_args() -> Result<Options, String> {
             "--cache" => options.cache = true,
             "--resume" => options.resume = true,
             "--telemetry" => options.telemetry = true,
+            "--kernels" => options.kernels = args.parse(&flag)?,
             "--out" => options.out = PathBuf::from(args.value(&flag)?),
             "--quick" | "--medium" | "--full" => {} // consumed by Scale
             "--help" | "-h" => {
                 return Err("usage: campaign_cli [--arch yolo|detr|both] [--models N] \
                             [--images N] [--pop N] [--gens N] [--seed N] [--jobs N] \
-                            [--cache] [--resume] [--telemetry] [--out DIR] \
+                            [--cache] [--resume] [--telemetry] \
+                            [--kernels reference|blocked] [--out DIR] \
                             [--quick|--medium|--full]\n\
                             --jobs 0 uses every core; any value yields identical results\n\
                             --resume keeps finished cells from a previous run in --out\n\
-                            --telemetry writes one JSONL record per generation per cell"
+                            --telemetry writes one JSONL record per generation per cell\n\
+                            --kernels selects the compute kernels (blocked is the fast \
+                            default; results are identical under both)"
                     .into())
             }
             other => return Err(args::unknown_flag(other)),
@@ -102,7 +108,7 @@ fn main() -> ExitCode {
         eprintln!("--images must be <= {}", dataset.len());
         return ExitCode::FAILURE;
     }
-    let zoo = ModelZoo::with_defaults();
+    let zoo = ModelZoo::with_defaults().with_kernel_policy(options.kernels);
 
     let model_seeds: Vec<u64> = (1..=options.models as u64).collect();
     let image_indices: Vec<usize> = (0..options.images).collect();
@@ -131,6 +137,7 @@ fn main() -> ExitCode {
                 ..Nsga2Config::default()
             },
             use_cache: options.cache,
+            kernel_policy: options.kernels,
             ..AttackConfig::default()
         },
         base_seed: options.base_seed,

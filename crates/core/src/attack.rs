@@ -44,6 +44,12 @@ pub struct AttackConfig {
     /// region. Results are identical with or without the cache; `false`
     /// (the default) keeps the paper's plain full-forward evaluation.
     pub use_cache: bool,
+    /// Kernel dispatch policy the front-ends should build detectors with
+    /// (via [`bea_detect::ModelZoo::with_kernel_policy`]). Both policies
+    /// produce `==`-identical predictions, so this only changes evaluation
+    /// speed; the attack core itself never reads it because detectors
+    /// arrive pre-built.
+    pub kernel_policy: bea_tensor::KernelPolicy,
     /// Track the exact hypervolume of each generation's non-dominated
     /// front in [`GenerationStats::hypervolume`], against a fixed
     /// reference point at the worst plausible corner of the three-objective
@@ -67,6 +73,7 @@ impl Default for AttackConfig {
             feature_objective: false,
             distance_count_division: true,
             use_cache: false,
+            kernel_policy: bea_tensor::KernelPolicy::default(),
             track_hypervolume: true,
         }
     }
@@ -440,6 +447,11 @@ mod tests {
         assert!((config.window_fraction - 0.01).abs() < 1e-9);
         assert_eq!(config.constraint, RegionConstraint::RightHalf);
         assert!(!config.use_cache, "the paper's plain evaluation is the default");
+        assert_eq!(
+            config.kernel_policy,
+            bea_tensor::KernelPolicy::Blocked,
+            "fast kernels are the default (predictions are policy-invariant)"
+        );
     }
 
     #[test]

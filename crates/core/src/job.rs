@@ -15,7 +15,7 @@
 use crate::attack::AttackConfig;
 use crate::campaign::CellSpec;
 use crate::telemetry::{parse_json_with_limits, JsonLimits, JsonObject, JsonValue};
-use bea_detect::Architecture;
+use bea_detect::{Architecture, KernelPolicy};
 use bea_image::Image;
 use bea_nsga2::Nsga2Config;
 
@@ -70,6 +70,10 @@ pub struct AttackJob {
     pub base_seed: u64,
     /// Evaluate through the dirty-region inference cache.
     pub use_cache: bool,
+    /// Kernel dispatch policy the job's detectors are built with
+    /// (`"kernels"` on the wire; predictions are `==`-identical across
+    /// policies, so this only changes evaluation speed).
+    pub kernel_policy: KernelPolicy,
 }
 
 impl Default for AttackJob {
@@ -82,6 +86,7 @@ impl Default for AttackJob {
             generations: 20,
             base_seed: 1,
             use_cache: false,
+            kernel_policy: KernelPolicy::default(),
         }
     }
 }
@@ -120,8 +125,17 @@ impl AttackJob {
         let JsonValue::Object(fields) = &value else {
             return Err("request body must be a JSON object".to_string());
         };
-        const KNOWN: [&str; 8] =
-            ["arch", "model_seed", "image_index", "image", "pop", "gens", "seed", "cache"];
+        const KNOWN: [&str; 9] = [
+            "arch",
+            "model_seed",
+            "image_index",
+            "image",
+            "pop",
+            "gens",
+            "seed",
+            "cache",
+            "kernels",
+        ];
         for (key, _) in fields {
             if !KNOWN.contains(&key.as_str()) {
                 return Err(format!("unknown field {key:?}"));
@@ -163,6 +177,13 @@ impl AttackJob {
         if let Some(cache) = field_bool(&value, "cache")? {
             job.use_cache = cache;
         }
+        match value.get("kernels") {
+            None | Some(JsonValue::Null) => {}
+            Some(v) => {
+                let text = v.as_str().ok_or("kernels must be a string")?;
+                job.kernel_policy = text.parse::<KernelPolicy>()?;
+            }
+        }
         if job.population < 2 {
             return Err("pop must be at least 2".to_string());
         }
@@ -201,6 +222,7 @@ impl AttackJob {
             .integer("gens", self.generations as u64)
             .integer("seed", self.base_seed)
             .boolean("cache", self.use_cache)
+            .string("kernels", self.kernel_policy.name())
             .finish()
     }
 
@@ -220,6 +242,7 @@ impl AttackJob {
                 ..Nsga2Config::default()
             },
             use_cache: self.use_cache,
+            kernel_policy: self.kernel_policy,
             ..AttackConfig::default()
         }
     }
@@ -316,6 +339,7 @@ mod tests {
                 generations: 2,
                 base_seed: 42,
                 use_cache: true,
+                kernel_policy: KernelPolicy::Reference,
             },
             AttackJob {
                 image: ImageSpec::Filled { width: 24, height: 12, rgb: [10.0, 0.0, 255.0] },
@@ -345,6 +369,8 @@ mod tests {
             ("{\"arch\":\"yolo\",\"gens\":0}", "gens must be at least 1"),
             ("{\"arch\":\"yolo\",\"poplation\":4}", "unknown field \"poplation\""),
             ("{\"arch\":\"yolo\",\"cache\":\"yes\"}", "cache must be a boolean"),
+            ("{\"arch\":\"yolo\",\"kernels\":1}", "kernels must be a string"),
+            ("{\"arch\":\"yolo\",\"kernels\":\"fast\"}", "unknown kernel policy"),
             (
                 "{\"arch\":\"yolo\",\"image_index\":0,\"image\":{\"width\":2,\"height\":2}}",
                 "mutually exclusive",
@@ -388,6 +414,9 @@ mod tests {
         assert_eq!(config.nsga2.population_size, job.population);
         assert_eq!(config.nsga2.generations, job.generations);
         assert!(!config.use_cache);
+        assert_eq!(config.kernel_policy, KernelPolicy::Blocked);
+        let reference = AttackJob { kernel_policy: KernelPolicy::Reference, ..job };
+        assert_eq!(reference.attack_config().kernel_policy, KernelPolicy::Reference);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use bea_core::attack::AttackConfig;
 use bea_core::campaign::{Campaign, CampaignConfig, CampaignStore, CellSpec};
 use bea_core::report::write_csv;
 use bea_core::telemetry;
-use bea_detect::{Architecture, Detector, ModelZoo};
+use bea_detect::{Architecture, Detector, KernelPolicy, ModelZoo};
 use bea_scene::SyntheticKitti;
 
 /// Generations per attack (kept tiny: every cell drives a real detector).
@@ -26,7 +26,15 @@ fn campaign(jobs: usize, cache: bool) -> Campaign {
 }
 
 fn run(jobs: usize, cache: bool) -> bea_core::campaign::CampaignResult {
-    let zoo = ModelZoo::with_defaults();
+    run_with_policy(jobs, cache, KernelPolicy::default())
+}
+
+fn run_with_policy(
+    jobs: usize,
+    cache: bool,
+    policy: KernelPolicy,
+) -> bea_core::campaign::CampaignResult {
+    let zoo = ModelZoo::with_defaults().with_kernel_policy(policy);
     let dataset = SyntheticKitti::evaluation_set();
     campaign(jobs, cache).run(
         &specs(),
@@ -60,6 +68,31 @@ fn worker_count_never_changes_champion_csv() {
         assert_eq!(a.spec, b.spec);
         assert_eq!(a.seed, b.seed);
     }
+}
+
+#[test]
+fn kernel_policy_never_changes_champion_csv_across_worker_counts() {
+    // The {reference, blocked} × {sequential, parallel} matrix: every
+    // combination must persist the same champion CSV byte for byte, so
+    // the fast kernels can be flipped on and off without invalidating
+    // any stored campaign.
+    let csv = champion_csv(&run_with_policy(1, false, KernelPolicy::Reference));
+    assert!(!csv.is_empty());
+    assert_eq!(
+        csv,
+        champion_csv(&run_with_policy(4, false, KernelPolicy::Reference)),
+        "--jobs must not change the reference-kernel champion CSV"
+    );
+    assert_eq!(
+        csv,
+        champion_csv(&run_with_policy(1, false, KernelPolicy::Blocked)),
+        "kernel policy must not change the sequential champion CSV"
+    );
+    assert_eq!(
+        csv,
+        champion_csv(&run_with_policy(4, false, KernelPolicy::Blocked)),
+        "kernel policy must not change the parallel champion CSV"
+    );
 }
 
 #[test]

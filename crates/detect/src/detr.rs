@@ -23,7 +23,7 @@ use crate::types::{Detection, Prediction};
 use bea_image::Image;
 use bea_scene::{BBox, ObjectClass};
 use bea_tensor::activation::softmax_inplace;
-use bea_tensor::{DirtyRect, FeatureMap, Linear, Matrix, WeightInit};
+use bea_tensor::{DirtyRect, FeatureMap, KernelPolicy, Linear, Matrix, WeightInit};
 
 /// Configuration of a [`DetrDetector`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,6 +58,10 @@ pub struct DetrConfig {
     pub threshold_jitter: f32,
     /// IoU threshold for the class-agnostic query NMS.
     pub nms_iou: f32,
+    /// Matmul kernel dispatch for the embedding, encoder and read-out
+    /// (`Blocked` by default; outputs are `==`-identical across policies,
+    /// so this is a pure speed knob).
+    pub kernel_policy: KernelPolicy,
 }
 
 impl Default for DetrConfig {
@@ -77,6 +81,7 @@ impl Default for DetrConfig {
             threshold: 0.5,
             threshold_jitter: 0.03,
             nms_iou: 0.45,
+            kernel_policy: KernelPolicy::default(),
         }
     }
 }
@@ -123,16 +128,20 @@ impl DetrDetector {
     pub fn new(config: DetrConfig) -> bea_tensor::Result<Self> {
         let mut rng = WeightInit::from_seed(config.seed.wrapping_mul(0xD1B5_4A32_D192_ED03));
         let bank = TemplateBank::new(config.template_jitter, &mut rng);
-        let embed = Linear::seeded(config.model_dim, ObjectClass::COUNT, &mut rng);
+        let mut embed = Linear::seeded(config.model_dim, ObjectClass::COUNT, &mut rng);
+        embed.set_kernel_policy(config.kernel_policy);
         let head_norms = (0..ObjectClass::COUNT)
             .map(|c| {
                 let w = embed.weight();
                 (0..config.model_dim).map(|d| w.at(d, c) * w.at(d, c)).sum::<f32>().max(1e-6)
             })
             .collect();
-        let encoder = (0..config.encoder_layers)
+        let mut encoder = (0..config.encoder_layers)
             .map(|_| EncoderBlock::seeded(config.model_dim, config.heads, config.mix, &mut rng))
             .collect::<bea_tensor::Result<Vec<_>>>()?;
+        for block in &mut encoder {
+            block.set_kernel_policy(config.kernel_policy);
+        }
         let threshold = config.threshold
             + rng.uniform(-config.threshold_jitter.max(1e-6), config.threshold_jitter.max(1e-6));
         Ok(Self {
@@ -252,8 +261,9 @@ impl DetrDetector {
             tokens = block.forward(&tokens, Some(&pos)).expect("encoder preserves token shape");
         }
         // Analytic read-out head.
-        let mut scores =
-            tokens.matmul(self.embed.weight()).expect("token width equals embed output width");
+        let mut scores = tokens
+            .matmul_policy(self.embed.weight(), self.config.kernel_policy)
+            .expect("token width equals embed output width");
         for c in 0..classes {
             let norm = self.config.content_gain * self.head_norms[c];
             for t in 0..scores.rows() {
@@ -603,6 +613,23 @@ mod tests {
         let (gw, gh) = detr.grid_size(&img);
         let map = detr.heatmap(&img);
         assert_eq!(map.shape(), (ObjectClass::COUNT, gh, gw));
+    }
+
+    #[test]
+    fn kernel_policy_does_not_change_predictions() {
+        let img = SyntheticKitti::evaluation_set().image(0);
+        let reference = DetrDetector::new(DetrConfig {
+            kernel_policy: KernelPolicy::Reference,
+            ..DetrConfig::with_seed(3)
+        })
+        .unwrap();
+        let blocked = DetrDetector::new(DetrConfig {
+            kernel_policy: KernelPolicy::Blocked,
+            ..DetrConfig::with_seed(3)
+        })
+        .unwrap();
+        assert_eq!(reference.token_scores(&img), blocked.token_scores(&img));
+        assert_eq!(reference.detect(&img), blocked.detect(&img));
     }
 
     #[test]

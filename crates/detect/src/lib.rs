@@ -58,6 +58,7 @@ pub mod types;
 pub mod yolo;
 pub mod zoo;
 
+pub use bea_tensor::KernelPolicy;
 pub use cache::{CacheStats, CachedDetector, IncrementalDetect};
 pub use detector::Detector;
 pub use detr::{DetrConfig, DetrDetector};

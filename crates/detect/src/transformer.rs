@@ -1,7 +1,7 @@
 //! Transformer building blocks for the DETR-like detector.
 
 use bea_tensor::activation::gelu;
-use bea_tensor::{Linear, Matrix, MultiHeadAttention, Result, WeightInit};
+use bea_tensor::{KernelPolicy, Linear, Matrix, MultiHeadAttention, Result, WeightInit};
 
 /// Sinusoidal 2-D positional encoding.
 ///
@@ -84,6 +84,14 @@ impl EncoderBlock {
     /// Residual mixing strength.
     pub fn mix(&self) -> f32 {
         self.mix
+    }
+
+    /// Propagates a [`KernelPolicy`] to the attention layer and both FFN
+    /// projections. Outputs are `==`-identical across policies.
+    pub fn set_kernel_policy(&mut self, policy: KernelPolicy) {
+        self.attention.set_kernel_policy(policy);
+        self.ffn_in.set_kernel_policy(policy);
+        self.ffn_out.set_kernel_policy(policy);
     }
 
     /// Applies the block to a token matrix.

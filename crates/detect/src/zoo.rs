@@ -90,6 +90,19 @@ impl ModelZoo {
         Self { yolo_base, detr_base, two_stage_base: TwoStageConfig::default() }
     }
 
+    /// Returns the zoo with every model built under the given
+    /// [`KernelPolicy`].
+    ///
+    /// Only the DETR family actually dispatches (its embedding, encoder
+    /// and read-out run on `Matrix` kernels); the YOLO and two-stage
+    /// detectors are NCC-based and have no GEMM in their hot path, so the
+    /// policy is a no-op for them. Predictions are `==`-identical across
+    /// policies for every architecture.
+    pub fn with_kernel_policy(mut self, policy: bea_tensor::KernelPolicy) -> Self {
+        self.detr_base.kernel_policy = policy;
+        self
+    }
+
     /// Builds the model of `architecture` with the given seed.
     ///
     /// # Panics
@@ -267,6 +280,21 @@ mod tests {
             assert!(cached.cache_stats().is_some());
         }
         assert_eq!(zoo.cached_models(Architecture::Yolo, 1..=3).len(), 3);
+    }
+
+    #[test]
+    fn kernel_policy_zoo_is_prediction_identical() {
+        let img = SyntheticKitti::smoke_set().image(1);
+        let blocked = ModelZoo::with_defaults();
+        let reference =
+            ModelZoo::with_defaults().with_kernel_policy(bea_tensor::KernelPolicy::Reference);
+        for arch in Architecture::EXTENDED {
+            assert_eq!(
+                blocked.model(arch, 3).detect(&img),
+                reference.model(arch, 3).detect(&img),
+                "{arch} predictions must not depend on the kernel policy"
+            );
+        }
     }
 
     #[test]

@@ -590,7 +590,7 @@ fn run_job(shared: &Shared, job: &AttackJob) -> Result<Option<CacheStats>, Strin
     });
     let arch = job.arch;
     let use_cache = job.use_cache;
-    let zoo = &shared.zoo;
+    let zoo = shared.zoo.clone().with_kernel_policy(job.kernel_policy);
     let result = campaign.run(
         std::slice::from_ref(&spec),
         |cell| {

@@ -9,6 +9,7 @@
 
 use crate::activation::softmax_rows_inplace;
 use crate::error::{Result, TensorError};
+use crate::gemm::KernelPolicy;
 use crate::init::WeightInit;
 use crate::linear::Linear;
 use crate::matrix::Matrix;
@@ -23,6 +24,23 @@ use crate::matrix::Matrix;
 /// Returns [`TensorError::ShapeMismatch`] if the query/key widths differ or
 /// the key/value row counts differ.
 pub fn scaled_dot_attention(queries: &Matrix, keys: &Matrix, values: &Matrix) -> Result<Matrix> {
+    scaled_dot_attention_policy(queries, keys, values, KernelPolicy::default())
+}
+
+/// [`scaled_dot_attention`] under an explicit [`KernelPolicy`] for the two
+/// matmuls (`q·kᵀ` and `softmax·v`). Outputs are `==`-identical across
+/// policies.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the query/key widths differ or
+/// the key/value row counts differ.
+pub fn scaled_dot_attention_policy(
+    queries: &Matrix,
+    keys: &Matrix,
+    values: &Matrix,
+    policy: KernelPolicy,
+) -> Result<Matrix> {
     if queries.cols() != keys.cols() {
         return Err(TensorError::ShapeMismatch {
             op: "attention q/k width",
@@ -38,9 +56,9 @@ pub fn scaled_dot_attention(queries: &Matrix, keys: &Matrix, values: &Matrix) ->
         });
     }
     let scale = 1.0 / (queries.cols().max(1) as f32).sqrt();
-    let mut scores = queries.matmul(&keys.transpose())?.scale(scale);
+    let mut scores = queries.matmul_nt_policy(keys, policy)?.scale(scale);
     softmax_rows_inplace(&mut scores);
-    scores.matmul(values)
+    scores.matmul_policy(values, policy)
 }
 
 /// Returns the attention weight matrix `softmax(QKᵀ/√d)` without applying it
@@ -79,7 +97,7 @@ pub fn attention_weights(queries: &Matrix, keys: &Matrix) -> Result<Matrix> {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct MultiHeadAttention {
     heads: usize,
     model_dim: usize,
@@ -88,6 +106,20 @@ pub struct MultiHeadAttention {
     k_proj: Linear,
     v_proj: Linear,
     out_proj: Linear,
+    policy: KernelPolicy,
+}
+
+// Manual impl: the kernel dispatch policy does not change what the layer
+// computes, so it is excluded from equality (mirroring `Linear`).
+impl PartialEq for MultiHeadAttention {
+    fn eq(&self, other: &Self) -> bool {
+        self.heads == other.heads
+            && self.model_dim == other.model_dim
+            && self.q_proj == other.q_proj
+            && self.k_proj == other.k_proj
+            && self.v_proj == other.v_proj
+            && self.out_proj == other.out_proj
+    }
 }
 
 impl MultiHeadAttention {
@@ -111,7 +143,24 @@ impl MultiHeadAttention {
             k_proj: Linear::seeded(model_dim, model_dim, init),
             v_proj: Linear::seeded(model_dim, model_dim, init),
             out_proj: Linear::seeded(model_dim, model_dim, init),
+            policy: KernelPolicy::default(),
         })
+    }
+
+    /// The kernel dispatch policy currently in effect.
+    pub fn kernel_policy(&self) -> KernelPolicy {
+        self.policy
+    }
+
+    /// Selects the matmul kernels used by [`Self::forward`]: propagated to
+    /// all four projections and to the per-head attention products.
+    /// Outputs are `==`-identical across policies.
+    pub fn set_kernel_policy(&mut self, policy: KernelPolicy) {
+        self.policy = policy;
+        self.q_proj.set_kernel_policy(policy);
+        self.k_proj.set_kernel_policy(policy);
+        self.v_proj.set_kernel_policy(policy);
+        self.out_proj.set_kernel_policy(policy);
     }
 
     /// Number of attention heads.
@@ -145,7 +194,7 @@ impl MultiHeadAttention {
             let qh = q.columns(start, self.head_dim);
             let kh = k.columns(start, self.head_dim);
             let vh = v.columns(start, self.head_dim);
-            let head_out = scaled_dot_attention(&qh, &kh, &vh)?;
+            let head_out = scaled_dot_attention_policy(&qh, &kh, &vh, self.policy)?;
             concat = concat.hconcat(&head_out)?;
         }
         self.out_proj.forward(&concat)
@@ -249,6 +298,25 @@ mod tests {
             let moved: f32 = (0..8).map(|c| (base.at(r, c) - out.at(r, c)).abs()).sum();
             assert!(moved > 0.0, "token {r} should feel the remote perturbation");
         }
+    }
+
+    #[test]
+    fn mha_forward_is_policy_invariant() {
+        let mut init = WeightInit::from_seed(6);
+        let mha = MultiHeadAttention::seeded(12, 3, &mut init).unwrap();
+        let mut tokens = Matrix::zeros(9, 12);
+        for (i, v) in tokens.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i as f32) * 0.23).sin();
+        }
+        let mut reference = mha.clone();
+        reference.set_kernel_policy(KernelPolicy::Reference);
+        let mut blocked = mha.clone();
+        blocked.set_kernel_policy(KernelPolicy::Blocked);
+        assert_eq!(
+            reference.forward(&tokens, &tokens, &tokens).unwrap(),
+            blocked.forward(&tokens, &tokens, &tokens).unwrap()
+        );
+        assert_eq!(reference, blocked, "policy must be excluded from equality");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::dirty::DirtyRect;
 use crate::error::{Result, TensorError};
+use crate::gemm::{self, ConvGeometry, KernelPolicy};
 use crate::init::WeightInit;
 use crate::tensor3::FeatureMap;
 
@@ -12,6 +13,14 @@ use crate::tensor3::FeatureMap;
 /// primitive of the YOLO-like detector: an output activation depends only on
 /// the input pixels inside its receptive field, which is why far-away
 /// perturbations cannot reach it directly.
+///
+/// The forward pass dispatches on a [`KernelPolicy`]: the default
+/// `Blocked` policy lowers to im2col + register-blocked GEMM
+/// ([`crate::gemm`]), `Reference` keeps the naive per-cell loop nest.
+/// Both produce `==`-identical outputs (the GEMM preserves each output
+/// cell's accumulation order), so the policy is purely a speed knob; it is
+/// excluded from layer equality so two convolutions with the same weights
+/// compare equal regardless of dispatch.
 ///
 /// # Examples
 ///
@@ -27,7 +36,7 @@ use crate::tensor3::FeatureMap;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Conv2d {
     out_channels: usize,
     in_channels: usize,
@@ -37,6 +46,22 @@ pub struct Conv2d {
     padding: usize,
     weights: Vec<f32>,
     bias: Vec<f32>,
+    policy: KernelPolicy,
+}
+
+// Manual impl: the dispatch policy is a speed knob, not part of what the
+// layer computes, so it must not affect equality.
+impl PartialEq for Conv2d {
+    fn eq(&self, other: &Self) -> bool {
+        self.out_channels == other.out_channels
+            && self.in_channels == other.in_channels
+            && self.kernel_h == other.kernel_h
+            && self.kernel_w == other.kernel_w
+            && self.stride == other.stride
+            && self.padding == other.padding
+            && self.weights == other.weights
+            && self.bias == other.bias
+    }
 }
 
 impl Conv2d {
@@ -73,7 +98,17 @@ impl Conv2d {
         if bias.len() != out_channels {
             return Err(TensorError::LengthMismatch { expected: out_channels, actual: bias.len() });
         }
-        Ok(Self { out_channels, in_channels, kernel_h, kernel_w, stride, padding, weights, bias })
+        Ok(Self {
+            out_channels,
+            in_channels,
+            kernel_h,
+            kernel_w,
+            stride,
+            padding,
+            weights,
+            bias,
+            policy: KernelPolicy::default(),
+        })
     }
 
     /// Builds a convolution with Xavier-initialised weights from a seed.
@@ -122,6 +157,28 @@ impl Conv2d {
         (self.kernel_h, self.kernel_w)
     }
 
+    /// Kernel height.
+    pub fn kernel_h(&self) -> usize {
+        self.kernel_h
+    }
+
+    /// Kernel width.
+    pub fn kernel_w(&self) -> usize {
+        self.kernel_w
+    }
+
+    /// The kernel dispatch policy currently in effect.
+    pub fn kernel_policy(&self) -> KernelPolicy {
+        self.policy
+    }
+
+    /// Selects the kernel implementation behind [`Self::forward`] and
+    /// [`Self::forward_incremental`]. Both policies produce `==`-identical
+    /// outputs (see [`crate::gemm`]); `Blocked` is the default.
+    pub fn set_kernel_policy(&mut self, policy: KernelPolicy) {
+        self.policy = policy;
+    }
+
     /// Stride used along both axes.
     pub fn stride(&self) -> usize {
         self.stride
@@ -130,6 +187,17 @@ impl Conv2d {
     /// Zero-padding used along both axes.
     pub fn padding(&self) -> usize {
         self.padding
+    }
+
+    /// Immutable view of the flat weight buffer
+    /// (`[out][in][kh][kw]`-ordered).
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Immutable view of the per-output-channel bias buffer.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
     }
 
     /// Mutable access to the flat weight buffer (for seeded jitter).
@@ -212,11 +280,29 @@ impl Conv2d {
     }
 
     fn fill_window(&self, input: &FeatureMap, out: &mut FeatureMap, window: &DirtyRect) {
-        for oc in 0..self.out_channels {
-            for oy in window.y0..window.y1 {
-                for ox in window.x0..window.x1 {
-                    out.set(oc, oy, ox, self.cell(input, oc, oy, ox));
+        if window.is_empty() {
+            return;
+        }
+        match self.policy {
+            KernelPolicy::Reference => {
+                for oc in 0..self.out_channels {
+                    for oy in window.y0..window.y1 {
+                        for ox in window.x0..window.x1 {
+                            out.set(oc, oy, ox, self.cell(input, oc, oy, ox));
+                        }
+                    }
                 }
+            }
+            KernelPolicy::Blocked => {
+                let geometry = ConvGeometry {
+                    kernel_h: self.kernel_h,
+                    kernel_w: self.kernel_w,
+                    stride: self.stride,
+                    padding: self.padding,
+                };
+                let cols = gemm::im2col(input, geometry, window);
+                let scores = gemm::conv_scores(&self.weights, &self.bias, &cols);
+                gemm::scatter_window(&scores, out, window);
             }
         }
     }
@@ -467,6 +553,44 @@ mod tests {
         let window = conv.forward_incremental(&input, &mut cached, &DirtyRect::empty()).unwrap();
         assert!(window.is_empty());
         assert_eq!(cached, before);
+    }
+
+    #[test]
+    fn blocked_forward_matches_reference_bitwise() {
+        for (stride, padding) in [(1, 0), (1, 1), (2, 0), (2, 1), (3, 2)] {
+            let mut init = WeightInit::from_seed(21);
+            let conv = Conv2d::seeded(5, 3, 3, 3, stride, padding, &mut init).unwrap();
+            let input = noisy_map(3, 13, 17, 0.3);
+            crate::golden::assert_conv_golden(&conv, &input);
+        }
+    }
+
+    #[test]
+    fn blocked_incremental_matches_reference_full_forward() {
+        let mut init = WeightInit::from_seed(9);
+        let mut conv = Conv2d::seeded(3, 2, 3, 3, 1, 1, &mut init).unwrap();
+        conv.set_kernel_policy(KernelPolicy::Blocked);
+        let base = noisy_map(2, 12, 16, 0.0);
+        let mut perturbed = base.clone();
+        perturbed.set(0, 5, 10, 9.0);
+        let mut cached = conv.forward(&base).unwrap();
+        let window = conv
+            .forward_incremental(&perturbed, &mut cached, &DirtyRect::new(10, 5, 11, 6))
+            .unwrap();
+        assert!(!window.is_empty());
+        let mut reference = conv.clone();
+        reference.set_kernel_policy(KernelPolicy::Reference);
+        assert_eq!(cached, reference.forward(&perturbed).unwrap());
+    }
+
+    #[test]
+    fn policy_is_excluded_from_layer_equality() {
+        let mut init = WeightInit::from_seed(2);
+        let conv = Conv2d::seeded(2, 1, 3, 3, 1, 1, &mut init).unwrap();
+        assert_eq!(conv.kernel_policy(), KernelPolicy::Blocked);
+        let mut other = conv.clone();
+        other.set_kernel_policy(KernelPolicy::Reference);
+        assert_eq!(conv, other);
     }
 
     #[test]

@@ -1,0 +1,506 @@
+//! Blocked GEMM and im2col kernels: the fast path behind [`KernelPolicy`].
+//!
+//! Every kernel here is a *drop-in* replacement for a naive reference
+//! implementation elsewhere in the crate ([`crate::Matrix::matmul`],
+//! [`crate::Conv2d::forward`]), engineered so the replacement is provable:
+//! each output element accumulates its `k` terms **in the same ascending-k
+//! order with a single `f32` accumulator** as the reference loop nest, with
+//! no FMA contraction and no split accumulators. The only arithmetic
+//! difference is that the reference paths skip terms whose multiplier is
+//! exactly `0.0` (the `a == 0.0` fast-out in `matmul`, padding skips in
+//! `Conv2d`), while the blocked paths add the resulting `±0.0` products.
+//! Adding a signed zero never changes a finite accumulator except possibly
+//! the *sign* of a zero sum, and `f32::eq` treats `-0.0 == 0.0` — so for
+//! finite inputs the fast paths are `==`-equal to the reference, element by
+//! element. The [`crate::golden`] harness and the crate's proptests pin
+//! that contract down.
+//!
+//! What makes the blocked paths fast is not the arithmetic but the memory
+//! traffic: the reference `ikj` matmul read-modify-writes the whole output
+//! row once per `k`, while the `MR×NR` register tiles here touch each
+//! output element exactly once. Convolution is lowered to the same
+//! microkernel through an im2col matrix laid out k-major in the reference
+//! kernel's `(ic, ky, kx)` loop order.
+
+use crate::dirty::DirtyRect;
+use crate::error::{Result, TensorError};
+use crate::matrix::Matrix;
+use crate::tensor3::FeatureMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Which kernel implementation a layer dispatches to.
+///
+/// `Reference` is the naive loop nest kept as the correctness oracle;
+/// `Blocked` is the register-blocked GEMM/im2col path. The two produce
+/// `==`-identical outputs for finite inputs (see the module docs for the
+/// signed-zero caveat), so the policy is a pure speed knob: it is
+/// deliberately excluded from campaign fingerprints and seed derivation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelPolicy {
+    /// Naive loop-nest kernels (the correctness oracle).
+    Reference,
+    /// im2col + register-blocked GEMM kernels.
+    #[default]
+    Blocked,
+}
+
+impl KernelPolicy {
+    /// Both policies, reference first (golden harnesses iterate this).
+    pub const ALL: [KernelPolicy; 2] = [KernelPolicy::Reference, KernelPolicy::Blocked];
+
+    /// The wire/CLI name of the policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelPolicy::Reference => "reference",
+            KernelPolicy::Blocked => "blocked",
+        }
+    }
+}
+
+impl fmt::Display for KernelPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for KernelPolicy {
+    type Err = String;
+
+    fn from_str(text: &str) -> std::result::Result<Self, String> {
+        match text {
+            "reference" => Ok(KernelPolicy::Reference),
+            "blocked" => Ok(KernelPolicy::Blocked),
+            other => Err(format!("unknown kernel policy {other:?} (use reference|blocked)")),
+        }
+    }
+}
+
+/// Rows per register tile of the microkernel.
+const MR: usize = 4;
+/// Columns per register tile of the microkernel.
+const NR: usize = 8;
+
+/// `out[m×n] = row_init ⊕ a[m×kk] · b[kk×n]`, with `b` row-major
+/// (contiguous along `n`). Each output element starts at `row_init(i)` and
+/// accumulates its `kk` products in ascending-k order — the contract that
+/// makes this bit-compatible with the naive kernels.
+fn gemm_nn<I: Fn(usize) -> f32>(
+    m: usize,
+    kk: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    row_init: I,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), m * kk);
+    debug_assert_eq!(b.len(), kk * n);
+    debug_assert_eq!(out.len(), m * n);
+    let mut i0 = 0;
+    while i0 + MR <= m {
+        let mut j0 = 0;
+        while j0 + NR <= n {
+            let mut acc = [[0.0f32; NR]; MR];
+            for (mi, tile_row) in acc.iter_mut().enumerate() {
+                *tile_row = [row_init(i0 + mi); NR];
+            }
+            for k in 0..kk {
+                let b_row: &[f32; NR] =
+                    b[k * n + j0..k * n + j0 + NR].try_into().expect("NR-wide b tile");
+                for (mi, tile_row) in acc.iter_mut().enumerate() {
+                    let a_ik = a[(i0 + mi) * kk + k];
+                    for (slot, bv) in tile_row.iter_mut().zip(b_row) {
+                        *slot += a_ik * bv;
+                    }
+                }
+            }
+            for (mi, tile_row) in acc.iter().enumerate() {
+                out[(i0 + mi) * n + j0..(i0 + mi) * n + j0 + NR].copy_from_slice(tile_row);
+            }
+            j0 += NR;
+        }
+        for j in j0..n {
+            for mi in 0..MR {
+                let i = i0 + mi;
+                let mut acc = row_init(i);
+                for k in 0..kk {
+                    acc += a[i * kk + k] * b[k * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        i0 += MR;
+    }
+    for i in i0..m {
+        let mut j0 = 0;
+        while j0 + NR <= n {
+            let mut acc = [row_init(i); NR];
+            for k in 0..kk {
+                let a_ik = a[i * kk + k];
+                let b_row: &[f32; NR] =
+                    b[k * n + j0..k * n + j0 + NR].try_into().expect("NR-wide b tile");
+                for (slot, bv) in acc.iter_mut().zip(b_row) {
+                    *slot += a_ik * bv;
+                }
+            }
+            out[i * n + j0..i * n + j0 + NR].copy_from_slice(&acc);
+            j0 += NR;
+        }
+        for j in j0..n {
+            let mut acc = row_init(i);
+            for k in 0..kk {
+                acc += a[i * kk + k] * b[k * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// `out[m×n] = a[m×kk] · b[n×kk]ᵀ`, with both operands row-major. The
+/// `NR`-column B panel is transpose-packed k-major once per column tile so
+/// the microkernel streams it contiguously; accumulation order per output
+/// element is ascending k, as everywhere in this module.
+fn gemm_nt(m: usize, kk: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * kk);
+    debug_assert_eq!(b.len(), n * kk);
+    debug_assert_eq!(out.len(), m * n);
+    let mut pack = vec![0.0f32; kk * NR];
+    let mut j0 = 0;
+    while j0 + NR <= n {
+        for k in 0..kk {
+            for nj in 0..NR {
+                pack[k * NR + nj] = b[(j0 + nj) * kk + k];
+            }
+        }
+        let mut i0 = 0;
+        while i0 + MR <= m {
+            let mut tile = [[0.0f32; NR]; MR];
+            for k in 0..kk {
+                let b_row: &[f32; NR] =
+                    pack[k * NR..k * NR + NR].try_into().expect("NR-wide packed tile");
+                for (mi, tile_row) in tile.iter_mut().enumerate() {
+                    let a_ik = a[(i0 + mi) * kk + k];
+                    for (slot, bv) in tile_row.iter_mut().zip(b_row) {
+                        *slot += a_ik * bv;
+                    }
+                }
+            }
+            for (mi, tile_row) in tile.iter().enumerate() {
+                out[(i0 + mi) * n + j0..(i0 + mi) * n + j0 + NR].copy_from_slice(tile_row);
+            }
+            i0 += MR;
+        }
+        for i in i0..m {
+            let mut acc = [0.0f32; NR];
+            for k in 0..kk {
+                let a_ik = a[i * kk + k];
+                let b_row: &[f32; NR] =
+                    pack[k * NR..k * NR + NR].try_into().expect("NR-wide packed tile");
+                for (slot, bv) in acc.iter_mut().zip(b_row) {
+                    *slot += a_ik * bv;
+                }
+            }
+            out[i * n + j0..i * n + j0 + NR].copy_from_slice(&acc);
+        }
+        j0 += NR;
+    }
+    // Edge columns: each dot product reads two contiguous kk-length rows.
+    for j in j0..n {
+        for i in 0..m {
+            let mut acc = 0.0f32;
+            for k in 0..kk {
+                acc += a[i * kk + k] * b[j * kk + k];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// Blocked matrix product `a · b` (the fast path of
+/// [`crate::Matrix::matmul_policy`]).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `a.cols() == b.rows()`.
+pub fn matmul_blocked(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![a.rows(), a.cols()],
+            rhs: vec![b.rows(), b.cols()],
+        });
+    }
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    gemm_nn(a.rows(), a.cols(), b.cols(), a.as_slice(), b.as_slice(), |_| 0.0, out.as_mut_slice());
+    Ok(out)
+}
+
+/// Blocked `a · bᵀ` without materialising the transpose — `==`-equal to
+/// `a.matmul(&b.transpose())` for finite inputs. This is the shape the
+/// linear layers (`y = x·Wᵀ`) and attention scores (`q·kᵀ`) need.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `a.cols() == b.cols()`.
+pub fn matmul_nt_blocked(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_nt",
+            lhs: vec![a.rows(), a.cols()],
+            rhs: vec![b.rows(), b.cols()],
+        });
+    }
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    gemm_nt(a.rows(), a.cols(), b.rows(), a.as_slice(), b.as_slice(), out.as_mut_slice());
+    Ok(out)
+}
+
+/// Geometry of one convolution lowering (shared by im2col and col2im).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Stride in both directions.
+    pub stride: usize,
+    /// Zero padding in both directions.
+    pub padding: usize,
+}
+
+/// Lowers the input cells feeding an output `window` into a k-major
+/// im2col matrix of shape `(in_channels · kernel_h · kernel_w) × cells`.
+///
+/// Row `k = (ic·kernel_h + ky)·kernel_w + kx` matches the reference
+/// kernel's `(ic, ky, kx)` loop order exactly, and window cells are laid
+/// out row-major — so a GEMM over this matrix accumulates each output
+/// cell's terms in the reference order. Padded coordinates contribute
+/// explicit `0.0` entries.
+pub fn im2col(input: &FeatureMap, geometry: ConvGeometry, window: &DirtyRect) -> Matrix {
+    let ConvGeometry { kernel_h, kernel_w, stride, padding } = geometry;
+    let (in_h, in_w) = (input.height(), input.width());
+    let cells_w = window.x1.saturating_sub(window.x0);
+    let cells = window.y1.saturating_sub(window.y0) * cells_w;
+    let k_total = input.channels() * kernel_h * kernel_w;
+    let mut cols = Matrix::zeros(k_total, cells);
+    let data = cols.as_mut_slice();
+    for ic in 0..input.channels() {
+        let chan = input.channel(ic);
+        for ky in 0..kernel_h {
+            for kx in 0..kernel_w {
+                let k = (ic * kernel_h + ky) * kernel_w + kx;
+                let row = &mut data[k * cells..(k + 1) * cells];
+                for oy in window.y0..window.y1 {
+                    let iy = oy * stride + ky;
+                    let row_base = (oy - window.y0) * cells_w;
+                    if iy < padding || iy >= in_h + padding {
+                        continue; // the zeros(…) fill already encodes padding
+                    }
+                    let chan_base = (iy - padding) * in_w;
+                    for ox in window.x0..window.x1 {
+                        let ix = ox * stride + kx;
+                        if ix < padding || ix >= in_w + padding {
+                            continue;
+                        }
+                        row[row_base + (ox - window.x0)] = chan[chan_base + (ix - padding)];
+                    }
+                }
+            }
+        }
+    }
+    cols
+}
+
+/// GEMM with per-row initial values: `out[i][j] = bias[i] + Σₖ a[i][k]·b[k][j]`,
+/// accumulated in ascending-k order. With `a` = flat conv weights
+/// (`out_channels × kernel_volume`) and `b` = an [`im2col`] matrix this is
+/// the whole convolution, bias included in the same position the reference
+/// kernel adds it (as the accumulator's initial value).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `a.cols() == b.rows()`,
+/// and [`TensorError::LengthMismatch`] unless `bias.len() == a.rows()`.
+pub fn gemm_bias(a: &Matrix, b: &Matrix, bias: &[f32]) -> Result<Matrix> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm_bias",
+            lhs: vec![a.rows(), a.cols()],
+            rhs: vec![b.rows(), b.cols()],
+        });
+    }
+    if bias.len() != a.rows() {
+        return Err(TensorError::LengthMismatch { expected: a.rows(), actual: bias.len() });
+    }
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    gemm_nn(
+        a.rows(),
+        a.cols(),
+        b.cols(),
+        a.as_slice(),
+        b.as_slice(),
+        |i| bias[i],
+        out.as_mut_slice(),
+    );
+    Ok(out)
+}
+
+/// Crate-internal conv entry point: the [`gemm_bias`] product over the
+/// flat weight buffer, skipping the per-forward `Matrix` wrapper
+/// allocation. Shapes are debug-asserted, not validated — `Conv2d`
+/// already guarantees them.
+pub(crate) fn conv_scores(weights: &[f32], bias: &[f32], cols: &Matrix) -> Matrix {
+    let m = bias.len();
+    let kk = cols.rows();
+    debug_assert_eq!(weights.len(), m * kk);
+    let mut out = Matrix::zeros(m, cols.cols());
+    gemm_nn(m, kk, cols.cols(), weights, cols.as_slice(), |i| bias[i], out.as_mut_slice());
+    out
+}
+
+/// Scatters a `channels × cells` GEMM result back into the output
+/// feature map's `window` (the inverse of the cell layout [`im2col`]
+/// chose). `col2im` with a full-frame window rebuilds the whole map.
+///
+/// # Panics
+///
+/// Panics (via slice indexing) if `scores` does not have one row per
+/// output channel and one column per window cell.
+pub fn scatter_window(scores: &Matrix, out: &mut FeatureMap, window: &DirtyRect) {
+    let cells_w = window.x1.saturating_sub(window.x0);
+    let out_w = out.width();
+    for oc in 0..out.channels() {
+        let row = scores.row(oc);
+        let chan = out.channel_mut(oc);
+        for oy in window.y0..window.y1 {
+            let src = &row[(oy - window.y0) * cells_w..(oy - window.y0 + 1) * cells_w];
+            chan[oy * out_w + window.x0..oy * out_w + window.x1].copy_from_slice(src);
+        }
+    }
+}
+
+/// Rebuilds a full `channels × out_h × out_w` feature map from a
+/// `channels × (out_h·out_w)` GEMM result — the "col2im" leg of the
+/// im2col → GEMM → col2im round trip.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `scores` has exactly
+/// `out_h · out_w` columns.
+pub fn col2im(scores: &Matrix, out_h: usize, out_w: usize) -> Result<FeatureMap> {
+    if scores.cols() != out_h * out_w {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im",
+            lhs: vec![scores.rows(), scores.cols()],
+            rhs: vec![out_h, out_w],
+        });
+    }
+    let mut out = FeatureMap::zeros(scores.rows(), out_h, out_w);
+    let window = DirtyRect::full(out_w, out_h);
+    scatter_window(scores, &mut out, &window);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy(rows: usize, cols: usize, phase: f32) -> Matrix {
+        let data = (0..rows * cols).map(|i| ((i as f32) * 0.37 + phase).sin() * 3.0).collect();
+        Matrix::from_vec(rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for policy in KernelPolicy::ALL {
+            assert_eq!(policy.name().parse::<KernelPolicy>().unwrap(), policy);
+            assert_eq!(policy.to_string(), policy.name());
+        }
+        assert_eq!(KernelPolicy::default(), KernelPolicy::Blocked);
+        let err = "fast".parse::<KernelPolicy>().unwrap_err();
+        assert!(err.contains("unknown kernel policy"), "{err}");
+    }
+
+    #[test]
+    fn blocked_matmul_matches_reference_across_edge_shapes() {
+        // Shapes straddling the MR×NR tile boundaries in every direction.
+        for (m, kk, n) in
+            [(1, 1, 1), (4, 3, 8), (5, 7, 9), (8, 2, 16), (3, 24, 7), (13, 5, 11), (16, 16, 16)]
+        {
+            let a = noisy(m, kk, 0.1);
+            let b = noisy(kk, n, 1.9);
+            assert_eq!(
+                matmul_blocked(&a, &b).unwrap(),
+                a.matmul(&b).unwrap(),
+                "shape ({m},{kk},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_matches_reference_with_zero_entries() {
+        // The reference kernel skips a == 0.0; the blocked kernel must
+        // still agree (adding ±0.0 terms cannot change a finite sum).
+        let mut a = noisy(6, 9, 0.4);
+        for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = 0.0;
+            }
+            if i % 7 == 0 {
+                *v = -0.0;
+            }
+        }
+        let b = noisy(9, 10, 2.2);
+        assert_eq!(matmul_blocked(&a, &b).unwrap(), a.matmul(&b).unwrap());
+    }
+
+    #[test]
+    fn blocked_nt_matches_explicit_transpose() {
+        for (m, kk, n) in [(1, 1, 1), (5, 6, 9), (12, 24, 12), (3, 2, 17)] {
+            let a = noisy(m, kk, 0.7);
+            let b = noisy(n, kk, 1.3);
+            assert_eq!(
+                matmul_nt_blocked(&a, &b).unwrap(),
+                a.matmul(&b.transpose()).unwrap(),
+                "shape ({m},{kk},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matmul_blocked(&a, &Matrix::zeros(4, 2)).is_err());
+        assert!(matmul_nt_blocked(&a, &Matrix::zeros(4, 4)).is_err());
+        assert!(gemm_bias(&a, &Matrix::zeros(4, 2), &[0.0; 2]).is_err());
+        assert!(gemm_bias(&a, &Matrix::zeros(3, 2), &[0.0; 3]).is_err());
+        assert!(col2im(&Matrix::zeros(2, 6), 2, 2).is_err());
+    }
+
+    #[test]
+    fn gemm_bias_initialises_rows() {
+        let a = Matrix::identity(3);
+        let b = noisy(3, 5, 0.2);
+        let out = gemm_bias(&a, &b, &[1.0, -2.0, 0.5]).unwrap();
+        for j in 0..5 {
+            assert_eq!(out.at(0, j), 1.0 + b.at(0, j));
+            assert_eq!(out.at(1, j), -2.0 + b.at(1, j));
+            assert_eq!(out.at(2, j), 0.5 + b.at(2, j));
+        }
+    }
+
+    #[test]
+    fn col2im_restores_cell_layout() {
+        let mut map = FeatureMap::zeros(2, 3, 4);
+        for (i, v) in map.as_mut_slice().iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let window = DirtyRect::full(4, 3);
+        let geometry = ConvGeometry { kernel_h: 1, kernel_w: 1, stride: 1, padding: 0 };
+        let cols = im2col(&map, geometry, &window);
+        // With a 1×1 kernel the im2col matrix is the channel-major flat map.
+        let rebuilt = col2im(&cols, 3, 4).unwrap();
+        assert_eq!(rebuilt, map);
+    }
+}

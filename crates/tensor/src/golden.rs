@@ -1,0 +1,244 @@
+//! Golden differential harness: paired reference/fast kernel execution.
+//!
+//! The [`crate::gemm`] fast paths promise `==`-equality with the naive
+//! reference kernels wherever the per-element summation order is preserved
+//! (which is everywhere in this crate — see the `gemm` module docs for the
+//! signed-zero caveat that makes `==`, not bit-pattern equality, the right
+//! relation). This module is the enforcement tooling:
+//!
+//! * [`compare_slices`] produces a [`Comparison`] that can be asserted
+//!   **bit-exact** (`==`-equal, treating `-0.0 == 0.0`) or **ULP-bounded**
+//!   (for any future kernel that legitimately reorders its reduction);
+//! * [`assert_matmul_golden`] / [`assert_matmul_nt_golden`] /
+//!   [`assert_conv_golden`] run both kernel policies on the same operands
+//!   and assert the exact contract, with a first-mismatch diagnostic that
+//!   names the element, both values and their bit patterns.
+//!
+//! The crate's proptests drive these helpers over random shapes; the
+//! workspace-level `tests/golden_predictions.rs` suite applies the same
+//! idea end-to-end (whole detectors under both policies).
+
+use crate::conv::Conv2d;
+use crate::gemm::{self, KernelPolicy};
+use crate::matrix::Matrix;
+use crate::tensor3::FeatureMap;
+
+/// ULP (units in the last place) distance between two `f32` values.
+///
+/// Returns `0` for `==`-equal values (including `-0.0` vs `0.0`),
+/// the lattice distance for same-sign finite values, and `u32::MAX`
+/// when the values differ in sign or either is NaN — such pairs are
+/// never "close" for kernel-equivalence purposes.
+pub fn ulp_distance(a: f32, b: f32) -> u32 {
+    if a == b {
+        return 0;
+    }
+    if a.is_nan() || b.is_nan() || a.is_sign_positive() != b.is_sign_positive() {
+        return u32::MAX;
+    }
+    let (ia, ib) = (a.to_bits() & 0x7fff_ffff, b.to_bits() & 0x7fff_ffff);
+    ia.abs_diff(ib)
+}
+
+/// The element of a [`Comparison`] that diverged the most.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mismatch {
+    /// Flat index of the element.
+    pub index: usize,
+    /// The reference kernel's value.
+    pub reference: f32,
+    /// The fast kernel's value.
+    pub fast: f32,
+    /// ULP distance between the two.
+    pub ulp: u32,
+}
+
+/// Result of comparing a reference and a fast kernel output element-wise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparison {
+    /// Number of elements compared.
+    pub len: usize,
+    /// Worst divergence observed, if any element failed `==`.
+    pub worst: Option<Mismatch>,
+}
+
+impl Comparison {
+    /// `true` when every element pair is `==`-equal.
+    pub fn is_bit_exact(&self) -> bool {
+        self.worst.is_none()
+    }
+
+    /// Largest ULP distance observed (0 when bit-exact).
+    pub fn max_ulp(&self) -> u32 {
+        self.worst.map_or(0, |m| m.ulp)
+    }
+
+    /// Asserts the `==`-equality contract (the one preserved-summation-
+    /// order kernels must meet).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a first-worst-mismatch diagnostic when any element
+    /// differs.
+    #[track_caller]
+    pub fn assert_bit_exact(&self, context: &str) {
+        if let Some(m) = self.worst {
+            panic!(
+                "{context}: kernel outputs diverge at element {} of {}: \
+                 reference {:?} ({:#010x}) vs fast {:?} ({:#010x}), {} ulp",
+                m.index,
+                self.len,
+                m.reference,
+                m.reference.to_bits(),
+                m.fast,
+                m.fast.to_bits(),
+                m.ulp,
+            );
+        }
+    }
+
+    /// Asserts a ULP-bounded contract (for reductions whose order is
+    /// *not* preserved; nothing in this crate currently needs a bound
+    /// above 0, but the harness supports auditing future kernels).
+    ///
+    /// # Panics
+    ///
+    /// Panics when any element pair is further apart than `max_ulp`, or
+    /// differs in sign / NaN-ness.
+    #[track_caller]
+    pub fn assert_within_ulp(&self, context: &str, max_ulp: u32) {
+        if let Some(m) = self.worst {
+            if m.ulp > max_ulp {
+                panic!(
+                    "{context}: kernel outputs diverge by {} ulp (allowed {max_ulp}) \
+                     at element {} of {}: reference {:?} vs fast {:?}",
+                    m.ulp, m.index, self.len, m.reference, m.fast,
+                );
+            }
+        }
+    }
+}
+
+/// Compares two kernel outputs element-wise, tracking the worst ULP
+/// divergence.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths — paired kernels must
+/// agree on shape before values are even comparable.
+pub fn compare_slices(reference: &[f32], fast: &[f32]) -> Comparison {
+    assert_eq!(reference.len(), fast.len(), "paired kernel outputs must have equal length");
+    let mut worst: Option<Mismatch> = None;
+    for (index, (&r, &f)) in reference.iter().zip(fast).enumerate() {
+        let ulp = ulp_distance(r, f);
+        if ulp > 0 && worst.is_none_or(|w| ulp > w.ulp) {
+            worst = Some(Mismatch { index, reference: r, fast: f, ulp });
+        }
+    }
+    Comparison { len: reference.len(), worst }
+}
+
+/// Runs `a · b` under both kernel policies and asserts `==`-equality.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or any diverging element.
+#[track_caller]
+pub fn assert_matmul_golden(a: &Matrix, b: &Matrix) {
+    let reference = a.matmul(b).expect("reference matmul");
+    let fast = gemm::matmul_blocked(a, b).expect("blocked matmul");
+    compare_slices(reference.as_slice(), fast.as_slice()).assert_bit_exact(&format!(
+        "matmul {:?}·{:?}",
+        a.shape(),
+        b.shape()
+    ));
+}
+
+/// Runs `a · bᵀ` under both kernel policies (the reference path goes
+/// through an explicit transpose) and asserts `==`-equality.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or any diverging element.
+#[track_caller]
+pub fn assert_matmul_nt_golden(a: &Matrix, b: &Matrix) {
+    let reference = a.matmul(&b.transpose()).expect("reference matmul_nt");
+    let fast = gemm::matmul_nt_blocked(a, b).expect("blocked matmul_nt");
+    compare_slices(reference.as_slice(), fast.as_slice()).assert_bit_exact(&format!(
+        "matmul_nt {:?}·{:?}ᵀ",
+        a.shape(),
+        b.shape()
+    ));
+}
+
+/// Runs one convolution under both kernel policies and asserts
+/// `==`-equality of the full output map.
+///
+/// # Panics
+///
+/// Panics if the forward pass fails or any output element diverges.
+#[track_caller]
+pub fn assert_conv_golden(conv: &Conv2d, input: &FeatureMap) {
+    let mut reference_conv = conv.clone();
+    reference_conv.set_kernel_policy(KernelPolicy::Reference);
+    let mut blocked_conv = conv.clone();
+    blocked_conv.set_kernel_policy(KernelPolicy::Blocked);
+    let reference = reference_conv.forward(input).expect("reference conv forward");
+    let fast = blocked_conv.forward(input).expect("blocked conv forward");
+    compare_slices(reference.as_slice(), fast.as_slice()).assert_bit_exact(&format!(
+        "conv {}ch {}x{} stride {} pad {} on {:?}",
+        conv.out_channels(),
+        conv.kernel_h(),
+        conv.kernel_w(),
+        conv.stride(),
+        conv.padding(),
+        input.shape(),
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        assert_eq!(ulp_distance(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
+        assert_eq!(ulp_distance(1.0, -1.0), u32::MAX);
+        assert_eq!(ulp_distance(f32::NAN, 1.0), u32::MAX);
+    }
+
+    #[test]
+    fn comparison_reports_worst_mismatch() {
+        let reference = [1.0f32, 2.0, 3.0];
+        let one_ulp = f32::from_bits(2.0f32.to_bits() + 1);
+        let two_ulp = f32::from_bits(3.0f32.to_bits() + 2);
+        let cmp = compare_slices(&reference, &[1.0, one_ulp, two_ulp]);
+        assert!(!cmp.is_bit_exact());
+        assert_eq!(cmp.max_ulp(), 2);
+        assert_eq!(cmp.worst.unwrap().index, 2);
+        cmp.assert_within_ulp("tolerant", 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel outputs diverge at element 1")]
+    fn bit_exact_assertion_names_the_element() {
+        let cmp = compare_slices(&[1.0, 2.0], &[1.0, 2.5]);
+        cmp.assert_bit_exact("unit");
+    }
+
+    #[test]
+    #[should_panic(expected = "allowed 0")]
+    fn ulp_assertion_enforces_the_bound() {
+        let nudged = f32::from_bits(2.0f32.to_bits() + 1);
+        compare_slices(&[2.0], &[nudged]).assert_within_ulp("unit", 0);
+    }
+
+    #[test]
+    fn signed_zero_outputs_count_as_equal() {
+        let cmp = compare_slices(&[0.0, -0.0], &[-0.0, 0.0]);
+        assert!(cmp.is_bit_exact());
+        cmp.assert_bit_exact("signed zeros");
+    }
+}

@@ -64,18 +64,29 @@ impl WeightInit {
 
     /// Fills `buf` with Xavier/Glorot-uniform samples for a layer with the
     /// given fan-in and fan-out.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if any produced weight is non-finite.
     pub fn xavier_uniform(&mut self, buf: &mut [f32], fan_in: usize, fan_out: usize) {
         let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
-        for v in buf {
+        for v in buf.iter_mut() {
             *v = self.uniform(-bound, bound);
         }
+        debug_assert_finite(buf, "xavier_uniform");
     }
 
     /// Fills `buf` with normal samples.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if any produced weight is non-finite (e.g.
+    /// from a NaN mean or standard deviation).
     pub fn fill_normal(&mut self, buf: &mut [f32], mean: f32, std_dev: f32) {
-        for v in buf {
+        for v in buf.iter_mut() {
             *v = self.normal(mean, std_dev);
         }
+        debug_assert_finite(buf, "fill_normal");
     }
 
     /// Draws a uniform integer from `[0, n)`.
@@ -92,6 +103,20 @@ impl WeightInit {
     /// `[0, 1]`).
     pub fn coin(&mut self, p: f32) -> bool {
         self.rng.random::<f32>() < p.clamp(0.0, 1.0)
+    }
+}
+
+/// Debug-only NaN/Inf sweep over a freshly jittered weight buffer.
+///
+/// `Matrix::matmul` happily propagates NaN-poisoned weights; without this
+/// sweep the poison only surfaces when `Individual::new` rejects a NaN
+/// objective far downstream. Catching it at the jitter site names the
+/// first offending element instead.
+fn debug_assert_finite(buf: &[f32], op: &str) {
+    if cfg!(debug_assertions) {
+        if let Some(index) = buf.iter().position(|v| !v.is_finite()) {
+            panic!("{op} produced a non-finite weight at index {index}: {:?}", buf[index]);
+        }
     }
 }
 
@@ -145,6 +170,23 @@ mod tests {
         let bound = (6.0f32 / 128.0).sqrt();
         assert!(buf.iter().all(|v| v.abs() <= bound));
         assert!(buf.iter().any(|v| v.abs() > bound * 0.5), "samples should spread out");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "fill_normal produced a non-finite weight at index 0: NaN")]
+    fn nan_poisoned_jitter_is_caught_at_the_source() {
+        let mut w = WeightInit::from_seed(17);
+        let mut buf = vec![0.0; 4];
+        w.fill_normal(&mut buf, f32::NAN, 1.0);
+    }
+
+    #[test]
+    fn finite_jitter_passes_the_sweep() {
+        let mut w = WeightInit::from_seed(17);
+        let mut buf = vec![0.0; 64];
+        w.fill_normal(&mut buf, 0.0, 0.5);
+        assert!(buf.iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! * [`MultiHeadAttention`] — the global token-mixing primitive that makes
 //!   the DETR-like detector susceptible to butterfly effects,
 //! * activation functions and reductions ([`activation`], [`stats`]),
-//! * deterministic seeded weight initialisation ([`init`]).
+//! * deterministic seeded weight initialisation ([`init`]),
+//! * register-blocked fast kernels behind a [`KernelPolicy`] dispatch and
+//!   the golden differential harness proving them exact ([`gemm`],
+//!   [`golden`]).
 //!
 //! Everything is `f32`, row-major, and deterministic given a seed.
 //!
@@ -39,6 +42,8 @@ pub mod attention;
 pub mod conv;
 pub mod dirty;
 pub mod error;
+pub mod gemm;
+pub mod golden;
 pub mod init;
 pub mod linear;
 pub mod matrix;
@@ -51,6 +56,7 @@ pub use attention::MultiHeadAttention;
 pub use conv::Conv2d;
 pub use dirty::DirtyRect;
 pub use error::{Result, TensorError};
+pub use gemm::KernelPolicy;
 pub use init::WeightInit;
 pub use linear::{LayerNorm, Linear};
 pub use matrix::Matrix;

@@ -1,6 +1,7 @@
 //! Fully-connected layers and layer normalisation.
 
 use crate::error::{Result, TensorError};
+use crate::gemm::KernelPolicy;
 use crate::init::WeightInit;
 use crate::matrix::Matrix;
 
@@ -22,11 +23,20 @@ use crate::matrix::Matrix;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Linear {
     /// Weight matrix of shape `out_features × in_features`.
     weight: Matrix,
     bias: Vec<f32>,
+    policy: KernelPolicy,
+}
+
+// Manual impl: the kernel dispatch policy does not change what the layer
+// computes, so it is excluded from equality.
+impl PartialEq for Linear {
+    fn eq(&self, other: &Self) -> bool {
+        self.weight == other.weight && self.bias == other.bias
+    }
 }
 
 impl Linear {
@@ -44,7 +54,7 @@ impl Linear {
                 actual: bias.len(),
             });
         }
-        Ok(Self { weight, bias })
+        Ok(Self { weight, bias, policy: KernelPolicy::default() })
     }
 
     /// Builds a Xavier-initialised layer from a seed.
@@ -53,7 +63,7 @@ impl Linear {
         init.xavier_uniform(&mut buf, in_features, out_features);
         let weight = Matrix::from_vec(out_features, in_features, buf)
             .expect("buffer allocated with matching volume");
-        Self { weight, bias: vec![0.0; out_features] }
+        Self { weight, bias: vec![0.0; out_features], policy: KernelPolicy::default() }
     }
 
     /// Output dimensionality.
@@ -81,6 +91,19 @@ impl Linear {
         &mut self.bias
     }
 
+    /// The kernel dispatch policy currently in effect.
+    pub fn kernel_policy(&self) -> KernelPolicy {
+        self.policy
+    }
+
+    /// Selects the matmul kernel used by [`Self::forward`]: `Reference`
+    /// multiplies against an explicit weight transpose with the naive
+    /// kernel, `Blocked` runs the transpose-packed NT GEMM. Outputs are
+    /// `==`-identical either way.
+    pub fn set_kernel_policy(&mut self, policy: KernelPolicy) {
+        self.policy = policy;
+    }
+
     /// Applies the layer to a batch of row vectors.
     ///
     /// # Errors
@@ -95,7 +118,7 @@ impl Linear {
                 rhs: vec![self.out_features(), self.in_features()],
             });
         }
-        let out = x.matmul(&self.weight.transpose())?;
+        let out = x.matmul_nt_policy(&self.weight, self.policy)?;
         out.add_row_vector(&self.bias)
     }
 }
@@ -208,6 +231,20 @@ mod tests {
         let mut a = WeightInit::from_seed(13);
         let mut b = WeightInit::from_seed(13);
         assert_eq!(Linear::seeded(4, 8, &mut a), Linear::seeded(4, 8, &mut b));
+    }
+
+    #[test]
+    fn forward_is_policy_invariant() {
+        let mut init = WeightInit::from_seed(29);
+        let layer = Linear::seeded(5, 7, &mut init);
+        let x = Matrix::from_vec(9, 7, (0..63).map(|i| ((i as f32) * 0.41).sin() * 2.0).collect())
+            .unwrap();
+        let mut reference = layer.clone();
+        reference.set_kernel_policy(KernelPolicy::Reference);
+        let mut blocked = layer.clone();
+        blocked.set_kernel_policy(KernelPolicy::Blocked);
+        assert_eq!(reference.forward(&x).unwrap(), blocked.forward(&x).unwrap());
+        assert_eq!(reference, blocked, "policy must be excluded from equality");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Dense row-major 2-D tensors.
 
 use crate::error::{Result, TensorError};
+use crate::gemm::{self, KernelPolicy};
 
 /// A dense, row-major matrix of `f32` values.
 ///
@@ -191,6 +192,49 @@ impl Matrix {
             }
         }
         Ok(out)
+    }
+
+    /// Matrix product `self · other` under an explicit [`KernelPolicy`].
+    ///
+    /// `Reference` runs the naive [`Self::matmul`] loop nest, `Blocked`
+    /// the register-tiled GEMM from [`crate::gemm`]; both return
+    /// `==`-identical results for finite inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.cols() == other.rows()`.
+    pub fn matmul_policy(&self, other: &Matrix, policy: KernelPolicy) -> Result<Matrix> {
+        match policy {
+            KernelPolicy::Reference => self.matmul(other),
+            KernelPolicy::Blocked => gemm::matmul_blocked(self, other),
+        }
+    }
+
+    /// Transposed product `self · otherᵀ` — the shape the linear layers
+    /// (`y = x·Wᵀ`) and attention scores (`q·kᵀ`) consume. Equivalent to
+    /// `self.matmul(&other.transpose())` without materialising the
+    /// transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.cols() == other.cols()`.
+    pub fn matmul_nt(&self, other: &Matrix) -> Result<Matrix> {
+        self.matmul_nt_policy(other, KernelPolicy::default())
+    }
+
+    /// [`Self::matmul_nt`] under an explicit [`KernelPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.cols() == other.cols()`.
+    pub fn matmul_nt_policy(&self, other: &Matrix, policy: KernelPolicy) -> Result<Matrix> {
+        match policy {
+            KernelPolicy::Reference => self.matmul(&other.transpose()),
+            KernelPolicy::Blocked => gemm::matmul_nt_blocked(self, other),
+        }
     }
 
     /// Returns the transpose.

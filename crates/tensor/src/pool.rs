@@ -1,4 +1,10 @@
 //! Spatial pooling layers.
+//!
+//! Pooling deliberately has no [`crate::gemm`] fast path: the window
+//! reductions are already memory-bound single passes, so there is nothing
+//! for a [`crate::KernelPolicy`] to dispatch between. Full and incremental
+//! forwards share one per-cell kernel and stay bit-identical by
+//! construction.
 
 use crate::dirty::DirtyRect;
 use crate::error::{Result, TensorError};

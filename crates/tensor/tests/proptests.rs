@@ -1,8 +1,10 @@
 //! Property-based tests of the tensor primitives.
 
 use bea_tensor::activation::{softmax, softmax_rows_inplace};
+use bea_tensor::gemm::{self, ConvGeometry};
+use bea_tensor::golden;
 use bea_tensor::norm::{l1, l2, linf};
-use bea_tensor::{Conv2d, DirtyRect, FeatureMap, Matrix, WeightInit};
+use bea_tensor::{Conv2d, DirtyRect, FeatureMap, KernelPolicy, Matrix, WeightInit};
 use proptest::prelude::*;
 
 fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
@@ -44,6 +46,36 @@ fn brute_force_affected(
         }
     }
     affected
+}
+
+/// Deterministic pseudo-random feature map for kernel-equivalence props.
+fn noisy_feature_map(channels: usize, h: usize, w: usize, seed: u64) -> FeatureMap {
+    let mut init = WeightInit::from_seed(seed);
+    let mut map = FeatureMap::zeros(channels, h, w);
+    for v in map.as_mut_slice() {
+        *v = init.uniform(-3.0, 3.0);
+    }
+    map
+}
+
+/// Asserts the full im2col → GEMM → col2im round trip equals
+/// `Conv2d::forward` under the reference policy, then cross-checks the
+/// layer's own blocked dispatch through the golden harness.
+fn assert_lowering_roundtrip(conv: &Conv2d, input: &FeatureMap) {
+    let mut reference = conv.clone();
+    reference.set_kernel_policy(KernelPolicy::Reference);
+    let expected = reference.forward(input).expect("reference forward");
+    let (out_h, out_w) = conv.output_size(input.height(), input.width());
+    let (kernel_h, kernel_w) = conv.kernel_size();
+    let geometry =
+        ConvGeometry { kernel_h, kernel_w, stride: conv.stride(), padding: conv.padding() };
+    let cols = gemm::im2col(input, geometry, &DirtyRect::full(out_w, out_h));
+    let weights = Matrix::from_vec(conv.out_channels(), cols.rows(), conv.weights().to_vec())
+        .expect("weight volume matches im2col rows");
+    let scores = gemm::gemm_bias(&weights, &cols, conv.bias()).expect("conv GEMM");
+    let rebuilt = gemm::col2im(&scores, out_h, out_w).expect("col2im");
+    assert_eq!(rebuilt, expected, "im2col → GEMM → col2im must equal Conv2d::forward");
+    golden::assert_conv_golden(conv, input);
 }
 
 proptest! {
@@ -231,6 +263,69 @@ proptest! {
                 );
             }
         }
+    }
+
+    #[test]
+    fn im2col_gemm_col2im_roundtrips_conv_forward(
+        seed in 0u64..10_000,
+        oc in 1usize..=4,
+        ic in 1usize..=3,
+        kernel in 1usize..=4,
+        stride in 1usize..=3,
+        padding in 0usize..=2,
+        in_h in 4usize..=9,
+        in_w in 4usize..=9,
+    ) {
+        let mut init = WeightInit::from_seed(seed);
+        let conv = Conv2d::seeded(oc, ic, kernel, kernel, stride, padding, &mut init).unwrap();
+        let input = noisy_feature_map(ic, in_h, in_w, seed ^ 0x5eed);
+        assert_lowering_roundtrip(&conv, &input);
+    }
+
+    #[test]
+    fn degenerate_one_by_one_conv_roundtrips(
+        seed in 0u64..10_000,
+        oc in 1usize..=4,
+        ic in 1usize..=3,
+        dim in 1usize..=7,
+    ) {
+        let mut init = WeightInit::from_seed(seed);
+        let conv = Conv2d::seeded(oc, ic, 1, 1, 1, 0, &mut init).unwrap();
+        let input = noisy_feature_map(ic, dim, dim, seed ^ 0x11);
+        assert_lowering_roundtrip(&conv, &input);
+    }
+
+    #[test]
+    fn kernel_equals_image_conv_roundtrips(
+        seed in 0u64..10_000,
+        oc in 1usize..=3,
+        ic in 1usize..=3,
+        dim in 1usize..=6,
+    ) {
+        // Whole-image kernel, no padding: the output collapses to 1×1.
+        let mut init = WeightInit::from_seed(seed);
+        let conv = Conv2d::seeded(oc, ic, dim, dim, 1, 0, &mut init).unwrap();
+        let input = noisy_feature_map(ic, dim, dim, seed ^ 0x22);
+        assert_lowering_roundtrip(&conv, &input);
+    }
+
+    #[test]
+    fn blocked_matmul_is_golden_on_random_shapes(
+        seed in 0u64..10_000,
+        m in 1usize..=13,
+        kk in 1usize..=13,
+        n in 1usize..=13,
+    ) {
+        let mut init = WeightInit::from_seed(seed);
+        let mut fill = |rows: usize, cols: usize| {
+            let data = (0..rows * cols).map(|_| init.uniform(-5.0, 5.0)).collect();
+            Matrix::from_vec(rows, cols, data).unwrap()
+        };
+        let a = fill(m, kk);
+        let b = fill(kk, n);
+        let bt = fill(n, kk);
+        golden::assert_matmul_golden(&a, &b);
+        golden::assert_matmul_nt_golden(&a, &bt);
     }
 
     #[test]

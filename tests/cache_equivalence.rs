@@ -7,7 +7,7 @@
 //! pixel regime (the detect crate's `response_is_local` test pins that
 //! down), so the assertions below are strict equality, not tolerance.
 
-use bea_detect::{Architecture, CachedDetector, Detector, ModelZoo};
+use bea_detect::{Architecture, CachedDetector, Detector, KernelPolicy, ModelZoo};
 use bea_detect::{TwoStageConfig, TwoStageDetector, YoloConfig, YoloDetector};
 use bea_image::FilterMask;
 use bea_scene::SyntheticKitti;
@@ -83,6 +83,39 @@ fn cached_predictions_match_plain_on_full_evaluation_set() {
         let stats = cached.cache_stats().expect("cached models report stats");
         assert!(stats.incremental > 0, "{arch}: incremental path never exercised");
         assert!(stats.fallbacks > 0, "{arch}: full-frame fallback never exercised");
+    }
+}
+
+/// The cache × kernel-policy cross-matrix: all four combinations of
+/// {plain, cached} × {reference, blocked} produce identical predictions,
+/// clean and under every catalogue mask. The two optimisations compose
+/// without approximating.
+#[test]
+fn cache_and_kernel_policy_matrix_is_prediction_identical() {
+    let img = SyntheticKitti::evaluation_set().image(2);
+    let masks = mask_catalogue(img.width(), img.height());
+    for arch in Architecture::EXTENDED {
+        let mut outputs = Vec::new();
+        for policy in KernelPolicy::ALL {
+            let zoo = ModelZoo::with_defaults().with_kernel_policy(policy);
+            for cached in [false, true] {
+                let model = if cached { zoo.cached_model(arch, 2) } else { zoo.model(arch, 2) };
+                let mut cell = vec![model.detect(&img)];
+                for (_, mask) in &masks {
+                    cell.push(model.detect_masked(&img, mask));
+                }
+                outputs.push((policy, cached, cell));
+            }
+        }
+        let baseline = &outputs[0];
+        for (policy, cached, cell) in &outputs[1..] {
+            assert_eq!(
+                cell, &baseline.2,
+                "{arch}: ({policy}, cached={cached}) diverges from \
+                 ({}, cached={})",
+                baseline.0, baseline.1
+            );
+        }
     }
 }
 

@@ -1,0 +1,83 @@
+//! Full-zoo golden suite: predictions are kernel-policy-invariant.
+//!
+//! The blocked GEMM/im2col kernels preserve each output element's
+//! summation order, so they are an optimisation, not an approximation —
+//! mirroring `cache_equivalence.rs`, every assertion here is strict
+//! equality, not tolerance. For every zoo architecture and every scene of
+//! the fixed evaluation set, the clean prediction under
+//! [`KernelPolicy::Reference`] must equal the one under
+//! [`KernelPolicy::Blocked`], both structurally and in serialized form.
+
+use bea_detect::{Architecture, KernelPolicy, ModelZoo};
+use bea_image::FilterMask;
+use bea_scene::SyntheticKitti;
+
+/// The acceptance gate: clean predictions for every zoo architecture on
+/// the full evaluation set are identical under both kernel policies.
+#[test]
+fn full_zoo_clean_predictions_match_across_policies() {
+    let data = SyntheticKitti::evaluation_set();
+    let reference = ModelZoo::with_defaults().with_kernel_policy(KernelPolicy::Reference);
+    let blocked = ModelZoo::with_defaults().with_kernel_policy(KernelPolicy::Blocked);
+    for arch in Architecture::EXTENDED {
+        let slow = reference.model(arch, 1);
+        let fast = blocked.model(arch, 1);
+        for index in 0..data.len() {
+            let img = data.image(index);
+            let expected = slow.detect(&img);
+            let got = fast.detect(&img);
+            assert_eq!(
+                expected, got,
+                "{arch} clean prediction diverges across kernel policies on image {index}"
+            );
+            // The golden snapshot check: the *rendered* predictions match
+            // too, so any report built from them is byte-identical.
+            assert_eq!(
+                format!("{expected:?}"),
+                format!("{got:?}"),
+                "{arch} serialized prediction diverges on image {index}"
+            );
+        }
+    }
+}
+
+/// DETR is the only architecture whose forward pass actually dispatches
+/// on the policy, so its invariance is checked across several model
+/// seeds, not just one.
+#[test]
+fn detr_family_is_policy_invariant_across_seeds() {
+    let data = SyntheticKitti::evaluation_set();
+    let reference = ModelZoo::with_defaults().with_kernel_policy(KernelPolicy::Reference);
+    let blocked = ModelZoo::with_defaults().with_kernel_policy(KernelPolicy::Blocked);
+    let img = data.image(0);
+    for seed in 1..=4 {
+        assert_eq!(
+            reference.model(Architecture::Detr, seed).detect(&img),
+            blocked.model(Architecture::Detr, seed).detect(&img),
+            "DETR seed {seed} prediction depends on the kernel policy"
+        );
+    }
+}
+
+/// Masked (attacked) predictions are policy-invariant too — the path the
+/// attack actually exercises.
+#[test]
+fn masked_predictions_match_across_policies() {
+    let img = SyntheticKitti::evaluation_set().image(5);
+    let mut mask = FilterMask::zeros(img.width(), img.height());
+    for y in 6..14 {
+        for x in (img.width() / 2 + 2)..(img.width() / 2 + 14) {
+            mask.set(0, y, x, 90);
+            mask.set(2, y, x, -60);
+        }
+    }
+    let reference = ModelZoo::with_defaults().with_kernel_policy(KernelPolicy::Reference);
+    let blocked = ModelZoo::with_defaults().with_kernel_policy(KernelPolicy::Blocked);
+    for arch in Architecture::EXTENDED {
+        assert_eq!(
+            reference.model(arch, 2).detect_masked(&img, &mask),
+            blocked.model(arch, 2).detect_masked(&img, &mask),
+            "{arch} masked prediction depends on the kernel policy"
+        );
+    }
+}
