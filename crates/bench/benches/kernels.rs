@@ -11,10 +11,21 @@
 //! * `--quick` shrinks the repetition count for smoke runs,
 //! * `--check` exits non-zero when the blocked convolution is not faster
 //!   than the reference one on the medium shape (the CI regression gate),
-//! * `--out PATH` writes the timing records as JSON.
+//! * `--out PATH` upserts the timing records into the keyed run log (one
+//!   run per `--quick` value; see `support/runlog.rs`), so a quick CI run
+//!   never clobbers a full-run baseline.
 //!
 //! Every case first asserts that the two policies produce `==`-identical
-//! outputs, so the numbers always compare *equivalent* kernels.
+//! outputs, so the numbers always compare *equivalent* kernels. Each case
+//! also records `allocs_per_forward` — heap allocations during one warmed
+//! blocked-kernel forward, counted by a `#[global_allocator]` wrapper —
+//! which is 0 for every kernel shape now that weights are pre-packed and
+//! intermediates come from the scratch arenas.
+
+#[path = "support/alloc_counter.rs"]
+mod alloc_counter;
+#[path = "support/runlog.rs"]
+mod runlog;
 
 use bea_core::telemetry::JsonObject;
 use bea_tensor::{Conv2d, FeatureMap, KernelPolicy, Matrix, WeightInit};
@@ -22,11 +33,16 @@ use std::hint::black_box;
 use std::process::ExitCode;
 use std::time::Instant;
 
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator::new();
+
 /// One reference-vs-blocked measurement.
 struct Case {
     name: &'static str,
     reference_ms: f64,
     blocked_ms: f64,
+    /// Heap allocations in one warmed blocked-kernel forward.
+    allocs_per_forward: u64,
 }
 
 impl Case {
@@ -40,8 +56,18 @@ impl Case {
             .float("reference_ms", self.reference_ms)
             .float("blocked_ms", self.blocked_ms)
             .float("speedup", self.speedup())
+            .integer("allocs_per_forward", self.allocs_per_forward)
             .finish()
     }
+}
+
+/// Allocations across one call of `f`, which must already be warm (the
+/// timing loops double as warm-up, so the scratch pools hold every buffer
+/// the call needs).
+fn allocs_in<R, F: FnMut() -> R>(mut f: F) -> u64 {
+    let before = ALLOC.snapshot();
+    let _ = black_box(f());
+    ALLOC.snapshot().since(&before).allocations
 }
 
 /// Best-of-`reps` wall time for one closure, in milliseconds.
@@ -105,11 +131,10 @@ fn conv_case(shape: ConvShape, reps: usize) -> Case {
         "{name}: policies must agree before timing"
     );
 
-    Case {
-        name,
-        reference_ms: time_ms(reps, || reference.forward(black_box(&input)).unwrap()),
-        blocked_ms: time_ms(reps, || blocked.forward(black_box(&input)).unwrap()),
-    }
+    let reference_ms = time_ms(reps, || reference.forward(black_box(&input)).unwrap());
+    let blocked_ms = time_ms(reps, || blocked.forward(black_box(&input)).unwrap());
+    let allocs_per_forward = allocs_in(|| blocked.forward(black_box(&input)).unwrap());
+    Case { name, reference_ms, blocked_ms, allocs_per_forward }
 }
 
 /// DETR's matrix hot shapes: encoder feed-forward (NN), attention
@@ -127,15 +152,15 @@ fn matmul_cases(reps: usize) -> Vec<Case> {
             a.matmul_policy(b, KernelPolicy::Blocked).unwrap(),
             "{name}: policies must agree before timing"
         );
-        Case {
-            name,
-            reference_ms: time_ms(reps, || {
-                black_box(a).matmul_policy(black_box(b), KernelPolicy::Reference).unwrap()
-            }),
-            blocked_ms: time_ms(reps, || {
-                black_box(a).matmul_policy(black_box(b), KernelPolicy::Blocked).unwrap()
-            }),
-        }
+        let reference_ms = time_ms(reps, || {
+            black_box(a).matmul_policy(black_box(b), KernelPolicy::Reference).unwrap()
+        });
+        let blocked_ms = time_ms(reps, || {
+            black_box(a).matmul_policy(black_box(b), KernelPolicy::Blocked).unwrap()
+        });
+        let allocs_per_forward =
+            allocs_in(|| black_box(a).matmul_policy(black_box(b), KernelPolicy::Blocked).unwrap());
+        Case { name, reference_ms, blocked_ms, allocs_per_forward }
     };
 
     assert_eq!(
@@ -143,14 +168,20 @@ fn matmul_cases(reps: usize) -> Vec<Case> {
         tokens.matmul_nt_policy(&keys, KernelPolicy::Blocked).unwrap(),
         "matmul_nt_qk: policies must agree before timing"
     );
+    let nt_reference_ms = time_ms(reps, || {
+        black_box(&tokens).matmul_nt_policy(black_box(&keys), KernelPolicy::Reference).unwrap()
+    });
+    let nt_blocked_ms = time_ms(reps, || {
+        black_box(&tokens).matmul_nt_policy(black_box(&keys), KernelPolicy::Blocked).unwrap()
+    });
+    let nt_allocs = allocs_in(|| {
+        black_box(&tokens).matmul_nt_policy(black_box(&keys), KernelPolicy::Blocked).unwrap()
+    });
     let nt = Case {
         name: "matmul_nt_qk",
-        reference_ms: time_ms(reps, || {
-            black_box(&tokens).matmul_nt_policy(black_box(&keys), KernelPolicy::Reference).unwrap()
-        }),
-        blocked_ms: time_ms(reps, || {
-            black_box(&tokens).matmul_nt_policy(black_box(&keys), KernelPolicy::Blocked).unwrap()
-        }),
+        reference_ms: nt_reference_ms,
+        blocked_ms: nt_blocked_ms,
+        allocs_per_forward: nt_allocs,
     };
 
     vec![
@@ -181,7 +212,7 @@ fn parse_args() -> Result<Options, String> {
                             --quick reduces repetitions for smoke runs\n\
                             --check exits 1 if blocked conv is not faster than \
                             reference on the medium shape\n\
-                            --out writes the timings as JSON"
+                            --out upserts the timings into the keyed run log"
                     .into())
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
@@ -203,30 +234,33 @@ fn main() -> ExitCode {
     let mut cases: Vec<Case> = CONV_SHAPES.iter().map(|&s| conv_case(s, reps)).collect();
     cases.extend(matmul_cases(reps));
 
-    println!("{:<20} {:>14} {:>12} {:>9}", "case", "reference_ms", "blocked_ms", "speedup");
+    println!(
+        "{:<20} {:>14} {:>12} {:>9} {:>20}",
+        "case", "reference_ms", "blocked_ms", "speedup", "allocs_per_forward"
+    );
     for case in &cases {
         println!(
-            "{:<20} {:>14.4} {:>12.4} {:>8.2}x",
+            "{:<20} {:>14.4} {:>12.4} {:>8.2}x {:>20}",
             case.name,
             case.reference_ms,
             case.blocked_ms,
-            case.speedup()
+            case.speedup(),
+            case.allocs_per_forward
         );
     }
 
     if let Some(path) = &options.out {
         let rendered: Vec<String> = cases.iter().map(Case::json).collect();
-        let body = JsonObject::new()
-            .string("bench", "kernels")
+        let run = JsonObject::new()
             .boolean("quick", options.quick)
             .integer("reps", reps as u64)
             .raw("cases", &format!("[{}]", rendered.join(",")))
             .finish();
-        if let Err(e) = std::fs::write(path, body + "\n") {
-            eprintln!("failed to write {path}: {e}");
+        if let Err(e) = runlog::merge_keyed_run(path, "kernels", &run) {
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
-        println!("wrote {path}");
+        println!("merged into {path}");
     }
 
     if options.check {

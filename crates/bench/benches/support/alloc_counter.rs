@@ -1,0 +1,109 @@
+//! A counting wrapper around the system allocator for the allocation
+//! gates.
+//!
+//! The `bea-bench` *library* forbids `unsafe`, and implementing
+//! `GlobalAlloc` is irreducibly unsafe — so this module lives under the
+//! `harness = false` bench binaries instead, pulled in with a `#[path]`
+//! module declaration. Each bench that wants accounting installs the
+//! counter as its `#[global_allocator]`:
+//!
+//! ```ignore
+//! #[path = "support/alloc_counter.rs"]
+//! mod alloc_counter;
+//!
+//! #[global_allocator]
+//! static ALLOC: alloc_counter::CountingAllocator =
+//!     alloc_counter::CountingAllocator::new();
+//! ```
+//!
+//! Counters are process-wide relaxed atomics: cheap enough to leave on for
+//! the whole bench run, precise enough for the steady-state gate, which
+//! asserts an exact *zero* over the measured window. `realloc` counts as
+//! an allocation (growing a buffer is precisely the event the scratch
+//! arenas exist to eliminate); `dealloc` is not counted — frees of
+//! warm-up-era buffers inside the measured window are not regressions.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Allocation counters accumulated since process start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Number of `alloc` / `alloc_zeroed` / `realloc` calls.
+    pub allocations: u64,
+    /// Total bytes requested by those calls.
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// The activity between `earlier` and `self`.
+    pub fn since(&self, earlier: &AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocations: self.allocations.saturating_sub(earlier.allocations),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+}
+
+/// The counting allocator; delegates every operation to [`System`].
+pub struct CountingAllocator {
+    allocations: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl CountingAllocator {
+    /// A zeroed counter (const so it can be a `static`).
+    pub const fn new() -> Self {
+        Self { allocations: AtomicU64::new(0), bytes: AtomicU64::new(0) }
+    }
+
+    /// Reads both counters.
+    pub fn snapshot(&self) -> AllocSnapshot {
+        AllocSnapshot {
+            allocations: self.allocations.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn count(&self, bytes: usize) {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: every method delegates directly to `System`, which upholds the
+// `GlobalAlloc` contract; the counter updates are side-effect-only.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.count(layout.size());
+        // SAFETY: forwarded verbatim; caller upholds the layout contract.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.count(layout.size());
+        // SAFETY: forwarded verbatim; caller upholds the layout contract.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded verbatim; caller guarantees `ptr` came from
+        // this allocator with this layout.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.count(new_size);
+        // SAFETY: forwarded verbatim; caller guarantees `ptr` came from
+        // this allocator with this layout.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}

@@ -309,6 +309,11 @@ impl Problem for ButterflyProblem<'_> {
                 // The cached path never materialises the perturbed image
                 // for detection; it is still built lazily when the feature
                 // objective (which reads perturbed pixels) is enabled.
+                // Either way the pixel buffer comes from the per-thread
+                // scratch arena (`Image::clone` is pool-backed) and
+                // recycles when `perturbed_lazy` drops, so a generation of
+                // evaluations reuses one buffer instead of cloning the
+                // base image through the allocator per genome.
                 let mut perturbed_lazy: Option<Image> = None;
                 let make_perturbed = || {
                     if identity_brightness {
@@ -568,6 +573,25 @@ mod tests {
         let _ = problem.evaluate(&mask);
         let stats = problem.cache_stats().expect("stats present");
         assert_eq!(stats.incremental, 1, "only the identity placement is incremental");
+    }
+
+    #[test]
+    fn second_evaluation_reuses_pooled_buffers() {
+        // The per-thread scratch arena converges after one evaluation: a
+        // second, identical evaluation must be served entirely from
+        // recycled buffers (no pool growth).
+        let img = SyntheticKitti::smoke_set().image(0);
+        let yolo = YoloDetector::new(YoloConfig::with_seed(1));
+        let problem = ButterflyProblem::single(&yolo, &img, 2.0, RegionConstraint::Full);
+        let mut mask = FilterMask::zeros(img.width(), img.height());
+        mask.set(0, 5, 9, 90);
+        let first = problem.evaluate(&mask);
+        let warm = bea_tensor::scratch::thread_stats();
+        let second = problem.evaluate(&mask);
+        let delta = bea_tensor::scratch::thread_stats().since(&warm);
+        assert_eq!(first, second, "evaluation must be deterministic");
+        assert_eq!(delta.misses, 0, "steady-state evaluation must not grow the pool");
+        assert!(delta.hits > 0, "pooled buffers must actually be reused");
     }
 
     #[test]

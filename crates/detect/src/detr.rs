@@ -18,12 +18,15 @@ use crate::nms;
 use crate::peaks::{measure_span, Peak};
 use crate::response::ResponseField;
 use crate::templates::{TemplateBank, BACKBONE_SCALE};
-use crate::transformer::{grid_positional_encoding, positional_encoding, EncoderBlock};
+use crate::transformer::{grid_positional_encoding, positional_encoding_into, EncoderBlock};
 use crate::types::{Detection, Prediction};
 use bea_image::Image;
 use bea_scene::{BBox, ObjectClass};
 use bea_tensor::activation::softmax_inplace;
-use bea_tensor::{DirtyRect, FeatureMap, KernelPolicy, Linear, Matrix, WeightInit};
+use bea_tensor::{
+    insertion_sort_by, DirtyRect, FeatureMap, KernelPolicy, Linear, Matrix, ScratchGuard,
+    WeightInit,
+};
 
 /// Configuration of a [`DetrDetector`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -274,8 +277,13 @@ impl DetrDetector {
         // Background suppression: subtract the per-class median (the
         // untrained stand-in for DETR's learned no-object bias).
         for c in 0..classes {
-            let mut column: Vec<f32> = (0..scores.rows()).map(|t| scores.at(t, c)).collect();
-            column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            // Pooled column buffer + allocation-free stable sort (std's
+            // sort_by allocates a merge buffer above ~20 elements).
+            let mut column: ScratchGuard<f32> = ScratchGuard::with_pooled_capacity(scores.rows());
+            column.extend((0..scores.rows()).map(|t| scores.at(t, c)));
+            insertion_sort_by(&mut column, |a, b| {
+                a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+            });
             let median = column[column.len() / 2];
             for t in 0..scores.rows() {
                 let v = scores.at(t, c) - median;
@@ -301,10 +309,13 @@ impl DetrDetector {
         threshold: f32,
     ) -> Prediction {
         let classes = ObjectClass::COUNT;
-        // Salience per token drives the content term of the attention.
-        let salience: Vec<f32> = (0..scores.rows())
-            .map(|t| (0..classes).map(|c| scores.at(t, c)).fold(f32::NEG_INFINITY, f32::max))
-            .collect();
+        // Salience per token drives the content term of the attention
+        // (pooled: rebuilt once per decode on the attack hot path).
+        let mut salience: ScratchGuard<f32> = ScratchGuard::with_pooled_capacity(scores.rows());
+        salience.extend(
+            (0..scores.rows())
+                .map(|t| (0..classes).map(|c| scores.at(t, c)).fold(f32::NEG_INFINITY, f32::max)),
+        );
         let dim = self.config.model_dim;
         let pos = grid_positional_encoding(gw, gh, dim);
         let mut raw = Prediction::new();
@@ -339,14 +350,15 @@ impl DetrDetector {
         threshold: f32,
     ) -> Option<Detection> {
         let dim = self.config.model_dim;
-        let anchor = positional_encoding(ax as f32, ay as f32, dim);
+        let mut anchor: ScratchGuard<f32> = ScratchGuard::with_pooled_capacity(dim);
+        anchor.resize(dim, 0.0);
+        positional_encoding_into(ax as f32, ay as f32, &mut anchor);
         // Cross-attention logits: positional alignment + content salience.
-        let mut logits: Vec<f32> = (0..scores.rows())
-            .map(|t| {
-                let align: f32 = anchor.iter().zip(pos.row(t)).map(|(a, p)| a * p).sum();
-                self.config.pos_beta * align + self.config.cont_beta * salience[t].max(0.0) * 4.0
-            })
-            .collect();
+        let mut logits: ScratchGuard<f32> = ScratchGuard::with_pooled_capacity(scores.rows());
+        logits.extend((0..scores.rows()).map(|t| {
+            let align: f32 = anchor.iter().zip(pos.row(t)).map(|(a, p)| a * p).sum();
+            self.config.pos_beta * align + self.config.cont_beta * salience[t].max(0.0) * 4.0
+        }));
         softmax_inplace(&mut logits);
         // Attended position = expectation of token coordinates.
         let (mut px, mut py) = (0.0f32, 0.0f32);
@@ -416,7 +428,8 @@ impl DetrDetector {
             return None;
         }
         let (ww, wh) = (cx1 - cx0, cy1 - cy0);
-        let mut window = vec![0.0f32; ww * wh];
+        let mut window: ScratchGuard<f32> = ScratchGuard::with_pooled_capacity(ww * wh);
+        window.resize(ww * wh, 0.0);
         let mut best_cell: Option<Peak> = None;
         for y in 0..wh {
             for x in 0..ww {

@@ -12,6 +12,7 @@ use crate::nms;
 use crate::types::{Detection, Prediction};
 use bea_image::{FilterMask, Image};
 use bea_scene::BBox;
+use bea_tensor::{insertion_sort_by, PoolVec, ScratchGuard};
 
 /// An ensemble of detectors with consensus fusion.
 ///
@@ -69,15 +70,20 @@ impl Ensemble {
     }
 
     /// Per-member predictions for one image (the attack objective needs
-    /// each `f^k(img)` separately).
-    pub fn member_predictions(&self, img: &Image) -> Vec<Prediction> {
+    /// each `f^k(img)` separately). The returned buffer is pooled — it
+    /// derefs to a `Vec<Prediction>` and recycles on drop.
+    pub fn member_predictions(&self, img: &Image) -> PoolVec<Prediction> {
         self.members.iter().map(|m| m.detect(img)).collect()
     }
 
     /// Per-member predictions on `clean` perturbed by `mask`, routed
     /// through each member's [`Detector::detect_masked`] so cache-aware
     /// members take their incremental path.
-    pub fn member_predictions_masked(&self, clean: &Image, mask: &FilterMask) -> Vec<Prediction> {
+    pub fn member_predictions_masked(
+        &self,
+        clean: &Image,
+        mask: &FilterMask,
+    ) -> PoolVec<Prediction> {
         self.members.iter().map(|m| m.detect_masked(clean, mask)).collect()
     }
 
@@ -85,21 +91,32 @@ impl Ensemble {
     /// clustered by class and IoU; a cluster supported by at least
     /// `quorum · K` members becomes one fused detection whose box is the
     /// support-weighted mean.
-    fn fuse(&self, predictions: Vec<Prediction>) -> Prediction {
-        let all: Vec<Detection> = predictions.into_iter().flat_map(Prediction::into_vec).collect();
-        let mut used = vec![false; all.len()];
+    fn fuse(&self, predictions: &[Prediction]) -> Prediction {
+        // Copy detections out of the members' predictions instead of
+        // draining them via `into_vec`, which would release each member's
+        // buffer from the scratch pool; all temporaries below are pooled.
+        let total: usize = predictions.iter().map(Prediction::len).sum();
+        let mut all: ScratchGuard<Detection> = ScratchGuard::with_pooled_capacity(total);
+        for pred in predictions {
+            all.extend_from_slice(pred.as_slice());
+        }
+        let mut used: ScratchGuard<bool> = ScratchGuard::with_pooled_capacity(all.len());
+        used.resize(all.len(), false);
         let mut fused = Prediction::new();
         let needed = (self.quorum * self.members.len() as f32).ceil().max(1.0) as usize;
         // Seed clusters from the highest-scoring unused detection.
-        let mut order: Vec<usize> = (0..all.len()).collect();
-        order.sort_by(|&a, &b| {
+        let mut order: ScratchGuard<usize> = ScratchGuard::with_pooled_capacity(all.len());
+        order.extend(0..all.len());
+        insertion_sort_by(&mut order, |&a, &b| {
             all[b].score.partial_cmp(&all[a].score).unwrap_or(std::cmp::Ordering::Equal)
         });
-        for &seed in &order {
+        let mut cluster: ScratchGuard<usize> = ScratchGuard::with_pooled_capacity(all.len().max(1));
+        for &seed in order.iter() {
             if used[seed] {
                 continue;
             }
-            let mut cluster = vec![seed];
+            cluster.clear();
+            cluster.push(seed);
             for (i, det) in all.iter().enumerate() {
                 if i != seed
                     && !used[i]
@@ -142,7 +159,7 @@ impl Ensemble {
 impl Detector for Ensemble {
     /// Consensus fusion of the members' predictions (see [`Ensemble::fuse`]).
     fn detect(&self, img: &Image) -> Prediction {
-        self.fuse(self.member_predictions(img))
+        self.fuse(&self.member_predictions(img))
     }
 
     fn name(&self) -> &str {
@@ -152,7 +169,7 @@ impl Detector for Ensemble {
     /// Fuses the members' masked predictions, so cache-aware members take
     /// their dirty-region incremental path.
     fn detect_masked(&self, clean: &Image, mask: &FilterMask) -> Prediction {
-        self.fuse(self.member_predictions_masked(clean, mask))
+        self.fuse(&self.member_predictions_masked(clean, mask))
     }
 
     /// The sum of the members' cache counters, or `None` when no member

@@ -1,6 +1,6 @@
 //! Greedy non-maximum suppression.
 
-use crate::types::{Detection, Prediction};
+use crate::types::Prediction;
 
 /// Greedy class-wise non-maximum suppression.
 ///
@@ -25,15 +25,18 @@ use crate::types::{Detection, Prediction};
 pub fn suppress(prediction: Prediction, iou_threshold: f32) -> Prediction {
     let mut sorted = prediction;
     sorted.sort_by_score();
-    let mut kept: Vec<Detection> = Vec::new();
-    for det in sorted.into_vec() {
+    // Copy survivors into a pooled prediction instead of draining via
+    // `into_vec`, which would release the input buffer from the scratch
+    // pool on every call of the hot path.
+    let mut kept = Prediction::new();
+    for &det in sorted.iter() {
         let overlapped =
             kept.iter().any(|k| k.class == det.class && k.bbox.iou(&det.bbox) > iou_threshold);
         if !overlapped {
             kept.push(det);
         }
     }
-    Prediction::from_detections(kept)
+    kept
 }
 
 /// Class-agnostic variant: suppression ignores class labels.
@@ -43,19 +46,20 @@ pub fn suppress(prediction: Prediction, iou_threshold: f32) -> Prediction {
 pub fn suppress_class_agnostic(prediction: Prediction, iou_threshold: f32) -> Prediction {
     let mut sorted = prediction;
     sorted.sort_by_score();
-    let mut kept: Vec<Detection> = Vec::new();
-    for det in sorted.into_vec() {
+    let mut kept = Prediction::new();
+    for &det in sorted.iter() {
         let overlapped = kept.iter().any(|k| k.bbox.iou(&det.bbox) > iou_threshold);
         if !overlapped {
             kept.push(det);
         }
     }
-    Prediction::from_detections(kept)
+    kept
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::Detection;
     use bea_scene::{BBox, ObjectClass};
 
     fn det(class: ObjectClass, cx: f32, score: f32) -> Detection {

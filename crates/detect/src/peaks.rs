@@ -7,6 +7,8 @@
 //! deforms the field changes the predicted box size — the "bounding box
 //! changes its size" degradation mode the paper reports (Section V-B).
 
+use bea_tensor::{insertion_sort_by, ScratchGuard};
+
 /// A local maximum of a score plane.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Peak {
@@ -23,9 +25,17 @@ pub struct Peak {
 ///
 /// A cell is a peak when it is ≥ all 8 neighbours; plateau cells keep only
 /// the first (top-left) representative to avoid duplicate boxes.
-pub fn find_peaks(plane: &[f32], width: usize, height: usize, threshold: f32) -> Vec<Peak> {
+///
+/// Returns a pooled buffer (hot-path callers iterate by reference so the
+/// storage recycles; the guard derefs to a `Vec<Peak>`).
+pub fn find_peaks(
+    plane: &[f32],
+    width: usize,
+    height: usize,
+    threshold: f32,
+) -> ScratchGuard<Peak> {
     debug_assert_eq!(plane.len(), width * height);
-    let mut peaks = Vec::new();
+    let mut peaks: ScratchGuard<Peak> = ScratchGuard::with_pooled_capacity(32);
     for y in 0..height {
         for x in 0..width {
             let v = plane[y * width + x];
@@ -60,7 +70,9 @@ pub fn find_peaks(plane: &[f32], width: usize, height: usize, threshold: f32) ->
             }
         }
     }
-    peaks.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap_or(std::cmp::Ordering::Equal));
+    insertion_sort_by(&mut peaks, |a, b| {
+        b.value.partial_cmp(&a.value).unwrap_or(std::cmp::Ordering::Equal)
+    });
     peaks
 }
 

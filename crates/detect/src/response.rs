@@ -14,7 +14,7 @@
 use crate::templates::{ClassTemplate, TemplateBank, BACKBONE_SCALE};
 use bea_image::Image;
 use bea_scene::ObjectClass;
-use bea_tensor::{DirtyRect, FeatureMap};
+use bea_tensor::{DirtyRect, FeatureMap, PoolVec};
 
 /// Per-class response maps at backbone resolution.
 ///
@@ -144,8 +144,10 @@ impl ResponseField {
 /// normalise patches in O(1) per position.
 struct Sat {
     width: usize,
-    sum: Vec<f64>,
-    sum_sq: Vec<f64>,
+    // Pooled: a fresh Sat is built per forward pass (and per incremental
+    // window), so its tables recycle through the scratch arena.
+    sum: PoolVec<f64>,
+    sum_sq: PoolVec<f64>,
 }
 
 impl Sat {
@@ -153,8 +155,8 @@ impl Sat {
         let (h, w) = (map.height(), map.width());
         // One extra row/column of zeros simplifies rectangle queries.
         let stride = w + 1;
-        let mut sum = vec![0.0f64; (h + 1) * stride];
-        let mut sum_sq = vec![0.0f64; (h + 1) * stride];
+        let mut sum = PoolVec::filled((h + 1) * stride, 0.0f64);
+        let mut sum_sq = PoolVec::filled((h + 1) * stride, 0.0f64);
         for y in 0..h {
             for x in 0..w {
                 let mut s = 0.0f64;

@@ -24,6 +24,17 @@ use bea_tensor::{KernelPolicy, Linear, Matrix, MultiHeadAttention, Result, Weigh
 /// ```
 pub fn positional_encoding(x: f32, y: f32, dim: usize) -> Vec<f32> {
     let mut out = vec![0.0; dim];
+    positional_encoding_into(x, y, &mut out);
+    out
+}
+
+/// Writes the sinusoidal encoding of `(x, y)` into a caller-provided
+/// buffer (length = embedding dimension), enabling allocation-free reuse
+/// on the decode hot path. The whole buffer is overwritten — including the
+/// trailing element an odd dimension leaves outside the sin/cos pairs.
+pub fn positional_encoding_into(x: f32, y: f32, out: &mut [f32]) {
+    out.fill(0.0);
+    let dim = out.len();
     let half = dim / 2;
     let quarter = (half / 2).max(1);
     for k in 0..half {
@@ -32,7 +43,6 @@ pub fn positional_encoding(x: f32, y: f32, dim: usize) -> Vec<f32> {
         out[2 * k] = (coord * freq).sin();
         out[2 * k + 1] = (coord * freq).cos();
     }
-    out
 }
 
 /// Builds the positional-encoding matrix for a `grid_w × grid_h` token grid
@@ -41,8 +51,8 @@ pub fn grid_positional_encoding(grid_w: usize, grid_h: usize, dim: usize) -> Mat
     let mut out = Matrix::zeros(grid_w * grid_h, dim);
     for gy in 0..grid_h {
         for gx in 0..grid_w {
-            let enc = positional_encoding(gx as f32, gy as f32, dim);
-            out.row_mut(gy * grid_w + gx).copy_from_slice(&enc);
+            // Encode straight into the row — no per-token temporary.
+            positional_encoding_into(gx as f32, gy as f32, out.row_mut(gy * grid_w + gx));
         }
     }
     out

@@ -117,8 +117,9 @@ impl TwoStageDetector {
         let (w, h) = (objectness.width(), objectness.height());
         let plane = objectness.channel(0);
         let mut raw = Prediction::new();
-        // Stage 1: propose regions from objectness peaks.
-        for peak in find_peaks(plane, w, h, self.config.proposal_threshold) {
+        // Stage 1: propose regions from objectness peaks. Iterate by
+        // reference so the pooled peak buffer recycles on drop.
+        for &peak in find_peaks(plane, w, h, self.config.proposal_threshold).iter() {
             // Stage 2: classify the proposal from the class responses at
             // the proposal's own location (ROI evidence only).
             let (mut best_class, mut best_score) = (ObjectClass::Car, f32::NEG_INFINITY);

@@ -1,6 +1,7 @@
 //! Detections and predictions.
 
 use bea_scene::{BBox, ObjectClass};
+use bea_tensor::{insertion_sort_by, PoolVec};
 use std::fmt;
 
 /// One valid bounding-box prediction `B = (cl, x, y, l, w)` with a
@@ -61,18 +62,22 @@ impl fmt::Display for Detection {
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Prediction {
-    detections: Vec<Detection>,
+    // Pooled storage (bea-tensor's scratch arena): predictions are built
+    // and dropped once per forward pass on the attack hot path, so their
+    // buffers recycle instead of hitting the allocator.
+    detections: PoolVec<Detection>,
 }
 
 impl Prediction {
-    /// Creates an empty prediction.
+    /// Creates an empty prediction with a small pooled buffer ready for
+    /// pushes (detectors rarely emit more than a handful of boxes).
     pub fn new() -> Self {
-        Self::default()
+        Self { detections: PoolVec::with_pooled_capacity(8) }
     }
 
     /// Creates a prediction from a vector of detections.
     pub fn from_detections(detections: Vec<Detection>) -> Self {
-        Self { detections }
+        Self { detections: PoolVec::from_vec(detections) }
     }
 
     /// Appends a detection.
@@ -100,9 +105,10 @@ impl Prediction {
         &self.detections
     }
 
-    /// Consumes the prediction and returns the detections.
+    /// Consumes the prediction and returns the detections, releasing the
+    /// buffer from the scratch-pool cycle.
     pub fn into_vec(self) -> Vec<Detection> {
-        self.detections
+        self.detections.into_vec()
     }
 
     /// Iterator over the detections of one class.
@@ -134,9 +140,10 @@ impl Prediction {
     /// so the order is a strict total order — deterministic NMS even if a
     /// detector ever emits a non-finite score (`partial_cmp` would treat
     /// NaN as equal to everything, leaving the order
-    /// implementation-defined).
+    /// implementation-defined). The allocation-free stable insertion sort
+    /// produces the identical permutation `slice::sort_by` would.
     pub fn sort_by_score(&mut self) {
-        self.detections.sort_by(|a, b| b.score.total_cmp(&a.score));
+        insertion_sort_by(self.detections.as_mut_slice(), |a, b| b.score.total_cmp(&a.score));
     }
 }
 

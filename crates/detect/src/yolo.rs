@@ -128,9 +128,12 @@ impl YoloDetector {
         // Global context: average positive response per class (the SPPF-like
         // global pooling pathway).
         let plane_len = (map.height() * map.width()).max(1) as f32;
-        let context: Vec<f32> = (0..c)
-            .map(|ci| map.channel(ci).iter().map(|v| v.max(0.0)).sum::<f32>() / plane_len)
-            .collect();
+        // Fixed-size context vector: the class count is a compile-time
+        // constant, so the hot path need not allocate for it.
+        let mut context = [0.0f32; ObjectClass::COUNT];
+        for (ci, ctx) in context.iter_mut().enumerate() {
+            *ctx = map.channel(ci).iter().map(|v| v.max(0.0)).sum::<f32>() / plane_len;
+        }
         for ci in 0..c {
             let drive: f32 = (0..c).map(|k| self.ctx_weights[ci * c + k] * context[k]).sum();
             let gain = 1.0 + self.config.context_gain * drive.tanh();
@@ -152,7 +155,9 @@ impl YoloDetector {
             let plane = map.channel(class.index());
             let template = self.bank.template(class);
             let reach = (template.width().max(template.height())) * 2;
-            for peak in find_peaks(plane, w, h, threshold) {
+            // Iterate by reference: consuming the guard by value would
+            // escape the pooled peak buffer instead of recycling it.
+            for &peak in find_peaks(plane, w, h, threshold).iter() {
                 let span = measure_span(plane, w, h, peak, self.config.span_frac, reach);
                 let (nominal_len, nominal_wid) = template.nominal_box();
                 let (expected_x, expected_y) = template.expected_span();

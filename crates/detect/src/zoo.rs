@@ -105,6 +105,12 @@ impl ModelZoo {
 
     /// Builds the model of `architecture` with the given seed.
     ///
+    /// Models are ready for steady-state inference the moment they are
+    /// returned: every `Linear` and attention projection pre-packs its
+    /// weight matrix into the blocked-GEMM tile layout at construction
+    /// (see `bea_tensor::PackedWeights`), so no forward pass ever packs —
+    /// or allocates — on the hot path.
+    ///
     /// # Panics
     ///
     /// Panics if the DETR base configuration is invalid (head count not

@@ -3,6 +3,7 @@
 use crate::error::{ImageError, Result};
 use crate::image::Image;
 use bea_tensor::norm::NormKind;
+use bea_tensor::PoolVec;
 
 /// A signed per-pixel, per-channel perturbation δ.
 ///
@@ -172,15 +173,18 @@ impl FilterMask {
     /// Evaluates a norm over the flat gene values; [`NormKind::L2`] is the
     /// paper's `obj_intensity(δ) = ‖δ‖₂`.
     pub fn norm(&self, kind: NormKind) -> f64 {
-        let floats: Vec<f32> = self.values.iter().map(|&v| v as f32).collect();
+        // Pooled staging buffer: norms are evaluated once per genome per
+        // generation on the attack hot path.
+        let mut floats: PoolVec<f32> = PoolVec::with_pooled_capacity(self.values.len());
+        floats.extend(self.values.iter().map(|&v| v as f32));
         kind.eval(&floats)
     }
 
     /// Per-pixel maximum absolute perturbation over the three channels
     /// (the paper's `δ_abs^max`, Algorithm 2 line 20), row-major
-    /// `height × width`.
-    pub fn max_abs_per_pixel(&self) -> Vec<i16> {
-        let mut out = vec![0i16; self.width * self.height];
+    /// `height × width`. The buffer is pooled and derefs to a `Vec<i16>`.
+    pub fn max_abs_per_pixel(&self) -> PoolVec<i16> {
+        let mut out = PoolVec::filled(self.width * self.height, 0i16);
         for y in 0..self.height {
             for x in 0..self.width {
                 let m =

@@ -147,6 +147,31 @@ impl Metrics {
                 value,
             );
         }
+        // Scratch-arena accounting: flow counters plus the retained /
+        // high-water byte gauges, straight from the tensor layer's
+        // process-wide counters (the worker pool threads all feed them).
+        for (name, value) in bea_tensor::scratch::stats().counters() {
+            if name.ends_with("_bytes") {
+                let _ = writeln!(out, "# HELP bea_serve_arena_{name} Scratch arena byte gauge.");
+                let _ = writeln!(out, "# TYPE bea_serve_arena_{name} gauge");
+                let _ = writeln!(out, "bea_serve_arena_{name} {value}");
+            } else {
+                counter(
+                    &mut out,
+                    &format!("bea_serve_arena_{name}_total"),
+                    "Scratch arena flow counter, process-wide.",
+                    value,
+                );
+            }
+        }
+        if let Some(bytes) = resident_memory_bytes() {
+            let _ = writeln!(
+                out,
+                "# HELP process_resident_memory_bytes Resident set size of the process."
+            );
+            let _ = writeln!(out, "# TYPE process_resident_memory_bytes gauge");
+            let _ = writeln!(out, "process_resident_memory_bytes {bytes}");
+        }
 
         let endpoints = self.endpoints.lock().expect("metrics mutex poisoned");
         let _ =
@@ -189,6 +214,19 @@ impl Metrics {
         }
         out
     }
+}
+
+/// Resident set size of this process in bytes, read from Linux's
+/// `/proc/self/statm` (second field, in pages of 4096 bytes — the value
+/// procfs reports regardless of the kernel's actual page size
+/// configuration is in units of `sysconf(_SC_PAGESIZE)`, which is 4096 on
+/// every platform this crate targets). Returns `None` off Linux or when
+/// procfs is unavailable, and the metric is simply absent from the
+/// exposition — std-only graceful degradation, no libc dependency.
+pub fn resident_memory_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(resident_pages * 4096)
 }
 
 /// The `q`-th percentile (0..=100) of a set of latencies, by the
@@ -241,6 +279,19 @@ mod tests {
         assert!(text.contains("bea_serve_jobs_failed_total 0"));
         assert!(text.contains("bea_serve_cache_hits_total 0"));
         assert!(text.contains("bea_serve_cache_evictions_total 0"));
+        for family in [
+            "bea_serve_arena_takes_total",
+            "bea_serve_arena_hits_total",
+            "bea_serve_arena_misses_total",
+            "bea_serve_arena_recycles_total",
+            "bea_serve_arena_retained_bytes",
+            "bea_serve_arena_high_water_bytes",
+        ] {
+            assert!(text.contains(family), "missing arena family {family}:\n{text}");
+        }
+        assert!(text.contains("# TYPE bea_serve_arena_retained_bytes gauge"));
+        #[cfg(target_os = "linux")]
+        assert!(text.contains("process_resident_memory_bytes"), "{text}");
         assert!(text.contains(
             "bea_serve_http_requests_total{endpoint=\"POST /v1/attacks\",status=\"202\"} 1"
         ));

@@ -188,14 +188,21 @@ impl MultiHeadAttention {
         let q = self.q_proj.forward(queries)?;
         let k = self.k_proj.forward(keys)?;
         let v = self.v_proj.forward(values)?;
-        let mut concat = Matrix::zeros(q.rows(), 0);
+        // Write each head's output straight into its column range of a
+        // preallocated concat matrix. The incremental `hconcat` this
+        // replaces copied the accumulated prefix once per head (O(heads²)
+        // copies plus a fresh allocation each round); the values placed in
+        // each column are identical.
+        let mut concat = Matrix::zeros(q.rows(), self.model_dim);
         for h in 0..self.heads {
             let start = h * self.head_dim;
             let qh = q.columns(start, self.head_dim);
             let kh = k.columns(start, self.head_dim);
             let vh = v.columns(start, self.head_dim);
             let head_out = scaled_dot_attention_policy(&qh, &kh, &vh, self.policy)?;
-            concat = concat.hconcat(&head_out)?;
+            for r in 0..concat.rows() {
+                concat.row_mut(r)[start..start + self.head_dim].copy_from_slice(head_out.row(r));
+            }
         }
         self.out_proj.forward(&concat)
     }

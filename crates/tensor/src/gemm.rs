@@ -25,6 +25,8 @@
 use crate::dirty::DirtyRect;
 use crate::error::{Result, TensorError};
 use crate::matrix::Matrix;
+use crate::pack::PackedWeights;
+use crate::scratch::ScratchGuard;
 use crate::tensor3::FeatureMap;
 use std::fmt;
 use std::str::FromStr;
@@ -78,8 +80,9 @@ impl FromStr for KernelPolicy {
 
 /// Rows per register tile of the microkernel.
 const MR: usize = 4;
-/// Columns per register tile of the microkernel.
-const NR: usize = 8;
+/// Columns per register tile of the microkernel (also the panel width of
+/// [`crate::pack::PackedWeights`]).
+pub(crate) const NR: usize = 8;
 
 /// `out[m×n] = row_init ⊕ a[m×kk] · b[kk×n]`, with `b` row-major
 /// (contiguous along `n`). Each output element starts at `row_init(i)` and
@@ -165,7 +168,12 @@ fn gemm_nt(m: usize, kk: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32])
     debug_assert_eq!(a.len(), m * kk);
     debug_assert_eq!(b.len(), n * kk);
     debug_assert_eq!(out.len(), m * n);
-    let mut pack = vec![0.0f32; kk * NR];
+    // The per-call pack buffer comes from the scratch arena: `q·kᵀ` runs
+    // this kernel with a data-dependent `b` every iteration, and pooling
+    // keeps that allocation-free at steady state. Every slot of each full
+    // tile is overwritten by the fill loop below before it is read.
+    let mut pack: ScratchGuard<f32> = ScratchGuard::with_pooled_capacity(kk * NR);
+    pack.resize(kk * NR, 0.0);
     let mut j0 = 0;
     while j0 + NR <= n {
         for k in 0..kk {
@@ -206,6 +214,74 @@ fn gemm_nt(m: usize, kk: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32])
         j0 += NR;
     }
     // Edge columns: each dot product reads two contiguous kk-length rows.
+    for j in j0..n {
+        for i in 0..m {
+            let mut acc = 0.0f32;
+            for k in 0..kk {
+                acc += a[i * kk + k] * b[j * kk + k];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// [`gemm_nt`] with the transpose-pack hoisted out: full `NR`-wide column
+/// tiles read `packed`'s construction-time panels (identical layout and
+/// values to the per-call pack), ragged tail columns read `b` directly —
+/// exactly as the per-call kernel does. Same ascending-k single-accumulator
+/// order, so the output is bit-identical to [`gemm_nt`].
+pub(crate) fn gemm_nt_prepacked(
+    m: usize,
+    kk: usize,
+    n: usize,
+    a: &[f32],
+    packed: &PackedWeights,
+    b: &[f32],
+    out: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), m * kk);
+    debug_assert_eq!(b.len(), n * kk);
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(packed.rows(), n);
+    debug_assert_eq!(packed.inner_dim(), kk);
+    let mut j0 = 0;
+    let mut tile = 0;
+    while j0 + NR <= n {
+        let pack = packed.panel(tile);
+        let mut i0 = 0;
+        while i0 + MR <= m {
+            let mut acc = [[0.0f32; NR]; MR];
+            for k in 0..kk {
+                let b_row: &[f32; NR] =
+                    pack[k * NR..k * NR + NR].try_into().expect("NR-wide packed tile");
+                for (mi, tile_row) in acc.iter_mut().enumerate() {
+                    let a_ik = a[(i0 + mi) * kk + k];
+                    for (slot, bv) in tile_row.iter_mut().zip(b_row) {
+                        *slot += a_ik * bv;
+                    }
+                }
+            }
+            for (mi, tile_row) in acc.iter().enumerate() {
+                out[(i0 + mi) * n + j0..(i0 + mi) * n + j0 + NR].copy_from_slice(tile_row);
+            }
+            i0 += MR;
+        }
+        for i in i0..m {
+            let mut acc = [0.0f32; NR];
+            for k in 0..kk {
+                let a_ik = a[i * kk + k];
+                let b_row: &[f32; NR] =
+                    pack[k * NR..k * NR + NR].try_into().expect("NR-wide packed tile");
+                for (slot, bv) in acc.iter_mut().zip(b_row) {
+                    *slot += a_ik * bv;
+                }
+            }
+            out[i * n + j0..i * n + j0 + NR].copy_from_slice(&acc);
+        }
+        j0 += NR;
+        tile += 1;
+    }
+    // Ragged tail columns: read b's rows directly, like the per-call path.
     for j in j0..n {
         for i in 0..m {
             let mut acc = 0.0f32;

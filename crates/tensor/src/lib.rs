@@ -48,7 +48,9 @@ pub mod init;
 pub mod linear;
 pub mod matrix;
 pub mod norm;
+pub mod pack;
 pub mod pool;
+pub mod scratch;
 pub mod stats;
 pub mod tensor3;
 
@@ -58,7 +60,9 @@ pub use dirty::DirtyRect;
 pub use error::{Result, TensorError};
 pub use gemm::KernelPolicy;
 pub use init::WeightInit;
-pub use linear::{LayerNorm, Linear};
+pub use linear::{LayerNorm, Linear, WeightGuard};
 pub use matrix::Matrix;
+pub use pack::{matmul_nt_packed, PackedWeights};
 pub use pool::{AvgPool2d, MaxPool2d};
+pub use scratch::{insertion_sort_by, PoolVec, ScratchArena, ScratchGuard, ScratchStats};
 pub use tensor3::FeatureMap;

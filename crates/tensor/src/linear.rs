@@ -4,6 +4,8 @@ use crate::error::{Result, TensorError};
 use crate::gemm::KernelPolicy;
 use crate::init::WeightInit;
 use crate::matrix::Matrix;
+use crate::pack::{matmul_nt_packed, PackedWeights};
+use std::ops::{Deref, DerefMut};
 
 /// A fully-connected (affine) layer: `y = x · Wᵀ + b`.
 ///
@@ -29,10 +31,14 @@ pub struct Linear {
     weight: Matrix,
     bias: Vec<f32>,
     policy: KernelPolicy,
+    /// NT-GEMM panels of `weight`, packed once at construction and kept
+    /// in sync by [`Linear::weight_mut`]'s guard. Pure derived state.
+    packed: PackedWeights,
 }
 
 // Manual impl: the kernel dispatch policy does not change what the layer
-// computes, so it is excluded from equality.
+// computes, so it is excluded from equality — and so is `packed`, which
+// is derived from the weights.
 impl PartialEq for Linear {
     fn eq(&self, other: &Self) -> bool {
         self.weight == other.weight && self.bias == other.bias
@@ -54,7 +60,8 @@ impl Linear {
                 actual: bias.len(),
             });
         }
-        Ok(Self { weight, bias, policy: KernelPolicy::default() })
+        let packed = PackedWeights::pack(&weight);
+        Ok(Self { weight, bias, policy: KernelPolicy::default(), packed })
     }
 
     /// Builds a Xavier-initialised layer from a seed.
@@ -63,7 +70,8 @@ impl Linear {
         init.xavier_uniform(&mut buf, in_features, out_features);
         let weight = Matrix::from_vec(out_features, in_features, buf)
             .expect("buffer allocated with matching volume");
-        Self { weight, bias: vec![0.0; out_features], policy: KernelPolicy::default() }
+        let packed = PackedWeights::pack(&weight);
+        Self { weight, bias: vec![0.0; out_features], policy: KernelPolicy::default(), packed }
     }
 
     /// Output dimensionality.
@@ -81,9 +89,11 @@ impl Linear {
         &self.weight
     }
 
-    /// Mutable access to the weight matrix (for seeded jitter).
-    pub fn weight_mut(&mut self) -> &mut Matrix {
-        &mut self.weight
+    /// Mutable access to the weight matrix (for seeded jitter). The
+    /// returned guard re-packs the NT-GEMM panels when dropped, keeping
+    /// [`Linear::forward`]'s prepacked fast path in sync with any edits.
+    pub fn weight_mut(&mut self) -> WeightGuard<'_> {
+        WeightGuard { layer: self }
     }
 
     /// Mutable access to the bias vector.
@@ -118,8 +128,54 @@ impl Linear {
                 rhs: vec![self.out_features(), self.in_features()],
             });
         }
-        let out = x.matmul_nt_policy(&self.weight, self.policy)?;
-        out.add_row_vector(&self.bias)
+        match self.policy {
+            KernelPolicy::Reference => {
+                let out = x.matmul_nt_policy(&self.weight, self.policy)?;
+                out.add_row_vector(&self.bias)
+            }
+            KernelPolicy::Blocked => {
+                // Construction-time panels instead of the per-call pack,
+                // then the bias added in place — one add per element in
+                // the same position `add_row_vector` applies it, so the
+                // result stays bit-identical to the reference path.
+                let mut out = matmul_nt_packed(x, &self.weight, &self.packed)?;
+                for r in 0..out.rows() {
+                    for (v, b) in out.row_mut(r).iter_mut().zip(&self.bias) {
+                        *v += b;
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// Write guard over a [`Linear`] layer's weight matrix.
+///
+/// Dereferences to [`Matrix`]; on drop it re-packs the layer's NT-GEMM
+/// panels so the prepacked forward path never sees stale weights.
+#[derive(Debug)]
+pub struct WeightGuard<'a> {
+    layer: &'a mut Linear,
+}
+
+impl Deref for WeightGuard<'_> {
+    type Target = Matrix;
+
+    fn deref(&self) -> &Matrix {
+        &self.layer.weight
+    }
+}
+
+impl DerefMut for WeightGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Matrix {
+        &mut self.layer.weight
+    }
+}
+
+impl Drop for WeightGuard<'_> {
+    fn drop(&mut self) {
+        self.layer.packed = PackedWeights::pack(&self.layer.weight);
     }
 }
 
@@ -245,6 +301,24 @@ mod tests {
         blocked.set_kernel_policy(KernelPolicy::Blocked);
         assert_eq!(reference.forward(&x).unwrap(), blocked.forward(&x).unwrap());
         assert_eq!(reference, blocked, "policy must be excluded from equality");
+    }
+
+    #[test]
+    fn weight_mut_repacks_for_the_blocked_path() {
+        let mut init = WeightInit::from_seed(31);
+        let mut layer = Linear::seeded(9, 6, &mut init);
+        layer.set_kernel_policy(KernelPolicy::Blocked);
+        {
+            let mut weight = layer.weight_mut();
+            let flipped = -weight.at(0, 0);
+            weight.set(0, 0, flipped);
+        } // guard drop re-packs
+        let fresh = Linear::from_weights(layer.weight().clone(), vec![0.0; 9]).unwrap();
+        let x = Matrix::from_vec(3, 6, (0..18).map(|i| (i as f32) * 0.3 - 2.0).collect()).unwrap();
+        assert_eq!(layer.forward(&x).unwrap(), fresh.forward(&x).unwrap());
+        let mut reference = layer.clone();
+        reference.set_kernel_policy(KernelPolicy::Reference);
+        assert_eq!(layer.forward(&x).unwrap(), reference.forward(&x).unwrap());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::error::{Result, TensorError};
 use crate::gemm::{self, KernelPolicy};
+use crate::scratch::PoolVec;
 
 /// A dense, row-major matrix of `f32` values.
 ///
@@ -26,18 +27,22 @@ use crate::gemm::{self, KernelPolicy};
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f32>,
+    // Pooled storage: construction draws from the thread-local scratch
+    // arena and drop recycles, so repeated fixed-shape forwards are
+    // allocation-free at steady state. `PoolVec`'s Debug/PartialEq
+    // delegate to the inner Vec, keeping derive output unchanged.
+    data: PoolVec<f32>,
 }
 
 impl Matrix {
     /// Creates a matrix of zeros with the given dimensions.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self { rows, cols, data: PoolVec::filled(rows * cols, 0.0) }
     }
 
     /// Creates a matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self { rows, cols, data: PoolVec::filled(rows * cols, value) }
     }
 
     /// Creates the `n` × `n` identity matrix.
@@ -58,7 +63,7 @@ impl Matrix {
         if data.len() != rows * cols {
             return Err(TensorError::LengthMismatch { expected: rows * cols, actual: data.len() });
         }
-        Ok(Self { rows, cols, data })
+        Ok(Self { rows, cols, data: PoolVec::from_vec(data) })
     }
 
     /// Builds a matrix from a slice of equally-sized rows.
@@ -70,7 +75,7 @@ impl Matrix {
     pub fn from_rows(rows: &[&[f32]]) -> Result<Self> {
         let first = rows.first().ok_or(TensorError::EmptyShape { op: "from_rows" })?;
         let cols = first.len();
-        let mut data = Vec::with_capacity(rows.len() * cols);
+        let mut data = PoolVec::with_pooled_capacity(rows.len() * cols);
         for row in rows {
             if row.len() != cols {
                 return Err(TensorError::LengthMismatch { expected: cols, actual: row.len() });
@@ -105,9 +110,10 @@ impl Matrix {
         &mut self.data
     }
 
-    /// Consumes the matrix and returns its row-major buffer.
+    /// Consumes the matrix and returns its row-major buffer, releasing
+    /// the storage from the scratch-pool cycle.
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        self.data.into_vec()
     }
 
     /// Returns the element at `(row, col)`.
@@ -282,7 +288,9 @@ impl Matrix {
 
     /// Applies `f` to every element, returning a new matrix.
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Matrix {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+        let mut data = PoolVec::with_pooled_capacity(self.data.len());
+        data.extend(self.data.iter().map(|&v| f(v)));
+        Matrix { rows: self.rows, cols: self.cols, data }
     }
 
     /// Applies `f` to every element in place.
@@ -305,11 +313,9 @@ impl Matrix {
                 rhs: vec![other.rows, other.cols],
             });
         }
-        Ok(Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
-        })
+        let mut data = PoolVec::with_pooled_capacity(self.data.len());
+        data.extend(self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)));
+        Ok(Matrix { rows: self.rows, cols: self.cols, data })
     }
 
     /// Adds `vector` to every row of the matrix.

@@ -1,0 +1,661 @@
+//! Thread-local scratch arenas: size-classed, recycling buffer pools.
+//!
+//! The attack hot loop runs the same forward passes thousands of times over
+//! fixed shapes, so every intermediate buffer it allocates is a buffer it
+//! will allocate *again* next iteration. This module turns those
+//! allocations into checkouts from a thread-local pool: a [`PoolVec`] owns
+//! a plain `Vec<T>` while alive and, on drop, returns the storage to the
+//! current thread's [`ScratchArena`] so the next checkout of a compatible
+//! size reuses it. After a few warm-up iterations the pool holds one buffer
+//! per live intermediate and the steady state performs **zero** heap
+//! allocations (asserted by `bea-bench`'s `steady_state` bench behind a
+//! counting global allocator).
+//!
+//! Design rules:
+//!
+//! * **Size classes.** Buffers are binned by the power of two at or below
+//!   their capacity; a checkout for `min_cap` elements scans classes from
+//!   `ceil(log2(min_cap))` upward, so any buffer it finds is guaranteed to
+//!   hold at least `min_cap` elements without growing. Pool misses
+//!   allocate capacity rounded up to the next power of two, so the buffer
+//!   recycles into exactly the class where an identical request starts
+//!   scanning. Hit/miss behaviour therefore depends only on per-class
+//!   occupancy, which makes the warm-up deterministic: a deterministic
+//!   per-iteration checkout sequence converges to all-hits after the
+//!   first iteration that sees no growth.
+//! * **Thread locality.** Each thread owns its pool; a `PoolVec` dropped
+//!   on another thread recycles into *that* thread's pool. No locks on
+//!   the checkout path, and campaign workers / serve's worker pool each
+//!   warm their own arena.
+//! * **Borrow-checked checkout.** The guard ([`ScratchGuard`], an alias
+//!   for [`PoolVec`]) *owns* its buffer — aliasing is impossible by
+//!   construction and return-to-pool is just `Drop`.
+//! * **Escape hatch.** [`PoolVec::into_vec`] releases the buffer from the
+//!   pool permanently, for values that outlive the hot loop.
+//!
+//! The module also hosts [`insertion_sort_by`]: the standard library's
+//! stable `slice::sort_by` allocates a merge buffer for slices longer than
+//! ~20 elements, which would re-introduce steady-state allocations in the
+//! detector decode paths. The insertion sort is allocation-free and, being
+//! stable, produces the *identical* permutation for any total preorder, so
+//! swapping it in preserves the bit-exactness contract.
+
+use std::any::{Any, TypeId};
+use std::cell::{Cell, RefCell};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+use std::mem;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering as Atomic};
+
+/// Number of power-of-two size classes tracked per element type.
+const NUM_CLASSES: usize = 48;
+/// Maximum buffers retained per size class before eviction.
+const PER_CLASS_CAP: usize = 512;
+
+// Process-wide flow counters (relaxed; exported to serve's /metrics).
+static TAKES: AtomicU64 = AtomicU64::new(0);
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static RECYCLES: AtomicU64 = AtomicU64::new(0);
+/// Bytes currently resting inside all thread pools.
+static RETAINED_BYTES: AtomicU64 = AtomicU64::new(0);
+/// High-water mark of [`RETAINED_BYTES`].
+static HIGH_WATER_BYTES: AtomicU64 = AtomicU64::new(0);
+
+struct LocalCounters {
+    takes: Cell<u64>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+    recycles: Cell<u64>,
+}
+
+thread_local! {
+    static LOCAL: LocalCounters = const {
+        LocalCounters {
+            takes: Cell::new(0),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+            recycles: Cell::new(0),
+        }
+    };
+    static POOL: RefCell<HashMap<TypeId, Box<dyn Any>>> = RefCell::new(HashMap::new());
+}
+
+/// Per-type shelf of size-classed retained buffers.
+struct Shelf<T> {
+    classes: Vec<Vec<Vec<T>>>,
+}
+
+impl<T> Shelf<T> {
+    fn new() -> Self {
+        Self { classes: (0..NUM_CLASSES).map(|_| Vec::new()).collect() }
+    }
+}
+
+impl<T> Drop for Shelf<T> {
+    fn drop(&mut self) {
+        // Thread teardown: the retained gauge must not leak the bytes the
+        // dying thread was holding.
+        let elem = mem::size_of::<T>() as u64;
+        let bytes: u64 = self.classes.iter().flatten().map(|v| v.capacity() as u64 * elem).sum();
+        RETAINED_BYTES.fetch_sub(bytes, Atomic::Relaxed);
+    }
+}
+
+/// Smallest class whose every buffer holds at least `min_cap` elements.
+fn request_class(min_cap: usize) -> usize {
+    debug_assert!(min_cap > 0);
+    ((usize::BITS - (min_cap - 1).leading_zeros()) as usize).min(NUM_CLASSES - 1)
+}
+
+/// Class a buffer of capacity `cap` is stored under (`cap >= 2^class`).
+fn storage_class(cap: usize) -> usize {
+    debug_assert!(cap > 0);
+    ((usize::BITS - 1 - cap.leading_zeros()) as usize).min(NUM_CLASSES - 1)
+}
+
+fn bump(local: impl Fn(&LocalCounters), global: &AtomicU64) {
+    global.fetch_add(1, Atomic::Relaxed);
+    let _ = LOCAL.try_with(|cells| local(cells));
+}
+
+/// Pops a pooled buffer of capacity `>= min_cap`, if one exists.
+fn pool_take<T: 'static>(min_cap: usize) -> Option<Vec<T>> {
+    POOL.try_with(|pool| {
+        let mut map = pool.borrow_mut();
+        let shelf = map
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Box::new(Shelf::<T>::new()) as Box<dyn Any>)
+            .downcast_mut::<Shelf<T>>()
+            .expect("shelf is keyed by its own TypeId");
+        for class in request_class(min_cap)..NUM_CLASSES {
+            if let Some(buf) = shelf.classes[class].pop() {
+                let bytes = (buf.capacity() * mem::size_of::<T>()) as u64;
+                RETAINED_BYTES.fetch_sub(bytes, Atomic::Relaxed);
+                return Some(buf);
+            }
+        }
+        None
+    })
+    .ok()
+    .flatten()
+}
+
+/// Returns a buffer to the current thread's pool (or drops it when the
+/// class is full or the thread is tearing down).
+fn pool_recycle<T: 'static>(mut buf: Vec<T>) {
+    // Element drops run here, before the pool borrow: a `T` that itself
+    // owns a `PoolVec` must be able to re-enter the pool safely.
+    buf.clear();
+    if buf.capacity() == 0 {
+        return;
+    }
+    bump(|c| c.recycles.set(c.recycles.get() + 1), &RECYCLES);
+    let evicted = POOL.try_with(|pool| {
+        let mut map = pool.borrow_mut();
+        let shelf = map
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Box::new(Shelf::<T>::new()) as Box<dyn Any>)
+            .downcast_mut::<Shelf<T>>()
+            .expect("shelf is keyed by its own TypeId");
+        let class = storage_class(buf.capacity());
+        if shelf.classes[class].len() >= PER_CLASS_CAP {
+            return Some(buf); // evict: dropped outside the borrow
+        }
+        let bytes = (buf.capacity() * mem::size_of::<T>()) as u64;
+        let now = RETAINED_BYTES.fetch_add(bytes, Atomic::Relaxed) + bytes;
+        HIGH_WATER_BYTES.fetch_max(now, Atomic::Relaxed);
+        shelf.classes[class].push(buf);
+        None
+    });
+    match evicted {
+        Ok(leftover) => drop(leftover),
+        Err(_teardown) => {} // buf already moved into the closure? no: try_with failed before call
+    }
+}
+
+/// A `Vec<T>` whose storage is checked out of the thread-local scratch
+/// pool and returned to it on drop.
+///
+/// `PoolVec` dereferences to `Vec<T>` (and through it to `[T]`), so it is
+/// a drop-in replacement for owned buffers: index, iterate, `push`,
+/// `resize` and `extend` all work unchanged. Cloning draws the copy's
+/// storage from the pool too.
+///
+/// [`PoolVec::new`] (and [`Default`]) build an empty, capacity-zero value
+/// without touching the pool — cheap for placeholder fields. Use
+/// [`PoolVec::with_pooled_capacity`] on hot paths.
+pub struct PoolVec<T: 'static> {
+    inner: Vec<T>,
+}
+
+impl<T: 'static> PoolVec<T> {
+    /// An empty buffer; does not touch the pool (no allocation either).
+    pub const fn new() -> Self {
+        Self { inner: Vec::new() }
+    }
+
+    /// Checks a buffer of capacity at least `min_cap` out of the pool,
+    /// allocating a fresh one only on a pool miss. `min_cap == 0` is the
+    /// same as [`PoolVec::new`].
+    pub fn with_pooled_capacity(min_cap: usize) -> Self {
+        if min_cap == 0 {
+            return Self::new();
+        }
+        bump(|c| c.takes.set(c.takes.get() + 1), &TAKES);
+        match pool_take::<T>(min_cap) {
+            Some(buf) => {
+                bump(|c| c.hits.set(c.hits.get() + 1), &HITS);
+                Self { inner: buf }
+            }
+            None => {
+                bump(|c| c.misses.set(c.misses.get() + 1), &MISSES);
+                // Round fresh allocations up to a power of two so the
+                // recycled buffer lands exactly in the class where the next
+                // request for `min_cap` starts scanning. Allocating
+                // `min_cap` exactly would store a non-power-of-two capacity
+                // one class *below* the scan start, making the buffer
+                // unfindable by the very request size that created it.
+                let cap = min_cap.checked_next_power_of_two().unwrap_or(min_cap);
+                Self { inner: Vec::with_capacity(cap) }
+            }
+        }
+    }
+
+    /// A pooled buffer resized to `len` copies of `value`.
+    pub fn filled(len: usize, value: T) -> Self
+    where
+        T: Clone,
+    {
+        let mut out = Self::with_pooled_capacity(len);
+        out.inner.resize(len, value);
+        out
+    }
+
+    /// Wraps an existing `Vec` (its storage joins the pool cycle on drop).
+    pub fn from_vec(inner: Vec<T>) -> Self {
+        Self { inner }
+    }
+
+    /// Releases the buffer from the pool cycle permanently and returns it
+    /// as a plain `Vec`. Use for values that outlive the hot loop.
+    pub fn into_vec(mut self) -> Vec<T> {
+        mem::take(&mut self.inner)
+    }
+
+    /// Immutable slice view.
+    pub fn as_slice(&self) -> &[T] {
+        &self.inner
+    }
+
+    /// Mutable slice view.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.inner
+    }
+}
+
+impl<T: 'static> Drop for PoolVec<T> {
+    fn drop(&mut self) {
+        pool_recycle(mem::take(&mut self.inner));
+    }
+}
+
+impl<T: 'static> Deref for PoolVec<T> {
+    type Target = Vec<T>;
+
+    fn deref(&self) -> &Vec<T> {
+        &self.inner
+    }
+}
+
+impl<T: 'static> DerefMut for PoolVec<T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        &mut self.inner
+    }
+}
+
+impl<T: 'static> Default for PoolVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone + 'static> Clone for PoolVec<T> {
+    fn clone(&self) -> Self {
+        let mut out = Self::with_pooled_capacity(self.inner.len());
+        out.inner.extend_from_slice(&self.inner);
+        out
+    }
+}
+
+impl<T: fmt::Debug + 'static> fmt::Debug for PoolVec<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: PartialEq + 'static> PartialEq for PoolVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner == other.inner
+    }
+}
+
+impl<T: PartialEq + 'static> PartialEq<Vec<T>> for PoolVec<T> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.inner == *other
+    }
+}
+
+impl<T: PartialEq + 'static> PartialEq<[T]> for PoolVec<T> {
+    fn eq(&self, other: &[T]) -> bool {
+        self.inner == other
+    }
+}
+
+impl<T: 'static> From<Vec<T>> for PoolVec<T> {
+    fn from(inner: Vec<T>) -> Self {
+        Self::from_vec(inner)
+    }
+}
+
+impl<T: 'static> FromIterator<T> for PoolVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let iter = iter.into_iter();
+        let mut out = Self::with_pooled_capacity(iter.size_hint().0);
+        out.inner.extend(iter);
+        out
+    }
+}
+
+impl<T: 'static> IntoIterator for PoolVec<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+
+    /// By-value iteration escapes the buffer from the pool (like
+    /// [`PoolVec::into_vec`]); prefer `.iter()` on hot paths.
+    fn into_iter(self) -> Self::IntoIter {
+        self.into_vec().into_iter()
+    }
+}
+
+impl<'a, T: 'static> IntoIterator for &'a PoolVec<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl<'a, T: 'static> IntoIterator for &'a mut PoolVec<T> {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter_mut()
+    }
+}
+
+/// Handle to the calling thread's scratch pool.
+///
+/// The arena itself is zero-sized — all state lives in thread-local
+/// storage — so the handle is freely `Copy` and exists to make checkout
+/// sites explicit and greppable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScratchArena;
+
+impl ScratchArena {
+    /// The current thread's arena.
+    pub fn current() -> Self {
+        Self
+    }
+
+    /// Checks out a buffer with capacity at least `min_cap`; the guard
+    /// returns it to this thread's pool (or the dropping thread's pool,
+    /// if it migrates) when dropped.
+    pub fn checkout<T: 'static>(self, min_cap: usize) -> ScratchGuard<T> {
+        PoolVec::with_pooled_capacity(min_cap)
+    }
+}
+
+/// The borrow-checked checkout guard: owns its buffer while alive and
+/// recycles it on drop. An alias for [`PoolVec`] — ownership *is* the
+/// guard discipline.
+pub type ScratchGuard<T> = PoolVec<T>;
+
+/// Snapshot of arena activity counters.
+///
+/// Mirrors the shape of `bea-detect`'s `CacheStats`: plain public fields
+/// plus a [`ScratchStats::counters`] iterator hook for metrics exporters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScratchStats {
+    /// Checkout requests (`hits + misses`).
+    pub takes: u64,
+    /// Checkouts served from the pool.
+    pub hits: u64,
+    /// Checkouts that had to allocate a fresh buffer.
+    pub misses: u64,
+    /// Buffers returned to a pool.
+    pub recycles: u64,
+    /// Bytes currently resting inside the pools (process-wide gauge).
+    pub retained_bytes: u64,
+    /// High-water mark of `retained_bytes` (process-wide gauge).
+    pub high_water_bytes: u64,
+}
+
+impl ScratchStats {
+    /// The counters as stable `(name, value)` pairs, in declaration order
+    /// — the shape metrics exporters iterate over without hard-coding the
+    /// field list (mirrors `CacheStats::counters`).
+    pub fn counters(&self) -> [(&'static str, u64); 6] {
+        [
+            ("takes", self.takes),
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("recycles", self.recycles),
+            ("retained_bytes", self.retained_bytes),
+            ("high_water_bytes", self.high_water_bytes),
+        ]
+    }
+
+    /// The activity since an earlier snapshot (gauges pass through).
+    pub fn since(&self, earlier: &ScratchStats) -> ScratchStats {
+        ScratchStats {
+            takes: self.takes.saturating_sub(earlier.takes),
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            recycles: self.recycles.saturating_sub(earlier.recycles),
+            retained_bytes: self.retained_bytes,
+            high_water_bytes: self.high_water_bytes,
+        }
+    }
+}
+
+/// Process-wide arena counters (summed across all threads).
+pub fn stats() -> ScratchStats {
+    ScratchStats {
+        takes: TAKES.load(Atomic::Relaxed),
+        hits: HITS.load(Atomic::Relaxed),
+        misses: MISSES.load(Atomic::Relaxed),
+        recycles: RECYCLES.load(Atomic::Relaxed),
+        retained_bytes: RETAINED_BYTES.load(Atomic::Relaxed),
+        high_water_bytes: HIGH_WATER_BYTES.load(Atomic::Relaxed),
+    }
+}
+
+/// Flow counters for the calling thread only (deterministic in tests even
+/// while other threads churn their own pools). The byte gauges are
+/// process-wide and copied through unchanged.
+pub fn thread_stats() -> ScratchStats {
+    let (takes, hits, misses, recycles) = LOCAL
+        .try_with(|c| (c.takes.get(), c.hits.get(), c.misses.get(), c.recycles.get()))
+        .unwrap_or_default();
+    ScratchStats {
+        takes,
+        hits,
+        misses,
+        recycles,
+        retained_bytes: RETAINED_BYTES.load(Atomic::Relaxed),
+        high_water_bytes: HIGH_WATER_BYTES.load(Atomic::Relaxed),
+    }
+}
+
+/// Allocation-free stable sort.
+///
+/// Produces exactly the permutation `slice::sort_by` would (both are
+/// stable, and a stable sort's output is unique for any total preorder),
+/// without the merge buffer std allocates for slices longer than ~20
+/// elements — which matters because the detector decode paths sort small
+/// score lists inside the zero-allocation steady state. Insertion sort is
+/// O(n²) worst case; every hot-path call site sorts well under a few
+/// hundred elements.
+pub fn insertion_sort_by<T, F>(slice: &mut [T], mut cmp: F)
+where
+    F: FnMut(&T, &T) -> Ordering,
+{
+    for i in 1..slice.len() {
+        let mut j = i;
+        while j > 0 && cmp(&slice[j - 1], &slice[i]) == Ordering::Greater {
+            j -= 1;
+        }
+        slice[j..=i].rotate_right(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycled_capacity_is_reused() {
+        // Thread-local pool: each #[test] thread starts with an empty one.
+        let mut a = PoolVec::<f32>::with_pooled_capacity(100);
+        a.resize(100, 1.0);
+        let cap = a.capacity();
+        drop(a);
+        let b = PoolVec::<f32>::with_pooled_capacity(10);
+        assert_eq!(b.capacity(), cap, "the recycled buffer should be found");
+        assert!(b.is_empty(), "recycled buffers come back cleared");
+    }
+
+    #[test]
+    fn thread_stats_track_hits_and_misses() {
+        let before = thread_stats();
+        let a = PoolVec::<u32>::with_pooled_capacity(64);
+        drop(a);
+        let _b = PoolVec::<u32>::with_pooled_capacity(32);
+        let delta = thread_stats().since(&before);
+        assert_eq!(delta.takes, 2);
+        assert_eq!(delta.misses, 1, "first checkout allocates");
+        assert_eq!(delta.hits, 1, "second checkout reuses the recycled buffer");
+        assert_eq!(delta.recycles, 1);
+    }
+
+    #[test]
+    fn zero_capacity_requests_bypass_the_pool() {
+        let before = thread_stats();
+        let a = PoolVec::<f64>::new();
+        assert_eq!(a.capacity(), 0);
+        drop(a);
+        let _ = PoolVec::<f64>::with_pooled_capacity(0);
+        let delta = thread_stats().since(&before);
+        assert_eq!(delta.takes, 0);
+        assert_eq!(delta.recycles, 0);
+    }
+
+    #[test]
+    fn non_power_of_two_capacities_are_refound() {
+        // Regression: a request for a non-power-of-two size (e.g. 3·w·h
+        // image planes) must hit the pool on its second checkout. Misses
+        // round the allocation up to the next power of two precisely so
+        // the recycled buffer sits in the class the scan starts at.
+        // Ascending sizes so a later request cannot be served by an
+        // earlier (larger) recycled buffer; each size's first checkout is
+        // a genuine miss and its second must hit.
+        let sizes = [3usize, 100, 768 * 5, 24_576];
+        for &n in &sizes {
+            let a = PoolVec::<f32>::with_pooled_capacity(n);
+            assert_eq!(a.capacity(), n.next_power_of_two(), "misses round up for {n}");
+            drop(a);
+            let before = thread_stats();
+            let b = PoolVec::<f32>::with_pooled_capacity(n);
+            let delta = thread_stats().since(&before);
+            assert_eq!(delta.hits, 1, "checkout of {n} must reuse the recycled buffer");
+            assert_eq!(delta.misses, 0);
+            // The pool still holds each smaller class's buffer; this one
+            // came from exactly the class the request scan starts at.
+            assert_eq!(b.capacity(), n.next_power_of_two());
+            drop(b);
+        }
+    }
+
+    #[test]
+    fn size_classes_never_hand_back_undersized_buffers() {
+        // A capacity-9 buffer (class 3) must not satisfy a request for 12
+        // (request class 4).
+        let mut small = PoolVec::<u8>::with_pooled_capacity(9);
+        small.reserve_exact(9);
+        let small_cap = small.capacity();
+        drop(small);
+        let big = PoolVec::<u8>::with_pooled_capacity(12);
+        assert!(big.capacity() >= 12);
+        if small_cap < 12 {
+            assert_ne!(big.capacity(), small_cap);
+        }
+    }
+
+    #[test]
+    fn pools_are_per_type() {
+        let mut floats = PoolVec::<f32>::with_pooled_capacity(50);
+        floats.resize(50, 0.0);
+        drop(floats);
+        let before = thread_stats();
+        let _ints = PoolVec::<u64>::with_pooled_capacity(50);
+        let delta = thread_stats().since(&before);
+        assert_eq!(delta.misses, 1, "a u64 request must not see the f32 buffer");
+    }
+
+    #[test]
+    fn clone_draws_from_the_pool_and_compares_equal() {
+        let mut a = PoolVec::<i32>::with_pooled_capacity(8);
+        a.extend([1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn into_vec_escapes_without_recycling() {
+        let before = thread_stats();
+        let mut a = PoolVec::<u16>::with_pooled_capacity(16);
+        a.push(7);
+        let plain = a.into_vec();
+        assert_eq!(plain, vec![7]);
+        let delta = thread_stats().since(&before);
+        assert_eq!(delta.recycles, 0, "into_vec must not recycle");
+    }
+
+    #[test]
+    fn arena_checkout_round_trips() {
+        let arena = ScratchArena::current();
+        let mut guard: ScratchGuard<f32> = arena.checkout(24);
+        guard.resize(24, 1.5);
+        assert_eq!(guard.len(), 24);
+        assert!(guard.capacity() >= 24);
+    }
+
+    #[test]
+    fn stats_counters_cover_every_field() {
+        let stats = ScratchStats {
+            takes: 1,
+            hits: 2,
+            misses: 3,
+            recycles: 4,
+            retained_bytes: 5,
+            high_water_bytes: 6,
+        };
+        let counters = stats.counters();
+        assert_eq!(
+            counters.map(|(name, _)| name),
+            ["takes", "hits", "misses", "recycles", "retained_bytes", "high_water_bytes"]
+        );
+        assert_eq!(counters.map(|(_, value)| value), [1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn insertion_sort_matches_std_stable_sort() {
+        // Stability check: equal keys keep their original order, exactly
+        // like slice::sort_by.
+        let base: Vec<(i32, usize)> = (0..97i32).map(|i| ((i * 37) % 11 - 5, i as usize)).collect();
+        let mut std_sorted = base.clone();
+        std_sorted.sort_by_key(|pair| std::cmp::Reverse(pair.0));
+        let mut ours = base;
+        insertion_sort_by(&mut ours, |a, b| b.0.cmp(&a.0));
+        assert_eq!(ours, std_sorted);
+    }
+
+    #[test]
+    fn insertion_sort_handles_edges() {
+        let mut empty: [f32; 0] = [];
+        insertion_sort_by(&mut empty, |a, b| a.total_cmp(b));
+        let mut one = [3.0f32];
+        insertion_sort_by(&mut one, |a, b| a.total_cmp(b));
+        assert_eq!(one, [3.0]);
+        let mut rev = [5, 4, 3, 2, 1];
+        insertion_sort_by(&mut rev, |a, b| a.cmp(b));
+        assert_eq!(rev, [1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn retained_bytes_gauge_moves() {
+        let before = stats();
+        let mut a = PoolVec::<f64>::with_pooled_capacity(1024);
+        a.resize(1024, 0.0);
+        drop(a); // now retained by the pool
+        let after = stats();
+        assert!(after.high_water_bytes >= before.high_water_bytes);
+        assert!(after.recycles > before.recycles);
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::error::{Result, TensorError};
 use crate::matrix::Matrix;
+use crate::scratch::PoolVec;
 
 /// A dense 3-D tensor in channel-major (C×H×W) layout.
 ///
@@ -23,18 +24,21 @@ pub struct FeatureMap {
     channels: usize,
     height: usize,
     width: usize,
-    data: Vec<f32>,
+    // Pooled storage (see crate::scratch): images and activation maps are
+    // the biggest per-forward buffers, so they recycle through the
+    // thread-local arena instead of hitting the allocator each pass.
+    data: PoolVec<f32>,
 }
 
 impl FeatureMap {
     /// Creates a zero-filled feature map.
     pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
-        Self { channels, height, width, data: vec![0.0; channels * height * width] }
+        Self { channels, height, width, data: PoolVec::filled(channels * height * width, 0.0) }
     }
 
     /// Creates a feature map filled with `value`.
     pub fn filled(channels: usize, height: usize, width: usize, value: f32) -> Self {
-        Self { channels, height, width, data: vec![value; channels * height * width] }
+        Self { channels, height, width, data: PoolVec::filled(channels * height * width, value) }
     }
 
     /// Builds a feature map from a flat channel-major buffer.
@@ -48,7 +52,7 @@ impl FeatureMap {
         if data.len() != volume {
             return Err(TensorError::LengthMismatch { expected: volume, actual: data.len() });
         }
-        Ok(Self { channels, height, width, data })
+        Ok(Self { channels, height, width, data: PoolVec::from_vec(data) })
     }
 
     /// Number of channels.
@@ -81,9 +85,10 @@ impl FeatureMap {
         &mut self.data
     }
 
-    /// Consumes the map and returns its buffer.
+    /// Consumes the map and returns its buffer, releasing the storage
+    /// from the scratch-pool cycle.
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        self.data.into_vec()
     }
 
     #[inline]
@@ -151,18 +156,18 @@ impl FeatureMap {
     ///
     /// Panics if `c >= channels`.
     pub fn channel_matrix(&self, c: usize) -> Matrix {
-        Matrix::from_vec(self.height, self.width, self.channel(c).to_vec())
-            .expect("channel plane has exactly height*width elements")
+        // Copy into a pooled matrix rather than via `to_vec`, which would
+        // allocate a fresh buffer on every hot-path call.
+        let mut out = Matrix::zeros(self.height, self.width);
+        out.as_mut_slice().copy_from_slice(self.channel(c));
+        out
     }
 
     /// Applies `f` to every element, returning a new map.
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> FeatureMap {
-        FeatureMap {
-            channels: self.channels,
-            height: self.height,
-            width: self.width,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        let mut data = PoolVec::with_pooled_capacity(self.data.len());
+        data.extend(self.data.iter().map(|&v| f(v)));
+        FeatureMap { channels: self.channels, height: self.height, width: self.width, data }
     }
 
     /// Applies `f` to every element in place.

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Steady-state allocation gate: counts heap allocations across a warmed
+# masked-detect loop for every (architecture x kernel policy) pair.
+# Upserts the records into BENCH_allocs.json at the repo root and fails
+# (via --check) if any configuration allocates after warm-up.
+#
+# Usage: scripts/bench_allocs.sh [--quick]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo bench -p bea-bench --bench steady_state -- \
+    --check --out "$(pwd)/BENCH_allocs.json" "$@"

@@ -11,6 +11,8 @@
 use bea_detect::{Architecture, KernelPolicy, ModelZoo};
 use bea_image::FilterMask;
 use bea_scene::SyntheticKitti;
+use bea_tensor::{matmul_nt_packed, Matrix, PackedWeights, WeightInit};
+use proptest::prelude::*;
 
 /// The acceptance gate: clean predictions for every zoo architecture on
 /// the full evaluation set are identical under both kernel policies.
@@ -79,5 +81,104 @@ fn masked_predictions_match_across_policies() {
             blocked.model(arch, 2).detect_masked(&img, &mask),
             "{arch} masked prediction depends on the kernel policy"
         );
+    }
+}
+
+/// The packed-weights cross-matrix: for every zoo architecture, the four
+/// (plain | cached) × (Reference | Blocked) model variants produce
+/// identical clean *and* masked predictions. Models pre-pack their
+/// weights at construction, so this pins the whole pre-pack → forward →
+/// (incremental) decode pipeline to the reference kernels, through both
+/// the cold path and the dirty-region cache path.
+#[test]
+fn packed_model_cross_matrix_is_prediction_identical() {
+    let img = SyntheticKitti::evaluation_set().image(2);
+    let mut mask = FilterMask::zeros(img.width(), img.height());
+    for y in 3..9 {
+        for x in 4..12 {
+            mask.set(1, y, x, 70);
+        }
+    }
+    let zoos = [
+        ModelZoo::with_defaults().with_kernel_policy(KernelPolicy::Reference),
+        ModelZoo::with_defaults().with_kernel_policy(KernelPolicy::Blocked),
+    ];
+    for arch in Architecture::EXTENDED {
+        let mut variants = Vec::new();
+        for zoo in &zoos {
+            variants.push(zoo.model(arch, 4));
+            variants.push(zoo.cached_model(arch, 4));
+        }
+        let clean = variants[0].detect(&img);
+        let masked = variants[0].detect_masked(&img, &mask);
+        for variant in &variants[1..] {
+            assert_eq!(
+                clean,
+                variant.detect(&img),
+                "{arch} clean prediction diverges across the packed cross-matrix"
+            );
+            assert_eq!(
+                masked,
+                variant.detect_masked(&img, &mask),
+                "{arch} masked prediction diverges across the packed cross-matrix"
+            );
+        }
+    }
+}
+
+/// Masked multi-seed DETR invariance — several distinct pre-packed
+/// weight sets, through the path the attack exercises.
+#[test]
+fn detr_family_masked_predictions_are_policy_invariant() {
+    let img = SyntheticKitti::evaluation_set().image(1);
+    let mut mask = FilterMask::zeros(img.width(), img.height());
+    mask.set(0, 7, 9, 110);
+    mask.set(2, 8, 10, -85);
+    let reference = ModelZoo::with_defaults().with_kernel_policy(KernelPolicy::Reference);
+    let blocked = ModelZoo::with_defaults().with_kernel_policy(KernelPolicy::Blocked);
+    for seed in 1..=3 {
+        assert_eq!(
+            reference.model(Architecture::Detr, seed).detect_masked(&img, &mask),
+            blocked.model(Architecture::Detr, seed).detect_masked(&img, &mask),
+            "DETR seed {seed} masked prediction depends on the kernel policy"
+        );
+    }
+}
+
+fn seeded_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut init = WeightInit::from_seed(seed);
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = init.uniform(-2.0, 2.0);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Packing is a pure layout transform: `a · bᵀ` through a pre-packed
+    /// `b` is bit-exactly the blocked per-call-pack product AND the
+    /// reference product, for arbitrary shapes — including weight row
+    /// counts that are not a multiple of the pack tile width, where the
+    /// ragged final panel must round-trip exactly.
+    #[test]
+    fn packed_weights_round_trip_bit_exactly(
+        m in 1usize..12,
+        n in 1usize..21, // crosses the NR=8 tile boundary with ragged tails
+        k in 1usize..10,
+        seed in 0u64..200,
+    ) {
+        let a = seeded_matrix(m, k, seed);
+        let b = seeded_matrix(n, k, seed.wrapping_add(1));
+        let packed = PackedWeights::pack(&b);
+        prop_assert!(packed.matches_shape(&b));
+        let via_prepack = matmul_nt_packed(&a, &b, &packed).expect("shapes agree");
+        let via_blocked = a.matmul_nt_policy(&b, bea_tensor::KernelPolicy::Blocked)
+            .expect("shapes agree");
+        let via_reference = a.matmul_nt_policy(&b, bea_tensor::KernelPolicy::Reference)
+            .expect("shapes agree");
+        prop_assert_eq!(&via_prepack, &via_blocked);
+        prop_assert_eq!(&via_prepack, &via_reference);
     }
 }
