@@ -45,6 +45,7 @@ struct Case {
     iters: u64,
     allocations: u64,
     bytes: u64,
+    tapes: u64,
 }
 
 impl Case {
@@ -58,6 +59,7 @@ impl Case {
             .integer("iters", self.iters)
             .integer("allocations", self.allocations)
             .integer("bytes", self.bytes)
+            .integer("tapes", self.tapes)
             .float("allocs_per_iter", self.allocs_per_iter())
             .finish()
     }
@@ -93,13 +95,18 @@ fn run_case(arch: Architecture, policy: KernelPolicy, warmup: u64, iters: u64) -
     }
 
     let before = ALLOC.snapshot();
+    let tapes_before = bea_tensor::tapes_created();
     for i in 0..iters {
         paint(&mut mask, warmup + i);
         let _ = black_box(model.detect_masked(&img, &mask));
     }
     let delta = ALLOC.snapshot().since(&before);
+    // The plain detect path must never touch the autodiff tape: gradients
+    // are an explicit white-box opt-in (`Detector::input_gradient`), and a
+    // tape recording would both allocate and drag the hot loop.
+    let tapes = (bea_tensor::tapes_created() - tapes_before) as u64;
 
-    Case { name, iters, allocations: delta.allocations, bytes: delta.bytes }
+    Case { name, iters, allocations: delta.allocations, bytes: delta.bytes, tapes }
 }
 
 struct Options {
@@ -195,6 +202,14 @@ fn main() -> ExitCode {
                      ({} bytes) over {} iterations; the hot loop must not \
                      allocate after warm-up",
                     case.name, case.allocations, case.bytes, case.iters
+                );
+                failed = true;
+            }
+            if case.tapes > 0 {
+                eprintln!(
+                    "steady-state regression: {} recorded {} autodiff tapes \
+                     over {} iterations; plain detection must stay tape-free",
+                    case.name, case.tapes, case.iters
                 );
                 failed = true;
             }

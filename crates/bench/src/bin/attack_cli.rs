@@ -10,7 +10,7 @@
 //! image) plus the raw mask visualisation as PPM files under `--out`.
 
 use bea_bench::args::{self, ArgParser};
-use bea_core::attack::{AttackConfig, ButterflyAttack};
+use bea_core::attack::{AttackConfig, AttackStrategy, ButterflyAttack};
 use bea_core::report::{champion_rows, print_table};
 use bea_detect::{Architecture, Detector, KernelPolicy, ModelZoo};
 use bea_image::{io, FilterMask, Image, RegionConstraint};
@@ -29,6 +29,8 @@ struct Options {
     out: PathBuf,
     cache: bool,
     kernels: KernelPolicy,
+    strategy: AttackStrategy,
+    epsilon: f32,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -42,6 +44,8 @@ fn parse_args() -> Result<Options, String> {
         out: PathBuf::from("target/experiments/cli"),
         cache: false,
         kernels: KernelPolicy::default(),
+        strategy: AttackStrategy::default(),
+        epsilon: AttackConfig::default().whitebox_epsilon,
     };
     let mut args = ArgParser::from_env();
     while let Some(flag) = args.next_flag() {
@@ -62,14 +66,20 @@ fn parse_args() -> Result<Options, String> {
             "--out" => options.out = PathBuf::from(args.value(&flag)?),
             "--cache" => options.cache = true,
             "--kernels" => options.kernels = args.parse(&flag)?,
+            "--strategy" => options.strategy = args.parse(&flag)?,
+            "--epsilon" => options.epsilon = args.parse(&flag)?,
             "--help" | "-h" => {
                 return Err("usage: attack_cli [--arch yolo|detr] [--seed N] [--image N] \
                             [--pop N] [--gens N] [--constraint full|left-half|right-half] \
-                            [--out DIR] [--cache] [--kernels reference|blocked]\n\
+                            [--out DIR] [--cache] [--kernels reference|blocked] \
+                            [--strategy nsga2|fgsm|pgd|adam] [--epsilon F]\n\
                             --cache evaluates through the dirty-region incremental cache \
                             (identical results, prints hit/recompute counters)\n\
                             --kernels selects the compute kernels (blocked is the fast \
-                            default; predictions are identical under both)"
+                            default; predictions are identical under both)\n\
+                            --strategy replaces the black-box NSGA-II search with a \
+                            gradient-based white-box baseline; --epsilon is its L∞ \
+                            pixel budget"
                     .into())
             }
             other => return Err(args::unknown_flag(other)),
@@ -108,9 +118,10 @@ fn main() -> ExitCode {
         zoo.model(options.arch, options.seed)
     };
     println!(
-        "attacking {} on image {} (pop {}, {} generations, {:?}{})",
+        "attacking {} on image {} ({}, pop {}, {} generations, {:?}{})",
         model.name(),
         options.image,
+        options.strategy,
         options.population,
         options.generations,
         options.constraint,
@@ -126,6 +137,8 @@ fn main() -> ExitCode {
         constraint: options.constraint,
         use_cache: options.cache,
         kernel_policy: options.kernels,
+        strategy: options.strategy,
+        whitebox_epsilon: options.epsilon,
         ..AttackConfig::default()
     };
     let started = std::time::Instant::now();

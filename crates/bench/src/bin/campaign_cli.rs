@@ -15,7 +15,7 @@
 
 use bea_bench::args::{self, ArgParser};
 use bea_bench::{fmt, Scale};
-use bea_core::attack::AttackConfig;
+use bea_core::attack::{AttackConfig, AttackStrategy};
 use bea_core::campaign::{Campaign, CampaignConfig, CampaignStore, CellSpec};
 use bea_core::report::{print_table, rows_succeeded, SuccessCriteria};
 use bea_detect::{Architecture, KernelPolicy, ModelZoo};
@@ -36,6 +36,7 @@ struct Options {
     resume: bool,
     telemetry: bool,
     kernels: KernelPolicy,
+    strategy: AttackStrategy,
     out: PathBuf,
 }
 
@@ -55,6 +56,7 @@ fn parse_args() -> Result<Options, String> {
         resume: false,
         telemetry: false,
         kernels: KernelPolicy::default(),
+        strategy: AttackStrategy::default(),
         out: PathBuf::from("target/experiments/campaign"),
     };
     let mut args = ArgParser::from_env();
@@ -71,19 +73,23 @@ fn parse_args() -> Result<Options, String> {
             "--resume" => options.resume = true,
             "--telemetry" => options.telemetry = true,
             "--kernels" => options.kernels = args.parse(&flag)?,
+            "--strategy" => options.strategy = args.parse(&flag)?,
             "--out" => options.out = PathBuf::from(args.value(&flag)?),
             "--quick" | "--medium" | "--full" => {} // consumed by Scale
             "--help" | "-h" => {
                 return Err("usage: campaign_cli [--arch yolo|detr|both] [--models N] \
                             [--images N] [--pop N] [--gens N] [--seed N] [--jobs N] \
                             [--cache] [--resume] [--telemetry] \
-                            [--kernels reference|blocked] [--out DIR] \
+                            [--kernels reference|blocked] \
+                            [--strategy nsga2|fgsm|pgd|adam] [--out DIR] \
                             [--quick|--medium|--full]\n\
                             --jobs 0 uses every core; any value yields identical results\n\
                             --resume keeps finished cells from a previous run in --out\n\
                             --telemetry writes one JSONL record per generation per cell\n\
                             --kernels selects the compute kernels (blocked is the fast \
-                            default; results are identical under both)"
+                            default; results are identical under both)\n\
+                            --strategy runs every cell with a gradient-based white-box \
+                            baseline instead of the black-box NSGA-II search"
                     .into())
             }
             other => return Err(args::unknown_flag(other)),
@@ -138,6 +144,7 @@ fn main() -> ExitCode {
             },
             use_cache: options.cache,
             kernel_policy: options.kernels,
+            strategy: options.strategy,
             ..AttackConfig::default()
         },
         base_seed: options.base_seed,
@@ -146,12 +153,13 @@ fn main() -> ExitCode {
     });
 
     println!(
-        "campaign: {} cells ({} arch x {} models x {} images), pop {}, {} generations, \
+        "campaign: {} cells ({} arch x {} models x {} images), {}, pop {}, {} generations, \
          jobs {}{}{}",
         specs.len(),
         options.arches.len(),
         options.models,
         options.images,
+        options.strategy,
         options.population,
         options.generations,
         if options.jobs == 0 { "auto".to_string() } else { options.jobs.to_string() },

@@ -4,10 +4,72 @@ use crate::init::MaskInitializer;
 use crate::objectives::intensity::obj_intensity_normalized;
 use crate::operators::{MaskCrossover, MaskMutation, MutationKind};
 use crate::problem::ButterflyProblem;
+use crate::whitebox;
 use bea_detect::{CacheStats, Detector};
 use bea_image::{FilterMask, Image, RegionConstraint};
 use bea_nsga2::{Direction, GenerationStats, Individual, Nsga2, Nsga2Config, Nsga2Result};
 use bea_tensor::norm::NormKind;
+use std::fmt;
+use std::str::FromStr;
+
+/// Which optimiser drives the attack.
+///
+/// The paper's contribution is the black-box NSGA-II search ([`Self::Nsga2`],
+/// the default); the gradient strategies are white-box baselines that read
+/// [`bea_detect::Detector::input_gradient`] and exist to calibrate how much
+/// the black-box attack gives up by not seeing gradients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AttackStrategy {
+    /// The paper's multi-objective genetic search (black-box).
+    #[default]
+    Nsga2,
+    /// One-shot fast gradient sign step at `whitebox_epsilon`.
+    Fgsm,
+    /// Iterated projected gradient descent under an L∞ ball of
+    /// `whitebox_epsilon` (one step per configured generation).
+    Pgd,
+    /// Adam on a multi-term loss (confidence + box-area + L1/L2 mask
+    /// norms), projected onto the same L∞ ball.
+    Adam,
+}
+
+impl AttackStrategy {
+    /// All strategies, in CLI listing order.
+    pub const ALL: [AttackStrategy; 4] =
+        [AttackStrategy::Nsga2, AttackStrategy::Fgsm, AttackStrategy::Pgd, AttackStrategy::Adam];
+
+    /// The CLI token for this strategy.
+    pub fn token(self) -> &'static str {
+        match self {
+            AttackStrategy::Nsga2 => "nsga2",
+            AttackStrategy::Fgsm => "fgsm",
+            AttackStrategy::Pgd => "pgd",
+            AttackStrategy::Adam => "adam",
+        }
+    }
+}
+
+impl fmt::Display for AttackStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+impl FromStr for AttackStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "nsga2" | "nsga-ii" | "ga" => Ok(AttackStrategy::Nsga2),
+            "fgsm" => Ok(AttackStrategy::Fgsm),
+            "pgd" => Ok(AttackStrategy::Pgd),
+            "adam" => Ok(AttackStrategy::Adam),
+            other => {
+                Err(format!("unknown attack strategy '{other}' (expected nsga2|fgsm|pgd|adam)"))
+            }
+        }
+    }
+}
 
 /// Full configuration of a butterfly effect attack.
 ///
@@ -58,6 +120,13 @@ pub struct AttackConfig {
     /// feature objective raises the dimensionality past the exact
     /// indicator's 3-objective support.
     pub track_hypervolume: bool,
+    /// Which optimiser drives [`ButterflyAttack::attack`] (NSGA-II by
+    /// default; the gradient strategies are white-box baselines).
+    pub strategy: AttackStrategy,
+    /// L∞ budget of the white-box strategies, in pixel-value units —
+    /// defaults to `gaussian_std` so FGSM/PGD spend the same per-pixel
+    /// budget the GA's initialisation draws from.
+    pub whitebox_epsilon: f32,
 }
 
 impl Default for AttackConfig {
@@ -75,6 +144,8 @@ impl Default for AttackConfig {
             use_cache: false,
             kernel_policy: bea_tensor::KernelPolicy::default(),
             track_hypervolume: true,
+            strategy: AttackStrategy::Nsga2,
+            whitebox_epsilon: 12.0,
         }
     }
 }
@@ -126,10 +197,13 @@ impl ButterflyAttack {
         &self.config
     }
 
-    /// Attacks one detector on one image (the standard setting).
+    /// Attacks one detector on one image (the standard setting). The
+    /// configured [`AttackStrategy`] picks the optimiser; the white-box
+    /// strategies require the detector to expose
+    /// [`Detector::input_gradient`] and degrade to a zero-mask outcome
+    /// when it does not.
     pub fn attack(&self, detector: &dyn Detector, img: &Image) -> AttackOutcome {
-        let problem = self.make_problem(vec![detector], vec![img.clone()]);
-        self.run(problem, |_| {})
+        self.attack_with_observer(detector, img, |_| {})
     }
 
     /// Like [`ButterflyAttack::attack`], but invokes `observer` with every
@@ -141,6 +215,9 @@ impl ButterflyAttack {
         img: &Image,
         observer: impl FnMut(&GenerationStats),
     ) -> AttackOutcome {
+        if self.config.strategy != AttackStrategy::Nsga2 {
+            return whitebox::run(self, detector, img, observer);
+        }
         let problem = self.make_problem(vec![detector], vec![img.clone()]);
         self.run(problem, observer)
     }
@@ -173,7 +250,7 @@ impl ButterflyAttack {
         self.run(problem, observer)
     }
 
-    fn make_problem<'a>(
+    pub(crate) fn make_problem<'a>(
         &self,
         detectors: Vec<&'a dyn Detector>,
         frames: Vec<Image>,

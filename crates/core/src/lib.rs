@@ -61,11 +61,12 @@ pub mod queue;
 pub mod report;
 pub mod sweep;
 pub mod telemetry;
+pub(crate) mod whitebox;
 
 #[cfg(test)]
 pub(crate) mod test_fixtures;
 
-pub use attack::{AttackConfig, AttackOutcome, ButterflyAttack};
+pub use attack::{AttackConfig, AttackOutcome, AttackStrategy, ButterflyAttack};
 pub use campaign::{Campaign, CampaignConfig, CampaignResult, CellSpec};
 pub use errors::{ErrorTransition, TransitionReport};
 pub use job::{AttackJob, ImageSpec, JobStatus};

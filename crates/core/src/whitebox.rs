@@ -1,0 +1,239 @@
+//! Gradient-based white-box baselines: FGSM, PGD, and a multi-term Adam
+//! attack.
+//!
+//! These strategies calibrate the paper's black-box NSGA-II search: they
+//! read the true input gradient ([`Detector::input_gradient`]) that the
+//! genetic attack must do without. Every strategy produces a normal
+//! [`AttackOutcome`] — each optimisation step is quantised to a
+//! [`FilterMask`], projected onto the configured region constraint,
+//! evaluated through the same [`crate::ButterflyProblem`] objectives as the GA,
+//! and recorded as one individual / one generation — so campaign
+//! plumbing, telemetry and CSV reporting work unchanged.
+//!
+//! Everything here is single-threaded and allocation-order deterministic:
+//! the same config on the same image produces bit-identical outcomes
+//! regardless of the campaign's `--jobs` setting.
+
+use crate::attack::{AttackConfig, AttackOutcome, AttackStrategy, ButterflyAttack};
+use bea_detect::{Detector, GradientObjective};
+use bea_image::mask::MASK_LIMIT;
+use bea_image::{FilterMask, Image};
+use bea_nsga2::sorting::{assign_ranks, fast_non_dominated_sort};
+use bea_nsga2::{Direction, GenerationStats, Individual, Nsga2Result, Problem};
+use std::time::Instant;
+
+/// Weight of the box-area term in the Adam objective (the FGSM/PGD
+/// confidence objective uses none).
+const ADAM_AREA_WEIGHT: f32 = 0.25;
+/// Weight of the L1 mask-norm term in the Adam loss.
+const ADAM_L1_WEIGHT: f32 = 0.05;
+/// Weight of the squared-L2 mask-norm term in the Adam loss.
+const ADAM_L2_WEIGHT: f32 = 0.05;
+/// Adam first-moment decay.
+const ADAM_BETA1: f32 = 0.9;
+/// Adam second-moment decay.
+const ADAM_BETA2: f32 = 0.999;
+/// Adam denominator stabiliser.
+const ADAM_EPS: f32 = 1e-8;
+/// Adam step size as a fraction of the L∞ budget.
+const ADAM_LR_FRACTION: f32 = 0.25;
+
+/// Runs the configured gradient strategy for one detector on one image.
+pub(crate) fn run(
+    attack: &ButterflyAttack,
+    detector: &dyn Detector,
+    img: &Image,
+    mut observer: impl FnMut(&GenerationStats),
+) -> AttackOutcome {
+    let config = attack.config();
+    let strategy = config.strategy;
+    let problem = attack.make_problem(vec![detector], vec![img.clone()]);
+    let directions = problem.directions();
+    let (width, height) = (problem.width(), problem.height());
+    let cache_before = problem.cache_stats();
+
+    let epsilon = config.whitebox_epsilon.max(1.0);
+    let steps = match strategy {
+        AttackStrategy::Fgsm => 1,
+        _ => config.nsga2.generations.max(1),
+    };
+    let grad_objective = GradientObjective {
+        area_weight: if strategy == AttackStrategy::Adam { ADAM_AREA_WEIGHT } else { 0.0 },
+    };
+
+    let mut population: Vec<Individual<FilterMask>> = Vec::with_capacity(steps + 1);
+    let mut history: Vec<GenerationStats> = Vec::with_capacity(steps + 1);
+    let mut objectives_seen: Vec<Vec<f64>> = Vec::with_capacity(steps + 1);
+    let mut evaluations = 0usize;
+
+    let record = |mask: FilterMask,
+                  generation: usize,
+                  select_ms: f64,
+                  population: &mut Vec<Individual<FilterMask>>,
+                  objectives_seen: &mut Vec<Vec<f64>>,
+                  history: &mut Vec<GenerationStats>,
+                  evaluations: &mut usize,
+                  observer: &mut dyn FnMut(&GenerationStats)| {
+        let eval_start = Instant::now();
+        let objectives = problem.evaluate(&mask);
+        let evaluate_ms = eval_start.elapsed().as_secs_f64() * 1e3;
+        *evaluations += 1;
+        objectives_seen.push(objectives.clone());
+        population.push(Individual::new(mask, objectives));
+        let sort_start = Instant::now();
+        let fronts = fast_non_dominated_sort(objectives_seen, &directions);
+        let front_size = fronts.first().map_or(0, Vec::len);
+        let best = best_per_objective(objectives_seen, &directions);
+        let stats = GenerationStats {
+            generation,
+            front_size,
+            best,
+            hypervolume: None,
+            evaluate_ms,
+            sort_ms: sort_start.elapsed().as_secs_f64() * 1e3,
+            select_ms,
+        };
+        observer(&stats);
+        history.push(stats);
+    };
+
+    // Generation 0: the zero mask (the GA seeds it too), which anchors the
+    // intensity axis of the front and gives FGSM/PGD their clean-image
+    // gradient.
+    record(
+        FilterMask::zeros(width, height),
+        0,
+        0.0,
+        &mut population,
+        &mut objectives_seen,
+        &mut history,
+        &mut evaluations,
+        &mut observer,
+    );
+
+    // The continuous perturbation, in the gradient map's channel-major
+    // layout; quantised to a FilterMask at every step.
+    let plane = width * height;
+    let mut delta = vec![0.0f32; 3 * plane];
+    let mut adam_m = vec![0.0f32; 3 * plane];
+    let mut adam_v = vec![0.0f32; 3 * plane];
+    let pgd_alpha = 2.5 * epsilon / steps as f32;
+
+    for step in 1..=steps {
+        let step_start = Instant::now();
+        let current = quantize(&delta, width, height, config);
+        let perturbed = current.apply(img);
+        let Some(grad) = detector.input_gradient(&perturbed, grad_objective) else {
+            // Black-box detector: no gradient to follow. The outcome keeps
+            // whatever was recorded so far (at least the zero mask).
+            break;
+        };
+        let g = grad.gradient.as_slice();
+        match strategy {
+            AttackStrategy::Fgsm => {
+                // One signed step to the corner of the L∞ ball, against
+                // the objective.
+                for (d, &gi) in delta.iter_mut().zip(g) {
+                    *d = -epsilon * sign(gi);
+                }
+            }
+            AttackStrategy::Pgd => {
+                for (d, &gi) in delta.iter_mut().zip(g) {
+                    *d = (*d - pgd_alpha * sign(gi)).clamp(-epsilon, epsilon);
+                }
+            }
+            AttackStrategy::Adam | AttackStrategy::Nsga2 => {
+                // (Nsga2 never reaches this module; the arm keeps the
+                // match exhaustive.)
+                let n = delta.len() as f32;
+                let lr = ADAM_LR_FRACTION * epsilon;
+                let t = step as i32;
+                for i in 0..delta.len() {
+                    let reg =
+                        ADAM_L1_WEIGHT * sign(delta[i]) / n + 2.0 * ADAM_L2_WEIGHT * delta[i] / n;
+                    let gi = g[i] + reg;
+                    adam_m[i] = ADAM_BETA1 * adam_m[i] + (1.0 - ADAM_BETA1) * gi;
+                    adam_v[i] = ADAM_BETA2 * adam_v[i] + (1.0 - ADAM_BETA2) * gi * gi;
+                    let m_hat = adam_m[i] / (1.0 - ADAM_BETA1.powi(t));
+                    let v_hat = adam_v[i] / (1.0 - ADAM_BETA2.powi(t));
+                    delta[i] = (delta[i] - lr * m_hat / (v_hat.sqrt() + ADAM_EPS))
+                        .clamp(-epsilon, epsilon);
+                }
+            }
+        }
+        // Project onto the allowed region in the continuous domain too, so
+        // Adam's momentum cannot smuggle mass back in.
+        for y in 0..height {
+            for x in 0..width {
+                if !config.constraint.allows(x, y, width, height) {
+                    for c in 0..3 {
+                        delta[c * plane + y * width + x] = 0.0;
+                    }
+                }
+            }
+        }
+        let select_ms = step_start.elapsed().as_secs_f64() * 1e3;
+        record(
+            quantize(&delta, width, height, config),
+            step,
+            select_ms,
+            &mut population,
+            &mut objectives_seen,
+            &mut history,
+            &mut evaluations,
+            &mut observer,
+        );
+    }
+
+    assign_ranks(&mut population, &directions);
+    let cache = match (cache_before, problem.cache_stats()) {
+        (Some(before), Some(after)) => Some(after.since(&before)),
+        (None, after) => after,
+        (Some(_), None) => None,
+    };
+    let result = Nsga2Result::from_parts(population, directions, history, evaluations);
+    AttackOutcome::from_parts(result, cache)
+}
+
+/// Sign with an exact zero (unlike `f32::signum`, which maps `+0` to `1`).
+fn sign(v: f32) -> f32 {
+    if v > 0.0 {
+        1.0
+    } else if v < 0.0 {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+/// Rounds the continuous perturbation to integer mask values and projects
+/// it onto the configured region constraint.
+fn quantize(delta: &[f32], width: usize, height: usize, config: &AttackConfig) -> FilterMask {
+    let plane = width * height;
+    let mut mask = FilterMask::zeros(width, height);
+    for c in 0..3 {
+        for y in 0..height {
+            for x in 0..width {
+                let v = delta[c * plane + y * width + x].round();
+                mask.set(c, y, x, v.clamp(-f32::from(MASK_LIMIT), f32::from(MASK_LIMIT)) as i16);
+            }
+        }
+    }
+    config.constraint.apply(&mut mask);
+    mask
+}
+
+/// Best value seen per objective, respecting its direction.
+fn best_per_objective(objectives: &[Vec<f64>], directions: &[Direction]) -> Vec<f64> {
+    directions
+        .iter()
+        .enumerate()
+        .map(|(i, direction)| {
+            let values = objectives.iter().map(|o| o[i]);
+            match direction {
+                Direction::Minimize => values.fold(f64::INFINITY, f64::min),
+                Direction::Maximize => values.fold(f64::NEG_INFINITY, f64::max),
+            }
+        })
+        .collect()
+}

@@ -1,6 +1,7 @@
 //! The object-detector abstraction.
 
 use crate::cache::CacheStats;
+use crate::grad::{GradientObjective, InputGradient};
 use crate::types::Prediction;
 use bea_image::{FilterMask, Image};
 use bea_tensor::FeatureMap;
@@ -65,6 +66,16 @@ pub trait Detector: Send + Sync {
     fn cache_stats(&self) -> Option<CacheStats> {
         None
     }
+
+    /// White-box access: d(objective)/d(image) for this detector's
+    /// confidence objective on `img` (see [`GradientObjective`]).
+    ///
+    /// `None` (the default) means the detector is black-box only —
+    /// gradient-based attacks fall back to their degenerate outcome.
+    fn input_gradient(&self, img: &Image, objective: GradientObjective) -> Option<InputGradient> {
+        let _ = (img, objective);
+        None
+    }
 }
 
 impl<T: Detector + ?Sized> Detector for &T {
@@ -87,6 +98,10 @@ impl<T: Detector + ?Sized> Detector for &T {
     fn cache_stats(&self) -> Option<CacheStats> {
         (**self).cache_stats()
     }
+
+    fn input_gradient(&self, img: &Image, objective: GradientObjective) -> Option<InputGradient> {
+        (**self).input_gradient(img, objective)
+    }
 }
 
 impl<T: Detector + ?Sized> Detector for Box<T> {
@@ -108,6 +123,10 @@ impl<T: Detector + ?Sized> Detector for Box<T> {
 
     fn cache_stats(&self) -> Option<CacheStats> {
         (**self).cache_stats()
+    }
+
+    fn input_gradient(&self, img: &Image, objective: GradientObjective) -> Option<InputGradient> {
+        (**self).input_gradient(img, objective)
     }
 }
 

@@ -14,6 +14,7 @@
 
 use crate::cache::{IncrementalDetect, IncrementalPrediction};
 use crate::detector::Detector;
+use crate::grad::{field_gradient_to_image, field_to_leaf, GradientObjective, InputGradient};
 use crate::nms;
 use crate::peaks::{measure_span, Peak};
 use crate::response::ResponseField;
@@ -24,7 +25,7 @@ use bea_image::Image;
 use bea_scene::{BBox, ObjectClass};
 use bea_tensor::activation::softmax_inplace;
 use bea_tensor::{
-    insertion_sort_by, DirtyRect, FeatureMap, KernelPolicy, Linear, Matrix, ScratchGuard,
+    insertion_sort_by, DirtyRect, FeatureMap, KernelPolicy, Linear, Matrix, ScratchGuard, Tape,
     WeightInit,
 };
 
@@ -512,6 +513,100 @@ impl Detector for DetrDetector {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Differentiates the above-threshold token-score mass through the
+    /// whole transformer — patch pooling, embedding, every encoder block's
+    /// attention and FFN, the analytic read-out and the median
+    /// suppression — and then through the NCC backbone.
+    ///
+    /// This is the white-box counterpart of the paper's conjecture: the
+    /// gradient of *any* detection is dense over the whole image because
+    /// self-attention couples every token pair.
+    fn input_gradient(&self, img: &Image, objective: GradientObjective) -> Option<InputGradient> {
+        let field = ResponseField::compute(img, &self.bank);
+        let (gw, gh) = self.grid_dims(&field);
+        let (bw, bh) = (field.width(), field.height());
+        let patch = self.config.patch;
+        let classes = ObjectClass::COUNT;
+        let token_count = gw * gh;
+
+        let mut tape = Tape::new();
+        let leaf = tape.leaf(field_to_leaf(&field));
+        // Patch pooling: output (t, c) takes the max response of class c
+        // inside patch t, floored at −1 exactly like `token_scores_from`.
+        let mut groups: Vec<Vec<(usize, usize)>> = Vec::with_capacity(token_count * classes);
+        for gy in 0..gh {
+            for gx in 0..gw {
+                for c in 0..classes {
+                    let mut group = Vec::with_capacity(patch * patch);
+                    for py in 0..patch {
+                        for px in 0..patch {
+                            let (y, x) = (gy * patch + py, gx * patch + px);
+                            if y < bh && x < bw {
+                                group.push((c, y * bw + x));
+                            }
+                        }
+                    }
+                    groups.push(group);
+                }
+            }
+        }
+        let content = tape.max_over_groups(leaf, &groups, -1.0, token_count, classes).ok()?;
+        let embedded = tape.linear(&self.embed, content).ok()?;
+        let mut x = tape.scale(embedded, self.config.content_gain).ok()?;
+        let pos = grid_positional_encoding(gw, gh, self.config.model_dim);
+        for block in &self.encoder {
+            let qk = tape.add_const(x, &pos).ok()?;
+            let attended = tape.multi_head_attention(block.attention(), qk, qk, x).ok()?;
+            x = tape.add_scaled(x, attended, block.mix()).ok()?;
+            let pre = tape.linear(block.ffn_in(), x).ok()?;
+            let hidden = tape.gelu(pre).ok()?;
+            let ffn = tape.linear(block.ffn_out(), hidden).ok()?;
+            x = tape.add_scaled(x, ffn, block.mix()).ok()?;
+        }
+        let raw = tape.matmul_const(x, self.embed.weight(), self.config.kernel_policy).ok()?;
+        let factors: Vec<f32> =
+            self.head_norms.iter().map(|&n| 1.0 / (self.config.content_gain * n)).collect();
+        let calibrated = tape.scale_columns(raw, &factors).ok()?;
+        let suppressed = tape.sub_col_median(calibrated).ok()?;
+
+        // Objective: the detector's own (non-tape) score matrix selects
+        // the above-threshold entries, so the attacked quantity is exactly
+        // what `detect` thresholds. `area_weight` additionally pulls in the
+        // grid-neighbour tokens, whose scores feed the box gate.
+        let scores = self.token_scores_from(&field);
+        let mut coeffs = Matrix::zeros(token_count, classes);
+        for t in 0..token_count {
+            for c in 0..classes {
+                if scores.at(t, c) <= self.threshold {
+                    continue;
+                }
+                coeffs.set(t, c, coeffs.at(t, c) + 1.0);
+                if objective.area_weight > 0.0 {
+                    let (tx, ty) = (t % gw, t / gw);
+                    for (nx, ny) in [
+                        (tx.wrapping_sub(1), ty),
+                        (tx + 1, ty),
+                        (tx, ty.wrapping_sub(1)),
+                        (tx, ty + 1),
+                    ] {
+                        if nx < gw && ny < gh {
+                            let n = ny * gw + nx;
+                            coeffs.set(n, c, coeffs.at(n, c) + objective.area_weight);
+                        }
+                    }
+                }
+            }
+        }
+        let objective_var = tape.weighted_sum(suppressed, &coeffs).ok()?;
+        let objective_value = f64::from(tape.value(objective_var).at(0, 0));
+
+        let grads = tape.backward(objective_var).ok()?;
+        let dleaf = grads.get(leaf)?;
+        let dfield = FeatureMap::from_vec(classes, bh, bw, dleaf.as_slice().to_vec()).ok()?;
+        let gradient = field_gradient_to_image(img, &self.bank, &dfield);
+        Some(InputGradient { objective: objective_value, gradient })
     }
 
     /// Post-encoder token scores as a per-class heatmap on the token grid.

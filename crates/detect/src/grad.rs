@@ -1,0 +1,321 @@
+//! Analytic input gradients through the shared NCC backbone.
+//!
+//! White-box attacks need d(objective)/d(image). The detector heads replay
+//! their forward pass on a [`bea_tensor::Tape`] and hand the resulting
+//! response-field gradient to [`field_gradient_to_image`], which chains the
+//! two backbone stages backwards:
+//!
+//! 1. **NCC backward** — the normalised cross-correlation score of one
+//!    template origin is an analytic function of the pixels under its
+//!    support, so its gradient is computed in closed form, mirroring the
+//!    exact `f64` arithmetic of `response::ncc_into` (flat patches below
+//!    the variance floor and clamp-saturated scores contribute zero, just
+//!    as the forward pass pins them).
+//! 2. **Downscale backward** — `Image::downscale` box-averages `factor²`
+//!    in-bounds pixels per backbone cell, so each source pixel receives
+//!    `1/n` of the cell's gradient.
+//!
+//! The result is a full-resolution, 3-channel gradient map suitable for
+//! FGSM/PGD-style sign steps.
+
+use crate::response::ResponseField;
+use crate::templates::{TemplateBank, BACKBONE_SCALE};
+use bea_image::Image;
+use bea_tensor::FeatureMap;
+
+/// What the detector differentiates when asked for an input gradient.
+///
+/// The base objective is always the sum of the detection-driving scores
+/// (peak responses for YOLO, above-threshold query scores for DETR) — the
+/// quantity a confidence attack pushes down. `area_weight` additionally
+/// mixes in the response mass over each detection's template-sized
+/// support window, which is what the box-extent measurement reads; the
+/// multi-term Adam attack uses it to shrink predicted boxes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradientObjective {
+    /// Weight of the box-support response mass added to the objective.
+    pub area_weight: f32,
+}
+
+impl Default for GradientObjective {
+    fn default() -> Self {
+        Self { area_weight: 0.0 }
+    }
+}
+
+/// An objective value and its gradient with respect to the input image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputGradient {
+    /// The differentiated scalar objective (confidence mass).
+    pub objective: f64,
+    /// d(objective)/d(pixel): 3 channels at full image resolution.
+    pub gradient: FeatureMap,
+}
+
+impl InputGradient {
+    /// A zero gradient for an image with no detections to attack.
+    pub fn zero(objective: f64, width: usize, height: usize) -> Self {
+        Self { objective, gradient: FeatureMap::zeros(3, height, width) }
+    }
+}
+
+/// Pulls a gradient on the response field back to the full-resolution
+/// image: NCC backward into the half-resolution image, then box-average
+/// backward to the input pixels.
+///
+/// `dfield` must have one channel per class at backbone resolution, laid
+/// out exactly like [`ResponseField::map`].
+pub(crate) fn field_gradient_to_image(
+    img: &Image,
+    bank: &TemplateBank,
+    dfield: &FeatureMap,
+) -> FeatureMap {
+    let half = img.downscale(BACKBONE_SCALE);
+    let dhalf = ncc_backward(half.as_feature_map(), bank, dfield);
+    downscale_backward(&dhalf, img.width(), img.height(), BACKBONE_SCALE)
+}
+
+/// Backward pass of `response::ncc_into` over every template and origin.
+///
+/// For an origin with patch sum `s`, squared sum `q`, template dot `dot`
+/// and `n = 3·th·tw` entries, the forward score is
+/// `ncc = num / (sqrt(var)·norm)` with `num = dot − (s/n)·W` and
+/// `var = q − s²/n`, so
+///
+/// `d(ncc)/dP_i = (t_i − W/n)/denom − num·(P_i − s/n)/(var·denom)`
+///
+/// where `denom = sqrt(var)·norm`. Origins the forward pass floors
+/// (`var < var_floor`) or clamps (`|ncc| ≥ 1`) have zero gradient.
+fn ncc_backward(half: &FeatureMap, bank: &TemplateBank, dfield: &FeatureMap) -> FeatureMap {
+    let (h, w) = (half.height(), half.width());
+    let mut dhalf = FeatureMap::zeros(3, h, w);
+    const MIN_PATCH_STD: f64 = 4.0;
+    for template in bank.templates() {
+        let (th, tw) = (template.height(), template.width());
+        if th > h || tw > w {
+            continue;
+        }
+        let t = template.map();
+        let class = template.class().index();
+        let n = (3 * th * tw) as f64;
+        let var_floor = n * MIN_PATCH_STD * MIN_PATCH_STD;
+        let weight_sum = template.weight_sum() as f64;
+        let norm = template.norm() as f64;
+        for y0 in 0..=(h - th) {
+            for x0 in 0..=(w - tw) {
+                let g = dfield.at(class, y0 + th / 2, x0 + tw / 2) as f64;
+                if g == 0.0 {
+                    continue;
+                }
+                // Recompute the forward statistics for this origin in f64,
+                // matching ncc_into's accumulation.
+                let mut s = 0.0f64;
+                let mut q = 0.0f64;
+                let mut dot = 0.0f64;
+                for c in 0..3 {
+                    for ty in 0..th {
+                        for tx in 0..tw {
+                            let p = half.at(c, y0 + ty, x0 + tx) as f64;
+                            s += p;
+                            q += p * p;
+                            dot += (t.at(c, ty, tx) * half.at(c, y0 + ty, x0 + tx)) as f64;
+                        }
+                    }
+                }
+                let var = q - s * s / n;
+                if var < var_floor {
+                    continue;
+                }
+                let num = dot - (s / n) * weight_sum;
+                let denom = var.sqrt() * norm;
+                if (num / denom).abs() >= 1.0 {
+                    continue;
+                }
+                let mean = s / n;
+                for c in 0..3 {
+                    for ty in 0..th {
+                        for tx in 0..tw {
+                            let p = half.at(c, y0 + ty, x0 + tx) as f64;
+                            let t_i = t.at(c, ty, tx) as f64;
+                            let d =
+                                (t_i - weight_sum / n) / denom - num * (p - mean) / (var * denom);
+                            let (y, x) = (y0 + ty, x0 + tx);
+                            dhalf.set(c, y, x, dhalf.at(c, y, x) + (g * d) as f32);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dhalf
+}
+
+/// Backward pass of `Image::downscale`: each backbone cell box-averages its
+/// `n` in-bounds source pixels, so each source receives `dcell / n`. Source
+/// pixels no cell reads (the remainder strip when the image dimensions are
+/// not multiples of `factor`) keep zero gradient, matching the forward
+/// pass's information loss.
+fn downscale_backward(
+    dhalf: &FeatureMap,
+    full_w: usize,
+    full_h: usize,
+    factor: usize,
+) -> FeatureMap {
+    let mut dimg = FeatureMap::zeros(3, full_h, full_w);
+    for c in 0..3 {
+        for y in 0..dhalf.height() {
+            for x in 0..dhalf.width() {
+                let g = dhalf.at(c, y, x);
+                if g == 0.0 {
+                    continue;
+                }
+                let mut n = 0usize;
+                for dy in 0..factor {
+                    for dx in 0..factor {
+                        if y * factor + dy < full_h && x * factor + dx < full_w {
+                            n += 1;
+                        }
+                    }
+                }
+                let share = g / n.max(1) as f32;
+                for dy in 0..factor {
+                    for dx in 0..factor {
+                        let (sy, sx) = (y * factor + dy, x * factor + dx);
+                        if sy < full_h && sx < full_w {
+                            dimg.set(c, sy, sx, dimg.at(c, sy, sx) + share);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dimg
+}
+
+/// Converts a response field to the `COUNT × (bh·bw)` leaf matrix layout
+/// the detector heads feed to the tape (one row per class plane).
+pub(crate) fn field_to_leaf(field: &ResponseField) -> bea_tensor::Matrix {
+    let map = field.map();
+    let cells = map.height() * map.width();
+    bea_tensor::Matrix::from_vec(map.channels(), cells, map.as_slice().to_vec())
+        .expect("field planes form a rectangular matrix")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bea_scene::render::{render_object, Style};
+    use bea_scene::{BBox, ObjectClass};
+
+    fn scene() -> Image {
+        let mut img = Image::filled(96, 64, [96.0; 3]);
+        let (w, h) = ObjectClass::Car.nominal_size();
+        render_object(
+            &mut img,
+            ObjectClass::Car,
+            &BBox::new(48.0, 32.0, w as f32, h as f32),
+            &Style::canonical(ObjectClass::Car),
+        );
+        img
+    }
+
+    /// Sums the response plane values selected by `dfield` — the linear
+    /// objective whose gradient `ncc_backward` computes.
+    fn objective(img: &Image, bank: &TemplateBank, dfield: &FeatureMap) -> f64 {
+        let field = ResponseField::compute(img, bank);
+        let map = field.map();
+        let mut acc = 0.0f64;
+        for c in 0..map.channels() {
+            for y in 0..map.height() {
+                for x in 0..map.width() {
+                    acc += (dfield.at(c, y, x) * map.at(c, y, x)) as f64;
+                }
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn backbone_gradient_matches_finite_differences() {
+        let img = scene();
+        let bank = TemplateBank::canonical();
+        let field = ResponseField::compute(&img, &bank);
+        // Weight the car plane's strongest cell: a realistic single-peak
+        // objective with plenty of support pixels.
+        let plane = field.class_plane(ObjectClass::Car);
+        let (bw, bh) = (field.width(), field.height());
+        let mut best = (0usize, 0usize, f32::NEG_INFINITY);
+        for y in 0..bh {
+            for x in 0..bw {
+                if plane[y * bw + x] > best.2 {
+                    best = (x, y, plane[y * bw + x]);
+                }
+            }
+        }
+        let mut dfield = FeatureMap::zeros(ObjectClass::COUNT, bh, bw);
+        dfield.set(ObjectClass::Car.index(), best.1, best.0, 1.0);
+
+        let grad = field_gradient_to_image(&img, &bank, &dfield);
+        assert_eq!(grad.shape(), (3, 64, 96));
+        let grad_norm: f32 = grad.as_slice().iter().map(|v| v * v).sum::<f32>();
+        assert!(grad_norm > 0.0, "peak objective must have a nonzero gradient");
+
+        // Central differences at the largest-gradient pixels.
+        let mut coords: Vec<(usize, usize, usize)> = Vec::new();
+        for c in 0..3 {
+            let mut best_px = (0usize, 0usize, 0.0f32);
+            for y in 0..64 {
+                for x in 0..96 {
+                    // Stay clear of the [0, 255] value clamp so central
+                    // differences see the unclamped function.
+                    let v = img.at(c, y, x);
+                    if grad.at(c, y, x).abs() > best_px.2 && v > 1.0 && v < 254.0 {
+                        best_px = (y, x, grad.at(c, y, x).abs());
+                    }
+                }
+            }
+            coords.push((c, best_px.0, best_px.1));
+        }
+        let eps = 0.25f32;
+        for (c, y, x) in coords {
+            let base = img.at(c, y, x);
+            let mut plus = img.clone();
+            plus.set(c, y, x, base + eps);
+            let mut minus = img.clone();
+            minus.set(c, y, x, base - eps);
+            let fd = (objective(&plus, &bank, &dfield) - objective(&minus, &bank, &dfield))
+                / (2.0 * eps as f64);
+            let an = grad.at(c, y, x) as f64;
+            let denom = an.abs().max(fd.abs()).max(1e-6);
+            assert!(
+                ((an - fd) / denom).abs() < 1e-2,
+                "channel {c} pixel ({x},{y}): analytic {an} vs fd {fd}"
+            );
+        }
+    }
+
+    #[test]
+    fn floored_and_clamped_origins_have_zero_gradient() {
+        // A constant image floors every patch: the backward pass must
+        // return an all-zero gradient even when dfield is dense.
+        let img = Image::filled(64, 48, [96.0; 3]);
+        let bank = TemplateBank::canonical();
+        let field = ResponseField::compute(&img, &bank);
+        let dfield = FeatureMap::filled(ObjectClass::COUNT, field.height(), field.width(), 1.0);
+        let grad = field_gradient_to_image(&img, &bank, &dfield);
+        assert!(grad.as_slice().iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn downscale_backward_spreads_evenly() {
+        let mut dhalf = FeatureMap::zeros(3, 2, 2);
+        dhalf.set(0, 0, 0, 4.0);
+        let dimg = downscale_backward(&dhalf, 5, 4, 2);
+        // The (0,0) cell averages a full 2×2 block: each source gets 1.
+        assert_eq!(dimg.at(0, 0, 0), 1.0);
+        assert_eq!(dimg.at(0, 1, 1), 1.0);
+        assert_eq!(dimg.at(0, 0, 2), 0.0);
+        // Column 4 is the remainder strip no cell reads.
+        assert!((0..4).all(|y| dimg.at(0, y, 4) == 0.0));
+    }
+}

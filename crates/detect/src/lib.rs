@@ -46,6 +46,7 @@ pub mod cache;
 pub mod detector;
 pub mod detr;
 pub mod ensemble;
+pub mod grad;
 pub mod heatmap;
 pub mod metrics;
 pub mod nms;
@@ -63,6 +64,7 @@ pub use cache::{CacheStats, CachedDetector, IncrementalDetect};
 pub use detector::Detector;
 pub use detr::{DetrConfig, DetrDetector};
 pub use ensemble::Ensemble;
+pub use grad::{GradientObjective, InputGradient};
 pub use two_stage::{TwoStageConfig, TwoStageDetector};
 pub use types::{Detection, Prediction};
 pub use yolo::{YoloConfig, YoloDetector};

@@ -131,6 +131,16 @@ impl EncoderBlock {
     pub fn attention(&self) -> &MultiHeadAttention {
         &self.attention
     }
+
+    /// The expanding FFN projection (for gradient replay).
+    pub fn ffn_in(&self) -> &Linear {
+        &self.ffn_in
+    }
+
+    /// The contracting FFN projection (for gradient replay).
+    pub fn ffn_out(&self) -> &Linear {
+        &self.ffn_out
+    }
 }
 
 #[cfg(test)]

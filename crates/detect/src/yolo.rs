@@ -12,6 +12,7 @@
 
 use crate::cache::{IncrementalDetect, IncrementalPrediction};
 use crate::detector::Detector;
+use crate::grad::{field_gradient_to_image, field_to_leaf, GradientObjective, InputGradient};
 use crate::nms;
 use crate::peaks::{find_peaks, measure_span};
 use crate::response::ResponseField;
@@ -19,7 +20,7 @@ use crate::templates::TemplateBank;
 use crate::types::{Detection, Prediction};
 use bea_image::Image;
 use bea_scene::{BBox, ObjectClass};
-use bea_tensor::{DirtyRect, FeatureMap, WeightInit};
+use bea_tensor::{DirtyRect, FeatureMap, KernelPolicy, Matrix, Tape, WeightInit};
 
 /// Configuration of a [`YoloDetector`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -247,6 +248,66 @@ impl Detector for YoloDetector {
 
     fn heatmap(&self, img: &Image) -> FeatureMap {
         self.modulated_field(img)
+    }
+
+    /// Differentiates the confidence mass of the clean detections through
+    /// the context-gain pathway and the NCC backbone.
+    ///
+    /// The forward replay on the tape reproduces [`Self::modulate`]
+    /// bit-for-bit (same `f32` accumulation order), so the peaks found on
+    /// the replayed field are exactly the detection peaks of
+    /// [`Detector::detect`].
+    fn input_gradient(&self, img: &Image, objective: GradientObjective) -> Option<InputGradient> {
+        let field = ResponseField::compute(img, &self.bank);
+        let (bh, bw) = (field.height(), field.width());
+        let cells = bh * bw;
+        let c = ObjectClass::COUNT;
+
+        let mut tape = Tape::new();
+        let leaf = tape.leaf(field_to_leaf(&field));
+        // Global context pathway: mean positive response per class, mixed
+        // by the context weights, squashed, and applied as a row gain.
+        let positive = tape.relu(leaf).ok()?;
+        let context = tape.row_mean(positive).ok()?;
+        let w_ctx = Matrix::from_vec(c, c, self.ctx_weights.clone()).ok()?;
+        let drive = tape.const_matmul(&w_ctx, context, KernelPolicy::Reference).ok()?;
+        let squashed = tape.tanh(drive).ok()?;
+        let gain = tape.affine(squashed, self.config.context_gain, 1.0).ok()?;
+        let modulated = tape.scale_rows(leaf, gain).ok()?;
+
+        // The objective selects the modulated score at every detection
+        // peak (confidence mass), plus — weighted by `area_weight` — the
+        // response mass over each peak's template-sized support window
+        // (what the box-extent measurement reads).
+        let modv = tape.value(modulated).clone();
+        let mut coeffs = Matrix::zeros(c, cells);
+        for class in ObjectClass::ALL {
+            let ci = class.index();
+            let plane = modv.row(ci);
+            let template = self.bank.template(class);
+            let (th, tw) = (template.height(), template.width());
+            for &peak in find_peaks(plane, bw, bh, self.threshold).iter() {
+                let cell = peak.y * bw + peak.x;
+                coeffs.set(ci, cell, coeffs.at(ci, cell) + 1.0);
+                if objective.area_weight > 0.0 {
+                    let share = objective.area_weight / (th * tw) as f32;
+                    for wy in peak.y.saturating_sub(th / 2)..(peak.y + th - th / 2).min(bh) {
+                        for wx in peak.x.saturating_sub(tw / 2)..(peak.x + tw - tw / 2).min(bw) {
+                            let i = wy * bw + wx;
+                            coeffs.set(ci, i, coeffs.at(ci, i) + share);
+                        }
+                    }
+                }
+            }
+        }
+        let objective_var = tape.weighted_sum(modulated, &coeffs).ok()?;
+        let objective_value = f64::from(tape.value(objective_var).at(0, 0));
+
+        let grads = tape.backward(objective_var).ok()?;
+        let dleaf = grads.get(leaf)?;
+        let dfield = FeatureMap::from_vec(c, bh, bw, dleaf.as_slice().to_vec()).ok()?;
+        let gradient = field_gradient_to_image(img, &self.bank, &dfield);
+        Some(InputGradient { objective: objective_value, gradient })
     }
 }
 

@@ -64,6 +64,18 @@ pub fn fast_non_dominated_sort(
     fronts
 }
 
+/// Assigns Pareto ranks in place on a population of [`crate::Individual`]s,
+/// so externally assembled populations (e.g. the gradient-attack
+/// trajectories fed to [`crate::Nsga2Result::from_parts`]) filter correctly
+/// through [`crate::Nsga2Result::pareto_front`].
+pub fn assign_ranks<G>(population: &mut [crate::Individual<G>], directions: &[Direction]) {
+    let objectives: Vec<Vec<f64>> =
+        population.iter().map(|ind| ind.objectives().to_vec()).collect();
+    for (ind, rank) in population.iter_mut().zip(ranks(&objectives, directions)) {
+        ind.rank = rank;
+    }
+}
+
 /// Assigns each solution its Pareto rank (front index).
 pub fn ranks(objectives: &[Vec<f64>], directions: &[Direction]) -> Vec<usize> {
     let fronts = fast_non_dominated_sort(objectives, directions);

@@ -38,12 +38,19 @@ pub fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
 }
 
+/// `√(2/π)`, the outer scale of the tanh-approximated GELU. Shared with
+/// [`crate::autodiff::gelu_derivative`] so forward and backward agree
+/// exactly.
+pub const GELU_SCALE: f32 = 0.797_884_6;
+
+/// The cubic coefficient of the tanh-approximated GELU.
+pub const GELU_COEFF: f32 = 0.044_715;
+
 /// Gaussian error linear unit (tanh approximation, as used by transformer
 /// feed-forward blocks).
 #[inline]
 pub fn gelu(x: f32) -> f32 {
-    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
-    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+    0.5 * x * (1.0 + (GELU_SCALE * (x + GELU_COEFF * x * x * x)).tanh())
 }
 
 /// Numerically stable softmax over a slice, in place.

@@ -173,6 +173,32 @@ impl MultiHeadAttention {
         self.model_dim
     }
 
+    /// Per-head dimensionality (`model_dim / heads`).
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// The query projection (read access for the autodiff tape, which
+    /// re-composes [`Self::forward`] from these layers op by op).
+    pub fn q_proj(&self) -> &Linear {
+        &self.q_proj
+    }
+
+    /// The key projection.
+    pub fn k_proj(&self) -> &Linear {
+        &self.k_proj
+    }
+
+    /// The value projection.
+    pub fn v_proj(&self) -> &Linear {
+        &self.v_proj
+    }
+
+    /// The output projection applied to the concatenated head outputs.
+    pub fn out_proj(&self) -> &Linear {
+        &self.out_proj
+    }
+
     /// Applies multi-head attention.
     ///
     /// `queries`, `keys` and `values` all have `model_dim` columns; for

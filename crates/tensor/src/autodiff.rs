@@ -1,0 +1,471 @@
+//! Pure reverse-mode backward passes for the crate's forward primitives.
+//!
+//! Each function maps an upstream gradient `dy = d(objective)/d(output)`
+//! to the matching input gradient, using only the operands a caller of the
+//! forward op already holds. The functions are deliberately *pure* (no
+//! tape, no state) so they can be finite-difference-checked in isolation;
+//! [`crate::tape`] composes them into a Wengert-list autodiff engine.
+//!
+//! Numerical contract: every backward matmul runs under the caller's
+//! [`KernelPolicy`], and both policies are `==`-identical (the blocked
+//! kernels preserve per-element accumulation order — see [`crate::gemm`]),
+//! so gradients are bit-for-bit reproducible across policies just like the
+//! forward passes.
+
+use crate::activation::{GELU_COEFF, GELU_SCALE};
+use crate::conv::Conv2d;
+use crate::error::{Result, TensorError};
+use crate::gemm::KernelPolicy;
+use crate::linear::{LayerNorm, Linear};
+use crate::matrix::Matrix;
+use crate::pool::{AvgPool2d, MaxPool2d};
+use crate::tensor3::FeatureMap;
+
+/// Gradients of `y = a · b` with respect to both operands:
+/// `dA = dy · bᵀ`, `dB = aᵀ · dy`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `dy` is not shaped
+/// `a.rows() × b.cols()`.
+pub fn matmul_backward(
+    a: &Matrix,
+    b: &Matrix,
+    dy: &Matrix,
+    policy: KernelPolicy,
+) -> Result<(Matrix, Matrix)> {
+    let da = dy.matmul_nt_policy(b, policy)?;
+    let db = a.transpose().matmul_policy(dy, policy)?;
+    Ok((da, db))
+}
+
+/// Gradients of `y = a · bᵀ` with respect to both operands:
+/// `dA = dy · b`, `dB = dyᵀ · a`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `dy` is not shaped
+/// `a.rows() × b.rows()`.
+pub fn matmul_nt_backward(
+    a: &Matrix,
+    b: &Matrix,
+    dy: &Matrix,
+    policy: KernelPolicy,
+) -> Result<(Matrix, Matrix)> {
+    let da = dy.matmul_policy(b, policy)?;
+    let db = dy.transpose().matmul_policy(a, policy)?;
+    Ok((da, db))
+}
+
+/// Gradient of [`Linear::forward`] with respect to its *input*:
+/// `dX = dy · W` (the bias contributes nothing to the input gradient).
+///
+/// Runs under the layer's own kernel policy, so white-box gradients stay
+/// `==`-identical across `Reference`/`Blocked` and packed/unpacked weights
+/// (packing only affects the forward fast path, never the stored `W`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `dy.cols()` differs from the
+/// layer's output dimensionality.
+pub fn linear_input_backward(layer: &Linear, dy: &Matrix) -> Result<Matrix> {
+    dy.matmul_policy(layer.weight(), layer.kernel_policy())
+}
+
+/// Gradient of elementwise ReLU: passes `dy` where `x > 0`, zero elsewhere.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `x` and `dy` differ in shape.
+pub fn relu_backward(x: &Matrix, dy: &Matrix) -> Result<Matrix> {
+    elementwise_backward(x, dy, |v| if v > 0.0 { 1.0 } else { 0.0 })
+}
+
+/// Gradient of elementwise `tanh`: `dx = dy · (1 − tanh²(x))`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `x` and `dy` differ in shape.
+pub fn tanh_backward(x: &Matrix, dy: &Matrix) -> Result<Matrix> {
+    elementwise_backward(x, dy, |v| {
+        let t = v.tanh();
+        1.0 - t * t
+    })
+}
+
+/// Derivative of the tanh-approximated GELU used by
+/// [`crate::activation::gelu`] at a single point.
+pub fn gelu_derivative(x: f32) -> f32 {
+    let u = GELU_SCALE * (x + GELU_COEFF * x * x * x);
+    let t = u.tanh();
+    let du = GELU_SCALE * (1.0 + 3.0 * GELU_COEFF * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+/// Gradient of elementwise GELU (tanh approximation, matching
+/// [`crate::activation::gelu`] exactly).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `x` and `dy` differ in shape.
+pub fn gelu_backward(x: &Matrix, dy: &Matrix) -> Result<Matrix> {
+    elementwise_backward(x, dy, gelu_derivative)
+}
+
+fn elementwise_backward(
+    x: &Matrix,
+    dy: &Matrix,
+    derivative: impl Fn(f32) -> f32,
+) -> Result<Matrix> {
+    if x.shape() != dy.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "elementwise backward",
+            lhs: vec![x.rows(), x.cols()],
+            rhs: vec![dy.rows(), dy.cols()],
+        });
+    }
+    let mut out = dy.clone();
+    for (o, &v) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        *o *= derivative(v);
+    }
+    Ok(out)
+}
+
+/// Gradient of row-wise softmax, computed from the *saved forward output*
+/// `s` (not the logits): `dx_i = s_i · (dy_i − Σ_j dy_j · s_j)`.
+///
+/// Working from the forward output rather than re-exponentiating the
+/// logits is what keeps this numerically stable under saturation: for
+/// extreme logits `s` is exactly one-hot, the inner product collapses to
+/// the hot `dy`, and every gradient stays finite — no `exp` overflow, no
+/// `0 · ∞` NaN. (Regression-tested in `tests/gradcheck.rs`.)
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `softmax_out` and `dy` differ
+/// in shape.
+pub fn softmax_rows_backward(softmax_out: &Matrix, dy: &Matrix) -> Result<Matrix> {
+    if softmax_out.shape() != dy.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "softmax backward",
+            lhs: vec![softmax_out.rows(), softmax_out.cols()],
+            rhs: vec![dy.rows(), dy.cols()],
+        });
+    }
+    let mut out = Matrix::zeros(dy.rows(), dy.cols());
+    for r in 0..dy.rows() {
+        let s = softmax_out.row(r);
+        let g = dy.row(r);
+        // f64 inner product: the subtraction below cancels to ~0 for
+        // uniform rows, where f32 accumulation error would dominate.
+        let dot: f64 = s.iter().zip(g).map(|(&si, &gi)| f64::from(si) * f64::from(gi)).sum();
+        for (j, o) in out.row_mut(r).iter_mut().enumerate() {
+            *o = s[j] * ((f64::from(g[j]) - dot) as f32);
+        }
+    }
+    Ok(out)
+}
+
+/// Gradient of [`LayerNorm::forward`] with respect to its input.
+///
+/// Standard per-row formula: with `x̂ = (x − μ)/σ` and `dŷ_j = dy_j·γ_j`,
+/// `dx_j = (dŷ_j − mean(dŷ) − x̂_j · mean(dŷ ⊙ x̂)) / σ`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if shapes disagree with the
+/// layer's feature count.
+pub fn layer_norm_backward(norm: &LayerNorm, x: &Matrix, dy: &Matrix) -> Result<Matrix> {
+    if x.shape() != dy.shape() || x.cols() != norm.features() {
+        return Err(TensorError::ShapeMismatch {
+            op: "layer_norm backward",
+            lhs: vec![x.rows(), x.cols()],
+            rhs: vec![dy.rows(), dy.cols(), norm.features()],
+        });
+    }
+    let cols = x.cols();
+    let gamma = norm.gamma();
+    let mut out = Matrix::zeros(x.rows(), cols);
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let g = dy.row(r);
+        let mean = row.iter().sum::<f32>() / cols as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+        let denom = (var + norm.epsilon()).sqrt();
+        let mut mean_dxhat = 0.0f64;
+        let mut mean_dxhat_xhat = 0.0f64;
+        for j in 0..cols {
+            let xhat = (row[j] - mean) / denom;
+            let dxhat = g[j] * gamma[j];
+            mean_dxhat += f64::from(dxhat);
+            mean_dxhat_xhat += f64::from(dxhat) * f64::from(xhat);
+        }
+        mean_dxhat /= cols as f64;
+        mean_dxhat_xhat /= cols as f64;
+        for (j, o) in out.row_mut(r).iter_mut().enumerate() {
+            let xhat = (row[j] - mean) / denom;
+            let dxhat = g[j] * gamma[j];
+            *o = ((f64::from(dxhat) - mean_dxhat - f64::from(xhat) * mean_dxhat_xhat)
+                / f64::from(denom)) as f32;
+        }
+    }
+    Ok(out)
+}
+
+/// Gradient of [`Conv2d::forward`] with respect to its *input* map.
+///
+/// Lowered the same way the forward Blocked path is: `dcols = Wᵀ · dy`
+/// (one GEMM under the layer's kernel policy), then the im2col gather is
+/// inverted into a scatter-add — each `(k, cell)` entry of `dcols` lands
+/// on the input pixel the forward gather read, and padded coordinates are
+/// dropped (their forward contribution was the constant zero).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `dy` does not match the
+/// layer's output shape for an `in_h × in_w` input.
+pub fn conv2d_input_backward(
+    conv: &Conv2d,
+    dy: &FeatureMap,
+    in_h: usize,
+    in_w: usize,
+) -> Result<FeatureMap> {
+    let (out_h, out_w) = conv.output_size(in_h, in_w);
+    if dy.shape() != (conv.out_channels(), out_h, out_w) {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d input backward",
+            lhs: vec![conv.out_channels(), out_h, out_w],
+            rhs: vec![dy.channels(), dy.height(), dy.width()],
+        });
+    }
+    let (kh, kw) = conv.kernel_size();
+    let kernel_volume = conv.in_channels() * kh * kw;
+    let weight = Matrix::from_vec(conv.out_channels(), kernel_volume, conv.weights().to_vec())?;
+    let dy_mat = Matrix::from_vec(conv.out_channels(), out_h * out_w, dy.as_slice().to_vec())?;
+    // K × cells, where row k = (ic·kh + ky)·kw + kx matches im2col's layout.
+    let dcols = weight.transpose().matmul_policy(&dy_mat, conv.kernel_policy())?;
+    let (stride, padding) = (conv.stride(), conv.padding());
+    let mut dx = FeatureMap::zeros(conv.in_channels(), in_h, in_w);
+    for ic in 0..conv.in_channels() {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let k = (ic * kh + ky) * kw + kx;
+                let row = dcols.row(k);
+                for oy in 0..out_h {
+                    let iy = oy * stride + ky;
+                    if iy < padding || iy >= in_h + padding {
+                        continue;
+                    }
+                    let iy = iy - padding;
+                    for ox in 0..out_w {
+                        let ix = ox * stride + kx;
+                        if ix < padding || ix >= in_w + padding {
+                            continue;
+                        }
+                        let ix = ix - padding;
+                        let acc = dx.at(ic, iy, ix) + row[oy * out_w + ox];
+                        dx.set(ic, iy, ix, acc);
+                    }
+                }
+            }
+        }
+    }
+    Ok(dx)
+}
+
+/// Gradient of [`MaxPool2d::forward`] with respect to its input: each
+/// output cell routes its gradient to the *first* input position (in the
+/// forward window scan order) that attains the window maximum, matching
+/// the subgradient convention of the forward `f32::max` reduction.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `dy` does not match the pool
+/// output shape for `input`.
+pub fn max_pool_backward(
+    pool: &MaxPool2d,
+    input: &FeatureMap,
+    dy: &FeatureMap,
+) -> Result<FeatureMap> {
+    let (out_h, out_w) = pool.output_size(input.height(), input.width());
+    if dy.shape() != (input.channels(), out_h, out_w) {
+        return Err(TensorError::ShapeMismatch {
+            op: "max_pool backward",
+            lhs: vec![input.channels(), out_h, out_w],
+            rhs: vec![dy.channels(), dy.height(), dy.width()],
+        });
+    }
+    let (window, stride) = (pool.window(), pool.stride());
+    let mut dx = FeatureMap::zeros(input.channels(), input.height(), input.width());
+    for c in 0..input.channels() {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_at = (0, 0);
+                for wy in 0..window {
+                    for wx in 0..window {
+                        let (iy, ix) = (oy * stride + wy, ox * stride + wx);
+                        let v = input.at(c, iy, ix);
+                        if v > best {
+                            best = v;
+                            best_at = (iy, ix);
+                        }
+                    }
+                }
+                let (iy, ix) = best_at;
+                dx.set(c, iy, ix, dx.at(c, iy, ix) + dy.at(c, oy, ox));
+            }
+        }
+    }
+    Ok(dx)
+}
+
+/// Gradient of [`AvgPool2d::forward`] with respect to its input: each
+/// output cell spreads `dy / window²` uniformly over its window.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `dy` does not match the pool
+/// output shape for an `in_h × in_w` input.
+pub fn avg_pool_backward(
+    pool: &AvgPool2d,
+    in_h: usize,
+    in_w: usize,
+    dy: &FeatureMap,
+) -> Result<FeatureMap> {
+    let (out_h, out_w) = pool.output_size(in_h, in_w);
+    if dy.height() != out_h || dy.width() != out_w {
+        return Err(TensorError::ShapeMismatch {
+            op: "avg_pool backward",
+            lhs: vec![dy.channels(), out_h, out_w],
+            rhs: vec![dy.channels(), dy.height(), dy.width()],
+        });
+    }
+    let (window, stride) = (pool.window(), pool.stride());
+    let share = 1.0 / (window * window) as f32;
+    let mut dx = FeatureMap::zeros(dy.channels(), in_h, in_w);
+    for c in 0..dy.channels() {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let g = dy.at(c, oy, ox) * share;
+                for wy in 0..window {
+                    for wx in 0..window {
+                        let (iy, ix) = (oy * stride + wy, ox * stride + wx);
+                        dx.set(c, iy, ix, dx.at(c, iy, ix) + g);
+                    }
+                }
+            }
+        }
+    }
+    Ok(dx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::{gelu, softmax_rows_inplace};
+    use crate::init::WeightInit;
+
+    fn noisy(rows: usize, cols: usize, phase: f32) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i as f32) * 0.37 + phase).sin() * 2.0;
+        }
+        m
+    }
+
+    #[test]
+    fn matmul_backward_shapes() {
+        let a = noisy(3, 4, 0.0);
+        let b = noisy(4, 5, 1.0);
+        let dy = noisy(3, 5, 2.0);
+        let (da, db) = matmul_backward(&a, &b, &dy, KernelPolicy::Reference).unwrap();
+        assert_eq!(da.shape(), a.shape());
+        assert_eq!(db.shape(), b.shape());
+    }
+
+    #[test]
+    fn matmul_nt_backward_shapes() {
+        let a = noisy(3, 4, 0.0);
+        let b = noisy(5, 4, 1.0);
+        let dy = noisy(3, 5, 2.0);
+        let (da, db) = matmul_nt_backward(&a, &b, &dy, KernelPolicy::Blocked).unwrap();
+        assert_eq!(da.shape(), a.shape());
+        assert_eq!(db.shape(), b.shape());
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let x = Matrix::from_rows(&[&[-1.0, 2.0, 0.0]]).unwrap();
+        let dy = Matrix::from_rows(&[&[5.0, 5.0, 5.0]]).unwrap();
+        let dx = relu_backward(&x, &dy).unwrap();
+        assert_eq!(dx.row(0), &[0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn gelu_derivative_matches_finite_difference() {
+        for &x in &[-3.0f32, -0.7, 0.0, 0.4, 2.5] {
+            let h = 1e-3;
+            let fd = (gelu(x + h) - gelu(x - h)) / (2.0 * h);
+            assert!((gelu_derivative(x) - fd).abs() < 1e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn softmax_backward_rows_sum_to_zero() {
+        // Softmax outputs are shift-invariant, so input gradients must sum
+        // to zero within each row.
+        let mut s = noisy(2, 4, 0.3);
+        softmax_rows_inplace(&mut s);
+        let dy = noisy(2, 4, 1.1);
+        let dx = softmax_rows_backward(&s, &dy).unwrap();
+        for r in 0..2 {
+            let sum: f32 = dx.row(r).iter().sum();
+            assert!(sum.abs() < 1e-5, "row {r} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn softmax_backward_saturated_is_finite() {
+        // One-hot softmax output (what saturated logits produce).
+        let s = Matrix::from_rows(&[&[1.0, 0.0, 0.0]]).unwrap();
+        let dy = Matrix::from_rows(&[&[3.0, -2.0, 7.0]]).unwrap();
+        let dx = softmax_rows_backward(&s, &dy).unwrap();
+        assert!(dx.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn conv_backward_identity_kernel_routes_gradient() {
+        let conv = Conv2d::from_weights(1, 1, 1, 1, vec![1.0], vec![0.5], 1, 0).unwrap();
+        let dy = FeatureMap::filled(1, 3, 3, 2.0);
+        let dx = conv2d_input_backward(&conv, &dy, 3, 3).unwrap();
+        assert_eq!(dx, FeatureMap::filled(1, 3, 3, 2.0), "identity conv passes dy through");
+    }
+
+    #[test]
+    fn conv_backward_rejects_bad_dy_shape() {
+        let mut init = WeightInit::from_seed(3);
+        let conv = Conv2d::seeded(2, 1, 3, 3, 1, 0, &mut init).unwrap();
+        let dy = FeatureMap::zeros(2, 9, 9);
+        assert!(conv2d_input_backward(&conv, &dy, 8, 8).is_err());
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let pool = MaxPool2d::new(2, 2).unwrap();
+        let mut input = FeatureMap::zeros(1, 2, 2);
+        input.set(0, 1, 0, 9.0);
+        let dy = FeatureMap::filled(1, 1, 1, 4.0);
+        let dx = max_pool_backward(&pool, &input, &dy).unwrap();
+        assert_eq!(dx.at(0, 1, 0), 4.0);
+        assert_eq!(dx.as_slice().iter().sum::<f32>(), 4.0);
+    }
+
+    #[test]
+    fn avg_pool_backward_spreads_uniformly() {
+        let pool = AvgPool2d::new(2, 2).unwrap();
+        let dy = FeatureMap::filled(1, 1, 1, 8.0);
+        let dx = avg_pool_backward(&pool, 2, 2, &dy).unwrap();
+        assert!(dx.as_slice().iter().all(|&v| v == 2.0));
+    }
+}

@@ -18,8 +18,10 @@
 //! workspace-level `tests/golden_predictions.rs` suite applies the same
 //! idea end-to-end (whole detectors under both policies).
 
+use crate::autodiff;
 use crate::conv::Conv2d;
 use crate::gemm::{self, KernelPolicy};
+use crate::linear::Linear;
 use crate::matrix::Matrix;
 use crate::tensor3::FeatureMap;
 
@@ -193,6 +195,94 @@ pub fn assert_conv_golden(conv: &Conv2d, input: &FeatureMap) {
         conv.stride(),
         conv.padding(),
         input.shape(),
+    ));
+}
+
+/// Runs the matmul *backward* pass under both kernel policies and asserts
+/// `==`-equality of both operand gradients. The backward matmuls reuse the
+/// forward kernels, so they inherit the same preserved-summation-order
+/// contract — white-box attack gradients must not depend on dispatch.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or any diverging gradient element.
+#[track_caller]
+pub fn assert_matmul_gradient_golden(a: &Matrix, b: &Matrix, dy: &Matrix) {
+    let (da_ref, db_ref) =
+        autodiff::matmul_backward(a, b, dy, KernelPolicy::Reference).expect("reference backward");
+    let (da_fast, db_fast) =
+        autodiff::matmul_backward(a, b, dy, KernelPolicy::Blocked).expect("blocked backward");
+    let context = format!("matmul backward {:?}·{:?}", a.shape(), b.shape());
+    compare_slices(da_ref.as_slice(), da_fast.as_slice())
+        .assert_bit_exact(&format!("{context} dA"));
+    compare_slices(db_ref.as_slice(), db_fast.as_slice())
+        .assert_bit_exact(&format!("{context} dB"));
+}
+
+/// Runs the `a·bᵀ` backward pass under both kernel policies and asserts
+/// `==`-equality of both operand gradients.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or any diverging gradient element.
+#[track_caller]
+pub fn assert_matmul_nt_gradient_golden(a: &Matrix, b: &Matrix, dy: &Matrix) {
+    let (da_ref, db_ref) = autodiff::matmul_nt_backward(a, b, dy, KernelPolicy::Reference)
+        .expect("reference backward");
+    let (da_fast, db_fast) =
+        autodiff::matmul_nt_backward(a, b, dy, KernelPolicy::Blocked).expect("blocked backward");
+    let context = format!("matmul_nt backward {:?}·{:?}ᵀ", a.shape(), b.shape());
+    compare_slices(da_ref.as_slice(), da_fast.as_slice())
+        .assert_bit_exact(&format!("{context} dA"));
+    compare_slices(db_ref.as_slice(), db_fast.as_slice())
+        .assert_bit_exact(&format!("{context} dB"));
+}
+
+/// Computes the linear-layer input gradient under both kernel policies —
+/// which also exercises packed vs unpacked weights, since the `Blocked`
+/// layer carries construction-time NT panels — and asserts `==`-equality.
+///
+/// # Panics
+///
+/// Panics if the backward pass fails or any gradient element diverges.
+#[track_caller]
+pub fn assert_linear_gradient_golden(layer: &Linear, dy: &Matrix) {
+    let mut reference = layer.clone();
+    reference.set_kernel_policy(KernelPolicy::Reference);
+    let mut blocked = layer.clone();
+    blocked.set_kernel_policy(KernelPolicy::Blocked);
+    let dx_ref = autodiff::linear_input_backward(&reference, dy).expect("reference backward");
+    let dx_fast = autodiff::linear_input_backward(&blocked, dy).expect("blocked backward");
+    compare_slices(dx_ref.as_slice(), dx_fast.as_slice()).assert_bit_exact(&format!(
+        "linear backward {}→{} on dy {:?}",
+        layer.in_features(),
+        layer.out_features(),
+        dy.shape(),
+    ));
+}
+
+/// Computes the convolution input gradient under both kernel policies and
+/// asserts `==`-equality of the full gradient map.
+///
+/// # Panics
+///
+/// Panics if the backward pass fails or any gradient element diverges.
+#[track_caller]
+pub fn assert_conv_gradient_golden(conv: &Conv2d, dy: &FeatureMap, in_h: usize, in_w: usize) {
+    let mut reference_conv = conv.clone();
+    reference_conv.set_kernel_policy(KernelPolicy::Reference);
+    let mut blocked_conv = conv.clone();
+    blocked_conv.set_kernel_policy(KernelPolicy::Blocked);
+    let dx_ref =
+        autodiff::conv2d_input_backward(&reference_conv, dy, in_h, in_w).expect("reference");
+    let dx_fast = autodiff::conv2d_input_backward(&blocked_conv, dy, in_h, in_w).expect("blocked");
+    compare_slices(dx_ref.as_slice(), dx_fast.as_slice()).assert_bit_exact(&format!(
+        "conv backward {}ch {}x{} stride {} pad {} on {in_h}x{in_w}",
+        conv.out_channels(),
+        conv.kernel_h(),
+        conv.kernel_w(),
+        conv.stride(),
+        conv.padding(),
     ));
 }
 

@@ -39,6 +39,7 @@
 
 pub mod activation;
 pub mod attention;
+pub mod autodiff;
 pub mod conv;
 pub mod dirty;
 pub mod error;
@@ -52,6 +53,7 @@ pub mod pack;
 pub mod pool;
 pub mod scratch;
 pub mod stats;
+pub mod tape;
 pub mod tensor3;
 
 pub use attention::MultiHeadAttention;
@@ -65,4 +67,5 @@ pub use matrix::Matrix;
 pub use pack::{matmul_nt_packed, PackedWeights};
 pub use pool::{AvgPool2d, MaxPool2d};
 pub use scratch::{insertion_sort_by, PoolVec, ScratchArena, ScratchGuard, ScratchStats};
+pub use tape::{tapes_created, Gradients, Tape, Var};
 pub use tensor3::FeatureMap;

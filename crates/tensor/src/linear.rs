@@ -201,6 +201,21 @@ impl LayerNorm {
         self.gamma.len()
     }
 
+    /// The per-feature scale parameters.
+    pub fn gamma(&self) -> &[f32] {
+        &self.gamma
+    }
+
+    /// The per-feature shift parameters.
+    pub fn beta(&self) -> &[f32] {
+        &self.beta
+    }
+
+    /// The variance-stabilising epsilon added before the square root.
+    pub fn epsilon(&self) -> f32 {
+        self.epsilon
+    }
+
     /// Mutable access to the scale parameters.
     pub fn gamma_mut(&mut self) -> &mut [f32] {
         &mut self.gamma

@@ -1,0 +1,1009 @@
+//! Wengert-list (tape-based) reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records a forward computation as a list of nodes, each
+//! holding its forward value and, per parent, a closure mapping this
+//! node's upstream gradient to the parent's gradient contribution. The
+//! closures delegate to the pure backward passes in [`crate::autodiff`],
+//! so every rule is independently finite-difference-checked.
+//!
+//! The tape exists only on the white-box gradient path: the steady-state
+//! inference path (`detect`/`detect_masked`) never constructs one, which
+//! the allocation gate in `benches/steady_state.rs` enforces via
+//! [`tapes_created`].
+//!
+//! # Examples
+//!
+//! ```
+//! use bea_tensor::tape::Tape;
+//! use bea_tensor::{KernelPolicy, Matrix};
+//!
+//! # fn main() -> Result<(), bea_tensor::TensorError> {
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(Matrix::from_rows(&[&[1.0, 2.0]])?);
+//! let y = tape.leaf(Matrix::from_rows(&[&[3.0], &[4.0]])?);
+//! let p = tape.matmul(x, y, KernelPolicy::Reference)?; // 1×1: 1·3 + 2·4
+//! let grads = tape.backward(p)?;
+//! let dx = grads.get(x).expect("leaf gradient");
+//! assert_eq!(dx.row(0), &[3.0, 4.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::activation::{gelu, relu, softmax_rows_inplace};
+use crate::attention::MultiHeadAttention;
+use crate::autodiff;
+use crate::conv::Conv2d;
+use crate::error::{Result, TensorError};
+use crate::gemm::KernelPolicy;
+use crate::linear::{LayerNorm, Linear};
+use crate::matrix::Matrix;
+use crate::pool::{AvgPool2d, MaxPool2d};
+use crate::tensor3::FeatureMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static TAPES_CREATED: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide count of [`Tape`] constructions.
+///
+/// The steady-state allocation gate asserts this stays flat across plain
+/// `detect`/`detect_masked` calls: autodiff must never leak onto the
+/// zero-alloc inference path.
+pub fn tapes_created() -> usize {
+    TAPES_CREATED.load(Ordering::Relaxed)
+}
+
+/// Handle to a value recorded on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+type BackwardFn = Box<dyn Fn(&Matrix) -> Matrix>;
+
+struct Parent {
+    var: usize,
+    backward: BackwardFn,
+}
+
+struct Node {
+    value: Matrix,
+    parents: Vec<Parent>,
+}
+
+/// Per-variable gradients produced by [`Tape::backward`].
+pub struct Gradients {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Gradients {
+    /// The gradient of the objective with respect to `var`, or `None` if
+    /// the objective does not depend on it.
+    pub fn get(&self, var: Var) -> Option<&Matrix> {
+        self.grads.get(var.0).and_then(Option::as_ref)
+    }
+}
+
+/// A reverse-mode autodiff tape over [`Matrix`] values.
+///
+/// Operations append nodes eagerly (forward values are computed at record
+/// time); [`Tape::backward`] then walks the list once in reverse,
+/// accumulating gradients. Recorded closures capture clones of whatever
+/// operands the backward pass needs, so the tape owns its whole history.
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl std::fmt::Debug for Tape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tape").field("nodes", &self.nodes.len()).finish()
+    }
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape (and bumps the global [`tapes_created`]
+    /// counter the zero-alloc gate watches).
+    pub fn new() -> Self {
+        TAPES_CREATED.fetch_add(1, Ordering::Relaxed);
+        Self { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of a recorded variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` was produced by a different tape with more nodes.
+    pub fn value(&self, var: Var) -> &Matrix {
+        &self.nodes[var.0].value
+    }
+
+    fn push(&mut self, value: Matrix, parents: Vec<Parent>) -> Var {
+        self.nodes.push(Node { value, parents });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Records an input (a variable with no parents).
+    pub fn leaf(&mut self, value: Matrix) -> Var {
+        self.push(value, Vec::new())
+    }
+
+    /// `y = a + b` (same shapes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on differing shapes.
+    pub fn add(&mut self, a: Var, b: Var) -> Result<Var> {
+        let value = self.value(a).add(self.value(b))?;
+        let parents = vec![
+            Parent { var: a.0, backward: Box::new(|dy: &Matrix| dy.clone()) },
+            Parent { var: b.0, backward: Box::new(|dy: &Matrix| dy.clone()) },
+        ];
+        Ok(self.push(value, parents))
+    }
+
+    /// `y = a + factor · b` (the residual-mix pattern of the encoder).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on differing shapes.
+    pub fn add_scaled(&mut self, a: Var, b: Var, factor: f32) -> Result<Var> {
+        let value = self.value(a).add(&self.value(b).scale(factor))?;
+        let parents = vec![
+            Parent { var: a.0, backward: Box::new(|dy: &Matrix| dy.clone()) },
+            Parent { var: b.0, backward: Box::new(move |dy: &Matrix| dy.scale(factor)) },
+        ];
+        Ok(self.push(value, parents))
+    }
+
+    /// `y = x + c` for a constant matrix `c` (positional encodings).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on differing shapes.
+    pub fn add_const(&mut self, x: Var, constant: &Matrix) -> Result<Var> {
+        let value = self.value(x).add(constant)?;
+        let parents = vec![Parent { var: x.0, backward: Box::new(|dy: &Matrix| dy.clone()) }];
+        Ok(self.push(value, parents))
+    }
+
+    /// `y = factor · x`.
+    pub fn scale(&mut self, x: Var, factor: f32) -> Result<Var> {
+        let value = self.value(x).scale(factor);
+        let parents = vec![Parent { var: x.0, backward: Box::new(move |dy| dy.scale(factor)) }];
+        Ok(self.push(value, parents))
+    }
+
+    /// `y = mul · x + add` elementwise (scalar affine map).
+    pub fn affine(&mut self, x: Var, mul: f32, add: f32) -> Result<Var> {
+        let value = self.value(x).map(|v| mul * v + add);
+        let parents = vec![Parent { var: x.0, backward: Box::new(move |dy| dy.scale(mul)) }];
+        Ok(self.push(value, parents))
+    }
+
+    /// `y = a · b` under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on incompatible shapes.
+    pub fn matmul(&mut self, a: Var, b: Var, policy: KernelPolicy) -> Result<Var> {
+        let (av, bv) = (self.value(a).clone(), self.value(b).clone());
+        let value = av.matmul_policy(&bv, policy)?;
+        let (a_for_db, b_for_da) = (av, bv);
+        let parents = vec![
+            Parent {
+                var: a.0,
+                backward: Box::new(move |dy| {
+                    dy.matmul_nt_policy(&b_for_da, policy).expect("matmul dA shape")
+                }),
+            },
+            Parent {
+                var: b.0,
+                backward: Box::new(move |dy| {
+                    a_for_db.transpose().matmul_policy(dy, policy).expect("matmul dB shape")
+                }),
+            },
+        ];
+        Ok(self.push(value, parents))
+    }
+
+    /// `y = a · bᵀ` under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on incompatible shapes.
+    pub fn matmul_nt(&mut self, a: Var, b: Var, policy: KernelPolicy) -> Result<Var> {
+        let (av, bv) = (self.value(a).clone(), self.value(b).clone());
+        let value = av.matmul_nt_policy(&bv, policy)?;
+        let parents = vec![
+            Parent {
+                var: a.0,
+                backward: Box::new(move |dy| {
+                    dy.matmul_policy(&bv, policy).expect("matmul_nt dA shape")
+                }),
+            },
+            Parent {
+                var: b.0,
+                backward: Box::new(move |dy| {
+                    dy.transpose().matmul_policy(&av, policy).expect("matmul_nt dB shape")
+                }),
+            },
+        ];
+        Ok(self.push(value, parents))
+    }
+
+    /// `y = x · c` for a constant matrix `c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on incompatible shapes.
+    pub fn matmul_const(&mut self, x: Var, constant: &Matrix, policy: KernelPolicy) -> Result<Var> {
+        let value = self.value(x).matmul_policy(constant, policy)?;
+        let c = constant.clone();
+        let parents = vec![Parent {
+            var: x.0,
+            backward: Box::new(move |dy| {
+                dy.matmul_nt_policy(&c, policy).expect("matmul_const dX shape")
+            }),
+        }];
+        Ok(self.push(value, parents))
+    }
+
+    /// `y = c · x` for a constant matrix `c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on incompatible shapes.
+    pub fn const_matmul(&mut self, constant: &Matrix, x: Var, policy: KernelPolicy) -> Result<Var> {
+        let value = constant.matmul_policy(self.value(x), policy)?;
+        let c = constant.clone();
+        let parents = vec![Parent {
+            var: x.0,
+            backward: Box::new(move |dy| {
+                c.transpose().matmul_policy(dy, policy).expect("const_matmul dX shape")
+            }),
+        }];
+        Ok(self.push(value, parents))
+    }
+
+    /// `y = layer.forward(x)` — runs the layer's own forward (including
+    /// the packed-weight fast path under `Blocked`), with the input
+    /// gradient `dX = dy · W` under the layer's policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on a width mismatch.
+    pub fn linear(&mut self, layer: &Linear, x: Var) -> Result<Var> {
+        let value = layer.forward(self.value(x))?;
+        let captured = layer.clone();
+        let parents = vec![Parent {
+            var: x.0,
+            backward: Box::new(move |dy| {
+                autodiff::linear_input_backward(&captured, dy).expect("linear dX shape")
+            }),
+        }];
+        Ok(self.push(value, parents))
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&mut self, x: Var) -> Result<Var> {
+        let xv = self.value(x).clone();
+        let value = xv.map(relu);
+        let parents = vec![Parent {
+            var: x.0,
+            backward: Box::new(move |dy| autodiff::relu_backward(&xv, dy).expect("relu shape")),
+        }];
+        Ok(self.push(value, parents))
+    }
+
+    /// Elementwise GELU (tanh approximation).
+    pub fn gelu(&mut self, x: Var) -> Result<Var> {
+        let xv = self.value(x).clone();
+        let value = xv.map(gelu);
+        let parents = vec![Parent {
+            var: x.0,
+            backward: Box::new(move |dy| autodiff::gelu_backward(&xv, dy).expect("gelu shape")),
+        }];
+        Ok(self.push(value, parents))
+    }
+
+    /// Elementwise `tanh`.
+    pub fn tanh(&mut self, x: Var) -> Result<Var> {
+        let xv = self.value(x).clone();
+        let value = xv.map(f32::tanh);
+        let parents = vec![Parent {
+            var: x.0,
+            backward: Box::new(move |dy| autodiff::tanh_backward(&xv, dy).expect("tanh shape")),
+        }];
+        Ok(self.push(value, parents))
+    }
+
+    /// Row-wise softmax. The backward rule works from the saved forward
+    /// *output*, which keeps it finite under saturated logits (see
+    /// [`autodiff::softmax_rows_backward`]).
+    pub fn softmax_rows(&mut self, x: Var) -> Result<Var> {
+        let mut value = self.value(x).clone();
+        softmax_rows_inplace(&mut value);
+        let saved = value.clone();
+        let parents = vec![Parent {
+            var: x.0,
+            backward: Box::new(move |dy| {
+                autodiff::softmax_rows_backward(&saved, dy).expect("softmax shape")
+            }),
+        }];
+        Ok(self.push(value, parents))
+    }
+
+    /// `y = norm.forward(x)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on a feature-count mismatch.
+    pub fn layer_norm(&mut self, norm: &LayerNorm, x: Var) -> Result<Var> {
+        let xv = self.value(x).clone();
+        let value = norm.forward(&xv)?;
+        let captured = norm.clone();
+        let parents = vec![Parent {
+            var: x.0,
+            backward: Box::new(move |dy| {
+                autodiff::layer_norm_backward(&captured, &xv, dy).expect("layer_norm shape")
+            }),
+        }];
+        Ok(self.push(value, parents))
+    }
+
+    /// `y = conv.forward(x)` where `x` is a `C_in × (in_h·in_w)` matrix
+    /// holding a feature map row-per-channel; the output is
+    /// `C_out × (out_h·out_w)` in the same layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `x` does not flatten to
+    /// `conv.in_channels() × in_h × in_w` or the input is smaller than
+    /// the kernel.
+    pub fn conv2d(&mut self, conv: &Conv2d, x: Var, in_h: usize, in_w: usize) -> Result<Var> {
+        let xv = self.value(x);
+        if xv.rows() != conv.in_channels() || xv.cols() != in_h * in_w {
+            return Err(TensorError::ShapeMismatch {
+                op: "tape conv2d",
+                lhs: vec![xv.rows(), xv.cols()],
+                rhs: vec![conv.in_channels(), in_h, in_w],
+            });
+        }
+        let input = FeatureMap::from_vec(conv.in_channels(), in_h, in_w, xv.as_slice().to_vec())?;
+        let out = conv.forward(&input)?;
+        let (oc, oh, ow) = out.shape();
+        let value = Matrix::from_vec(oc, oh * ow, out.into_vec())?;
+        let captured = conv.clone();
+        let parents = vec![Parent {
+            var: x.0,
+            backward: Box::new(move |dy| {
+                let dy_map = FeatureMap::from_vec(oc, oh, ow, dy.as_slice().to_vec())
+                    .expect("conv dy shape");
+                let dx = autodiff::conv2d_input_backward(&captured, &dy_map, in_h, in_w)
+                    .expect("conv dX shape");
+                Matrix::from_vec(captured.in_channels(), in_h * in_w, dx.into_vec())
+                    .expect("conv dX layout")
+            }),
+        }];
+        Ok(self.push(value, parents))
+    }
+
+    /// Max pooling over a `C × (in_h·in_w)` row-per-channel matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `x` does not flatten to
+    /// `in_h × in_w` planes or the input is smaller than the window.
+    pub fn max_pool(&mut self, pool: &MaxPool2d, x: Var, in_h: usize, in_w: usize) -> Result<Var> {
+        let input = self.plane_input(x, in_h, in_w, "tape max_pool")?;
+        let out = pool.forward(&input)?;
+        let (oc, oh, ow) = out.shape();
+        let value = Matrix::from_vec(oc, oh * ow, out.into_vec())?;
+        let captured = *pool;
+        let parents = vec![Parent {
+            var: x.0,
+            backward: Box::new(move |dy| {
+                let dy_map = FeatureMap::from_vec(oc, oh, ow, dy.as_slice().to_vec())
+                    .expect("max_pool dy shape");
+                let dx = autodiff::max_pool_backward(&captured, &input, &dy_map)
+                    .expect("max_pool dX shape");
+                Matrix::from_vec(oc, in_h * in_w, dx.into_vec()).expect("max_pool dX layout")
+            }),
+        }];
+        Ok(self.push(value, parents))
+    }
+
+    /// Average pooling over a `C × (in_h·in_w)` row-per-channel matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `x` does not flatten to
+    /// `in_h × in_w` planes or the input is smaller than the window.
+    pub fn avg_pool(&mut self, pool: &AvgPool2d, x: Var, in_h: usize, in_w: usize) -> Result<Var> {
+        let input = self.plane_input(x, in_h, in_w, "tape avg_pool")?;
+        let out = pool.forward(&input)?;
+        let (oc, oh, ow) = out.shape();
+        let value = Matrix::from_vec(oc, oh * ow, out.into_vec())?;
+        let captured = *pool;
+        let parents = vec![Parent {
+            var: x.0,
+            backward: Box::new(move |dy| {
+                let dy_map = FeatureMap::from_vec(oc, oh, ow, dy.as_slice().to_vec())
+                    .expect("avg_pool dy shape");
+                let dx = autodiff::avg_pool_backward(&captured, in_h, in_w, &dy_map)
+                    .expect("avg_pool dX shape");
+                Matrix::from_vec(oc, in_h * in_w, dx.into_vec()).expect("avg_pool dX layout")
+            }),
+        }];
+        Ok(self.push(value, parents))
+    }
+
+    fn plane_input(
+        &self,
+        x: Var,
+        in_h: usize,
+        in_w: usize,
+        op: &'static str,
+    ) -> Result<FeatureMap> {
+        let xv = self.value(x);
+        if xv.cols() != in_h * in_w {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: vec![xv.rows(), xv.cols()],
+                rhs: vec![in_h, in_w],
+            });
+        }
+        FeatureMap::from_vec(xv.rows(), in_h, in_w, xv.as_slice().to_vec())
+    }
+
+    /// A contiguous column slice `x[:, start..start+width]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the range exceeds the
+    /// column count.
+    pub fn slice_columns(&mut self, x: Var, start: usize, width: usize) -> Result<Var> {
+        let xv = self.value(x);
+        if start + width > xv.cols() {
+            return Err(TensorError::ShapeMismatch {
+                op: "tape slice_columns",
+                lhs: vec![xv.rows(), xv.cols()],
+                rhs: vec![start, width],
+            });
+        }
+        let (rows, cols) = xv.shape();
+        let value = xv.columns(start, width);
+        let parents = vec![Parent {
+            var: x.0,
+            backward: Box::new(move |dy| {
+                let mut dx = Matrix::zeros(rows, cols);
+                for r in 0..rows {
+                    dx.row_mut(r)[start..start + width].copy_from_slice(dy.row(r));
+                }
+                dx
+            }),
+        }];
+        Ok(self.push(value, parents))
+    }
+
+    /// Concatenates equal-row-count parts along the column axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyShape`] for an empty part list and
+    /// [`TensorError::ShapeMismatch`] on row-count disagreement.
+    pub fn concat_columns(&mut self, parts: &[Var]) -> Result<Var> {
+        let Some(&first) = parts.first() else {
+            return Err(TensorError::EmptyShape { op: "tape concat_columns" });
+        };
+        let rows = self.value(first).rows();
+        let mut widths = Vec::with_capacity(parts.len());
+        let mut total = 0;
+        for &p in parts {
+            let pv = self.value(p);
+            if pv.rows() != rows {
+                return Err(TensorError::ShapeMismatch {
+                    op: "tape concat_columns",
+                    lhs: vec![rows],
+                    rhs: vec![pv.rows(), pv.cols()],
+                });
+            }
+            widths.push(pv.cols());
+            total += pv.cols();
+        }
+        let mut value = Matrix::zeros(rows, total);
+        let mut offset = 0;
+        for (&p, &w) in parts.iter().zip(&widths) {
+            let pv = &self.nodes[p.0].value;
+            for r in 0..rows {
+                value.row_mut(r)[offset..offset + w].copy_from_slice(pv.row(r));
+            }
+            offset += w;
+        }
+        let mut parents = Vec::with_capacity(parts.len());
+        let mut offset = 0;
+        for (&p, &w) in parts.iter().zip(&widths) {
+            let start = offset;
+            parents.push(Parent {
+                var: p.0,
+                backward: Box::new(move |dy: &Matrix| {
+                    let mut dp = Matrix::zeros(dy.rows(), w);
+                    for r in 0..dy.rows() {
+                        dp.row_mut(r).copy_from_slice(&dy.row(r)[start..start + w]);
+                    }
+                    dp
+                }),
+            });
+            offset += w;
+        }
+        Ok(self.push(value, parents))
+    }
+
+    /// Per-row mean over columns: an `R × C` input becomes `R × 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyShape`] for a zero-column input.
+    pub fn row_mean(&mut self, x: Var) -> Result<Var> {
+        let xv = self.value(x);
+        let (rows, cols) = xv.shape();
+        if cols == 0 {
+            return Err(TensorError::EmptyShape { op: "tape row_mean" });
+        }
+        let mut value = Matrix::zeros(rows, 1);
+        for r in 0..rows {
+            value.set(r, 0, xv.row(r).iter().sum::<f32>() / cols as f32);
+        }
+        let share = 1.0 / cols as f32;
+        let parents = vec![Parent {
+            var: x.0,
+            backward: Box::new(move |dy: &Matrix| {
+                let mut dx = Matrix::zeros(rows, cols);
+                for r in 0..rows {
+                    dx.row_mut(r).fill(dy.at(r, 0) * share);
+                }
+                dx
+            }),
+        }];
+        Ok(self.push(value, parents))
+    }
+
+    /// Broadcast row scaling: `y[r][c] = x[r][c] · gains[r][0]` with
+    /// `gains` an `R × 1` tape variable (the YOLO context-gain pattern).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `gains` is not `R × 1`.
+    pub fn scale_rows(&mut self, x: Var, gains: Var) -> Result<Var> {
+        let xv = self.value(x).clone();
+        let gv = self.value(gains).clone();
+        if gv.shape() != (xv.rows(), 1) {
+            return Err(TensorError::ShapeMismatch {
+                op: "tape scale_rows",
+                lhs: vec![xv.rows(), xv.cols()],
+                rhs: vec![gv.rows(), gv.cols()],
+            });
+        }
+        let mut value = xv.clone();
+        for r in 0..value.rows() {
+            let g = gv.at(r, 0);
+            for v in value.row_mut(r) {
+                *v *= g;
+            }
+        }
+        let x_for_dg = xv.clone();
+        let parents = vec![
+            Parent {
+                var: x.0,
+                backward: Box::new(move |dy: &Matrix| {
+                    let mut dx = dy.clone();
+                    for r in 0..dx.rows() {
+                        let g = gv.at(r, 0);
+                        for v in dx.row_mut(r) {
+                            *v *= g;
+                        }
+                    }
+                    dx
+                }),
+            },
+            Parent {
+                var: gains.0,
+                backward: Box::new(move |dy: &Matrix| {
+                    let mut dg = Matrix::zeros(dy.rows(), 1);
+                    for r in 0..dy.rows() {
+                        let dot: f64 = dy
+                            .row(r)
+                            .iter()
+                            .zip(x_for_dg.row(r))
+                            .map(|(&d, &v)| f64::from(d) * f64::from(v))
+                            .sum();
+                        dg.set(r, 0, dot as f32);
+                    }
+                    dg
+                }),
+            },
+        ];
+        Ok(self.push(value, parents))
+    }
+
+    /// Per-column constant scaling: `y[r][c] = x[r][c] · factors[c]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `factors.len()` differs
+    /// from the column count.
+    pub fn scale_columns(&mut self, x: Var, factors: &[f32]) -> Result<Var> {
+        let xv = self.value(x);
+        if factors.len() != xv.cols() {
+            return Err(TensorError::LengthMismatch { expected: xv.cols(), actual: factors.len() });
+        }
+        let mut value = xv.clone();
+        for r in 0..value.rows() {
+            for (v, &f) in value.row_mut(r).iter_mut().zip(factors) {
+                *v *= f;
+            }
+        }
+        let captured = factors.to_vec();
+        let parents = vec![Parent {
+            var: x.0,
+            backward: Box::new(move |dy: &Matrix| {
+                let mut dx = dy.clone();
+                for r in 0..dx.rows() {
+                    for (v, &f) in dx.row_mut(r).iter_mut().zip(&captured) {
+                        *v *= f;
+                    }
+                }
+                dx
+            }),
+        }];
+        Ok(self.push(value, parents))
+    }
+
+    /// Subtracts each column's median (element at index `rows/2` of the
+    /// ascending-sorted column, matching the DETR score calibration).
+    /// Gradient: identity, except the median element of each column also
+    /// collects `−Σ_r dy[r][c]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyShape`] for a zero-row input.
+    pub fn sub_col_median(&mut self, x: Var) -> Result<Var> {
+        let xv = self.value(x);
+        let (rows, cols) = xv.shape();
+        if rows == 0 {
+            return Err(TensorError::EmptyShape { op: "tape sub_col_median" });
+        }
+        let mut value = xv.clone();
+        let mut median_rows = Vec::with_capacity(cols);
+        let mut column = vec![0.0f32; rows];
+        for c in 0..cols {
+            for (r, slot) in column.iter_mut().enumerate() {
+                *slot = xv.at(r, c);
+            }
+            crate::scratch::insertion_sort_by(&mut column, |a, b| {
+                a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let median = column[rows / 2];
+            let median_row =
+                (0..rows).find(|&r| xv.at(r, c) == median).expect("median value present");
+            median_rows.push(median_row);
+            for r in 0..rows {
+                value.set(r, c, xv.at(r, c) - median);
+            }
+        }
+        let parents = vec![Parent {
+            var: x.0,
+            backward: Box::new(move |dy: &Matrix| {
+                let mut dx = dy.clone();
+                for (c, &mr) in median_rows.iter().enumerate() {
+                    let total: f32 = (0..dy.rows()).map(|r| dy.at(r, c)).sum();
+                    dx.set(mr, c, dx.at(mr, c) - total);
+                }
+                dx
+            }),
+        }];
+        Ok(self.push(value, parents))
+    }
+
+    /// Group-wise floored maximum: output element `i` (row-major over
+    /// `out_rows × out_cols`) is `max(floor, max over groups[i] of x)`.
+    /// The gradient routes to the first group member attaining the
+    /// maximum, and is dropped when the floor wins (or the group is
+    /// empty). This is the DETR patch-pooling pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `groups.len()` differs
+    /// from `out_rows · out_cols`, and [`TensorError::IndexOutOfBounds`]
+    /// if any group member is outside `x`.
+    pub fn max_over_groups(
+        &mut self,
+        x: Var,
+        groups: &[Vec<(usize, usize)>],
+        floor: f32,
+        out_rows: usize,
+        out_cols: usize,
+    ) -> Result<Var> {
+        if groups.len() != out_rows * out_cols {
+            return Err(TensorError::LengthMismatch {
+                expected: out_rows * out_cols,
+                actual: groups.len(),
+            });
+        }
+        let xv = self.value(x);
+        let (rows, cols) = xv.shape();
+        let mut value = Matrix::filled(out_rows, out_cols, floor);
+        let mut routes: Vec<Option<(usize, usize)>> = Vec::with_capacity(groups.len());
+        for (i, group) in groups.iter().enumerate() {
+            let mut best = f32::NEG_INFINITY;
+            let mut best_at = None;
+            for &(r, c) in group {
+                if r >= rows || c >= cols {
+                    return Err(TensorError::IndexOutOfBounds {
+                        index: vec![r, c],
+                        shape: vec![rows, cols],
+                    });
+                }
+                let v = xv.at(r, c);
+                if v > best {
+                    best = v;
+                    best_at = Some((r, c));
+                }
+            }
+            if best > floor {
+                value.set(i / out_cols, i % out_cols, best);
+                routes.push(best_at);
+            } else {
+                routes.push(None);
+            }
+        }
+        let parents = vec![Parent {
+            var: x.0,
+            backward: Box::new(move |dy: &Matrix| {
+                let mut dx = Matrix::zeros(rows, cols);
+                for (i, route) in routes.iter().enumerate() {
+                    if let Some((r, c)) = *route {
+                        let g = dy.at(i / dy.cols(), i % dy.cols());
+                        dx.set(r, c, dx.at(r, c) + g);
+                    }
+                }
+                dx
+            }),
+        }];
+        Ok(self.push(value, parents))
+    }
+
+    /// Weighted scalar reduction `y = Σ_ij coeffs[i][j] · x[i][j]` as a
+    /// `1 × 1` variable — the standard way to turn a map into a scalar
+    /// objective for [`Tape::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `coeffs` differs in
+    /// shape from `x`.
+    pub fn weighted_sum(&mut self, x: Var, coeffs: &Matrix) -> Result<Var> {
+        let xv = self.value(x);
+        if xv.shape() != coeffs.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "tape weighted_sum",
+                lhs: vec![xv.rows(), xv.cols()],
+                rhs: vec![coeffs.rows(), coeffs.cols()],
+            });
+        }
+        let total: f64 = xv
+            .as_slice()
+            .iter()
+            .zip(coeffs.as_slice())
+            .map(|(&v, &c)| f64::from(v) * f64::from(c))
+            .sum();
+        let value = Matrix::filled(1, 1, total as f32);
+        let captured = coeffs.clone();
+        let parents = vec![Parent {
+            var: x.0,
+            backward: Box::new(move |dy: &Matrix| captured.scale(dy.at(0, 0))),
+        }];
+        Ok(self.push(value, parents))
+    }
+
+    /// Records `softmax(q·kᵀ/√d)·v`, matching
+    /// [`crate::attention::scaled_dot_attention_policy`] op for op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on incompatible operands.
+    pub fn scaled_dot_attention(
+        &mut self,
+        q: Var,
+        k: Var,
+        v: Var,
+        policy: KernelPolicy,
+    ) -> Result<Var> {
+        let scale = 1.0 / (self.value(q).cols().max(1) as f32).sqrt();
+        let scores = self.matmul_nt(q, k, policy)?;
+        let scaled = self.scale(scores, scale)?;
+        let probs = self.softmax_rows(scaled)?;
+        self.matmul(probs, v, policy)
+    }
+
+    /// Records a full multi-head attention forward pass (projections,
+    /// per-head attention, concat, output projection), matching
+    /// [`MultiHeadAttention::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on incompatible operands.
+    pub fn multi_head_attention(
+        &mut self,
+        mha: &MultiHeadAttention,
+        queries: Var,
+        keys: Var,
+        values: Var,
+    ) -> Result<Var> {
+        let policy = mha.kernel_policy();
+        let q = self.linear(mha.q_proj(), queries)?;
+        let k = self.linear(mha.k_proj(), keys)?;
+        let v = self.linear(mha.v_proj(), values)?;
+        let head_dim = mha.head_dim();
+        let mut heads = Vec::with_capacity(mha.heads());
+        for h in 0..mha.heads() {
+            let start = h * head_dim;
+            let qh = self.slice_columns(q, start, head_dim)?;
+            let kh = self.slice_columns(k, start, head_dim)?;
+            let vh = self.slice_columns(v, start, head_dim)?;
+            heads.push(self.scaled_dot_attention(qh, kh, vh, policy)?);
+        }
+        let concat = self.concat_columns(&heads)?;
+        self.linear(mha.out_proj(), concat)
+    }
+
+    /// Runs reverse accumulation from a scalar (`1 × 1`) objective.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidConfig`] if `objective` is not
+    /// scalar, and propagates shape errors from gradient accumulation.
+    pub fn backward(&self, objective: Var) -> Result<Gradients> {
+        let value = self.value(objective);
+        if value.shape() != (1, 1) {
+            return Err(TensorError::InvalidConfig {
+                what: format!(
+                    "backward requires a 1x1 objective, got {}x{}",
+                    value.rows(),
+                    value.cols()
+                ),
+            });
+        }
+        let mut grads: Vec<Option<Matrix>> = Vec::with_capacity(self.nodes.len());
+        grads.resize_with(self.nodes.len(), || None);
+        grads[objective.0] = Some(Matrix::filled(1, 1, 1.0));
+        for i in (0..=objective.0).rev() {
+            // Parents always precede children on the list, so taking the
+            // gradient here cannot orphan a later contribution.
+            let Some(g) = grads[i].take() else { continue };
+            for parent in &self.nodes[i].parents {
+                let contribution = (parent.backward)(&g);
+                grads[parent.var] = Some(match grads[parent.var].take() {
+                    Some(acc) => acc.add(&contribution)?,
+                    None => contribution,
+                });
+            }
+            if self.nodes[i].parents.is_empty() || i == objective.0 {
+                grads[i] = Some(g); // keep leaf and objective gradients readable
+            }
+        }
+        Ok(Gradients { grads })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::WeightInit;
+
+    fn noisy(rows: usize, cols: usize, phase: f32) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i as f32) * 0.29 + phase).sin() * 1.5;
+        }
+        m
+    }
+
+    #[test]
+    fn tape_counter_increments() {
+        let before = tapes_created();
+        let _tape = Tape::new();
+        assert_eq!(tapes_created(), before + 1);
+    }
+
+    #[test]
+    fn scalar_chain_gradient() {
+        // y = sum(3 · x): dy/dx = 3 everywhere.
+        let mut tape = Tape::new();
+        let x = tape.leaf(noisy(2, 3, 0.0));
+        let s = tape.scale(x, 3.0).unwrap();
+        let ones = Matrix::filled(2, 3, 1.0);
+        let y = tape.weighted_sum(s, &ones).unwrap();
+        let grads = tape.backward(y).unwrap();
+        assert_eq!(grads.get(x).unwrap(), &Matrix::filled(2, 3, 3.0));
+    }
+
+    #[test]
+    fn fan_out_accumulates() {
+        // y = sum(x) + sum(2 · x): dy/dx = 3.
+        let mut tape = Tape::new();
+        let x = tape.leaf(noisy(2, 2, 0.5));
+        let doubled = tape.scale(x, 2.0).unwrap();
+        let both = tape.add(x, doubled).unwrap();
+        let ones = Matrix::filled(2, 2, 1.0);
+        let y = tape.weighted_sum(both, &ones).unwrap();
+        let grads = tape.backward(y).unwrap();
+        assert_eq!(grads.get(x).unwrap(), &Matrix::filled(2, 2, 3.0));
+    }
+
+    #[test]
+    fn backward_requires_scalar() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(noisy(2, 2, 0.0));
+        assert!(tape.backward(x).is_err());
+    }
+
+    #[test]
+    fn unrelated_leaf_has_no_gradient() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(noisy(1, 2, 0.0));
+        let other = tape.leaf(noisy(1, 2, 1.0));
+        let y = tape.weighted_sum(x, &Matrix::filled(1, 2, 1.0)).unwrap();
+        let grads = tape.backward(y).unwrap();
+        assert!(grads.get(other).is_none());
+        assert!(grads.get(x).is_some());
+    }
+
+    #[test]
+    fn mha_tape_forward_matches_layer() {
+        let mut init = WeightInit::from_seed(5);
+        let mha = MultiHeadAttention::seeded(8, 2, &mut init).unwrap();
+        let tokens = noisy(5, 8, 0.2);
+        let expected = mha.forward(&tokens, &tokens, &tokens).unwrap();
+        let mut tape = Tape::new();
+        let t = tape.leaf(tokens);
+        let out = tape.multi_head_attention(&mha, t, t, t).unwrap();
+        assert_eq!(tape.value(out), &expected, "tape MHA must reproduce the layer forward");
+    }
+
+    #[test]
+    fn conv_tape_forward_matches_layer() {
+        let mut init = WeightInit::from_seed(7);
+        let conv = Conv2d::seeded(2, 3, 3, 3, 1, 1, &mut init).unwrap();
+        let mut input = FeatureMap::zeros(3, 5, 6);
+        for (i, v) in input.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i as f32) * 0.17).cos();
+        }
+        let expected = conv.forward(&input).unwrap();
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::from_vec(3, 30, input.into_vec()).unwrap());
+        let y = tape.conv2d(&conv, x, 5, 6).unwrap();
+        assert_eq!(tape.value(y).as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn median_subtract_centres_columns() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::from_rows(&[&[1.0], &[5.0], &[3.0]]).unwrap());
+        let y = tape.sub_col_median(x).unwrap();
+        let v = tape.value(y);
+        assert_eq!((v.at(0, 0), v.at(1, 0), v.at(2, 0)), (-2.0, 2.0, 0.0));
+    }
+}

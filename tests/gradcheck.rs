@@ -1,0 +1,429 @@
+//! Finite-difference gradient checks for the reverse-mode tape.
+//!
+//! Every differentiable tape op is checked against central differences on
+//! randomized shapes (including 1×1 convolutions, ragged GEMM panel tails
+//! and padded borders), under **both** kernel policies — the white-box
+//! attack gradients must be correct *and* dispatch-invariant. The suite
+//! ends with end-to-end checks of the detectors' `input_gradient` against
+//! finite differences of their own confidence objective.
+
+use butterfly_effect_attack::detect::{Architecture, Detector, GradientObjective, ModelZoo};
+use butterfly_effect_attack::scene::SyntheticKitti;
+use butterfly_effect_attack::tensor::{
+    golden, AvgPool2d, Conv2d, FeatureMap, KernelPolicy, LayerNorm, Linear, Matrix, MaxPool2d,
+    MultiHeadAttention, Tape, Var, WeightInit,
+};
+use proptest::prelude::*;
+
+const POLICIES: [KernelPolicy; 2] = [KernelPolicy::Reference, KernelPolicy::Blocked];
+
+/// Deterministic mixed-sign reduction weights: every output element feeds
+/// the scalar objective with a distinct, nonzero coefficient.
+fn reduction_coeffs(rows: usize, cols: usize) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|i| (if i % 2 == 0 { 1.0 } else { -1.0 }) * (1.0 + (i % 5) as f32 * 0.25))
+        .collect();
+    Matrix::from_vec(rows, cols, data).expect("coefficient shape")
+}
+
+/// Reduces any tape output to the 1×1 objective `backward` requires.
+fn reduce(tape: &mut Tape, out: Var) -> Var {
+    let (rows, cols) = tape.value(out).shape();
+    let coeffs = reduction_coeffs(rows, cols);
+    tape.weighted_sum(out, &coeffs).expect("reduce to scalar")
+}
+
+/// A reproducible matrix of uniform values in `[-1, 1)`.
+fn seeded_matrix(rows: usize, cols: usize, seed: u64, salt: u64) -> Matrix {
+    let mut init = WeightInit::from_seed(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt);
+    let data: Vec<f32> = (0..rows * cols).map(|_| init.uniform(-1.0, 1.0)).collect();
+    Matrix::from_vec(rows, cols, data).expect("seeded matrix shape")
+}
+
+/// A matrix whose entries are a shuffled grid of well-separated levels, so
+/// order-statistics ops (max pooling) keep their argmax stable under the
+/// finite-difference probe.
+fn separated_matrix(rows: usize, cols: usize, seed: u64, salt: u64) -> Matrix {
+    let mut init = WeightInit::from_seed(seed.wrapping_mul(0x1234_5678_9ABC_DEF1) ^ salt);
+    let n = rows * cols;
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        perm.swap(i, init.index(i + 1));
+    }
+    let data: Vec<f32> = perm.iter().map(|&p| p as f32 * 0.07 - 0.035 * n as f32).collect();
+    Matrix::from_vec(rows, cols, data).expect("separated matrix shape")
+}
+
+fn objective_value(inputs: &[Matrix], build: &dyn Fn(&mut Tape, &[Var]) -> Var) -> f64 {
+    let mut tape = Tape::new();
+    let leaves: Vec<Var> = inputs.iter().map(|m| tape.leaf(m.clone())).collect();
+    let obj = build(&mut tape, &leaves);
+    f64::from(tape.value(obj).at(0, 0))
+}
+
+/// Central-difference check of every leaf gradient of `build`'s scalar
+/// objective. `h` is the probe step; `tol` bounds the relative error with
+/// a denominator floored at 5% of the leaf's largest gradient magnitude
+/// (near-zero entries are held to a proportional absolute tolerance).
+fn check_gradients(
+    name: &str,
+    inputs: &[Matrix],
+    h: f32,
+    tol: f64,
+    build: &dyn Fn(&mut Tape, &[Var]) -> Var,
+) {
+    let mut tape = Tape::new();
+    let leaves: Vec<Var> = inputs.iter().map(|m| tape.leaf(m.clone())).collect();
+    let obj = build(&mut tape, &leaves);
+    assert_eq!(tape.value(obj).shape(), (1, 1), "{name}: objective must be scalar");
+    let grads = tape.backward(obj).expect("backward");
+    for (j, input) in inputs.iter().enumerate() {
+        let analytic = grads.get(leaves[j]).expect("leaf gradient").as_slice().to_vec();
+        let gmax = analytic.iter().fold(0.0f64, |acc, &g| acc.max(f64::from(g).abs())).max(1.0);
+        let (rows, cols) = input.shape();
+        let base = input.as_slice().to_vec();
+        for i in 0..base.len() {
+            let mut probe = inputs.to_vec();
+            let mut plus = base.clone();
+            plus[i] += h;
+            probe[j] = Matrix::from_vec(rows, cols, plus).expect("probe shape");
+            let f_plus = objective_value(&probe, build);
+            let mut minus = base.clone();
+            minus[i] -= h;
+            probe[j] = Matrix::from_vec(rows, cols, minus).expect("probe shape");
+            let f_minus = objective_value(&probe, build);
+            let fd = (f_plus - f_minus) / (2.0 * f64::from(h));
+            let a = f64::from(analytic[i]);
+            let err = (a - fd).abs() / a.abs().max(fd.abs()).max(0.05 * gmax);
+            assert!(
+                err <= tol,
+                "{name}: leaf {j} element {i}: analytic {a:.6e} vs central FD {fd:.6e} \
+                 (rel err {err:.3e} > {tol:.1e})"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // GEMM family: dims up to 9 straddle the 4×8 micro-kernel, so ragged
+    // panel tails are hit in every direction.
+
+    #[test]
+    fn matmul_matches_finite_differences(dims in (1usize..10, 1usize..10, 1usize..10, 0u64..1 << 32)) {
+        let (m, k, n, seed) = dims;
+        let a = seeded_matrix(m, k, seed, 1);
+        let b = seeded_matrix(k, n, seed, 2);
+        for policy in POLICIES {
+            check_gradients("matmul", &[a.clone(), b.clone()], 0.1, 1e-3, &|tape, leaves| {
+                let out = tape.matmul(leaves[0], leaves[1], policy).expect("matmul");
+                reduce(tape, out)
+            });
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_finite_differences(dims in (1usize..10, 1usize..10, 1usize..10, 0u64..1 << 32)) {
+        let (m, k, n, seed) = dims;
+        let a = seeded_matrix(m, k, seed, 3);
+        let b = seeded_matrix(n, k, seed, 4);
+        for policy in POLICIES {
+            check_gradients("matmul_nt", &[a.clone(), b.clone()], 0.1, 1e-3, &|tape, leaves| {
+                let out = tape.matmul_nt(leaves[0], leaves[1], policy).expect("matmul_nt");
+                reduce(tape, out)
+            });
+        }
+    }
+
+    #[test]
+    fn linear_matches_finite_differences(dims in (1usize..5, 1usize..9, 1usize..9, 0u64..1 << 32)) {
+        let (tokens, in_features, out_features, seed) = dims;
+        let x = seeded_matrix(tokens, in_features, seed, 5);
+        let mut init = WeightInit::from_seed(seed ^ 0xABCD);
+        let mut layer = Linear::seeded(out_features, in_features, &mut init);
+        for policy in POLICIES {
+            layer.set_kernel_policy(policy);
+            let layer = layer.clone();
+            check_gradients("linear", std::slice::from_ref(&x), 0.1, 1e-3, &move |tape, leaves| {
+                let out = tape.linear(&layer, leaves[0]).expect("linear");
+                reduce(tape, out)
+            });
+        }
+    }
+
+    #[test]
+    fn conv2d_matches_finite_differences(dims in (1usize..4, 1usize..4, 1usize..4, 1usize..3, 0usize..3, 0usize..4, 0u64..1 << 32)) {
+        // Kernel size spans 1×1 up to 3×3; padding 0..2 exercises the
+        // padded border; `extra` grows the input beyond the kernel.
+        let (out_c, in_c, kernel, stride, padding, extra, seed) = dims;
+        let (in_h, in_w) = (kernel + extra, kernel + extra + 1);
+        let mut init = WeightInit::from_seed(seed ^ 0x51CA);
+        let mut conv = Conv2d::seeded(out_c, in_c, kernel, kernel, stride, padding, &mut init)
+            .expect("conv config");
+        let x = seeded_matrix(in_c, in_h * in_w, seed, 6);
+        for policy in POLICIES {
+            conv.set_kernel_policy(policy);
+            let conv = conv.clone();
+            check_gradients("conv2d", std::slice::from_ref(&x), 0.1, 1e-3, &move |tape, leaves| {
+                let out = tape.conv2d(&conv, leaves[0], in_h, in_w).expect("conv2d");
+                reduce(tape, out)
+            });
+        }
+    }
+
+    #[test]
+    fn activations_match_finite_differences(dims in (1usize..5, 1usize..7, 0u64..1 << 32)) {
+        let (rows, cols, seed) = dims;
+        let x = seeded_matrix(rows, cols, seed, 7);
+        // ReLU's kink at zero breaks central differences; probe away from it.
+        let relu_safe = Matrix::from_vec(
+            rows,
+            cols,
+            x.as_slice().iter().map(|&v| v + if v >= 0.0 { 0.06 } else { -0.06 }).collect(),
+        )
+        .expect("shifted matrix");
+        check_gradients("relu", &[relu_safe], 0.02, 1e-3, &|tape, leaves| {
+            let out = tape.relu(leaves[0]).expect("relu");
+            reduce(tape, out)
+        });
+        check_gradients("gelu", std::slice::from_ref(&x), 0.02, 2e-3, &|tape, leaves| {
+            let out = tape.gelu(leaves[0]).expect("gelu");
+            reduce(tape, out)
+        });
+        check_gradients("tanh", &[x], 0.02, 2e-3, &|tape, leaves| {
+            let out = tape.tanh(leaves[0]).expect("tanh");
+            reduce(tape, out)
+        });
+    }
+
+    #[test]
+    fn softmax_rows_matches_finite_differences(dims in (1usize..5, 2usize..7, 0u64..1 << 32)) {
+        let (rows, cols, seed) = dims;
+        let x = seeded_matrix(rows, cols, seed, 8);
+        check_gradients("softmax_rows", &[x], 0.02, 5e-3, &|tape, leaves| {
+            let out = tape.softmax_rows(leaves[0]).expect("softmax");
+            reduce(tape, out)
+        });
+    }
+
+    #[test]
+    fn layer_norm_matches_finite_differences(dims in (1usize..5, 2usize..9, 0u64..1 << 32)) {
+        let (rows, cols, seed) = dims;
+        // A column ramp keeps every row's variance well away from zero:
+        // the normalisation's curvature blows up as the variance shrinks,
+        // which would drown the f32 probe in truncation error.
+        let raw = seeded_matrix(rows, cols, seed, 9);
+        let data: Vec<f32> = raw
+            .as_slice()
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + (i % cols) as f32 * 2.5)
+            .collect();
+        let x = Matrix::from_vec(rows, cols, data).expect("ramped matrix");
+        let norm = LayerNorm::new(cols);
+        check_gradients("layer_norm", &[x], 0.02, 1e-2, &move |tape, leaves| {
+            let out = tape.layer_norm(&norm, leaves[0]).expect("layer_norm");
+            reduce(tape, out)
+        });
+    }
+
+    #[test]
+    fn pooling_matches_finite_differences(dims in (1usize..4, 1usize..4, 1usize..3, 0usize..4, 0u64..1 << 32)) {
+        let (channels, window, stride, extra, seed) = dims;
+        let (in_h, in_w) = (window + extra, window + extra + 1);
+        // Separated levels keep every pooling argmax stable under ±h.
+        let x = separated_matrix(channels, in_h * in_w, seed, 10);
+        let max = MaxPool2d::new(window, stride).expect("max pool config");
+        check_gradients("max_pool", std::slice::from_ref(&x), 0.02, 1e-3, &move |tape, leaves| {
+            let out = tape.max_pool(&max, leaves[0], in_h, in_w).expect("max_pool");
+            reduce(tape, out)
+        });
+        let avg = AvgPool2d::new(window, stride).expect("avg pool config");
+        check_gradients("avg_pool", &[x], 0.1, 1e-3, &move |tape, leaves| {
+            let out = tape.avg_pool(&avg, leaves[0], in_h, in_w).expect("avg_pool");
+            reduce(tape, out)
+        });
+    }
+
+    #[test]
+    fn attention_matches_finite_differences(dims in (1usize..5, 1usize..3, 2usize..4, 0u64..1 << 32)) {
+        let (tokens, heads, head_dim, seed) = dims;
+        let model_dim = heads * head_dim;
+        let mut init = WeightInit::from_seed(seed ^ 0xA77E);
+        let mut mha = MultiHeadAttention::seeded(model_dim, heads, &mut init).expect("mha config");
+        let q = seeded_matrix(tokens, model_dim, seed, 11);
+        let k = seeded_matrix(tokens, model_dim, seed, 12);
+        let v = seeded_matrix(tokens, model_dim, seed, 13);
+        for policy in POLICIES {
+            mha.set_kernel_policy(policy);
+            let mha = mha.clone();
+            check_gradients(
+                "multi_head_attention",
+                &[q.clone(), k.clone(), v.clone()],
+                0.02,
+                5e-3,
+                &move |tape, leaves| {
+                    let out = tape
+                        .multi_head_attention(&mha, leaves[0], leaves[1], leaves[2])
+                        .expect("mha");
+                    reduce(tape, out)
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn yolo_modulation_chain_matches_finite_differences(dims in (2usize..5, 2usize..9, 0u64..1 << 32)) {
+        // The YOLO context-modulation pipeline end to end:
+        // relu → row_mean → mixing matmul → tanh → affine → scale_rows.
+        let (classes, cells, seed) = dims;
+        // The chain starts with a ReLU: keep every entry clear of its kink.
+        let raw = seeded_matrix(classes, cells, seed, 14);
+        let x = Matrix::from_vec(
+            classes,
+            cells,
+            raw.as_slice().iter().map(|&v| v + if v >= 0.0 { 0.06 } else { -0.06 }).collect(),
+        )
+        .expect("shifted matrix");
+        let mixing = seeded_matrix(classes, classes, seed, 15);
+        check_gradients("yolo chain", &[x], 0.02, 5e-3, &move |tape, leaves| {
+            let rectified = tape.relu(leaves[0]).expect("relu");
+            let context = tape.row_mean(rectified).expect("row_mean");
+            let mixed = tape.const_matmul(&mixing, context, KernelPolicy::Reference).expect("mix");
+            let squashed = tape.tanh(mixed).expect("tanh");
+            let gains = tape.affine(squashed, 0.35, 1.0).expect("affine");
+            let out = tape.scale_rows(leaves[0], gains).expect("scale_rows");
+            reduce(tape, out)
+        });
+    }
+}
+
+/// Saturated logits must yield finite (vanishing) gradients, not NaN: the
+/// stable softmax backward subtracts the row max before exponentiating.
+#[test]
+fn saturated_softmax_backward_is_finite() {
+    let logits =
+        Matrix::from_vec(2, 3, vec![1e4, -1e4, 0.0, 3e4, 2.9e4, -3e4]).expect("logit shape");
+    let mut tape = Tape::new();
+    let x = tape.leaf(logits);
+    let probs = tape.softmax_rows(x).expect("softmax");
+    for &v in tape.value(probs).as_slice() {
+        assert!(v.is_finite(), "saturated softmax produced a non-finite probability");
+    }
+    let obj = tape.weighted_sum(probs, &reduction_coeffs(2, 3)).expect("reduce");
+    let grads = tape.backward(obj).expect("backward");
+    let dx = grads.get(x).expect("leaf gradient");
+    for &g in dx.as_slice() {
+        assert!(g.is_finite(), "saturated softmax backward produced {g}");
+    }
+    // At ±1e4 the distribution is one-hot: the gradient must (finitely)
+    // vanish rather than explode.
+    assert!(dx.as_slice().iter().all(|g| g.abs() < 1e-3));
+}
+
+/// Kernel-policy cross matrix: backward passes must be bit-identical
+/// between the reference and blocked kernels (and thus between packed and
+/// unpacked weights, which the `Blocked` linear layer carries).
+#[test]
+fn gradients_are_bit_identical_across_kernel_policies() {
+    // Shapes straddling the 4×8 GEMM micro-kernel: full tiles, ragged
+    // tails in each dimension, and degenerate vectors.
+    let shapes = [(1, 1, 1), (3, 5, 7), (4, 8, 8), (5, 9, 17), (16, 16, 16), (17, 13, 9)];
+    for &(m, k, n) in &shapes {
+        let a = seeded_matrix(m, k, 77, 20);
+        let b = seeded_matrix(k, n, 77, 21);
+        let bt = seeded_matrix(n, k, 77, 22);
+        let dy = seeded_matrix(m, n, 77, 23);
+        golden::assert_matmul_gradient_golden(&a, &b, &dy);
+        golden::assert_matmul_nt_gradient_golden(&a, &bt, &dy);
+        let mut init = WeightInit::from_seed(1000 + m as u64);
+        let layer = Linear::seeded(n, k, &mut init);
+        golden::assert_linear_gradient_golden(&layer, &seeded_matrix(m, n, 77, 24));
+    }
+    let mut init = WeightInit::from_seed(4242);
+    let conv = Conv2d::seeded(4, 3, 3, 3, 1, 1, &mut init).expect("conv config");
+    let dy = FeatureMap::from_vec(4, 6, 9, seeded_matrix(4, 54, 77, 25).as_slice().to_vec())
+        .expect("dy shape");
+    golden::assert_conv_gradient_golden(&conv, &dy, 6, 9);
+}
+
+/// The detectors' full input gradients must also be dispatch-invariant.
+#[test]
+fn detector_input_gradients_are_bit_identical_across_kernel_policies() {
+    let img = SyntheticKitti::evaluation_set().image(1);
+    for arch in [Architecture::Yolo, Architecture::Detr] {
+        let grads: Vec<_> = POLICIES
+            .iter()
+            .map(|&policy| {
+                let zoo = ModelZoo::with_defaults().with_kernel_policy(policy);
+                zoo.model(arch, 1)
+                    .input_gradient(&img, GradientObjective::default())
+                    .expect("white-box detector exposes a gradient")
+            })
+            .collect();
+        assert_eq!(grads[0].objective, grads[1].objective, "{arch:?} objective diverged");
+        assert_eq!(
+            grads[0].gradient.as_slice(),
+            grads[1].gradient.as_slice(),
+            "{arch:?} input gradient diverged between kernel policies"
+        );
+    }
+}
+
+/// End-to-end: d(objective)/d(pixel) from `input_gradient` must match
+/// central differences of the detector's own reported objective, for both
+/// detector families.
+#[test]
+fn detector_input_gradients_match_finite_differences() {
+    let img = SyntheticKitti::evaluation_set().image(1);
+    let zoo = ModelZoo::with_defaults();
+    let objective = GradientObjective::default();
+    for arch in [Architecture::Yolo, Architecture::Detr] {
+        let detector = zoo.model(arch, 1);
+        let grad = detector
+            .input_gradient(&img, objective)
+            .expect("white-box detector exposes a gradient");
+        let g = &grad.gradient;
+        // Directional central difference along sign(g): per-pixel probes
+        // drown tiny DETR gradients in curvature noise, while the
+        // aggregated directional derivative Σ|g|·ε gives a strong signal.
+        // Pixels near the [0, 255] clamp stay untouched so the probe sees
+        // the smooth function.
+        let eps = 0.0625f32;
+        // DETR's objective carries genuine kinks (max-over-patch token
+        // pooling, per-column median subtraction): where the probe crosses
+        // one, central FD averages the two one-sided slopes, so the
+        // comparison is held to a subgradient-sized tolerance.
+        let tol = if arch == Architecture::Detr { 0.15 } else { 0.02 };
+        let mut predicted = 0.0f64;
+        let mut plus = img.clone();
+        let mut minus = img.clone();
+        for c in 0..3 {
+            for y in 0..img.height() {
+                for x in 0..img.width() {
+                    let v = img.at(c, y, x);
+                    let gi = g.at(c, y, x);
+                    if gi != 0.0 && v > 1.0 && v < 254.0 {
+                        let step = eps * gi.signum();
+                        plus.set(c, y, x, v + step);
+                        minus.set(c, y, x, v - step);
+                        predicted += f64::from(gi) * f64::from(step);
+                    }
+                }
+            }
+        }
+        assert!(predicted > 0.0, "{arch:?} has an all-zero input gradient");
+        let f_plus =
+            detector.input_gradient(&plus, objective).expect("perturbed gradient").objective;
+        let f_minus =
+            detector.input_gradient(&minus, objective).expect("perturbed gradient").objective;
+        let fd = (f_plus - f_minus) / 2.0;
+        let err = (predicted - fd).abs() / predicted.abs().max(fd.abs());
+        assert!(
+            err < tol,
+            "{arch:?} directional derivative: analytic {predicted:.6e} vs FD {fd:.6e} \
+             (rel err {err:.3e})"
+        );
+    }
+}
