@@ -9,18 +9,29 @@
 //! ```
 //!
 //! * `--quick` shrinks the repetition count for smoke runs,
+//! * `--threads N` sets the kernel worker-thread count (0 = all cores;
+//!   default 1) — CI smoke runs the bench at 1 and N threads and the
+//!   run log keeps one record per count,
 //! * `--check` exits non-zero when the blocked convolution is not faster
-//!   than the reference one on the medium shape (the CI regression gate),
+//!   than the reference one on the medium shape, or when the DETR
+//!   attention matmul misses its minimum speedup (the CI regression
+//!   gates),
 //! * `--out PATH` upserts the timing records into the keyed run log (one
-//!   run per `--quick` value; see `support/runlog.rs`), so a quick CI run
-//!   never clobbers a full-run baseline.
+//!   run per `(--quick, --threads)` pair; see `support/runlog.rs`), so a
+//!   quick CI run never clobbers a full-run baseline.
 //!
-//! Every case first asserts that the two policies produce `==`-identical
-//! outputs, so the numbers always compare *equivalent* kernels. Each case
-//! also records `allocs_per_forward` — heap allocations during one warmed
+//! Every case first asserts that the two variants produce `==`-identical
+//! outputs **at the configured thread count**, so the numbers always
+//! compare equivalent kernels and a threaded run doubles as the
+//! threaded-equals-reference equality gate. The `*_batchN` cases compare
+//! a per-item loop against one population-batched call over the same
+//! inputs (their "reference" column is the loop). Each case also records
+//! `allocs_per_forward` — heap allocations during one warmed
 //! blocked-kernel forward, counted by a `#[global_allocator]` wrapper —
-//! which is 0 for every kernel shape now that weights are pre-packed and
-//! intermediates come from the scratch arenas.
+//! which is 0 for every kernel shape at 1 thread now that weights are
+//! pre-packed and intermediates come from the scratch arenas (worker
+//! threads beyond the first are scoped spawns, so multi-thread runs pay
+//! a handful of allocations per call by design).
 
 #[path = "support/alloc_counter.rs"]
 mod alloc_counter;
@@ -191,27 +202,103 @@ fn matmul_cases(reps: usize) -> Vec<Case> {
     ]
 }
 
+/// How many population members the batched cases stack.
+const BATCH: usize = 4;
+
+/// Population-batched cases: a per-item loop ("reference" column) versus
+/// one batched call over the same inputs, both on the blocked kernels.
+/// The batched outputs must be `==`-identical to the looped ones — the
+/// row-banded GEMMs compute each output row independently, so stacking
+/// items only changes how much work one call carries.
+fn batched_cases(reps: usize) -> Vec<Case> {
+    // DETR encoder feed-forward over a whole population: the stacked
+    // (BATCH·384)×24 GEMM against BATCH separate 384×24 GEMMs.
+    let items: Vec<Matrix> = (0..BATCH).map(|i| seeded_matrix(384, 24, 20 + i as u64)).collect();
+    let item_refs: Vec<&Matrix> = items.iter().collect();
+    let dense = seeded_matrix(24, 24, 4);
+    let stacked = Matrix::vstack(&item_refs).unwrap();
+    let looped: Vec<Matrix> =
+        items.iter().map(|m| m.matmul_policy(&dense, KernelPolicy::Blocked).unwrap()).collect();
+    let product = stacked.matmul_policy(&dense, KernelPolicy::Blocked).unwrap();
+    for (i, item) in looped.iter().enumerate() {
+        assert_eq!(
+            &product.row_block(i * 384, 384),
+            item,
+            "matmul_ffn_batch{BATCH}: batched rows must match per-item rows"
+        );
+    }
+    let reference_ms = time_ms(reps, || {
+        items
+            .iter()
+            .map(|m| black_box(m).matmul_policy(black_box(&dense), KernelPolicy::Blocked).unwrap())
+            .collect::<Vec<_>>()
+    });
+    let blocked_ms = time_ms(reps, || {
+        black_box(&stacked).matmul_policy(black_box(&dense), KernelPolicy::Blocked).unwrap()
+    });
+    let allocs_per_forward = allocs_in(|| {
+        black_box(&stacked).matmul_policy(black_box(&dense), KernelPolicy::Blocked).unwrap()
+    });
+    let ffn = Case { name: "matmul_ffn_batch4", reference_ms, blocked_ms, allocs_per_forward };
+
+    // The CI-gate convolution over a whole population: one im2col_batch
+    // + single wide GEMM against BATCH separate forwards.
+    let (_, oc, ic, k, stride, padding, in_h, in_w) = CONV_SHAPES[1];
+    let mut init = WeightInit::from_seed(7);
+    let mut conv = Conv2d::seeded(oc, ic, k, k, stride, padding, &mut init)
+        .expect("bench conv shape must be valid");
+    conv.set_kernel_policy(KernelPolicy::Blocked);
+    let inputs: Vec<FeatureMap> =
+        (0..BATCH).map(|i| seeded_map(ic, in_h, in_w, 30 + i as u64)).collect();
+    let input_refs: Vec<&FeatureMap> = inputs.iter().collect();
+    let batched = conv.forward_batch(&input_refs).unwrap();
+    for (input, out) in inputs.iter().zip(&batched) {
+        assert_eq!(
+            &conv.forward(input).unwrap(),
+            out,
+            "conv_medium_batch{BATCH}: batched outputs must match per-item outputs"
+        );
+    }
+    let reference_ms = time_ms(reps, || {
+        inputs.iter().map(|input| conv.forward(black_box(input)).unwrap()).collect::<Vec<_>>()
+    });
+    let blocked_ms = time_ms(reps, || conv.forward_batch(black_box(&input_refs)).unwrap());
+    let allocs_per_forward = allocs_in(|| conv.forward_batch(black_box(&input_refs)).unwrap());
+    let conv_case =
+        Case { name: "conv_medium_batch4", reference_ms, blocked_ms, allocs_per_forward };
+    vec![ffn, conv_case]
+}
+
 struct Options {
     quick: bool,
     check: bool,
     out: Option<String>,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
-    let mut options = Options { quick: false, check: false, out: None };
+    let mut options = Options { quick: false, check: false, out: None, threads: 1 };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--quick" => options.quick = true,
             "--check" => options.check = true,
             "--out" => options.out = Some(args.next().ok_or("--out needs a value")?),
+            "--threads" => {
+                let value = args.next().ok_or("--threads needs a value")?;
+                options.threads = value.parse().map_err(|e| format!("--threads {value:?}: {e}"))?;
+            }
             // cargo bench forwards a --bench marker to harness=false targets.
             "--bench" => {}
             "--help" | "-h" => {
-                return Err("usage: kernels [--quick] [--check] [--out PATH]\n\
+                return Err("usage: kernels [--quick] [--check] [--out PATH] [--threads N]\n\
                             --quick reduces repetitions for smoke runs\n\
+                            --threads sets the kernel worker threads (0 = all \
+                            cores; default 1); outputs are asserted identical \
+                            at any count\n\
                             --check exits 1 if blocked conv is not faster than \
-                            reference on the medium shape\n\
+                            reference on the medium shape or the DETR matmul \
+                            misses its minimum speedup\n\
                             --out upserts the timings into the keyed run log"
                     .into())
             }
@@ -220,6 +307,13 @@ fn parse_args() -> Result<Options, String> {
     }
     Ok(options)
 }
+
+/// The `--check` floor for the DETR attention matmul (`scores·v`, the
+/// detector's widest GEMM): the blocked kernel must beat the reference
+/// loops by at least this factor. Kept modest — CI boxes are small and
+/// noisy — but strictly above parity so a silent fall-back to scalar
+/// code fails the gate.
+const MIN_DETR_MATMUL_SPEEDUP: f64 = 1.1;
 
 fn main() -> ExitCode {
     let options = match parse_args() {
@@ -230,9 +324,16 @@ fn main() -> ExitCode {
         }
     };
     let reps = if options.quick { 5 } else { 30 };
+    bea_tensor::threads::set_threads(options.threads);
+    println!(
+        "kernel threads: {} requested, {} resolved",
+        options.threads,
+        bea_tensor::threads::threads()
+    );
 
     let mut cases: Vec<Case> = CONV_SHAPES.iter().map(|&s| conv_case(s, reps)).collect();
     cases.extend(matmul_cases(reps));
+    cases.extend(batched_cases(reps));
 
     println!(
         "{:<20} {:>14} {:>12} {:>9} {:>20}",
@@ -254,6 +355,7 @@ fn main() -> ExitCode {
         let run = JsonObject::new()
             .boolean("quick", options.quick)
             .integer("reps", reps as u64)
+            .integer("threads", options.threads as u64)
             .raw("cases", &format!("[{}]", rendered.join(",")))
             .finish();
         if let Err(e) = runlog::merge_keyed_run(path, "kernels", &run) {
@@ -273,7 +375,24 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
-        println!("check passed: blocked conv_medium is {:.2}x reference", gate.speedup());
+        let detr =
+            cases.iter().find(|c| c.name == "matmul_nn_scores_v").expect("DETR gate case exists");
+        if detr.speedup() < MIN_DETR_MATMUL_SPEEDUP {
+            eprintln!(
+                "kernel regression: blocked DETR matmul_nn_scores_v is only {:.2}x \
+                 reference ({:.4} ms vs {:.4} ms); the gate requires {MIN_DETR_MATMUL_SPEEDUP}x",
+                detr.speedup(),
+                detr.blocked_ms,
+                detr.reference_ms
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "check passed: blocked conv_medium is {:.2}x reference, \
+             DETR matmul_nn_scores_v is {:.2}x (floor {MIN_DETR_MATMUL_SPEEDUP}x)",
+            gate.speedup(),
+            detr.speedup()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -4,8 +4,10 @@
 //! `BENCH_*.json` file. Overwriting would make a quick run destroy the
 //! full-run baseline, so `--out` upserts instead: the document is
 //! `{"bench": NAME, "runs": [RUN, ...]}` where each run carries a boolean
-//! `"quick"` key, and writing a run replaces the existing run with the
-//! same `quick` value (or appends when none exists). Legacy single-run
+//! `"quick"` key and an optional integer `"threads"` key, and writing a
+//! run replaces the existing run with the same `(quick, threads)` pair
+//! (or appends when none exists) — so the thread-count sweep the CI
+//! smoke performs keeps one record per count. Legacy single-run
 //! documents (`{"bench": ..., "quick": ..., "cases": [...]}`) are
 //! auto-converted into a one-element `runs` array on first merge.
 //!
@@ -21,12 +23,15 @@ use bea_core::telemetry::{parse_json, JsonValue};
 /// merged, so a corrupted file never wedges the bench.
 pub fn merge_keyed_run(path: &str, bench: &str, run: &str) -> Result<(), String> {
     let run = parse_json(run).map_err(|e| format!("internal: run record is invalid: {e}"))?;
-    let key = run
-        .get("quick")
+    run.get("quick")
         .and_then(JsonValue::as_bool)
         .ok_or("internal: run record lacks a boolean \"quick\" key")?;
+    let key = |r: &JsonValue| {
+        (r.get("quick").and_then(JsonValue::as_bool), r.get("threads").and_then(JsonValue::as_u64))
+    };
+    let slot_key = key(&run);
     let mut runs = existing_runs(path, bench);
-    match runs.iter_mut().find(|r| r.get("quick").and_then(JsonValue::as_bool) == Some(key)) {
+    match runs.iter_mut().find(|r| key(r) == slot_key) {
         Some(slot) => *slot = run,
         None => runs.push(run),
     }

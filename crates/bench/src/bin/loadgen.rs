@@ -6,13 +6,15 @@
 //!     --csv target/experiments/loadgen.csv
 //! ```
 //!
-//! Each client thread submits `--requests` jobs back to back: a `429`
-//! counts as backpressure (the client honours `Retry-After` once, then
-//! moves on), everything else records its latency. The run reports
-//! p50/p99 submit latency, the acceptance/rejection split, and — with
-//! `--wait` — polls every accepted job to completion so the tool
-//! doubles as an end-to-end soak test. Per-request rows land in
-//! `--csv`.
+//! Each client thread submits `--requests` jobs back to back. A `429`
+//! is backpressure, not loss: the client retries the same job with
+//! bounded exponential backoff (base `Retry-After` or 100 ms, doubling
+//! per attempt, capped at 5 s, at most [`MAX_SUBMIT_ATTEMPTS`] tries)
+//! and only counts the job rejected once every attempt came back `429`.
+//! The run reports p50/p99 submit latency, the acceptance/rejection
+//! split, and — with `--wait` — polls every accepted job to completion
+//! so the tool doubles as an end-to-end soak test. Per-request rows
+//! (final status plus how many attempts it took) land in `--csv`.
 
 use bea_bench::args::{self, ArgParser};
 use bea_serve::{percentile, Client};
@@ -71,12 +73,31 @@ fn parse_args() -> Result<Options, String> {
     Ok(options)
 }
 
-/// One submission's outcome.
+/// Most submit attempts per job before a `429` storm counts as a real
+/// rejection.
+const MAX_SUBMIT_ATTEMPTS: u32 = 5;
+
+/// How long to sleep before retry number `attempt` (0-based) of a job
+/// the server answered `429`: the advertised `Retry-After` (seconds)
+/// when present, otherwise 100 ms, doubled per attempt and capped at
+/// 5 s so a saturated server backs clients off without stranding them.
+fn backoff_delay(attempt: u32, retry_after_secs: Option<u64>) -> Duration {
+    const CAP: Duration = Duration::from_secs(5);
+    let base = match retry_after_secs {
+        Some(secs) => Duration::from_secs(secs),
+        None => Duration::from_millis(100),
+    };
+    let scaled = base.saturating_mul(1u32 << attempt.min(16));
+    scaled.min(CAP)
+}
+
+/// One submission's outcome (its final attempt).
 struct Sample {
     client: usize,
     request: usize,
     status: u16,
     latency_s: f64,
+    attempts: u32,
     id: Option<String>,
 }
 
@@ -111,15 +132,31 @@ fn main() -> ExitCode {
                             "{{\"arch\":\"yolo\",\"pop\":{pop},\"gens\":{gens},\"seed\":{seed},\
                              \"image\":{{\"width\":64,\"height\":32,\"fill\":[{fill},64,128]}}}}"
                         );
-                        let submit_started = Instant::now();
-                        let response = match client.submit(&body) {
-                            Ok(response) => response,
-                            Err(e) => {
-                                eprintln!("client {client_id}: submit failed: {e}");
+                        // Retry `429` with bounded exponential backoff;
+                        // only the final attempt is recorded, so a job
+                        // counts rejected only once the storm outlasted
+                        // every retry.
+                        let mut attempt = 0u32;
+                        let final_response = loop {
+                            let submit_started = Instant::now();
+                            let response = match client.submit(&body) {
+                                Ok(response) => response,
+                                Err(e) => {
+                                    eprintln!("client {client_id}: submit failed: {e}");
+                                    break None;
+                                }
+                            };
+                            let latency_s = submit_started.elapsed().as_secs_f64();
+                            if response.status == 429 && attempt + 1 < MAX_SUBMIT_ATTEMPTS {
+                                let advertised =
+                                    response.header("retry-after").and_then(|v| v.parse().ok());
+                                std::thread::sleep(backoff_delay(attempt, advertised));
+                                attempt += 1;
                                 continue;
                             }
+                            break Some((response, latency_s));
                         };
-                        let latency_s = submit_started.elapsed().as_secs_f64();
+                        let Some((response, latency_s)) = final_response else { continue };
                         let id = (response.status == 202).then(|| {
                             bea_core::telemetry::parse_json(response.body_text().unwrap_or("{}"))
                                 .ok()
@@ -128,22 +165,14 @@ fn main() -> ExitCode {
                                 })
                                 .unwrap_or_default()
                         });
-                        let status = response.status;
                         samples.push(Sample {
                             client: client_id,
                             request: request_id,
-                            status,
+                            status: response.status,
                             latency_s,
+                            attempts: attempt + 1,
                             id,
                         });
-                        if status == 429 {
-                            // Honour the advertised backoff once.
-                            let retry = response
-                                .header("retry-after")
-                                .and_then(|v| v.parse().ok())
-                                .unwrap_or(1u64);
-                            std::thread::sleep(Duration::from_secs(retry.min(5)));
-                        }
                     }
                     samples
                 })
@@ -156,11 +185,13 @@ fn main() -> ExitCode {
     let accepted: Vec<&Sample> = samples.iter().filter(|s| s.status == 202).collect();
     let rejected = samples.iter().filter(|s| s.status == 429).count();
     let other = samples.len() - accepted.len() - rejected;
+    let retried = samples.iter().filter(|s| s.attempts > 1).count();
     let mut latencies: Vec<f64> = samples.iter().map(|s| s.latency_s).collect();
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     println!(
-        "{} submissions in {wall_s:.2}s: {} accepted (202), {rejected} rejected (429), \
-         {other} other",
+        "{} submissions in {wall_s:.2}s: {} accepted (202), {rejected} rejected \
+         (429 through {MAX_SUBMIT_ATTEMPTS} backoff attempts), {other} other, \
+         {retried} needed retries",
         samples.len(),
         accepted.len(),
     );
@@ -175,14 +206,15 @@ fn main() -> ExitCode {
         if let Some(parent) = path.parent() {
             let _ = std::fs::create_dir_all(parent);
         }
-        let mut out = String::from("client,request,status,latency_s,id\n");
+        let mut out = String::from("client,request,status,latency_s,attempts,id\n");
         for s in &samples {
             out.push_str(&format!(
-                "{},{},{},{:.6},{}\n",
+                "{},{},{},{:.6},{},{}\n",
                 s.client,
                 s.request,
                 s.status,
                 s.latency_s,
+                s.attempts,
                 s.id.as_deref().unwrap_or("")
             ));
         }
@@ -219,4 +251,30 @@ fn main() -> ExitCode {
         println!("all {done} accepted job(s) ran to completion — no accepted job lost");
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_from_the_default_base_and_caps() {
+        assert_eq!(backoff_delay(0, None), Duration::from_millis(100));
+        assert_eq!(backoff_delay(1, None), Duration::from_millis(200));
+        assert_eq!(backoff_delay(2, None), Duration::from_millis(400));
+        assert_eq!(backoff_delay(3, None), Duration::from_millis(800));
+        // By attempt 6 the doubled default passes the 5 s cap.
+        assert_eq!(backoff_delay(6, None), Duration::from_secs(5));
+        assert_eq!(backoff_delay(60, None), Duration::from_secs(5));
+    }
+
+    #[test]
+    fn backoff_honours_retry_after_up_to_the_cap() {
+        assert_eq!(backoff_delay(0, Some(2)), Duration::from_secs(2));
+        // Retry-After also doubles per attempt, still capped.
+        assert_eq!(backoff_delay(1, Some(2)), Duration::from_secs(4));
+        assert_eq!(backoff_delay(2, Some(2)), Duration::from_secs(5));
+        assert_eq!(backoff_delay(0, Some(3600)), Duration::from_secs(5));
+        assert_eq!(backoff_delay(0, Some(0)), Duration::ZERO);
+    }
 }

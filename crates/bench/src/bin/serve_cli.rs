@@ -24,6 +24,7 @@ struct Options {
     out: PathBuf,
     smoke: bool,
     drain_secs: u64,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -34,6 +35,7 @@ fn parse_args() -> Result<Options, String> {
         out: PathBuf::from("target/experiments/serve"),
         smoke: false,
         drain_secs: 60,
+        threads: 1,
     };
     let mut args = ArgParser::from_env();
     while let Some(flag) = args.next_flag() {
@@ -44,10 +46,14 @@ fn parse_args() -> Result<Options, String> {
             "--out" => options.out = PathBuf::from(args.value(&flag)?),
             "--smoke" => options.smoke = true,
             "--drain-secs" => options.drain_secs = args.parse(&flag)?,
+            "--threads" => options.threads = args.parse(&flag)?,
             "--help" | "-h" => {
                 return Err("usage: serve_cli [--addr HOST:PORT] [--workers N] [--queue N] \
-                            [--out DIR] [--smoke] [--drain-secs N]\n\
+                            [--out DIR] [--smoke] [--drain-secs N] [--threads N]\n\
                             --smoke serves the 4-image smoke dataset (fast jobs for CI)\n\
+                            --threads sets kernel worker threads per job (default 1: the worker\n\
+                            pool already runs jobs in parallel; 0 = all cores); served CSVs are\n\
+                            identical at any thread count\n\
                             POST /v1/attacks submits a job; GET /metrics exposes Prometheus text;\n\
                             POST /v1/shutdown drains in-flight work and exits"
                     .into())
@@ -78,6 +84,7 @@ fn main() -> ExitCode {
         },
         drain_deadline: Duration::from_secs(options.drain_secs),
         request_log: true,
+        kernel_threads: options.threads,
     };
     let server = match Server::start(config) {
         Ok(server) => server,

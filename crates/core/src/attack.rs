@@ -127,6 +127,14 @@ pub struct AttackConfig {
     /// defaults to `gaussian_std` so FGSM/PGD spend the same per-pixel
     /// budget the GA's initialisation draws from.
     pub whitebox_epsilon: f32,
+    /// Kernel worker threads for the tensor hot loops (GEMM, im2col):
+    /// `0` (the default) uses every available core, `1` keeps the kernels
+    /// on the calling thread. Applied process-wide (via
+    /// [`bea_tensor::threads::set_threads`]) when the attack starts.
+    /// Threaded kernels are `==`-identical to the serial ones, so this is
+    /// a pure speed knob; campaigns that already shard across `--jobs`
+    /// workers may set `1` to avoid oversubscription.
+    pub threads: usize,
 }
 
 impl Default for AttackConfig {
@@ -146,6 +154,7 @@ impl Default for AttackConfig {
             track_hypervolume: true,
             strategy: AttackStrategy::Nsga2,
             whitebox_epsilon: 12.0,
+            threads: 0,
         }
     }
 }
@@ -215,11 +224,19 @@ impl ButterflyAttack {
         img: &Image,
         observer: impl FnMut(&GenerationStats),
     ) -> AttackOutcome {
+        self.apply_threads();
         if self.config.strategy != AttackStrategy::Nsga2 {
             return whitebox::run(self, detector, img, observer);
         }
         let problem = self.make_problem(vec![detector], vec![img.clone()]);
         self.run(problem, observer)
+    }
+
+    /// Installs the configured kernel thread count for this process. The
+    /// knob only changes speed: threaded kernels stay `==`-identical to
+    /// the serial reference loops.
+    fn apply_threads(&self) {
+        bea_tensor::threads::set_threads(self.config.threads);
     }
 
     /// Attacks an ensemble of detectors with one shared mask
@@ -286,6 +303,7 @@ impl ButterflyAttack {
         problem: ButterflyProblem<'_>,
         mut observer: impl FnMut(&GenerationStats),
     ) -> AttackOutcome {
+        self.apply_threads();
         // The NSGA-II driver consumes the problem, so snapshot the
         // detector handles (and their cache counters) first; the outcome
         // reports only this run's delta.

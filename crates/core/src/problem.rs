@@ -357,6 +357,91 @@ impl Problem for ButterflyProblem<'_> {
         objectives
     }
 
+    /// The per-generation hot path: one batched detector call per
+    /// `(placement, frame, detector)` cell instead of one scalar call per
+    /// genome, so detectors with a batchable global stage (DETR behind a
+    /// [`bea_detect::CachedDetector`]) push the whole population through a
+    /// single stacked transformer pass and stream their weights once per
+    /// generation.
+    ///
+    /// Each mask's objective accumulators receive exactly the same
+    /// contributions in exactly the same order as [`Problem::evaluate`]
+    /// (placements, then frames, then detectors), so the returned vectors
+    /// are bit-identical to the scalar path — the determinism suite holds
+    /// campaigns to byte-identical CSVs across batching modes.
+    fn evaluate_population(&self, masks: &[FilterMask]) -> Vec<Vec<f64>> {
+        if masks.len() <= 1 {
+            return masks.iter().map(|m| self.evaluate(m)).collect();
+        }
+        let n = masks.len();
+        let intensity: Vec<f64> = masks.iter().map(|m| obj_intensity(m, self.norm)).collect();
+        let mut degrad = vec![0.0f64; n];
+        let mut dist = vec![0.0f64; n];
+        let mut feat = vec![0.0f64; n];
+        for &(dx, dy, brightness) in &self.placements {
+            let identity_brightness = (brightness - 1.0).abs() <= 1e-6;
+            let placed: Vec<FilterMask>;
+            let effective: Vec<&FilterMask> = if dx == 0 && dy == 0 {
+                masks.iter().collect()
+            } else {
+                placed = masks.iter().map(|m| m.shifted(dx, dy)).collect();
+                placed.iter().collect()
+            };
+            let cached_path = self.use_cache && identity_brightness;
+            for (ti, frame) in self.frames.iter().enumerate() {
+                // The perturbed images are only materialised when some
+                // consumer needs pixels: the full detect path, or the
+                // feature objective. The buffers recycle into the scratch
+                // arena when `perturbed` drops at the end of the frame.
+                let perturbed: Vec<Image> = if !cached_path || self.feature.is_some() {
+                    effective
+                        .iter()
+                        .map(|mask| {
+                            if identity_brightness {
+                                mask.apply(frame)
+                            } else {
+                                mask.apply(frame).brightness_scaled(brightness)
+                            }
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                for (ki, detector) in self.detectors.iter().enumerate() {
+                    let predictions = if cached_path {
+                        detector.detect_masked_batch(frame, &effective)
+                    } else {
+                        let refs: Vec<&Image> = perturbed.iter().collect();
+                        detector.detect_batch(&refs)
+                    };
+                    debug_assert_eq!(predictions.len(), n);
+                    for (i, prediction) in predictions.iter().enumerate() {
+                        degrad[i] += obj_degrad(&self.clean[ki][ti], prediction);
+                        dist[i] += if self.distance_count_division {
+                            self.dist_fields[ki][ti].objective_normalized(effective[i])
+                        } else {
+                            self.dist_fields[ki][ti].objective_without_count_division(effective[i])
+                                / (self.dist_fields[ki][ti].values().len() as f64 * 255.0 * 2.0)
+                        };
+                        if let Some(feature) = &self.feature {
+                            feat[i] += feature[ki][ti].objective(*detector, &perturbed[i]);
+                        }
+                    }
+                }
+            }
+        }
+        let scale = (self.detectors.len() * self.frames.len() * self.placements.len()) as f64;
+        (0..n)
+            .map(|i| {
+                let mut objectives = vec![intensity[i], degrad[i] / scale, dist[i] / scale];
+                if self.feature.is_some() {
+                    objectives.push(feat[i] / scale);
+                }
+                objectives
+            })
+            .collect()
+    }
+
     fn seeded_genomes(&self) -> Vec<FilterMask> {
         // "a zero mask is added to the initial population (to keep the
         // original image)".
@@ -592,6 +677,41 @@ mod tests {
         assert_eq!(first, second, "evaluation must be deterministic");
         assert_eq!(delta.misses, 0, "steady-state evaluation must not grow the pool");
         assert!(delta.hits > 0, "pooled buffers must actually be reused");
+    }
+
+    #[test]
+    fn population_evaluation_matches_scalar_evaluation_bitwise() {
+        let img = SyntheticKitti::smoke_set().image(0);
+        let mut masks = Vec::new();
+        masks.push(FilterMask::zeros(img.width(), img.height()));
+        for (i, (x, y)) in [(9usize, 6usize), (40, 12), (70, 20)].iter().enumerate() {
+            let mut mask = FilterMask::zeros(img.width(), img.height());
+            mask.set(0, *y, *x, 90);
+            mask.set(2, *y + 1, *x + 1, -50 - i as i16);
+            masks.push(mask);
+        }
+        // Plain detector, plus brightness placements and the feature
+        // objective to cover every accumulator.
+        let yolo = YoloDetector::new(YoloConfig::with_seed(1));
+        let problem = ButterflyProblem::single(&yolo, &img, 2.0, RegionConstraint::Full)
+            .with_placement_robustness(&[(3, 0)], &[0.6])
+            .with_feature_objective();
+        let batched = problem.evaluate_population(&masks);
+        for (i, mask) in masks.iter().enumerate() {
+            assert_eq!(batched[i], problem.evaluate(mask), "mask {i}");
+        }
+        // Cached detector: the population path routes through
+        // detect_masked_batch and must still match.
+        let cached = bea_detect::CachedDetector::new(YoloDetector::new(YoloConfig::with_seed(1)));
+        let p_cached =
+            ButterflyProblem::single(&cached, &img, 2.0, RegionConstraint::Full).with_cache();
+        let batched = p_cached.evaluate_population(&masks);
+        let plain = ButterflyProblem::single(&yolo, &img, 2.0, RegionConstraint::Full);
+        for (i, mask) in masks.iter().enumerate() {
+            assert_eq!(batched[i], plain.evaluate(mask), "cached mask {i}");
+        }
+        let stats = p_cached.cache_stats().expect("cached detector reports stats");
+        assert_eq!(stats.incremental, 3, "three non-zero masks take the incremental path");
     }
 
     #[test]

@@ -95,6 +95,40 @@ fn kernel_policy_never_changes_champion_csv_across_worker_counts() {
     );
 }
 
+fn run_with_threads(jobs: usize, threads: usize) -> bea_core::campaign::CampaignResult {
+    let zoo = ModelZoo::with_defaults().with_kernel_policy(KernelPolicy::Blocked);
+    let dataset = SyntheticKitti::evaluation_set();
+    let mut attack = AttackConfig::scaled(8, GENS);
+    attack.threads = threads;
+    Campaign::new(CampaignConfig { attack, base_seed: 11, jobs, telemetry: true }).run(
+        &specs(),
+        move |spec: &CellSpec| {
+            let arch = if spec.group == "YOLO" { Architecture::Yolo } else { Architecture::Detr };
+            zoo.model(arch, spec.model_seed)
+        },
+        move |spec: &CellSpec| dataset.image(spec.image_index),
+    )
+}
+
+#[test]
+fn kernel_threads_never_change_champion_csv_across_worker_counts() {
+    // The --threads {1,4} × --jobs {1,4} grid under the blocked (SIMD +
+    // threaded) kernels: every combination must persist the same
+    // champion CSV byte for byte as the plain sequential run, so the
+    // kernel thread pool is a pure speed knob at any worker count.
+    let expected = champion_csv(&run(1, false));
+    assert!(!expected.is_empty());
+    for threads in [1, 4] {
+        for jobs in [1, 4] {
+            assert_eq!(
+                expected,
+                champion_csv(&run_with_threads(jobs, threads)),
+                "--threads {threads} --jobs {jobs} changed the champion CSV"
+            );
+        }
+    }
+}
+
 #[test]
 fn telemetry_matches_across_worker_counts_modulo_timing() {
     let a = run(1, false).telemetry_lines();

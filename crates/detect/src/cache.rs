@@ -156,6 +156,25 @@ pub trait IncrementalDetect: Detector {
         perturbed: &Image,
         dirty: &DirtyRect,
     ) -> IncrementalPrediction;
+
+    /// Runs a whole population of incremental evaluations against one
+    /// cached clean pass, returning one result per job (in order).
+    ///
+    /// Each result must be bit-identical to
+    /// [`IncrementalDetect::detect_incremental`] on that job alone. The
+    /// default loops; detectors whose global stage re-runs in full per job
+    /// (DETR's transformer) override this to batch that stage across the
+    /// population — the weights then stream through the cache once per
+    /// *generation* instead of once per genome.
+    fn detect_incremental_batch(
+        &self,
+        clean: &Self::Clean,
+        jobs: &[(&Image, &DirtyRect)],
+    ) -> Vec<IncrementalPrediction> {
+        jobs.iter()
+            .map(|(perturbed, dirty)| self.detect_incremental(clean, perturbed, dirty))
+            .collect()
+    }
 }
 
 /// The full-resolution bounding rectangle of a mask's non-zero pixels.
@@ -364,6 +383,13 @@ impl<D: IncrementalDetect> Detector for CachedDetector<D> {
         self.inner.detect(img)
     }
 
+    /// Batched plain detection delegates for the same reason — and so the
+    /// inner detector's batched forward pass stays reachable through the
+    /// wrapper.
+    fn detect_batch_into(&self, imgs: &[&Image], out: &mut Vec<Prediction>) {
+        self.inner.detect_batch_into(imgs, out);
+    }
+
     fn name(&self) -> &str {
         self.inner.name()
     }
@@ -402,6 +428,69 @@ impl<D: IncrementalDetect> Detector for CachedDetector<D> {
             self.global_stage_full.fetch_add(1, Ordering::Relaxed);
         }
         out.prediction
+    }
+
+    /// One clean-pass lookup serves the whole population; the incremental
+    /// masks are grouped into a single
+    /// [`IncrementalDetect::detect_incremental_batch`] call so the inner
+    /// detector can batch its global stage. Per-mask results and counters
+    /// match the scalar [`Detector::detect_masked`] path.
+    fn detect_masked_batch_into(
+        &self,
+        clean: &Image,
+        masks: &[&FilterMask],
+        out: &mut Vec<Prediction>,
+    ) {
+        out.clear();
+        out.reserve(masks.len());
+        let mut entry: Option<CacheEntry<D>> = None;
+        // Classify each mask; incremental jobs are deferred so they can
+        // share one batched global stage. `pending` remembers where each
+        // deferred result belongs in `out`.
+        let mut pending: Vec<(usize, Image, DirtyRect)> = Vec::new();
+        for (slot, mask) in masks.iter().enumerate() {
+            if mask.width() != clean.width() || mask.height() != clean.height() {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                out.push(self.inner.detect(&mask.apply(clean)));
+                continue;
+            }
+            let dirty = mask_dirty_rect(mask);
+            if entry.is_none() {
+                entry = Some(self.entry(clean));
+            } else {
+                // Same image, already held: no re-hash, but still one
+                // lookup per mask so the counters match the scalar path.
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            let held = entry.as_ref().expect("entry just ensured");
+            if dirty.is_empty() {
+                out.push(held.1.clone());
+                continue;
+            }
+            if dirty.area() == clean.width() * clean.height() {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                out.push(self.inner.detect(&mask.apply(clean)));
+                continue;
+            }
+            out.push(Prediction::new());
+            pending.push((slot, mask.apply(clean), dirty));
+        }
+        if pending.is_empty() {
+            return;
+        }
+        let held = entry.as_ref().expect("pending jobs imply a cached entry");
+        let jobs: Vec<(&Image, &DirtyRect)> =
+            pending.iter().map(|(_, perturbed, dirty)| (perturbed, dirty)).collect();
+        let results = self.inner.detect_incremental_batch(&held.0, &jobs);
+        debug_assert_eq!(results.len(), pending.len());
+        for ((slot, _, _), result) in pending.iter().zip(results) {
+            self.incremental.fetch_add(1, Ordering::Relaxed);
+            self.pixels_recomputed.fetch_add(result.cells_recomputed, Ordering::Relaxed);
+            if result.global_stage_full {
+                self.global_stage_full.fetch_add(1, Ordering::Relaxed);
+            }
+            out[*slot] = result.prediction;
+        }
     }
 }
 
@@ -484,6 +573,42 @@ mod tests {
         assert_eq!(pred, cached.inner().detect(&mask.apply(&img)));
         assert_eq!(cached.stats().fallbacks, 1);
         assert_eq!(cached.stats().incremental, 0);
+    }
+
+    #[test]
+    fn batched_masked_path_matches_scalar_path_and_counters() {
+        let img = SyntheticKitti::evaluation_set().image(0);
+        let mut full = FilterMask::zeros(img.width(), img.height());
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                full.set(1, y, x, 5);
+            }
+        }
+        let mut other = sample_mask(img.width(), img.height());
+        other.set(1, 30, 12, -40);
+        let zero = FilterMask::zeros(img.width(), img.height());
+        let local = sample_mask(img.width(), img.height());
+        let masks: Vec<&FilterMask> = vec![&local, &zero, &full, &other];
+
+        let scalar = CachedDetector::new(YoloDetector::new(YoloConfig::with_seed(2)));
+        let expected: Vec<Prediction> =
+            masks.iter().map(|m| scalar.detect_masked(&img, m)).collect();
+
+        let batched = CachedDetector::new(YoloDetector::new(YoloConfig::with_seed(2)));
+        let mut out = Vec::new();
+        batched.detect_masked_batch_into(&img, &masks, &mut out);
+        assert_eq!(out, expected, "batched masked path must be bit-identical");
+        // Reuse keeps the allocation and the answers.
+        batched.detect_masked_batch_into(&img, &masks, &mut out);
+        assert_eq!(out, expected);
+
+        let s = scalar.stats();
+        let b = batched.stats();
+        assert_eq!((b.misses, b.fallbacks), (s.misses, s.fallbacks * 2));
+        assert_eq!(b.incremental, s.incremental * 2);
+        assert_eq!(b.pixels_recomputed, s.pixels_recomputed * 2);
+        // One lookup per in-bounds mask, exactly like the scalar path.
+        assert_eq!(b.lookups(), s.lookups() * 2);
     }
 
     #[test]

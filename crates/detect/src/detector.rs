@@ -60,6 +60,55 @@ pub trait Detector: Send + Sync {
         self.detect(&mask.apply(clean))
     }
 
+    /// Detects on a whole batch of images, writing one prediction per
+    /// image (in order) into `out`.
+    ///
+    /// The out-parameter style lets steady-state callers reuse the vector's
+    /// capacity across generations. `out` is cleared first; each entry must
+    /// equal `self.detect(imgs[i])` — batching is a pure speed knob, never
+    /// an approximation. The default simply loops; detectors with a
+    /// batchable global stage (DETR's transformer) override this to push
+    /// the whole population through one stacked forward pass.
+    fn detect_batch_into(&self, imgs: &[&Image], out: &mut Vec<Prediction>) {
+        out.clear();
+        out.extend(imgs.iter().map(|img| self.detect(img)));
+    }
+
+    /// Convenience wrapper over [`Detector::detect_batch_into`] returning a
+    /// fresh vector.
+    fn detect_batch(&self, imgs: &[&Image]) -> Vec<Prediction> {
+        let mut out = Vec::with_capacity(imgs.len());
+        self.detect_batch_into(imgs, &mut out);
+        out
+    }
+
+    /// Detects `clean` under each mask of a population, writing one
+    /// prediction per mask (in order) into `out` — the batched counterpart
+    /// of [`Detector::detect_masked`], and the attack's per-generation hot
+    /// path.
+    ///
+    /// `out` is cleared first; each entry must equal
+    /// `self.detect_masked(clean, masks[i])`. Cache-aware wrappers
+    /// ([`crate::cache::CachedDetector`]) override this to group the
+    /// incremental evaluations into one batched global stage.
+    fn detect_masked_batch_into(
+        &self,
+        clean: &Image,
+        masks: &[&FilterMask],
+        out: &mut Vec<Prediction>,
+    ) {
+        out.clear();
+        out.extend(masks.iter().map(|mask| self.detect_masked(clean, mask)));
+    }
+
+    /// Convenience wrapper over [`Detector::detect_masked_batch_into`]
+    /// returning a fresh vector.
+    fn detect_masked_batch(&self, clean: &Image, masks: &[&FilterMask]) -> Vec<Prediction> {
+        let mut out = Vec::with_capacity(masks.len());
+        self.detect_masked_batch_into(clean, masks, &mut out);
+        out
+    }
+
     /// Cache counters, when this detector memoizes forward passes.
     ///
     /// `None` (the default) means the detector runs every pass in full.
@@ -95,6 +144,19 @@ impl<T: Detector + ?Sized> Detector for &T {
         (**self).detect_masked(clean, mask)
     }
 
+    fn detect_batch_into(&self, imgs: &[&Image], out: &mut Vec<Prediction>) {
+        (**self).detect_batch_into(imgs, out);
+    }
+
+    fn detect_masked_batch_into(
+        &self,
+        clean: &Image,
+        masks: &[&FilterMask],
+        out: &mut Vec<Prediction>,
+    ) {
+        (**self).detect_masked_batch_into(clean, masks, out);
+    }
+
     fn cache_stats(&self) -> Option<CacheStats> {
         (**self).cache_stats()
     }
@@ -119,6 +181,19 @@ impl<T: Detector + ?Sized> Detector for Box<T> {
 
     fn detect_masked(&self, clean: &Image, mask: &FilterMask) -> Prediction {
         (**self).detect_masked(clean, mask)
+    }
+
+    fn detect_batch_into(&self, imgs: &[&Image], out: &mut Vec<Prediction>) {
+        (**self).detect_batch_into(imgs, out);
+    }
+
+    fn detect_masked_batch_into(
+        &self,
+        clean: &Image,
+        masks: &[&FilterMask],
+        out: &mut Vec<Prediction>,
+    ) {
+        (**self).detect_masked_batch_into(clean, masks, out);
     }
 
     fn cache_stats(&self) -> Option<CacheStats> {
@@ -170,6 +245,33 @@ mod tests {
     fn default_heatmap_is_empty() {
         let d = Fixed;
         assert_eq!(d.heatmap(&Image::black(4, 4)).shape(), (0, 0, 0));
+    }
+
+    #[test]
+    fn default_batch_paths_loop_the_scalar_paths() {
+        let d = Fixed;
+        let imgs = [Image::black(4, 4), Image::black(8, 8)];
+        let refs: Vec<&Image> = imgs.iter().collect();
+        let batch = d.detect_batch(&refs);
+        assert_eq!(batch.len(), 2);
+        for (img, pred) in refs.iter().zip(&batch) {
+            assert_eq!(pred, &d.detect(img));
+        }
+        let clean = Image::black(4, 4);
+        let mut mask = bea_image::FilterMask::zeros(4, 4);
+        mask.set(0, 1, 1, 50);
+        let zero = bea_image::FilterMask::zeros(4, 4);
+        let masks: Vec<&bea_image::FilterMask> = vec![&mask, &zero];
+        let mut out = Vec::new();
+        d.detect_masked_batch_into(&clean, &masks, &mut out);
+        assert_eq!(out.len(), 2);
+        for (m, pred) in masks.iter().zip(&out) {
+            assert_eq!(pred, &d.detect_masked(&clean, m));
+        }
+        // Trait objects reach the same defaults through the forwarders.
+        let boxed: Box<dyn Detector> = Box::new(Fixed);
+        assert_eq!(boxed.detect_batch(&refs), batch);
+        assert_eq!(boxed.detect_masked_batch(&clean, &masks), out);
     }
 
     #[test]

@@ -29,13 +29,9 @@ fn evaluate_batch<P: Problem>(
         threads
     };
     if threads <= 1 || genomes.len() < 2 {
-        return genomes
-            .into_iter()
-            .map(|g| {
-                let objectives = problem.evaluate(&g);
-                Individual::new(g, objectives)
-            })
-            .collect();
+        let objectives = problem.evaluate_population(&genomes);
+        assert_eq!(objectives.len(), genomes.len(), "one objective vector per genome");
+        return genomes.into_iter().zip(objectives).map(|(g, o)| Individual::new(g, o)).collect();
     }
     let chunk = genomes.len().div_ceil(threads);
     let mut out: Vec<Option<Individual<P::Genome>>> = Vec::new();
@@ -43,9 +39,10 @@ fn evaluate_batch<P: Problem>(
     crossbeam::thread::scope(|scope| {
         for (slot_chunk, genome_chunk) in out.chunks_mut(chunk).zip(genomes.chunks(chunk)) {
             scope.spawn(move |_| {
-                for (slot, genome) in slot_chunk.iter_mut().zip(genome_chunk) {
-                    let objectives = problem.evaluate(genome);
-                    *slot = Some(Individual::new(genome.clone(), objectives));
+                let objectives = problem.evaluate_population(genome_chunk);
+                assert_eq!(objectives.len(), genome_chunk.len(), "one objective vector per genome");
+                for ((slot, genome), o) in slot_chunk.iter_mut().zip(genome_chunk).zip(objectives) {
+                    *slot = Some(Individual::new(genome.clone(), o));
                 }
             });
         }
@@ -68,6 +65,20 @@ pub trait Problem: Sync {
     /// Evaluates one genome into its objective vector (same length and
     /// order as [`Problem::directions`]).
     fn evaluate(&self, genome: &Self::Genome) -> Vec<f64>;
+
+    /// Evaluates a batch of genomes, returning one objective vector per
+    /// genome in input order.
+    ///
+    /// The run driver hands every evaluation through this hook (each
+    /// worker thread receives one contiguous chunk), so problems whose
+    /// objective shares work across a population — the butterfly attack
+    /// pushes all masks of a generation through one batched detector
+    /// forward pass — can override it. Results must be *identical* to
+    /// mapping [`Problem::evaluate`]; batching is a speed knob, never an
+    /// approximation, and determinism tests hold overrides to that.
+    fn evaluate_population(&self, genomes: &[Self::Genome]) -> Vec<Vec<f64>> {
+        genomes.iter().map(|g| self.evaluate(g)).collect()
+    }
 
     /// Fixed genomes injected into the initial population before random
     /// initialisation fills the rest. The paper injects the zero mask "to
@@ -707,6 +718,64 @@ mod tests {
         };
         let sequential = run(1);
         let parallel = run(4);
+        for (a, b) in sequential.population().iter().zip(parallel.population()) {
+            assert_eq!(a.genome(), b.genome());
+            assert_eq!(a.objectives(), b.objectives());
+        }
+    }
+
+    #[test]
+    fn population_hook_receives_every_genome_and_matches_scalar_path() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        /// Schaffer with an instrumented batch hook.
+        struct Hooked {
+            calls: AtomicUsize,
+            genomes_seen: AtomicUsize,
+        }
+        impl Problem for Hooked {
+            type Genome = f64;
+            fn directions(&self) -> Vec<Direction> {
+                vec![Direction::Minimize, Direction::Minimize]
+            }
+            fn evaluate(&self, x: &f64) -> Vec<f64> {
+                vec![x * x, (x - 2.0) * (x - 2.0)]
+            }
+            fn evaluate_population(&self, genomes: &[f64]) -> Vec<Vec<f64>> {
+                self.calls.fetch_add(1, Ordering::Relaxed);
+                self.genomes_seen.fetch_add(genomes.len(), Ordering::Relaxed);
+                genomes.iter().map(|g| self.evaluate(g)).collect()
+            }
+        }
+        let run = |threads: usize| {
+            let problem = Hooked { calls: AtomicUsize::new(0), genomes_seen: AtomicUsize::new(0) };
+            let config = Nsga2Config {
+                population_size: 20,
+                generations: 4,
+                crossover_prob: 0.9,
+                mutation_prob: 0.5,
+                seed: 21,
+                eval_threads: threads,
+            };
+            let nsga = Nsga2::new(problem, config);
+            let result = nsga.run(
+                &|rng: &mut WeightInit| rng.uniform(-8.0, 8.0) as f64,
+                &|a: &f64, b: &f64, _: &mut WeightInit| (*a, *b),
+                &|x: &mut f64, rng: &mut WeightInit| *x += rng.normal(0.0, 0.5) as f64,
+            );
+            let calls = nsga.problem().calls.load(Ordering::Relaxed);
+            let seen = nsga.problem().genomes_seen.load(Ordering::Relaxed);
+            (result, calls, seen)
+        };
+        let (sequential, seq_calls, seq_seen) = run(1);
+        let (parallel, par_calls, par_seen) = run(4);
+        // Every evaluation flows through the hook, at any thread count...
+        assert_eq!(seq_seen, sequential.evaluations());
+        assert_eq!(par_seen, parallel.evaluations());
+        // ...single-threaded runs batch each generation into one call,
+        // threaded runs into one call per worker chunk...
+        assert_eq!(seq_calls, 5, "one batched call per generation");
+        assert!(par_calls > seq_calls, "threaded runs chunk the population");
+        // ...and the thread count still never changes the outcome.
         for (a, b) in sequential.population().iter().zip(parallel.population()) {
             assert_eq!(a.genome(), b.genome());
             assert_eq!(a.objectives(), b.objectives());

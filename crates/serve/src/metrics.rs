@@ -229,13 +229,20 @@ pub fn resident_memory_bytes() -> Option<u64> {
     Some(resident_pages * 4096)
 }
 
-/// The `q`-th percentile (0..=100) of a set of latencies, by the
-/// nearest-rank method. Returns zero for an empty set. Shared by the
-/// load generator's report and tests.
+/// The `q`-th percentile of a set of latencies, by the nearest-rank
+/// method: the smallest element whose rank is at least `⌈q/100 · n⌉`.
+/// Returns zero for an empty set; `q` outside `0..=100` (including NaN)
+/// clamps to the nearest bound, so `p0` is the minimum and anything at
+/// or above `p100` is the maximum — never an out-of-bounds index.
+/// Shared by the load generator's report and tests.
 pub fn percentile(sorted_seconds: &[f64], q: f64) -> f64 {
     if sorted_seconds.is_empty() {
         return 0.0;
     }
+    // Clamp before the float->int cast instead of relying on cast
+    // saturation: NaN compares false against everything, so handle it
+    // explicitly as the lower bound.
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 100.0) };
     let rank = ((q / 100.0) * sorted_seconds.len() as f64).ceil() as usize;
     sorted_seconds[rank.clamp(1, sorted_seconds.len()) - 1]
 }
@@ -311,5 +318,75 @@ mod tests {
         assert_eq!(percentile(&sorted, 100.0), 100.0);
         assert_eq!(percentile(&[7.5], 50.0), 7.5);
         assert_eq!(percentile(&[], 50.0), 0.0);
+        // Nearest rank rounds up: p10 of 4 samples is rank ⌈0.4⌉ = 1.
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 10.0), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 75.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_edges_never_index_out_of_bounds() {
+        let sorted = [1.0, 2.0, 3.0];
+        // p0 is the minimum (rank 0 clamps to the first element), p100
+        // the maximum; out-of-range and NaN quantiles clamp likewise.
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 100.0), 3.0);
+        assert_eq!(percentile(&sorted, -25.0), 1.0);
+        assert_eq!(percentile(&sorted, 250.0), 3.0);
+        assert_eq!(percentile(&sorted, f64::NAN), 1.0);
+        // A single sample answers every quantile, empty answers zero.
+        for q in [0.0, 37.5, 100.0, f64::NAN, -1.0, 101.0] {
+            assert_eq!(percentile(&[9.25], q), 9.25);
+            assert_eq!(percentile(&[], q), 0.0);
+        }
+    }
+
+    #[test]
+    fn arena_gauges_aggregate_across_worker_threads() {
+        // Scratch buffers taken on worker threads must land in the
+        // process-wide counters that /metrics renders — a regression
+        // test for per-thread counters leaking only the render thread's
+        // view. Each spawned thread runs a Blocked-policy GEMM large
+        // enough to take packing scratch.
+        let before = bea_tensor::scratch::stats();
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    let a = bea_tensor::Matrix::from_vec(
+                        24,
+                        40,
+                        (0..24 * 40).map(|k| k as f32 * 0.01).collect(),
+                    )
+                    .expect("matrix a");
+                    let b = bea_tensor::Matrix::from_vec(
+                        40,
+                        24,
+                        (0..40 * 24).map(|k| 1.0 - k as f32 * 0.02).collect(),
+                    )
+                    .expect("matrix b");
+                    let product =
+                        a.matmul_policy(&b, bea_tensor::KernelPolicy::Blocked).expect("gemm");
+                    assert_eq!(product.rows(), 24);
+                });
+            }
+        });
+        let after = bea_tensor::scratch::stats();
+        assert!(
+            after.takes > before.takes,
+            "worker-thread scratch takes missing from process-wide stats: \
+             {before:?} -> {after:?}"
+        );
+        assert!(after.high_water_bytes > 0);
+        let text = Metrics::default().render(0, 1, 0, &CacheStats::default());
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("bea_serve_arena_takes_total "))
+            .expect("takes counter rendered");
+        let rendered: u64 = line.split_whitespace().nth(1).expect("value").parse().expect("u64");
+        assert!(
+            rendered >= after.takes,
+            "rendered takes {rendered} must include worker-thread takes {}",
+            after.takes
+        );
+        assert!(!text.contains("bea_serve_arena_high_water_bytes 0\n"));
     }
 }

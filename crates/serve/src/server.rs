@@ -50,6 +50,12 @@ pub struct ServerConfig {
     pub drain_deadline: Duration,
     /// Append one JSONL record per request to `requests.jsonl`.
     pub request_log: bool,
+    /// Kernel worker threads each job runs with (`0` = all cores). The
+    /// server overrides every job's `AttackConfig::threads` with this
+    /// value so the submitted JSON cannot change the host's thread
+    /// policy. Defaults to 1: the worker pool already runs jobs in
+    /// parallel, and results are identical at any thread count.
+    pub kernel_threads: usize,
 }
 
 impl ServerConfig {
@@ -64,6 +70,7 @@ impl ServerConfig {
             dataset: SyntheticKitti::evaluation_set(),
             drain_deadline: Duration::from_secs(60),
             request_log: true,
+            kernel_threads: 1,
         }
     }
 }
@@ -113,6 +120,7 @@ struct Shared {
     job_log_path: PathBuf,
     request_log_path: Option<PathBuf>,
     request_log: Mutex<()>,
+    kernel_threads: usize,
 }
 
 impl Shared {
@@ -213,6 +221,7 @@ impl Server {
             dataset: config.dataset,
             job_log: Mutex::new(()),
             request_log: Mutex::new(()),
+            kernel_threads: config.kernel_threads,
         });
 
         // Workers start before recovery so replayed jobs beyond the
@@ -582,8 +591,13 @@ fn worker_loop(shared: &Arc<Shared>) {
 fn run_job(shared: &Shared, job: &AttackJob) -> Result<Option<CacheStats>, String> {
     let image = job.materialize_image(&shared.dataset)?;
     let spec = job.cell_spec();
+    // The thread knob is the server operator's, never the submitter's:
+    // override whatever the job's config defaulted to. Thread count is a
+    // pure speed knob, so the persisted CSV stays byte-identical.
+    let mut attack = job.attack_config();
+    attack.threads = shared.kernel_threads;
     let campaign = Campaign::new(CampaignConfig {
-        attack: job.attack_config(),
+        attack,
         base_seed: job.base_seed,
         jobs: 1,
         telemetry: false,

@@ -1,0 +1,188 @@
+//! Row-stacked batches: one forward pass over a whole population.
+//!
+//! The attack evaluates an NSGA-II population of perturbed images per
+//! generation. The token pipeline of the DETR-like detector is row-wise
+//! independent everywhere except attention (and per-image statistics), so
+//! `B` images' `T × dim` token matrices can be stacked into one
+//! `(B·T) × dim` matrix and pushed through the linear/FFN/readout GEMMs in
+//! a single call — the pre-packed weight panels stream through the cache
+//! once per *generation* instead of once per genome. [`MatrixBatch`] is
+//! the bookkeeping for that layout: it pins the per-item row count so
+//! batched layers can recover each item's row block exactly.
+//!
+//! **Exactness.** The GEMM kernels compute every output row independently
+//! (each output element accumulates its own ascending-k sum), so row
+//! `b·T + r` of a stacked product equals row `r` of the per-item product,
+//! bit for bit, regardless of which other items share the batch. Stages
+//! that mix rows (attention's softmax(q·kᵀ)·v, per-class medians) are
+//! applied per item block by the batched layers, keeping the equality
+//! end-to-end. Batched evaluation is therefore a pure speed knob, like
+//! [`crate::KernelPolicy`] and [`crate::threads`].
+
+use crate::error::{Result, TensorError};
+use crate::matrix::Matrix;
+
+/// `items` equally-shaped matrices stored row-stacked in one [`Matrix`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixBatch {
+    items: usize,
+    item_rows: usize,
+    data: Matrix,
+}
+
+impl MatrixBatch {
+    /// Stacks equally-shaped matrices row-wise into one batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyShape`] for an empty list and
+    /// [`TensorError::ShapeMismatch`] when shapes disagree.
+    pub fn stack(items: &[&Matrix]) -> Result<Self> {
+        let first = items.first().ok_or(TensorError::EmptyShape { op: "batch stack" })?;
+        for item in items {
+            if item.shape() != first.shape() {
+                return Err(TensorError::ShapeMismatch {
+                    op: "batch stack",
+                    lhs: vec![first.rows(), first.cols()],
+                    rhs: vec![item.rows(), item.cols()],
+                });
+            }
+        }
+        Ok(Self { items: items.len(), item_rows: first.rows(), data: Matrix::vstack(items)? })
+    }
+
+    /// Wraps an already-stacked matrix whose row count is `items` equal
+    /// blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless `data.rows()` is
+    /// exactly `items` equal blocks.
+    pub fn from_stacked(items: usize, data: Matrix) -> Result<Self> {
+        if items == 0 || !data.rows().is_multiple_of(items) {
+            return Err(TensorError::ShapeMismatch {
+                op: "batch from_stacked",
+                lhs: vec![data.rows(), data.cols()],
+                rhs: vec![items],
+            });
+        }
+        Ok(Self { items, item_rows: data.rows() / items, data })
+    }
+
+    /// Number of items in the batch.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// Rows per item.
+    pub fn item_rows(&self) -> usize {
+        self.item_rows
+    }
+
+    /// Columns (shared by every item).
+    pub fn cols(&self) -> usize {
+        self.data.cols()
+    }
+
+    /// The row-stacked `(items · item_rows) × cols` matrix.
+    pub fn stacked(&self) -> &Matrix {
+        &self.data
+    }
+
+    /// Mutable access to the stacked matrix.
+    pub fn stacked_mut(&mut self) -> &mut Matrix {
+        &mut self.data
+    }
+
+    /// Copies item `i`'s row block out as a standalone matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= items()`.
+    pub fn item(&self, i: usize) -> Matrix {
+        assert!(i < self.items, "batch item {i} out of bounds for {} items", self.items);
+        self.data.row_block(i * self.item_rows, self.item_rows)
+    }
+
+    /// Replaces the stacked matrix with a transformed one of the same row
+    /// count (e.g. the output of a row-independent layer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the row count changed.
+    pub fn with_stacked(&self, data: Matrix) -> Result<Self> {
+        if data.rows() != self.items * self.item_rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "batch with_stacked",
+                lhs: vec![self.items * self.item_rows, self.data.cols()],
+                rhs: vec![data.rows(), data.cols()],
+            });
+        }
+        Ok(Self { items: self.items, item_rows: self.item_rows, data })
+    }
+
+    /// Splits the batch back into per-item matrices.
+    pub fn split(&self) -> Vec<Matrix> {
+        (0..self.items).map(|i| self.item(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy(rows: usize, cols: usize, phase: f32) -> Matrix {
+        let data = (0..rows * cols).map(|i| ((i as f32) * 0.31 + phase).sin()).collect();
+        Matrix::from_vec(rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn stack_and_split_round_trip() {
+        let items: Vec<Matrix> = (0..3).map(|i| noisy(4, 5, i as f32)).collect();
+        let refs: Vec<&Matrix> = items.iter().collect();
+        let batch = MatrixBatch::stack(&refs).unwrap();
+        assert_eq!((batch.items(), batch.item_rows(), batch.cols()), (3, 4, 5));
+        assert_eq!(batch.split(), items);
+        for (i, item) in items.iter().enumerate() {
+            assert_eq!(&batch.item(i), item);
+        }
+    }
+
+    #[test]
+    fn stack_rejects_mismatched_shapes_and_empty_input() {
+        let a = noisy(2, 3, 0.0);
+        let b = noisy(3, 3, 1.0);
+        assert!(MatrixBatch::stack(&[&a, &b]).is_err());
+        assert!(MatrixBatch::stack(&[]).is_err());
+    }
+
+    #[test]
+    fn from_stacked_validates_divisibility() {
+        assert!(MatrixBatch::from_stacked(2, noisy(5, 2, 0.0)).is_err());
+        assert!(MatrixBatch::from_stacked(0, noisy(4, 2, 0.0)).is_err());
+        let batch = MatrixBatch::from_stacked(2, noisy(6, 2, 0.0)).unwrap();
+        assert_eq!(batch.item_rows(), 3);
+    }
+
+    #[test]
+    fn stacked_gemm_rows_match_per_item_rows_bitwise() {
+        // The load-bearing property: a row-independent layer applied to
+        // the stack equals the per-item application, element for element.
+        let items: Vec<Matrix> = (0..4).map(|i| noisy(6, 8, 0.3 * i as f32)).collect();
+        let refs: Vec<&Matrix> = items.iter().collect();
+        let weight = noisy(7, 8, 2.0);
+        let batch = MatrixBatch::stack(&refs).unwrap();
+        let stacked_out = batch.with_stacked(batch.stacked().matmul_nt(&weight).unwrap()).unwrap();
+        for (i, item) in items.iter().enumerate() {
+            assert_eq!(stacked_out.item(i), item.matmul_nt(&weight).unwrap(), "item {i}");
+        }
+    }
+
+    #[test]
+    fn with_stacked_rejects_row_count_changes() {
+        let a = noisy(2, 3, 0.0);
+        let batch = MatrixBatch::stack(&[&a, &a]).unwrap();
+        assert!(batch.with_stacked(noisy(3, 3, 0.0)).is_err());
+        assert!(batch.with_stacked(noisy(4, 6, 0.0)).is_ok());
+    }
+}

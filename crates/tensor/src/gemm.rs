@@ -18,16 +18,26 @@
 //! What makes the blocked paths fast is not the arithmetic but the memory
 //! traffic: the reference `ikj` matmul read-modify-writes the whole output
 //! row once per `k`, while the `MR×NR` register tiles here touch each
-//! output element exactly once. Convolution is lowered to the same
-//! microkernel through an im2col matrix laid out k-major in the reference
-//! kernel's `(ic, ky, kx)` loop order.
+//! output element exactly once. The tiles accumulate in [`crate::simd`]'s
+//! explicit 8-lane vectors (one independent output element per lane — see
+//! that module for why lanes cannot change results), and convolution is
+//! lowered to the same microkernel through an im2col matrix laid out
+//! k-major in the reference kernel's `(ic, ky, kx)` loop order.
+//!
+//! Every loop nest additionally parallelises over *output rows* via
+//! [`crate::threads`]: the row range splits into contiguous bands, each
+//! band running the same serial kernel on its disjoint output sub-slice.
+//! Because per-element summation order is untouched by banding, outputs
+//! are `==`-identical at any thread count.
 
 use crate::dirty::DirtyRect;
 use crate::error::{Result, TensorError};
 use crate::matrix::Matrix;
 use crate::pack::PackedWeights;
 use crate::scratch::ScratchGuard;
+use crate::simd::F32x8;
 use crate::tensor3::FeatureMap;
+use crate::threads;
 use std::fmt;
 use std::str::FromStr;
 
@@ -81,13 +91,17 @@ impl FromStr for KernelPolicy {
 /// Rows per register tile of the microkernel.
 const MR: usize = 4;
 /// Columns per register tile of the microkernel (also the panel width of
-/// [`crate::pack::PackedWeights`]).
+/// [`crate::pack::PackedWeights`] and the lane width of [`crate::simd`]).
 pub(crate) const NR: usize = 8;
+
+// The microkernel's column tile is exactly one SIMD lane vector.
+const _: () = assert!(NR == crate::simd::LANES);
 
 /// `out[m×n] = row_init ⊕ a[m×kk] · b[kk×n]`, with `b` row-major
 /// (contiguous along `n`). Each output element starts at `row_init(i)` and
 /// accumulates its `kk` products in ascending-k order — the contract that
-/// makes this bit-compatible with the naive kernels.
+/// makes this bit-compatible with the naive kernels. Serial: the threaded
+/// entry points band the row range and call this per band.
 fn gemm_nn<I: Fn(usize) -> f32>(
     m: usize,
     kk: usize,
@@ -104,22 +118,18 @@ fn gemm_nn<I: Fn(usize) -> f32>(
     while i0 + MR <= m {
         let mut j0 = 0;
         while j0 + NR <= n {
-            let mut acc = [[0.0f32; NR]; MR];
-            for (mi, tile_row) in acc.iter_mut().enumerate() {
-                *tile_row = [row_init(i0 + mi); NR];
+            let mut acc = [F32x8::splat(0.0); MR];
+            for (mi, lanes) in acc.iter_mut().enumerate() {
+                *lanes = F32x8::splat(row_init(i0 + mi));
             }
             for k in 0..kk {
-                let b_row: &[f32; NR] =
-                    b[k * n + j0..k * n + j0 + NR].try_into().expect("NR-wide b tile");
-                for (mi, tile_row) in acc.iter_mut().enumerate() {
-                    let a_ik = a[(i0 + mi) * kk + k];
-                    for (slot, bv) in tile_row.iter_mut().zip(b_row) {
-                        *slot += a_ik * bv;
-                    }
+                let b_row = F32x8::load(&b[k * n + j0..k * n + j0 + NR]);
+                for (mi, lanes) in acc.iter_mut().enumerate() {
+                    lanes.mul_add(a[(i0 + mi) * kk + k], b_row);
                 }
             }
-            for (mi, tile_row) in acc.iter().enumerate() {
-                out[(i0 + mi) * n + j0..(i0 + mi) * n + j0 + NR].copy_from_slice(tile_row);
+            for (mi, lanes) in acc.iter().enumerate() {
+                lanes.store(&mut out[(i0 + mi) * n + j0..(i0 + mi) * n + j0 + NR]);
             }
             j0 += NR;
         }
@@ -138,16 +148,11 @@ fn gemm_nn<I: Fn(usize) -> f32>(
     for i in i0..m {
         let mut j0 = 0;
         while j0 + NR <= n {
-            let mut acc = [row_init(i); NR];
+            let mut acc = F32x8::splat(row_init(i));
             for k in 0..kk {
-                let a_ik = a[i * kk + k];
-                let b_row: &[f32; NR] =
-                    b[k * n + j0..k * n + j0 + NR].try_into().expect("NR-wide b tile");
-                for (slot, bv) in acc.iter_mut().zip(b_row) {
-                    *slot += a_ik * bv;
-                }
+                acc.mul_add(a[i * kk + k], F32x8::load(&b[k * n + j0..k * n + j0 + NR]));
             }
-            out[i * n + j0..i * n + j0 + NR].copy_from_slice(&acc);
+            acc.store(&mut out[i * n + j0..i * n + j0 + NR]);
             j0 += NR;
         }
         for j in j0..n {
@@ -160,58 +165,74 @@ fn gemm_nn<I: Fn(usize) -> f32>(
     }
 }
 
-/// `out[m×n] = a[m×kk] · b[n×kk]ᵀ`, with both operands row-major. The
-/// `NR`-column B panel is transpose-packed k-major once per column tile so
-/// the microkernel streams it contiguously; accumulation order per output
-/// element is ascending k, as everywhere in this module.
-fn gemm_nt(m: usize, kk: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+/// [`gemm_nn`] with the output rows banded over the scoped worker pool.
+/// Each band runs the serial kernel on its disjoint slice of `a`/`out`, so
+/// the result is bit-identical at any thread count.
+fn gemm_nn_threaded<I: Fn(usize) -> f32 + Sync>(
+    m: usize,
+    kk: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    row_init: I,
+    out: &mut [f32],
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    threads::parallel_row_bands(out, n, m, m * kk * n, |row0, band| {
+        let rows = band.len() / n;
+        gemm_nn(rows, kk, n, &a[row0 * kk..(row0 + rows) * kk], b, |i| row_init(row0 + i), band);
+    });
+}
+
+/// The NT microkernel over pre-transposed panels: `out[m×n] = a · bᵀ` where
+/// `panels` holds `b`'s full `NR`-wide column tiles k-major (layout
+/// `panel[k·NR + nj] = b[(j0+nj)·kk + k]`, tiles concatenated) and ragged
+/// tail columns are read from `b`'s rows directly. Accumulation order per
+/// output element is ascending k, as everywhere in this module. Serial:
+/// callers band the row range.
+fn gemm_nt_panels(
+    m: usize,
+    kk: usize,
+    n: usize,
+    a: &[f32],
+    panels: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
     debug_assert_eq!(a.len(), m * kk);
     debug_assert_eq!(b.len(), n * kk);
     debug_assert_eq!(out.len(), m * n);
-    // The per-call pack buffer comes from the scratch arena: `q·kᵀ` runs
-    // this kernel with a data-dependent `b` every iteration, and pooling
-    // keeps that allocation-free at steady state. Every slot of each full
-    // tile is overwritten by the fill loop below before it is read.
-    let mut pack: ScratchGuard<f32> = ScratchGuard::with_pooled_capacity(kk * NR);
-    pack.resize(kk * NR, 0.0);
+    debug_assert_eq!(panels.len(), (n / NR) * kk * NR);
+    let span = kk * NR;
     let mut j0 = 0;
+    let mut tile = 0;
     while j0 + NR <= n {
-        for k in 0..kk {
-            for nj in 0..NR {
-                pack[k * NR + nj] = b[(j0 + nj) * kk + k];
-            }
-        }
+        let pack = &panels[tile * span..(tile + 1) * span];
         let mut i0 = 0;
         while i0 + MR <= m {
-            let mut tile = [[0.0f32; NR]; MR];
+            let mut acc = [F32x8::splat(0.0); MR];
             for k in 0..kk {
-                let b_row: &[f32; NR] =
-                    pack[k * NR..k * NR + NR].try_into().expect("NR-wide packed tile");
-                for (mi, tile_row) in tile.iter_mut().enumerate() {
-                    let a_ik = a[(i0 + mi) * kk + k];
-                    for (slot, bv) in tile_row.iter_mut().zip(b_row) {
-                        *slot += a_ik * bv;
-                    }
+                let b_row = F32x8::load(&pack[k * NR..k * NR + NR]);
+                for (mi, lanes) in acc.iter_mut().enumerate() {
+                    lanes.mul_add(a[(i0 + mi) * kk + k], b_row);
                 }
             }
-            for (mi, tile_row) in tile.iter().enumerate() {
-                out[(i0 + mi) * n + j0..(i0 + mi) * n + j0 + NR].copy_from_slice(tile_row);
+            for (mi, lanes) in acc.iter().enumerate() {
+                lanes.store(&mut out[(i0 + mi) * n + j0..(i0 + mi) * n + j0 + NR]);
             }
             i0 += MR;
         }
         for i in i0..m {
-            let mut acc = [0.0f32; NR];
+            let mut acc = F32x8::splat(0.0);
             for k in 0..kk {
-                let a_ik = a[i * kk + k];
-                let b_row: &[f32; NR] =
-                    pack[k * NR..k * NR + NR].try_into().expect("NR-wide packed tile");
-                for (slot, bv) in acc.iter_mut().zip(b_row) {
-                    *slot += a_ik * bv;
-                }
+                acc.mul_add(a[i * kk + k], F32x8::load(&pack[k * NR..k * NR + NR]));
             }
-            out[i * n + j0..i * n + j0 + NR].copy_from_slice(&acc);
+            acc.store(&mut out[i * n + j0..i * n + j0 + NR]);
         }
         j0 += NR;
+        tile += 1;
     }
     // Edge columns: each dot product reads two contiguous kk-length rows.
     for j in j0..n {
@@ -223,6 +244,58 @@ fn gemm_nt(m: usize, kk: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32])
             out[i * n + j] = acc;
         }
     }
+}
+
+/// [`gemm_nt_panels`] with the output rows banded over the worker pool.
+fn gemm_nt_panels_threaded(
+    m: usize,
+    kk: usize,
+    n: usize,
+    a: &[f32],
+    panels: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    threads::parallel_row_bands(out, n, m, m * kk * n, |row0, band| {
+        let rows = band.len() / n;
+        gemm_nt_panels(rows, kk, n, &a[row0 * kk..(row0 + rows) * kk], panels, b, band);
+    });
+}
+
+/// `out[m×n] = a[m×kk] · b[n×kk]ᵀ`, with both operands row-major. All of
+/// `b`'s full `NR`-wide column tiles are transpose-packed k-major **once on
+/// the calling thread** (the pack buffer comes from the caller's scratch
+/// arena — `q·kᵀ` runs this with a data-dependent `b` every iteration, and
+/// pooling keeps that allocation-free at steady state), then the row range
+/// fans out over the worker pool. Packing on the caller rather than per
+/// worker band avoids duplicate transposes and keeps the scratch checkout
+/// on the thread whose pool outlives the scoped workers.
+fn gemm_nt(m: usize, kk: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * kk);
+    debug_assert_eq!(b.len(), n * kk);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let tiles = n / NR;
+    let span = kk * NR;
+    // Every slot of the pack is overwritten by the fill loop below before
+    // it is read.
+    let mut pack: ScratchGuard<f32> = ScratchGuard::with_pooled_capacity(tiles * span);
+    pack.resize(tiles * span, 0.0);
+    for tile in 0..tiles {
+        let j0 = tile * NR;
+        let panel = &mut pack[tile * span..(tile + 1) * span];
+        for k in 0..kk {
+            for nj in 0..NR {
+                panel[k * NR + nj] = b[(j0 + nj) * kk + k];
+            }
+        }
+    }
+    gemm_nt_panels_threaded(m, kk, n, a, &pack, b, out);
 }
 
 /// [`gemm_nt`] with the transpose-pack hoisted out: full `NR`-wide column
@@ -244,53 +317,7 @@ pub(crate) fn gemm_nt_prepacked(
     debug_assert_eq!(out.len(), m * n);
     debug_assert_eq!(packed.rows(), n);
     debug_assert_eq!(packed.inner_dim(), kk);
-    let mut j0 = 0;
-    let mut tile = 0;
-    while j0 + NR <= n {
-        let pack = packed.panel(tile);
-        let mut i0 = 0;
-        while i0 + MR <= m {
-            let mut acc = [[0.0f32; NR]; MR];
-            for k in 0..kk {
-                let b_row: &[f32; NR] =
-                    pack[k * NR..k * NR + NR].try_into().expect("NR-wide packed tile");
-                for (mi, tile_row) in acc.iter_mut().enumerate() {
-                    let a_ik = a[(i0 + mi) * kk + k];
-                    for (slot, bv) in tile_row.iter_mut().zip(b_row) {
-                        *slot += a_ik * bv;
-                    }
-                }
-            }
-            for (mi, tile_row) in acc.iter().enumerate() {
-                out[(i0 + mi) * n + j0..(i0 + mi) * n + j0 + NR].copy_from_slice(tile_row);
-            }
-            i0 += MR;
-        }
-        for i in i0..m {
-            let mut acc = [0.0f32; NR];
-            for k in 0..kk {
-                let a_ik = a[i * kk + k];
-                let b_row: &[f32; NR] =
-                    pack[k * NR..k * NR + NR].try_into().expect("NR-wide packed tile");
-                for (slot, bv) in acc.iter_mut().zip(b_row) {
-                    *slot += a_ik * bv;
-                }
-            }
-            out[i * n + j0..i * n + j0 + NR].copy_from_slice(&acc);
-        }
-        j0 += NR;
-        tile += 1;
-    }
-    // Ragged tail columns: read b's rows directly, like the per-call path.
-    for j in j0..n {
-        for i in 0..m {
-            let mut acc = 0.0f32;
-            for k in 0..kk {
-                acc += a[i * kk + k] * b[j * kk + k];
-            }
-            out[i * n + j] = acc;
-        }
-    }
+    gemm_nt_panels_threaded(m, kk, n, a, packed.all_panels(), b, out);
 }
 
 /// Blocked matrix product `a · b` (the fast path of
@@ -308,7 +335,15 @@ pub fn matmul_blocked(a: &Matrix, b: &Matrix) -> Result<Matrix> {
         });
     }
     let mut out = Matrix::zeros(a.rows(), b.cols());
-    gemm_nn(a.rows(), a.cols(), b.cols(), a.as_slice(), b.as_slice(), |_| 0.0, out.as_mut_slice());
+    gemm_nn_threaded(
+        a.rows(),
+        a.cols(),
+        b.cols(),
+        a.as_slice(),
+        b.as_slice(),
+        |_| 0.0,
+        out.as_mut_slice(),
+    );
     Ok(out)
 }
 
@@ -352,7 +387,9 @@ pub struct ConvGeometry {
 /// kernel's `(ic, ky, kx)` loop order exactly, and window cells are laid
 /// out row-major — so a GEMM over this matrix accumulates each output
 /// cell's terms in the reference order. Padded coordinates contribute
-/// explicit `0.0` entries.
+/// explicit `0.0` entries. The `k` rows are independent gathers, so the
+/// fill loop nest bands them over the worker pool; each row's values do
+/// not depend on which band computes it.
 pub fn im2col(input: &FeatureMap, geometry: ConvGeometry, window: &DirtyRect) -> Matrix {
     let ConvGeometry { kernel_h, kernel_w, stride, padding } = geometry;
     let (in_h, in_w) = (input.height(), input.width());
@@ -360,13 +397,20 @@ pub fn im2col(input: &FeatureMap, geometry: ConvGeometry, window: &DirtyRect) ->
     let cells = window.y1.saturating_sub(window.y0) * cells_w;
     let k_total = input.channels() * kernel_h * kernel_w;
     let mut cols = Matrix::zeros(k_total, cells);
-    let data = cols.as_mut_slice();
-    for ic in 0..input.channels() {
-        let chan = input.channel(ic);
-        for ky in 0..kernel_h {
-            for kx in 0..kernel_w {
-                let k = (ic * kernel_h + ky) * kernel_w + kx;
-                let row = &mut data[k * cells..(k + 1) * cells];
+    if cells == 0 || k_total == 0 {
+        return cols;
+    }
+    let khw = kernel_h * kernel_w;
+    threads::parallel_row_bands(
+        cols.as_mut_slice(),
+        cells,
+        k_total,
+        k_total * cells,
+        |k0, band| {
+            for (dk, row) in band.chunks_mut(cells).enumerate() {
+                let k = k0 + dk;
+                let (ic, ky, kx) = (k / khw, (k % khw) / kernel_w, k % kernel_w);
+                let chan = input.channel(ic);
                 for oy in window.y0..window.y1 {
                     let iy = oy * stride + ky;
                     let row_base = (oy - window.y0) * cells_w;
@@ -383,8 +427,59 @@ pub fn im2col(input: &FeatureMap, geometry: ConvGeometry, window: &DirtyRect) ->
                     }
                 }
             }
-        }
+        },
+    );
+    cols
+}
+
+/// Batched [`im2col`]: lowers `inputs` (equally-shaped feature maps) into
+/// one wide k-major matrix whose columns are the per-item cell blocks
+/// concatenated — `wide[k][b·cells + c] == im2col(inputs[b])[k][c]`. A
+/// single GEMM over this matrix computes every item's convolution; each
+/// output element reads exactly the terms the per-item lowering feeds it,
+/// in the same ascending-k order, so batching cannot change results.
+///
+/// Shapes are debug-asserted equal — `Conv2d::forward_batch` validates.
+pub fn im2col_batch(inputs: &[&FeatureMap], geometry: ConvGeometry, window: &DirtyRect) -> Matrix {
+    let ConvGeometry { kernel_h, kernel_w, stride, padding } = geometry;
+    let Some(first) = inputs.first() else {
+        return Matrix::zeros(0, 0);
+    };
+    debug_assert!(inputs.iter().all(|i| i.shape() == first.shape()));
+    let (in_h, in_w) = (first.height(), first.width());
+    let cells_w = window.x1.saturating_sub(window.x0);
+    let cells = window.y1.saturating_sub(window.y0) * cells_w;
+    let k_total = first.channels() * kernel_h * kernel_w;
+    let mut cols = Matrix::zeros(k_total, cells * inputs.len());
+    if cells == 0 || k_total == 0 {
+        return cols;
     }
+    let khw = kernel_h * kernel_w;
+    let wide = cells * inputs.len();
+    threads::parallel_row_bands(cols.as_mut_slice(), wide, k_total, k_total * wide, |k0, band| {
+        for (dk, wide_row) in band.chunks_mut(wide).enumerate() {
+            let k = k0 + dk;
+            let (ic, ky, kx) = (k / khw, (k % khw) / kernel_w, k % kernel_w);
+            for (item, row) in wide_row.chunks_mut(cells).enumerate() {
+                let chan = inputs[item].channel(ic);
+                for oy in window.y0..window.y1 {
+                    let iy = oy * stride + ky;
+                    let row_base = (oy - window.y0) * cells_w;
+                    if iy < padding || iy >= in_h + padding {
+                        continue;
+                    }
+                    let chan_base = (iy - padding) * in_w;
+                    for ox in window.x0..window.x1 {
+                        let ix = ox * stride + kx;
+                        if ix < padding || ix >= in_w + padding {
+                            continue;
+                        }
+                        row[row_base + (ox - window.x0)] = chan[chan_base + (ix - padding)];
+                    }
+                }
+            }
+        }
+    });
     cols
 }
 
@@ -410,7 +505,7 @@ pub fn gemm_bias(a: &Matrix, b: &Matrix, bias: &[f32]) -> Result<Matrix> {
         return Err(TensorError::LengthMismatch { expected: a.rows(), actual: bias.len() });
     }
     let mut out = Matrix::zeros(a.rows(), b.cols());
-    gemm_nn(
+    gemm_nn_threaded(
         a.rows(),
         a.cols(),
         b.cols(),
@@ -431,7 +526,7 @@ pub(crate) fn conv_scores(weights: &[f32], bias: &[f32], cols: &Matrix) -> Matri
     let kk = cols.rows();
     debug_assert_eq!(weights.len(), m * kk);
     let mut out = Matrix::zeros(m, cols.cols());
-    gemm_nn(m, kk, cols.cols(), weights, cols.as_slice(), |i| bias[i], out.as_mut_slice());
+    gemm_nn_threaded(m, kk, cols.cols(), weights, cols.as_slice(), |i| bias[i], out.as_mut_slice());
     out
 }
 
@@ -444,13 +539,27 @@ pub(crate) fn conv_scores(weights: &[f32], bias: &[f32], cols: &Matrix) -> Matri
 /// Panics (via slice indexing) if `scores` does not have one row per
 /// output channel and one column per window cell.
 pub fn scatter_window(scores: &Matrix, out: &mut FeatureMap, window: &DirtyRect) {
+    scatter_columns(scores, 0, out, window);
+}
+
+/// [`scatter_window`] reading the window cells from column offset `col0`
+/// of a wider score matrix — the per-item leg of the batched
+/// [`im2col_batch`] lowering, whose GEMM result holds one cell block per
+/// batch item.
+pub(crate) fn scatter_columns(
+    scores: &Matrix,
+    col0: usize,
+    out: &mut FeatureMap,
+    window: &DirtyRect,
+) {
     let cells_w = window.x1.saturating_sub(window.x0);
     let out_w = out.width();
     for oc in 0..out.channels() {
         let row = scores.row(oc);
         let chan = out.channel_mut(oc);
         for oy in window.y0..window.y1 {
-            let src = &row[(oy - window.y0) * cells_w..(oy - window.y0 + 1) * cells_w];
+            let base = col0 + (oy - window.y0) * cells_w;
+            let src = &row[base..base + cells_w];
             chan[oy * out_w + window.x0..oy * out_w + window.x1].copy_from_slice(src);
         }
     }
@@ -481,6 +590,8 @@ pub fn col2im(scores: &Matrix, out_h: usize, out_w: usize) -> Result<FeatureMap>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::threads::set_threads;
+    use crate::threads::test_support::THREAD_KNOB;
 
     fn noisy(rows: usize, cols: usize, phase: f32) -> Matrix {
         let data = (0..rows * cols).map(|i| ((i as f32) * 0.37 + phase).sin() * 3.0).collect();
@@ -542,6 +653,58 @@ mod tests {
                 "shape ({m},{kk},{n})"
             );
         }
+    }
+
+    #[test]
+    fn threaded_kernels_match_single_threaded_bitwise() {
+        // Shapes chosen to clear the MIN_PAR_WORK threshold and to leave
+        // ragged tile tails in both m and n; thread counts that divide the
+        // rows unevenly. Banding must never change a single bit.
+        let _guard = THREAD_KNOB.lock().unwrap();
+        set_threads(1);
+        for (m, kk, n) in [(37, 40, 33), (64, 16, 64), (13, 128, 29)] {
+            let a = noisy(m, kk, 0.2);
+            let b = noisy(kk, n, 1.1);
+            let bt = noisy(n, kk, 2.3);
+            let serial_nn = matmul_blocked(&a, &b).unwrap();
+            let serial_nt = matmul_nt_blocked(&a, &bt).unwrap();
+            let packed = PackedWeights::pack(&bt);
+            let serial_packed = crate::pack::matmul_nt_packed(&a, &bt, &packed).unwrap();
+            for t in [2, 3, 4, 7] {
+                set_threads(t);
+                assert_eq!(matmul_blocked(&a, &b).unwrap(), serial_nn, "nn ({m},{kk},{n}) t={t}");
+                assert_eq!(
+                    matmul_nt_blocked(&a, &bt).unwrap(),
+                    serial_nt,
+                    "nt ({m},{kk},{n}) t={t}"
+                );
+                assert_eq!(
+                    crate::pack::matmul_nt_packed(&a, &bt, &packed).unwrap(),
+                    serial_packed,
+                    "nt_packed ({m},{kk},{n}) t={t}"
+                );
+            }
+            set_threads(1);
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn threaded_im2col_matches_single_threaded() {
+        let _guard = THREAD_KNOB.lock().unwrap();
+        let mut input = FeatureMap::zeros(3, 40, 48);
+        for (i, v) in input.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i as f32) * 0.173).sin() * 2.0;
+        }
+        let geometry = ConvGeometry { kernel_h: 3, kernel_w: 3, stride: 1, padding: 1 };
+        let window = DirtyRect::full(48, 40);
+        set_threads(1);
+        let serial = im2col(&input, geometry, &window);
+        for t in [2, 4, 5] {
+            set_threads(t);
+            assert_eq!(im2col(&input, geometry, &window), serial, "t={t}");
+        }
+        set_threads(0);
     }
 
     #[test]

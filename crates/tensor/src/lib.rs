@@ -17,7 +17,9 @@
 //! * deterministic seeded weight initialisation ([`init`]),
 //! * register-blocked fast kernels behind a [`KernelPolicy`] dispatch and
 //!   the golden differential harness proving them exact ([`gemm`],
-//!   [`golden`]).
+//!   [`golden`]), with explicit SIMD lanes ([`simd`]), a scoped
+//!   worker-thread pool ([`threads`]) and a population-batch wrapper
+//!   ([`batch`]) — all `==`-identical to the reference loops.
 //!
 //! Everything is `f32`, row-major, and deterministic given a seed.
 //!
@@ -40,6 +42,7 @@
 pub mod activation;
 pub mod attention;
 pub mod autodiff;
+pub mod batch;
 pub mod conv;
 pub mod dirty;
 pub mod error;
@@ -52,11 +55,14 @@ pub mod norm;
 pub mod pack;
 pub mod pool;
 pub mod scratch;
+pub mod simd;
 pub mod stats;
 pub mod tape;
 pub mod tensor3;
+pub mod threads;
 
 pub use attention::MultiHeadAttention;
+pub use batch::MatrixBatch;
 pub use conv::Conv2d;
 pub use dirty::DirtyRect;
 pub use error::{Result, TensorError};

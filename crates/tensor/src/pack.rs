@@ -92,6 +92,12 @@ impl PackedWeights {
         &self.panels[tile * span..(tile + 1) * span]
     }
 
+    /// All full-tile panels concatenated (the layout the banded NT
+    /// microkernel consumes directly).
+    pub(crate) fn all_panels(&self) -> &[f32] {
+        &self.panels
+    }
+
     /// Whether this pack was built from a matrix of `weight`'s shape.
     pub fn matches_shape(&self, weight: &Matrix) -> bool {
         self.rows == weight.rows() && self.inner == weight.cols()
