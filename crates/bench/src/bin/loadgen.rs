@@ -1,20 +1,38 @@
-//! Closed-loop load generator for the attack server.
+//! Load generator for the attack server: closed-loop client threads or
+//! an open-loop epoll fan-out.
 //!
 //! ```text
+//! # closed loop: 8 threads, 20 submissions each
 //! cargo run --release -p bea-bench --bin loadgen -- \
 //!     --addr 127.0.0.1:7878 --clients 8 --requests 20 \
 //!     --csv target/experiments/loadgen.csv
+//!
+//! # open loop: 512 concurrent connections, 4096 total submissions
+//! cargo run --release -p bea-bench --bin loadgen -- \
+//!     --addr 127.0.0.1:7878 --conns 512 --total 4096 \
+//!     --bench-out BENCH_serve.json --wait
 //! ```
 //!
-//! Each client thread submits `--requests` jobs back to back. A `429`
-//! is backpressure, not loss: the client retries the same job with
-//! bounded exponential backoff (base `Retry-After` or 100 ms, doubling
-//! per attempt, capped at 5 s, at most [`MAX_SUBMIT_ATTEMPTS`] tries)
-//! and only counts the job rejected once every attempt came back `429`.
-//! The run reports p50/p99 submit latency, the acceptance/rejection
-//! split, and — with `--wait` — polls every accepted job to completion
-//! so the tool doubles as an end-to-end soak test. Per-request rows
-//! (final status plus how many attempts it took) land in `--csv`.
+//! In the default closed loop each client thread submits `--requests`
+//! jobs back to back. A `429` is backpressure, not loss: the client
+//! retries the same job with bounded exponential backoff (base
+//! `Retry-After` or 100 ms, doubling per attempt, capped at 5 s, at most
+//! [`MAX_SUBMIT_ATTEMPTS`] tries) and only counts the job rejected once
+//! every attempt came back `429`. The run reports p50/p99 submit
+//! latency, the acceptance/rejection split, and — with `--wait` — polls
+//! every accepted job to completion so the tool doubles as an
+//! end-to-end soak test. Per-request rows (final status plus how many
+//! attempts it took) land in `--csv`.
+//!
+//! `--conns N` switches to the open loop: one thread multiplexes `N`
+//! concurrent non-blocking connections through the same epoll
+//! [`Poller`] the server's reactor uses, keeping `N` requests in flight
+//! until `--total` submissions have been answered. `429`s are recorded,
+//! not retried — the point is to measure the serving layer under a
+//! fixed offered concurrency. Results (throughput, p50/p99 round-trip
+//! latency, the status split) merge into the `--bench-out` run log
+//! keyed by `(quick, conns)`, and `--min-throughput` / `--max-p99-ms`
+//! turn the run into a CI gate.
 
 use bea_bench::args::{self, ArgParser};
 use bea_serve::{percentile, Client};
@@ -22,6 +40,9 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
+
+#[path = "../../benches/support/runlog.rs"]
+mod runlog;
 
 struct Options {
     addr: String,
@@ -32,6 +53,13 @@ struct Options {
     seed: u64,
     csv: Option<PathBuf>,
     wait: bool,
+    conns: usize,
+    total: usize,
+    tenants: usize,
+    bench_out: Option<String>,
+    quick: bool,
+    min_throughput: Option<f64>,
+    max_p99_ms: Option<f64>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -44,6 +72,13 @@ fn parse_args() -> Result<Options, String> {
         seed: 1,
         csv: None,
         wait: false,
+        conns: 0,
+        total: 0,
+        tenants: 1,
+        bench_out: None,
+        quick: false,
+        min_throughput: None,
+        max_p99_ms: None,
     };
     let mut args = ArgParser::from_env();
     while let Some(flag) = args.next_flag() {
@@ -56,19 +91,41 @@ fn parse_args() -> Result<Options, String> {
             "--seed" => options.seed = args.parse(&flag)?,
             "--csv" => options.csv = Some(PathBuf::from(args.value(&flag)?)),
             "--wait" => options.wait = true,
+            "--conns" => options.conns = args.parse(&flag)?,
+            "--total" => options.total = args.parse(&flag)?,
+            "--tenants" => options.tenants = args.parse(&flag)?,
+            "--bench-out" => options.bench_out = Some(args.value(&flag)?),
+            "--quick" => options.quick = true,
+            "--min-throughput" => options.min_throughput = Some(args.parse(&flag)?),
+            "--max-p99-ms" => options.max_p99_ms = Some(args.parse(&flag)?),
             "--help" | "-h" => {
                 return Err("usage: loadgen [--addr HOST:PORT] [--clients N] [--requests N] \
                             [--pop N] [--gens N] [--seed N] [--csv FILE] [--wait]\n\
-                            each client submits --requests inline-image jobs back to back;\n\
-                            429 responses count as backpressure, not errors\n\
+                            \x20      loadgen --conns N [--total N] [--tenants N] \
+                            [--bench-out FILE] [--quick] \
+                            [--min-throughput RPS] [--max-p99-ms MS] [--wait]\n\
+                            closed loop (default): each client thread submits --requests\n\
+                            inline-image jobs back to back; 429s retry with backoff\n\
+                            open loop (--conns): one epoll thread keeps N connections in\n\
+                            flight until --total submissions (default 8xN) are answered;\n\
+                            429s are recorded, not retried; --tenants spreads submissions\n\
+                            over that many tenant names; --bench-out merges the run into a\n\
+                            BENCH_serve.json run log and the --min-throughput/--max-p99-ms\n\
+                            gates fail the process when violated\n\
                             --wait polls every accepted job to completion afterwards"
                     .into())
             }
             other => return Err(args::unknown_flag(other)),
         }
     }
-    if options.clients == 0 || options.requests == 0 {
+    if options.conns == 0 && (options.clients == 0 || options.requests == 0) {
         return Err("--clients and --requests must be positive".into());
+    }
+    if options.tenants == 0 {
+        return Err("--tenants must be positive".into());
+    }
+    if options.conns > 0 && options.total == 0 {
+        options.total = options.conns * 8;
     }
     Ok(options)
 }
@@ -109,6 +166,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if options.conns > 0 {
+        return open_loop(&options);
+    }
 
     println!(
         "loadgen: {} client(s) x {} request(s) against {} (pop {}, gens {})",
@@ -251,6 +311,300 @@ fn main() -> ExitCode {
         println!("all {done} accepted job(s) ran to completion — no accepted job lost");
     }
     ExitCode::SUCCESS
+}
+
+/// One in-flight open-loop connection.
+#[cfg(unix)]
+struct LoadConn {
+    stream: std::net::TcpStream,
+    /// The rendered request; `written` bytes already on the wire.
+    out: Vec<u8>,
+    written: usize,
+    parser: bea_serve::http::ResponseParser,
+    started: Instant,
+}
+
+/// Responses in the open loop are small JSON bodies; cap generously.
+#[cfg(unix)]
+const OPEN_LOOP_MAX_BODY: usize = 1024 * 1024;
+
+/// One completed open-loop request.
+struct OpenSample {
+    status: u16,
+    latency_s: f64,
+    id: Option<String>,
+}
+
+/// The open-loop engine: keeps `conns` submissions in flight over one
+/// epoll poller until `total` have been answered.
+#[cfg(unix)]
+fn drive_open_loop(options: &Options) -> Result<Vec<OpenSample>, String> {
+    use bea_reactor::{Event, Interest, Poller};
+    use std::os::fd::AsRawFd;
+
+    let mut poller = Poller::new().map_err(|e| format!("epoll unavailable: {e}"))?;
+    let body = |request: usize| {
+        let fill = (request * 7) % 256;
+        let tenant = format!("tenant-{}", request % options.tenants);
+        format!(
+            "{{\"arch\":\"yolo\",\"pop\":{},\"gens\":{},\"seed\":{},\"tenant\":\"{tenant}\",\
+             \"image\":{{\"width\":64,\"height\":32,\"fill\":[{fill},64,128]}}}}",
+            options.pop, options.gens, options.seed
+        )
+    };
+    let render = |request: usize| {
+        let payload = body(request);
+        format!(
+            "POST /v1/attacks HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{payload}",
+            options.addr,
+            payload.len()
+        )
+        .into_bytes()
+    };
+    // Blocking connect (instant on loopback), then non-blocking I/O.
+    let open = |request: usize| -> Result<LoadConn, String> {
+        let stream = std::net::TcpStream::connect(&options.addr)
+            .map_err(|e| format!("connect to {} failed: {e}", options.addr))?;
+        stream.set_nonblocking(true).map_err(|e| format!("set_nonblocking failed: {e}"))?;
+        Ok(LoadConn {
+            stream,
+            out: render(request),
+            written: 0,
+            parser: bea_serve::http::ResponseParser::new(OPEN_LOOP_MAX_BODY),
+            started: Instant::now(),
+        })
+    };
+
+    let mut conns: std::collections::HashMap<u64, LoadConn> = std::collections::HashMap::new();
+    let mut samples = Vec::with_capacity(options.total);
+    let mut issued = 0usize;
+    let mut next_token = 0u64;
+    let mut events: Vec<Event> = Vec::new();
+    let mut errors = 0usize;
+    // Ramp up to the target concurrency, then replace each finished
+    // connection until the budget is spent.
+    while samples.len() + errors < options.total {
+        while issued < options.total && conns.len() < options.conns {
+            let conn = open(issued)?;
+            let token = next_token;
+            next_token += 1;
+            poller
+                .register(conn.stream.as_raw_fd(), token, Interest::BOTH)
+                .map_err(|e| format!("registering a connection failed: {e}"))?;
+            conns.insert(token, conn);
+            issued += 1;
+        }
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .map_err(|e| format!("epoll wait failed: {e}"))?;
+        if events.is_empty() && !conns.is_empty() {
+            return Err(format!(
+                "open loop stalled: {} connection(s) silent for 10s after {} of {} responses",
+                conns.len(),
+                samples.len(),
+                options.total
+            ));
+        }
+        let batch = std::mem::take(&mut events);
+        for event in &batch {
+            let Some(mut conn) = conns.remove(&event.token) else { continue };
+            match pump_conn(&mut conn, event) {
+                Ok(Some(sample)) => {
+                    let _ = poller.deregister(conn.stream.as_raw_fd());
+                    samples.push(sample);
+                }
+                Ok(None) => {
+                    conns.insert(event.token, conn);
+                }
+                Err(e) => {
+                    let _ = poller.deregister(conn.stream.as_raw_fd());
+                    eprintln!("open-loop connection failed: {e}");
+                    errors += 1;
+                }
+            }
+        }
+        events = batch;
+    }
+    if errors > 0 {
+        return Err(format!("{errors} connection(s) failed during the open loop"));
+    }
+    Ok(samples)
+}
+
+/// Advances one open-loop connection: writes request bytes while the
+/// socket accepts them, reads response bytes while they arrive, and
+/// returns the finished sample once the response parses.
+#[cfg(unix)]
+fn pump_conn(
+    conn: &mut LoadConn,
+    event: &bea_reactor::Event,
+) -> Result<Option<OpenSample>, String> {
+    use std::io::{Read as _, Write as _};
+
+    if event.writable && conn.written < conn.out.len() {
+        loop {
+            match (&conn.stream).write(&conn.out[conn.written..]) {
+                Ok(0) => return Err("socket closed mid-request".to_string()),
+                Ok(n) => {
+                    conn.written += n;
+                    if conn.written == conn.out.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(format!("write failed: {e}")),
+            }
+        }
+    }
+    if event.readable || event.closed {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match (&conn.stream).read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => conn.parser.feed(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(format!("read failed: {e}")),
+            }
+        }
+        match conn.parser.next_response() {
+            Ok(Some(response)) => {
+                let id = (response.status == 202)
+                    .then(|| {
+                        bea_core::telemetry::parse_json(
+                            std::str::from_utf8(&response.body).unwrap_or("{}"),
+                        )
+                        .ok()
+                        .and_then(|v| v.get("id").and_then(|id| id.as_str().map(String::from)))
+                    })
+                    .flatten();
+                return Ok(Some(OpenSample {
+                    status: response.status,
+                    latency_s: conn.started.elapsed().as_secs_f64(),
+                    id,
+                }));
+            }
+            Ok(None) => {
+                if event.closed {
+                    return Err("connection closed before a full response".to_string());
+                }
+            }
+            Err(e) => return Err(format!("malformed response: {e}")),
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(not(unix))]
+fn drive_open_loop(_options: &Options) -> Result<Vec<OpenSample>, String> {
+    Err("the open-loop mode needs epoll and is only available on Unix".to_string())
+}
+
+/// Runs the open loop, reports, persists the run log, applies gates.
+fn open_loop(options: &Options) -> ExitCode {
+    println!(
+        "loadgen (open loop): {} concurrent connection(s), {} total submissions, \
+         {} tenant(s) against {} (pop {}, gens {})",
+        options.conns, options.total, options.tenants, options.addr, options.pop, options.gens
+    );
+    let started = Instant::now();
+    let samples = match drive_open_loop(options) {
+        Ok(samples) => samples,
+        Err(e) => {
+            eprintln!("open loop failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wall_s = started.elapsed().as_secs_f64();
+    let throughput = samples.len() as f64 / wall_s.max(1e-9);
+    let accepted: Vec<&OpenSample> = samples.iter().filter(|s| s.status == 202).collect();
+    let rejected = samples.iter().filter(|s| s.status == 429).count();
+    let other = samples.len() - accepted.len() - rejected;
+    let mut latencies: Vec<f64> = samples.iter().map(|s| s.latency_s).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p50_ms = percentile(&latencies, 50.0) * 1e3;
+    let p99_ms = percentile(&latencies, 99.0) * 1e3;
+    let max_ms = latencies.last().copied().unwrap_or(0.0) * 1e3;
+    println!(
+        "{} responses in {wall_s:.2}s ({throughput:.0} req/s): {} accepted (202), \
+         {rejected} rejected (429), {other} other",
+        samples.len(),
+        accepted.len(),
+    );
+    println!("round-trip latency: p50 {p50_ms:.1}ms, p99 {p99_ms:.1}ms, max {max_ms:.1}ms");
+
+    if let Some(path) = &options.bench_out {
+        // Keyed by (quick, conns): a quick CI run and a full run at the
+        // same concurrency each keep one record. The runlog helper
+        // reads the concurrency from the "threads" slot of its key.
+        let run = format!(
+            "{{\"quick\":{},\"threads\":{},\"conns\":{},\"total\":{},\"tenants\":{},\
+             \"wall_s\":{wall_s},\"throughput_rps\":{throughput},\
+             \"p50_ms\":{p50_ms},\"p99_ms\":{p99_ms},\"max_ms\":{max_ms},\
+             \"accepted\":{},\"rejected\":{rejected},\"other\":{other}}}",
+            options.quick,
+            options.conns,
+            options.conns,
+            options.total,
+            options.tenants,
+            accepted.len(),
+        );
+        match runlog::merge_keyed_run(path, "serve", &run) {
+            Ok(()) => println!("merged run into {path}"),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if options.wait {
+        let client = Client::new(options.addr.clone());
+        let mut done = 0usize;
+        for sample in &accepted {
+            let Some(id) = sample.id.as_deref().filter(|id| !id.is_empty()) else {
+                eprintln!("an accepted job carried no id");
+                return ExitCode::FAILURE;
+            };
+            match client.wait(id, Duration::from_millis(100), Duration::from_secs(600)) {
+                Ok(response)
+                    if response.body_text().unwrap_or("").contains("\"status\":\"done\"") =>
+                {
+                    done += 1;
+                }
+                Ok(response) => {
+                    eprintln!("job {id} ended badly: {:?}", response.body_text());
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("job {id} never finished: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        println!("all {done} accepted job(s) ran to completion — no accepted job lost");
+    }
+
+    let mut gates_ok = true;
+    if let Some(min) = options.min_throughput {
+        if throughput < min {
+            eprintln!("GATE FAILED: throughput {throughput:.0} req/s < required {min:.0}");
+            gates_ok = false;
+        }
+    }
+    if let Some(max) = options.max_p99_ms {
+        if p99_ms > max {
+            eprintln!("GATE FAILED: p99 {p99_ms:.1}ms > allowed {max:.1}ms");
+            gates_ok = false;
+        }
+    }
+    if gates_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@
 
 use bea_bench::args::{self, ArgParser};
 use bea_scene::SyntheticKitti;
-use bea_serve::{Server, ServerConfig};
+use bea_serve::{Server, ServerConfig, TenantPolicy};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -25,6 +25,11 @@ struct Options {
     smoke: bool,
     drain_secs: u64,
     threads: usize,
+    reactor: bool,
+    batch: usize,
+    tenant_rate: f64,
+    tenant_burst: f64,
+    tenant_quota: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -36,6 +41,11 @@ fn parse_args() -> Result<Options, String> {
         smoke: false,
         drain_secs: 60,
         threads: 1,
+        reactor: false,
+        batch: 1,
+        tenant_rate: 0.0,
+        tenant_burst: 1.0,
+        tenant_quota: 0,
     };
     let mut args = ArgParser::from_env();
     while let Some(flag) = args.next_flag() {
@@ -47,19 +57,35 @@ fn parse_args() -> Result<Options, String> {
             "--smoke" => options.smoke = true,
             "--drain-secs" => options.drain_secs = args.parse(&flag)?,
             "--threads" => options.threads = args.parse(&flag)?,
+            "--reactor" => options.reactor = true,
+            "--batch" => options.batch = args.parse(&flag)?,
+            "--tenant-rate" => options.tenant_rate = args.parse(&flag)?,
+            "--tenant-burst" => options.tenant_burst = args.parse(&flag)?,
+            "--tenant-quota" => options.tenant_quota = args.parse(&flag)?,
             "--help" | "-h" => {
                 return Err("usage: serve_cli [--addr HOST:PORT] [--workers N] [--queue N] \
-                            [--out DIR] [--smoke] [--drain-secs N] [--threads N]\n\
+                            [--out DIR] [--smoke] [--drain-secs N] [--threads N] [--reactor] \
+                            [--batch N] [--tenant-rate R] [--tenant-burst B] [--tenant-quota N]\n\
                             --smoke serves the 4-image smoke dataset (fast jobs for CI)\n\
                             --threads sets kernel worker threads per job (default 1: the worker\n\
                             pool already runs jobs in parallel; 0 = all cores); served CSVs are\n\
                             identical at any thread count\n\
+                            --reactor multiplexes all connections on one epoll thread instead of\n\
+                            a thread per connection (Linux; elsewhere it falls back)\n\
+                            --batch stacks up to N compatible queued jobs into shared forward\n\
+                            passes (default 1 = off); served CSVs are identical either way\n\
+                            --tenant-rate/--tenant-burst set the per-tenant token bucket\n\
+                            (submissions/s and burst size; rate 0 = unlimited) and\n\
+                            --tenant-quota caps each tenant's queued+running jobs (0 = unlimited)\n\
                             POST /v1/attacks submits a job; GET /metrics exposes Prometheus text;\n\
                             POST /v1/shutdown drains in-flight work and exits"
                     .into())
             }
             other => return Err(args::unknown_flag(other)),
         }
+    }
+    if options.batch == 0 {
+        return Err("--batch must be at least 1".into());
     }
     Ok(options)
 }
@@ -85,6 +111,14 @@ fn main() -> ExitCode {
         drain_deadline: Duration::from_secs(options.drain_secs),
         request_log: true,
         kernel_threads: options.threads,
+        reactor: options.reactor,
+        batch_max: options.batch,
+        tenant_policy: TenantPolicy {
+            rate: options.tenant_rate,
+            burst: options.tenant_burst,
+            quota: options.tenant_quota,
+        },
+        done_retention: 64,
     };
     let server = match Server::start(config) {
         Ok(server) => server,
@@ -93,7 +127,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!("bea-serve listening on http://{}", server.addr());
+    println!(
+        "bea-serve listening on http://{} ({} front-end, batch {} per group)",
+        server.addr(),
+        if options.reactor { "reactor" } else { "thread-per-connection" },
+        options.batch,
+    );
     println!("store: {}", options.out.display());
     println!("endpoints: POST /v1/attacks, GET /v1/attacks/{{id}}[/csv], GET /healthz, GET /metrics, POST /v1/shutdown");
 

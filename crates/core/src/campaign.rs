@@ -329,8 +329,16 @@ impl CampaignStore {
     ///
     /// Propagates I/O failures.
     pub fn save_cell(&self, spec: &CellSpec, rows: &[AttackRow]) -> io::Result<()> {
+        // The tmp name must be unique per save, not per cell: the serving
+        // layer can run two jobs targeting the same cell concurrently
+        // (identical submissions from different tenants), and a shared
+        // tmp path lets one save rename the other's file away mid-write.
+        // Determinism makes the collision harmless once the names are
+        // distinct — both writers produce identical bytes.
+        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let path = self.cell_path(spec);
-        let tmp = path.with_extension("csv.tmp");
+        let tmp = path.with_extension(format!("csv.tmp.{}.{seq}", std::process::id()));
         let mut buf = Vec::new();
         write_csv(rows, &mut buf)?;
         std::fs::write(&tmp, &buf)?;

@@ -74,6 +74,13 @@ pub struct AttackJob {
     /// (`"kernels"` on the wire; predictions are `==`-identical across
     /// policies, so this only changes evaluation speed).
     pub kernel_policy: KernelPolicy,
+    /// The submitting tenant (`"tenant"` on the wire, default
+    /// [`DEFAULT_TENANT`]). Tenancy governs admission — rate limits,
+    /// quotas and queue fairness — and **never** the computation: the
+    /// cell identity, seed derivation and persisted CSV are
+    /// tenant-blind, so two tenants submitting the same cell get
+    /// byte-identical results.
+    pub tenant: String,
 }
 
 impl Default for AttackJob {
@@ -87,6 +94,7 @@ impl Default for AttackJob {
             base_seed: 1,
             use_cache: false,
             kernel_policy: KernelPolicy::default(),
+            tenant: DEFAULT_TENANT.to_string(),
         }
     }
 }
@@ -94,6 +102,30 @@ impl Default for AttackJob {
 /// Maximum accepted request-body size; larger submissions are rejected
 /// before parsing.
 pub const MAX_JOB_BODY_BYTES: usize = 64 * 1024;
+
+/// The tenant submissions without a `"tenant"` field belong to.
+pub const DEFAULT_TENANT: &str = "anon";
+
+/// Maximum length of a tenant name.
+pub const MAX_TENANT_LEN: usize = 32;
+
+/// Validates a tenant name: 1 to [`MAX_TENANT_LEN`] characters from
+/// `[a-z0-9_-]`. The charset keeps tenant names safe to embed in log
+/// lines, metrics labels and file names without escaping.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the violation.
+pub fn validate_tenant(name: &str) -> Result<(), String> {
+    if name.is_empty() || name.len() > MAX_TENANT_LEN {
+        return Err(format!("tenant must be 1..={MAX_TENANT_LEN} characters"));
+    }
+    if !name.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' || b == b'-')
+    {
+        return Err("tenant may only contain [a-z0-9_-]".to_string());
+    }
+    Ok(())
+}
 
 fn field_u64(value: &JsonValue, key: &str) -> Result<Option<u64>, String> {
     match value.get(key) {
@@ -125,7 +157,7 @@ impl AttackJob {
         let JsonValue::Object(fields) = &value else {
             return Err("request body must be a JSON object".to_string());
         };
-        const KNOWN: [&str; 9] = [
+        const KNOWN: [&str; 10] = [
             "arch",
             "model_seed",
             "image_index",
@@ -135,6 +167,7 @@ impl AttackJob {
             "seed",
             "cache",
             "kernels",
+            "tenant",
         ];
         for (key, _) in fields {
             if !KNOWN.contains(&key.as_str()) {
@@ -184,6 +217,14 @@ impl AttackJob {
                 job.kernel_policy = text.parse::<KernelPolicy>()?;
             }
         }
+        match value.get("tenant") {
+            None | Some(JsonValue::Null) => {}
+            Some(v) => {
+                let text = v.as_str().ok_or("tenant must be a string")?;
+                validate_tenant(text)?;
+                job.tenant = text.to_string();
+            }
+        }
         if job.population < 2 {
             return Err("pop must be at least 2".to_string());
         }
@@ -223,6 +264,7 @@ impl AttackJob {
             .integer("seed", self.base_seed)
             .boolean("cache", self.use_cache)
             .string("kernels", self.kernel_policy.name())
+            .string("tenant", &self.tenant)
             .finish()
     }
 
@@ -340,11 +382,13 @@ mod tests {
                 base_seed: 42,
                 use_cache: true,
                 kernel_policy: KernelPolicy::Reference,
+                tenant: DEFAULT_TENANT.to_string(),
             },
             AttackJob {
                 image: ImageSpec::Filled { width: 24, height: 12, rgb: [10.0, 0.0, 255.0] },
                 ..AttackJob::default()
             },
+            AttackJob { tenant: "team-red_7".to_string(), ..AttackJob::default() },
         ];
         for job in jobs {
             let line = job.to_json();
@@ -371,6 +415,9 @@ mod tests {
             ("{\"arch\":\"yolo\",\"cache\":\"yes\"}", "cache must be a boolean"),
             ("{\"arch\":\"yolo\",\"kernels\":1}", "kernels must be a string"),
             ("{\"arch\":\"yolo\",\"kernels\":\"fast\"}", "unknown kernel policy"),
+            ("{\"arch\":\"yolo\",\"tenant\":7}", "tenant must be a string"),
+            ("{\"arch\":\"yolo\",\"tenant\":\"\"}", "1..=32 characters"),
+            ("{\"arch\":\"yolo\",\"tenant\":\"Team A\"}", "[a-z0-9_-]"),
             (
                 "{\"arch\":\"yolo\",\"image_index\":0,\"image\":{\"width\":2,\"height\":2}}",
                 "mutually exclusive",
@@ -415,6 +462,10 @@ mod tests {
         assert_eq!(config.nsga2.generations, job.generations);
         assert!(!config.use_cache);
         assert_eq!(config.kernel_policy, KernelPolicy::Blocked);
+        // Tenancy never reaches the cell identity (and therefore never
+        // the derived seed): results are tenant-blind.
+        let tenanted = AttackJob { tenant: "other".to_string(), ..job.clone() };
+        assert_eq!(tenanted.cell_spec(), spec);
         let reference = AttackJob { kernel_policy: KernelPolicy::Reference, ..job };
         assert_eq!(reference.attack_config().kernel_policy, KernelPolicy::Reference);
     }

@@ -50,6 +50,7 @@
 
 pub mod attack;
 pub mod baseline;
+pub mod batch;
 pub mod campaign;
 pub mod errors;
 pub mod init;
@@ -67,8 +68,9 @@ pub(crate) mod whitebox;
 pub(crate) mod test_fixtures;
 
 pub use attack::{AttackConfig, AttackOutcome, AttackStrategy, ButterflyAttack};
+pub use batch::{BatchGate, GateDetector};
 pub use campaign::{Campaign, CampaignConfig, CampaignResult, CellSpec};
 pub use errors::{ErrorTransition, TransitionReport};
 pub use job::{AttackJob, ImageSpec, JobStatus};
 pub use problem::ButterflyProblem;
-pub use queue::{BoundedQueue, PushError};
+pub use queue::{BoundedQueue, FairQueue, PushError};

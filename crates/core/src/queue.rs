@@ -1,14 +1,21 @@
-//! A bounded multi-producer multi-consumer job queue with explicit
-//! backpressure — the admission-control primitive behind `bea-serve`.
+//! Bounded multi-producer multi-consumer job queues with explicit
+//! backpressure — the admission-control primitives behind `bea-serve`.
 //!
-//! The queue is deliberately simple: a `Mutex<VecDeque>` plus one
-//! `Condvar`. [`BoundedQueue::try_push`] never blocks — a full queue is
-//! reported to the producer (HTTP `429` upstream) instead of buffering
-//! without bound, and a closed queue refuses new work during shutdown.
-//! [`BoundedQueue::pop`] blocks consumers until an item arrives or the
-//! queue closes; after [`BoundedQueue::close`], consumers stop
-//! immediately and the undrained items are recovered with
-//! [`BoundedQueue::drain_remaining`] so the caller can persist them.
+//! [`BoundedQueue`] is the single-lane original: a `Mutex<VecDeque>`
+//! plus one `Condvar`. [`BoundedQueue::try_push`] never blocks — a full
+//! queue is reported to the producer (HTTP `429` upstream) instead of
+//! buffering without bound, and a closed queue refuses new work during
+//! shutdown. [`BoundedQueue::pop`] blocks consumers until an item
+//! arrives or the queue closes; after [`BoundedQueue::close`],
+//! consumers stop immediately and the undrained items are recovered
+//! with [`BoundedQueue::drain_remaining`] so the caller can persist
+//! them.
+//!
+//! [`FairQueue`] is the multi-tenant variant: one FIFO lane per tenant
+//! under a single global capacity, popped round-robin across lanes so a
+//! tenant flooding the queue cannot starve the others, plus
+//! [`FairQueue::pop_group`] which assembles a compatible batch for the
+//! cross-job batching path.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -135,6 +142,196 @@ impl<T> std::fmt::Debug for BoundedQueue<T> {
     }
 }
 
+struct FairState<T> {
+    /// One FIFO lane per tenant, in first-submission order. Lanes are
+    /// kept once created (the tenant set is bounded by admission
+    /// control) so the round-robin cursor stays meaningful.
+    lanes: Vec<(String, VecDeque<T>)>,
+    /// Index of the lane the next pop starts scanning from.
+    cursor: usize,
+    /// Total items across all lanes.
+    len: usize,
+    closed: bool,
+}
+
+impl<T> FairState<T> {
+    /// The index of the next non-empty lane at or after the cursor,
+    /// wrapping around.
+    fn next_busy_lane(&self) -> Option<usize> {
+        if self.lanes.is_empty() {
+            return None;
+        }
+        (0..self.lanes.len())
+            .map(|k| (self.cursor + k) % self.lanes.len())
+            .find(|&i| !self.lanes[i].1.is_empty())
+    }
+}
+
+/// The tenant-fair bounded MPMC queue. See the [module docs](self).
+pub struct FairQueue<T> {
+    state: Mutex<FairState<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> FairQueue<T> {
+    /// A queue holding at most `capacity` items in total (at least 1),
+    /// shared across all lanes.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(FairState { lanes: Vec::new(), cursor: 0, len: 0, closed: false }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured global capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued, across all lanes.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").len
+    }
+
+    /// `true` when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Items currently queued for one tenant.
+    pub fn lane_len(&self, tenant: &str) -> usize {
+        let state = self.state.lock().expect("queue lock");
+        state.lanes.iter().find(|(name, _)| name == tenant).map_or(0, |(_, lane)| lane.len())
+    }
+
+    /// `true` once [`FairQueue::close`] ran.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock").closed
+    }
+
+    /// Enqueues onto `tenant`'s lane without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] when the queue holds `capacity` items in
+    /// total, [`PushError::Closed`] after [`FairQueue::close`]; both
+    /// return the item.
+    pub fn try_push(&self, tenant: &str, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.len >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        match state.lanes.iter_mut().find(|(name, _)| name == tenant) {
+            Some((_, lane)) => lane.push_back(item),
+            None => {
+                let mut lane = VecDeque::new();
+                lane.push_back(item);
+                state.lanes.push((tenant.to_string(), lane));
+            }
+        }
+        state.len += 1;
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues one item round-robin across tenants, blocking while the
+    /// queue is empty and open. Returns `None` once the queue closes
+    /// (close means "start no new work"; leftovers are recovered with
+    /// [`FairQueue::drain_remaining`]).
+    pub fn pop(&self) -> Option<T> {
+        self.pop_group(1, |_, _| false).map(|mut group| group.remove(0))
+    }
+
+    /// Dequeues a batch of up to `max` mutually compatible items,
+    /// blocking like [`FairQueue::pop`]. The first item comes from the
+    /// round-robin lane (fairness decides who *leads* a batch); the rest
+    /// are lane-front items accepted by `compatible(&seed, &candidate)`,
+    /// collected round-robin so one tenant cannot fill the whole batch
+    /// while others wait. Only lane fronts are taken — batching never
+    /// reorders a tenant's own submissions.
+    pub fn pop_group<F>(&self, max: usize, compatible: F) -> Option<Vec<T>>
+    where
+        F: Fn(&T, &T) -> bool,
+    {
+        let max = max.max(1);
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if state.closed {
+                return None;
+            }
+            if let Some(lead) = state.next_busy_lane() {
+                let seed = state.lanes[lead].1.pop_front().expect("busy lane has a front");
+                state.len -= 1;
+                state.cursor = (lead + 1) % state.lanes.len();
+                let mut group = vec![seed];
+                // Cycle lanes starting at the new cursor; stop after a
+                // full lap adds nothing (every remaining front is
+                // incompatible or the lanes are dry).
+                let lanes = state.lanes.len();
+                let mut idle_laps = 0;
+                let mut at = state.cursor;
+                while group.len() < max && idle_laps < lanes {
+                    let front_ok = state.lanes[at]
+                        .1
+                        .front()
+                        .is_some_and(|candidate| compatible(&group[0], candidate));
+                    if front_ok {
+                        let item = state.lanes[at].1.pop_front().expect("front just checked");
+                        state.len -= 1;
+                        group.push(item);
+                        idle_laps = 0;
+                    } else {
+                        idle_laps += 1;
+                    }
+                    at = (at + 1) % lanes;
+                }
+                return Some(group);
+            }
+            state = self.available.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: producers get [`PushError::Closed`], blocked
+    /// and future pops return `None`. Idempotent.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Removes and returns every item still queued, round-robin across
+    /// lanes (ordinarily called after [`FairQueue::close`], to persist
+    /// work that never started).
+    pub fn drain_remaining(&self) -> Vec<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        let mut items = Vec::with_capacity(state.len);
+        while let Some(lane) = state.next_busy_lane() {
+            let item = state.lanes[lane].1.pop_front().expect("busy lane has a front");
+            state.len -= 1;
+            state.cursor = (lane + 1) % state.lanes.len();
+            items.push(item);
+        }
+        items
+    }
+}
+
+impl<T> std::fmt::Debug for FairQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().expect("queue lock");
+        f.debug_struct("FairQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &state.len)
+            .field("lanes", &state.lanes.len())
+            .field("closed", &state.closed)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,5 +445,98 @@ mod tests {
         let total = PRODUCERS * PER_PRODUCER;
         assert_eq!(consumed.load(Ordering::Relaxed), total);
         assert_eq!(sum.load(Ordering::Relaxed), (0..total).sum::<usize>());
+    }
+
+    #[test]
+    fn fair_queue_round_robins_across_tenants() {
+        let queue = FairQueue::new(16);
+        // Tenant "a" floods ahead of "b" and "c".
+        for k in 0..6 {
+            queue.try_push("a", format!("a{k}")).unwrap();
+        }
+        queue.try_push("b", "b0".to_string()).unwrap();
+        queue.try_push("c", "c0".to_string()).unwrap();
+        assert_eq!(queue.len(), 8);
+        assert_eq!(queue.lane_len("a"), 6);
+        assert_eq!(queue.lane_len("nobody"), 0);
+        // Round-robin interleaves the minority tenants immediately
+        // instead of making them wait behind the flood.
+        let first_three: Vec<String> = (0..3).map(|_| queue.pop().unwrap()).collect();
+        assert_eq!(first_three, vec!["a0", "b0", "c0"]);
+        // With only "a" left the lane drains FIFO.
+        let rest: Vec<String> = (0..5).map(|_| queue.pop().unwrap()).collect();
+        assert_eq!(rest, vec!["a1", "a2", "a3", "a4", "a5"]);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn fair_queue_is_bounded_globally_and_closes() {
+        let queue = FairQueue::new(2);
+        assert_eq!(queue.capacity(), 2);
+        queue.try_push("a", 1).unwrap();
+        queue.try_push("b", 2).unwrap();
+        // The bound is global: a fresh tenant does not get fresh room.
+        assert_eq!(queue.try_push("c", 3), Err(PushError::Full(3)));
+        queue.close();
+        assert!(queue.is_closed());
+        assert_eq!(queue.try_push("a", 4), Err(PushError::Closed(4)));
+        // Close wins over remaining items; they drain explicitly.
+        assert_eq!(queue.pop(), None);
+        assert_eq!(queue.drain_remaining(), vec![1, 2]);
+        assert!(queue.is_empty());
+        assert_eq!(FairQueue::<u32>::new(0).capacity(), 1);
+    }
+
+    #[test]
+    fn fair_queue_groups_take_compatible_lane_fronts() {
+        // Items are (tenant-ish id, compat class); compatibility is
+        // class equality.
+        let queue = FairQueue::new(16);
+        queue.try_push("a", ("a0", 1)).unwrap();
+        queue.try_push("a", ("a1", 1)).unwrap();
+        queue.try_push("a", ("a2", 2)).unwrap();
+        queue.try_push("b", ("b0", 1)).unwrap();
+        queue.try_push("b", ("b1", 1)).unwrap();
+        queue.try_push("c", ("c0", 2)).unwrap();
+
+        let same_class = |seed: &(&str, i32), other: &(&str, i32)| seed.1 == other.1;
+        // Seed a0 (class 1): collects round-robin from b then a again,
+        // but never digs past c's incompatible front.
+        let group = queue.pop_group(8, same_class).unwrap();
+        let ids: Vec<&str> = group.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec!["a0", "b0", "a1", "b1"]);
+        // Remaining fronts are class 2 and batch together.
+        let group = queue.pop_group(8, same_class).unwrap();
+        let ids: Vec<&str> = group.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec!["c0", "a2"]);
+        assert!(queue.is_empty());
+
+        // max caps the group even with compatible items waiting.
+        queue.try_push("a", ("x0", 9)).unwrap();
+        queue.try_push("a", ("x1", 9)).unwrap();
+        queue.try_push("a", ("x2", 9)).unwrap();
+        let group = queue.pop_group(2, same_class).unwrap();
+        assert_eq!(group.len(), 2);
+        assert_eq!(queue.len(), 1);
+    }
+
+    #[test]
+    fn fair_queue_pop_blocks_until_push_and_wakes_on_close() {
+        let queue: Arc<FairQueue<u32>> = Arc::new(FairQueue::new(4));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        queue.try_push("a", 7).unwrap();
+        assert_eq!(waiter.join().unwrap(), Some(7));
+
+        let blocked = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        queue.close();
+        assert_eq!(blocked.join().unwrap(), None);
     }
 }

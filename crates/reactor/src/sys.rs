@@ -1,0 +1,128 @@
+//! Raw `epoll` syscall shims.
+//!
+//! Rust's `std` links the platform C library on Linux, so the `epoll`
+//! family is already present in every binary — it just isn't declared.
+//! This module declares exactly the four symbols the [`crate::poller`]
+//! needs and wraps each in a function that turns the `-1 + errno`
+//! convention into [`io::Result`]. Nothing else in the crate (or the
+//! workspace) writes `unsafe`; the blocks below are the entire unsafe
+//! surface of the serving stack.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// `EPOLL_CTL_ADD`: register a new fd with the epoll instance.
+pub const EPOLL_CTL_ADD: i32 = 1;
+/// `EPOLL_CTL_DEL`: remove an fd from the epoll instance.
+pub const EPOLL_CTL_DEL: i32 = 2;
+/// `EPOLL_CTL_MOD`: change the event mask of a registered fd.
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+/// `EPOLLIN`: the fd is readable.
+pub const EPOLLIN: u32 = 0x001;
+/// `EPOLLOUT`: the fd is writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// `EPOLLERR`: error condition (always reported, need not be requested).
+pub const EPOLLERR: u32 = 0x008;
+/// `EPOLLHUP`: hang-up (always reported, need not be requested).
+pub const EPOLLHUP: u32 = 0x010;
+/// `EPOLLRDHUP`: peer closed its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// `EPOLL_CLOEXEC` for [`epoll_create1`].
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+/// One readiness record, ABI-compatible with the kernel's
+/// `struct epoll_event`. On x86-64 the kernel struct is packed (4-byte
+/// aligned u64), everywhere else it uses natural alignment.
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpollEvent {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// Caller-owned token, returned verbatim with each event.
+    pub data: u64,
+}
+
+/// One readiness record, ABI-compatible with the kernel's
+/// `struct epoll_event`.
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpollEvent {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// Caller-owned token, returned verbatim with each event.
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+/// Creates a close-on-exec epoll instance and returns its fd.
+///
+/// # Errors
+///
+/// The syscall's errno as an [`io::Error`].
+pub fn create() -> io::Result<RawFd> {
+    // SAFETY: epoll_create1 takes no pointers; any flag value is safe to
+    // pass and failures surface as -1/errno.
+    let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(fd)
+}
+
+/// Adds, modifies or deletes `fd`'s registration on `epfd`. `events` and
+/// `token` are ignored by the kernel for `EPOLL_CTL_DEL`.
+///
+/// # Errors
+///
+/// The syscall's errno as an [`io::Error`].
+pub fn ctl(epfd: RawFd, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    let mut event = EpollEvent { events, data: token };
+    // SAFETY: `event` is a live, properly-laid-out epoll_event for the
+    // duration of the call; the kernel reads it and does not retain the
+    // pointer past return.
+    let rc = unsafe { epoll_ctl(epfd, op, fd, &mut event) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Blocks until readiness events arrive (or `timeout_ms` elapses;
+/// negative means wait forever) and fills `events`, returning how many
+/// entries are valid.
+///
+/// # Errors
+///
+/// The syscall's errno as an [`io::Error`] — including `EINTR`, which
+/// callers are expected to retry.
+pub fn wait(epfd: RawFd, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    if events.is_empty() {
+        return Ok(0);
+    }
+    // SAFETY: the pointer/length pair describes the caller's live slice;
+    // the kernel writes at most `events.len()` entries into it.
+    let rc = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(rc as usize)
+}
+
+/// Closes an fd obtained from [`create`].
+pub fn close_fd(fd: RawFd) {
+    // SAFETY: plain fd close; the caller guarantees the fd came from
+    // `create` and is not closed twice (Poller owns it uniquely).
+    let _ = unsafe { close(fd) };
+}

@@ -12,6 +12,52 @@ use std::time::Duration;
 /// Cap on response bodies the client will buffer.
 const MAX_RESPONSE_BODY: usize = 16 * 1024 * 1024;
 
+/// Socket deadlines for one request.
+///
+/// The zero-value of `std::net` timeouts is "block forever", which
+/// turned every stalled or half-dead server into a hung client. These
+/// defaults are deliberately finite; [`ClientTimeouts::unlimited`]
+/// restores the old behaviour for debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientTimeouts {
+    /// TCP connect deadline.
+    pub connect: Duration,
+    /// Per-`read` deadline while receiving the response.
+    pub read: Duration,
+    /// Per-`write` deadline while sending the request.
+    pub write: Duration,
+}
+
+impl Default for ClientTimeouts {
+    fn default() -> Self {
+        Self {
+            connect: Duration::from_secs(10),
+            read: Duration::from_secs(120),
+            write: Duration::from_secs(30),
+        }
+    }
+}
+
+impl ClientTimeouts {
+    /// No deadlines at all: every socket operation may block forever.
+    pub fn unlimited() -> Self {
+        Self { connect: Duration::ZERO, read: Duration::ZERO, write: Duration::ZERO }
+    }
+}
+
+/// Maps a transport error to [`io::ErrorKind::TimedOut`] when it is a
+/// socket deadline expiring, annotated with which phase stalled.
+///
+/// Linux reports an expired `SO_RCVTIMEO` as `WouldBlock`; other
+/// platforms use `TimedOut`. Callers should only ever see the latter.
+fn timeout_error(phase: &str, e: io::Error) -> io::Error {
+    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) {
+        io::Error::new(io::ErrorKind::TimedOut, format!("{phase} timed out: {e}"))
+    } else {
+        e
+    }
+}
+
 /// One parsed HTTP response.
 #[derive(Debug, Clone)]
 pub struct HttpResponse {
@@ -40,34 +86,62 @@ impl HttpResponse {
     }
 }
 
-/// Performs one request against `addr` and reads the full response.
+/// Performs one request against `addr` and reads the full response,
+/// using the default [`ClientTimeouts`].
 ///
 /// # Errors
 ///
-/// Propagates connection and transport failures, and reports malformed
-/// responses as [`io::ErrorKind::InvalidData`].
+/// Propagates connection and transport failures, reports malformed
+/// responses as [`io::ErrorKind::InvalidData`], and expired socket
+/// deadlines as [`io::ErrorKind::TimedOut`].
 pub fn request(
     addr: &str,
     method: &str,
     path: &str,
     body: Option<&str>,
 ) -> io::Result<HttpResponse> {
+    request_with(addr, method, path, body, ClientTimeouts::default())
+}
+
+/// [`request`] with explicit socket deadlines.
+///
+/// # Errors
+///
+/// As [`request`].
+pub fn request_with(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeouts: ClientTimeouts,
+) -> io::Result<HttpResponse> {
     let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut stream = if timeouts.connect.is_zero() {
+        TcpStream::connect(addr)?
+    } else {
+        let resolved = std::net::ToSocketAddrs::to_socket_addrs(addr)?
+            .next()
+            .ok_or_else(|| invalid(format!("no address for {addr:?}")))?;
+        TcpStream::connect_timeout(&resolved, timeouts.connect)
+            .map_err(|e| timeout_error("connect", e))?
+    };
+    let optional = |d: Duration| if d.is_zero() { None } else { Some(d) };
+    stream.set_read_timeout(optional(timeouts.read))?;
+    stream.set_write_timeout(optional(timeouts.write))?;
     let body = body.unwrap_or("");
     write!(
         stream,
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
-    )?;
-    stream.flush()?;
+    )
+    .map_err(|e| timeout_error("request write", e))?;
+    stream.flush().map_err(|e| timeout_error("request write", e))?;
 
     // The response grammar mirrors the request grammar closely enough to
     // reuse the request parser: swap the status line for a request line.
     let mut reader = BufReader::new(stream);
-    let status_line = read_status_line(&mut reader)?;
+    let status_line =
+        read_status_line(&mut reader).map_err(|e| timeout_error("response read", e))?;
     let mut parts = status_line.splitn(3, ' ');
     let (version, code) = match (parts.next(), parts.next()) {
         (Some(v), Some(c)) if v.starts_with("HTTP/") => (v, c),
@@ -80,7 +154,7 @@ pub fn request(
     // handling stay in one place.
     let mut synthetic = Vec::from(&b"GET / HTTP/1.1\r\n"[..]);
     let mut rest = Vec::new();
-    io::Read::read_to_end(&mut reader, &mut rest)?;
+    io::Read::read_to_end(&mut reader, &mut rest).map_err(|e| timeout_error("response read", e))?;
     synthetic.extend_from_slice(&rest);
     let parsed = Request::read_from(&mut BufReader::new(&synthetic[..]), MAX_RESPONSE_BODY)?;
     Ok(HttpResponse { status, headers: parsed.headers, body: parsed.body })
@@ -103,17 +177,29 @@ fn read_status_line<R: io::BufRead>(reader: &mut R) -> io::Result<String> {
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: String,
+    timeouts: ClientTimeouts,
 }
 
 impl Client {
-    /// A client for `addr` (`host:port`).
+    /// A client for `addr` (`host:port`) with default timeouts.
     pub fn new(addr: impl Into<String>) -> Self {
-        Self { addr: addr.into() }
+        Self { addr: addr.into(), timeouts: ClientTimeouts::default() }
+    }
+
+    /// The same client with explicit socket deadlines.
+    pub fn with_timeouts(mut self, timeouts: ClientTimeouts) -> Self {
+        self.timeouts = timeouts;
+        self
     }
 
     /// The server address this client targets.
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// The socket deadlines this client applies.
+    pub fn timeouts(&self) -> ClientTimeouts {
+        self.timeouts
     }
 
     /// Submits an attack job body to `POST /v1/attacks`.
@@ -122,7 +208,7 @@ impl Client {
     ///
     /// Propagates transport failures.
     pub fn submit(&self, job_json: &str) -> io::Result<HttpResponse> {
-        request(&self.addr, "POST", "/v1/attacks", Some(job_json))
+        request_with(&self.addr, "POST", "/v1/attacks", Some(job_json), self.timeouts)
     }
 
     /// Fetches `GET /v1/attacks/{id}`.
@@ -131,7 +217,7 @@ impl Client {
     ///
     /// Propagates transport failures.
     pub fn status(&self, id: &str) -> io::Result<HttpResponse> {
-        request(&self.addr, "GET", &format!("/v1/attacks/{id}"), None)
+        request_with(&self.addr, "GET", &format!("/v1/attacks/{id}"), None, self.timeouts)
     }
 
     /// Fetches the stored result CSV via `GET /v1/attacks/{id}/csv`.
@@ -140,7 +226,7 @@ impl Client {
     ///
     /// Propagates transport failures.
     pub fn csv(&self, id: &str) -> io::Result<HttpResponse> {
-        request(&self.addr, "GET", &format!("/v1/attacks/{id}/csv"), None)
+        request_with(&self.addr, "GET", &format!("/v1/attacks/{id}/csv"), None, self.timeouts)
     }
 
     /// Fetches `GET /healthz`.
@@ -149,7 +235,7 @@ impl Client {
     ///
     /// Propagates transport failures.
     pub fn healthz(&self) -> io::Result<HttpResponse> {
-        request(&self.addr, "GET", "/healthz", None)
+        request_with(&self.addr, "GET", "/healthz", None, self.timeouts)
     }
 
     /// Fetches `GET /metrics`.
@@ -158,7 +244,7 @@ impl Client {
     ///
     /// Propagates transport failures.
     pub fn metrics(&self) -> io::Result<HttpResponse> {
-        request(&self.addr, "GET", "/metrics", None)
+        request_with(&self.addr, "GET", "/metrics", None, self.timeouts)
     }
 
     /// Polls `GET /v1/attacks/{id}` until the job leaves `queued` /
@@ -198,4 +284,45 @@ impl Client {
 /// summary output.
 pub fn describe_status(code: u16) -> String {
     format!("{code} {}", status_reason(code))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn read_timeout_surfaces_as_timed_out_instead_of_hanging() {
+        // A server that accepts the connection and then says nothing.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let mute = std::thread::spawn(move || {
+            // Hold the accepted socket open until the client gives up.
+            let (stream, _) = listener.accept().expect("accept");
+            std::thread::sleep(Duration::from_secs(2));
+            drop(stream);
+        });
+        let timeouts = ClientTimeouts { read: Duration::from_millis(100), ..Default::default() };
+        let started = std::time::Instant::now();
+        let err = request_with(&addr, "GET", "/healthz", None, timeouts)
+            .expect_err("a mute server must not produce a response");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut, "{err}");
+        assert!(err.to_string().contains("response read"), "{err}");
+        // The old behaviour was an unbounded block; prove the deadline
+        // actually bounded the wait.
+        assert!(started.elapsed() < Duration::from_secs(2), "{:?}", started.elapsed());
+        mute.join().expect("mute server");
+    }
+
+    #[test]
+    fn client_timeouts_are_configurable_and_carried() {
+        let custom = ClientTimeouts {
+            connect: Duration::from_secs(1),
+            read: Duration::from_secs(2),
+            write: Duration::from_secs(3),
+        };
+        let client = Client::new("127.0.0.1:1").with_timeouts(custom);
+        assert_eq!(client.timeouts(), custom);
+        assert_eq!(ClientTimeouts::unlimited().read, Duration::ZERO);
+    }
 }

@@ -1,12 +1,19 @@
 //! Hand-rolled HTTP/1.1 request parsing and response writing.
 //!
 //! The build environment has no registry access, so the serving layer
-//! speaks the small, strict subset of HTTP/1.1 its endpoints need: one
-//! request per connection (`Connection: close`), explicit
-//! `Content-Length` bodies, and hard limits on line length, header count
-//! and body size so a hostile peer cannot make the server buffer without
-//! bound. Anything outside the subset is a parse error the server maps
-//! to `400`.
+//! speaks the small, strict subset of HTTP/1.1 its endpoints need:
+//! explicit `Content-Length` bodies and hard limits on line length,
+//! header count and body size so a hostile peer cannot make the server
+//! buffer without bound. Anything outside the subset is a parse error
+//! the server maps to `400`.
+//!
+//! Parsing is *incremental*: [`RequestParser`] is fed whatever bytes the
+//! transport produced — a whole pipelined burst or one byte at a time —
+//! and yields complete requests as they materialise. The blocking path
+//! ([`Request::read_from`]) and the non-blocking reactor path both run
+//! on this one state machine, so the caps behave identically no matter
+//! how reads are sliced. [`ResponseParser`] is the mirror image for
+//! clients reading responses off non-blocking sockets.
 
 use std::io::{self, BufRead, Write};
 
@@ -48,83 +55,312 @@ impl Request {
     /// bounds the accepted `Content-Length`; bigger announcements fail
     /// without reading the body.
     ///
+    /// This is the blocking frontend of [`RequestParser`]: bytes stream
+    /// from the reader into the same incremental state machine the
+    /// reactor path feeds, so caps and error messages are identical no
+    /// matter which transport carried the request.
+    ///
     /// # Errors
     ///
     /// [`io::ErrorKind::InvalidData`] on malformed requests and exceeded
     /// limits, plus any transport error.
     pub fn read_from<R: BufRead>(reader: &mut R, max_body: usize) -> io::Result<Request> {
-        let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
-        let request_line = read_line(reader)?;
-        let mut parts = request_line.split(' ');
-        let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
-        {
-            (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
-            _ => return Err(invalid(format!("malformed request line {request_line:?}"))),
-        };
-        if version != "HTTP/1.1" && version != "HTTP/1.0" {
-            return Err(invalid(format!("unsupported protocol {version:?}")));
-        }
-        let mut headers = Vec::new();
+        let mut parser = RequestParser::new(max_body);
         loop {
-            let line = read_line(reader)?;
-            if line.is_empty() {
-                break;
+            if let Some(request) = parser.next_request()? {
+                return Ok(request);
             }
-            if headers.len() >= MAX_HEADERS {
-                return Err(invalid(format!("more than {MAX_HEADERS} headers")));
+            let chunk = reader.fill_buf()?;
+            if chunk.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-request",
+                ));
             }
-            let (name, value) = line
-                .split_once(':')
-                .ok_or_else(|| invalid(format!("malformed header {line:?}")))?;
-            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            let taken = chunk.len();
+            parser.feed(chunk);
+            reader.consume(taken);
         }
-        let request = Request {
-            method: method.to_string(),
-            path: path.to_string(),
-            headers,
-            body: Vec::new(),
-        };
-        let content_length = match request.header("content-length") {
-            None => 0,
-            Some(text) => text
-                .parse::<usize>()
-                .map_err(|e| invalid(format!("bad Content-Length {text:?}: {e}")))?,
-        };
-        if content_length > max_body {
-            return Err(invalid(format!(
-                "Content-Length {content_length} exceeds the {max_body}-byte limit"
-            )));
-        }
-        let mut request = request;
-        request.body = vec![0u8; content_length];
-        reader.read_exact(&mut request.body)?;
-        Ok(request)
     }
 }
 
-/// Reads one CRLF- (or bare-LF-) terminated line, capped at
-/// [`MAX_LINE_BYTES`].
-fn read_line<R: BufRead>(reader: &mut R) -> io::Result<String> {
-    let mut line = Vec::new();
-    loop {
-        let mut byte = [0u8; 1];
-        reader.read_exact(&mut byte)?;
-        if byte[0] == b'\n' {
-            break;
+/// Head-parsing progress of a [`RequestParser`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseState {
+    /// Waiting for (more of) the request or status line.
+    StartLine,
+    /// Start line parsed; collecting header lines.
+    Headers,
+    /// Head complete; the body is `need` bytes long.
+    Body { need: usize },
+    /// A grammar or caps violation was reported. Terminal: once a
+    /// message is rejected the connection's framing is lost.
+    Failed,
+}
+
+/// The incremental HTTP/1.1 message parser shared by the blocking and
+/// reactor paths. See the [module docs](self).
+///
+/// Feed transport bytes with [`RequestParser::feed`] and drain complete
+/// messages with [`RequestParser::next_request`]. Bytes beyond a
+/// complete message are retained, so pipelined requests parse one at a
+/// time in arrival order.
+#[derive(Debug, Clone)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by completed parsing steps.
+    consumed: usize,
+    state: ParseState,
+    max_body: usize,
+    /// The message under construction (start line parsed, rest pending).
+    method: String,
+    path: String,
+    headers: Vec<(String, String)>,
+}
+
+impl RequestParser {
+    /// A parser accepting bodies up to `max_body` bytes.
+    pub fn new(max_body: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            consumed: 0,
+            state: ParseState::StartLine,
+            max_body,
+            method: String::new(),
+            path: String::new(),
+            headers: Vec::new(),
         }
-        line.push(byte[0]);
+    }
+
+    /// Appends transport bytes. Feeding never fails — violations are
+    /// reported by the next [`RequestParser::next_request`] call, which
+    /// is where handlers look for them.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact lazily: once consumed bytes dominate the buffer, shift
+        // the live tail down so long-lived pipelined connections do not
+        // grow it without bound.
+        if self.consumed > 0 && self.consumed >= self.buf.len() / 2 {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a parsed message.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Takes the next complete line out of the buffer; `Ok(None)` means
+    /// more bytes are needed (and the partial line is within caps).
+    fn take_line(&mut self) -> io::Result<Option<String>> {
+        let pending = &self.buf[self.consumed..];
+        let Some(nl) = pending.iter().position(|&b| b == b'\n') else {
+            if pending.len() > MAX_LINE_BYTES {
+                return Err(invalid(format!("line exceeds {MAX_LINE_BYTES} bytes")));
+            }
+            return Ok(None);
+        };
+        let mut line = &pending[..nl];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
         if line.len() > MAX_LINE_BYTES {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("line exceeds {MAX_LINE_BYTES} bytes"),
-            ));
+            return Err(invalid(format!("line exceeds {MAX_LINE_BYTES} bytes")));
+        }
+        let text = std::str::from_utf8(line)
+            .map_err(|e| invalid(format!("non-UTF-8 line: {e}")))?
+            .to_string();
+        self.consumed += nl + 1;
+        Ok(Some(text))
+    }
+
+    /// Advances the state machine as far as the buffered bytes allow and
+    /// returns the next complete request, if one materialised.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] on malformed requests and exceeded
+    /// limits. Errors are terminal: the peer's framing can no longer be
+    /// trusted, so callers drop the connection.
+    pub fn next_request(&mut self) -> io::Result<Option<Request>> {
+        match self.advance() {
+            Err(e) => {
+                self.state = ParseState::Failed;
+                Err(e)
+            }
+            ok => ok,
         }
     }
-    if line.last() == Some(&b'\r') {
-        line.pop();
+
+    fn advance(&mut self) -> io::Result<Option<Request>> {
+        loop {
+            match self.state {
+                ParseState::Failed => {
+                    return Err(invalid("parser already failed on this connection".to_string()));
+                }
+                ParseState::StartLine => {
+                    let Some(line) = self.take_line()? else { return Ok(None) };
+                    let mut parts = line.split(' ');
+                    let (method, path, version) =
+                        match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                            (Some(m), Some(p), Some(v), None)
+                                if !m.is_empty() && p.starts_with('/') =>
+                            {
+                                (m, p, v)
+                            }
+                            _ => return Err(invalid(format!("malformed request line {line:?}"))),
+                        };
+                    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+                        return Err(invalid(format!("unsupported protocol {version:?}")));
+                    }
+                    self.method = method.to_string();
+                    self.path = path.to_string();
+                    self.headers.clear();
+                    self.state = ParseState::Headers;
+                }
+                ParseState::Headers => {
+                    let Some(line) = self.take_line()? else { return Ok(None) };
+                    if !line.is_empty() {
+                        if self.headers.len() >= MAX_HEADERS {
+                            return Err(invalid(format!("more than {MAX_HEADERS} headers")));
+                        }
+                        let (name, value) = line
+                            .split_once(':')
+                            .ok_or_else(|| invalid(format!("malformed header {line:?}")))?;
+                        self.headers
+                            .push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+                        continue;
+                    }
+                    let need = content_length(&self.headers, self.max_body)?;
+                    self.state = ParseState::Body { need };
+                }
+                ParseState::Body { need } => {
+                    if self.buffered() < need {
+                        return Ok(None);
+                    }
+                    let body = self.buf[self.consumed..self.consumed + need].to_vec();
+                    self.consumed += need;
+                    self.state = ParseState::StartLine;
+                    return Ok(Some(Request {
+                        method: std::mem::take(&mut self.method),
+                        path: std::mem::take(&mut self.path),
+                        headers: std::mem::take(&mut self.headers),
+                        body,
+                    }));
+                }
+            }
+        }
     }
-    String::from_utf8(line)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("non-UTF-8 line: {e}")))
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Validates a parsed header block's `Content-Length` against the body
+/// cap and returns the announced body size.
+fn content_length(headers: &[(String, String)], max_body: usize) -> io::Result<usize> {
+    let text = headers.iter().find(|(n, _)| n == "content-length").map(|(_, v)| v.as_str());
+    let length = match text {
+        None => 0,
+        Some(text) => text
+            .parse::<usize>()
+            .map_err(|e| invalid(format!("bad Content-Length {text:?}: {e}")))?,
+    };
+    if length > max_body {
+        return Err(invalid(format!("Content-Length {length} exceeds the {max_body}-byte limit")));
+    }
+    Ok(length)
+}
+
+/// One response parsed off the wire by [`ResponseParser`].
+#[derive(Debug, Clone)]
+pub struct ParsedResponse {
+    /// The status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl ParsedResponse {
+    /// The first value of a header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == want).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Incremental HTTP/1.1 *response* parser for clients reading off
+/// non-blocking sockets (the open-loop load generator). Shares the caps
+/// and buffering behaviour of [`RequestParser`]; only the start-line
+/// grammar differs.
+#[derive(Debug, Clone)]
+pub struct ResponseParser {
+    status: Option<u16>,
+    inner: RequestParser,
+}
+
+impl ResponseParser {
+    /// A parser accepting bodies up to `max_body` bytes.
+    pub fn new(max_body: usize) -> Self {
+        Self { status: None, inner: RequestParser::new(max_body) }
+    }
+
+    /// Appends transport bytes (never fails; see
+    /// [`RequestParser::feed`]).
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.inner.feed(bytes);
+    }
+
+    /// Returns the next complete response, if one materialised.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] on malformed responses and
+    /// exceeded limits; errors are terminal like the request parser's.
+    pub fn next_response(&mut self) -> io::Result<Option<ParsedResponse>> {
+        if self.inner.state == ParseState::Failed {
+            return Err(invalid("parser already failed on this connection".to_string()));
+        }
+        if self.status.is_none() {
+            let line = match self.inner.take_line() {
+                Ok(Some(line)) => line,
+                Ok(None) => return Ok(None),
+                Err(e) => {
+                    self.inner.state = ParseState::Failed;
+                    return Err(e);
+                }
+            };
+            let mut parts = line.splitn(3, ' ');
+            let code = match (parts.next(), parts.next()) {
+                (Some(v), Some(c)) if v.starts_with("HTTP/") => c,
+                _ => {
+                    self.inner.state = ParseState::Failed;
+                    return Err(invalid(format!("malformed status line {line:?}")));
+                }
+            };
+            let status = match code.parse::<u16>() {
+                Ok(status) => status,
+                Err(e) => {
+                    self.inner.state = ParseState::Failed;
+                    return Err(invalid(format!("bad status code {code:?}: {e}")));
+                }
+            };
+            self.status = Some(status);
+            // The remainder (headers + body) follows request grammar.
+            self.inner.state = ParseState::Headers;
+        }
+        match self.inner.next_request()? {
+            None => Ok(None),
+            Some(message) => {
+                let status = self.status.take().expect("status parsed before head completes");
+                Ok(Some(ParsedResponse { status, headers: message.headers, body: message.body }))
+            }
+        }
+    }
 }
 
 /// The reason phrase of the status codes this server emits.

@@ -1,12 +1,19 @@
 //! `bea-serve`: a dependency-free attack-as-a-service layer.
 //!
 //! The crate turns the butterfly-effect attack stack into a long-running
-//! service using nothing outside `std`: a hand-rolled HTTP/1.1 layer
-//! over [`std::net::TcpListener`] ([`http`]), a bounded job queue with
-//! explicit backpressure (`bea-core`'s `BoundedQueue`), a worker pool
-//! that drains jobs through the same deterministic campaign path batch
-//! runs use ([`server`]), Prometheus-text metrics ([`metrics`]) and a
-//! minimal blocking client for load generation and tests ([`client`]).
+//! service using nothing outside `std` (plus the workspace's raw-epoll
+//! `bea-reactor` crate): a hand-rolled incremental HTTP/1.1 layer over
+//! [`std::net::TcpListener`] ([`http`]), an event-driven connection
+//! front-end multiplexing thousands of sockets on one thread
+//! (`reactor`, Linux; a thread-per-connection fallback elsewhere),
+//! per-tenant token-bucket admission and in-system quotas ([`tenant`]),
+//! a tenant-fair bounded job queue with explicit backpressure
+//! (`bea-core`'s `FairQueue`), a worker pool that drains jobs through
+//! the same deterministic campaign path batch runs use — stacking
+//! compatible jobs into shared forward passes via `bea-core`'s
+//! `BatchGate` ([`server`]) — Prometheus-text metrics ([`metrics`]) and
+//! a minimal blocking client for load generation and tests
+//! ([`client`]).
 //!
 //! # Endpoints
 //!
@@ -33,8 +40,12 @@
 pub mod client;
 pub mod http;
 pub mod metrics;
+#[cfg(unix)]
+pub(crate) mod reactor;
 pub mod server;
+pub mod tenant;
 
-pub use client::{Client, HttpResponse};
+pub use client::{Client, ClientTimeouts, HttpResponse};
 pub use metrics::{percentile, Metrics};
 pub use server::{Server, ServerConfig, ShutdownReport};
+pub use tenant::{AdmitError, TenantGovernor, TenantPolicy};

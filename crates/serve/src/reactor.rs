@@ -1,0 +1,290 @@
+//! The event-driven connection front-end: one thread, thousands of
+//! connections.
+//!
+//! The blocking front-end (`accept_loop`) spawns a thread per
+//! connection, which caps concurrency at whatever the OS tolerates in
+//! stacks. This module replaces it with a readiness loop over
+//! [`bea_reactor::Poller`]: the listener and every connection are
+//! non-blocking and registered with epoll; the loop sleeps until the
+//! kernel reports readiness, drains whatever arrived through the
+//! incremental [`RequestParser`], routes complete requests through the
+//! *same* [`route`](crate::server) the blocking path uses, and flushes
+//! responses as sockets accept them. Parsing, routing, admission
+//! control and job execution are untouched — the reactor changes how
+//! bytes move, never what they mean.
+//!
+//! Connection lifecycle: `Reading` (accumulate request bytes) →
+//! `Writing` (flush the response; the server always answers
+//! `Connection: close`) → gone. A parse error answers `400` and closes,
+//! exactly like the blocking path; a connection idle past the timeout
+//! is dropped in the periodic sweep.
+
+use crate::http::{Request, RequestParser, Response};
+use crate::server::{error_response, route, Shared};
+use bea_reactor::{Event, Interest, Poller, Token};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The listener's registration token; connections start at 1.
+const LISTENER: Token = 0;
+
+/// How long the loop sleeps when nothing is ready (also the idle-sweep
+/// cadence).
+const TICK: Duration = Duration::from_millis(500);
+
+/// Connections silent for this long are dropped.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Per-read buffer size.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// One multiplexed connection.
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    /// Pending response bytes (everything not yet accepted by the
+    /// socket).
+    out: Vec<u8>,
+    /// Bytes of `out` already written.
+    written: usize,
+    /// All requests answered; close once `out` drains.
+    closing: bool,
+    last_activity: Instant,
+    /// The interest currently registered with the poller.
+    interest: Interest,
+}
+
+impl Conn {
+    fn pending_out(&self) -> bool {
+        self.written < self.out.len()
+    }
+
+    /// The interest this connection wants: writable while output is
+    /// pending, readable while more requests may arrive.
+    fn wanted_interest(&self) -> Interest {
+        match (self.pending_out(), self.closing) {
+            (true, _) => Interest::WRITABLE,
+            (false, true) => Interest::WRITABLE, // only reachable transiently
+            (false, false) => Interest::READABLE,
+        }
+    }
+}
+
+/// Runs the reactor until shutdown is requested. `listener` must
+/// already be non-blocking.
+pub(crate) fn run(listener: TcpListener, shared: Arc<Shared>, mut poller: Poller) {
+    if let Err(e) = poller.register(listener.as_raw_fd(), LISTENER, Interest::READABLE) {
+        // Registration failing means no connection will ever be seen;
+        // surface it and bail rather than spin silently.
+        eprintln!("reactor: registering the listener failed: {e}");
+        return;
+    }
+    let mut conns: HashMap<Token, Conn> = HashMap::new();
+    let mut next_token: Token = LISTENER + 1;
+    let mut events: Vec<Event> = Vec::new();
+    let mut last_sweep = Instant::now();
+
+    loop {
+        if shared.stop_requested.load(Ordering::SeqCst) {
+            break;
+        }
+        if poller.wait(&mut events, Some(TICK)).is_err() {
+            break;
+        }
+        let batch = std::mem::take(&mut events);
+        for event in &batch {
+            if event.token == LISTENER {
+                accept_ready(&listener, &poller, &mut conns, &mut next_token);
+                continue;
+            }
+            let Some(mut conn) = conns.remove(&event.token) else { continue };
+            let keep = handle_event(&mut conn, event, &shared);
+            if keep {
+                settle(&poller, event.token, &mut conn);
+                conns.insert(event.token, conn);
+            } else {
+                retire(&poller, &conn);
+            }
+        }
+        events = batch;
+        if last_sweep.elapsed() >= TICK {
+            last_sweep = Instant::now();
+            conns.retain(|_, conn| {
+                let live = conn.last_activity.elapsed() < IDLE_TIMEOUT;
+                if !live {
+                    retire(&poller, conn);
+                }
+                live
+            });
+        }
+    }
+    // Best-effort final flush so responses generated just before the
+    // stop (e.g. the `POST /v1/shutdown` acknowledgement) reach their
+    // clients.
+    for conn in conns.values_mut() {
+        let _ = flush(conn);
+        let _ = conn.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// Accepts every pending connection (level-triggered: drain until
+/// `WouldBlock`).
+fn accept_ready(
+    listener: &TcpListener,
+    poller: &Poller,
+    conns: &mut HashMap<Token, Conn>,
+    next_token: &mut Token,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let token = *next_token;
+                *next_token += 1;
+                if poller.register(stream.as_raw_fd(), token, Interest::READABLE).is_err() {
+                    continue;
+                }
+                conns.insert(
+                    token,
+                    Conn {
+                        stream,
+                        parser: RequestParser::new(bea_core::job::MAX_JOB_BODY_BYTES),
+                        out: Vec::new(),
+                        written: 0,
+                        closing: false,
+                        last_activity: Instant::now(),
+                        interest: Interest::READABLE,
+                    },
+                );
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Processes one readiness event. Returns `false` when the connection
+/// is finished (or broken) and should be retired.
+fn handle_event(conn: &mut Conn, event: &Event, shared: &Arc<Shared>) -> bool {
+    conn.last_activity = Instant::now();
+    if event.readable && !conn.closing {
+        match drain_reads(conn, shared) {
+            Ok(open) => {
+                if !open && !conn.pending_out() {
+                    return false; // peer closed with nothing left to say
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    if (event.writable || conn.pending_out()) && flush(conn).is_err() {
+        return false;
+    }
+    if event.closed {
+        // Error/hang-up: deliver anything already buffered, then drop.
+        let _ = flush(conn);
+        return false;
+    }
+    // Closing and fully flushed: done.
+    !conn.closing || conn.pending_out()
+}
+
+/// Reads until `WouldBlock` or EOF, feeding the parser and answering
+/// every complete request. Returns `Ok(false)` on EOF.
+///
+/// # Errors
+///
+/// Transport failures; the caller retires the connection.
+fn drain_reads(conn: &mut Conn, shared: &Arc<Shared>) -> io::Result<bool> {
+    let mut buf = [0u8; READ_CHUNK];
+    let mut open = true;
+    loop {
+        match (&conn.stream).read(&mut buf) {
+            Ok(0) => {
+                open = false;
+                break;
+            }
+            Ok(n) => conn.parser.feed(&buf[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    // Answer everything that parsed; pipelined bursts are answered in
+    // arrival order, then the connection closes (the server's responses
+    // are all `Connection: close`).
+    loop {
+        match conn.parser.next_request() {
+            Ok(Some(request)) => {
+                respond(conn, &request, shared);
+                conn.closing = true;
+            }
+            Ok(None) => break,
+            Err(e) => {
+                let started = Instant::now();
+                let response = error_response(400, &e.to_string());
+                let _ = response.write_to(&mut conn.out);
+                shared.metrics.record_request("malformed", 400, started.elapsed());
+                shared.log_request("?", "?", 400, started.elapsed());
+                conn.closing = true;
+                break;
+            }
+        }
+    }
+    Ok(open)
+}
+
+/// Routes one request and buffers its response.
+fn respond(conn: &mut Conn, request: &Request, shared: &Arc<Shared>) {
+    let started = Instant::now();
+    let (endpoint, response): (&'static str, Response) = route(request, shared);
+    let _ = response.write_to(&mut conn.out);
+    let elapsed = started.elapsed();
+    shared.metrics.record_request(endpoint, response.status, elapsed);
+    shared.log_request(&request.method, &request.path, response.status, elapsed);
+}
+
+/// Writes pending output until the socket stops accepting.
+///
+/// # Errors
+///
+/// Transport failures; the caller retires the connection.
+fn flush(conn: &mut Conn) -> io::Result<()> {
+    while conn.pending_out() {
+        match (&conn.stream).write(&conn.out[conn.written..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => conn.written += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    if !conn.pending_out() && conn.written > 0 {
+        conn.out.clear();
+        conn.written = 0;
+    }
+    Ok(())
+}
+
+/// Re-registers the connection's interest when it changed.
+fn settle(poller: &Poller, token: Token, conn: &mut Conn) {
+    let wanted = conn.wanted_interest();
+    if wanted != conn.interest {
+        conn.interest = wanted;
+        let _ = poller.modify(conn.stream.as_raw_fd(), token, wanted);
+    }
+}
+
+/// Deregisters and shuts a finished connection down.
+fn retire(poller: &Poller, conn: &Conn) {
+    let _ = poller.deregister(conn.stream.as_raw_fd());
+    let _ = conn.stream.shutdown(Shutdown::Both);
+}

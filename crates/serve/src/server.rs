@@ -19,10 +19,12 @@
 
 use crate::http::{Request, Response};
 use crate::metrics::Metrics;
+use crate::tenant::{TenantGovernor, TenantPolicy};
+use bea_core::batch::{BatchGate, GateDetector};
 use bea_core::campaign::{Campaign, CampaignConfig, CampaignStore};
 use bea_core::telemetry::JsonObject;
-use bea_core::{AttackJob, BoundedQueue, JobStatus, PushError};
-use bea_detect::{CacheStats, ModelZoo};
+use bea_core::{AttackJob, FairQueue, JobStatus, PushError};
+use bea_detect::{CacheStats, Detector, ModelZoo};
 use bea_scene::SyntheticKitti;
 use std::collections::BTreeMap;
 use std::io::{self, BufReader, Write};
@@ -56,6 +58,21 @@ pub struct ServerConfig {
     /// policy. Defaults to 1: the worker pool already runs jobs in
     /// parallel, and results are identical at any thread count.
     pub kernel_threads: usize,
+    /// Serve connections through the epoll reactor (one multiplexing
+    /// thread) instead of a thread per connection. Job execution is
+    /// identical either way; off epoll-less platforms the server falls
+    /// back to the blocking front-end.
+    pub reactor: bool,
+    /// Upper bound on cross-job batching: up to this many compatible
+    /// queued jobs (same architecture, model seed and kernel policy,
+    /// cache off) run as one gate group whose per-generation forward
+    /// passes stack into a single batched call. `1` disables batching.
+    pub batch_max: usize,
+    /// Per-tenant admission policy (rate limit and in-system quota).
+    pub tenant_policy: TenantPolicy,
+    /// How many `done` records the startup compaction of `jobs.jsonl`
+    /// retains (newest first); pending records are always kept.
+    pub done_retention: usize,
 }
 
 impl ServerConfig {
@@ -71,6 +88,10 @@ impl ServerConfig {
             drain_deadline: Duration::from_secs(60),
             request_log: true,
             kernel_threads: 1,
+            reactor: false,
+            batch_max: 1,
+            tenant_policy: TenantPolicy::default(),
+            done_retention: 64,
         }
     }
 }
@@ -101,17 +122,18 @@ struct JobEntry {
     status: JobStatus,
 }
 
-/// State shared between the accept loop, connection handlers and
-/// workers.
-struct Shared {
-    queue: BoundedQueue<QueuedJob>,
+/// State shared between the connection front-ends (blocking accept
+/// loop or epoll reactor), connection handlers and workers.
+pub(crate) struct Shared {
+    queue: FairQueue<QueuedJob>,
+    governor: TenantGovernor,
     registry: Mutex<BTreeMap<u64, JobEntry>>,
     next_id: AtomicU64,
     accepting: AtomicBool,
-    stop_requested: AtomicBool,
+    pub(crate) stop_requested: AtomicBool,
     in_flight: Mutex<usize>,
     idle: Condvar,
-    metrics: Metrics,
+    pub(crate) metrics: Metrics,
     cache_totals: Mutex<CacheStats>,
     store: CampaignStore,
     zoo: ModelZoo,
@@ -121,6 +143,7 @@ struct Shared {
     request_log_path: Option<PathBuf>,
     request_log: Mutex<()>,
     kernel_threads: usize,
+    batch_max: usize,
 }
 
 impl Shared {
@@ -143,7 +166,7 @@ impl Shared {
     }
 
     /// Appends one request record to `requests.jsonl`.
-    fn log_request(&self, method: &str, path: &str, status: u16, elapsed: Duration) {
+    pub(crate) fn log_request(&self, method: &str, path: &str, status: u16, elapsed: Duration) {
         let Some(log_path) = &self.request_log_path else { return };
         let unix_ms = SystemTime::now()
             .duration_since(SystemTime::UNIX_EPOCH)
@@ -205,7 +228,8 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            queue: BoundedQueue::new(config.queue_capacity),
+            queue: FairQueue::new(config.queue_capacity),
+            governor: TenantGovernor::new(config.tenant_policy),
             registry: Mutex::new(BTreeMap::new()),
             next_id: AtomicU64::new(1),
             accepting: AtomicBool::new(true),
@@ -222,6 +246,7 @@ impl Server {
             job_log: Mutex::new(()),
             request_log: Mutex::new(()),
             kernel_threads: config.kernel_threads,
+            batch_max: config.batch_max.max(1),
         });
 
         // Workers start before recovery so replayed jobs beyond the
@@ -232,12 +257,9 @@ impl Server {
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
-        recover_jobs(&shared)?;
+        recover_jobs(&shared, config.done_retention)?;
 
-        let accept_handle = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(&listener, &shared))
-        };
+        let accept_handle = spawn_front_end(config.reactor, listener, Arc::clone(&shared))?;
         Ok(Server {
             shared,
             addr,
@@ -308,14 +330,51 @@ impl Server {
     }
 }
 
-/// Replays `jobs.jsonl` into the registry and queue.
-fn recover_jobs(shared: &Arc<Shared>) -> io::Result<()> {
+/// Spawns the connection front-end: the epoll reactor when requested
+/// and available, the blocking thread-per-connection accept loop
+/// otherwise.
+#[cfg(unix)]
+fn spawn_front_end(
+    reactor: bool,
+    listener: TcpListener,
+    shared: Arc<Shared>,
+) -> io::Result<std::thread::JoinHandle<()>> {
+    if reactor {
+        if let Ok(poller) = bea_reactor::Poller::new() {
+            listener.set_nonblocking(true)?;
+            return Ok(std::thread::spawn(move || crate::reactor::run(listener, shared, poller)));
+        }
+    }
+    Ok(std::thread::spawn(move || accept_loop(&listener, &shared)))
+}
+
+/// Off Unix there is no epoll; the blocking front-end serves.
+#[cfg(not(unix))]
+fn spawn_front_end(
+    _reactor: bool,
+    listener: TcpListener,
+    shared: Arc<Shared>,
+) -> io::Result<std::thread::JoinHandle<()>> {
+    Ok(std::thread::spawn(move || accept_loop(&listener, &shared)))
+}
+
+/// Replays `jobs.jsonl` into the registry and queue, compacting the
+/// log on the way.
+///
+/// Without compaction the append-only log grows by one record per
+/// accepted job forever. On startup, records whose cells are already
+/// persisted (the job is `done`) are dropped from the log — except the
+/// newest `done_retention`, which are kept so recently finished jobs
+/// still report `done` after a restart. Pending records are always
+/// kept; replay behaviour for them is unchanged.
+fn recover_jobs(shared: &Arc<Shared>, done_retention: usize) -> io::Result<()> {
     let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
     let text = match std::fs::read_to_string(&shared.job_log_path) {
         Ok(text) => text,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
         Err(e) => return Err(e),
     };
+    let mut records: Vec<(u64, AttackJob, bool)> = Vec::new();
     let mut max_id = 0u64;
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
         let record = bea_core::telemetry::parse_json(line)
@@ -330,6 +389,11 @@ fn recover_jobs(shared: &Arc<Shared>) -> io::Result<()> {
             .map_err(|e| invalid(format!("corrupt logged job {id}: {e}")))?;
         max_id = max_id.max(id);
         let done = shared.store.cell_path(&job.cell_spec()).exists();
+        records.push((id, job, done));
+    }
+    compact_job_log(shared, &records, done_retention)?;
+
+    for (id, job, done) in records {
         let status = if done { JobStatus::Done } else { JobStatus::Queued };
         shared
             .registry
@@ -337,11 +401,16 @@ fn recover_jobs(shared: &Arc<Shared>) -> io::Result<()> {
             .expect("registry lock")
             .insert(id, JobEntry { job: job.clone(), status });
         if !done {
-            // Block until the running workers make room; recovery
-            // re-admits everything the previous process accepted.
+            // Recovered jobs re-occupy their tenant's quota (they were
+            // rate-limited at original admission, so no token is spent)
+            // and then block until the running workers make room;
+            // recovery re-admits everything the previous process
+            // accepted.
+            shared.governor.occupy(&job.tenant);
+            let tenant = job.tenant.clone();
             let mut item = QueuedJob { id, job };
             loop {
-                match shared.queue.try_push(item) {
+                match shared.queue.try_push(&tenant, item) {
                     Ok(()) => break,
                     Err(PushError::Full(back)) => {
                         item = back;
@@ -355,6 +424,42 @@ fn recover_jobs(shared: &Arc<Shared>) -> io::Result<()> {
     let next = shared.next_id.load(Ordering::SeqCst).max(max_id + 1);
     shared.next_id.store(next, Ordering::SeqCst);
     Ok(())
+}
+
+/// Rewrites `jobs.jsonl` keeping every pending record plus the newest
+/// `done_retention` done records, preserving record order. A no-op
+/// when nothing would be dropped. The rewrite goes through a temp file
+/// and rename so a crash mid-compaction leaves the old log intact.
+fn compact_job_log(
+    shared: &Arc<Shared>,
+    records: &[(u64, AttackJob, bool)],
+    done_retention: usize,
+) -> io::Result<()> {
+    let done_total = records.iter().filter(|(_, _, done)| *done).count();
+    if done_total <= done_retention {
+        return Ok(());
+    }
+    let mut drop_budget = done_total - done_retention;
+    let mut kept = String::new();
+    for (id, job, done) in records {
+        // Records drop oldest-first: the budget consumes leading done
+        // records, keeping the `done_retention` newest.
+        if *done && drop_budget > 0 {
+            drop_budget -= 1;
+            continue;
+        }
+        let line = JsonObject::new()
+            .string("type", "job")
+            .integer("id", *id)
+            .raw("job", &job.to_json())
+            .finish();
+        kept.push_str(&line);
+        kept.push('\n');
+    }
+    let tmp_path = shared.job_log_path.with_extension("jsonl.tmp");
+    let _guard = shared.job_log.lock().expect("job log lock");
+    std::fs::write(&tmp_path, kept)?;
+    std::fs::rename(&tmp_path, &shared.job_log_path)
 }
 
 /// Accepts connections until shutdown, one handler thread each.
@@ -399,12 +504,12 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
 }
 
 /// A JSON error body.
-fn error_response(status: u16, message: &str) -> Response {
+pub(crate) fn error_response(status: u16, message: &str) -> Response {
     Response::json(status, &JsonObject::new().string("error", message).finish())
 }
 
 /// Dispatches one request to its endpoint.
-fn route(request: &Request, shared: &Arc<Shared>) -> (&'static str, Response) {
+pub(crate) fn route(request: &Request, shared: &Arc<Shared>) -> (&'static str, Response) {
     let path = request.path.split('?').next().unwrap_or("");
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => ("GET /healthz", healthz(shared)),
@@ -470,6 +575,13 @@ fn submit(request: &Request, shared: &Shared) -> Response {
     if let Err(e) = job.materialize_image(&shared.dataset) {
         return error_response(400, &e);
     }
+    // Tenant admission (rate limit, then quota) runs before the queue:
+    // a rate-limited tenant is refused even when the queue has room.
+    if let Err(refusal) = shared.governor.try_admit(&job.tenant, Instant::now()) {
+        shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+        return error_response(429, &refusal.message())
+            .with_header("Retry-After", &refusal.retry_after_secs().to_string());
+    }
     let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
     // Register before pushing: a worker may pop the job immediately.
     shared
@@ -477,11 +589,12 @@ fn submit(request: &Request, shared: &Shared) -> Response {
         .lock()
         .expect("registry lock")
         .insert(id, JobEntry { job: job.clone(), status: JobStatus::Queued });
-    match shared.queue.try_push(QueuedJob { id, job: job.clone() }) {
+    match shared.queue.try_push(&job.tenant, QueuedJob { id, job: job.clone() }) {
         Ok(()) => {
             // Log after a successful push so rejected jobs never replay.
             if let Err(e) = shared.log_job(id, &job) {
                 shared.registry.lock().expect("registry lock").remove(&id);
+                shared.governor.release(&job.tenant);
                 return error_response(500, &format!("job log write failed: {e}"));
             }
             shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
@@ -494,11 +607,13 @@ fn submit(request: &Request, shared: &Shared) -> Response {
         }
         Err(PushError::Full(_)) => {
             shared.registry.lock().expect("registry lock").remove(&id);
+            shared.governor.release(&job.tenant);
             shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
             error_response(429, "queue full, retry later").with_header("Retry-After", "1")
         }
         Err(PushError::Closed(_)) => {
             shared.registry.lock().expect("registry lock").remove(&id);
+            shared.governor.release(&job.tenant);
             error_response(503, "server is shutting down")
         }
     }
@@ -547,39 +662,103 @@ fn job_csv(id_text: &str, shared: &Shared) -> Response {
     }
 }
 
-/// One worker: pop, run, persist, account.
+/// Two queued jobs may share one gate group when they hit the same
+/// model with the same kernels and neither evaluates through the
+/// inference cache. The cached path runs `detect_masked_batch` against
+/// a single clean frame, which cannot stack across jobs; the uncached
+/// path materialises arbitrary perturbed images, which can.
+fn batchable(a: &QueuedJob, b: &QueuedJob) -> bool {
+    !a.job.use_cache
+        && !b.job.use_cache
+        && a.job.arch == b.job.arch
+        && a.job.model_seed == b.job.model_seed
+        && a.job.kernel_policy == b.job.kernel_policy
+}
+
+/// One worker: pop a compatible group, run it (batched when the group
+/// has company), persist, account.
 fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(queued) = shared.queue.pop() {
-        shared.set_status(queued.id, JobStatus::Running);
-        *shared.in_flight.lock().expect("in-flight lock") += 1;
-        let result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(shared, &queued.job)))
-                .unwrap_or_else(|panic| {
-                    let message = panic
-                        .downcast_ref::<String>()
-                        .cloned()
-                        .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
-                        .unwrap_or_else(|| "attack panicked".to_string());
-                    Err(format!("panic: {message}"))
-                });
-        match result {
-            Ok(cache) => {
-                if let Some(cache) = cache {
-                    shared.cache_totals.lock().expect("cache totals lock").merge(&cache);
-                }
-                shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
-                shared.set_status(queued.id, JobStatus::Done);
-            }
-            Err(message) => {
-                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
-                shared.set_status(queued.id, JobStatus::Failed(message));
-            }
+    while let Some(group) = shared.queue.pop_group(shared.batch_max, batchable) {
+        for queued in &group {
+            shared.set_status(queued.id, JobStatus::Running);
+        }
+        *shared.in_flight.lock().expect("in-flight lock") += group.len();
+        let released = group.len();
+        if group.len() == 1 {
+            let queued = &group[0];
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_job(shared, &queued.job)
+            }))
+            .unwrap_or_else(|panic| Err(panic_message(panic)));
+            finish_job(shared, queued, outcome);
+        } else {
+            run_group(shared, &group);
         }
         let mut in_flight = shared.in_flight.lock().expect("in-flight lock");
-        *in_flight -= 1;
+        *in_flight -= released;
         drop(in_flight);
         shared.idle.notify_all();
     }
+}
+
+/// Renders a caught panic payload into a failure message.
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    let message = panic
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "attack panicked".to_string());
+    format!("panic: {message}")
+}
+
+/// Books one finished job: cache counters, metrics, status, tenant
+/// release.
+fn finish_job(shared: &Shared, queued: &QueuedJob, outcome: Result<Option<CacheStats>, String>) {
+    match outcome {
+        Ok(cache) => {
+            if let Some(cache) = cache {
+                shared.cache_totals.lock().expect("cache totals lock").merge(&cache);
+            }
+            shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            shared.set_status(queued.id, JobStatus::Done);
+        }
+        Err(message) => {
+            shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            shared.set_status(queued.id, JobStatus::Failed(message));
+        }
+    }
+    shared.governor.release(&queued.job.tenant);
+}
+
+/// Runs a multi-job gate group: one shared detector, one member thread
+/// per job, per-generation forward passes merged by the [`BatchGate`].
+///
+/// Every member runs its own single-cell campaign with `threads = 1`
+/// (the group is the parallelism; the gate requires one post per member
+/// per round), so each job's CSV is byte-identical to a solo run — the
+/// union pass is a pure speed knob by the `detect_batch` contract.
+fn run_group(shared: &Arc<Shared>, group: &[QueuedJob]) {
+    let lead = &group[0].job;
+    let zoo = shared.zoo.clone().with_kernel_policy(lead.kernel_policy);
+    let gate = BatchGate::new(zoo.model(lead.arch, lead.model_seed), group.len());
+    std::thread::scope(|scope| {
+        for (member, queued) in group.iter().enumerate() {
+            let detector = gate.member(member);
+            let gate_ref = &gate;
+            scope.spawn(move || {
+                // `detector` moves into the catch_unwind closure; if
+                // the attack panics, unwinding drops it, the member
+                // departs the gate and the rest of the group carries
+                // on.
+                let _ = gate_ref;
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_job_gated(shared, &queued.job, detector)
+                }))
+                .unwrap_or_else(|panic| Err(panic_message(panic)));
+                finish_job(shared, queued, outcome);
+            });
+        }
+    });
 }
 
 /// Runs one job as a single-cell campaign and persists its rows.
@@ -613,6 +792,50 @@ fn run_job(shared: &Shared, job: &AttackJob) -> Result<Option<CacheStats>, Strin
             } else {
                 zoo.model(arch, cell.model_seed)
             }
+        },
+        |_cell| image.clone(),
+    );
+    let cell = &result.cells[0];
+    shared
+        .store
+        .save_cell(&spec, &cell.rows)
+        .map_err(|e| format!("persisting cell failed: {e}"))?;
+    Ok(cell.outcome.as_ref().and_then(|o| o.cache_stats()))
+}
+
+/// Runs one job of a gate group through its [`GateDetector`] handle.
+///
+/// Identical to [`run_job`] except the detector is the gate member and
+/// the attack is pinned to one thread: the gate needs exactly one
+/// `detect_batch` post per member per generation, and the group itself
+/// is the parallelism.
+fn run_job_gated(
+    shared: &Shared,
+    job: &AttackJob,
+    detector: GateDetector,
+) -> Result<Option<CacheStats>, String> {
+    let image = job.materialize_image(&shared.dataset)?;
+    let spec = job.cell_spec();
+    let mut attack = job.attack_config();
+    attack.threads = 1;
+    let campaign = Campaign::new(CampaignConfig {
+        attack,
+        base_seed: job.base_seed,
+        jobs: 1,
+        telemetry: false,
+    });
+    // `detector_for` is `Fn` but this campaign visits exactly one cell,
+    // so the member handle is moved out of a slot on first (only) call.
+    let slot: Mutex<Option<GateDetector>> = Mutex::new(Some(detector));
+    let result = campaign.run(
+        std::slice::from_ref(&spec),
+        |_cell| {
+            let member = slot
+                .lock()
+                .expect("gate member slot lock")
+                .take()
+                .expect("single-cell campaign requested a second detector");
+            Box::new(member) as Box<dyn Detector>
         },
         |_cell| image.clone(),
     );

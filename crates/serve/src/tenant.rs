@@ -1,0 +1,269 @@
+//! Multi-tenant admission control: per-tenant token buckets and
+//! in-system quotas.
+//!
+//! The governor sits between request parsing and the job queue. Each
+//! tenant owns a token bucket (capacity `burst`, refilled at `rate`
+//! tokens per second); a submission spends one token or is rate-limited
+//! with a computed `Retry-After`. Independently, each tenant is capped
+//! at `quota` jobs *in the system* (queued or running) so one tenant
+//! cannot occupy the whole queue even while under its rate.
+//!
+//! The governor is pure bookkeeping over an injected clock — admission
+//! decisions take the current [`Instant`] as an argument, so tests
+//! drive time explicitly and the semantics stay deterministic.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Per-tenant admission policy. Zero disables the corresponding check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantPolicy {
+    /// Token-bucket refill rate, submissions per second (`0.0` =
+    /// unlimited rate).
+    pub rate: f64,
+    /// Token-bucket capacity: how many submissions may burst after an
+    /// idle period. Clamped to at least 1 token when rate limiting is
+    /// on.
+    pub burst: f64,
+    /// Maximum jobs a tenant may have queued or running at once (`0` =
+    /// unlimited).
+    pub quota: usize,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        Self { rate: 0.0, burst: 1.0, quota: 0 }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The tenant's bucket is empty; retry after the given whole number
+    /// of seconds (at least 1, suitable for a `Retry-After` header).
+    RateLimited {
+        /// Whole seconds until a token is available.
+        retry_after_secs: u64,
+    },
+    /// The tenant already has `quota` jobs queued or running.
+    QuotaExceeded {
+        /// The configured quota that was hit.
+        quota: usize,
+    },
+}
+
+impl AdmitError {
+    /// The `Retry-After` value to answer with.
+    pub fn retry_after_secs(&self) -> u64 {
+        match self {
+            AdmitError::RateLimited { retry_after_secs } => *retry_after_secs,
+            // Quota frees up when a job finishes; 1s is the poll hint.
+            AdmitError::QuotaExceeded { .. } => 1,
+        }
+    }
+
+    /// A human-readable refusal message.
+    pub fn message(&self) -> String {
+        match self {
+            AdmitError::RateLimited { retry_after_secs } => {
+                format!("tenant rate limit exceeded, retry in {retry_after_secs}s")
+            }
+            AdmitError::QuotaExceeded { quota } => {
+                format!("tenant quota of {quota} in-system jobs exceeded")
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TenantState {
+    /// Fractional tokens currently in the bucket.
+    tokens: f64,
+    /// When the bucket was last refilled.
+    refilled: Instant,
+    /// Jobs currently queued or running.
+    in_system: usize,
+}
+
+/// The admission governor. See the [module docs](self).
+#[derive(Debug)]
+pub struct TenantGovernor {
+    policy: TenantPolicy,
+    tenants: Mutex<HashMap<String, TenantState>>,
+}
+
+impl TenantGovernor {
+    /// A governor applying `policy` to every tenant.
+    pub fn new(policy: TenantPolicy) -> Self {
+        Self { policy, tenants: Mutex::new(HashMap::new()) }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> TenantPolicy {
+        self.policy
+    }
+
+    /// Admits one submission for `tenant` at time `now`: checks the
+    /// quota, then spends a token. On success the tenant's in-system
+    /// count is incremented — pair every success with a later
+    /// [`TenantGovernor::release`].
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::QuotaExceeded`] before any token is spent, or
+    /// [`AdmitError::RateLimited`] with a retry hint.
+    pub fn try_admit(&self, tenant: &str, now: Instant) -> Result<(), AdmitError> {
+        let mut tenants = self.tenants.lock().expect("governor lock");
+        let burst = self.policy.burst.max(1.0);
+        let state = tenants.entry(tenant.to_string()).or_insert_with(|| TenantState {
+            tokens: burst,
+            refilled: now,
+            in_system: 0,
+        });
+        if self.policy.quota > 0 && state.in_system >= self.policy.quota {
+            return Err(AdmitError::QuotaExceeded { quota: self.policy.quota });
+        }
+        if self.policy.rate > 0.0 {
+            let elapsed = now.saturating_duration_since(state.refilled).as_secs_f64();
+            state.tokens = (state.tokens + elapsed * self.policy.rate).min(burst);
+            state.refilled = now;
+            if state.tokens < 1.0 {
+                let wait = (1.0 - state.tokens) / self.policy.rate;
+                return Err(AdmitError::RateLimited {
+                    retry_after_secs: (wait.ceil() as u64).max(1),
+                });
+            }
+            state.tokens -= 1.0;
+        }
+        state.in_system += 1;
+        Ok(())
+    }
+
+    /// Counts an already-admitted job (restart recovery) against the
+    /// tenant's quota without spending a token: recovered jobs were
+    /// rate-limited when they were first accepted.
+    pub fn occupy(&self, tenant: &str) {
+        let mut tenants = self.tenants.lock().expect("governor lock");
+        let burst = self.policy.burst.max(1.0);
+        let state = tenants.entry(tenant.to_string()).or_insert_with(|| TenantState {
+            tokens: burst,
+            refilled: Instant::now(),
+            in_system: 0,
+        });
+        state.in_system += 1;
+    }
+
+    /// Releases one in-system slot for `tenant` (job finished, failed,
+    /// or was rolled back after a failed enqueue).
+    pub fn release(&self, tenant: &str) {
+        let mut tenants = self.tenants.lock().expect("governor lock");
+        if let Some(state) = tenants.get_mut(tenant) {
+            state.in_system = state.in_system.saturating_sub(1);
+        }
+    }
+
+    /// Jobs `tenant` currently has queued or running.
+    pub fn in_system(&self, tenant: &str) -> usize {
+        let tenants = self.tenants.lock().expect("governor lock");
+        tenants.get(tenant).map_or(0, |state| state.in_system)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unlimited_policy_admits_everything() {
+        let governor = TenantGovernor::new(TenantPolicy::default());
+        let now = Instant::now();
+        for _ in 0..1000 {
+            governor.try_admit("a", now).expect("unlimited");
+        }
+        assert_eq!(governor.in_system("a"), 1000);
+    }
+
+    #[test]
+    fn token_bucket_limits_bursts_and_refills_over_time() {
+        let policy = TenantPolicy { rate: 2.0, burst: 3.0, quota: 0 };
+        let governor = TenantGovernor::new(policy);
+        let t0 = Instant::now();
+        // The initial burst allowance is exactly `burst` tokens.
+        for _ in 0..3 {
+            governor.try_admit("a", t0).expect("within burst");
+        }
+        let refused = governor.try_admit("a", t0).expect_err("bucket empty");
+        assert!(matches!(refused, AdmitError::RateLimited { retry_after_secs: 1 }), "{refused:?}");
+        assert!(refused.message().contains("rate limit"), "{}", refused.message());
+        // 500ms at 2 tokens/s refills one token.
+        let t1 = t0 + Duration::from_millis(500);
+        governor.try_admit("a", t1).expect("refilled one token");
+        governor.try_admit("a", t1).expect_err("only one refilled");
+        // A long idle period refills to the burst cap, never beyond.
+        let t2 = t1 + Duration::from_secs(60);
+        for _ in 0..3 {
+            governor.try_admit("a", t2).expect("refilled to burst");
+        }
+        governor.try_admit("a", t2).expect_err("capped at burst");
+    }
+
+    #[test]
+    fn tenants_have_independent_buckets() {
+        let policy = TenantPolicy { rate: 1.0, burst: 1.0, quota: 0 };
+        let governor = TenantGovernor::new(policy);
+        let now = Instant::now();
+        governor.try_admit("a", now).expect("a's token");
+        governor.try_admit("a", now).expect_err("a is dry");
+        governor.try_admit("b", now).expect("b has its own bucket");
+    }
+
+    #[test]
+    fn quota_bounds_in_system_jobs_and_releases_free_slots() {
+        let policy = TenantPolicy { rate: 0.0, burst: 1.0, quota: 2 };
+        let governor = TenantGovernor::new(policy);
+        let now = Instant::now();
+        governor.try_admit("a", now).expect("slot 1");
+        governor.try_admit("a", now).expect("slot 2");
+        let refused = governor.try_admit("a", now).expect_err("quota hit");
+        assert_eq!(refused, AdmitError::QuotaExceeded { quota: 2 });
+        assert_eq!(refused.retry_after_secs(), 1);
+        assert!(refused.message().contains("quota"), "{}", refused.message());
+        // Quota refusal must not burn a rate token (checked first).
+        governor.release("a");
+        governor.try_admit("a", now).expect("slot freed");
+        assert_eq!(governor.in_system("a"), 2);
+        // Releasing an unknown tenant is a no-op, not a panic.
+        governor.release("ghost");
+        assert_eq!(governor.in_system("ghost"), 0);
+    }
+
+    #[test]
+    fn occupy_counts_against_quota_without_spending_tokens() {
+        let policy = TenantPolicy { rate: 1.0, burst: 1.0, quota: 2 };
+        let governor = TenantGovernor::new(policy);
+        governor.occupy("a");
+        governor.occupy("a");
+        assert_eq!(governor.in_system("a"), 2);
+        let now = Instant::now();
+        // Quota full from recovery; the bucket is untouched.
+        assert!(matches!(
+            governor.try_admit("a", now),
+            Err(AdmitError::QuotaExceeded { quota: 2 })
+        ));
+        governor.release("a");
+        governor.try_admit("a", now).expect("token still available after recovery");
+    }
+
+    #[test]
+    fn retry_after_scales_with_the_deficit() {
+        // 0.2 tokens/s: an empty bucket needs 5s for the next token.
+        let policy = TenantPolicy { rate: 0.2, burst: 1.0, quota: 0 };
+        let governor = TenantGovernor::new(policy);
+        let now = Instant::now();
+        governor.try_admit("a", now).expect("initial token");
+        let refused = governor.try_admit("a", now).expect_err("dry");
+        assert_eq!(refused, AdmitError::RateLimited { retry_after_secs: 5 });
+    }
+}

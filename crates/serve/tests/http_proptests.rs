@@ -1,0 +1,180 @@
+//! Property tests for the incremental HTTP request parser.
+//!
+//! The reactor feeds the parser whatever byte slices the kernel hands
+//! it, so the parser's one load-bearing invariant is *chunking
+//! invariance*: any split of the byte stream — down to one byte at a
+//! time — must produce exactly the requests (or exactly the error) that
+//! feeding the whole stream at once produces. The properties below
+//! drive randomly generated requests, pipelined bursts and oversized
+//! inputs through random chunkings and compare against the one-shot
+//! parse.
+
+use bea_serve::http::{RequestParser, MAX_HEADERS, MAX_LINE_BYTES};
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+const MAX_BODY: usize = 64 * 1024;
+
+/// A generated request: its wire bytes plus the expectations.
+#[derive(Debug, Clone)]
+struct WireRequest {
+    bytes: Vec<u8>,
+    path: String,
+    body: Vec<u8>,
+    header_count: usize,
+}
+
+/// Renders a syntactically valid request from draw parameters.
+fn render_request(path_len: usize, header_count: usize, body_len: usize, fill: u8) -> WireRequest {
+    let path = format!("/{}", "p".repeat(path_len));
+    let body: Vec<u8> = (0..body_len).map(|i| fill.wrapping_add(i as u8)).collect();
+    let mut bytes = format!("POST {path} HTTP/1.1\r\n").into_bytes();
+    for k in 0..header_count {
+        bytes.extend_from_slice(format!("x-h{k}: v{k}\r\n").as_bytes());
+    }
+    bytes.extend_from_slice(format!("Content-Length: {}\r\n\r\n", body.len()).as_bytes());
+    bytes.extend_from_slice(&body);
+    WireRequest { bytes, path, body, header_count: header_count + 1 }
+}
+
+/// Splits `bytes` into chunks whose sizes are drawn from `rng` in
+/// `[1, max_chunk]`.
+fn random_chunks(bytes: &[u8], rng: &mut TestRng, max_chunk: usize) -> Vec<Vec<u8>> {
+    let mut chunks = Vec::new();
+    let mut at = 0;
+    while at < bytes.len() {
+        let take = (1 + rng.below(max_chunk as u64) as usize).min(bytes.len() - at);
+        chunks.push(bytes[at..at + take].to_vec());
+        at += take;
+    }
+    chunks
+}
+
+/// Feeds `chunks` and collects every parsed request, or the first error.
+fn parse_chunked(
+    chunks: &[Vec<u8>],
+    max_body: usize,
+) -> Result<Vec<bea_serve::http::Request>, String> {
+    let mut parser = RequestParser::new(max_body);
+    let mut requests = Vec::new();
+    for chunk in chunks {
+        parser.feed(chunk);
+        loop {
+            match parser.next_request() {
+                Ok(Some(request)) => requests.push(request),
+                Ok(None) => break,
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    }
+    Ok(requests)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn byte_at_a_time_equals_one_shot(
+        (path_len, header_count, body_len, fill) in (0usize..48, 0usize..8, 0usize..256, 0u8..=255)
+    ) {
+        let wire = render_request(path_len, header_count, body_len, fill);
+        let whole = parse_chunked(std::slice::from_ref(&wire.bytes), MAX_BODY)
+            .expect("valid request");
+        let single: Vec<Vec<u8>> = wire.bytes.iter().map(|b| vec![*b]).collect();
+        let trickled = parse_chunked(&single, MAX_BODY).expect("valid request, trickled");
+        prop_assert_eq!(whole.len(), 1);
+        prop_assert_eq!(trickled.len(), 1);
+        let (a, b) = (&whole[0], &trickled[0]);
+        prop_assert_eq!(&a.method, &b.method);
+        prop_assert_eq!(&a.path, &wire.path);
+        prop_assert_eq!(&b.path, &wire.path);
+        prop_assert_eq!(&a.body, &wire.body);
+        prop_assert_eq!(&b.body, &wire.body);
+        prop_assert_eq!(a.headers.len(), wire.header_count);
+        prop_assert_eq!(&a.headers, &b.headers);
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order_under_any_chunking(
+        (count, max_chunk, seed) in (1usize..=5, 1usize..=64, 0u64..=u64::MAX)
+    ) {
+        let mut rng = TestRng::from_seed(seed);
+        let mut stream = Vec::new();
+        let mut expected = Vec::new();
+        for k in 0..count {
+            let wire = render_request(
+                1 + rng.below(16) as usize,
+                rng.below(4) as usize,
+                rng.below(64) as usize,
+                k as u8,
+            );
+            stream.extend_from_slice(&wire.bytes);
+            expected.push(wire);
+        }
+        let chunks = random_chunks(&stream, &mut rng, max_chunk);
+        let parsed = parse_chunked(&chunks, MAX_BODY).expect("valid pipelined burst");
+        prop_assert_eq!(parsed.len(), expected.len());
+        for (request, wire) in parsed.iter().zip(&expected) {
+            prop_assert_eq!(&request.path, &wire.path);
+            prop_assert_eq!(&request.body, &wire.body);
+        }
+    }
+
+    #[test]
+    fn oversized_inputs_error_identically_under_any_chunking(
+        (kind, max_chunk, seed) in (0u8..3, 1usize..=128, 0u64..=u64::MAX)
+    ) {
+        let mut rng = TestRng::from_seed(seed);
+        // Three ways to blow a cap: a request line past MAX_LINE_BYTES,
+        // more than MAX_HEADERS headers, a body past max_body.
+        let bytes = match kind {
+            0 => format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE_BYTES + 1)).into_bytes(),
+            1 => {
+                let mut b = b"GET / HTTP/1.1\r\n".to_vec();
+                for k in 0..=MAX_HEADERS {
+                    b.extend_from_slice(format!("x-h{k}: v\r\n").as_bytes());
+                }
+                b.extend_from_slice(b"\r\n");
+                b
+            }
+            _ => format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1)
+                .into_bytes(),
+        };
+        let whole = parse_chunked(std::slice::from_ref(&bytes), MAX_BODY)
+            .expect_err("cap must trip");
+        let chunks = random_chunks(&bytes, &mut rng, max_chunk);
+        let chunked = parse_chunked(&chunks, MAX_BODY).expect_err("cap must trip mid-stream");
+        prop_assert_eq!(&whole, &chunked);
+        // The cap message names the limit, not an incidental symptom.
+        prop_assert!(
+            whole.contains("exceeds") || whole.contains("headers"),
+            "unexpected error: {whole}"
+        );
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics_and_errors_are_sticky(
+        (bytes, max_chunk) in (proptest::collection::vec(0u8..=255, 0..512), 1usize..=32)
+    ) {
+        let mut rng = TestRng::from_seed(bytes.len() as u64);
+        let chunks = random_chunks(&bytes, &mut rng, max_chunk);
+        let mut parser = RequestParser::new(MAX_BODY);
+        let mut failed = false;
+        for chunk in &chunks {
+            parser.feed(chunk);
+            loop {
+                match parser.next_request() {
+                    Ok(Some(_)) => prop_assert!(!failed, "request parsed after a failure"),
+                    Ok(None) => break,
+                    Err(_) => {
+                        failed = true;
+                        // A failed parser must keep failing, not
+                        // resynchronise mid-garbage.
+                        prop_assert!(parser.next_request().is_err());
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}

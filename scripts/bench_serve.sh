@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Serving-layer load benchmark: boots serve_cli in reactor mode on the
+# smoke dataset, drives an open-loop fan-out of concurrent connections
+# through loadgen, waits every accepted job to completion (zero
+# accepted-job loss is part of the gate), and upserts the run record
+# into BENCH_serve.json at the repo root.
+#
+# Usage: scripts/bench_serve.sh [--quick]
+#   --quick   128 connections / 512 submissions with relaxed gates
+#             (CI-sized); the default is 512 connections / 4096
+#             submissions.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:7893
+OUT=target/experiments/serve-bench
+CONNS=512
+TOTAL=4096
+QUICK_FLAG=()
+# Gates are deliberately loose: they catch collapse (a wedged reactor,
+# an accept storm, a multi-second p99 regression), not jitter.
+MIN_RPS=20
+MAX_P99_MS=20000
+if [[ "${1:-}" == "--quick" ]]; then
+    CONNS=128
+    TOTAL=512
+    QUICK_FLAG=(--quick)
+    shift
+fi
+
+cargo build --release -p bea-bench --bin serve_cli --bin loadgen
+
+rm -rf "$OUT"
+./target/release/serve_cli --addr "$ADDR" --reactor --smoke \
+    --workers 4 --queue "$CONNS" --batch 8 \
+    --tenant-rate 0 --tenant-quota 0 \
+    --out "$OUT" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+    curl -sf "http://$ADDR/healthz" >/dev/null && break
+    sleep 0.2
+done
+
+./target/release/loadgen --addr "$ADDR" \
+    --conns "$CONNS" --total "$TOTAL" --tenants 8 \
+    --bench-out "$(pwd)/BENCH_serve.json" "${QUICK_FLAG[@]}" \
+    --min-throughput "$MIN_RPS" --max-p99-ms "$MAX_P99_MS" \
+    --wait "$@"
+
+curl -sf -X POST "http://$ADDR/v1/shutdown" >/dev/null
+wait "$SERVER_PID"
+trap - EXIT
