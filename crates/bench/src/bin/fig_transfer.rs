@@ -1,0 +1,191 @@
+//! **E15 — transfer heatmap**: renders a finished transfer matrix as a
+//! source × target heatmap table plus machine-readable artifacts.
+//!
+//! ```text
+//! cargo run --release -p bea-bench --bin fig_transfer -- \
+//!     --matrix target/experiments/transfer
+//! ```
+//!
+//! Reads the `matrix.csv` written by `transfer_cli`, prints the
+//! degradation heatmap (diagonal cells marked `*` — they reproduce the
+//! source campaign's champion fitness bit-for-bit), and writes
+//!
+//! * `target/experiments/fig_transfer.csv` — the matrix rows re-encoded
+//!   through the canonical writer (byte-identical to the store's CSV),
+//! * `target/experiments/fig_transfer.json` — one summary JSON record
+//!   per line, every line checked by the telemetry JSON validator
+//!   before it is written (the binary fails hard on an invalid line).
+
+use bea_bench::{fmt, output_dir};
+use bea_core::telemetry::{self, JsonObject};
+use bea_core::transfer::{read_matrix_csv, write_matrix_csv, TransferRow};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn parse_args() -> Result<PathBuf, String> {
+    let mut matrix = PathBuf::from("target/experiments/transfer");
+    let mut args = bea_bench::args::ArgParser::from_env();
+    while let Some(flag) = args.next_flag() {
+        match flag.as_str() {
+            "--matrix" => matrix = PathBuf::from(args.value(&flag)?),
+            "--help" | "-h" => {
+                return Err("usage: fig_transfer [--matrix DIR]\n\
+                            --matrix names a transfer_cli output directory (reads its \
+                            matrix.csv)"
+                    .into())
+            }
+            other => return Err(bea_bench::args::unknown_flag(other)),
+        }
+    }
+    Ok(matrix)
+}
+
+/// One heatmap column label: `YOLO s1 plain`.
+fn column_label(row: &TransferRow) -> String {
+    format!("{} s{} {}", row.spec.target_group, row.spec.target_seed, row.spec.path.token())
+}
+
+/// One heatmap row label: `YOLO s1 i0`.
+fn row_label(row: &TransferRow) -> String {
+    format!(
+        "{} s{} i{}",
+        row.spec.source.group, row.spec.source.model_seed, row.spec.source.image_index
+    )
+}
+
+fn main() -> ExitCode {
+    let matrix_dir = match parse_args() {
+        Ok(dir) => dir,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let csv_path = matrix_dir.join("matrix.csv");
+    let rows = match std::fs::File::open(&csv_path)
+        .map_err(|e| e.to_string())
+        .and_then(|f| read_matrix_csv(std::io::BufReader::new(f)).map_err(|e| e.to_string()))
+    {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("cannot read {}: {e} — run transfer_cli first", csv_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if rows.is_empty() {
+        eprintln!("{} holds no cells", csv_path.display());
+        return ExitCode::FAILURE;
+    }
+
+    // Source-major heatmap. The grid is source-major already, so labels
+    // appear in first-seen order and stay aligned with the CSV.
+    let mut sources = Vec::new();
+    let mut targets = Vec::new();
+    for row in &rows {
+        let source = row_label(row);
+        if !sources.contains(&source) {
+            sources.push(source);
+        }
+        let target = column_label(row);
+        if !targets.contains(&target) {
+            targets.push(target);
+        }
+    }
+    let mut grid = vec![vec![String::from("-"); targets.len()]; sources.len()];
+    for row in &rows {
+        let i = sources.iter().position(|s| *s == row_label(row)).expect("source listed");
+        let j = targets.iter().position(|t| *t == column_label(row)).expect("target listed");
+        let mark = if row.spec.is_diagonal() { "*" } else { "" };
+        grid[i][j] = format!("{}{mark}", fmt(row.metrics.degradation, 3));
+    }
+    println!("transferred degradation (1 - target fitness); * = identity diagonal");
+    let mut header: Vec<&str> = vec!["source \\ target"];
+    header.extend(targets.iter().map(String::as_str));
+    let table: Vec<Vec<String>> = sources
+        .iter()
+        .zip(&grid)
+        .map(|(s, cells)| {
+            let mut line = vec![s.clone()];
+            line.extend(cells.iter().cloned());
+            line
+        })
+        .collect();
+    bea_core::report::print_table(&header, &table);
+
+    // Per-target-group means over off-diagonal cells (the asymmetry
+    // readout the paper's transfer discussion is about).
+    let mut groups: Vec<String> = Vec::new();
+    for row in &rows {
+        if !groups.contains(&row.spec.target_group) {
+            groups.push(row.spec.target_group.clone());
+        }
+    }
+    groups.sort();
+    let group_mean = |group: &str| -> (usize, f64) {
+        let cells: Vec<_> =
+            rows.iter().filter(|r| r.spec.target_group == group && !r.spec.is_diagonal()).collect();
+        let mean =
+            cells.iter().map(|r| r.metrics.degradation).sum::<f64>() / cells.len().max(1) as f64;
+        (cells.len(), mean)
+    };
+
+    // Machine-readable artifacts. Every JSON line passes the telemetry
+    // validator before it reaches the file — an invalid line is a bug.
+    let out_csv = output_dir().join("fig_transfer.csv");
+    let file = std::fs::File::create(&out_csv).expect("create csv");
+    write_matrix_csv(&rows, std::io::BufWriter::new(file)).expect("write csv");
+    println!("wrote {}", out_csv.display());
+
+    let mut lines = Vec::new();
+    for row in &rows {
+        lines.push(
+            JsonObject::new()
+                .string("type", "fig-transfer-cell")
+                .string("source_group", &row.spec.source.group)
+                .integer("source_seed", row.spec.source.model_seed)
+                .integer("source_image", row.spec.source.image_index as u64)
+                .string("target_group", &row.spec.target_group)
+                .integer("target_seed", row.spec.target_seed)
+                .string("target_path", row.spec.path.token())
+                .boolean("diagonal", row.spec.is_diagonal())
+                .float("degradation", row.metrics.degradation)
+                .float("delta", row.metrics.delta)
+                .float("per_l2", row.metrics.normalized.per_l2)
+                .finish(),
+        );
+    }
+    let mut summary = JsonObject::new()
+        .string("type", "fig-transfer-summary")
+        .integer("cells", rows.len() as u64);
+    let mut rendered_groups = Vec::new();
+    for group in &groups {
+        let (count, mean) = group_mean(group);
+        rendered_groups.push(format!(
+            "{{\"group\":\"{}\",\"off_diagonal_cells\":{count},\"mean_degradation\":{}}}",
+            telemetry::escape(group),
+            telemetry::number(mean),
+        ));
+    }
+    summary = summary.raw("targets", &format!("[{}]", rendered_groups.join(",")));
+    if groups.iter().any(|g| g == "DETR") && groups.iter().any(|g| g == "YOLO") {
+        summary =
+            summary.float("asymmetry_detr_minus_yolo", group_mean("DETR").1 - group_mean("YOLO").1);
+    }
+    lines.push(summary.finish());
+
+    let out_json = output_dir().join("fig_transfer.json");
+    for line in &lines {
+        if let Err(e) = telemetry::validate_json(line) {
+            eprintln!("internal error: artifact line failed JSON validation: {e}\n  {line}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut file = std::io::BufWriter::new(std::fs::File::create(&out_json).expect("create json"));
+    for line in &lines {
+        writeln!(file, "{line}").expect("write json");
+    }
+    file.flush().expect("flush json");
+    println!("wrote {} ({} validated records)", out_json.display(), lines.len());
+    ExitCode::SUCCESS
+}

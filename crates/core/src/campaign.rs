@@ -22,14 +22,13 @@
 //!    where it stopped.
 
 use crate::attack::{AttackConfig, AttackOutcome, ButterflyAttack};
+use crate::grid::{fnv1a, resolve_jobs, run_sharded};
 use crate::report::{champion_rows, front_rows, read_csv, write_csv, AttackRow};
 use crate::telemetry::{self, JsonObject};
 use bea_detect::Detector;
-use bea_image::Image;
+use bea_image::{FilterMask, Image};
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// One grid cell: which group (architecture), model seed and image to
 /// attack.
@@ -231,6 +230,7 @@ impl CampaignStore {
     pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
         let root = root.into();
         std::fs::create_dir_all(root.join("cells"))?;
+        std::fs::create_dir_all(root.join("masks"))?;
         Ok(Self { root })
     }
 
@@ -244,21 +244,48 @@ impl CampaignStore {
     /// (separators, quotes, path characters) stay collision-free; the
     /// label itself round-trips through the CSV content, not the name.
     pub fn cell_path(&self, spec: &CellSpec) -> PathBuf {
-        let mut safe: String = spec
-            .group
-            .chars()
-            .map(
-                |c| if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') { c } else { '-' },
-            )
-            .collect();
-        safe.truncate(40);
-        if safe.is_empty() {
-            safe.push('x');
+        self.root.join("cells").join(format!("{}.csv", cell_slug(spec)))
+    }
+
+    /// Path of one cell's persisted champion mask (the `best-degrad`
+    /// genome), written alongside the cell CSV so derived evaluations —
+    /// the transfer matrix — can re-apply the exact champion without
+    /// re-running the attack.
+    pub fn mask_path(&self, spec: &CellSpec) -> PathBuf {
+        self.root.join("masks").join(format!("{}.mask", cell_slug(spec)))
+    }
+
+    /// Persists one cell's champion mask (tmp-file + rename, like
+    /// [`CampaignStore::save_cell`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save_mask(&self, spec: &CellSpec, mask: &FilterMask) -> io::Result<()> {
+        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let path = self.mask_path(spec);
+        let tmp = path.with_extension(format!("mask.tmp.{}.{seq}", std::process::id()));
+        std::fs::write(&tmp, encode_mask(mask))?;
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Loads a previously persisted champion mask, or `None` when the
+    /// cell has no stored mask (a store written before mask persistence,
+    /// or a cell whose attack produced no champion).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; a mask file that exists but does not
+    /// parse is [`io::ErrorKind::InvalidData`].
+    pub fn load_mask(&self, spec: &CellSpec) -> io::Result<Option<FilterMask>> {
+        match std::fs::read_to_string(self.mask_path(spec)) {
+            Ok(text) => decode_mask(&text)
+                .map(Some)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
         }
-        let hash = fnv1a(spec.group.as_bytes()) as u32;
-        self.root
-            .join("cells")
-            .join(format!("{safe}-s{}-i{}-{hash:08x}.csv", spec.model_seed, spec.image_index))
     }
 
     /// Path of the combined champion CSV.
@@ -285,26 +312,7 @@ impl CampaignStore {
     /// Propagates I/O failures; a manifest that exists but is not valid
     /// JSON is [`io::ErrorKind::InvalidData`].
     pub fn manifest_fingerprint(&self) -> io::Result<Option<u64>> {
-        let text = match std::fs::read_to_string(self.manifest_path()) {
-            Ok(text) => text,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(e),
-        };
-        let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
-        let manifest = telemetry::parse_json(text.trim()).map_err(|e| {
-            invalid(format!("corrupt manifest {}: {e}", self.manifest_path().display()))
-        })?;
-        match manifest.get("fingerprint") {
-            None => Ok(None),
-            Some(field) => {
-                let hex = field.as_str().ok_or_else(|| {
-                    invalid("manifest fingerprint must be a hex string".to_string())
-                })?;
-                u64::from_str_radix(hex, 16)
-                    .map(Some)
-                    .map_err(|e| invalid(format!("manifest fingerprint {hex:?}: {e}")))
-            }
-        }
+        manifest_fingerprint_at(&self.manifest_path())
     }
 
     /// Loads a previously persisted cell, or `None` when the cell has not
@@ -349,6 +357,9 @@ impl CampaignStore {
         for cell in &result.cells {
             if !cell.resumed {
                 self.save_cell(&cell.spec, &cell.rows)?;
+                if let Some(best) = cell.outcome.as_ref().and_then(|o| o.best_degradation()) {
+                    self.save_mask(&cell.spec, best.genome())?;
+                }
             }
         }
         let mut buf = Vec::new();
@@ -367,14 +378,98 @@ impl CampaignStore {
     }
 }
 
-/// FNV-1a 64-bit hash (file-name disambiguation only).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+/// Reads the `"fingerprint"` hex field out of a store manifest: `None`
+/// when the file does not exist (a fresh store) or predates
+/// fingerprinting (a legacy store, which resumes without the check).
+/// Shared by campaign and transfer stores.
+///
+/// # Errors
+///
+/// Propagates I/O failures; a manifest that exists but is not valid JSON
+/// (or carries a malformed fingerprint) is [`io::ErrorKind::InvalidData`].
+pub(crate) fn manifest_fingerprint_at(path: &Path) -> io::Result<Option<u64>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let manifest = telemetry::parse_json(text.trim())
+        .map_err(|e| invalid(format!("corrupt manifest {}: {e}", path.display())))?;
+    match manifest.get("fingerprint") {
+        None => Ok(None),
+        Some(field) => {
+            let hex = field
+                .as_str()
+                .ok_or_else(|| invalid("manifest fingerprint must be a hex string".to_string()))?;
+            u64::from_str_radix(hex, 16)
+                .map(Some)
+                .map_err(|e| invalid(format!("manifest fingerprint {hex:?}: {e}")))
+        }
     }
-    hash
+}
+
+/// A filesystem-safe, collision-free file stem for one cell: the group
+/// label sanitised plus an FNV-1a hash of the raw label, so hostile
+/// labels (separators, quotes, path characters) stay distinct; the label
+/// itself round-trips through the persisted content, not the name.
+pub(crate) fn cell_slug(spec: &CellSpec) -> String {
+    let hash = fnv1a(spec.group.as_bytes()) as u32;
+    format!("{}-s{}-i{}-{hash:08x}", sanitize_label(&spec.group), spec.model_seed, spec.image_index)
+}
+
+/// Keeps only `[A-Za-z0-9._-]` (others become `-`), truncated to 40
+/// characters, never empty.
+pub(crate) fn sanitize_label(label: &str) -> String {
+    let mut safe: String = label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') { c } else { '-' })
+        .collect();
+    safe.truncate(40);
+    if safe.is_empty() {
+        safe.push('x');
+    }
+    safe
+}
+
+/// Serialises a mask as one header line (`bea-mask v1 <width> <height>`)
+/// plus one line of space-separated channel-major gene values. Text, so
+/// stored champions stay inspectable and diffable.
+fn encode_mask(mask: &FilterMask) -> String {
+    let mut text = format!("bea-mask v1 {} {}\n", mask.width(), mask.height());
+    for (i, v) in mask.as_slice().iter().enumerate() {
+        if i > 0 {
+            text.push(' ');
+        }
+        text.push_str(&v.to_string());
+    }
+    text.push('\n');
+    text
+}
+
+/// Inverse of [`encode_mask`].
+fn decode_mask(text: &str) -> Result<FilterMask, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty mask file")?;
+    let mut parts = header.split(' ');
+    if (parts.next(), parts.next()) != (Some("bea-mask"), Some("v1")) {
+        return Err(format!("bad mask header {header:?}"));
+    }
+    let dim = |what: &str, field: Option<&str>| -> Result<usize, String> {
+        field
+            .ok_or(format!("mask header missing {what}"))?
+            .parse()
+            .map_err(|e| format!("mask {what}: {e}"))
+    };
+    let width = dim("width", parts.next())?;
+    let height = dim("height", parts.next())?;
+    let values: Vec<i16> = lines
+        .next()
+        .unwrap_or("")
+        .split_whitespace()
+        .map(|v| v.parse().map_err(|e| format!("mask gene {v:?}: {e}")))
+        .collect::<Result<_, _>>()?;
+    FilterMask::from_values(width, height, values).map_err(|e| e.to_string())
 }
 
 /// The parallel campaign runner. See the [module docs](self) for the
@@ -488,11 +583,7 @@ impl Campaign {
             }
         }
 
-        let jobs = if self.config.jobs == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        } else {
-            self.config.jobs
-        };
+        let jobs = resolve_jobs(self.config.jobs);
         // With cells sharded across workers, nested evaluation threads
         // would oversubscribe the host; sequential campaigns keep the
         // configured inner parallelism. Neither choice affects results.
@@ -528,20 +619,12 @@ impl Campaign {
             }
         }
 
-        let cursor = AtomicUsize::new(0);
-        let results: Mutex<&mut Vec<Option<CellResult>>> = Mutex::new(&mut slots);
-        let workers = jobs.min(pending.len().max(1));
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| loop {
-                    let k = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&idx) = pending.get(k) else { break };
-                    let cell = self.run_cell(&specs[idx], &attack_config, detector_for, image_for);
-                    results.lock().expect("no worker panicked holding the lock")[idx] = Some(cell);
-                });
-            }
-        })
-        .expect("campaign workers must not panic");
+        let computed = run_sharded(jobs, pending.len(), |k| {
+            self.run_cell(&specs[pending[k]], &attack_config, detector_for, image_for)
+        });
+        for (k, cell) in computed.into_iter().enumerate() {
+            slots[pending[k]] = Some(cell);
+        }
 
         let result = CampaignResult {
             cells: slots.into_iter().map(|s| s.expect("every cell filled")).collect(),

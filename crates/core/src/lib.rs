@@ -53,6 +53,7 @@ pub mod baseline;
 pub mod batch;
 pub mod campaign;
 pub mod errors;
+pub mod grid;
 pub mod init;
 pub mod job;
 pub mod objectives;
@@ -62,6 +63,7 @@ pub mod queue;
 pub mod report;
 pub mod sweep;
 pub mod telemetry;
+pub mod transfer;
 pub(crate) mod whitebox;
 
 #[cfg(test)]
@@ -74,3 +76,4 @@ pub use errors::{ErrorTransition, TransitionReport};
 pub use job::{AttackJob, ImageSpec, JobStatus};
 pub use problem::ButterflyProblem;
 pub use queue::{BoundedQueue, FairQueue, PushError};
+pub use transfer::{TargetPath, TransferCellSpec, TransferConfig, TransferGrid, TransferMatrix};

@@ -122,7 +122,7 @@ pub const CSV_HEADER: &str =
 
 /// Quotes a field per RFC 4180 when it contains a comma, quote or line
 /// break; embedded quotes are doubled. Plain fields pass through.
-fn csv_field(value: &str) -> std::borrow::Cow<'_, str> {
+pub(crate) fn csv_field(value: &str) -> std::borrow::Cow<'_, str> {
     if value.contains(['"', ',', '\n', '\r']) {
         std::borrow::Cow::Owned(format!("\"{}\"", value.replace('"', "\"\"")))
     } else {
@@ -160,7 +160,7 @@ pub fn write_csv<W: Write>(rows: &[AttackRow], mut writer: W) -> std::io::Result
 /// Splits one CSV document into records of fields, honouring RFC 4180
 /// quoting (quoted fields may contain commas, doubled quotes and line
 /// breaks). Returns an error for an unterminated quoted field.
-fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, String> {
+pub(crate) fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, String> {
     let mut records = Vec::new();
     let mut record: Vec<String> = Vec::new();
     let mut field = String::new();

@@ -91,14 +91,14 @@ impl Ensemble {
     /// clustered by class and IoU; a cluster supported by at least
     /// `quorum · K` members becomes one fused detection whose box is the
     /// support-weighted mean.
-    fn fuse(&self, predictions: &[Prediction]) -> Prediction {
+    fn fuse<P: std::borrow::Borrow<Prediction>>(&self, predictions: &[P]) -> Prediction {
         // Copy detections out of the members' predictions instead of
         // draining them via `into_vec`, which would release each member's
         // buffer from the scratch pool; all temporaries below are pooled.
-        let total: usize = predictions.iter().map(Prediction::len).sum();
+        let total: usize = predictions.iter().map(|p| p.borrow().len()).sum();
         let mut all: ScratchGuard<Detection> = ScratchGuard::with_pooled_capacity(total);
         for pred in predictions {
-            all.extend_from_slice(pred.as_slice());
+            all.extend_from_slice(pred.borrow().as_slice());
         }
         let mut used: ScratchGuard<bool> = ScratchGuard::with_pooled_capacity(all.len());
         used.resize(all.len(), false);
@@ -170,6 +170,43 @@ impl Detector for Ensemble {
     /// their dirty-region incremental path.
     fn detect_masked(&self, clean: &Image, mask: &FilterMask) -> Prediction {
         self.fuse(&self.member_predictions_masked(clean, mask))
+    }
+
+    /// One batched pass per member (members with a batchable global stage
+    /// — DETR's transformer — stack the whole batch through it), then
+    /// per-image fusion across members. `==`-identical to fusing scalar
+    /// passes, because each member's batching is bit-transparent.
+    fn detect_batch_into(&self, imgs: &[&Image], out: &mut Vec<Prediction>) {
+        out.clear();
+        let per_member: Vec<Vec<Prediction>> =
+            self.members.iter().map(|m| m.detect_batch(imgs)).collect();
+        let mut stack: Vec<&Prediction> = Vec::with_capacity(self.members.len());
+        for i in 0..imgs.len() {
+            stack.clear();
+            stack.extend(per_member.iter().map(|preds| &preds[i]));
+            out.push(self.fuse(&stack));
+        }
+    }
+
+    /// The masked-population counterpart of
+    /// [`Ensemble::detect_batch_into`]: each member evaluates the whole
+    /// mask population through its batched (and cache-aware) path once,
+    /// then every mask's member predictions fuse.
+    fn detect_masked_batch_into(
+        &self,
+        clean: &Image,
+        masks: &[&FilterMask],
+        out: &mut Vec<Prediction>,
+    ) {
+        out.clear();
+        let per_member: Vec<Vec<Prediction>> =
+            self.members.iter().map(|m| m.detect_masked_batch(clean, masks)).collect();
+        let mut stack: Vec<&Prediction> = Vec::with_capacity(self.members.len());
+        for i in 0..masks.len() {
+            stack.clear();
+            stack.extend(per_member.iter().map(|preds| &preds[i]));
+            out.push(self.fuse(&stack));
+        }
     }
 
     /// The sum of the members' cache counters, or `None` when no member
@@ -276,6 +313,35 @@ mod tests {
         // Only the first member caches; the merged stats reflect its pass.
         let stats = ensemble.cache_stats().expect("one member caches");
         assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn batched_paths_match_scalar_paths() {
+        use crate::detr::{DetrConfig, DetrDetector};
+        use crate::yolo::{YoloConfig, YoloDetector};
+        use crate::CachedDetector;
+        let members: Vec<Box<dyn Detector>> = vec![
+            Box::new(CachedDetector::new(YoloDetector::new(YoloConfig::with_seed(1)))),
+            Box::new(DetrDetector::new(DetrConfig::with_seed(2)).unwrap()),
+        ];
+        let ensemble = Ensemble::new(members);
+        let img = bea_scene::SyntheticKitti::smoke_set().image(0);
+        let other = bea_scene::SyntheticKitti::smoke_set().image(1);
+        let imgs: Vec<&Image> = vec![&img, &other];
+        let batch = ensemble.detect_batch(&imgs);
+        assert_eq!(batch.len(), 2);
+        for (i, pred) in batch.iter().enumerate() {
+            assert_eq!(pred, &ensemble.detect(imgs[i]), "image {i} must match the scalar path");
+        }
+        let mut a = FilterMask::zeros(img.width(), img.height());
+        a.set(0, 2, 3, 90);
+        let b = FilterMask::zeros(img.width(), img.height());
+        let masks: Vec<&FilterMask> = vec![&a, &b];
+        let masked = ensemble.detect_masked_batch(&img, &masks);
+        assert_eq!(masked.len(), 2);
+        for (i, pred) in masked.iter().enumerate() {
+            assert_eq!(pred, &ensemble.detect_masked(&img, masks[i]), "mask {i} must match");
+        }
     }
 
     #[test]

@@ -22,7 +22,8 @@ use crate::metrics::Metrics;
 use crate::tenant::{TenantGovernor, TenantPolicy};
 use bea_core::batch::{BatchGate, GateDetector};
 use bea_core::campaign::{Campaign, CampaignConfig, CampaignStore};
-use bea_core::telemetry::JsonObject;
+use bea_core::telemetry::{self, JsonObject};
+use bea_core::transfer::read_matrix_csv;
 use bea_core::{AttackJob, FairQueue, JobStatus, PushError};
 use bea_detect::{CacheStats, Detector, ModelZoo};
 use bea_scene::SyntheticKitti;
@@ -514,6 +515,7 @@ pub(crate) fn route(request: &Request, shared: &Arc<Shared>) -> (&'static str, R
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => ("GET /healthz", healthz(shared)),
         ("GET", "/metrics") => ("GET /metrics", metrics(shared)),
+        ("GET", "/transfer") => ("GET /transfer", transfer_summary(shared)),
         ("POST", "/v1/attacks") => ("POST /v1/attacks", submit(request, shared)),
         ("POST", "/v1/shutdown") => {
             shared.accepting.store(false, Ordering::SeqCst);
@@ -530,7 +532,7 @@ pub(crate) fn route(request: &Request, shared: &Arc<Shared>) -> (&'static str, R
                 None => ("GET /v1/attacks/{id}", job_status(rest, shared)),
             }
         }
-        (_, "/healthz" | "/metrics" | "/v1/attacks" | "/v1/shutdown") => {
+        (_, "/healthz" | "/metrics" | "/transfer" | "/v1/attacks" | "/v1/shutdown") => {
             ("method-not-allowed", error_response(405, "method not allowed"))
         }
         _ => ("not-found", error_response(404, "no such endpoint")),
@@ -556,6 +558,73 @@ fn metrics(shared: &Shared) -> Response {
         &cache,
     );
     Response::new(200).with_body("text/plain; version=0.0.4", text.into_bytes())
+}
+
+/// Summarises every transfer matrix living under the campaign store
+/// (`<store>/transfer` and its immediate subdirectories): per-matrix
+/// cell counts and per-target-group mean transferred degradation over
+/// the off-diagonal cells.
+fn transfer_summary(shared: &Shared) -> Response {
+    let base = shared.store.root().join("transfer");
+    let mut candidates: Vec<(String, PathBuf)> = vec![("transfer".to_string(), base.clone())];
+    if let Ok(entries) = std::fs::read_dir(&base) {
+        let mut children: Vec<PathBuf> =
+            entries.flatten().map(|e| e.path()).filter(|p| p.is_dir()).collect();
+        children.sort();
+        for child in children {
+            let name = child.file_name().map(|n| n.to_string_lossy().into_owned());
+            if let Some(name) = name {
+                candidates.push((format!("transfer/{name}"), child));
+            }
+        }
+    }
+    let mut rendered = Vec::new();
+    for (name, dir) in candidates {
+        let file = match std::fs::File::open(dir.join("matrix.csv")) {
+            Ok(file) => file,
+            Err(_) => continue, // not a finished matrix directory
+        };
+        let rows = match read_matrix_csv(BufReader::new(file)) {
+            Ok(rows) => rows,
+            Err(e) => {
+                return error_response(
+                    500,
+                    &format!("corrupt transfer matrix {}: {e}", dir.join("matrix.csv").display()),
+                )
+            }
+        };
+        let mut by_group: BTreeMap<&str, (usize, f64)> = BTreeMap::new();
+        for row in &rows {
+            if row.spec.is_diagonal() {
+                continue;
+            }
+            let slot = by_group.entry(&row.spec.target_group).or_insert((0, 0.0));
+            slot.0 += 1;
+            slot.1 += row.metrics.degradation;
+        }
+        let targets: Vec<String> = by_group
+            .iter()
+            .map(|(group, (count, sum))| {
+                format!(
+                    "{{\"group\":\"{}\",\"off_diagonal_cells\":{count},\"mean_degradation\":{}}}",
+                    telemetry::escape(group),
+                    telemetry::number(sum / (*count).max(1) as f64),
+                )
+            })
+            .collect();
+        rendered.push(
+            JsonObject::new()
+                .string("name", &name)
+                .integer("cells", rows.len() as u64)
+                .raw("targets", &format!("[{}]", targets.join(",")))
+                .finish(),
+        );
+    }
+    let body = JsonObject::new()
+        .integer("matrices", rendered.len() as u64)
+        .raw("transfer", &format!("[{}]", rendered.join(",")))
+        .finish();
+    Response::json(200, &body)
 }
 
 fn submit(request: &Request, shared: &Shared) -> Response {

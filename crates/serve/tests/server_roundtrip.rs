@@ -268,3 +268,71 @@ fn shutdown_drains_in_flight_and_restart_recovers_the_queue() {
 fn done_count(store_dir: &std::path::Path) -> usize {
     std::fs::read_dir(store_dir.join("cells")).map(|dir| dir.count()).unwrap_or(0)
 }
+
+#[test]
+fn transfer_endpoint_summarises_matrices_under_the_store() {
+    use bea_core::transfer::{
+        normalize_degradation, round6, write_matrix_csv, DistortionBudget, TargetPath, TargetSpec,
+        TransferCellSpec, TransferMetrics, TransferRow,
+    };
+    use bea_image::FilterMask;
+
+    let store_dir = scratch("transfer_summary");
+    let server = Server::start(test_config(store_dir.clone(), 1, 8)).expect("server starts");
+    let client = Client::new(server.addr().to_string());
+
+    // Empty store: the endpoint answers with zero matrices, not an error.
+    let empty = bea_serve::client::request(client.addr(), "GET", "/transfer", None).unwrap();
+    assert_eq!(empty.status, 200);
+    assert!(empty.body_text().unwrap().contains("\"matrices\":0"), "{:?}", empty.body_text());
+
+    // Drop a two-cell matrix (one diagonal, one off-diagonal DETR cell)
+    // where transfer_cli would put it.
+    let mut mask = FilterMask::zeros(4, 2);
+    mask.set(0, 0, 0, 40);
+    let row = |target: &TargetSpec, fitness: f64| {
+        let budget = DistortionBudget::of(&mask);
+        let degradation = round6(1.0 - fitness);
+        TransferRow {
+            spec: TransferCellSpec::new(CellSpec::new("YOLO", 1, 0), target),
+            metrics: TransferMetrics {
+                source_fitness: round6(0.25),
+                target_fitness: round6(fitness),
+                delta: round6(fitness - 0.25),
+                degradation,
+                vanished: 1,
+                appeared: 0,
+                deformed: 0,
+                budget,
+                normalized: normalize_degradation(degradation, &budget),
+            },
+        }
+    };
+    let rows = vec![
+        row(&TargetSpec::new("YOLO", 1, TargetPath::Plain), 0.25),
+        row(&TargetSpec::new("DETR", 1, TargetPath::Plain), 0.6),
+    ];
+    let dir = store_dir.join("transfer");
+    std::fs::create_dir_all(&dir).expect("transfer dir");
+    let file = std::fs::File::create(dir.join("matrix.csv")).expect("create matrix");
+    write_matrix_csv(&rows, std::io::BufWriter::new(file)).expect("write matrix");
+
+    let summary = bea_serve::client::request(client.addr(), "GET", "/transfer", None).unwrap();
+    assert_eq!(summary.status, 200);
+    let body = summary.body_text().unwrap();
+    assert!(body.contains("\"matrices\":1"), "{body}");
+    assert!(body.contains("\"name\":\"transfer\""), "{body}");
+    assert!(body.contains("\"cells\":2"), "{body}");
+    // The diagonal YOLO cell is excluded; only the DETR column remains,
+    // with mean degradation 1 - 0.6 = 0.4.
+    assert!(body.contains("\"group\":\"DETR\""), "{body}");
+    assert!(!body.contains("\"group\":\"YOLO\""), "{body}");
+    assert!(body.contains("\"mean_degradation\":0.4"), "{body}");
+
+    // Wrong method on the route is a 405, like every other endpoint.
+    let wrong = bea_serve::client::request(client.addr(), "DELETE", "/transfer", None).unwrap();
+    assert_eq!(wrong.status, 405);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

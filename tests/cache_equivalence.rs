@@ -150,3 +150,76 @@ fn repeated_masked_evaluations_reuse_one_clean_pass() {
     assert_eq!(stats.incremental, 5);
     assert_eq!(cached.cached_images(), 1);
 }
+
+/// Transfer-matrix cells are cache- and batching-invariant: the grid's
+/// grouped `detect_masked_batch` evaluation produces `==`-identical rows
+/// to a scalar `detect_masked` re-evaluation, through plain and caching
+/// detectors alike.
+#[test]
+fn transfer_matrix_cells_match_across_cache_and_batching() {
+    use bea_core::campaign::CellSpec;
+    use bea_core::transfer::{
+        transfer_metrics, SourceChampion, TargetSpec, TransferCellSpec, TransferConfig,
+        TransferGrid, TransferRow,
+    };
+
+    let data = SyntheticKitti::smoke_set();
+    let img = data.image(1);
+    let champions: Vec<SourceChampion> = mask_catalogue(img.width(), img.height())
+        .into_iter()
+        .enumerate()
+        .map(|(i, (_label, mask))| SourceChampion {
+            spec: CellSpec::new("YOLO", i as u64 + 1, 1),
+            seed: 0,
+            fitness: 0.5,
+            mask,
+        })
+        .collect();
+    let sources: Vec<CellSpec> = champions.iter().map(|c| c.spec.clone()).collect();
+    let specs = TransferCellSpec::grid(&sources, &TargetSpec::paper_grid(&[1]));
+    let zoo = ModelZoo::with_defaults();
+    let arch_of = |group: &str| {
+        Architecture::EXTENDED.into_iter().find(|a| a.name() == group).expect("known group")
+    };
+
+    // Batched, through the grid — once plain, once cached.
+    let run = |cached: bool| {
+        TransferGrid::new(TransferConfig { jobs: 1, telemetry: false, source_fingerprint: None })
+            .run(
+                &specs,
+                &champions,
+                |target: &TargetSpec| {
+                    if cached {
+                        zoo.cached_model(arch_of(&target.group), target.seed)
+                    } else {
+                        zoo.model(arch_of(&target.group), target.seed)
+                    }
+                },
+                |_spec: &CellSpec| data.image(1),
+            )
+            .rows()
+    };
+    let plain = run(false);
+    let cached = run(true);
+    assert!(!plain.is_empty());
+    assert_eq!(plain, cached, "transfer rows diverge between plain and cached detectors");
+
+    // Unbatched scalar re-evaluation of every cell, one mask at a time.
+    let scalar: Vec<TransferRow> = specs
+        .iter()
+        .map(|spec| {
+            let champion = champions
+                .iter()
+                .find(|c| c.spec == spec.source)
+                .expect("every cell has a champion");
+            let detector = zoo.model(arch_of(&spec.target_group), spec.target_seed);
+            let clean = detector.detect(&img);
+            let perturbed = detector.detect_masked(&img, &champion.mask);
+            TransferRow {
+                spec: spec.clone(),
+                metrics: transfer_metrics(champion.fitness, &champion.mask, &clean, &perturbed),
+            }
+        })
+        .collect();
+    assert_eq!(plain, scalar, "batched and scalar transfer evaluations diverge");
+}

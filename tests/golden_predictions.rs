@@ -182,3 +182,61 @@ proptest! {
         prop_assert_eq!(&via_prepack, &via_reference);
     }
 }
+
+/// Transfer-matrix cells are kernel-policy-invariant: re-evaluating a
+/// champion mask through [`bea_core::transfer::TransferGrid`] under
+/// [`KernelPolicy::Reference`] produces `==`-identical rows to
+/// [`KernelPolicy::Blocked`] — every metric, count and quantized float.
+#[test]
+fn transfer_matrix_cells_match_across_kernel_policies() {
+    use bea_core::campaign::CellSpec;
+    use bea_core::transfer::{
+        SourceChampion, TargetSpec, TransferCellSpec, TransferConfig, TransferGrid,
+    };
+
+    let data = SyntheticKitti::smoke_set();
+    let img = data.image(0);
+    let mut sticker = FilterMask::zeros(img.width(), img.height());
+    for y in 8..20 {
+        for x in (img.width() / 2 + 4)..(img.width() / 2 + 16) {
+            sticker.set(0, y, x, 90);
+            sticker.set(2, y, x, -70);
+        }
+    }
+    let mut scattered = FilterMask::zeros(img.width(), img.height());
+    scattered.set(0, 2, img.width() - 5, 120);
+    scattered.set(1, img.height() / 2, img.width() / 2, -100);
+    let champions = vec![
+        SourceChampion { spec: CellSpec::new("YOLO", 1, 0), seed: 0, fitness: 0.5, mask: sticker },
+        SourceChampion {
+            spec: CellSpec::new("DETR", 1, 0),
+            seed: 0,
+            fitness: 0.25,
+            mask: scattered,
+        },
+    ];
+    let sources: Vec<CellSpec> = champions.iter().map(|c| c.spec.clone()).collect();
+    let specs = TransferCellSpec::grid(&sources, &TargetSpec::paper_grid(&[1]));
+
+    let run = |policy: KernelPolicy| {
+        let zoo = ModelZoo::with_defaults().with_kernel_policy(policy);
+        TransferGrid::new(TransferConfig { jobs: 1, telemetry: false, source_fingerprint: None })
+            .run(
+                &specs,
+                &champions,
+                |target: &TargetSpec| {
+                    let arch = Architecture::EXTENDED
+                        .into_iter()
+                        .find(|a| a.name() == target.group)
+                        .expect("architecture groups");
+                    zoo.model(arch, target.seed)
+                },
+                |_spec: &CellSpec| data.image(0),
+            )
+            .rows()
+    };
+    let reference = run(KernelPolicy::Reference);
+    let blocked = run(KernelPolicy::Blocked);
+    assert!(!reference.is_empty());
+    assert_eq!(reference, blocked, "transfer rows diverge across kernel policies");
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the transfer matrix's distortion-aware
+//! metrics and CSV schema.
+
+use butterfly_effect_attack::attack::campaign::CellSpec;
+use butterfly_effect_attack::attack::transfer::{
+    normalize_degradation, read_matrix_csv, round6, write_matrix_csv, DistortionBudget, TargetPath,
+    TargetSpec, TransferCellSpec, TransferMetrics, TransferRow,
+};
+use butterfly_effect_attack::FilterMask;
+use proptest::prelude::*;
+
+fn arb_mask(width: usize, height: usize) -> impl Strategy<Value = FilterMask> {
+    proptest::collection::vec(-255i16..=255, 3 * width * height)
+        .prop_map(move |v| FilterMask::from_values(width, height, v).expect("length matches"))
+}
+
+fn arb_path() -> impl Strategy<Value = TargetPath> {
+    (0usize..3).prop_map(|i| TargetPath::ALL[i])
+}
+
+/// Group labels including CSV-hostile ones (commas, quotes, spaces).
+fn arb_group() -> impl Strategy<Value = String> {
+    (0usize..4).prop_map(|i| ["YOLO", "DETR", "odd,comma", "quo\"te d"][i].to_string())
+}
+
+/// A transfer row whose floats all went through [`round6`], like every
+/// row [`butterfly_effect_attack::attack::transfer::transfer_metrics`]
+/// produces.
+fn arb_row() -> impl Strategy<Value = TransferRow> {
+    (
+        (arb_group(), 1u64..5, 0usize..4),
+        (arb_group(), 1u64..5, arb_path()),
+        (0.0f64..1.0, 0.0f64..1.0),
+        arb_mask(6, 4),
+        (0usize..4, 0usize..4, 0usize..4),
+    )
+        .prop_map(|((sg, ss, si), (tg, ts, path), (source, target), mask, (v, a, d))| {
+            let source_fitness = round6(source);
+            let target_fitness = round6(target);
+            let degradation = round6(1.0 - target_fitness);
+            let budget = DistortionBudget::of(&mask);
+            TransferRow {
+                spec: TransferCellSpec::new(
+                    CellSpec::new(sg, ss, si),
+                    &TargetSpec::new(tg, ts, path),
+                ),
+                metrics: TransferMetrics {
+                    source_fitness,
+                    target_fitness,
+                    delta: round6(target_fitness - source_fitness),
+                    degradation,
+                    vanished: v,
+                    appeared: a,
+                    deformed: d,
+                    budget,
+                    normalized: normalize_degradation(degradation, &budget),
+                },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The normalized scores are a pure function of (mask, degradation):
+    /// the same champion mask duplicated across different source seeds,
+    /// images or target columns scores identically per unit budget.
+    #[test]
+    fn normalized_scores_are_invariant_under_mask_duplication(
+        mask in arb_mask(8, 5),
+        degradation in 0.0f64..1.0,
+    ) {
+        let degradation = round6(degradation);
+        let a = normalize_degradation(degradation, &DistortionBudget::of(&mask));
+        let duplicate = FilterMask::from_values(8, 5, mask.as_slice().to_vec())
+            .expect("same dimensions");
+        let b = normalize_degradation(degradation, &DistortionBudget::of(&duplicate));
+        prop_assert_eq!(a, b);
+        // The budget itself is also duplication-invariant.
+        prop_assert_eq!(DistortionBudget::of(&mask), DistortionBudget::of(&duplicate));
+    }
+
+    /// At a fixed budget the normalized scores are monotone in the raw
+    /// transferred degradation.
+    #[test]
+    fn normalized_scores_are_monotone_in_degradation(
+        mask in arb_mask(8, 5),
+        d1 in 0.0f64..1.0,
+        d2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let budget = DistortionBudget::of(&mask);
+        let a = normalize_degradation(round6(lo), &budget);
+        let b = normalize_degradation(round6(hi), &budget);
+        prop_assert!(a.per_l1 <= b.per_l1, "{} > {}", a.per_l1, b.per_l1);
+        prop_assert!(a.per_l2 <= b.per_l2, "{} > {}", a.per_l2, b.per_l2);
+        prop_assert!(a.per_area <= b.per_area, "{} > {}", a.per_area, b.per_area);
+    }
+
+    /// Degenerate masks never produce NaN or infinite scores: the empty
+    /// mask spends zero budget (scores defined as 0), the full-frame
+    /// mask spends the maximal budget (scores equal the degradation).
+    #[test]
+    fn zero_area_and_full_frame_masks_have_finite_scores(degradation in 0.0f64..1.0) {
+        let degradation = round6(degradation);
+        let zero = FilterMask::zeros(7, 3);
+        let budget = DistortionBudget::of(&zero);
+        prop_assert_eq!(budget.l1, 0.0);
+        prop_assert_eq!(budget.area, 0.0);
+        let scores = normalize_degradation(degradation, &budget);
+        for value in [scores.per_l1, scores.per_l2, scores.per_area] {
+            prop_assert!(value.is_finite(), "zero mask produced {value}");
+            prop_assert_eq!(value, 0.0, "zero budget means zero score, not a blow-up");
+        }
+
+        let full = FilterMask::from_values(7, 3, vec![255; 3 * 7 * 3]).expect("full mask");
+        let budget = DistortionBudget::of(&full);
+        prop_assert_eq!(budget.l1, 1.0);
+        prop_assert_eq!(budget.l2, 1.0);
+        prop_assert_eq!(budget.area, 1.0);
+        let scores = normalize_degradation(degradation, &budget);
+        for value in [scores.per_l1, scores.per_l2, scores.per_area] {
+            prop_assert!(value.is_finite(), "full mask produced {value}");
+        }
+        prop_assert_eq!(scores.per_l1, degradation);
+    }
+
+    /// The matrix CSV round-trips: write → read → write reproduces the
+    /// bytes (quoting hostile labels per RFC 4180), and the reloaded
+    /// rows compare equal — the property behind resume-stable stores.
+    #[test]
+    fn matrix_csv_round_trips_byte_stable(rows in proptest::collection::vec(arb_row(), 0..8)) {
+        let mut first = Vec::new();
+        write_matrix_csv(&rows, &mut first).expect("serialize");
+        let reloaded = read_matrix_csv(first.as_slice()).expect("reparse");
+        prop_assert_eq!(&rows, &reloaded);
+        let mut second = Vec::new();
+        write_matrix_csv(&reloaded, &mut second).expect("re-serialize");
+        prop_assert_eq!(first, second);
+    }
+}
