@@ -4,10 +4,12 @@
 //! `BENCH_*.json` file. Overwriting would make a quick run destroy the
 //! full-run baseline, so `--out` upserts instead: the document is
 //! `{"bench": NAME, "runs": [RUN, ...]}` where each run carries a boolean
-//! `"quick"` key and an optional integer `"threads"` key, and writing a
-//! run replaces the existing run with the same `(quick, threads)` pair
-//! (or appends when none exists) — so the thread-count sweep the CI
-//! smoke performs keeps one record per count. Legacy single-run
+//! `"quick"` key, an optional integer `"threads"` key and an optional
+//! boolean `"keepalive"` key, and writing a run replaces the existing
+//! run with the same `(quick, threads, keepalive)` triple (or appends
+//! when none exists) — so the thread-count sweep the CI smoke performs
+//! keeps one record per count, and the serve bench keeps keep-alive and
+//! close-per-request records side by side. Legacy single-run
 //! documents (`{"bench": ..., "quick": ..., "cases": [...]}`) are
 //! auto-converted into a one-element `runs` array on first merge.
 //!
@@ -27,7 +29,11 @@ pub fn merge_keyed_run(path: &str, bench: &str, run: &str) -> Result<(), String>
         .and_then(JsonValue::as_bool)
         .ok_or("internal: run record lacks a boolean \"quick\" key")?;
     let key = |r: &JsonValue| {
-        (r.get("quick").and_then(JsonValue::as_bool), r.get("threads").and_then(JsonValue::as_u64))
+        (
+            r.get("quick").and_then(JsonValue::as_bool),
+            r.get("threads").and_then(JsonValue::as_u64),
+            r.get("keepalive").and_then(JsonValue::as_bool),
+        )
     };
     let slot_key = key(&run);
     let mut runs = existing_runs(path, bench);

@@ -29,10 +29,20 @@
 //! [`Poller`] the server's reactor uses, keeping `N` requests in flight
 //! until `--total` submissions have been answered. `429`s are recorded,
 //! not retried — the point is to measure the serving layer under a
-//! fixed offered concurrency. Results (throughput, p50/p99 round-trip
-//! latency, the status split) merge into the `--bench-out` run log
-//! keyed by `(quick, conns)`, and `--min-throughput` / `--max-p99-ms`
-//! turn the run into a CI gate.
+//! fixed offered concurrency. With `--keepalive` each connection is
+//! opened once and reused for its whole share of the submissions
+//! (reconnecting transparently when the server's per-connection cap
+//! closes it); without it every submission pays a fresh TCP + teardown,
+//! which is the baseline the keep-alive speedup is measured against.
+//! `--ramp-ms` staggers the initial connection ramp so a burst of
+//! simultaneous first requests does not trip admission control before
+//! the server has seen any traffic. Results (throughput, p50/p99
+//! round-trip latency, the status split, the rejected-rate) merge into
+//! the `--bench-out` run log keyed by `(quick, conns, keepalive)`, and
+//! `--min-throughput` / `--max-p99-ms` turn the run into a CI gate.
+//! `--compare-keepalive` drives both modes back to back against the
+//! same server and `--min-keepalive-speedup` gates their throughput
+//! ratio.
 
 use bea_bench::args::{self, ArgParser};
 use bea_serve::{percentile, Client};
@@ -60,6 +70,10 @@ struct Options {
     quick: bool,
     min_throughput: Option<f64>,
     max_p99_ms: Option<f64>,
+    keepalive: bool,
+    compare_keepalive: bool,
+    min_keepalive_speedup: Option<f64>,
+    ramp_ms: u64,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -79,6 +93,10 @@ fn parse_args() -> Result<Options, String> {
         quick: false,
         min_throughput: None,
         max_p99_ms: None,
+        keepalive: false,
+        compare_keepalive: false,
+        min_keepalive_speedup: None,
+        ramp_ms: 0,
     };
     let mut args = ArgParser::from_env();
     while let Some(flag) = args.next_flag() {
@@ -98,10 +116,16 @@ fn parse_args() -> Result<Options, String> {
             "--quick" => options.quick = true,
             "--min-throughput" => options.min_throughput = Some(args.parse(&flag)?),
             "--max-p99-ms" => options.max_p99_ms = Some(args.parse(&flag)?),
+            "--keepalive" => options.keepalive = true,
+            "--compare-keepalive" => options.compare_keepalive = true,
+            "--min-keepalive-speedup" => options.min_keepalive_speedup = Some(args.parse(&flag)?),
+            "--ramp-ms" => options.ramp_ms = args.parse(&flag)?,
             "--help" | "-h" => {
                 return Err("usage: loadgen [--addr HOST:PORT] [--clients N] [--requests N] \
                             [--pop N] [--gens N] [--seed N] [--csv FILE] [--wait]\n\
                             \x20      loadgen --conns N [--total N] [--tenants N] \
+                            [--keepalive] [--compare-keepalive] \
+                            [--min-keepalive-speedup X] [--ramp-ms MS] \
                             [--bench-out FILE] [--quick] \
                             [--min-throughput RPS] [--max-p99-ms MS] [--wait]\n\
                             closed loop (default): each client thread submits --requests\n\
@@ -109,9 +133,17 @@ fn parse_args() -> Result<Options, String> {
                             open loop (--conns): one epoll thread keeps N connections in\n\
                             flight until --total submissions (default 8xN) are answered;\n\
                             429s are recorded, not retried; --tenants spreads submissions\n\
-                            over that many tenant names; --bench-out merges the run into a\n\
-                            BENCH_serve.json run log and the --min-throughput/--max-p99-ms\n\
-                            gates fail the process when violated\n\
+                            over that many tenant names; --keepalive reuses each\n\
+                            connection for its whole share of the submissions instead of\n\
+                            one connection per request; --compare-keepalive runs the\n\
+                            close-per-request baseline then the keep-alive run against\n\
+                            the same server and --min-keepalive-speedup gates their\n\
+                            throughput ratio; --ramp-ms spreads the initial connection\n\
+                            ramp over that many milliseconds; --bench-out merges each\n\
+                            run into a BENCH_serve.json run log keyed by\n\
+                            (quick, conns, keepalive) and the\n\
+                            --min-throughput/--max-p99-ms gates fail the process when\n\
+                            violated\n\
                             --wait polls every accepted job to completion afterwards"
                     .into())
             }
@@ -126,6 +158,14 @@ fn parse_args() -> Result<Options, String> {
     }
     if options.conns > 0 && options.total == 0 {
         options.total = options.conns * 8;
+    }
+    if (options.keepalive || options.compare_keepalive || options.min_keepalive_speedup.is_some())
+        && options.conns == 0
+    {
+        return Err("--keepalive/--compare-keepalive need the open loop (--conns N)".into());
+    }
+    if options.min_keepalive_speedup.is_some() && !options.compare_keepalive {
+        return Err("--min-keepalive-speedup needs --compare-keepalive".into());
     }
     Ok(options)
 }
@@ -317,12 +357,36 @@ fn main() -> ExitCode {
 #[cfg(unix)]
 struct LoadConn {
     stream: std::net::TcpStream,
+    /// Which submission this connection is currently carrying.
+    request: usize,
     /// The rendered request; `written` bytes already on the wire.
     out: Vec<u8>,
     written: usize,
     parser: bea_serve::http::ResponseParser,
     started: Instant,
+    /// The interest currently registered with the poller.
+    interest: bea_reactor::Interest,
+    /// Transparent replays of `request` on a fresh connection after the
+    /// server closed this one under us (per-connection request cap, a
+    /// shard restart).
+    resends: u32,
 }
+
+/// Why a connection could not be pumped further.
+#[cfg(unix)]
+enum PumpError {
+    /// The peer closed before a full response arrived. In keep-alive
+    /// mode this is expected at the server's per-connection cap and the
+    /// submission replays on a fresh connection; in close-per-request
+    /// mode it is a hard failure.
+    Closed,
+    Fatal(String),
+}
+
+/// Replays of one submission before its connection loss counts as a
+/// real failure.
+#[cfg(unix)]
+const MAX_RESENDS: u32 = 3;
 
 /// Responses in the open loop are small JSON bodies; cap generously.
 #[cfg(unix)]
@@ -336,9 +400,12 @@ struct OpenSample {
 }
 
 /// The open-loop engine: keeps `conns` submissions in flight over one
-/// epoll poller until `total` have been answered.
+/// epoll poller until `total` have been answered. With `keepalive` each
+/// connection carries one submission after another; without it each
+/// finished connection is replaced by a fresh one. Returns the samples
+/// plus how many transparent reconnects the keep-alive path needed.
 #[cfg(unix)]
-fn drive_open_loop(options: &Options) -> Result<Vec<OpenSample>, String> {
+fn drive_open_loop(options: &Options, keepalive: bool) -> Result<(Vec<OpenSample>, usize), String> {
     use bea_reactor::{Event, Interest, Poller};
     use std::os::fd::AsRawFd;
 
@@ -356,9 +423,10 @@ fn drive_open_loop(options: &Options) -> Result<Vec<OpenSample>, String> {
         let payload = body(request);
         format!(
             "POST /v1/attacks HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\
-             Connection: close\r\n\r\n{payload}",
+             Connection: {}\r\n\r\n{payload}",
             options.addr,
-            payload.len()
+            payload.len(),
+            if keepalive { "keep-alive" } else { "close" },
         )
         .into_bytes()
     };
@@ -369,23 +437,42 @@ fn drive_open_loop(options: &Options) -> Result<Vec<OpenSample>, String> {
         stream.set_nonblocking(true).map_err(|e| format!("set_nonblocking failed: {e}"))?;
         Ok(LoadConn {
             stream,
+            request,
             out: render(request),
             written: 0,
             parser: bea_serve::http::ResponseParser::new(OPEN_LOOP_MAX_BODY),
             started: Instant::now(),
+            interest: Interest::BOTH,
+            resends: 0,
         })
     };
+    // `--ramp-ms` spreads the initial connection opens over that window
+    // so the first burst does not hit per-tenant admission all at once.
+    let ramp_pause = (options.ramp_ms > 0).then(|| {
+        Duration::from_micros(
+            (options.ramp_ms.saturating_mul(1000) / options.conns.max(1) as u64).max(1),
+        )
+    });
+    let mut ramping = options.conns;
 
     let mut conns: std::collections::HashMap<u64, LoadConn> = std::collections::HashMap::new();
     let mut samples = Vec::with_capacity(options.total);
     let mut issued = 0usize;
+    let mut reconnects = 0usize;
     let mut next_token = 0u64;
     let mut events: Vec<Event> = Vec::new();
     let mut errors = 0usize;
-    // Ramp up to the target concurrency, then replace each finished
-    // connection until the budget is spent.
+    // Ramp up to the target concurrency, then replace (close mode) or
+    // reuse (keep-alive mode) each finished connection until the budget
+    // is spent.
     while samples.len() + errors < options.total {
         while issued < options.total && conns.len() < options.conns {
+            if ramping > 0 {
+                if let Some(pause) = ramp_pause {
+                    std::thread::sleep(pause);
+                }
+                ramping -= 1;
+            }
             let conn = open(issued)?;
             let token = next_token;
             next_token += 1;
@@ -410,16 +497,69 @@ fn drive_open_loop(options: &Options) -> Result<Vec<OpenSample>, String> {
         for event in &batch {
             let Some(mut conn) = conns.remove(&event.token) else { continue };
             match pump_conn(&mut conn, event) {
-                Ok(Some(sample)) => {
-                    let _ = poller.deregister(conn.stream.as_raw_fd());
+                Ok(Some((sample, reusable))) => {
                     samples.push(sample);
+                    if keepalive && reusable && issued < options.total {
+                        // Reuse the warm connection for the next
+                        // submission: same socket, fresh request. The
+                        // parser stays — it reset itself after the
+                        // yielded response.
+                        conn.request = issued;
+                        conn.out = render(issued);
+                        conn.written = 0;
+                        conn.started = Instant::now();
+                        conn.resends = 0;
+                        issued += 1;
+                        if conn.interest != Interest::BOTH {
+                            poller
+                                .modify(conn.stream.as_raw_fd(), event.token, Interest::BOTH)
+                                .map_err(|e| format!("re-arming a connection failed: {e}"))?;
+                            conn.interest = Interest::BOTH;
+                        }
+                        conns.insert(event.token, conn);
+                    } else {
+                        let _ = poller.deregister(conn.stream.as_raw_fd());
+                    }
                 }
                 Ok(None) => {
+                    // Once the request is fully written, drop write
+                    // interest so level-triggered writability does not
+                    // spin the loop while we wait for the response.
+                    let desired = if conn.written < conn.out.len() {
+                        Interest::BOTH
+                    } else {
+                        Interest::READABLE
+                    };
+                    if desired != conn.interest {
+                        poller
+                            .modify(conn.stream.as_raw_fd(), event.token, desired)
+                            .map_err(|e| format!("adjusting connection interest failed: {e}"))?;
+                        conn.interest = desired;
+                    }
                     conns.insert(event.token, conn);
+                }
+                Err(PumpError::Closed) if keepalive && conn.resends < MAX_RESENDS => {
+                    // The server retired the connection (request cap,
+                    // shard restart): replay the same submission on a
+                    // fresh socket.
+                    let _ = poller.deregister(conn.stream.as_raw_fd());
+                    let mut fresh = open(conn.request)?;
+                    fresh.resends = conn.resends + 1;
+                    let token = next_token;
+                    next_token += 1;
+                    poller
+                        .register(fresh.stream.as_raw_fd(), token, Interest::BOTH)
+                        .map_err(|e| format!("registering a connection failed: {e}"))?;
+                    conns.insert(token, fresh);
+                    reconnects += 1;
                 }
                 Err(e) => {
                     let _ = poller.deregister(conn.stream.as_raw_fd());
-                    eprintln!("open-loop connection failed: {e}");
+                    let msg = match e {
+                        PumpError::Closed => "connection closed before a full response".to_string(),
+                        PumpError::Fatal(msg) => msg,
+                    };
+                    eprintln!("open-loop connection failed: {msg}");
                     errors += 1;
                 }
             }
@@ -429,32 +569,38 @@ fn drive_open_loop(options: &Options) -> Result<Vec<OpenSample>, String> {
     if errors > 0 {
         return Err(format!("{errors} connection(s) failed during the open loop"));
     }
-    Ok(samples)
+    Ok((samples, reconnects))
 }
 
 /// Advances one open-loop connection: writes request bytes while the
 /// socket accepts them, reads response bytes while they arrive, and
-/// returns the finished sample once the response parses.
+/// returns the finished sample once the response parses, along with
+/// whether the server will keep the connection open for another
+/// request.
 #[cfg(unix)]
 fn pump_conn(
     conn: &mut LoadConn,
     event: &bea_reactor::Event,
-) -> Result<Option<OpenSample>, String> {
+) -> Result<Option<(OpenSample, bool)>, PumpError> {
+    use std::io::ErrorKind;
     use std::io::{Read as _, Write as _};
 
+    let dropped =
+        |e: &std::io::Error| matches!(e.kind(), ErrorKind::ConnectionReset | ErrorKind::BrokenPipe);
     if event.writable && conn.written < conn.out.len() {
         loop {
             match (&conn.stream).write(&conn.out[conn.written..]) {
-                Ok(0) => return Err("socket closed mid-request".to_string()),
+                Ok(0) => return Err(PumpError::Closed),
                 Ok(n) => {
                     conn.written += n;
                     if conn.written == conn.out.len() {
                         break;
                     }
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(format!("write failed: {e}")),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if dropped(&e) => return Err(PumpError::Closed),
+                Err(e) => return Err(PumpError::Fatal(format!("write failed: {e}"))),
             }
         }
     }
@@ -464,9 +610,10 @@ fn pump_conn(
             match (&conn.stream).read(&mut buf) {
                 Ok(0) => break,
                 Ok(n) => conn.parser.feed(&buf[..n]),
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(format!("read failed: {e}")),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if dropped(&e) => return Err(PumpError::Closed),
+                Err(e) => return Err(PumpError::Fatal(format!("read failed: {e}"))),
             }
         }
         match conn.parser.next_response() {
@@ -480,48 +627,69 @@ fn pump_conn(
                         .and_then(|v| v.get("id").and_then(|id| id.as_str().map(String::from)))
                     })
                     .flatten();
-                return Ok(Some(OpenSample {
-                    status: response.status,
-                    latency_s: conn.started.elapsed().as_secs_f64(),
-                    id,
-                }));
+                let reusable = !event.closed
+                    && !response
+                        .header("connection")
+                        .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+                return Ok(Some((
+                    OpenSample {
+                        status: response.status,
+                        latency_s: conn.started.elapsed().as_secs_f64(),
+                        id,
+                    },
+                    reusable,
+                )));
             }
             Ok(None) => {
                 if event.closed {
-                    return Err("connection closed before a full response".to_string());
+                    return Err(PumpError::Closed);
                 }
             }
-            Err(e) => return Err(format!("malformed response: {e}")),
+            Err(e) => return Err(PumpError::Fatal(format!("malformed response: {e}"))),
         }
     }
     Ok(None)
 }
 
 #[cfg(not(unix))]
-fn drive_open_loop(_options: &Options) -> Result<Vec<OpenSample>, String> {
+fn drive_open_loop(
+    _options: &Options,
+    _keepalive: bool,
+) -> Result<(Vec<OpenSample>, usize), String> {
     Err("the open-loop mode needs epoll and is only available on Unix".to_string())
 }
 
-/// Runs the open loop, reports, persists the run log, applies gates.
-fn open_loop(options: &Options) -> ExitCode {
+/// The digest of one open-loop run the caller gates and reports on.
+struct RunStats {
+    keepalive: bool,
+    throughput: f64,
+    p99_ms: f64,
+    accepted_ids: Vec<String>,
+}
+
+/// Drives one open-loop run in the given connection mode, prints its
+/// summary (including the rejected-rate), and merges the record into
+/// the `--bench-out` run log keyed by `(quick, conns, keepalive)`.
+fn run_open(options: &Options, keepalive: bool) -> Result<RunStats, String> {
     println!(
-        "loadgen (open loop): {} concurrent connection(s), {} total submissions, \
+        "loadgen (open loop, {}): {} concurrent connection(s), {} total submissions, \
          {} tenant(s) against {} (pop {}, gens {})",
-        options.conns, options.total, options.tenants, options.addr, options.pop, options.gens
+        if keepalive { "keep-alive" } else { "close-per-request" },
+        options.conns,
+        options.total,
+        options.tenants,
+        options.addr,
+        options.pop,
+        options.gens
     );
     let started = Instant::now();
-    let samples = match drive_open_loop(options) {
-        Ok(samples) => samples,
-        Err(e) => {
-            eprintln!("open loop failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let (samples, reconnects) = drive_open_loop(options, keepalive)?;
     let wall_s = started.elapsed().as_secs_f64();
     let throughput = samples.len() as f64 / wall_s.max(1e-9);
     let accepted: Vec<&OpenSample> = samples.iter().filter(|s| s.status == 202).collect();
     let rejected = samples.iter().filter(|s| s.status == 429).count();
     let other = samples.len() - accepted.len() - rejected;
+    let rejected_rate = rejected as f64 / (samples.len().max(1)) as f64;
     let mut latencies: Vec<f64> = samples.iter().map(|s| s.latency_s).collect();
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let p50_ms = percentile(&latencies, 50.0) * 1e3;
@@ -529,21 +697,25 @@ fn open_loop(options: &Options) -> ExitCode {
     let max_ms = latencies.last().copied().unwrap_or(0.0) * 1e3;
     println!(
         "{} responses in {wall_s:.2}s ({throughput:.0} req/s): {} accepted (202), \
-         {rejected} rejected (429), {other} other",
+         {rejected} rejected (429, {:.1}% rejected-rate), {other} other, \
+         {reconnects} reconnect(s)",
         samples.len(),
         accepted.len(),
+        rejected_rate * 100.0,
     );
     println!("round-trip latency: p50 {p50_ms:.1}ms, p99 {p99_ms:.1}ms, max {max_ms:.1}ms");
 
     if let Some(path) = &options.bench_out {
-        // Keyed by (quick, conns): a quick CI run and a full run at the
-        // same concurrency each keep one record. The runlog helper
-        // reads the concurrency from the "threads" slot of its key.
+        // Keyed by (quick, conns, keepalive): a quick CI run and a full
+        // run at the same concurrency each keep one record per
+        // connection mode. The runlog helper reads the concurrency from
+        // the "threads" slot of its key.
         let run = format!(
             "{{\"quick\":{},\"threads\":{},\"conns\":{},\"total\":{},\"tenants\":{},\
-             \"wall_s\":{wall_s},\"throughput_rps\":{throughput},\
+             \"keepalive\":{keepalive},\"wall_s\":{wall_s},\"throughput_rps\":{throughput},\
              \"p50_ms\":{p50_ms},\"p99_ms\":{p99_ms},\"max_ms\":{max_ms},\
-             \"accepted\":{},\"rejected\":{rejected},\"other\":{other}}}",
+             \"accepted\":{},\"rejected\":{rejected},\"rejected_rate\":{rejected_rate},\
+             \"other\":{other},\"reconnects\":{reconnects}}}",
             options.quick,
             options.conns,
             options.conns,
@@ -551,23 +723,73 @@ fn open_loop(options: &Options) -> ExitCode {
             options.tenants,
             accepted.len(),
         );
-        match runlog::merge_keyed_run(path, "serve", &run) {
-            Ok(()) => println!("merged run into {path}"),
+        runlog::merge_keyed_run(path, "serve", &run)?;
+        println!("merged run into {path}");
+    }
+    let accepted_ids =
+        accepted.iter().map(|s| s.id.clone().unwrap_or_default()).collect::<Vec<_>>();
+    Ok(RunStats { keepalive, throughput, p99_ms, accepted_ids })
+}
+
+/// Waits every job in `ids` to completion (between comparison legs).
+fn drain_backlog(options: &Options, ids: &[String]) -> Result<(), String> {
+    let client = Client::new(options.addr.clone());
+    for id in ids {
+        if id.is_empty() {
+            return Err("an accepted job carried no id".to_string());
+        }
+        let response = client
+            .wait(id, Duration::from_millis(100), Duration::from_secs(600))
+            .map_err(|e| format!("job {id} never finished: {e}"))?;
+        if !response.body_text().unwrap_or("").contains("\"status\":\"done\"") {
+            return Err(format!("job {id} ended badly: {:?}", response.body_text()));
+        }
+    }
+    Ok(())
+}
+
+/// Runs the open loop (or the close-vs-keep-alive comparison), reports,
+/// persists the run log, applies gates.
+fn open_loop(options: &Options) -> ExitCode {
+    let modes: &[bool] = if options.compare_keepalive {
+        // Baseline first so the keep-alive run measures against a
+        // server already warmed by the same workload.
+        &[false, true]
+    } else if options.keepalive {
+        &[true]
+    } else {
+        &[false]
+    };
+    let mut runs = Vec::with_capacity(modes.len());
+    for (index, &keepalive) in modes.iter().enumerate() {
+        match run_open(options, keepalive) {
+            Ok(stats) => runs.push(stats),
             Err(e) => {
-                eprintln!("{e}");
+                eprintln!("open loop failed: {e}");
                 return ExitCode::FAILURE;
             }
+        }
+        if index + 1 < modes.len() {
+            // Let the previous leg's backlog finish before the next leg
+            // submits, so both modes measure admission against an empty
+            // queue rather than the earlier run's leftover depth.
+            let backlog = &runs[index].accepted_ids;
+            if let Err(e) = drain_backlog(options, backlog) {
+                eprintln!("draining the backlog between runs failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("backlog drained ({} job(s) done); starting the next leg", backlog.len());
         }
     }
 
     if options.wait {
         let client = Client::new(options.addr.clone());
         let mut done = 0usize;
-        for sample in &accepted {
-            let Some(id) = sample.id.as_deref().filter(|id| !id.is_empty()) else {
+        for id in runs.iter().flat_map(|r| r.accepted_ids.iter()) {
+            if id.is_empty() {
                 eprintln!("an accepted job carried no id");
                 return ExitCode::FAILURE;
-            };
+            }
             match client.wait(id, Duration::from_millis(100), Duration::from_secs(600)) {
                 Ok(response)
                     if response.body_text().unwrap_or("").contains("\"status\":\"done\"") =>
@@ -588,16 +810,37 @@ fn open_loop(options: &Options) -> ExitCode {
     }
 
     let mut gates_ok = true;
-    if let Some(min) = options.min_throughput {
-        if throughput < min {
-            eprintln!("GATE FAILED: throughput {throughput:.0} req/s < required {min:.0}");
-            gates_ok = false;
+    for run in &runs {
+        let label = if run.keepalive { "keep-alive" } else { "close-per-request" };
+        if let Some(min) = options.min_throughput {
+            if run.throughput < min {
+                eprintln!(
+                    "GATE FAILED ({label}): throughput {:.0} req/s < required {min:.0}",
+                    run.throughput
+                );
+                gates_ok = false;
+            }
+        }
+        if let Some(max) = options.max_p99_ms {
+            if run.p99_ms > max {
+                eprintln!("GATE FAILED ({label}): p99 {:.1}ms > allowed {max:.1}ms", run.p99_ms);
+                gates_ok = false;
+            }
         }
     }
-    if let Some(max) = options.max_p99_ms {
-        if p99_ms > max {
-            eprintln!("GATE FAILED: p99 {p99_ms:.1}ms > allowed {max:.1}ms");
-            gates_ok = false;
+    if options.compare_keepalive {
+        let close = runs.iter().find(|r| !r.keepalive).map(|r| r.throughput).unwrap_or(0.0);
+        let keepalive = runs.iter().find(|r| r.keepalive).map(|r| r.throughput).unwrap_or(0.0);
+        let speedup = keepalive / close.max(1e-9);
+        println!(
+            "keep-alive speedup: {speedup:.2}x ({keepalive:.0} req/s keep-alive vs \
+             {close:.0} req/s close-per-request)"
+        );
+        if let Some(min) = options.min_keepalive_speedup {
+            if speedup < min {
+                eprintln!("GATE FAILED: keep-alive speedup {speedup:.2}x < required {min:.2}x");
+                gates_ok = false;
+            }
         }
     }
     if gates_ok {

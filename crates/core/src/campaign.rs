@@ -503,6 +503,11 @@ pub struct Campaign {
     config: CampaignConfig,
 }
 
+/// A live per-generation telemetry hook: called with the cell and its
+/// rendered generation record the moment each generation completes. See
+/// [`Campaign::run_observed`].
+pub type GenerationObserver<'a> = &'a (dyn Fn(&CellSpec, &str) + Sync);
+
 impl Campaign {
     /// Wraps a campaign configuration.
     pub fn new(config: CampaignConfig) -> Self {
@@ -520,7 +525,29 @@ impl Campaign {
         D: Fn(&CellSpec) -> Box<dyn Detector> + Sync,
         I: Fn(&CellSpec) -> Image + Sync,
     {
-        self.run_impl(specs, &detector_for, &image_for, None)
+        self.run_impl(specs, &detector_for, &image_for, None, None)
+            .expect("in-memory campaigns perform no I/O")
+    }
+
+    /// [`Campaign::run`] with a live per-generation observer: `observe`
+    /// receives every generation's telemetry line (the same record
+    /// [`crate::telemetry::generation_record`] persists) the moment the
+    /// generation completes, regardless of whether telemetry buffering
+    /// is enabled. The serving layer feeds progress streams from this
+    /// hook; results are identical to [`Campaign::run`] — observation
+    /// never touches the GA state.
+    pub fn run_observed<D, I>(
+        &self,
+        specs: &[CellSpec],
+        detector_for: D,
+        image_for: I,
+        observe: GenerationObserver<'_>,
+    ) -> CampaignResult
+    where
+        D: Fn(&CellSpec) -> Box<dyn Detector> + Sync,
+        I: Fn(&CellSpec) -> Image + Sync,
+    {
+        self.run_impl(specs, &detector_for, &image_for, None, Some(observe))
             .expect("in-memory campaigns perform no I/O")
     }
 
@@ -544,7 +571,7 @@ impl Campaign {
         D: Fn(&CellSpec) -> Box<dyn Detector> + Sync,
         I: Fn(&CellSpec) -> Image + Sync,
     {
-        self.run_impl(specs, &detector_for, &image_for, Some(store))
+        self.run_impl(specs, &detector_for, &image_for, Some(store), None)
     }
 
     fn run_impl<D, I>(
@@ -553,6 +580,7 @@ impl Campaign {
         detector_for: &D,
         image_for: &I,
         store: Option<&CampaignStore>,
+        observe: Option<GenerationObserver<'_>>,
     ) -> io::Result<CampaignResult>
     where
         D: Fn(&CellSpec) -> Box<dyn Detector> + Sync,
@@ -620,7 +648,7 @@ impl Campaign {
         }
 
         let computed = run_sharded(jobs, pending.len(), |k| {
-            self.run_cell(&specs[pending[k]], &attack_config, detector_for, image_for)
+            self.run_cell(&specs[pending[k]], &attack_config, detector_for, image_for, observe)
         });
         for (k, cell) in computed.into_iter().enumerate() {
             slots[pending[k]] = Some(cell);
@@ -646,6 +674,7 @@ impl Campaign {
         attack_config: &AttackConfig,
         detector_for: &D,
         image_for: &I,
+        observe: Option<GenerationObserver<'_>>,
     ) -> CellResult
     where
         D: Fn(&CellSpec) -> Box<dyn Detector> + Sync,
@@ -661,19 +690,25 @@ impl Campaign {
         let mut lines = Vec::new();
         let with_telemetry = self.config.telemetry;
         let outcome = attack.attack_with_observer(detector.as_ref(), &image, |stats| {
-            if with_telemetry {
+            if with_telemetry || observe.is_some() {
                 let cache = detector.cache_stats().map(|now| match &before {
                     Some(b) => now.since(b),
                     None => now,
                 });
-                lines.push(telemetry::generation_record(
+                let line = telemetry::generation_record(
                     &spec.group,
                     spec.model_seed,
                     spec.image_index,
                     seed,
                     stats,
                     cache.as_ref(),
-                ));
+                );
+                if let Some(observe) = observe {
+                    observe(spec, &line);
+                }
+                if with_telemetry {
+                    lines.push(line);
+                }
             }
         });
         let mut rows = champion_rows(&outcome, &spec.group, spec.model_seed, spec.image_index);

@@ -1,11 +1,14 @@
 //! A minimal blocking HTTP client over `std::net::TcpStream`.
 //!
 //! Shared by the load generator, the integration tests and the CI smoke
-//! job so none of them need an external HTTP tool. It speaks the same
-//! one-request-per-connection subset the server does.
+//! job so none of them need an external HTTP tool. [`request`] speaks
+//! the one-request-per-connection subset; [`HttpConnection`] holds a
+//! keep-alive connection open and frames sequential responses through
+//! the incremental [`ResponseParser`], reconnect-on-close left to the
+//! caller.
 
-use crate::http::{status_reason, Request};
-use std::io::{self, BufReader, Write};
+use crate::http::{status_reason, Request, ResponseParser};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -83,6 +86,12 @@ impl HttpResponse {
     /// Reports non-UTF-8 bodies.
     pub fn body_text(&self) -> Result<&str, String> {
         std::str::from_utf8(&self.body).map_err(|e| format!("body is not UTF-8: {e}"))
+    }
+
+    /// `true` when the server announced it will close the connection
+    /// after this response (keep-alive cap reached, or shutdown).
+    pub fn closes_connection(&self) -> bool {
+        self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
     }
 }
 
@@ -173,6 +182,100 @@ fn read_status_line<R: io::BufRead>(reader: &mut R) -> io::Result<String> {
     Ok(line)
 }
 
+/// Resolves `addr` and connects within the configured deadline.
+fn connect(addr: &str, timeouts: ClientTimeouts) -> io::Result<TcpStream> {
+    let stream = if timeouts.connect.is_zero() {
+        TcpStream::connect(addr)?
+    } else {
+        let resolved = std::net::ToSocketAddrs::to_socket_addrs(addr)?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("no address for {addr:?}"))
+        })?;
+        TcpStream::connect_timeout(&resolved, timeouts.connect)
+            .map_err(|e| timeout_error("connect", e))?
+    };
+    let optional = |d: Duration| if d.is_zero() { None } else { Some(d) };
+    stream.set_read_timeout(optional(timeouts.read))?;
+    stream.set_write_timeout(optional(timeouts.write))?;
+    Ok(stream)
+}
+
+/// A persistent keep-alive connection: one TCP stream carrying many
+/// sequential requests, each response framed by its `Content-Length`
+/// through [`ResponseParser`].
+///
+/// The server may close the connection after its per-connection request
+/// cap (the last response carries `Connection: close`) or an idle
+/// timeout; the next [`HttpConnection::request`] then fails with
+/// [`io::ErrorKind::UnexpectedEof`] / a transport error and the caller
+/// reconnects. Check [`HttpResponse::closes_connection`] to reconnect
+/// proactively.
+#[derive(Debug)]
+pub struct HttpConnection {
+    addr: String,
+    stream: TcpStream,
+    parser: ResponseParser,
+}
+
+impl HttpConnection {
+    /// Connects to `addr` with the given socket deadlines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect_to(addr: impl Into<String>, timeouts: ClientTimeouts) -> io::Result<Self> {
+        let addr = addr.into();
+        let stream = connect(&addr, timeouts)?;
+        Ok(Self { addr, stream, parser: ResponseParser::new(MAX_RESPONSE_BODY) })
+    }
+
+    /// Performs one request on the persistent connection and reads its
+    /// response.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (including the server having closed the
+    /// connection between requests, surfaced as
+    /// [`io::ErrorKind::UnexpectedEof`]); malformed responses as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<HttpResponse> {
+        let body = body.unwrap_or("");
+        write!(
+            self.stream,
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+            self.addr,
+            body.len()
+        )
+        .map_err(|e| timeout_error("request write", e))?;
+        self.stream.flush().map_err(|e| timeout_error("request write", e))?;
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            if let Some(parsed) = self.parser.next_response()? {
+                return Ok(HttpResponse {
+                    status: parsed.status,
+                    headers: parsed.headers,
+                    body: parsed.body,
+                });
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the keep-alive connection",
+                    ))
+                }
+                Ok(n) => self.parser.feed(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(timeout_error("response read", e)),
+            }
+        }
+    }
+}
+
 /// A convenience wrapper bound to one server address.
 #[derive(Debug, Clone)]
 pub struct Client {
@@ -245,6 +348,87 @@ impl Client {
     /// Propagates transport failures.
     pub fn metrics(&self) -> io::Result<HttpResponse> {
         request_with(&self.addr, "GET", "/metrics", None, self.timeouts)
+    }
+
+    /// Follows `GET /v1/attacks/{id}/progress` until the stream ends,
+    /// invoking `on_line` for every JSONL record as it arrives and
+    /// returning the final status code. The read deadline applies per
+    /// read, so a job that keeps producing generations can stream far
+    /// longer than one `timeouts.read`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, malformed chunked framing as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn progress(&self, id: &str, mut on_line: impl FnMut(&str)) -> io::Result<u16> {
+        let mut stream = connect(&self.addr, self.timeouts)?;
+        write!(
+            stream,
+            "GET /v1/attacks/{id}/progress HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+            self.addr
+        )
+        .map_err(|e| timeout_error("request write", e))?;
+        stream.flush().map_err(|e| timeout_error("request write", e))?;
+        let mut reader = BufReader::new(stream);
+        let status_line =
+            read_status_line(&mut reader).map_err(|e| timeout_error("response read", e))?;
+        let code = status_line.split(' ').nth(1).unwrap_or("");
+        let status: u16 = code.parse().map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad status code {code:?}: {e}"))
+        })?;
+        // Headers: read until the blank line, note the framing.
+        let mut chunked = false;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).map_err(|e| timeout_error("response read", e))?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if line.to_ascii_lowercase().replace(' ', "") == "transfer-encoding:chunked" {
+                chunked = true;
+            }
+        }
+        let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        if !chunked {
+            // An error response (404 on an unknown job) is an ordinary
+            // Connection: close body; deliver it as one line.
+            let mut text = String::new();
+            reader.read_to_string(&mut text).map_err(|e| timeout_error("response read", e))?;
+            for line in text.lines().filter(|l| !l.is_empty()) {
+                on_line(line);
+            }
+            return Ok(status);
+        }
+        // Decode chunks as they arrive so the callback observes the
+        // stream live, carrying any partial line across chunks.
+        let mut carry = String::new();
+        loop {
+            let mut size_line = String::new();
+            reader.read_line(&mut size_line).map_err(|e| timeout_error("response read", e))?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|e| invalid(format!("bad chunk size {:?}: {e}", size_line.trim())))?;
+            let mut payload = vec![0u8; size + 2]; // payload + trailing CRLF
+            reader.read_exact(&mut payload).map_err(|e| timeout_error("response read", e))?;
+            if size == 0 {
+                break;
+            }
+            payload.truncate(size);
+            let chunk = std::str::from_utf8(&payload)
+                .map_err(|e| invalid(format!("non-UTF-8 progress chunk: {e}")))?;
+            carry.push_str(chunk);
+            while let Some(nl) = carry.find('\n') {
+                let line: String = carry.drain(..=nl).collect();
+                let line = line.trim_end();
+                if !line.is_empty() {
+                    on_line(line);
+                }
+            }
+        }
+        if !carry.trim_end().is_empty() {
+            on_line(carry.trim_end());
+        }
+        Ok(status)
     }
 
     /// Polls `GET /v1/attacks/{id}` until the job leaves `queued` /

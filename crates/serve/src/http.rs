@@ -29,6 +29,9 @@ pub struct Request {
     pub method: String,
     /// The request target path, query string included.
     pub path: String,
+    /// `true` for `HTTP/1.1` requests, `false` for `HTTP/1.0` — the two
+    /// versions default to opposite connection persistence.
+    pub http11: bool,
     /// Header `(name, value)` pairs in arrival order, names lowercased.
     pub headers: Vec<(String, String)>,
     /// The request body (empty without a `Content-Length`).
@@ -36,6 +39,17 @@ pub struct Request {
 }
 
 impl Request {
+    /// Whether the client asked to keep the connection open after this
+    /// request: HTTP/1.1 persists unless `Connection: close`, HTTP/1.0
+    /// closes unless `Connection: keep-alive`.
+    pub fn wants_keep_alive(&self) -> bool {
+        let connection = self.header("connection").map(str::to_ascii_lowercase);
+        if self.http11 {
+            connection.as_deref() != Some("close")
+        } else {
+            connection.as_deref() == Some("keep-alive")
+        }
+    }
     /// The first value of a header (name matched case-insensitively).
     pub fn header(&self, name: &str) -> Option<&str> {
         let want = name.to_ascii_lowercase();
@@ -115,6 +129,7 @@ pub struct RequestParser {
     /// The message under construction (start line parsed, rest pending).
     method: String,
     path: String,
+    http11: bool,
     headers: Vec<(String, String)>,
 }
 
@@ -128,6 +143,7 @@ impl RequestParser {
             max_body,
             method: String::new(),
             path: String::new(),
+            http11: true,
             headers: Vec::new(),
         }
     }
@@ -214,6 +230,7 @@ impl RequestParser {
                     if version != "HTTP/1.1" && version != "HTTP/1.0" {
                         return Err(invalid(format!("unsupported protocol {version:?}")));
                     }
+                    self.http11 = version == "HTTP/1.1";
                     self.method = method.to_string();
                     self.path = path.to_string();
                     self.headers.clear();
@@ -245,6 +262,7 @@ impl RequestParser {
                     return Ok(Some(Request {
                         method: std::mem::take(&mut self.method),
                         path: std::mem::take(&mut self.path),
+                        http11: self.http11,
                         headers: std::mem::take(&mut self.headers),
                         body,
                     }));
@@ -424,14 +442,62 @@ impl Response {
     ///
     /// Propagates transport failures.
     pub fn write_to<W: Write>(&self, writer: &mut W) -> io::Result<()> {
+        self.write_to_with(writer, false)
+    }
+
+    /// [`Response::write_to`] with an explicit connection decision:
+    /// `keep_alive` advertises `Connection: keep-alive` so the peer may
+    /// send another request on this socket, `false` advertises
+    /// `Connection: close`. Framing is `Content-Length` either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn write_to_with<W: Write>(&self, writer: &mut W, keep_alive: bool) -> io::Result<()> {
         write!(writer, "HTTP/1.1 {} {}\r\n", self.status, status_reason(self.status))?;
         for (name, value) in &self.headers {
             write!(writer, "{name}: {value}\r\n")?;
         }
-        write!(writer, "Content-Length: {}\r\nConnection: close\r\n\r\n", self.body.len())?;
+        write!(
+            writer,
+            "Content-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" }
+        )?;
         writer.write_all(&self.body)?;
         writer.flush()
     }
+}
+
+/// The head of a chunked streaming response (progress streams). No
+/// `Content-Length` — the body is `Transfer-Encoding: chunked` and the
+/// connection always closes once the stream ends, so a streaming
+/// response is terminal on its connection.
+pub fn chunked_head(status: u16, content_type: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
+         Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        status_reason(status)
+    )
+    .into_bytes()
+}
+
+/// One chunk of a chunked body: hex length, CRLF, payload, CRLF. Empty
+/// payloads are skipped entirely (a zero-length chunk would terminate
+/// the stream).
+pub fn encode_chunk(payload: &[u8]) -> Vec<u8> {
+    if payload.is_empty() {
+        return Vec::new();
+    }
+    let mut wire = format!("{:x}\r\n", payload.len()).into_bytes();
+    wire.extend_from_slice(payload);
+    wire.extend_from_slice(b"\r\n");
+    wire
+}
+
+/// The terminating zero-length chunk of a chunked body.
+pub fn final_chunk() -> &'static [u8] {
+    b"0\r\n\r\n"
 }
 
 #[cfg(test)]
@@ -506,5 +572,38 @@ mod tests {
         assert!(text.ends_with("\r\n\r\n{\"id\":\"job-1\"}"));
         assert_eq!(status_reason(429), "Too Many Requests");
         assert_eq!(status_reason(599), "Internal Server Error");
+    }
+
+    #[test]
+    fn keep_alive_follows_version_defaults_and_connection_header() {
+        let wants = |raw: &[u8]| parse(raw).unwrap().wants_keep_alive();
+        assert!(wants(b"GET / HTTP/1.1\r\n\r\n"), "1.1 persists by default");
+        assert!(!wants(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        assert!(!wants(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n"), "case-insensitive");
+        assert!(!wants(b"GET / HTTP/1.0\r\n\r\n"), "1.0 closes by default");
+        assert!(wants(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"));
+        let request = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!request.http11);
+    }
+
+    #[test]
+    fn keep_alive_responses_advertise_persistence() {
+        let mut wire = Vec::new();
+        Response::json(200, "{}").write_to_with(&mut wire, true).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"), "{text}");
+    }
+
+    #[test]
+    fn chunked_helpers_frame_a_stream() {
+        let head = String::from_utf8(chunked_head(200, "application/jsonl")).unwrap();
+        assert!(head.starts_with("HTTP/1.1 200 OK\r\n"), "{head}");
+        assert!(head.contains("Transfer-Encoding: chunked\r\n"), "{head}");
+        assert!(head.contains("Connection: close\r\n"), "{head}");
+        assert!(!head.contains("Content-Length"), "{head}");
+        assert_eq!(encode_chunk(b"hello\n"), b"6\r\nhello\n\r\n");
+        assert!(encode_chunk(b"").is_empty(), "empty payloads must not terminate the stream");
+        assert_eq!(final_chunk(), b"0\r\n\r\n");
     }
 }

@@ -40,12 +40,16 @@
 pub mod client;
 pub mod http;
 pub mod metrics;
+pub mod progress;
 #[cfg(unix)]
 pub(crate) mod reactor;
+pub mod router;
 pub mod server;
 pub mod tenant;
 
-pub use client::{Client, ClientTimeouts, HttpResponse};
+pub use client::{Client, ClientTimeouts, HttpConnection, HttpResponse};
 pub use metrics::{percentile, Metrics};
+pub use progress::ProgressFeed;
+pub use router::{Router, ShardSet};
 pub use server::{Server, ServerConfig, ShutdownReport};
 pub use tenant::{AdmitError, TenantGovernor, TenantPolicy};

@@ -1,0 +1,137 @@
+//! Per-job progress feeds backing the streaming progress endpoint.
+//!
+//! Every accepted job owns one [`ProgressFeed`]: the worker running the
+//! job pushes a telemetry line per GA generation (the same record
+//! `bea_core::telemetry::generation_record` persists) and marks the
+//! feed finished when the job reaches a terminal state. Any number of
+//! progress streams read the feed concurrently — each tracks its own
+//! cursor, so a client connecting mid-run first replays the history,
+//! then follows live. Feeds are append-only and bounded by the job's
+//! generation budget, so a finished job's stream replays identically
+//! forever.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// The lines pushed so far plus the terminal flag.
+#[derive(Debug, Default)]
+struct FeedState {
+    lines: Vec<String>,
+    finished: bool,
+}
+
+/// One job's append-only progress stream. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct ProgressFeed {
+    state: Mutex<FeedState>,
+    grew: Condvar,
+}
+
+impl ProgressFeed {
+    /// An empty, unfinished feed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one progress line (ignored once finished — a terminal
+    /// feed never grows, so replays stay stable).
+    pub fn push(&self, line: String) {
+        let mut state = self.state.lock().expect("progress feed lock");
+        if !state.finished {
+            state.lines.push(line);
+            self.grew.notify_all();
+        }
+    }
+
+    /// Marks the feed terminal, optionally appending one final line
+    /// (the `progress_end` record carrying the job's outcome).
+    pub fn finish(&self, last_line: Option<String>) {
+        let mut state = self.state.lock().expect("progress feed lock");
+        if state.finished {
+            return;
+        }
+        if let Some(line) = last_line {
+            state.lines.push(line);
+        }
+        state.finished = true;
+        self.grew.notify_all();
+    }
+
+    /// Lines appended at or after cursor `from`, plus whether the feed
+    /// is finished. Never blocks — the reactor polls this on its tick.
+    pub fn poll(&self, from: usize) -> (Vec<String>, bool) {
+        let state = self.state.lock().expect("progress feed lock");
+        (state.lines.get(from..).unwrap_or(&[]).to_vec(), state.finished)
+    }
+
+    /// Like [`ProgressFeed::poll`], but blocks up to `timeout` for the
+    /// feed to grow past `from` (the blocking front-end's driver).
+    pub fn wait(&self, from: usize, timeout: Duration) -> (Vec<String>, bool) {
+        let mut state = self.state.lock().expect("progress feed lock");
+        if state.lines.len() <= from && !state.finished {
+            let (guard, _) = self.grew.wait_timeout(state, timeout).expect("progress feed lock");
+            state = guard;
+        }
+        (state.lines.get(from..).unwrap_or(&[]).to_vec(), state.finished)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn feeds_replay_history_then_follow_live_appends() {
+        let feed = ProgressFeed::new();
+        feed.push("a".to_string());
+        feed.push("b".to_string());
+        let (lines, finished) = feed.poll(0);
+        assert_eq!(lines, ["a", "b"]);
+        assert!(!finished);
+        let (lines, _) = feed.poll(2);
+        assert!(lines.is_empty());
+        feed.push("c".to_string());
+        let (lines, _) = feed.poll(2);
+        assert_eq!(lines, ["c"]);
+    }
+
+    #[test]
+    fn finish_is_terminal_and_rejects_further_growth() {
+        let feed = ProgressFeed::new();
+        feed.push("gen".to_string());
+        feed.finish(Some("end".to_string()));
+        feed.push("late".to_string());
+        feed.finish(Some("second end".to_string()));
+        let (lines, finished) = feed.poll(0);
+        assert_eq!(lines, ["gen", "end"]);
+        assert!(finished);
+    }
+
+    #[test]
+    fn wait_unblocks_on_growth_and_on_finish() {
+        let feed = Arc::new(ProgressFeed::new());
+        let writer = Arc::clone(&feed);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            writer.push("live".to_string());
+            writer.finish(None);
+        });
+        let (lines, _) = feed.wait(0, Duration::from_secs(5));
+        assert_eq!(lines, ["live"]);
+        handle.join().expect("writer thread");
+        let (lines, finished) = feed.wait(1, Duration::from_secs(5));
+        assert!(lines.is_empty());
+        assert!(finished, "wait returns promptly on a finished feed");
+    }
+
+    #[test]
+    fn wait_times_out_on_a_silent_feed() {
+        let feed = ProgressFeed::new();
+        let started = std::time::Instant::now();
+        let (lines, finished) = feed.wait(0, Duration::from_millis(20));
+        assert!(lines.is_empty());
+        assert!(!finished);
+        assert!(started.elapsed() >= Duration::from_millis(10));
+    }
+}

@@ -13,14 +13,30 @@
 //! control and job execution are untouched — the reactor changes how
 //! bytes move, never what they mean.
 //!
-//! Connection lifecycle: `Reading` (accumulate request bytes) →
-//! `Writing` (flush the response; the server always answers
-//! `Connection: close`) → gone. A parse error answers `400` and closes,
-//! exactly like the blocking path; a connection idle past the timeout
-//! is dropped in the periodic sweep.
+//! Connection lifecycle: connections are **persistent**. A request
+//! whose semantics allow keep-alive (HTTP/1.1 without
+//! `Connection: close`, or HTTP/1.0 opting in) gets its response and
+//! the connection re-arms for the next request; pipelined bursts are
+//! answered in arrival order. The connection closes when the client
+//! asks (`Connection: close` — any requests still buffered *behind*
+//! that request go unanswered, per RFC 9112 §9.6), when the
+//! per-connection request cap is reached (the final response
+//! advertises `Connection: close`), when a parse error answers `400`,
+//! or when the idle sweep finds it silent past the configured timeout.
+//!
+//! A progress request turns the connection into a **stream**: the
+//! chunked response head is buffered immediately and the per-tick pump
+//! appends one chunk per telemetry line as the job's
+//! [`ProgressFeed`](crate::progress::ProgressFeed) grows, ending with
+//! the terminating chunk when the feed finishes. Streams are terminal
+//! on the connection (`Connection: close`), and a streaming connection
+//! is exempt from the idle sweep while the job is merely quiet — it is
+//! only dropped when the *client* stops reading (pending output stuck
+//! past the idle timeout) or closes.
 
-use crate::http::{Request, RequestParser, Response};
-use crate::server::{error_response, route, Shared};
+use crate::http::{chunked_head, encode_chunk, final_chunk, Request, RequestParser};
+use crate::progress::ProgressFeed;
+use crate::server::{error_response, route, Routed, Shared};
 use bea_reactor::{Event, Interest, Poller, Token};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -34,14 +50,18 @@ use std::time::{Duration, Instant};
 const LISTENER: Token = 0;
 
 /// How long the loop sleeps when nothing is ready (also the idle-sweep
-/// cadence).
+/// and stream-pump cadence).
 const TICK: Duration = Duration::from_millis(500);
-
-/// Connections silent for this long are dropped.
-const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Per-read buffer size.
 const READ_CHUNK: usize = 16 * 1024;
+
+/// An in-flight progress stream on a connection.
+struct ProgressStream {
+    feed: Arc<ProgressFeed>,
+    /// Lines of the feed already framed into `out`.
+    cursor: usize,
+}
 
 /// One multiplexed connection.
 struct Conn {
@@ -52,8 +72,13 @@ struct Conn {
     out: Vec<u8>,
     /// Bytes of `out` already written.
     written: usize,
-    /// All requests answered; close once `out` drains.
+    /// No further requests will be answered; close once `out` (and any
+    /// active stream) drains.
     closing: bool,
+    /// The active progress stream, if this connection became one.
+    progress: Option<ProgressStream>,
+    /// Requests answered on this connection (keep-alive cap).
+    served: usize,
     last_activity: Instant,
     /// The interest currently registered with the poller.
     interest: Interest,
@@ -65,13 +90,20 @@ impl Conn {
     }
 
     /// The interest this connection wants: writable while output is
-    /// pending, readable while more requests may arrive.
+    /// pending; readable otherwise — persistent connections await the
+    /// next request, streams watch for the client hanging up.
     fn wanted_interest(&self) -> Interest {
-        match (self.pending_out(), self.closing) {
-            (true, _) => Interest::WRITABLE,
-            (false, true) => Interest::WRITABLE, // only reachable transiently
-            (false, false) => Interest::READABLE,
+        if self.pending_out() {
+            Interest::WRITABLE
+        } else {
+            Interest::READABLE
         }
+    }
+
+    /// Whether the connection still has work: not retired until every
+    /// buffered byte is flushed and any stream has ended.
+    fn live(&self) -> bool {
+        self.progress.is_some() || !self.closing || self.pending_out()
     }
 }
 
@@ -112,10 +144,16 @@ pub(crate) fn run(listener: TcpListener, shared: Arc<Shared>, mut poller: Poller
             }
         }
         events = batch;
+        pump_streams(&poller, &mut conns);
         if last_sweep.elapsed() >= TICK {
             last_sweep = Instant::now();
             conns.retain(|_, conn| {
-                let live = conn.last_activity.elapsed() < IDLE_TIMEOUT;
+                // Streams are exempt while the job is quiet but the
+                // client keeps reading; a stream whose output sits
+                // unaccepted past the timeout has lost its reader.
+                let idle = conn.last_activity.elapsed() >= shared.idle_timeout;
+                let live =
+                    if conn.progress.is_some() { !(idle && conn.pending_out()) } else { !idle };
                 if !live {
                     retire(&poller, conn);
                 }
@@ -123,10 +161,13 @@ pub(crate) fn run(listener: TcpListener, shared: Arc<Shared>, mut poller: Poller
             });
         }
     }
-    // Best-effort final flush so responses generated just before the
+    // Best-effort final drain so responses generated just before the
     // stop (e.g. the `POST /v1/shutdown` acknowledgement) reach their
-    // clients.
+    // clients, and open streams end with a clean terminating chunk.
     for conn in conns.values_mut() {
+        if conn.progress.take().is_some() {
+            conn.out.extend_from_slice(final_chunk());
+        }
         let _ = flush(conn);
         let _ = conn.stream.shutdown(Shutdown::Both);
     }
@@ -159,6 +200,8 @@ fn accept_ready(
                         out: Vec::new(),
                         written: 0,
                         closing: false,
+                        progress: None,
+                        served: 0,
                         last_activity: Instant::now(),
                         interest: Interest::READABLE,
                     },
@@ -175,11 +218,20 @@ fn accept_ready(
 /// is finished (or broken) and should be retired.
 fn handle_event(conn: &mut Conn, event: &Event, shared: &Arc<Shared>) -> bool {
     conn.last_activity = Instant::now();
-    if event.readable && !conn.closing {
+    if event.readable {
         match drain_reads(conn, shared) {
             Ok(open) => {
-                if !open && !conn.pending_out() {
-                    return false; // peer closed with nothing left to say
+                if !open {
+                    // EOF. A streaming client that went away takes its
+                    // stream with it; a plain connection still gets any
+                    // already-buffered responses delivered below.
+                    if conn.progress.is_some() {
+                        return false;
+                    }
+                    conn.closing = true;
+                    if !conn.pending_out() {
+                        return false;
+                    }
                 }
             }
             Err(_) => return false,
@@ -193,12 +245,13 @@ fn handle_event(conn: &mut Conn, event: &Event, shared: &Arc<Shared>) -> bool {
         let _ = flush(conn);
         return false;
     }
-    // Closing and fully flushed: done.
-    !conn.closing || conn.pending_out()
+    conn.live()
 }
 
 /// Reads until `WouldBlock` or EOF, feeding the parser and answering
-/// every complete request. Returns `Ok(false)` on EOF.
+/// every complete request (unless the connection already stopped
+/// answering: closing, or turned into a stream). Returns `Ok(false)`
+/// on EOF.
 ///
 /// # Errors
 ///
@@ -218,15 +271,18 @@ fn drain_reads(conn: &mut Conn, shared: &Arc<Shared>) -> io::Result<bool> {
             Err(e) => return Err(e),
         }
     }
-    // Answer everything that parsed; pipelined bursts are answered in
-    // arrival order, then the connection closes (the server's responses
-    // are all `Connection: close`).
-    loop {
+    answer_parsed(conn, shared);
+    Ok(open)
+}
+
+/// Answers every complete buffered request in arrival order, honouring
+/// keep-alive semantics: stops answering once the connection is
+/// closing (a `Connection: close` request mid-pipeline leaves the rest
+/// unanswered) or a progress stream started.
+fn answer_parsed(conn: &mut Conn, shared: &Arc<Shared>) {
+    while !conn.closing && conn.progress.is_none() {
         match conn.parser.next_request() {
-            Ok(Some(request)) => {
-                respond(conn, &request, shared);
-                conn.closing = true;
-            }
+            Ok(Some(request)) => respond(conn, &request, shared),
             Ok(None) => break,
             Err(e) => {
                 let started = Instant::now();
@@ -239,17 +295,69 @@ fn drain_reads(conn: &mut Conn, shared: &Arc<Shared>) -> io::Result<bool> {
             }
         }
     }
-    Ok(open)
 }
 
-/// Routes one request and buffers its response.
+/// Routes one request and buffers its response, updating the
+/// connection's keep-alive state.
 fn respond(conn: &mut Conn, request: &Request, shared: &Arc<Shared>) {
     let started = Instant::now();
-    let (endpoint, response): (&'static str, Response) = route(request, shared);
-    let _ = response.write_to(&mut conn.out);
+    conn.served += 1;
+    let keep_alive = request.wants_keep_alive() && conn.served < shared.conn_requests_max;
+    let (endpoint, routed) = route(request, shared);
+    let status = match routed {
+        Routed::Plain(response) => {
+            let _ = response.write_to_with(&mut conn.out, keep_alive);
+            if !keep_alive {
+                conn.closing = true;
+            }
+            response.status
+        }
+        Routed::Progress(feed) => {
+            // The stream is terminal on this connection whatever the
+            // request's keep-alive preference said.
+            conn.out.extend_from_slice(&chunked_head(200, "application/jsonl"));
+            conn.progress = Some(ProgressStream { feed, cursor: 0 });
+            conn.closing = true;
+            200
+        }
+    };
     let elapsed = started.elapsed();
-    shared.metrics.record_request(endpoint, response.status, elapsed);
-    shared.log_request(&request.method, &request.path, response.status, elapsed);
+    shared.metrics.record_request(endpoint, status, elapsed);
+    shared.log_request(&request.method, &request.path, status, elapsed);
+}
+
+/// Advances every active progress stream: frames newly available feed
+/// lines as chunks, flushes, retires connections whose stream ended
+/// (or whose socket broke).
+fn pump_streams(poller: &Poller, conns: &mut HashMap<Token, Conn>) {
+    let mut finished: Vec<Token> = Vec::new();
+    for (&token, conn) in conns.iter_mut() {
+        let Some(stream) = &mut conn.progress else { continue };
+        let (lines, feed_done) = stream.feed.poll(stream.cursor);
+        if !lines.is_empty() {
+            stream.cursor += lines.len();
+            for line in &lines {
+                let mut payload = line.clone().into_bytes();
+                payload.push(b'\n');
+                conn.out.extend_from_slice(&encode_chunk(&payload));
+            }
+            conn.last_activity = Instant::now();
+        }
+        if feed_done {
+            conn.out.extend_from_slice(final_chunk());
+            conn.progress = None;
+        }
+        if flush(conn).is_err() || !conn.live() {
+            finished.push(token);
+        } else {
+            settle(poller, token, conn);
+        }
+    }
+    for token in finished {
+        if let Some(conn) = conns.remove(&token) {
+            retire(poller, &conn);
+        }
+    }
 }
 
 /// Writes pending output until the socket stops accepting.

@@ -1,0 +1,560 @@
+//! The multi-process shard router: one front door, `N` worker servers.
+//!
+//! A single server process is bounded by its worker pool and its
+//! allocator; the router scales the service across processes the same
+//! way `Campaign` shards cells across threads. The parent process
+//! (`serve_cli --shards N`) spawns `N` child servers — each with its
+//! own reactor, queue and `jobs.jsonl` under a per-shard store
+//! directory — and runs this router in front of them:
+//!
+//! ```text
+//!                      ┌────────────┐
+//!   clients ──────────▶│   router   │   (cell-hash / id routing)
+//!                      └─┬───┬───┬──┘
+//!                        │   │   │
+//!              ┌─────────┘   │   └─────────┐
+//!        ┌─────▼────┐  ┌─────▼────┐  ┌─────▼────┐
+//!        │ shard 0  │  │ shard 1  │  │ shard 2  │   (own reactor +
+//!        │ :auto    │  │ :auto    │  │ :auto    │    queue + jobs.jsonl)
+//!        └──────────┘  └──────────┘  └──────────┘
+//! ```
+//!
+//! **Submission routing is deterministic**: a job goes to shard
+//! `fnv1a(cell identity) % N`, so the same cell always lands on the
+//! same shard (and its store directory), no matter the submission
+//! order or which jobs raced in between. **Id routing** exploits the
+//! shards' strided id spaces — shard `k` issues ids `k+1, k+1+N, ...`
+//! — so `(id - 1) % N` names the owning shard of any `job-<id>`
+//! without a lookup table. Status polls, CSV fetches and progress
+//! streams tunnel straight through; `/metrics` merges the shards'
+//! Prometheus samples by summing; `/healthz` aggregates and lists the
+//! shard pids. A dead shard answers `503` + `Retry-After` until the
+//! supervisor respawns it (the restarted shard replays its own
+//! `jobs.jsonl`, so accepted jobs survive a `kill -9`).
+
+use crate::client::{request_with, ClientTimeouts, HttpResponse};
+use crate::http::{Request, Response};
+use crate::server::error_response;
+use bea_core::campaign::CellSpec;
+use bea_core::grid::fnv1a;
+use bea_core::telemetry::JsonObject;
+use bea_core::AttackJob;
+use std::io::{self, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One shard's live endpoint, as the supervisor last reported it.
+#[derive(Debug, Clone, Default)]
+struct ShardSlot {
+    /// `host:port` of the running shard, `None` while it is down.
+    addr: Option<String>,
+    /// OS pid of the shard process (exposed via `/healthz` so tooling —
+    /// and the crash-isolation test — can find a shard to kill).
+    pid: Option<u32>,
+}
+
+/// The mutable shard directory shared between the router's connection
+/// threads and the supervisor that (re)spawns shard processes.
+#[derive(Debug, Default)]
+pub struct ShardSet {
+    slots: Mutex<Vec<ShardSlot>>,
+}
+
+impl ShardSet {
+    /// A directory of `n` shards, all initially down.
+    pub fn new(n: usize) -> Self {
+        Self { slots: Mutex::new(vec![ShardSlot::default(); n.max(1)]) }
+    }
+
+    /// The shard count (fixed for the router's lifetime).
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("shard set lock").len()
+    }
+
+    /// `true` when the set holds no shards (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records shard `k` as up at `addr` with process id `pid`, or down
+    /// when `addr` is `None`.
+    pub fn set(&self, shard: usize, addr: Option<String>, pid: Option<u32>) {
+        let mut slots = self.slots.lock().expect("shard set lock");
+        if let Some(slot) = slots.get_mut(shard) {
+            slot.addr = addr;
+            slot.pid = pid;
+        }
+    }
+
+    /// The address of shard `k`, when it is up.
+    pub fn addr(&self, shard: usize) -> Option<String> {
+        self.slots.lock().expect("shard set lock").get(shard).and_then(|s| s.addr.clone())
+    }
+
+    /// Every shard's `(addr, pid)`.
+    fn snapshot(&self) -> Vec<(Option<String>, Option<u32>)> {
+        self.slots.lock().expect("shard set lock").iter().map(|s| (s.addr.clone(), s.pid)).collect()
+    }
+}
+
+/// The shard owning a cell: a deterministic hash of the cell identity,
+/// mirroring how `Campaign` shards cells across threads. Every
+/// submission of the same cell lands on the same shard regardless of
+/// arrival order.
+pub fn shard_for_cell(spec: &CellSpec, shards: usize) -> usize {
+    let key = format!("{}|{}|{}", spec.group, spec.model_seed, spec.image_index);
+    (fnv1a(key.as_bytes()) % shards.max(1) as u64) as usize
+}
+
+/// The shard owning `job-<id>` under strided id issuance (shard `k` of
+/// `N` issues `k+1, k+1+N, ...`).
+pub fn shard_for_id(id: u64, shards: usize) -> usize {
+    ((id.saturating_sub(1)) % shards.max(1) as u64) as usize
+}
+
+/// The running router front door.
+pub struct Router {
+    shards: Arc<ShardSet>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router").field("addr", &self.addr).field("shards", &self.shards).finish()
+    }
+}
+
+impl Router {
+    /// Binds `bind_addr` and starts routing to `shards`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(bind_addr: &str, shards: Arc<ShardSet>) -> io::Result<Router> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_handle = {
+            let shards = Arc::clone(&shards);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(&listener, &shards, &stop))
+        };
+        Ok(Router { shards, addr, stop, accept_handle: Some(accept_handle) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `true` once a client requested `POST /v1/shutdown`; the
+    /// supervisor polls this, then shuts the shards down.
+    pub fn shutdown_requested(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting and joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop so it observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Deadlines for one proxied hop: generous reads (a CSV of a big cell
+/// takes a moment to assemble), snappy connects (the shard is local).
+fn hop_timeouts() -> ClientTimeouts {
+    ClientTimeouts {
+        connect: Duration::from_secs(5),
+        read: Duration::from_secs(120),
+        write: Duration::from_secs(30),
+    }
+}
+
+/// Accepts connections until shutdown, one handler thread each (the
+/// router is I/O-light; the shards do the heavy lifting).
+fn accept_loop(listener: &TcpListener, shards: &Arc<ShardSet>, stop: &Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shards = Arc::clone(shards);
+        let stop = Arc::clone(stop);
+        std::thread::spawn(move || handle_connection(stream, &shards, &stop));
+    }
+}
+
+/// Serves one client connection: a keep-alive request loop mirroring
+/// the single-server blocking front-end.
+fn handle_connection(stream: TcpStream, shards: &Arc<ShardSet>, stop: &Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    loop {
+        let request = match Request::read_from(&mut reader, bea_core::job::MAX_JOB_BODY_BYTES) {
+            Ok(request) => request,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let _ = error_response(400, &e.to_string()).write_to(&mut stream);
+                return;
+            }
+            Err(_) => return,
+        };
+        let keep_alive = request.wants_keep_alive();
+        match dispatch(&request, shards, stop) {
+            Dispatched::Response(response) => {
+                if response.write_to_with(&mut stream, keep_alive).is_err() {
+                    return;
+                }
+            }
+            Dispatched::Tunnel(upstream) => {
+                // Progress streams relay raw bytes until the shard ends
+                // the chunked response; terminal on this connection.
+                tunnel(upstream, &mut stream);
+                return;
+            }
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+/// What the router decided to do with one request.
+enum Dispatched {
+    /// A complete response (locally composed or proxied).
+    Response(Response),
+    /// Relay this upstream connection's bytes to the client verbatim
+    /// (the request has already been written upstream).
+    Tunnel(TcpStream),
+}
+
+/// Routes one request: local composition for the aggregate endpoints,
+/// a proxied hop for per-job traffic.
+fn dispatch(request: &Request, shards: &Arc<ShardSet>, stop: &Arc<AtomicBool>) -> Dispatched {
+    let path = request.path.split('?').next().unwrap_or("");
+    let n = shards.len();
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => Dispatched::Response(healthz(shards)),
+        ("GET", "/metrics") => Dispatched::Response(merged_metrics(shards)),
+        ("GET", "/transfer") => Dispatched::Response(merged_transfer(shards)),
+        ("POST", "/v1/shutdown") => {
+            stop.store(true, Ordering::SeqCst);
+            for (addr, _) in shards.snapshot() {
+                if let Some(addr) = addr {
+                    let _ = request_with(&addr, "POST", "/v1/shutdown", None, hop_timeouts());
+                }
+            }
+            Dispatched::Response(Response::json(
+                200,
+                &JsonObject::new().string("status", "stopping").finish(),
+            ))
+        }
+        ("POST", "/v1/attacks") => {
+            let job = match request.body_text().and_then(AttackJob::from_json) {
+                Ok(job) => job,
+                Err(e) => return Dispatched::Response(error_response(400, &e)),
+            };
+            let shard = shard_for_cell(&job.cell_spec(), n);
+            Dispatched::Response(proxy(request, shards, shard))
+        }
+        ("GET", _) if path.starts_with("/v1/attacks/") => {
+            let rest = &path["/v1/attacks/".len()..];
+            let id_text = rest.strip_suffix("/csv").or_else(|| rest.strip_suffix("/progress"));
+            route_by_id(request, shards, id_text.unwrap_or(rest), rest.ends_with("/progress"))
+        }
+        ("GET", _) if path.starts_with("/jobs/") && path.ends_with("/progress") => {
+            let id_text = &path["/jobs/".len()..path.len() - "/progress".len()];
+            route_by_id(request, shards, id_text, true)
+        }
+        (_, "/healthz" | "/metrics" | "/transfer" | "/v1/attacks" | "/v1/shutdown") => {
+            Dispatched::Response(error_response(405, "method not allowed"))
+        }
+        _ => Dispatched::Response(error_response(404, "no such endpoint")),
+    }
+}
+
+/// Routes a per-job request to the shard owning its id.
+fn route_by_id(
+    request: &Request,
+    shards: &Arc<ShardSet>,
+    id_text: &str,
+    streaming: bool,
+) -> Dispatched {
+    let Some(id) = id_text.strip_prefix("job-").and_then(|t| t.parse::<u64>().ok()) else {
+        return Dispatched::Response(error_response(404, &format!("malformed job id {id_text:?}")));
+    };
+    let shard = shard_for_id(id, shards.len());
+    if streaming {
+        match open_tunnel(request, shards, shard) {
+            Ok(upstream) => Dispatched::Tunnel(upstream),
+            Err(response) => Dispatched::Response(response),
+        }
+    } else {
+        Dispatched::Response(proxy(request, shards, shard))
+    }
+}
+
+/// The `503` a request aimed at a down shard receives; `Retry-After`
+/// covers the supervisor's respawn latency.
+fn shard_down(shard: usize) -> Response {
+    error_response(503, &format!("shard {shard} is restarting, retry shortly"))
+        .with_header("Retry-After", "1")
+}
+
+/// Proxies one request to `shard` and adapts the reply. Transport
+/// failure reads as the shard being down mid-restart.
+fn proxy(request: &Request, shards: &Arc<ShardSet>, shard: usize) -> Response {
+    let Some(addr) = shards.addr(shard) else { return shard_down(shard) };
+    let body = std::str::from_utf8(&request.body).ok();
+    match request_with(&addr, &request.method, &request.path, body, hop_timeouts()) {
+        Ok(upstream) => adapt(upstream),
+        Err(_) => shard_down(shard),
+    }
+}
+
+/// Rebuilds a proxied [`HttpResponse`] as a [`Response`] the router can
+/// serialise with its own connection framing.
+fn adapt(upstream: HttpResponse) -> Response {
+    let content_type = upstream.header("content-type").unwrap_or("application/json").to_string();
+    let retry = upstream.header("retry-after").map(str::to_string);
+    let mut response = Response::new(upstream.status).with_body(&content_type, upstream.body);
+    if let Some(retry) = retry {
+        response = response.with_header("Retry-After", &retry);
+    }
+    response
+}
+
+/// Opens the upstream leg of a progress tunnel: connects to the shard,
+/// forwards the request with `Connection: close`, hands the socket
+/// back for raw relaying.
+fn open_tunnel(
+    request: &Request,
+    shards: &Arc<ShardSet>,
+    shard: usize,
+) -> Result<TcpStream, Response> {
+    let Some(addr) = shards.addr(shard) else { return Err(shard_down(shard)) };
+    let mut upstream = TcpStream::connect(&addr).map_err(|_| shard_down(shard))?;
+    let _ = upstream.set_write_timeout(Some(Duration::from_secs(30)));
+    write!(
+        upstream,
+        "{} {} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n",
+        request.method, request.path
+    )
+    .map_err(|_| shard_down(shard))?;
+    upstream.flush().map_err(|_| shard_down(shard))?;
+    Ok(upstream)
+}
+
+/// Relays bytes upstream → client until either side ends.
+fn tunnel(mut upstream: TcpStream, client: &mut TcpStream) {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match upstream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                if client.write_all(&buf[..n]).is_err() || client.flush().is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Aggregated liveness: overall status (`ok` only when every shard
+/// answers), per-shard state and pids.
+fn healthz(shards: &Arc<ShardSet>) -> Response {
+    let mut entries = Vec::new();
+    let mut all_up = true;
+    for (shard, (addr, pid)) in shards.snapshot().into_iter().enumerate() {
+        let probe = addr
+            .as_deref()
+            .and_then(|a| request_with(a, "GET", "/healthz", None, hop_timeouts()).ok());
+        let up = probe.as_ref().is_some_and(|r| r.status == 200);
+        all_up &= up;
+        let mut entry = JsonObject::new()
+            .integer("shard", shard as u64)
+            .string("status", if up { "ok" } else { "down" });
+        if let Some(pid) = pid {
+            entry = entry.integer("pid", u64::from(pid));
+        }
+        if let Some(addr) = &addr {
+            entry = entry.string("addr", addr);
+        }
+        entries.push(entry.finish());
+    }
+    let body = JsonObject::new()
+        .string("status", if all_up { "ok" } else { "degraded" })
+        .integer("shards", shards.len() as u64)
+        .raw("shard_status", &format!("[{}]", entries.join(",")))
+        .finish();
+    Response::json(200, &body)
+}
+
+/// Merges the shards' Prometheus text: samples with the same
+/// `name{labels}` key sum; comment lines and sample order follow the
+/// first answering shard, with keys only later shards expose appended.
+fn merged_metrics(shards: &Arc<ShardSet>) -> Response {
+    let mut texts = Vec::new();
+    for (addr, _) in shards.snapshot() {
+        let Some(addr) = addr else { continue };
+        if let Ok(response) = request_with(&addr, "GET", "/metrics", None, hop_timeouts()) {
+            if let Ok(text) = response.body_text() {
+                texts.push(text.to_string());
+            }
+        }
+    }
+    if texts.is_empty() {
+        return shard_down(0);
+    }
+    Response::new(200).with_body("text/plain; version=0.0.4", merge_prometheus(&texts).into_bytes())
+}
+
+/// The text-merge behind [`merged_metrics`], separable for tests.
+pub fn merge_prometheus(texts: &[String]) -> String {
+    let mut totals: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    // Comment lines (# HELP / # TYPE) keyed by the sample line that
+    // follows them in the first text carrying it.
+    let mut out = String::new();
+    for text in texts {
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.rsplit_once(' ') else { continue };
+            let Ok(value) = value.parse::<f64>() else { continue };
+            let key = key.to_string();
+            if !totals.contains_key(&key) {
+                order.push(key.clone());
+            }
+            *totals.entry(key).or_insert(0.0) += value;
+        }
+    }
+    // Emit in first-seen order, re-attaching the first text's comments
+    // before the first sample that shares their metric name.
+    let mut emitted_comments: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for key in &order {
+        let name = key.split('{').next().unwrap_or(key).to_string();
+        if emitted_comments.insert(name.clone()) {
+            for line in texts[0].lines().filter(|l| l.starts_with('#')) {
+                if line.split_whitespace().nth(2) == Some(name.as_str()) {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+        let value = totals[key];
+        if (value.fract()).abs() < f64::EPSILON {
+            out.push_str(&format!("{key} {}\n", value as i64));
+        } else {
+            out.push_str(&format!("{key} {value}\n"));
+        }
+    }
+    out
+}
+
+/// Merges the shards' `/transfer` summaries by concatenating their
+/// matrix arrays (each shard's store holds its own cells).
+fn merged_transfer(shards: &Arc<ShardSet>) -> Response {
+    let mut matrices: Vec<String> = Vec::new();
+    let mut reached = false;
+    for (addr, _) in shards.snapshot() {
+        let Some(addr) = addr else { continue };
+        let Ok(response) = request_with(&addr, "GET", "/transfer", None, hop_timeouts()) else {
+            continue;
+        };
+        reached = true;
+        let Ok(text) = response.body_text() else { continue };
+        if let Ok(parsed) = bea_core::telemetry::parse_json(text) {
+            if let Some(list) = parsed.get("transfer").map(|v| v.render()) {
+                // Strip the brackets and keep the comma-joined entries.
+                let inner = list.trim().trim_start_matches('[').trim_end_matches(']').trim();
+                if !inner.is_empty() {
+                    matrices.push(inner.to_string());
+                }
+            }
+        }
+    }
+    if !reached {
+        return shard_down(0);
+    }
+    let joined = matrices.join(",");
+    let count = if joined.is_empty() { 0 } else { joined.split("},{").count() as u64 };
+    let body = JsonObject::new()
+        .integer("matrices", count)
+        .raw("transfer", &format!("[{joined}]"))
+        .finish();
+    Response::json(200, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_routing_is_deterministic_and_spread() {
+        let specs: Vec<CellSpec> =
+            (0..16u64).map(|i| CellSpec::new("yolo", 1 + (i % 4), (i % 8) as usize)).collect();
+        let first: Vec<usize> = specs.iter().map(|s| shard_for_cell(s, 4)).collect();
+        let second: Vec<usize> = specs.iter().map(|s| shard_for_cell(s, 4)).collect();
+        assert_eq!(first, second, "routing must be a pure function of cell identity");
+        assert!(first.iter().all(|&s| s < 4));
+        let distinct: std::collections::HashSet<usize> = first.iter().copied().collect();
+        assert!(distinct.len() > 1, "16 cells should not all land on one shard: {first:?}");
+        assert!(specs.iter().all(|s| shard_for_cell(s, 1) == 0));
+    }
+
+    #[test]
+    fn id_routing_matches_strided_issuance() {
+        // Shard k of 4 issues k+1, k+5, k+9, ...
+        for shard in 0..4u64 {
+            for step in 0..8u64 {
+                let id = shard + 1 + step * 4;
+                assert_eq!(shard_for_id(id, 4), shard as usize, "id {id}");
+            }
+        }
+        assert_eq!(shard_for_id(7, 1), 0);
+    }
+
+    #[test]
+    fn prometheus_merge_sums_samples_and_keeps_structure() {
+        let a = "# HELP jobs_total Jobs.\n# TYPE jobs_total counter\njobs_total 3\nqueue_depth 1\n"
+            .to_string();
+        let b = "# HELP jobs_total Jobs.\n# TYPE jobs_total counter\njobs_total 4\nqueue_depth 2\nonly_b 9\n"
+            .to_string();
+        let merged = merge_prometheus(&[a, b]);
+        assert!(merged.contains("jobs_total 7\n"), "{merged}");
+        assert!(merged.contains("queue_depth 3\n"), "{merged}");
+        assert!(merged.contains("only_b 9\n"), "{merged}");
+        assert!(merged.contains("# HELP jobs_total Jobs.\n"), "{merged}");
+        let first_sample = merged.lines().position(|l| l == "jobs_total 7").unwrap();
+        let comment = merged.lines().position(|l| l.starts_with("# HELP jobs_total")).unwrap();
+        assert!(comment < first_sample, "comments precede their samples:\n{merged}");
+    }
+
+    #[test]
+    fn shard_set_tracks_liveness() {
+        let set = ShardSet::new(2);
+        assert_eq!(set.len(), 2);
+        assert!(set.addr(0).is_none());
+        set.set(0, Some("127.0.0.1:1".to_string()), Some(42));
+        assert_eq!(set.addr(0).as_deref(), Some("127.0.0.1:1"));
+        set.set(0, None, None);
+        assert!(set.addr(0).is_none(), "a dead shard loses its address");
+        assert!(!set.is_empty());
+    }
+}

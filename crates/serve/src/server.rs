@@ -17,8 +17,9 @@
 //!    control is explicit (`429` + `Retry-After`) instead of unbounded
 //!    memory growth.
 
-use crate::http::{Request, Response};
+use crate::http::{chunked_head, encode_chunk, final_chunk, Request, Response};
 use crate::metrics::Metrics;
+use crate::progress::ProgressFeed;
 use crate::tenant::{TenantGovernor, TenantPolicy};
 use bea_core::batch::{BatchGate, GateDetector};
 use bea_core::campaign::{Campaign, CampaignConfig, CampaignStore};
@@ -74,6 +75,19 @@ pub struct ServerConfig {
     /// How many `done` records the startup compaction of `jobs.jsonl`
     /// retains (newest first); pending records are always kept.
     pub done_retention: usize,
+    /// Connections silent for this long are dropped (both front-ends;
+    /// the reactor's idle sweep and the blocking path's read timeout).
+    pub idle_timeout: Duration,
+    /// Requests served per connection before the server closes it
+    /// (keep-alive bound; the final response advertises
+    /// `Connection: close`). `0` means one request per connection.
+    pub conn_requests_max: usize,
+    /// First job id this server issues (`job-<id_start>` and up).
+    pub id_start: u64,
+    /// Increment between issued job ids. A shard router gives shard `k`
+    /// of `N` `id_start: k + 1, id_stride: N`, so ids are globally
+    /// unique and `(id - 1) % N` recovers the owning shard.
+    pub id_stride: u64,
 }
 
 impl ServerConfig {
@@ -93,6 +107,10 @@ impl ServerConfig {
             batch_max: 1,
             tenant_policy: TenantPolicy::default(),
             done_retention: 64,
+            idle_timeout: Duration::from_secs(30),
+            conn_requests_max: 1000,
+            id_start: 1,
+            id_stride: 1,
         }
     }
 }
@@ -121,6 +139,8 @@ struct QueuedJob {
 struct JobEntry {
     job: AttackJob,
     status: JobStatus,
+    /// Per-generation progress stream of this job (replayable).
+    progress: Arc<ProgressFeed>,
 }
 
 /// State shared between the connection front-ends (blocking accept
@@ -145,6 +165,9 @@ pub(crate) struct Shared {
     request_log: Mutex<()>,
     kernel_threads: usize,
     batch_max: usize,
+    pub(crate) idle_timeout: Duration,
+    pub(crate) conn_requests_max: usize,
+    id_stride: u64,
 }
 
 impl Shared {
@@ -190,6 +213,17 @@ impl Shared {
             entry.status = status;
         }
     }
+
+    /// The progress feed of a registered job (always present for jobs
+    /// popped off the queue — registration precedes the push).
+    fn feed_of(&self, id: u64) -> Arc<ProgressFeed> {
+        self.registry
+            .lock()
+            .expect("registry lock")
+            .get(&id)
+            .map(|entry| Arc::clone(&entry.progress))
+            .unwrap_or_default()
+    }
 }
 
 /// The running server. Dropping it without calling [`Server::shutdown`]
@@ -232,7 +266,7 @@ impl Server {
             queue: FairQueue::new(config.queue_capacity),
             governor: TenantGovernor::new(config.tenant_policy),
             registry: Mutex::new(BTreeMap::new()),
-            next_id: AtomicU64::new(1),
+            next_id: AtomicU64::new(config.id_start.max(1)),
             accepting: AtomicBool::new(true),
             stop_requested: AtomicBool::new(false),
             in_flight: Mutex::new(0),
@@ -248,6 +282,9 @@ impl Server {
             request_log: Mutex::new(()),
             kernel_threads: config.kernel_threads,
             batch_max: config.batch_max.max(1),
+            idle_timeout: config.idle_timeout,
+            conn_requests_max: config.conn_requests_max.max(1),
+            id_stride: config.id_stride.max(1),
         });
 
         // Workers start before recovery so replayed jobs beyond the
@@ -396,11 +433,17 @@ fn recover_jobs(shared: &Arc<Shared>, done_retention: usize) -> io::Result<()> {
 
     for (id, job, done) in records {
         let status = if done { JobStatus::Done } else { JobStatus::Queued };
+        let progress = Arc::new(ProgressFeed::new());
+        if done {
+            // The generations ran in a previous process; the stream
+            // replays straight to its terminal record.
+            progress.finish(Some(progress_end_line(&JobStatus::Done)));
+        }
         shared
             .registry
             .lock()
             .expect("registry lock")
-            .insert(id, JobEntry { job: job.clone(), status });
+            .insert(id, JobEntry { job: job.clone(), status, progress });
         if !done {
             // Recovered jobs re-occupy their tenant's quota (they were
             // rate-limited at original admission, so no token is spent)
@@ -422,9 +465,20 @@ fn recover_jobs(shared: &Arc<Shared>, done_retention: usize) -> io::Result<()> {
             }
         }
     }
-    let next = shared.next_id.load(Ordering::SeqCst).max(max_id + 1);
+    // Advance past every replayed id by one stride: replayed ids share
+    // this shard's congruence class, so the next issued id stays in it.
+    let next = shared.next_id.load(Ordering::SeqCst).max(max_id + shared.id_stride);
     shared.next_id.store(next, Ordering::SeqCst);
     Ok(())
+}
+
+/// The terminal record closing a progress stream.
+fn progress_end_line(status: &JobStatus) -> String {
+    let body = JsonObject::new().string("type", "progress_end").string("status", status.name());
+    match status {
+        JobStatus::Failed(message) => body.string("error", message).finish(),
+        _ => body.finish(),
+    }
 }
 
 /// Rewrites `jobs.jsonl` keeping every pending record plus the newest
@@ -475,33 +529,92 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-/// Serves one connection (one request, `Connection: close`).
+/// Serves one connection: a keep-alive request loop bounded by the
+/// configured per-connection request cap and idle timeout. The loop
+/// ends when the client asks for `Connection: close` (or speaks
+/// HTTP/1.0 without opting in), the cap is reached, a progress stream
+/// runs (streaming responses are terminal), or the socket goes idle.
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
-    let started = Instant::now();
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_read_timeout(Some(shared.idle_timeout));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return,
     });
-    let request = match Request::read_from(&mut reader, bea_core::job::MAX_JOB_BODY_BYTES) {
-        Ok(request) => request,
-        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-            let response = error_response(400, &e.to_string());
-            let mut stream = stream;
-            let _ = response.write_to(&mut stream);
-            shared.metrics.record_request("malformed", 400, started.elapsed());
-            shared.log_request("?", "?", 400, started.elapsed());
+    let mut stream = stream;
+    let mut served = 0usize;
+    loop {
+        let started = Instant::now();
+        let request = match Request::read_from(&mut reader, bea_core::job::MAX_JOB_BODY_BYTES) {
+            Ok(request) => request,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let response = error_response(400, &e.to_string());
+                let _ = response.write_to(&mut stream);
+                shared.metrics.record_request("malformed", 400, started.elapsed());
+                shared.log_request("?", "?", 400, started.elapsed());
+                return;
+            }
+            // Idle timeout, peer close between requests, transport
+            // failure: nothing sensible left to answer.
+            Err(_) => return,
+        };
+        served += 1;
+        let keep_alive = request.wants_keep_alive() && served < shared.conn_requests_max;
+        let (endpoint, routed) = route(&request, shared);
+        let status = match routed {
+            Routed::Plain(response) => {
+                if response.write_to_with(&mut stream, keep_alive).is_err() {
+                    return;
+                }
+                response.status
+            }
+            Routed::Progress(feed) => {
+                shared.metrics.record_request(endpoint, 200, started.elapsed());
+                shared.log_request(&request.method, &request.path, 200, started.elapsed());
+                stream_progress_blocking(&mut stream, &feed, shared);
+                return;
+            }
+        };
+        let elapsed = started.elapsed();
+        shared.metrics.record_request(endpoint, status, elapsed);
+        shared.log_request(&request.method, &request.path, status, elapsed);
+        if !keep_alive {
             return;
         }
-        Err(_) => return,
-    };
-    let (endpoint, response) = route(&request, shared);
-    let mut stream = stream;
-    let _ = response.write_to(&mut stream);
-    let elapsed = started.elapsed();
-    shared.metrics.record_request(endpoint, response.status, elapsed);
-    shared.log_request(&request.method, &request.path, response.status, elapsed);
+    }
+}
+
+/// Drives one blocking progress stream: chunked head, history replay,
+/// live follow until the feed finishes, terminating chunk.
+fn stream_progress_blocking(stream: &mut TcpStream, feed: &ProgressFeed, shared: &Arc<Shared>) {
+    if stream.write_all(&chunked_head(200, "application/jsonl")).is_err() {
+        return;
+    }
+    let mut cursor = 0usize;
+    loop {
+        let (lines, finished) = feed.wait(cursor, Duration::from_millis(250));
+        cursor += lines.len();
+        for line in &lines {
+            let mut payload = line.clone().into_bytes();
+            payload.push(b'\n');
+            if stream.write_all(&encode_chunk(&payload)).is_err() {
+                return;
+            }
+        }
+        if finished && lines.is_empty() {
+            let _ = stream.write_all(final_chunk());
+            let _ = stream.flush();
+            return;
+        }
+        let _ = stream.flush();
+        if shared.stop_requested.load(Ordering::SeqCst) && !finished {
+            // Shutting down: end the stream cleanly rather than holding
+            // the drain hostage to a client that keeps listening.
+            let _ = stream.write_all(final_chunk());
+            let _ = stream.flush();
+            return;
+        }
+    }
 }
 
 /// A JSON error body.
@@ -509,33 +622,74 @@ pub(crate) fn error_response(status: u16, message: &str) -> Response {
     Response::json(status, &JsonObject::new().string("error", message).finish())
 }
 
+/// What a routed request turned into: an ordinary buffered response, or
+/// a progress stream the front-end drives as a chunked response (the
+/// connection closes once the stream ends).
+pub(crate) enum Routed {
+    /// A complete response to serialise and (possibly) keep going.
+    Plain(Response),
+    /// Stream this feed as chunked JSONL; terminal on the connection.
+    Progress(Arc<ProgressFeed>),
+}
+
+impl From<Response> for Routed {
+    fn from(response: Response) -> Self {
+        Routed::Plain(response)
+    }
+}
+
 /// Dispatches one request to its endpoint.
-pub(crate) fn route(request: &Request, shared: &Arc<Shared>) -> (&'static str, Response) {
+pub(crate) fn route(request: &Request, shared: &Arc<Shared>) -> (&'static str, Routed) {
     let path = request.path.split('?').next().unwrap_or("");
     match (request.method.as_str(), path) {
-        ("GET", "/healthz") => ("GET /healthz", healthz(shared)),
-        ("GET", "/metrics") => ("GET /metrics", metrics(shared)),
-        ("GET", "/transfer") => ("GET /transfer", transfer_summary(shared)),
-        ("POST", "/v1/attacks") => ("POST /v1/attacks", submit(request, shared)),
+        ("GET", "/healthz") => ("GET /healthz", healthz(shared).into()),
+        ("GET", "/metrics") => ("GET /metrics", metrics(shared).into()),
+        ("GET", "/transfer") => ("GET /transfer", transfer_summary(shared).into()),
+        ("POST", "/v1/attacks") => ("POST /v1/attacks", submit(request, shared).into()),
         ("POST", "/v1/shutdown") => {
             shared.accepting.store(false, Ordering::SeqCst);
             shared.stop_requested.store(true, Ordering::SeqCst);
             (
                 "POST /v1/shutdown",
-                Response::json(200, &JsonObject::new().string("status", "stopping").finish()),
+                Response::json(200, &JsonObject::new().string("status", "stopping").finish())
+                    .into(),
             )
         }
         ("GET", _) if path.starts_with("/v1/attacks/") => {
             let rest = &path["/v1/attacks/".len()..];
-            match rest.strip_suffix("/csv") {
-                Some(id) => ("GET /v1/attacks/{id}/csv", job_csv(id, shared)),
-                None => ("GET /v1/attacks/{id}", job_status(rest, shared)),
+            if let Some(id) = rest.strip_suffix("/csv") {
+                ("GET /v1/attacks/{id}/csv", job_csv(id, shared).into())
+            } else if let Some(id) = rest.strip_suffix("/progress") {
+                ("GET /v1/attacks/{id}/progress", job_progress(id, shared))
+            } else {
+                ("GET /v1/attacks/{id}", job_status(rest, shared).into())
             }
         }
-        (_, "/healthz" | "/metrics" | "/transfer" | "/v1/attacks" | "/v1/shutdown") => {
-            ("method-not-allowed", error_response(405, "method not allowed"))
+        // `/jobs/<id>/progress` is an alias of the canonical
+        // `/v1/attacks/{id}/progress` path.
+        ("GET", _) if path.starts_with("/jobs/") && path.ends_with("/progress") => {
+            let id = &path["/jobs/".len()..path.len() - "/progress".len()];
+            ("GET /jobs/{id}/progress", job_progress(id, shared))
         }
-        _ => ("not-found", error_response(404, "no such endpoint")),
+        (_, "/healthz" | "/metrics" | "/transfer" | "/v1/attacks" | "/v1/shutdown") => {
+            ("method-not-allowed", error_response(405, "method not allowed").into())
+        }
+        _ => ("not-found", error_response(404, "no such endpoint").into()),
+    }
+}
+
+/// Resolves a progress stream: the job's feed when it exists, a `404`
+/// otherwise. Queued jobs stream too — the feed simply stays silent
+/// until the job starts producing generations.
+fn job_progress(id_text: &str, shared: &Shared) -> Routed {
+    let Some(id) = parse_job_id(id_text) else {
+        return error_response(404, &format!("malformed job id {id_text:?}")).into();
+    };
+    let feed =
+        shared.registry.lock().expect("registry lock").get(&id).map(|e| Arc::clone(&e.progress));
+    match feed {
+        Some(feed) => Routed::Progress(feed),
+        None => error_response(404, &format!("unknown job job-{id}")).into(),
     }
 }
 
@@ -651,13 +805,16 @@ fn submit(request: &Request, shared: &Shared) -> Response {
         return error_response(429, &refusal.message())
             .with_header("Retry-After", &refusal.retry_after_secs().to_string());
     }
-    let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+    let id = shared.next_id.fetch_add(shared.id_stride, Ordering::SeqCst);
     // Register before pushing: a worker may pop the job immediately.
-    shared
-        .registry
-        .lock()
-        .expect("registry lock")
-        .insert(id, JobEntry { job: job.clone(), status: JobStatus::Queued });
+    shared.registry.lock().expect("registry lock").insert(
+        id,
+        JobEntry {
+            job: job.clone(),
+            status: JobStatus::Queued,
+            progress: Arc::new(ProgressFeed::new()),
+        },
+    );
     match shared.queue.try_push(&job.tenant, QueuedJob { id, job: job.clone() }) {
         Ok(()) => {
             // Log after a successful push so rejected jobs never replay.
@@ -755,8 +912,9 @@ fn worker_loop(shared: &Arc<Shared>) {
         let released = group.len();
         if group.len() == 1 {
             let queued = &group[0];
+            let feed = shared.feed_of(queued.id);
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                run_job(shared, &queued.job)
+                run_job(shared, &queued.job, &feed)
             }))
             .unwrap_or_else(|panic| Err(panic_message(panic)));
             finish_job(shared, queued, outcome);
@@ -781,21 +939,24 @@ fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Books one finished job: cache counters, metrics, status, tenant
-/// release.
+/// release, terminal progress record.
 fn finish_job(shared: &Shared, queued: &QueuedJob, outcome: Result<Option<CacheStats>, String>) {
-    match outcome {
+    let status = match outcome {
         Ok(cache) => {
             if let Some(cache) = cache {
                 shared.cache_totals.lock().expect("cache totals lock").merge(&cache);
             }
             shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
-            shared.set_status(queued.id, JobStatus::Done);
+            JobStatus::Done
         }
         Err(message) => {
             shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
-            shared.set_status(queued.id, JobStatus::Failed(message));
+            JobStatus::Failed(message)
         }
-    }
+    };
+    let feed = shared.feed_of(queued.id);
+    feed.finish(Some(progress_end_line(&status)));
+    shared.set_status(queued.id, status);
     shared.governor.release(&queued.job.tenant);
 }
 
@@ -814,6 +975,7 @@ fn run_group(shared: &Arc<Shared>, group: &[QueuedJob]) {
         for (member, queued) in group.iter().enumerate() {
             let detector = gate.member(member);
             let gate_ref = &gate;
+            let feed = shared.feed_of(queued.id);
             scope.spawn(move || {
                 // `detector` moves into the catch_unwind closure; if
                 // the attack panics, unwinding drops it, the member
@@ -821,7 +983,7 @@ fn run_group(shared: &Arc<Shared>, group: &[QueuedJob]) {
                 // on.
                 let _ = gate_ref;
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    run_job_gated(shared, &queued.job, detector)
+                    run_job_gated(shared, &queued.job, detector, &feed)
                 }))
                 .unwrap_or_else(|panic| Err(panic_message(panic)));
                 finish_job(shared, queued, outcome);
@@ -836,7 +998,15 @@ fn run_group(shared: &Arc<Shared>, group: &[QueuedJob]) {
 /// is saved through the same [`CampaignStore::save_cell`] writer a
 /// direct campaign uses — that is what makes the served CSV
 /// byte-identical to a batch run of the same cell.
-fn run_job(shared: &Shared, job: &AttackJob) -> Result<Option<CacheStats>, String> {
+///
+/// Per-generation telemetry records stream into `feed` as the GA runs;
+/// observation never touches campaign state, so the persisted rows are
+/// unaffected.
+fn run_job(
+    shared: &Shared,
+    job: &AttackJob,
+    feed: &ProgressFeed,
+) -> Result<Option<CacheStats>, String> {
     let image = job.materialize_image(&shared.dataset)?;
     let spec = job.cell_spec();
     // The thread knob is the server operator's, never the submitter's:
@@ -853,7 +1023,7 @@ fn run_job(shared: &Shared, job: &AttackJob) -> Result<Option<CacheStats>, Strin
     let arch = job.arch;
     let use_cache = job.use_cache;
     let zoo = shared.zoo.clone().with_kernel_policy(job.kernel_policy);
-    let result = campaign.run(
+    let result = campaign.run_observed(
         std::slice::from_ref(&spec),
         |cell| {
             if use_cache {
@@ -863,6 +1033,7 @@ fn run_job(shared: &Shared, job: &AttackJob) -> Result<Option<CacheStats>, Strin
             }
         },
         |_cell| image.clone(),
+        &|_cell, line| feed.push(line.to_string()),
     );
     let cell = &result.cells[0];
     shared
@@ -882,6 +1053,7 @@ fn run_job_gated(
     shared: &Shared,
     job: &AttackJob,
     detector: GateDetector,
+    feed: &ProgressFeed,
 ) -> Result<Option<CacheStats>, String> {
     let image = job.materialize_image(&shared.dataset)?;
     let spec = job.cell_spec();
@@ -896,7 +1068,7 @@ fn run_job_gated(
     // `detector_for` is `Fn` but this campaign visits exactly one cell,
     // so the member handle is moved out of a slot on first (only) call.
     let slot: Mutex<Option<GateDetector>> = Mutex::new(Some(detector));
-    let result = campaign.run(
+    let result = campaign.run_observed(
         std::slice::from_ref(&spec),
         |_cell| {
             let member = slot
@@ -907,6 +1079,7 @@ fn run_job_gated(
             Box::new(member) as Box<dyn Detector>
         },
         |_cell| image.clone(),
+        &|_cell, line| feed.push(line.to_string()),
     );
     let cell = &result.cells[0];
     shared
